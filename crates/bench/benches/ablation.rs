@@ -1,0 +1,157 @@
+//! Ablation bench: flips the individual implementation behaviours the
+//! profiles encode and measures how each flip changes the attack outcome.
+//! This isolates *which* behavioural difference makes an implementation
+//! vulnerable — the per-OS causality the paper argues in §VI-A/B:
+//!
+//! * DCCP `type_check_before_seq` — the RFC 4340 §8.5 pseudocode ordering
+//!   that enables REQUEST Connection Termination; the flipped ordering is
+//!   the mitigation.
+//! * TCP `dsack` + `sack_loss_evidence` — Linux's duplicate filtering that
+//!   blocks both duplicate-ACK attacks.
+//! * TCP `naive_ack_counting` — the Windows 95 growth bug behind
+//!   duplicate-ACK spoofing.
+//! * TCP `abort_style` — Linux's FIN-then-RST teardown, the CLOSE_WAIT
+//!   exhaustion precondition.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use snake_bench::bench_scenario;
+use snake_core::{detect, Executor, ProtocolKind, DEFAULT_THRESHOLD};
+use snake_dccp::DccpProfile;
+use snake_proxy::{
+    BasicAttack, Endpoint, InjectDirection, InjectionAttack, SeqChoice, Strategy, StrategyKind,
+};
+use snake_tcp::{AbortStyle, Profile};
+
+fn dup_acks(copies: u32) -> Strategy {
+    Strategy {
+        id: 1,
+        kind: StrategyKind::OnPacket {
+            endpoint: Endpoint::Client,
+            state: "ESTABLISHED".into(),
+            packet_type: "ACK".into(),
+            attack: BasicAttack::Duplicate { copies },
+        },
+    }
+}
+
+fn drop_rsts() -> Strategy {
+    Strategy {
+        id: 2,
+        kind: StrategyKind::OnPacket {
+            endpoint: Endpoint::Client,
+            state: "FIN_WAIT_1".into(),
+            packet_type: "RST".into(),
+            attack: BasicAttack::Drop { percent: 100 },
+        },
+    }
+}
+
+fn request_inject() -> Strategy {
+    Strategy {
+        id: 3,
+        kind: StrategyKind::OnState {
+            endpoint: Endpoint::Client,
+            state: "REQUEST".into(),
+            attack: InjectionAttack::Inject {
+                packet_type: "SYNC".into(),
+                seq: SeqChoice::Random,
+                direction: InjectDirection::ToClient,
+                repeat: 3,
+            },
+        },
+    }
+}
+
+fn run(protocol: ProtocolKind, strategy: Strategy) -> (f64, usize) {
+    let spec = bench_scenario(protocol);
+    let baseline = Executor::run(&spec, None);
+    let attacked = Executor::run(&spec, Some(strategy));
+    let ratio = attacked.target_bytes as f64 / baseline.target_bytes.max(1) as f64;
+    (ratio, attacked.leaked_sockets)
+}
+
+fn flag(protocol: ProtocolKind, strategy: Strategy) -> bool {
+    let spec = bench_scenario(protocol);
+    let baseline = Executor::run(&spec, None);
+    let attacked = Executor::run(&spec, Some(strategy));
+    detect(&baseline, &attacked, DEFAULT_THRESHOLD).flagged()
+}
+
+fn regenerate_ablations() {
+    println!("\nAblations — which behavioural knob enables which attack:\n");
+
+    // 1. DCCP REQUEST termination: type check ordering.
+    let vulnerable = flag(
+        ProtocolKind::Dccp(DccpProfile::linux_3_13()),
+        request_inject(),
+    );
+    let fixed = flag(
+        ProtocolKind::Dccp(DccpProfile::linux_3_13_seqcheck_fixed()),
+        request_inject(),
+    );
+    println!(
+        "REQUEST termination | type-check-first (RFC/Linux): {} | seq-check-first (mitigated): {}",
+        verdict(vulnerable),
+        verdict(fixed)
+    );
+
+    // 2. Duplicate-ACK spoofing: naive ack counting.
+    let w95 = ProtocolKind::Tcp(Profile::windows_95());
+    let mut w95_fixed_profile = Profile::windows_95();
+    w95_fixed_profile.naive_ack_counting = false;
+    w95_fixed_profile.name = "Windows 95 (growth fixed)".into();
+    let (gain_naive, _) = run(w95, dup_acks(2));
+    let (gain_fixed, _) = run(ProtocolKind::Tcp(w95_fixed_profile), dup_acks(2));
+    println!(
+        "DupACK spoofing     | naive growth: {gain_naive:.2}x | per-ack check added: {gain_fixed:.2}x"
+    );
+
+    // 3. DupACK filtering: give Windows 8.1 Linux's DSACK evidence rule.
+    let w81 = ProtocolKind::Tcp(Profile::windows_8_1());
+    let mut w81_dsack = Profile::windows_8_1();
+    w81_dsack.dsack = true;
+    w81_dsack.sack_loss_evidence = true;
+    w81_dsack.name = "Windows 8.1 (+DSACK)".into();
+    let (deg_plain, _) = run(w81, dup_acks(10));
+    let (deg_dsack, _) = run(ProtocolKind::Tcp(w81_dsack), dup_acks(10));
+    println!(
+        "DupACK rate limit   | no DSACK filtering: {deg_plain:.2}x | with DSACK filtering: {deg_dsack:.2}x"
+    );
+
+    // 4. CLOSE_WAIT exhaustion: the FIN-then-RST teardown.
+    let linux = ProtocolKind::Tcp(Profile::linux_3_0_0());
+    let mut linux_rstonly = Profile::linux_3_0_0();
+    linux_rstonly.abort_style = AbortStyle::RstOnly;
+    linux_rstonly.name = "Linux 3.0.0 (RST-only abort)".into();
+    let (_, leak_fin) = run(linux, drop_rsts());
+    let (_, leak_rst) = run(ProtocolKind::Tcp(linux_rstonly), drop_rsts());
+    println!(
+        "CLOSE_WAIT leak     | FIN-then-RST abort: {} leaked | RST-only abort: {} leaked",
+        leak_fin, leak_rst
+    );
+}
+
+fn verdict(flagged: bool) -> &'static str {
+    if flagged {
+        "ATTACK"
+    } else {
+        "clean"
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    regenerate_ablations();
+
+    // Criterion measures the mitigated DCCP run (the cheapest ablation).
+    let spec = bench_scenario(ProtocolKind::Dccp(DccpProfile::linux_3_13_seqcheck_fixed()));
+    let strategy = request_inject();
+    let mut group = c.benchmark_group("ablation");
+    group.sample_size(10);
+    group.bench_function("dccp_seqcheck_fixed", |b| {
+        b.iter(|| Executor::run(&spec, Some(strategy.clone())));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

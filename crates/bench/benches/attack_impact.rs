@@ -1,0 +1,154 @@
+//! Regenerates the attack magnitudes quoted in the paper's prose
+//! (§VI-A/B): how much each headline attack moves throughput relative to
+//! baseline — the paper reports ~5× for duplicate-ACK spoofing (gain on
+//! Windows 95) and ~5× for duplicate-ACK rate limiting (degradation on
+//! Windows 8.1), total loss for the reset attacks, and zero-data for the
+//! DCCP REQUEST termination.
+//!
+//! Criterion then measures the hitseqwindow replay, the costliest scenario
+//! (66k injected packets).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use snake_bench::{bench_scenario, mbps};
+use snake_core::{Executor, ProtocolKind};
+use snake_dccp::DccpProfile;
+use snake_packet::FieldMutation;
+use snake_proxy::{
+    BasicAttack, Endpoint, InjectDirection, InjectionAttack, SeqChoice, Strategy, StrategyKind,
+};
+use snake_tcp::Profile;
+
+struct ImpactRow {
+    name: &'static str,
+    paper: &'static str,
+    protocol: ProtocolKind,
+    strategy: Strategy,
+}
+
+fn rows() -> Vec<ImpactRow> {
+    let dccp = ProtocolKind::Dccp(DccpProfile::linux_3_13());
+    vec![
+        ImpactRow {
+            name: "DupACK spoofing (gain)",
+            paper: "~5x gain",
+            protocol: ProtocolKind::Tcp(Profile::windows_95()),
+            strategy: Strategy {
+                id: 1,
+                kind: StrategyKind::OnPacket {
+                    endpoint: Endpoint::Client,
+                    state: "ESTABLISHED".into(),
+                    packet_type: "ACK".into(),
+                    attack: BasicAttack::Duplicate { copies: 2 },
+                },
+            },
+        },
+        ImpactRow {
+            name: "DupACK rate limiting (degradation)",
+            paper: "~5x degradation",
+            protocol: ProtocolKind::Tcp(Profile::windows_8_1()),
+            strategy: Strategy {
+                id: 2,
+                kind: StrategyKind::OnPacket {
+                    endpoint: Endpoint::Server,
+                    state: "ESTABLISHED".into(),
+                    packet_type: "PSH+ACK".into(),
+                    attack: BasicAttack::Duplicate { copies: 10 },
+                },
+            },
+        },
+        ImpactRow {
+            name: "Reset attack (hitseqwindow RST)",
+            paper: "connection killed",
+            protocol: ProtocolKind::Tcp(Profile::linux_3_13()),
+            strategy: Strategy {
+                id: 3,
+                kind: StrategyKind::OnState {
+                    endpoint: Endpoint::Client,
+                    state: "ESTABLISHED".into(),
+                    attack: InjectionAttack::HitSeqWindow {
+                        packet_type: "RST".into(),
+                        direction: InjectDirection::ToClient,
+                        stride: 65_535,
+                        count: 66_000,
+                        rate_pps: 20_000,
+                        inert: false,
+                    },
+                },
+            },
+        },
+        ImpactRow {
+            name: "DCCP in-window ack seq +1",
+            paper: "window dropped per mung",
+            protocol: dccp.clone(),
+            strategy: Strategy {
+                id: 4,
+                kind: StrategyKind::OnPacket {
+                    endpoint: Endpoint::Client,
+                    state: "OPEN".into(),
+                    packet_type: "ACK".into(),
+                    attack: BasicAttack::Lie {
+                        field: "seq".into(),
+                        mutation: FieldMutation::Add(25),
+                    },
+                },
+            },
+        },
+        ImpactRow {
+            name: "DCCP REQUEST termination",
+            paper: "no connection",
+            protocol: dccp,
+            strategy: Strategy {
+                id: 5,
+                kind: StrategyKind::OnState {
+                    endpoint: Endpoint::Client,
+                    state: "REQUEST".into(),
+                    attack: InjectionAttack::Inject {
+                        packet_type: "SYNC".into(),
+                        seq: SeqChoice::Random,
+                        direction: InjectDirection::ToClient,
+                        repeat: 3,
+                    },
+                },
+            },
+        },
+    ]
+}
+
+fn regenerate_impacts() {
+    println!("\nAttack impact magnitudes (paper §VI-A/B vs measured):");
+    println!(
+        "| {:<36} | {:<22} | {:>14} | {:>14} | {:>7} |",
+        "Attack", "Paper", "Baseline Mb/s", "Attacked Mb/s", "Ratio"
+    );
+    for row in rows() {
+        let spec = bench_scenario(row.protocol.clone());
+        let baseline = Executor::run(&spec, None);
+        let attacked = Executor::run(&spec, Some(row.strategy.clone()));
+        let ratio = attacked.target_bytes as f64 / baseline.target_bytes.max(1) as f64;
+        println!(
+            "| {:<36} | {:<22} | {:>14.2} | {:>14.2} | {:>6.2}x |",
+            row.name,
+            row.paper,
+            mbps(baseline.target_bytes, spec.data_secs),
+            mbps(attacked.target_bytes, spec.data_secs),
+            ratio
+        );
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    regenerate_impacts();
+
+    let reset = &rows()[2];
+    let spec = bench_scenario(reset.protocol.clone());
+    let strategy = reset.strategy.clone();
+    let mut group = c.benchmark_group("impact_replay");
+    group.sample_size(10);
+    group.bench_function("hitseqwindow_rst", |b| {
+        b.iter(|| Executor::run(&spec, Some(strategy.clone())));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Regenerates the fairness sanity check the detection threshold rests on
+//! (§III-A, §VI): two unattacked flows of the same implementation compete
+//! over the bottleneck and must achieve throughput within a factor of two
+//! of each other. If this baseline did not hold, the ±50 % detector would
+//! flag noise.
+//!
+//! Criterion then measures a bare two-flow simulation (the simulator's
+//! hot path).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use snake_bench::{all_implementations, bench_scenario, mbps};
+use snake_core::Executor;
+
+fn regenerate_fairness() {
+    println!("\nBaseline fairness (two competing flows, no attack):");
+    println!(
+        "| {:<18} | {:>13} | {:>15} | {:>6} | {:>11} |",
+        "Implementation", "Target Mb/s", "Competing Mb/s", "Ratio", "Within 2x?"
+    );
+    for protocol in all_implementations() {
+        let name = protocol.implementation_name().to_owned();
+        let spec = bench_scenario(protocol);
+        let m = Executor::run(&spec, None);
+        let hi = m.target_bytes.max(m.competing_bytes) as f64;
+        let lo = m.target_bytes.min(m.competing_bytes).max(1) as f64;
+        let ratio = hi / lo;
+        println!(
+            "| {:<18} | {:>13.2} | {:>15.2} | {:>5.2}x | {:>11} |",
+            name,
+            mbps(m.target_bytes, spec.data_secs),
+            mbps(m.competing_bytes, spec.data_secs),
+            ratio,
+            if ratio < 2.0 { "yes" } else { "NO" }
+        );
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    regenerate_fairness();
+
+    let mut group = c.benchmark_group("baseline_simulation");
+    group.sample_size(10);
+    for protocol in all_implementations() {
+        let name = protocol.implementation_name().to_owned();
+        let spec = bench_scenario(protocol);
+        group.bench_with_input(BenchmarkId::from_parameter(name), &spec, |b, spec| {
+            b.iter(|| Executor::run(spec, None));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

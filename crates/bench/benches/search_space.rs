@@ -1,0 +1,92 @@
+//! Regenerates the §VI-C search-space comparison: state-based strategy
+//! generation versus send-packet-based and time-interval-based injection,
+//! with both the paper's parameters and this reproduction's measured ones.
+//!
+//! Criterion then measures strategy generation itself (the controller-side
+//! cost the paper describes as negligible — "we did not find it necessary
+//! to dedicate a core to the controller").
+
+use std::collections::BTreeSet;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use snake_bench::bench_scenario;
+use snake_core::search::{empirical_head_to_head, render_empirical, SearchSpaceParams};
+use snake_core::{generate_strategies, Executor, GenerationParams, ProtocolKind, DEFAULT_THRESHOLD};
+use snake_tcp::Profile;
+
+fn regenerate_comparison() {
+    println!("\nSearch-space comparison, paper parameters (§VI-C):");
+    println!("{}", SearchSpaceParams::paper().render());
+
+    // Measure this reproduction's parameters from a baseline run.
+    let protocol = ProtocolKind::Tcp(Profile::linux_3_13());
+    let spec = bench_scenario(protocol.clone());
+    let baseline = Executor::run(&spec, None);
+    let mut next_id = 0;
+    let mut seen = BTreeSet::new();
+    let strategies = generate_strategies(
+        &protocol,
+        &[&baseline.proxy],
+        &GenerationParams::default(),
+        &mut next_id,
+        &mut seen,
+    );
+    // Per-packet strategies = the OnPacket parameterisations per pair.
+    let params = GenerationParams::default();
+    let per_packet = (params.drop_percents.len()
+        + params.duplicate_copies.len()
+        + params.delay_secs.len()
+        + params.batch_secs.len()
+        + 1
+        + 9 * 8
+        + 6 * 2) as u64;
+    let measured = SearchSpaceParams::measured(
+        baseline.proxy.packets_seen,
+        per_packet,
+        strategies.len() as u64,
+        spec.data_secs,
+    );
+    println!(
+        "Search-space comparison, measured parameters ({} packets observed, {} state-based strategies):",
+        baseline.proxy.packets_seen,
+        strategies.len()
+    );
+    println!("{}", measured.render());
+
+    // Empirical head-to-head: equal execution budget per injection model;
+    // yield is what the state machine buys.
+    let budget = 40;
+    let results = empirical_head_to_head(
+        &spec,
+        strategies,
+        budget,
+        &GenerationParams::default(),
+        DEFAULT_THRESHOLD,
+    );
+    println!("Empirical head-to-head ({budget} strategies per model, same scenario):");
+    println!("{}", render_empirical(&results));
+}
+
+fn bench(c: &mut Criterion) {
+    regenerate_comparison();
+
+    let protocol = ProtocolKind::Tcp(Profile::linux_3_13());
+    let spec = bench_scenario(protocol.clone());
+    let baseline = Executor::run(&spec, None);
+    c.bench_function("strategy_generation", |b| {
+        b.iter(|| {
+            let mut next_id = 0;
+            let mut seen = BTreeSet::new();
+            generate_strategies(
+                &protocol,
+                &[&baseline.proxy],
+                &GenerationParams::default(),
+                &mut next_id,
+                &mut seen,
+            )
+        });
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

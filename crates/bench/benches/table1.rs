@@ -1,0 +1,44 @@
+//! Regenerates Table I ("Summary of SNAKE results"): one row per
+//! implementation, from a capped state-based campaign (the full sweep is
+//! `cargo run --release --example tcp_campaign` / `dccp_campaign`).
+//!
+//! Criterion then measures the cost of one executor run — the unit the
+//! paper prices at 2 wall-clock minutes on its VM testbed and this
+//! reproduction completes in milliseconds.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use snake_bench::{all_implementations, bench_scenario};
+use snake_core::{render_table1, Campaign, CampaignConfig, Executor};
+
+fn regenerate_table1() {
+    let mut results = Vec::new();
+    for protocol in all_implementations() {
+        let spec = bench_scenario(protocol);
+        let config = CampaignConfig {
+            max_strategies: Some(150),
+            feedback_rounds: 1,
+            ..CampaignConfig::new(spec)
+        };
+        results.push(Campaign::run(config));
+    }
+    println!("\nTable I (capped to 150 strategies per implementation):");
+    println!("{}", render_table1(&results));
+}
+
+fn bench(c: &mut Criterion) {
+    regenerate_table1();
+
+    let mut group = c.benchmark_group("executor_run");
+    group.sample_size(10);
+    for protocol in all_implementations() {
+        let name = protocol.implementation_name().to_owned();
+        let spec = bench_scenario(protocol);
+        group.bench_with_input(BenchmarkId::from_parameter(name), &spec, |b, spec| {
+            b.iter(|| Executor::run(spec, None));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,151 @@
+//! Regenerates Table II ("Summary of attacks discovered by SNAKE"): each
+//! of the paper's nine attacks replayed as the strategy the search
+//! generates for it, with the detection verdict shown per implementation.
+//!
+//! Criterion then measures the CLOSE_WAIT replay, the most
+//! teardown-sensitive scenario.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use snake_bench::bench_scenario;
+use snake_core::{
+    classify, detect, Executor, KnownAttack, ProtocolKind, ScenarioSpec, DEFAULT_THRESHOLD,
+};
+use snake_dccp::DccpProfile;
+use snake_packet::FieldMutation;
+use snake_proxy::{
+    BasicAttack, Endpoint, InjectDirection, InjectionAttack, SeqChoice, Strategy, StrategyKind,
+};
+use snake_tcp::Profile;
+
+fn on_packet(endpoint: Endpoint, state: &str, ptype: &str, attack: BasicAttack) -> Strategy {
+    Strategy {
+        id: 1,
+        kind: StrategyKind::OnPacket {
+            endpoint,
+            state: state.into(),
+            packet_type: ptype.into(),
+            attack,
+        },
+    }
+}
+
+fn hitseq(ptype: &str) -> Strategy {
+    Strategy {
+        id: 1,
+        kind: StrategyKind::OnState {
+            endpoint: Endpoint::Client,
+            state: "ESTABLISHED".into(),
+            attack: InjectionAttack::HitSeqWindow {
+                packet_type: ptype.into(),
+                direction: InjectDirection::ToClient,
+                stride: 65_535,
+                count: 66_000,
+                rate_pps: 20_000,
+                inert: false,
+            },
+        },
+    }
+}
+
+/// The nine Table II attacks as (row name, implementation, strategy).
+fn table2_rows() -> Vec<(&'static str, ProtocolKind, Strategy)> {
+    let dccp = ProtocolKind::Dccp(DccpProfile::linux_3_13());
+    vec![
+        (
+            "CLOSE_WAIT Resource Exhaustion",
+            ProtocolKind::Tcp(Profile::linux_3_0_0()),
+            on_packet(Endpoint::Client, "FIN_WAIT_1", "RST", BasicAttack::Drop { percent: 100 }),
+        ),
+        (
+            "Packets with Invalid Flags",
+            ProtocolKind::Tcp(Profile::linux_3_0_0()),
+            on_packet(Endpoint::Client, "ESTABLISHED", "ACK", BasicAttack::Lie {
+                field: "syn".into(),
+                mutation: FieldMutation::Set(1),
+            }),
+        ),
+        (
+            "Duplicate Acknowledgment Spoofing",
+            ProtocolKind::Tcp(Profile::windows_95()),
+            on_packet(Endpoint::Client, "ESTABLISHED", "ACK", BasicAttack::Duplicate { copies: 2 }),
+        ),
+        ("Reset Attack", ProtocolKind::Tcp(Profile::linux_3_13()), hitseq("RST")),
+        ("SYN-Reset Attack", ProtocolKind::Tcp(Profile::linux_3_13()), hitseq("SYN")),
+        (
+            "Duplicate Acknowledgment Rate Limiting",
+            ProtocolKind::Tcp(Profile::windows_8_1()),
+            on_packet(Endpoint::Server, "ESTABLISHED", "PSH+ACK", BasicAttack::Duplicate {
+                copies: 10,
+            }),
+        ),
+        (
+            "Acknowledgment Mung Resource Exhaustion",
+            dccp.clone(),
+            on_packet(Endpoint::Client, "OPEN", "ACK", BasicAttack::Drop { percent: 100 }),
+        ),
+        (
+            "In-window Ack Sequence Number Modification",
+            dccp.clone(),
+            on_packet(Endpoint::Client, "OPEN", "ACK", BasicAttack::Lie {
+                field: "seq".into(),
+                mutation: FieldMutation::Add(25),
+            }),
+        ),
+        (
+            "REQUEST Connection Termination",
+            dccp,
+            Strategy {
+                id: 1,
+                kind: StrategyKind::OnState {
+                    endpoint: Endpoint::Client,
+                    state: "REQUEST".into(),
+                    attack: InjectionAttack::Inject {
+                        packet_type: "SYNC".into(),
+                        seq: SeqChoice::Random,
+                        direction: InjectDirection::ToClient,
+                        repeat: 3,
+                    },
+                },
+            },
+        ),
+    ]
+}
+
+fn regenerate_table2() {
+    println!("\nTable II (attack replays):");
+    println!(
+        "| {:<44} | {:<13} | {:<22} | {:<44} |",
+        "Attack", "Impl.", "Verdict", "Classified as"
+    );
+    for (name, protocol, strategy) in table2_rows() {
+        let spec = bench_scenario(protocol.clone());
+        let baseline = Executor::run(&spec, None);
+        let attacked = Executor::run(&spec, Some(strategy.clone()));
+        let verdict = detect(&baseline, &attacked, DEFAULT_THRESHOLD);
+        let attack: KnownAttack = classify(&protocol, &strategy, &verdict, &attacked);
+        println!(
+            "| {:<44} | {:<13} | {:<22} | {:<44} |",
+            name,
+            protocol.implementation_name(),
+            verdict.labels().join(","),
+            attack.name()
+        );
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    regenerate_table2();
+
+    let spec: ScenarioSpec = bench_scenario(ProtocolKind::Tcp(Profile::linux_3_0_0()));
+    let strategy =
+        on_packet(Endpoint::Client, "FIN_WAIT_1", "RST", BasicAttack::Drop { percent: 100 });
+    let mut group = c.benchmark_group("attack_replay");
+    group.sample_size(10);
+    group.bench_function("close_wait_exhaustion", |b| {
+        b.iter(|| Executor::run(&spec, Some(strategy.clone())));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

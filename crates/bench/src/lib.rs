@@ -1,0 +1,35 @@
+//! Shared helpers for the SNAKE evaluation benchmarks.
+//!
+//! Each bench target regenerates one artifact of the paper's evaluation
+//! (printed to stdout when the bench runs) and then criterion-measures the
+//! underlying operation so regressions in simulation or search throughput
+//! are visible:
+//!
+//! * `table1` — Table I rows (capped campaigns per implementation).
+//! * `table2` — Table II attack replays.
+//! * `search_space` — the §VI-C injection-model comparison.
+//! * `attack_impact` — the attack magnitudes quoted in §VI-A/B.
+//! * `fairness` — the factor-of-two fairness baseline the detector rests
+//!   on.
+
+use snake_core::{ProtocolKind, ScenarioSpec};
+use snake_dccp::DccpProfile;
+use snake_tcp::Profile;
+
+/// Every implementation of the paper's evaluation, in Table I order.
+pub fn all_implementations() -> Vec<ProtocolKind> {
+    let mut v: Vec<ProtocolKind> = Profile::all().into_iter().map(ProtocolKind::Tcp).collect();
+    v.push(ProtocolKind::Dccp(DccpProfile::linux_3_13()));
+    v
+}
+
+/// The scenario the benches use: the evaluation dumbbell with a shortened
+/// data phase so a full bench run stays in minutes.
+pub fn bench_scenario(protocol: ProtocolKind) -> ScenarioSpec {
+    ScenarioSpec { data_secs: 10, grace_secs: 35, ..ScenarioSpec::evaluation(protocol) }
+}
+
+/// Megabits per second over the data phase.
+pub fn mbps(bytes: u64, secs: u64) -> f64 {
+    bytes as f64 * 8.0 / secs as f64 / 1e6
+}

@@ -1,0 +1,18 @@
+use snake_core::{detect, Executor, ProtocolKind, ScenarioSpec, DEFAULT_THRESHOLD};
+use snake_proxy::*;
+use snake_packet::FieldMutation;
+use snake_dccp::DccpProfile;
+
+fn main() {
+    for seed in [7u64, 8, 9, 10] {
+        let spec = ScenarioSpec { seed, ..ScenarioSpec::evaluation(ProtocolKind::Dccp(DccpProfile::linux_3_13())) };
+        let base = Executor::run(&spec, None);
+        let s = Strategy { id: 1, kind: StrategyKind::OnPacket {
+            endpoint: Endpoint::Client, state: "OPEN".into(), packet_type: "ACK".into(),
+            attack: BasicAttack::Lie { field: "seq".into(), mutation: FieldMutation::Add(25) } } };
+        let m = Executor::run(&spec, Some(s));
+        let v = detect(&base, &m, DEFAULT_THRESHOLD);
+        println!("seed={seed} base={} attacked={} ratio={:.3} labels={:?}",
+            base.target_bytes, m.target_bytes, m.target_bytes as f64 / base.target_bytes as f64, v.labels());
+    }
+}

@@ -1,0 +1,274 @@
+//! `snake` — command-line driver for the SNAKE attack explorer.
+//!
+//! ```text
+//! snake list                               implementations under test
+//! snake baseline --impl linux-3.13        run the no-attack scenario
+//! snake campaign --impl linux-3.0.0       full state-based search
+//!               [--cap N] [--data-secs N] [--grace-secs N] [--seed N]
+//! snake replay --attack close-wait        replay a named Table II attack
+//! snake search-space                      the §VI-C injection-model comparison
+//! ```
+
+use std::process::ExitCode;
+
+use snake_core::search::SearchSpaceParams;
+use snake_core::{
+    detect, render_table1, render_table2, Campaign, CampaignConfig, Executor, ProtocolKind,
+    ScenarioSpec, DEFAULT_THRESHOLD,
+};
+use snake_dccp::DccpProfile;
+use snake_packet::FieldMutation;
+use snake_proxy::{
+    BasicAttack, Endpoint, InjectDirection, InjectionAttack, SeqChoice, Strategy, StrategyKind,
+};
+use snake_tcp::Profile;
+
+const IMPLEMENTATIONS: &[(&str, &str)] = &[
+    ("linux-3.0.0", "TCP, Linux kernel 3.0.0"),
+    ("linux-3.13", "TCP, Linux kernel 3.13"),
+    ("windows-8.1", "TCP, Windows 8.1"),
+    ("windows-95", "TCP, Windows 95"),
+    ("dccp", "DCCP, Linux kernel 3.13 (CCID-2)"),
+];
+
+const ATTACKS: &[(&str, &str)] = &[
+    ("close-wait", "CLOSE_WAIT Resource Exhaustion (TCP, Linux)"),
+    ("dupack-spoofing", "Duplicate Acknowledgment Spoofing (TCP, Windows 95)"),
+    ("dupack-rate-limiting", "Duplicate Acknowledgment Rate Limiting (TCP, Windows 8.1)"),
+    ("reset", "Reset Attack (TCP, all implementations)"),
+    ("syn-reset", "SYN-Reset Attack (TCP, all implementations)"),
+    ("ack-mung", "Acknowledgment Mung Resource Exhaustion (DCCP)"),
+    ("ack-seq-mod", "In-window Ack Sequence Number Modification (DCCP)"),
+    ("request-termination", "REQUEST Connection Termination (DCCP)"),
+];
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        usage();
+        return ExitCode::FAILURE;
+    };
+    let result = match command.as_str() {
+        "list" => cmd_list(),
+        "baseline" => cmd_baseline(&args[1..]),
+        "campaign" => cmd_campaign(&args[1..]),
+        "replay" => cmd_replay(&args[1..]),
+        "search-space" => cmd_search_space(),
+        "help" | "--help" | "-h" => {
+            usage();
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            usage();
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn usage() {
+    eprintln!(
+        "snake — state-based network attack explorer (SNAKE, DSN 2015 reproduction)\n\n\
+         USAGE:\n  \
+         snake list\n  \
+         snake baseline --impl <name> [--data-secs N] [--seed N]\n  \
+         snake campaign --impl <name> [--cap N] [--data-secs N] [--grace-secs N] [--seed N] [--tsv FILE]\n  \
+         snake replay --attack <name>\n  \
+         snake search-space\n\n\
+         Run `snake list` for implementation and attack names."
+    );
+}
+
+/// Looks up `--key value` in an argument list.
+fn flag(args: &[String], key: &str) -> Option<String> {
+    args.iter().position(|a| a == key).and_then(|i| args.get(i + 1).cloned())
+}
+
+fn parse_impl(args: &[String]) -> Result<ProtocolKind, String> {
+    let name = flag(args, "--impl").ok_or("missing --impl <name>")?;
+    Ok(match name.as_str() {
+        "linux-3.0.0" => ProtocolKind::Tcp(Profile::linux_3_0_0()),
+        "linux-3.13" => ProtocolKind::Tcp(Profile::linux_3_13()),
+        "windows-8.1" => ProtocolKind::Tcp(Profile::windows_8_1()),
+        "windows-95" => ProtocolKind::Tcp(Profile::windows_95()),
+        "dccp" => ProtocolKind::Dccp(DccpProfile::linux_3_13()),
+        other => return Err(format!("unknown implementation `{other}` (try `snake list`)")),
+    })
+}
+
+fn parse_scenario(args: &[String]) -> Result<ScenarioSpec, String> {
+    let mut spec = ScenarioSpec::evaluation(parse_impl(args)?);
+    if let Some(v) = flag(args, "--data-secs") {
+        spec.data_secs = v.parse().map_err(|_| "--data-secs expects an integer")?;
+    }
+    if let Some(v) = flag(args, "--grace-secs") {
+        spec.grace_secs = v.parse().map_err(|_| "--grace-secs expects an integer")?;
+    }
+    if let Some(v) = flag(args, "--seed") {
+        spec.seed = v.parse().map_err(|_| "--seed expects an integer")?;
+    }
+    Ok(spec)
+}
+
+fn cmd_list() -> Result<(), String> {
+    println!("implementations (--impl):");
+    for (name, desc) in IMPLEMENTATIONS {
+        println!("  {name:<22} {desc}");
+    }
+    println!("\nattacks (--attack):");
+    for (name, desc) in ATTACKS {
+        println!("  {name:<22} {desc}");
+    }
+    Ok(())
+}
+
+fn cmd_baseline(args: &[String]) -> Result<(), String> {
+    let spec = parse_scenario(args)?;
+    let m = Executor::run(&spec, None);
+    println!("implementation : {}", spec.protocol.implementation_name());
+    println!("data phase     : {} s (+{} s observation)", spec.data_secs, spec.grace_secs);
+    println!("target flow    : {} bytes ({:.2} Mbit/s)", m.target_bytes, mbps(m.target_bytes, spec.data_secs));
+    println!("competing flow : {} bytes ({:.2} Mbit/s)", m.competing_bytes, mbps(m.competing_bytes, spec.data_secs));
+    println!("leaked sockets : {}", m.leaked_sockets);
+    println!("packets seen   : {}", m.proxy.packets_seen);
+    println!("final states   : client {} / server {}", m.proxy.client_final_state, m.proxy.server_final_state);
+    Ok(())
+}
+
+fn cmd_campaign(args: &[String]) -> Result<(), String> {
+    let spec = parse_scenario(args)?;
+    let cap = match flag(args, "--cap") {
+        Some(v) => Some(v.parse().map_err(|_| "--cap expects an integer")?),
+        None => None,
+    };
+    let config = CampaignConfig { max_strategies: cap, ..CampaignConfig::new(spec) };
+    let start = std::time::Instant::now();
+    let result = Campaign::run(config);
+    eprintln!(
+        "{} strategies in {:.1?}",
+        result.strategies_tried(),
+        start.elapsed()
+    );
+    println!("{}", render_table1(std::slice::from_ref(&result)));
+    println!("{}", render_table2(std::slice::from_ref(&result)));
+    if let Some(path) = flag(args, "--tsv") {
+        std::fs::write(&path, result.export_outcomes_tsv())
+            .map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!("wrote per-strategy outcomes to {path}");
+    }
+    Ok(())
+}
+
+fn cmd_replay(args: &[String]) -> Result<(), String> {
+    let name = flag(args, "--attack").ok_or("missing --attack <name>")?;
+    let (protocol, strategy) = named_attack(&name)?;
+    let spec = ScenarioSpec::evaluation(protocol);
+    let baseline = Executor::run(&spec, None);
+    let attacked = Executor::run(&spec, Some(strategy.clone()));
+    let verdict = detect(&baseline, &attacked, DEFAULT_THRESHOLD);
+    println!("attack   : {name}");
+    println!("strategy : {}", strategy.describe());
+    println!("impl     : {}", spec.protocol.implementation_name());
+    println!(
+        "baseline : {:.2} Mbit/s, attacked: {:.2} Mbit/s",
+        mbps(baseline.target_bytes, spec.data_secs),
+        mbps(attacked.target_bytes, spec.data_secs)
+    );
+    println!(
+        "sockets  : {} leaked (CLOSE_WAIT {}, queue-wedged {})",
+        attacked.leaked_sockets, attacked.leaked_close_wait, attacked.leaked_with_queue
+    );
+    println!("verdict  : flagged={} {:?}", verdict.flagged(), verdict.labels());
+    Ok(())
+}
+
+fn named_attack(name: &str) -> Result<(ProtocolKind, Strategy), String> {
+    let on_packet = |endpoint, state: &str, ptype: &str, attack| Strategy {
+        id: 1,
+        kind: StrategyKind::OnPacket {
+            endpoint,
+            state: state.into(),
+            packet_type: ptype.into(),
+            attack,
+        },
+    };
+    Ok(match name {
+        "close-wait" => (
+            ProtocolKind::Tcp(Profile::linux_3_0_0()),
+            on_packet(Endpoint::Client, "FIN_WAIT_1", "RST", BasicAttack::Drop { percent: 100 }),
+        ),
+        "dupack-spoofing" => (
+            ProtocolKind::Tcp(Profile::windows_95()),
+            on_packet(Endpoint::Client, "ESTABLISHED", "ACK", BasicAttack::Duplicate { copies: 2 }),
+        ),
+        "dupack-rate-limiting" => (
+            ProtocolKind::Tcp(Profile::windows_8_1()),
+            on_packet(
+                Endpoint::Server,
+                "ESTABLISHED",
+                "PSH+ACK",
+                BasicAttack::Duplicate { copies: 10 },
+            ),
+        ),
+        "reset" | "syn-reset" => (
+            ProtocolKind::Tcp(Profile::linux_3_13()),
+            Strategy {
+                id: 1,
+                kind: StrategyKind::OnState {
+                    endpoint: Endpoint::Client,
+                    state: "ESTABLISHED".into(),
+                    attack: InjectionAttack::HitSeqWindow {
+                        packet_type: if name == "reset" { "RST" } else { "SYN" }.into(),
+                        direction: InjectDirection::ToClient,
+                        stride: 65_535,
+                        count: 66_000,
+                        rate_pps: 20_000,
+                        inert: false,
+                    },
+                },
+            },
+        ),
+        "ack-mung" => (
+            ProtocolKind::Dccp(DccpProfile::linux_3_13()),
+            on_packet(Endpoint::Client, "OPEN", "ACK", BasicAttack::Drop { percent: 100 }),
+        ),
+        "ack-seq-mod" => (
+            ProtocolKind::Dccp(DccpProfile::linux_3_13()),
+            on_packet(Endpoint::Client, "OPEN", "ACK", BasicAttack::Lie {
+                field: "seq".into(),
+                mutation: FieldMutation::Add(25),
+            }),
+        ),
+        "request-termination" => (
+            ProtocolKind::Dccp(DccpProfile::linux_3_13()),
+            Strategy {
+                id: 1,
+                kind: StrategyKind::OnState {
+                    endpoint: Endpoint::Client,
+                    state: "REQUEST".into(),
+                    attack: InjectionAttack::Inject {
+                        packet_type: "SYNC".into(),
+                        seq: SeqChoice::Random,
+                        direction: InjectDirection::ToClient,
+                        repeat: 3,
+                    },
+                },
+            },
+        ),
+        other => return Err(format!("unknown attack `{other}` (try `snake list`)")),
+    })
+}
+
+fn cmd_search_space() -> Result<(), String> {
+    println!("Search-space comparison (paper §VI-C, published parameters):\n");
+    println!("{}", SearchSpaceParams::paper().render());
+    Ok(())
+}
+
+fn mbps(bytes: u64, secs: u64) -> f64 {
+    bytes as f64 * 8.0 / secs.max(1) as f64 / 1e6
+}

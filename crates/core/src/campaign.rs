@@ -1,0 +1,417 @@
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+use crossbeam::channel;
+use serde::{Deserialize, Serialize};
+use snake_proxy::{InjectionAttack, Strategy, StrategyKind};
+
+use crate::attacks::{classify, cluster_attacks, AttackFinding};
+use crate::detect::{detect, Verdict, DEFAULT_THRESHOLD};
+use crate::scenario::{Executor, ScenarioSpec, TestMetrics};
+use crate::strategen::{generate_strategies, is_on_path, is_self_denial, GenerationParams};
+
+/// Configuration of one campaign: one implementation under test, searched
+/// exhaustively with the state-based strategy generator.
+#[derive(Debug, Clone)]
+pub struct CampaignConfig {
+    /// The scenario every strategy is tested in.
+    pub scenario: ScenarioSpec,
+    /// Basic-attack parameter lists.
+    pub params: GenerationParams,
+    /// Detection threshold (the paper's 50 %).
+    pub threshold: f64,
+    /// Executor worker threads (the paper ran five executors).
+    pub parallelism: usize,
+    /// Optional cap on the number of strategies to test (for quick runs).
+    pub max_strategies: Option<usize>,
+    /// How many feedback rounds of strategy generation to run: round 0
+    /// uses the baseline's observations, later rounds add strategies for
+    /// states first exposed by attack runs.
+    pub feedback_rounds: usize,
+    /// Re-test flagged strategies under a different seed and keep only
+    /// repeatable ones (§V-A).
+    pub retest: bool,
+}
+
+impl CampaignConfig {
+    /// Defaults mirroring the paper's setup (five executors, 50 %
+    /// threshold, repeatability re-testing, two feedback rounds).
+    pub fn new(scenario: ScenarioSpec) -> CampaignConfig {
+        CampaignConfig {
+            scenario,
+            params: GenerationParams::default(),
+            threshold: DEFAULT_THRESHOLD,
+            parallelism: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4),
+            max_strategies: None,
+            feedback_rounds: 2,
+            retest: true,
+        }
+    }
+}
+
+/// The outcome of testing one strategy.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StrategyOutcome {
+    /// The strategy tested.
+    pub strategy: Strategy,
+    /// Detection verdict against the baseline.
+    pub verdict: Verdict,
+    /// Raw metrics of the (first) attack run.
+    pub metrics: TestMetrics,
+    /// Whether the flagged result repeated under a different seed.
+    pub repeatable: bool,
+    /// Whether the strategy requires an on-path attacker.
+    pub on_path: bool,
+    /// Whether the inert-volume control run showed the impact comes from
+    /// packet volume rather than protocol effect (hitseqwindow false
+    /// positives, §VI-A).
+    pub false_positive: bool,
+}
+
+impl StrategyOutcome {
+    /// Flagged, repeatable, not on-path, not a false positive: a true
+    /// attack strategy (the paper's final per-row count).
+    pub fn is_true_attack(&self) -> bool {
+        self.verdict.flagged() && self.repeatable && !self.on_path && !self.false_positive
+    }
+}
+
+/// The paper's *controller*: generates strategies, dispatches them to
+/// executors, and judges the outcomes.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Controller;
+
+/// A full campaign against one implementation — one row of Table I.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Campaign;
+
+/// Aggregated results of a campaign.
+#[derive(Debug, Clone)]
+pub struct CampaignResult {
+    /// Protocol name ("TCP" / "DCCP").
+    pub protocol: String,
+    /// Implementation name.
+    pub implementation: String,
+    /// The baseline (no-attack) metrics.
+    pub baseline: TestMetrics,
+    /// Every strategy outcome.
+    pub outcomes: Vec<StrategyOutcome>,
+    /// Unique attacks found (clusters of true attack strategies).
+    pub findings: Vec<AttackFinding>,
+}
+
+impl CampaignResult {
+    /// Table I: strategies tried.
+    pub fn strategies_tried(&self) -> usize {
+        self.outcomes.len()
+    }
+
+    /// Table I: attack strategies found (flagged and repeatable).
+    pub fn attack_strategies_found(&self) -> usize {
+        self.outcomes.iter().filter(|o| o.verdict.flagged() && o.repeatable).count()
+    }
+
+    /// Table I: of the found strategies, those requiring an on-path
+    /// attacker.
+    pub fn on_path_count(&self) -> usize {
+        self.outcomes
+            .iter()
+            .filter(|o| o.verdict.flagged() && o.repeatable && o.on_path)
+            .count()
+    }
+
+    /// Table I: of the found strategies, hitseqwindow volume artefacts.
+    pub fn false_positive_count(&self) -> usize {
+        self.outcomes
+            .iter()
+            .filter(|o| o.verdict.flagged() && o.repeatable && !o.on_path && o.false_positive)
+            .count()
+    }
+
+    /// Table I: true attack strategies.
+    pub fn true_attack_strategies(&self) -> usize {
+        self.outcomes.iter().filter(|o| o.is_true_attack()).count()
+    }
+
+    /// Table I: unique true attacks after clustering.
+    pub fn true_attacks(&self) -> usize {
+        self.findings.len()
+    }
+
+    /// Exports every strategy outcome as tab-separated values (one row per
+    /// strategy) for offline analysis — the controller-side log the
+    /// paper's authors worked from when separating on-path strategies and
+    /// false positives by hand.
+    pub fn export_outcomes_tsv(&self) -> String {
+        let mut out = String::from(
+            "id	strategy	flagged	repeatable	on_path	false_positive	true_attack	effects	target_bytes	competing_bytes	leaked_sockets
+",
+        );
+        for o in &self.outcomes {
+            out.push_str(&format!(
+                "{}	{}	{}	{}	{}	{}	{}	{}	{}	{}	{}
+",
+                o.strategy.id,
+                o.strategy.describe(),
+                o.verdict.flagged(),
+                o.repeatable,
+                o.on_path,
+                o.false_positive,
+                o.is_true_attack(),
+                o.verdict.labels().join(","),
+                o.metrics.target_bytes,
+                o.metrics.competing_bytes,
+                o.metrics.leaked_sockets,
+            ));
+        }
+        out
+    }
+
+    /// Renders this campaign as one Table I row.
+    pub fn table_row(&self) -> String {
+        format!(
+            "| {:<5} | {:<13} | {:>16} | {:>23} | {:>15} | {:>15} | {:>22} | {:>12} |",
+            self.protocol,
+            self.implementation,
+            self.strategies_tried(),
+            self.attack_strategies_found(),
+            self.on_path_count(),
+            self.false_positive_count(),
+            self.true_attack_strategies(),
+            self.true_attacks()
+        )
+    }
+}
+
+impl Campaign {
+    /// Runs a full campaign: baseline, iterative strategy generation,
+    /// parallel execution, verdicts, re-tests, false-positive controls,
+    /// classification, clustering.
+    pub fn run(config: CampaignConfig) -> CampaignResult {
+        let spec = config.scenario.clone();
+        let baseline = Executor::run(&spec, None);
+        // The repeatability re-test compares a different-seed attack run
+        // against the matching different-seed baseline.
+        let retest_spec = ScenarioSpec { seed: spec.seed.wrapping_add(1), ..spec.clone() };
+        let retest_baseline = if config.retest { Some(Executor::run(&retest_spec, None)) } else { None };
+
+        let mut next_id = 0u64;
+        let mut seen = BTreeSet::new();
+        let mut outcomes: Vec<StrategyOutcome> = Vec::new();
+        let mut reports = vec![baseline.proxy.clone()];
+        let shared = Arc::new((spec.clone(), retest_spec, baseline.clone(), retest_baseline, config.clone()));
+
+        for _round in 0..config.feedback_rounds.max(1) {
+            let refs: Vec<&snake_proxy::ProxyReport> = reports.iter().collect();
+            let mut fresh = generate_strategies(
+                &spec.protocol,
+                &refs,
+                &config.params,
+                &mut next_id,
+                &mut seen,
+            );
+            if let Some(cap) = config.max_strategies {
+                let room = cap.saturating_sub(outcomes.len());
+                fresh.truncate(room);
+            }
+            if fresh.is_empty() {
+                break;
+            }
+            let round_outcomes = run_batch(&shared, fresh, config.parallelism);
+            for o in &round_outcomes {
+                // Feedback: states/types newly exposed under attack seed
+                // the next round. Only well-behaved runs contribute.
+                reports.push(o.metrics.proxy.clone());
+            }
+            outcomes.extend(round_outcomes);
+            if let Some(cap) = config.max_strategies {
+                if outcomes.len() >= cap {
+                    break;
+                }
+            }
+        }
+
+        // Classify and cluster the true attack strategies.
+        let classified: Vec<_> = outcomes
+            .iter()
+            .filter(|o| o.is_true_attack())
+            .map(|o| {
+                let attack = classify(&spec.protocol, &o.strategy, &o.verdict, &o.metrics);
+                (o.strategy.clone(), o.verdict, attack)
+            })
+            .collect();
+        let findings = cluster_attacks(&classified);
+
+        CampaignResult {
+            protocol: spec.protocol.protocol_name().to_owned(),
+            implementation: spec.protocol.implementation_name().to_owned(),
+            baseline,
+            outcomes,
+            findings,
+        }
+    }
+}
+
+type Shared = Arc<(
+    ScenarioSpec,
+    ScenarioSpec,
+    TestMetrics,
+    Option<TestMetrics>,
+    CampaignConfig,
+)>;
+
+/// Executes one strategy end to end: attack run, verdict, repeatability
+/// re-test, and (for flagged hitseqwindow strategies) the inert-volume
+/// false-positive control.
+fn evaluate(shared: &Shared, strategy: Strategy) -> StrategyOutcome {
+    let (spec, retest_spec, baseline, retest_baseline, config) = &**shared;
+    let metrics = Executor::run(spec, Some(strategy.clone()));
+    let verdict = detect(baseline, &metrics, config.threshold);
+
+    let mut repeatable = true;
+    if verdict.flagged() {
+        if let Some(base2) = retest_baseline {
+            let again = Executor::run(retest_spec, Some(strategy.clone()));
+            repeatable = detect(base2, &again, config.threshold).flagged();
+        }
+    }
+
+    let mut false_positive = false;
+    if verdict.flagged() && repeatable {
+        if let StrategyKind::OnState { endpoint, state, attack: InjectionAttack::HitSeqWindow {
+            packet_type, direction, stride, count, rate_pps, inert: false } } = &strategy.kind
+        {
+            // Control run: identical volume aimed at a dead port. If the
+            // impact persists, it came from the packet volume, not from
+            // hitting the sequence window.
+            let control = Strategy {
+                id: strategy.id,
+                kind: StrategyKind::OnState {
+                    endpoint: *endpoint,
+                    state: state.clone(),
+                    attack: InjectionAttack::HitSeqWindow {
+                        packet_type: packet_type.clone(),
+                        direction: *direction,
+                        stride: *stride,
+                        count: *count,
+                        rate_pps: *rate_pps,
+                        inert: true,
+                    },
+                },
+            };
+            let control_metrics = Executor::run(spec, Some(control));
+            let control_verdict = detect(baseline, &control_metrics, config.threshold);
+            false_positive = control_verdict.flagged();
+        }
+    }
+
+    StrategyOutcome {
+        on_path: is_on_path(&strategy) || is_self_denial(&strategy, &verdict),
+        strategy,
+        verdict,
+        metrics,
+        repeatable,
+        false_positive,
+    }
+}
+
+/// Runs a batch of strategies across `parallelism` worker threads — the
+/// paper's pool of executors with linear speedup (§V-D).
+fn run_batch(shared: &Shared, strategies: Vec<Strategy>, parallelism: usize) -> Vec<StrategyOutcome> {
+    let n = strategies.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = parallelism.clamp(1, n);
+    if workers == 1 {
+        return strategies.into_iter().map(|s| evaluate(shared, s)).collect();
+    }
+    let (job_tx, job_rx) = channel::unbounded::<(usize, Strategy)>();
+    let (res_tx, res_rx) = channel::unbounded::<(usize, StrategyOutcome)>();
+    for (i, s) in strategies.into_iter().enumerate() {
+        job_tx.send((i, s)).expect("queue open");
+    }
+    drop(job_tx);
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let job_rx = job_rx.clone();
+            let res_tx = res_tx.clone();
+            let shared = Arc::clone(shared);
+            scope.spawn(move || {
+                while let Ok((i, strategy)) = job_rx.recv() {
+                    let outcome = evaluate(&shared, strategy);
+                    if res_tx.send((i, outcome)).is_err() {
+                        break;
+                    }
+                }
+            });
+        }
+        drop(res_tx);
+        let mut slots: Vec<Option<StrategyOutcome>> = (0..n).map(|_| None).collect();
+        while let Ok((i, outcome)) = res_rx.recv() {
+            slots[i] = Some(outcome);
+        }
+        slots.into_iter().map(|o| o.expect("every job produced a result")).collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::ProtocolKind;
+    use snake_tcp::Profile;
+
+    #[test]
+    fn tiny_campaign_runs_end_to_end() {
+        let spec = ScenarioSpec::quick(ProtocolKind::Tcp(Profile::linux_3_13()));
+        let config = CampaignConfig {
+            max_strategies: Some(12),
+            parallelism: 4,
+            feedback_rounds: 1,
+            retest: false,
+            ..CampaignConfig::new(spec)
+        };
+        let result = Campaign::run(config);
+        assert_eq!(result.strategies_tried(), 12);
+        assert_eq!(result.protocol, "TCP");
+        assert!(result.baseline.target_bytes > 0);
+        // Bookkeeping invariants.
+        assert!(result.attack_strategies_found() >= result.true_attack_strategies());
+        let row = result.table_row();
+        assert!(row.contains("Linux 3.13"));
+    }
+
+    #[test]
+    fn tsv_export_has_one_row_per_outcome() {
+        let spec = ScenarioSpec::quick(ProtocolKind::Tcp(Profile::linux_3_13()));
+        let config = CampaignConfig {
+            max_strategies: Some(6),
+            parallelism: 2,
+            feedback_rounds: 1,
+            retest: false,
+            ..CampaignConfig::new(spec)
+        };
+        let result = Campaign::run(config);
+        let tsv = result.export_outcomes_tsv();
+        assert_eq!(tsv.lines().count(), 1 + 6, "header + one row per strategy");
+        assert!(tsv.starts_with("id\tstrategy"));
+        assert!(tsv.contains("drop=100%"));
+    }
+
+    #[test]
+    fn parallel_and_serial_agree() {
+        let spec = ScenarioSpec::quick(ProtocolKind::Tcp(Profile::linux_3_13()));
+        let base = CampaignConfig {
+            max_strategies: Some(8),
+            feedback_rounds: 1,
+            retest: false,
+            ..CampaignConfig::new(spec)
+        };
+        let serial = Campaign::run(CampaignConfig { parallelism: 1, ..base.clone() });
+        let parallel = Campaign::run(CampaignConfig { parallelism: 4, ..base });
+        let v1: Vec<_> = serial.outcomes.iter().map(|o| (o.strategy.id, o.verdict)).collect();
+        let v2: Vec<_> = parallel.outcomes.iter().map(|o| (o.strategy.id, o.verdict)).collect();
+        assert_eq!(v1, v2, "parallelism must not change results");
+    }
+}

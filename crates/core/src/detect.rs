@@ -1,0 +1,145 @@
+use serde::{Deserialize, Serialize};
+
+use crate::scenario::TestMetrics;
+
+/// The paper's detection threshold: "an increase or decrease in achieved
+/// throughput of at least 50% compared to the non-attack case" (§VI),
+/// grounded in the factor-of-two fairness notion of TFRC.
+pub const DEFAULT_THRESHOLD: f64 = 0.5;
+
+/// What an attempted strategy did to the connection, relative to the
+/// baseline run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Verdict {
+    /// The target connection transferred no data at all — a
+    /// connection-establishment attack.
+    pub establishment_prevented: bool,
+    /// Target throughput fell below `(1 - threshold) ×` baseline.
+    pub throughput_degradation: bool,
+    /// Target throughput rose above `(1 + threshold) ×` baseline — a
+    /// fairness attack (the gain comes out of the competing flow).
+    pub throughput_gain: bool,
+    /// The competing connection fell below `(1 - threshold) ×` its
+    /// baseline.
+    pub competing_degradation: bool,
+    /// Server sockets were not released after the test — a resource
+    /// exhaustion candidate.
+    pub socket_leak: bool,
+}
+
+impl Verdict {
+    /// Whether the strategy is flagged as a candidate attack.
+    pub fn flagged(&self) -> bool {
+        self.establishment_prevented
+            || self.throughput_degradation
+            || self.throughput_gain
+            || self.competing_degradation
+            || self.socket_leak
+    }
+
+    /// Short labels for reports.
+    pub fn labels(&self) -> Vec<&'static str> {
+        let mut v = Vec::new();
+        if self.establishment_prevented {
+            v.push("no-connection");
+        }
+        if self.throughput_degradation {
+            v.push("degradation");
+        }
+        if self.throughput_gain {
+            v.push("gain");
+        }
+        if self.competing_degradation {
+            v.push("competing-degradation");
+        }
+        if self.socket_leak {
+            v.push("socket-leak");
+        }
+        v
+    }
+}
+
+/// Compares a strategy run against the baseline run (paper §V-A: "the
+/// controller ... compares the received metrics observed after the tested
+/// attack with the metrics observed in a non-attack test run").
+pub fn detect(baseline: &TestMetrics, attacked: &TestMetrics, threshold: f64) -> Verdict {
+    let lo = 1.0 - threshold;
+    let hi = 1.0 + threshold;
+    let base_t = baseline.target_bytes.max(1) as f64;
+    let base_c = baseline.competing_bytes.max(1) as f64;
+    let t = attacked.target_bytes as f64;
+    let c = attacked.competing_bytes as f64;
+
+    Verdict {
+        establishment_prevented: attacked.target_bytes == 0 && baseline.target_bytes > 0,
+        throughput_degradation: attacked.target_bytes > 0 && t < base_t * lo,
+        throughput_gain: t > base_t * hi,
+        competing_degradation: c < base_c * lo,
+        socket_leak: attacked.leaked_sockets > baseline.leaked_sockets,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snake_proxy::ProxyReport;
+
+    fn metrics(target: u64, competing: u64, leaked: usize) -> TestMetrics {
+        TestMetrics {
+            target_bytes: target,
+            competing_bytes: competing,
+            leaked_sockets: leaked,
+            leaked_close_wait: 0,
+            leaked_with_queue: 0,
+            proxy: ProxyReport::default(),
+        }
+    }
+
+    #[test]
+    fn no_change_is_clean() {
+        let base = metrics(10_000_000, 10_000_000, 0);
+        let v = detect(&base, &base.clone(), DEFAULT_THRESHOLD);
+        assert!(!v.flagged());
+    }
+
+    #[test]
+    fn small_changes_stay_below_threshold() {
+        let base = metrics(10_000_000, 10_000_000, 0);
+        let v = detect(&base, &metrics(7_000_000, 12_000_000, 0), DEFAULT_THRESHOLD);
+        assert!(!v.flagged(), "30% dip is within the factor-of-two fairness band");
+    }
+
+    #[test]
+    fn degradation_detected() {
+        let base = metrics(10_000_000, 10_000_000, 0);
+        let v = detect(&base, &metrics(2_000_000, 14_000_000, 0), DEFAULT_THRESHOLD);
+        assert!(v.throughput_degradation);
+        assert!(!v.establishment_prevented);
+        assert!(v.flagged());
+    }
+
+    #[test]
+    fn gain_detected() {
+        let base = metrics(10_000_000, 10_000_000, 0);
+        let v = detect(&base, &metrics(16_000_000, 4_000_000, 0), DEFAULT_THRESHOLD);
+        assert!(v.throughput_gain);
+        assert!(v.competing_degradation);
+    }
+
+    #[test]
+    fn zero_data_is_establishment_prevention() {
+        let base = metrics(10_000_000, 10_000_000, 0);
+        let v = detect(&base, &metrics(0, 10_000_000, 0), DEFAULT_THRESHOLD);
+        assert!(v.establishment_prevented);
+        assert!(!v.throughput_degradation, "zero data is its own category");
+    }
+
+    #[test]
+    fn socket_leak_detected() {
+        let base = metrics(10_000_000, 10_000_000, 0);
+        let v = detect(&base, &metrics(9_500_000, 10_000_000, 1), DEFAULT_THRESHOLD);
+        assert!(v.socket_leak);
+        assert!(v.flagged());
+        assert_eq!(v.labels(), vec!["socket-leak"]);
+    }
+}

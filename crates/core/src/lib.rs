@@ -1,0 +1,56 @@
+//! SNAKE: State-based Network AttacK Explorer.
+//!
+//! The paper's primary contribution: automated attack discovery on
+//! unmodified transport protocol implementations, using the protocol state
+//! machine to reduce the search space. This crate ties the substrates
+//! together into the controller/executor architecture of §V:
+//!
+//! * [`ScenarioSpec`] / [`Executor`] — one test run: the dumbbell topology,
+//!   four protocol hosts, the attack proxy on client 1's access link, a
+//!   scripted workload (bulk download, end-of-test abort), and metric
+//!   collection (per-connection throughput plus the server socket census).
+//! * [`generate_strategies`] — strategy generation from the packet-format
+//!   spec × the `(state, packet type)` pairs observed by the state tracker
+//!   (§IV-C), iteratively extended as attack runs expose new states.
+//! * [`detect`] — attack detection against the no-attack baseline: ±50 %
+//!   throughput change, zero-data establishment failure, or leaked server
+//!   sockets (§V-A).
+//! * [`Controller`] / [`Campaign`] — the parallel search loop with
+//!   repeatability re-testing, hitseqwindow false-positive checking, and
+//!   on-path classification (§VI), producing the rows of Table I.
+//! * [`cluster_attacks`] — grouping true attack strategies into the named,
+//!   unique attacks of Table II.
+//! * [`search`] — the §VI-C comparison against the send-packet-based and
+//!   time-interval-based injection models.
+//!
+//! # Examples
+//!
+//! A miniature campaign (a few strategies) against Linux 3.13 TCP:
+//!
+//! ```no_run
+//! use snake_core::{Campaign, CampaignConfig, ProtocolKind, ScenarioSpec};
+//! use snake_tcp::Profile;
+//!
+//! let spec = ScenarioSpec::evaluation(ProtocolKind::Tcp(Profile::linux_3_13()));
+//! let config = CampaignConfig { max_strategies: Some(25), ..CampaignConfig::new(spec) };
+//! let result = Campaign::run(config);
+//! println!("{}", result.table_row());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+mod attacks;
+mod campaign;
+mod detect;
+mod report;
+mod scenario;
+pub mod search;
+mod strategen;
+
+pub use attacks::{classify, cluster_attacks, AttackFinding, KnownAttack};
+pub use campaign::{Campaign, CampaignConfig, CampaignResult, Controller, StrategyOutcome};
+pub use detect::{detect, Verdict, DEFAULT_THRESHOLD};
+pub use report::{render_table1, render_table2};
+pub use scenario::{Executor, ProtocolKind, ScenarioSpec, TestMetrics};
+pub use strategen::{generate_strategies, is_on_path, is_self_denial, GenerationParams};

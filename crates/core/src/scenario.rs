@@ -1,0 +1,296 @@
+use serde::{Deserialize, Serialize};
+use snake_dccp::{DccpHost, DccpProfile, DccpServerApp};
+use snake_netsim::{Addr, Dumbbell, DumbbellSpec, SimTime, Simulator};
+use snake_proxy::{AttackProxy, DccpAdapter, ProxyConfig, ProxyReport, Strategy, TcpAdapter};
+use snake_tcp::{Profile, ServerApp, TcpHost};
+
+/// The protocol and implementation under test in a scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProtocolKind {
+    /// TCP with the given implementation profile.
+    Tcp(Profile),
+    /// DCCP with the given implementation profile.
+    Dccp(DccpProfile),
+}
+
+impl ProtocolKind {
+    /// The implementation's display name (Table I's "Implementation").
+    pub fn implementation_name(&self) -> &str {
+        match self {
+            ProtocolKind::Tcp(p) => &p.name,
+            ProtocolKind::Dccp(p) => &p.name,
+        }
+    }
+
+    /// The protocol's display name (Table I's "Protocol").
+    pub fn protocol_name(&self) -> &'static str {
+        match self {
+            ProtocolKind::Tcp(_) => "TCP",
+            ProtocolKind::Dccp(_) => "DCCP",
+        }
+    }
+
+    /// The well-known service port the servers listen on.
+    pub fn service_port(&self) -> u16 {
+        match self {
+            ProtocolKind::Tcp(_) => 80,
+            ProtocolKind::Dccp(_) => 5_001,
+        }
+    }
+}
+
+/// One test scenario: everything an executor needs to run a strategy (or
+/// the baseline) and measure the outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioSpec {
+    /// Protocol and implementation under test (all four hosts run it).
+    pub protocol: ProtocolKind,
+    /// Network parameters.
+    pub dumbbell: DumbbellSpec,
+    /// Length of the data-transfer phase.
+    pub data_secs: u64,
+    /// Observation window after the test ends (clients killed / servers
+    /// stopped) before the socket census — the paper's post-test `netstat`.
+    pub grace_secs: u64,
+    /// Simulation seed. Identical seeds give identical runs.
+    pub seed: u64,
+    /// Number of connections the target client opens (staggered 100 ms
+    /// apart). The evaluation uses 1; the resource-exhaustion scaling
+    /// experiment raises it to show leaked sockets accumulating per
+    /// connection — the paper's "an attacker can easily initiate hundreds
+    /// of thousands of such connections" (§VI-A.1), scaled to simulation.
+    pub target_connections: usize,
+}
+
+impl ScenarioSpec {
+    /// The configuration used for the evaluation: 20 simulated seconds of
+    /// data transfer and a 40-second post-test observation window on the
+    /// default dumbbell. The window is long enough for a Windows stack's
+    /// five-retry give-up (with exponential backoff, ≈30 s) to free its
+    /// sockets — only genuinely wedged connections count as leaks.
+    pub fn evaluation(protocol: ProtocolKind) -> ScenarioSpec {
+        ScenarioSpec {
+            protocol,
+            dumbbell: DumbbellSpec::evaluation_default(),
+            data_secs: 20,
+            grace_secs: 40,
+            seed: 7,
+            target_connections: 1,
+        }
+    }
+
+    /// A reduced configuration for tests: 6 s of data, 35 s of grace.
+    pub fn quick(protocol: ProtocolKind) -> ScenarioSpec {
+        ScenarioSpec { data_secs: 6, grace_secs: 35, ..ScenarioSpec::evaluation(protocol) }
+    }
+}
+
+/// Everything an executor measures in one run and reports to the
+/// controller (paper §V-A).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TestMetrics {
+    /// Bytes the target (proxied) connection delivered to its application
+    /// during the data phase.
+    pub target_bytes: u64,
+    /// Bytes the competing (unproxied) connection delivered.
+    pub competing_bytes: u64,
+    /// Server-1 sockets not released by the end of the grace period.
+    pub leaked_sockets: usize,
+    /// Of those, sockets stuck in CLOSE_WAIT (TCP) — the census detail
+    /// behind the CLOSE_WAIT exhaustion attack.
+    pub leaked_close_wait: usize,
+    /// Server-1 sockets stuck with data still queued (DCCP OPEN/CLOSING).
+    pub leaked_with_queue: usize,
+    /// The attack proxy's observation report.
+    pub proxy: ProxyReport,
+}
+
+/// Runs scenarios: the paper's *executor*, which "initializes the virtual
+/// machines from snapshots, starts the network emulator, configures the
+/// attack proxy, and starts the test" — here, deterministically in-process.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Executor;
+
+impl Executor {
+    /// Runs one scenario under `strategy` (or the baseline when `None`)
+    /// and collects the metrics.
+    pub fn run(spec: &ScenarioSpec, strategy: Option<Strategy>) -> TestMetrics {
+        Executor::run_combination(spec, strategy.into_iter().collect())
+    }
+
+    /// Runs one scenario with several strategies active at once — a
+    /// *combination strategy*, the extension the paper sketches at the end
+    /// of §IV-C ("strategies consisting of sequences of actions").
+    pub fn run_combination(spec: &ScenarioSpec, rules: Vec<Strategy>) -> TestMetrics {
+        match &spec.protocol {
+            ProtocolKind::Tcp(profile) => run_tcp(spec, profile.clone(), rules),
+            ProtocolKind::Dccp(profile) => run_dccp(spec, profile.clone(), rules),
+        }
+    }
+}
+
+fn proxy_config(d: &Dumbbell, spec: &ScenarioSpec) -> ProxyConfig {
+    ProxyConfig {
+        client_node: d.client1,
+        // Dumbbell::build adds the proxy link as (client1, router1).
+        client_is_a: true,
+        server: Addr::new(d.server1, spec.protocol.service_port()),
+        client_port_guess: 40_000,
+        seed: spec.seed ^ 0x5A5A,
+    }
+}
+
+fn run_tcp(spec: &ScenarioSpec, profile: Profile, rules: Vec<Strategy>) -> TestMetrics {
+    let mut sim = Simulator::new(spec.seed);
+    let d = Dumbbell::build(&mut sim, spec.dumbbell);
+    let port = spec.protocol.service_port();
+
+    for server in [d.server1, d.server2] {
+        let mut host = TcpHost::new(profile.clone());
+        host.listen(port, ServerApp::bulk_sender(u64::MAX));
+        sim.set_agent(server, host);
+    }
+    {
+        let mut host = TcpHost::new(profile.clone());
+        for i in 0..spec.target_connections.max(1) {
+            host.connect_at(SimTime::from_millis(100 * i as u64), Addr::new(d.server1, port));
+        }
+        sim.set_agent(d.client1, host);
+        let mut competing = TcpHost::new(profile.clone());
+        competing.connect_at(SimTime::ZERO, Addr::new(d.server2, port));
+        sim.set_agent(d.client2, competing);
+    }
+    sim.attach_tap(d.proxy_link, AttackProxy::with_rules(TcpAdapter, proxy_config(&d, spec), rules));
+
+    let data_end = SimTime::from_secs(spec.data_secs);
+    sim.run_until(data_end);
+    let target_bytes = sim.agent::<TcpHost>(d.client1).expect("host").total_delivered();
+    let competing_bytes = sim.agent::<TcpHost>(d.client2).expect("host").total_delivered();
+
+    // The test ends: the client processes are killed mid-download.
+    for client in [d.client1, d.client2] {
+        sim.schedule_control(data_end, client, |agent, ctx| {
+            let any: &mut dyn std::any::Any = agent;
+            any.downcast_mut::<TcpHost>().expect("tcp host").abort_all(ctx);
+        });
+    }
+    sim.run_until(SimTime::from_secs(spec.data_secs + spec.grace_secs));
+
+    let census = sim.agent::<TcpHost>(d.server1).expect("host").census();
+    let proxy = sim.tap::<AttackProxy>(d.proxy_link).expect("proxy").report().clone();
+    TestMetrics {
+        target_bytes,
+        competing_bytes,
+        leaked_sockets: census.leaked(),
+        leaked_close_wait: census.count("CLOSE_WAIT"),
+        leaked_with_queue: 0,
+        proxy,
+    }
+}
+
+fn run_dccp(spec: &ScenarioSpec, profile: DccpProfile, rules: Vec<Strategy>) -> TestMetrics {
+    let mut sim = Simulator::new(spec.seed);
+    let d = Dumbbell::build(&mut sim, spec.dumbbell);
+    let port = spec.protocol.service_port();
+
+    for server in [d.server1, d.server2] {
+        let mut host = DccpHost::new(profile.clone());
+        host.listen(port, DccpServerApp::bulk_sender(u64::MAX));
+        sim.set_agent(server, host);
+    }
+    {
+        let mut host = DccpHost::new(profile.clone());
+        for i in 0..spec.target_connections.max(1) {
+            host.connect_at(SimTime::from_millis(100 * i as u64), Addr::new(d.server1, port));
+        }
+        sim.set_agent(d.client1, host);
+        let mut competing = DccpHost::new(profile.clone());
+        competing.connect_at(SimTime::ZERO, Addr::new(d.server2, port));
+        sim.set_agent(d.client2, competing);
+    }
+    sim.attach_tap(d.proxy_link, AttackProxy::with_rules(DccpAdapter, proxy_config(&d, spec), rules));
+
+    let data_end = SimTime::from_secs(spec.data_secs);
+    sim.run_until(data_end);
+    let target_bytes = sim.agent::<DccpHost>(d.client1).expect("host").total_goodput();
+    let competing_bytes = sim.agent::<DccpHost>(d.client2).expect("host").total_goodput();
+
+    // The test ends: iperf stops, the sending applications close.
+    for server in [d.server1, d.server2] {
+        sim.schedule_control(data_end, server, |agent, ctx| {
+            let any: &mut dyn std::any::Any = agent;
+            any.downcast_mut::<DccpHost>().expect("dccp host").close_all(ctx);
+        });
+    }
+    sim.run_until(SimTime::from_secs(spec.data_secs + spec.grace_secs));
+
+    let server = sim.agent::<DccpHost>(d.server1).expect("host");
+    let census = server.census();
+    let leaked_with_queue = server
+        .conn_metrics()
+        .iter()
+        .filter(|m| {
+            m.queue_len > 0
+                && !matches!(m.state.name(), "CLOSED" | "LISTEN" | "TIMEWAIT")
+        })
+        .count();
+    let proxy = sim.tap::<AttackProxy>(d.proxy_link).expect("proxy").report().clone();
+    TestMetrics {
+        target_bytes,
+        competing_bytes,
+        leaked_sockets: census.leaked(),
+        leaked_close_wait: 0,
+        leaked_with_queue,
+        proxy,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tcp_baseline_is_clean_and_fair() {
+        let spec = ScenarioSpec::quick(ProtocolKind::Tcp(Profile::linux_3_13()));
+        let m = Executor::run(&spec, None);
+        assert!(m.target_bytes > 1_000_000, "{m:?}");
+        assert!(m.competing_bytes > 1_000_000);
+        let ratio = m.target_bytes.max(m.competing_bytes) as f64
+            / m.target_bytes.min(m.competing_bytes) as f64;
+        assert!(ratio < 2.0, "baseline unfair: {ratio}");
+        assert_eq!(m.leaked_sockets, 0, "{m:?}");
+        assert!(m.proxy.packets_seen > 500);
+    }
+
+    #[test]
+    fn dccp_baseline_is_clean_and_fair() {
+        let spec = ScenarioSpec::quick(ProtocolKind::Dccp(DccpProfile::linux_3_13()));
+        let m = Executor::run(&spec, None);
+        assert!(m.target_bytes > 1_000_000, "{m:?}");
+        let ratio = m.target_bytes.max(m.competing_bytes) as f64
+            / m.target_bytes.min(m.competing_bytes) as f64;
+        assert!(ratio < 2.0, "baseline unfair: {ratio}");
+        assert_eq!(m.leaked_sockets, 0, "{m:?}");
+    }
+
+    #[test]
+    fn identical_seeds_identical_metrics() {
+        let spec = ScenarioSpec::quick(ProtocolKind::Tcp(Profile::linux_3_0_0()));
+        let a = Executor::run(&spec, None);
+        let b = Executor::run(&spec, None);
+        assert_eq!(a, b, "executor must be deterministic");
+    }
+
+    #[test]
+    fn different_seed_changes_details_not_shape() {
+        let spec = ScenarioSpec::quick(ProtocolKind::Tcp(Profile::linux_3_13()));
+        let a = Executor::run(&spec, None);
+        let spec2 = ScenarioSpec { seed: 99, ..spec };
+        let b = Executor::run(&spec2, None);
+        assert!(b.target_bytes > 1_000_000);
+        // Shape holds: both clean, same order of magnitude.
+        assert_eq!(b.leaked_sockets, 0);
+        let ratio = a.target_bytes as f64 / b.target_bytes as f64;
+        assert!(ratio > 0.5 && ratio < 2.0, "{} vs {}", a.target_bytes, b.target_bytes);
+    }
+}

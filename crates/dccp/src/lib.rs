@@ -1,0 +1,60 @@
+//! A from-scratch DCCP engine (RFC 4340) with CCID-2 congestion control
+//! (RFC 4341).
+//!
+//! This crate is the reproduction's substitute for the Linux 3.13 DCCP
+//! implementation the paper tests. It implements, from the RFCs:
+//!
+//! * the DCCP connection lifecycle: REQUEST/RESPONSE handshake, PARTOPEN,
+//!   OPEN, and the CLOSE/RESET teardown handshake,
+//! * per-packet 48-bit sequence numbers where *every* packet — including
+//!   pure acknowledgments — increments the sequence number,
+//! * sequence-validity windows and the SYNC/SYNCACK resynchronisation
+//!   handshake used to recover when endpoints fall out of sync,
+//! * CCID-2 TCP-like congestion control: a packet-counted congestion
+//!   window, slow start / congestion avoidance, loss inference from
+//!   acknowledgments, and a transmit timeout that falls back to one packet
+//!   per backed-off RTO (DCCP never retransmits data),
+//! * the bounded application send queue (`tx_qlen`, default 10 packets)
+//!   that a closing socket must drain before it may send CLOSE — the
+//!   precondition of the Acknowledgment-Mung resource-exhaustion attack
+//!   (paper §VI-B.1), and
+//! * the RFC 4340 §8.5 REQUEST-state pseudocode that checks the packet
+//!   *type* before the sequence numbers — the root cause of the
+//!   REQUEST-Connection-Termination attack (paper §VI-B.3).
+//!
+//! # Examples
+//!
+//! ```
+//! use snake_netsim::{Dumbbell, DumbbellSpec, SimTime, Simulator};
+//! use snake_dccp::{DccpHost, DccpProfile, DccpServerApp};
+//!
+//! let mut sim = Simulator::new(1);
+//! let d = Dumbbell::build(&mut sim, DumbbellSpec::evaluation_default());
+//! let mut server = DccpHost::new(DccpProfile::linux_3_13());
+//! server.listen(5001, DccpServerApp::bulk_sender(u64::MAX));
+//! sim.set_agent(d.server1, server);
+//!
+//! let mut client = DccpHost::new(DccpProfile::linux_3_13());
+//! client.connect_at(SimTime::ZERO, snake_netsim::Addr::new(d.server1, 5001));
+//! sim.set_agent(d.client1, client);
+//!
+//! sim.run_until(SimTime::from_secs(5));
+//! let host = sim.agent::<DccpHost>(d.client1).unwrap();
+//! assert!(host.total_goodput() > 1_000_000, "several Mbit in 5 s");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+mod conn;
+mod host;
+mod profile;
+pub mod seq48;
+
+pub use conn::{DccpConnEvent, DccpConnection, DccpSeg, DccpState};
+pub use host::{DccpConnMetrics, DccpHost, DccpServerApp, DccpSocketCensus};
+pub use profile::DccpProfile;
+
+/// Application payload bytes carried per DCCP data packet in the
+/// evaluation workload.
+pub const PACKET_PAYLOAD: u32 = 1_420;

@@ -1,0 +1,93 @@
+use serde::{Deserialize, Serialize};
+use snake_netsim::SimDuration;
+
+/// Behavioural parameters of a DCCP implementation.
+///
+/// The paper evaluates one implementation (Linux 3.13); the profile type
+/// exists so ablation benches can flip individual behaviours — notably the
+/// RFC-pseudocode type-before-sequence check in REQUEST that enables the
+/// REQUEST-Connection-Termination attack.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DccpProfile {
+    /// Display name, as it appears in the paper's tables.
+    pub name: String,
+    /// Initial congestion window in packets (RFC 4341 §5: roughly 2–4).
+    pub initial_cwnd_packets: u32,
+    /// Sequence window feature value `W` (RFC 4340 §7.5.1; default 100).
+    pub seq_window: u64,
+    /// Ack ratio: the receiver acknowledges every `ack_ratio`-th data
+    /// packet (RFC 4341 §6.1; default 2).
+    pub ack_ratio: u32,
+    /// Application send-queue depth in packets (`tx_qlen`; Linux default
+    /// 10). A closing socket must drain this queue before sending CLOSE.
+    pub tx_qlen: usize,
+    /// Lower bound on the transmit timeout.
+    pub min_rto: SimDuration,
+    /// Upper bound on the transmit timeout.
+    pub max_rto: SimDuration,
+    /// REQUEST retransmission limit before the client gives up.
+    pub request_retries: u32,
+    /// CLOSE/CLOSEREQ retransmission limit before force-closing.
+    pub close_retries: u32,
+    /// Process the packet-type check in REQUEST state *before* validating
+    /// sequence numbers, as both the RFC 4340 §8.5 pseudocode and Linux
+    /// 3.13 do. Any non-RESPONSE packet with arbitrary sequence numbers
+    /// then resets the connection (paper §VI-B.3). Flipping this to
+    /// `false` is the fixed behaviour the ablation bench measures.
+    pub type_check_before_seq: bool,
+    /// How long a socket lingers in TIMEWAIT.
+    pub time_wait: SimDuration,
+}
+
+impl DccpProfile {
+    /// The Linux kernel 3.13 DCCP implementation with CCID-2.
+    pub fn linux_3_13() -> DccpProfile {
+        DccpProfile {
+            name: "Linux 3.13 (DCCP)".to_owned(),
+            initial_cwnd_packets: 3,
+            seq_window: 100,
+            ack_ratio: 2,
+            tx_qlen: 10,
+            min_rto: SimDuration::from_millis(200),
+            max_rto: SimDuration::from_secs(60),
+            request_retries: 5,
+            close_retries: 8,
+            type_check_before_seq: true,
+            time_wait: SimDuration::from_secs(60),
+        }
+    }
+
+    /// A hypothetical fixed implementation that validates sequence numbers
+    /// before the REQUEST-state type check (the mitigation for the
+    /// REQUEST-Connection-Termination attack).
+    pub fn linux_3_13_seqcheck_fixed() -> DccpProfile {
+        DccpProfile {
+            name: "Linux 3.13 (DCCP, seq-check-first)".to_owned(),
+            type_check_before_seq: false,
+            ..DccpProfile::linux_3_13()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linux_matches_documented_defaults() {
+        let p = DccpProfile::linux_3_13();
+        assert_eq!(p.tx_qlen, 10, "paper: send queue defaults to 10 packets");
+        assert_eq!(p.seq_window, 100);
+        assert_eq!(p.ack_ratio, 2);
+        assert!(p.type_check_before_seq);
+    }
+
+    #[test]
+    fn fixed_variant_flips_only_the_check() {
+        let a = DccpProfile::linux_3_13();
+        let b = DccpProfile::linux_3_13_seqcheck_fixed();
+        assert!(!b.type_check_before_seq);
+        assert_eq!(a.tx_qlen, b.tx_qlen);
+        assert_eq!(a.seq_window, b.seq_window);
+    }
+}

@@ -1,0 +1,100 @@
+//! Circular 48-bit sequence number arithmetic (RFC 4340 §7.1).
+//!
+//! DCCP sequence numbers occupy a 48-bit space and every comparison is
+//! circular. The attack proxy mutates sequence and acknowledgment fields to
+//! arbitrary 48-bit values, so the engine must stay correct at the wrap.
+
+/// The 48-bit modulus.
+pub const MOD: u64 = 1 << 48;
+
+/// Mask to 48 bits.
+#[inline]
+pub fn mask(v: u64) -> u64 {
+    v & (MOD - 1)
+}
+
+/// `a + b` mod 2^48.
+#[inline]
+pub fn add(a: u64, b: u64) -> u64 {
+    mask(a.wrapping_add(b))
+}
+
+/// `a - b` mod 2^48 (circular distance from `b` forward to `a`).
+#[inline]
+pub fn sub(a: u64, b: u64) -> u64 {
+    mask(a.wrapping_sub(b))
+}
+
+/// Circular `a < b`: true when the forward distance from `a` to `b` is
+/// less than half the space (RFC 4340's "circular arithmetic").
+#[inline]
+pub fn lt(a: u64, b: u64) -> bool {
+    a != b && sub(b, a) < MOD / 2
+}
+
+/// Circular `a <= b`.
+#[inline]
+pub fn le(a: u64, b: u64) -> bool {
+    a == b || lt(a, b)
+}
+
+/// Circular `a > b`.
+#[inline]
+pub fn gt(a: u64, b: u64) -> bool {
+    lt(b, a)
+}
+
+/// Circular `a >= b`.
+#[inline]
+pub fn ge(a: u64, b: u64) -> bool {
+    le(b, a)
+}
+
+/// Whether `x` lies in the circular closed interval `[lo, hi]`.
+#[inline]
+pub fn between(x: u64, lo: u64, hi: u64) -> bool {
+    sub(x, lo) <= sub(hi, lo)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_ordering() {
+        assert!(lt(1, 2));
+        assert!(gt(2, 1));
+        assert!(le(2, 2));
+        assert!(ge(5, 1));
+    }
+
+    #[test]
+    fn ordering_across_wrap() {
+        let top = MOD - 1;
+        assert!(lt(top, 0));
+        assert!(gt(3, top));
+        assert!(lt(top - 10, 5));
+    }
+
+    #[test]
+    fn arithmetic_wraps() {
+        assert_eq!(add(MOD - 1, 1), 0);
+        assert_eq!(sub(0, 1), MOD - 1);
+        assert_eq!(add(5, 10), 15);
+    }
+
+    #[test]
+    fn between_straddles_wrap() {
+        assert!(between(5, 0, 10));
+        assert!(!between(11, 0, 10));
+        assert!(between(2, MOD - 5, 10), "interval wrapping zero");
+        assert!(between(MOD - 3, MOD - 5, 10));
+        assert!(!between(MOD - 10, MOD - 5, 10));
+    }
+
+    #[test]
+    fn mask_truncates() {
+        assert_eq!(mask(u64::MAX), MOD - 1);
+        assert_eq!(mask(MOD), 0);
+    }
+}

@@ -1,0 +1,105 @@
+//! Property-based tests on DCCP's 48-bit circular arithmetic and the
+//! engine's tolerance of adversarial packets.
+
+use proptest::prelude::*;
+use snake_dccp::{seq48, DccpConnection, DccpProfile, DccpSeg};
+use snake_netsim::SimTime;
+use snake_packet::dccp::DccpPacketType;
+
+fn arb48() -> impl Strategy<Value = u64> {
+    (0u64..(1 << 48)).prop_map(|v| v)
+}
+
+proptest! {
+    /// Arithmetic stays inside the 48-bit space.
+    #[test]
+    fn arithmetic_closed(a in arb48(), b in arb48()) {
+        prop_assert!(seq48::add(a, b) < seq48::MOD);
+        prop_assert!(seq48::sub(a, b) < seq48::MOD);
+    }
+
+    /// add/sub are inverses.
+    #[test]
+    fn add_sub_inverse(a in arb48(), b in arb48()) {
+        prop_assert_eq!(seq48::sub(seq48::add(a, b), b), a);
+    }
+
+    /// Ordering is shift-invariant.
+    #[test]
+    fn ordering_shift_invariant(a in arb48(), b in arb48(), k in arb48()) {
+        prop_assert_eq!(seq48::lt(a, b), seq48::lt(seq48::add(a, k), seq48::add(b, k)));
+    }
+
+    /// `between` matches its arithmetic definition.
+    #[test]
+    fn between_definition(x in arb48(), lo in arb48(), hi in arb48()) {
+        let member = seq48::between(x, lo, hi);
+        prop_assert_eq!(member, seq48::sub(x, lo) <= seq48::sub(hi, lo));
+    }
+}
+
+fn open_pair(iss: u64) -> (DccpConnection, DccpConnection) {
+    let mut client = DccpConnection::client(DccpProfile::linux_3_13(), iss);
+    let mut server =
+        DccpConnection::server(DccpProfile::linux_3_13(), seq48::add(iss, 0x9999));
+    let mut out = Vec::new();
+    client.open(&mut out);
+    let req = tx(&out);
+    out.clear();
+    server.on_packet(req, SimTime::ZERO, &mut out);
+    let resp = tx(&out);
+    out.clear();
+    client.on_packet(resp, SimTime::ZERO, &mut out);
+    let ack = tx(&out);
+    out.clear();
+    server.on_packet(ack, SimTime::ZERO, &mut out);
+    (client, server)
+}
+
+fn tx(events: &[snake_dccp::DccpConnEvent]) -> DccpSeg {
+    events
+        .iter()
+        .find_map(|e| match e {
+            snake_dccp::DccpConnEvent::Transmit(s) => Some(*s),
+            _ => None,
+        })
+        .expect("transmit")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The handshake reaches OPEN on the server for any ISS, including
+    /// values that wrap mid-connection.
+    #[test]
+    fn handshake_for_any_iss(iss in arb48()) {
+        let (_client, server) = open_pair(iss);
+        prop_assert_eq!(server.state(), snake_dccp::DccpState::Open);
+    }
+
+    /// Arbitrary garbage packets never panic the engine, and far
+    /// out-of-window sequence numbers never advance GSR.
+    #[test]
+    fn engine_tolerates_arbitrary_packets(
+        pkts in prop::collection::vec((arb48(), arb48(), 0u8..10, 0u32..2_000, any::<u16>()), 1..50)
+    ) {
+        let (mut client, _server) = open_pair(1_000);
+        let w = 100; // the profile's sequence window
+        let mut out = Vec::new();
+        for (seq, ack, ty, len, echo) in pkts {
+            let ptype = DccpPacketType::from_code(ty).unwrap_or(DccpPacketType::Data);
+            let before = client.gsr();
+            let seg = DccpSeg { ptype, seq, ack, loss_echo: echo, payload_len: len };
+            client.on_packet(seg, SimTime::ZERO, &mut out);
+            out.clear();
+            if client.state() == snake_dccp::DccpState::Closed {
+                break;
+            }
+            // GSR only moves within the validity window of its previous
+            // value (or via Sync/SyncAck whose ack must be plausible).
+            let moved = seq48::sub(client.gsr(), before);
+            prop_assert!(moved <= 3 * w / 4 + 1 || ptype == DccpPacketType::SyncAck,
+                "gsr jumped by {} on {:?}", moved, ptype);
+        }
+    }
+}

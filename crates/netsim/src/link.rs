@@ -1,0 +1,246 @@
+use std::collections::VecDeque;
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::packet::Packet;
+use crate::time::{tx_delay, SimDuration, SimTime};
+
+/// Identifier of a duplex link between two nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct LinkId(pub(crate) usize);
+
+impl LinkId {
+    /// The raw index.
+    pub fn index(&self) -> usize {
+        self.0
+    }
+}
+
+/// Queue management discipline for a link direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Aqm {
+    /// Plain FIFO tail drop.
+    DropTail,
+    /// A gentle RED variant: once the queue passes a quarter of its
+    /// capacity, arrivals are dropped with probability ramping linearly to
+    /// 15% at full (where tail drop takes over anyway). Used on the
+    /// evaluation bottleneck to desynchronise competing flows, as RED does
+    /// on real routers.
+    Red,
+}
+
+/// Parameters of a duplex link: bandwidth, one-way propagation delay, and
+/// per-direction queue capacity in packets.
+///
+/// The finite queue is what turns over-subscription into loss, which is the
+/// congestion signal TCP New Reno and DCCP CCID-2 respond to; without it
+/// none of the congestion-control attacks would have anything to attack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LinkSpec {
+    /// Link rate in bits per second.
+    pub bandwidth_bps: u64,
+    /// One-way propagation delay.
+    pub delay: SimDuration,
+    /// Queue capacity in packets, per direction.
+    pub queue_packets: usize,
+    /// Queue management discipline.
+    pub aqm: Aqm,
+}
+
+impl LinkSpec {
+    /// Creates a tail-drop link spec.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bandwidth_bps` is zero or `queue_packets` is zero.
+    pub fn new(bandwidth_bps: u64, delay: SimDuration, queue_packets: usize) -> LinkSpec {
+        assert!(bandwidth_bps > 0, "link bandwidth must be positive");
+        assert!(queue_packets > 0, "link queue must hold at least one packet");
+        LinkSpec { bandwidth_bps, delay, queue_packets, aqm: Aqm::DropTail }
+    }
+
+    /// Switches the spec to RED queue management.
+    pub fn with_red(mut self) -> LinkSpec {
+        self.aqm = Aqm::Red;
+        self
+    }
+}
+
+/// Counters for one direction of a link.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChannelStats {
+    /// Packets accepted onto the queue.
+    pub enqueued: u64,
+    /// Packets dropped because the queue was full.
+    pub dropped: u64,
+    /// Packets fully transmitted.
+    pub transmitted: u64,
+    /// Bytes fully transmitted (wire lengths).
+    pub bytes: u64,
+}
+
+/// One direction of a duplex link: a FIFO tail-drop queue feeding a
+/// transmitter, followed by fixed propagation delay.
+#[derive(Debug)]
+pub(crate) struct Channel {
+    pub(crate) spec: LinkSpec,
+    queue: VecDeque<Packet>,
+    in_flight: Option<Packet>,
+    pub(crate) stats: ChannelStats,
+}
+
+impl Channel {
+    pub(crate) fn new(spec: LinkSpec) -> Channel {
+        Channel { spec, queue: VecDeque::new(), in_flight: None, stats: ChannelStats::default() }
+    }
+
+    /// Offers a packet to the channel. Returns the completion time of a
+    /// newly started transmission (the caller schedules the dequeue event),
+    /// or `None` if the packet was queued behind an in-flight one or
+    /// dropped.
+    pub(crate) fn enqueue(
+        &mut self,
+        packet: Packet,
+        now: SimTime,
+        rng: &mut SmallRng,
+    ) -> Option<SimTime> {
+        if self.in_flight.is_none() {
+            self.stats.enqueued += 1;
+            let done = now + self.tx_time(&packet);
+            self.in_flight = Some(packet);
+            return Some(done);
+        }
+        if self.queue.len() >= self.spec.queue_packets {
+            self.stats.dropped += 1;
+            return None;
+        }
+        if self.spec.aqm == Aqm::Red {
+            let min_th = self.spec.queue_packets / 4;
+            if self.queue.len() >= min_th {
+                let span = (self.spec.queue_packets - min_th).max(1) as f64;
+                let p = 0.15 * (self.queue.len() - min_th) as f64 / span;
+                if rng.gen::<f64>() < p {
+                    self.stats.dropped += 1;
+                    return None;
+                }
+            }
+        }
+        self.stats.enqueued += 1;
+        self.queue.push_back(packet);
+        None
+    }
+
+    /// Completes the in-flight transmission. Returns the transmitted packet
+    /// and, if another packet was waiting, the completion time of its
+    /// freshly started transmission.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called with no transmission in flight (a scheduling bug).
+    pub(crate) fn dequeue(&mut self, now: SimTime) -> (Packet, Option<SimTime>) {
+        let done = self.in_flight.take().expect("dequeue with no packet in flight");
+        self.stats.transmitted += 1;
+        self.stats.bytes += done.wire_len() as u64;
+        let next = self.queue.pop_front().map(|p| {
+            let t = now + self.tx_time(&p);
+            self.in_flight = Some(p);
+            t
+        });
+        (done, next)
+    }
+
+    /// Packets currently queued (not counting the one in flight).
+    #[cfg(test)]
+    pub(crate) fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    fn tx_time(&self, packet: &Packet) -> SimDuration {
+        tx_delay(packet.wire_len(), self.spec.bandwidth_bps)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::{Addr, Protocol};
+    use crate::sim::NodeId;
+
+    fn pkt(bytes: u32) -> Packet {
+        // wire_len = 20 overhead + bytes payload (empty header).
+        Packet::new(
+            Addr::new(NodeId::from_index(0), 1),
+            Addr::new(NodeId::from_index(1), 1),
+            Protocol::Other(0),
+            Vec::new(),
+            bytes,
+        )
+    }
+
+    fn chan() -> Channel {
+        // 8 Mbit/s => 1 byte per microsecond.
+        Channel::new(LinkSpec::new(8_000_000, SimDuration::from_millis(1), 2))
+    }
+
+    fn rng() -> SmallRng {
+        use rand::SeedableRng;
+        SmallRng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn idle_channel_transmits_immediately() {
+        let mut c = chan();
+        let done = c.enqueue(pkt(80), SimTime::ZERO, &mut rng());
+        // 100 wire bytes at 1 byte/µs = 100 µs.
+        assert_eq!(done, Some(SimTime::from_micros(100)));
+    }
+
+    #[test]
+    fn busy_channel_queues() {
+        let mut c = chan();
+        assert!(c.enqueue(pkt(80), SimTime::ZERO, &mut rng()).is_some());
+        assert_eq!(c.enqueue(pkt(80), SimTime::ZERO, &mut rng()), None);
+        assert_eq!(c.queue_len(), 1);
+        assert_eq!(c.stats.enqueued, 2);
+    }
+
+    #[test]
+    fn full_queue_tail_drops() {
+        let mut c = chan();
+        c.enqueue(pkt(80), SimTime::ZERO, &mut rng()); // in flight
+        c.enqueue(pkt(80), SimTime::ZERO, &mut rng()); // queued 1
+        c.enqueue(pkt(80), SimTime::ZERO, &mut rng()); // queued 2 (cap)
+        c.enqueue(pkt(80), SimTime::ZERO, &mut rng()); // dropped
+        assert_eq!(c.stats.dropped, 1);
+        assert_eq!(c.queue_len(), 2);
+    }
+
+    #[test]
+    fn dequeue_starts_next_transmission() {
+        let mut c = chan();
+        c.enqueue(pkt(80), SimTime::ZERO, &mut rng());
+        c.enqueue(pkt(180), SimTime::ZERO, &mut rng());
+        let now = SimTime::from_micros(100);
+        let (sent, next) = c.dequeue(now);
+        assert_eq!(sent.payload_len, 80);
+        // Next packet is 200 wire bytes = 200 µs, starting at 100 µs.
+        assert_eq!(next, Some(SimTime::from_micros(300)));
+        assert_eq!(c.stats.transmitted, 1);
+        assert_eq!(c.stats.bytes, 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "no packet in flight")]
+    fn dequeue_empty_panics() {
+        let mut c = chan();
+        c.dequeue(SimTime::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth")]
+    fn zero_bandwidth_rejected() {
+        LinkSpec::new(0, SimDuration::ZERO, 1);
+    }
+}

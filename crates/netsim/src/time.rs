@@ -1,0 +1,243 @@
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+use serde::{Deserialize, Serialize};
+
+/// A point in simulated time, in nanoseconds since simulation start.
+///
+/// Simulated time is completely decoupled from wall-clock time: a 60-second
+/// test connection (the unit of the paper's §VI-C cost analysis) takes
+/// milliseconds to simulate.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimTime(u64);
+
+impl SimTime {
+    /// The simulation epoch.
+    pub const ZERO: SimTime = SimTime(0);
+    /// The largest representable time (used as "never").
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// A time `nanos` nanoseconds after the epoch.
+    pub const fn from_nanos(nanos: u64) -> SimTime {
+        SimTime(nanos)
+    }
+
+    /// A time `micros` microseconds after the epoch.
+    pub const fn from_micros(micros: u64) -> SimTime {
+        SimTime(micros * 1_000)
+    }
+
+    /// A time `millis` milliseconds after the epoch.
+    pub const fn from_millis(millis: u64) -> SimTime {
+        SimTime(millis * 1_000_000)
+    }
+
+    /// A time `secs` seconds after the epoch.
+    pub const fn from_secs(secs: u64) -> SimTime {
+        SimTime(secs * 1_000_000_000)
+    }
+
+    /// Nanoseconds since the epoch.
+    pub const fn as_nanos(&self) -> u64 {
+        self.0
+    }
+
+    /// Seconds since the epoch, as a float (for reporting).
+    pub fn as_secs_f64(&self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// The duration elapsed since `earlier`, saturating at zero.
+    pub fn since(&self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+
+    /// This time advanced by `d`, saturating at [`SimTime::MAX`].
+    pub fn saturating_add(&self, d: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_add(d.0))
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.0 as f64 / 1e9)
+    }
+}
+
+/// A span of simulated time, in nanoseconds.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimDuration(u64);
+
+impl SimDuration {
+    /// The zero-length duration.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// `nanos` nanoseconds.
+    pub const fn from_nanos(nanos: u64) -> SimDuration {
+        SimDuration(nanos)
+    }
+
+    /// `micros` microseconds.
+    pub const fn from_micros(micros: u64) -> SimDuration {
+        SimDuration(micros * 1_000)
+    }
+
+    /// `millis` milliseconds.
+    pub const fn from_millis(millis: u64) -> SimDuration {
+        SimDuration(millis * 1_000_000)
+    }
+
+    /// `secs` seconds.
+    pub const fn from_secs(secs: u64) -> SimDuration {
+        SimDuration(secs * 1_000_000_000)
+    }
+
+    /// A duration from a float second count (negative values clamp to zero).
+    pub fn from_secs_f64(secs: f64) -> SimDuration {
+        if secs <= 0.0 {
+            SimDuration(0)
+        } else {
+            SimDuration((secs * 1e9).round() as u64)
+        }
+    }
+
+    /// Length in nanoseconds.
+    pub const fn as_nanos(&self) -> u64 {
+        self.0
+    }
+
+    /// Length in seconds, as a float.
+    pub fn as_secs_f64(&self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// This duration multiplied by an integer factor, saturating.
+    pub fn saturating_mul(&self, k: u64) -> SimDuration {
+        SimDuration(self.0.saturating_mul(k))
+    }
+
+    /// The larger of two durations.
+    pub fn max(self, other: SimDuration) -> SimDuration {
+        if self.0 >= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// The smaller of two durations.
+    pub fn min(self, other: SimDuration) -> SimDuration {
+        if self.0 <= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 + rhs.0)
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.0 as f64 / 1e9)
+    }
+}
+
+/// Computes the serialization (transmission) delay of `bytes` at
+/// `bandwidth_bps` bits per second.
+///
+/// # Panics
+///
+/// Panics if `bandwidth_bps` is zero; link specs validate this at
+/// construction.
+pub(crate) fn tx_delay(bytes: u32, bandwidth_bps: u64) -> SimDuration {
+    assert!(bandwidth_bps > 0, "bandwidth must be positive");
+    let bits = bytes as u64 * 8;
+    SimDuration((bits.saturating_mul(1_000_000_000)) / bandwidth_bps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_agree() {
+        assert_eq!(SimTime::from_secs(1), SimTime::from_millis(1_000));
+        assert_eq!(SimTime::from_millis(1), SimTime::from_micros(1_000));
+        assert_eq!(SimTime::from_micros(1), SimTime::from_nanos(1_000));
+        assert_eq!(SimDuration::from_secs(2).as_nanos(), 2_000_000_000);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime::from_secs(1) + SimDuration::from_millis(500);
+        assert_eq!(t.as_nanos(), 1_500_000_000);
+        assert_eq!((t - SimTime::from_secs(1)).as_nanos(), 500_000_000);
+        // Sub saturates rather than panicking.
+        assert_eq!((SimTime::ZERO - t).as_nanos(), 0);
+    }
+
+    #[test]
+    fn since_saturates() {
+        let early = SimTime::from_secs(1);
+        let late = SimTime::from_secs(3);
+        assert_eq!(late.since(early), SimDuration::from_secs(2));
+        assert_eq!(early.since(late), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn tx_delay_matches_line_rate() {
+        // 1250 bytes at 10 Mbit/s = 1 ms.
+        assert_eq!(tx_delay(1_250, 10_000_000), SimDuration::from_millis(1));
+        // 125 bytes at 1 Gbit/s = 1 µs.
+        assert_eq!(tx_delay(125, 1_000_000_000), SimDuration::from_micros(1));
+    }
+
+    #[test]
+    fn from_secs_f64_clamps_negative() {
+        assert_eq!(SimDuration::from_secs_f64(-1.0), SimDuration::ZERO);
+        assert_eq!(SimDuration::from_secs_f64(0.5), SimDuration::from_millis(500));
+    }
+
+    #[test]
+    fn display_renders_seconds() {
+        assert_eq!(SimTime::from_millis(1_500).to_string(), "1.500000s");
+    }
+
+    #[test]
+    fn min_max() {
+        let a = SimDuration::from_secs(1);
+        let b = SimDuration::from_secs(2);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+    }
+}

@@ -1,0 +1,138 @@
+//! Canned topologies; currently the dumbbell from the paper's Figure 3.
+
+use serde::{Deserialize, Serialize};
+
+use crate::link::{LinkId, LinkSpec};
+use crate::sim::{NodeId, Simulator};
+use crate::time::SimDuration;
+
+/// Parameters for the dumbbell test topology (paper Figure 3): two clients
+/// and two servers on either side of a bottleneck link between two routers.
+/// The attack proxy is spliced into client 1's access link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DumbbellSpec {
+    /// Bottleneck link between the routers.
+    pub bottleneck: LinkSpec,
+    /// Access links (client/server to router).
+    pub access: LinkSpec,
+}
+
+impl DumbbellSpec {
+    /// The configuration used throughout the reproduction's evaluation:
+    /// a 10 Mbit/s bottleneck with ≈20 ms base RTT and a 64-packet RED
+    /// queue (about two bandwidth-delay products), with 100 Mbit/s
+    /// tail-drop access links.
+    pub fn evaluation_default() -> DumbbellSpec {
+        DumbbellSpec {
+            bottleneck: LinkSpec::new(10_000_000, SimDuration::from_millis(8), 64).with_red(),
+            access: LinkSpec::new(100_000_000, SimDuration::from_millis(1), 128),
+        }
+    }
+}
+
+/// Handles to the nodes and links of a built dumbbell.
+///
+/// ```text
+/// client1 ---[proxy link]--- router1 ===[bottleneck]=== router2 --- server1
+/// client2 ------------------ router1                    router2 --- server2
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Dumbbell {
+    /// Client 1: the connection the attack proxy sits in front of.
+    pub client1: NodeId,
+    /// Client 2: the unproxied competing connection's client.
+    pub client2: NodeId,
+    /// Router on the client side.
+    pub router1: NodeId,
+    /// Router on the server side.
+    pub router2: NodeId,
+    /// Server 1: serves client 1.
+    pub server1: NodeId,
+    /// Server 2: serves client 2.
+    pub server2: NodeId,
+    /// Client 1's access link — attach the attack proxy tap here.
+    pub proxy_link: LinkId,
+    /// The shared bottleneck link.
+    pub bottleneck: LinkId,
+}
+
+impl Dumbbell {
+    /// Builds the dumbbell into `sim` and returns the node/link handles.
+    /// Agents are installed separately by the executor.
+    pub fn build(sim: &mut Simulator, spec: DumbbellSpec) -> Dumbbell {
+        let client1 = sim.add_node("client1");
+        let client2 = sim.add_node("client2");
+        let router1 = sim.add_node("router1");
+        let router2 = sim.add_node("router2");
+        let server1 = sim.add_node("server1");
+        let server2 = sim.add_node("server2");
+
+        let proxy_link = sim.add_link(client1, router1, spec.access);
+        sim.add_link(client2, router1, spec.access);
+        let bottleneck = sim.add_link(router1, router2, spec.bottleneck);
+        sim.add_link(router2, server1, spec.access);
+        sim.add_link(router2, server2, spec.access);
+
+        Dumbbell { client1, client2, router1, router2, server1, server2, proxy_link, bottleneck }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::agent::{Agent, Ctx};
+    use crate::packet::{Addr, Packet, Protocol};
+    use crate::time::SimTime;
+
+    struct Sender {
+        to: NodeId,
+        sent: u32,
+    }
+    impl Agent for Sender {
+        fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+            for _ in 0..self.sent {
+                let pkt = Packet::new(
+                    ctx.addr(1),
+                    Addr::new(self.to, 80),
+                    Protocol::Other(9),
+                    Vec::new(),
+                    1_000,
+                );
+                ctx.send(pkt);
+            }
+        }
+        fn on_packet(&mut self, _ctx: &mut Ctx<'_>, _packet: Packet) {}
+    }
+
+    struct Counter {
+        got: u32,
+    }
+    impl Agent for Counter {
+        fn on_packet(&mut self, _ctx: &mut Ctx<'_>, _packet: Packet) {
+            self.got += 1;
+        }
+    }
+
+    #[test]
+    fn dumbbell_routes_both_flows() {
+        let mut sim = Simulator::new(3);
+        let d = Dumbbell::build(&mut sim, DumbbellSpec::evaluation_default());
+        sim.set_agent(d.client1, Sender { to: d.server1, sent: 4 });
+        sim.set_agent(d.client2, Sender { to: d.server2, sent: 6 });
+        sim.set_agent(d.server1, Counter { got: 0 });
+        sim.set_agent(d.server2, Counter { got: 0 });
+        sim.run_until(SimTime::from_secs(1));
+        assert_eq!(sim.agent::<Counter>(d.server1).unwrap().got, 4);
+        assert_eq!(sim.agent::<Counter>(d.server2).unwrap().got, 6);
+        let (ab, _) = sim.link_stats(d.bottleneck);
+        assert_eq!(ab.transmitted, 10, "both flows cross the bottleneck");
+    }
+
+    #[test]
+    fn evaluation_default_has_sane_rtt() {
+        let spec = DumbbellSpec::evaluation_default();
+        // Base RTT across the dumbbell: 2 * (1 + 8 + 1) ms = 20 ms.
+        let one_way = spec.access.delay.as_nanos() * 2 + spec.bottleneck.delay.as_nanos();
+        assert_eq!(one_way * 2, SimDuration::from_millis(20).as_nanos());
+    }
+}

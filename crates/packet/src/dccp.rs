@@ -1,0 +1,291 @@
+//! The built-in DCCP header description (RFC 4340) and typed accessors.
+//!
+//! We model the generic header with extended (48-bit) sequence numbers
+//! (`X = 1`), which is what Linux CCID-2 uses, and include the
+//! acknowledgment-number subheader on every packet. Real DATA packets omit
+//! the subheader and REQUEST carries a service code in its place; carrying
+//! the extra 8 bytes uniformly keeps the header description fixed-layout
+//! without changing any protocol behaviour the search can observe.
+
+use std::sync::{Arc, OnceLock};
+
+use crate::{FormatSpec, Header, PacketError};
+
+/// The DCCP generic header (plus acknowledgment subheader) in the SNAKE
+/// header description language: 13 fields, 24 bytes.
+pub const DCCP_HEADER_DESCRIPTION: &str = "\
+# DCCP generic header with X=1 and the acknowledgment subheader, RFC 4340
+header dccp {
+    src_port     : 16
+    dst_port     : 16
+    data_offset  : 8
+    ccval        : 4
+    cscov        : 4
+    checksum     : 16
+    res          : 3
+    type         : 4
+    x            : 1
+    reserved     : 8
+    seq          : 48
+    ack_reserved : 16
+    ack          : 48
+}
+";
+
+/// Returns the shared DCCP [`FormatSpec`] (24-byte header, 13 fields).
+pub fn dccp_spec() -> Arc<FormatSpec> {
+    static SPEC: OnceLock<Arc<FormatSpec>> = OnceLock::new();
+    Arc::clone(SPEC.get_or_init(|| {
+        Arc::new(crate::parse_spec(DCCP_HEADER_DESCRIPTION).expect("built-in DCCP spec is valid"))
+    }))
+}
+
+/// DCCP packet types (the 4-bit `type` field, RFC 4340 §5.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[allow(missing_docs)]
+pub enum DccpPacketType {
+    Request,
+    Response,
+    Data,
+    Ack,
+    DataAck,
+    CloseReq,
+    Close,
+    Reset,
+    Sync,
+    SyncAck,
+}
+
+impl DccpPacketType {
+    /// The wire code for this type.
+    pub fn code(&self) -> u8 {
+        match self {
+            DccpPacketType::Request => 0,
+            DccpPacketType::Response => 1,
+            DccpPacketType::Data => 2,
+            DccpPacketType::Ack => 3,
+            DccpPacketType::DataAck => 4,
+            DccpPacketType::CloseReq => 5,
+            DccpPacketType::Close => 6,
+            DccpPacketType::Reset => 7,
+            DccpPacketType::Sync => 8,
+            DccpPacketType::SyncAck => 9,
+        }
+    }
+
+    /// Decodes a wire code; codes 10–15 are reserved and yield `None`.
+    pub fn from_code(code: u8) -> Option<DccpPacketType> {
+        Some(match code {
+            0 => DccpPacketType::Request,
+            1 => DccpPacketType::Response,
+            2 => DccpPacketType::Data,
+            3 => DccpPacketType::Ack,
+            4 => DccpPacketType::DataAck,
+            5 => DccpPacketType::CloseReq,
+            6 => DccpPacketType::Close,
+            7 => DccpPacketType::Reset,
+            8 => DccpPacketType::Sync,
+            9 => DccpPacketType::SyncAck,
+            _ => return None,
+        })
+    }
+
+    /// All types in wire-code order (used by strategy generation).
+    pub fn all() -> &'static [DccpPacketType] {
+        &[
+            DccpPacketType::Request,
+            DccpPacketType::Response,
+            DccpPacketType::Data,
+            DccpPacketType::Ack,
+            DccpPacketType::DataAck,
+            DccpPacketType::CloseReq,
+            DccpPacketType::Close,
+            DccpPacketType::Reset,
+            DccpPacketType::Sync,
+            DccpPacketType::SyncAck,
+        ]
+    }
+
+    /// A stable label used in strategies and reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            DccpPacketType::Request => "REQUEST",
+            DccpPacketType::Response => "RESPONSE",
+            DccpPacketType::Data => "DATA",
+            DccpPacketType::Ack => "ACK",
+            DccpPacketType::DataAck => "DATAACK",
+            DccpPacketType::CloseReq => "CLOSEREQ",
+            DccpPacketType::Close => "CLOSE",
+            DccpPacketType::Reset => "RESET",
+            DccpPacketType::Sync => "SYNC",
+            DccpPacketType::SyncAck => "SYNCACK",
+        }
+    }
+
+    /// Whether packets of this type carry a meaningful acknowledgment number.
+    pub fn carries_ack(&self) -> bool {
+        !matches!(self, DccpPacketType::Request | DccpPacketType::Data)
+    }
+}
+
+impl std::fmt::Display for DccpPacketType {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Read-only typed view over a DCCP header buffer.
+#[derive(Debug, Clone, Copy)]
+pub struct DccpView<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> DccpView<'a> {
+    /// Wraps raw bytes as a DCCP header.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PacketError::BufferTooShort`] if `buf` is shorter than 24
+    /// bytes.
+    pub fn new(buf: &'a [u8]) -> Result<Self, PacketError> {
+        let needed = dccp_spec().byte_len();
+        if buf.len() < needed {
+            return Err(PacketError::BufferTooShort { needed, got: buf.len() });
+        }
+        Ok(DccpView { buf })
+    }
+
+    fn get(&self, name: &str) -> u64 {
+        let spec = dccp_spec();
+        let f = spec.field(name).expect("dccp spec field");
+        spec.get(self.buf, f).expect("length checked in new")
+    }
+
+    /// Source port.
+    pub fn src_port(&self) -> u16 {
+        self.get("src_port") as u16
+    }
+
+    /// Destination port.
+    pub fn dst_port(&self) -> u16 {
+        self.get("dst_port") as u16
+    }
+
+    /// 48-bit sequence number.
+    pub fn seq(&self) -> u64 {
+        self.get("seq")
+    }
+
+    /// 48-bit acknowledgment number.
+    pub fn ack(&self) -> u64 {
+        self.get("ack")
+    }
+
+    /// Packet type, or `None` for a reserved type code (such packets are
+    /// ignored by receivers per RFC 4340 §5.1).
+    pub fn packet_type(&self) -> Option<DccpPacketType> {
+        DccpPacketType::from_code(self.get("type") as u8)
+    }
+}
+
+/// Builder for DCCP headers.
+#[derive(Debug, Clone)]
+pub struct DccpBuilder {
+    src_port: u16,
+    dst_port: u16,
+    packet_type: DccpPacketType,
+    seq: u64,
+    ack: u64,
+}
+
+impl DccpBuilder {
+    /// Starts a builder for a packet of the given type between two ports.
+    pub fn new(src_port: u16, dst_port: u16, packet_type: DccpPacketType) -> Self {
+        DccpBuilder { src_port, dst_port, packet_type, seq: 0, ack: 0 }
+    }
+
+    /// Sets the 48-bit sequence number (masked to 48 bits).
+    pub fn seq(mut self, seq: u64) -> Self {
+        self.seq = seq & SEQ_MASK;
+        self
+    }
+
+    /// Sets the 48-bit acknowledgment number (masked to 48 bits).
+    pub fn ack(mut self, ack: u64) -> Self {
+        self.ack = ack & SEQ_MASK;
+        self
+    }
+
+    /// Builds the header bytes.
+    pub fn build(self) -> Header {
+        let spec = dccp_spec();
+        let mut h = spec.new_header();
+        h.set("src_port", self.src_port as u64).expect("in range");
+        h.set("dst_port", self.dst_port as u64).expect("in range");
+        h.set("data_offset", (spec.byte_len() / 4) as u64).expect("in range");
+        h.set("type", self.packet_type.code() as u64).expect("in range");
+        h.set("x", 1).expect("in range");
+        h.set("seq", self.seq).expect("in range");
+        h.set("ack", self.ack).expect("in range");
+        h
+    }
+}
+
+/// Mask for DCCP's 48-bit sequence number space.
+pub const SEQ_MASK: u64 = (1 << 48) - 1;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_is_24_bytes_13_fields() {
+        let spec = dccp_spec();
+        assert_eq!(spec.byte_len(), 24);
+        assert_eq!(spec.field_count(), 13);
+    }
+
+    #[test]
+    fn builder_view_roundtrip() {
+        let h = DccpBuilder::new(5001, 40_002, DccpPacketType::DataAck)
+            .seq(0x0000_ABCD_1234_5678 & SEQ_MASK)
+            .ack(42)
+            .build();
+        let v = DccpView::new(h.bytes()).unwrap();
+        assert_eq!(v.src_port(), 5001);
+        assert_eq!(v.dst_port(), 40_002);
+        assert_eq!(v.seq(), 0x0000_ABCD_1234_5678 & SEQ_MASK);
+        assert_eq!(v.ack(), 42);
+        assert_eq!(v.packet_type(), Some(DccpPacketType::DataAck));
+    }
+
+    #[test]
+    fn type_codes_roundtrip() {
+        for &t in DccpPacketType::all() {
+            assert_eq!(DccpPacketType::from_code(t.code()), Some(t));
+        }
+        assert_eq!(DccpPacketType::from_code(10), None);
+        assert_eq!(DccpPacketType::from_code(15), None);
+    }
+
+    #[test]
+    fn seq_masked_to_48_bits() {
+        let h = DccpBuilder::new(1, 2, DccpPacketType::Data).seq(u64::MAX).build();
+        let v = DccpView::new(h.bytes()).unwrap();
+        assert_eq!(v.seq(), SEQ_MASK);
+    }
+
+    #[test]
+    fn carries_ack_matches_rfc() {
+        assert!(!DccpPacketType::Request.carries_ack());
+        assert!(!DccpPacketType::Data.carries_ack());
+        assert!(DccpPacketType::Response.carries_ack());
+        assert!(DccpPacketType::Ack.carries_ack());
+        assert!(DccpPacketType::Sync.carries_ack());
+    }
+
+    #[test]
+    fn view_rejects_short_buffer() {
+        assert!(DccpView::new(&[0u8; 23]).is_err());
+    }
+}

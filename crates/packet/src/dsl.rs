@@ -1,0 +1,174 @@
+//! The header description language.
+//!
+//! The paper describes "a simple language to describe the header structure"
+//! from which parsing code is generated. This module implements that
+//! language as a line-oriented text format:
+//!
+//! ```text
+//! # TCP header (RFC 793), one field per line: `name : bits`
+//! header tcp {
+//!     src_port : 16
+//!     dst_port : 16
+//!     seq      : 32
+//! }
+//! ```
+//!
+//! Blank lines and `#` comments are ignored. Field order is layout order,
+//! MSB first.
+
+use crate::{FieldSpec, FormatSpec, PacketError};
+
+/// Parses a header description in the text language into a [`FormatSpec`].
+///
+/// # Errors
+///
+/// Returns [`PacketError::ParseError`] with a line number for syntax errors,
+/// and the underlying spec-validation errors (duplicate names, zero widths)
+/// for semantic ones.
+///
+/// # Examples
+///
+/// ```
+/// let spec = snake_packet::parse_spec(
+///     "header demo {\n  kind : 4\n  len : 12\n}\n",
+/// )?;
+/// assert_eq!(spec.name(), "demo");
+/// assert_eq!(spec.byte_len(), 2);
+/// # Ok::<(), snake_packet::PacketError>(())
+/// ```
+pub fn parse_spec(text: &str) -> Result<FormatSpec, PacketError> {
+    let mut name: Option<String> = None;
+    let mut fields = Vec::new();
+    let mut in_body = false;
+    let mut closed = false;
+
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        if closed {
+            return Err(err(lineno, "unexpected content after closing `}`"));
+        }
+        if !in_body {
+            let rest = line
+                .strip_prefix("header")
+                .ok_or_else(|| err(lineno, "expected `header <name> {`"))?;
+            let rest = rest.trim();
+            let body = rest
+                .strip_suffix('{')
+                .ok_or_else(|| err(lineno, "expected `{` at end of header line"))?;
+            let n = body.trim();
+            if n.is_empty() || !n.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-')
+            {
+                return Err(err(lineno, "invalid header name"));
+            }
+            name = Some(n.to_owned());
+            in_body = true;
+            continue;
+        }
+        if line == "}" {
+            in_body = false;
+            closed = true;
+            continue;
+        }
+        let (fname, fbits) = line
+            .split_once(':')
+            .ok_or_else(|| err(lineno, "expected `name : bits`"))?;
+        let fname = fname.trim();
+        if fname.is_empty() || !fname.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') {
+            return Err(err(lineno, "invalid field name"));
+        }
+        let bits: u32 = fbits
+            .trim()
+            .parse()
+            .map_err(|_| err(lineno, "field width must be an unsigned integer"))?;
+        fields.push(FieldSpec::new(fname, bits));
+    }
+
+    if in_body {
+        return Err(err(text.lines().count(), "missing closing `}`"));
+    }
+    let name = name.ok_or_else(|| err(1, "empty description: no `header` block"))?;
+    FormatSpec::new(name, fields)
+}
+
+fn strip_comment(line: &str) -> &str {
+    match line.find('#') {
+        Some(i) => &line[..i],
+        None => line,
+    }
+}
+
+fn err(line: usize, reason: &str) -> PacketError {
+    PacketError::ParseError { line, reason: reason.to_owned() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_basic_description() {
+        let spec = parse_spec("header x {\n a : 8\n b : 8\n}").unwrap();
+        assert_eq!(spec.name(), "x");
+        assert_eq!(spec.field_count(), 2);
+        assert_eq!(spec.total_bits(), 16);
+    }
+
+    #[test]
+    fn ignores_comments_and_blank_lines() {
+        let text = "\n# leading comment\nheader y { # trailing\n\n  f : 4 # bits\n}\n\n";
+        let spec = parse_spec(text).unwrap();
+        assert_eq!(spec.name(), "y");
+        assert_eq!(spec.field_count(), 1);
+    }
+
+    #[test]
+    fn rejects_missing_brace() {
+        assert!(matches!(parse_spec("header z {\n a : 1\n"), Err(PacketError::ParseError { .. })));
+    }
+
+    #[test]
+    fn rejects_bad_width() {
+        let e = parse_spec("header z {\n a : wide\n}").unwrap_err();
+        assert!(matches!(e, PacketError::ParseError { line: 2, .. }));
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        let e = parse_spec("header z {\n a : 1\n}\nextra").unwrap_err();
+        assert!(matches!(e, PacketError::ParseError { .. }));
+    }
+
+    #[test]
+    fn rejects_duplicate_fields_semantically() {
+        let e = parse_spec("header z {\n a : 1\n a : 2\n}").unwrap_err();
+        assert!(matches!(e, PacketError::InvalidFieldSpec { .. }));
+    }
+
+    #[test]
+    fn rejects_empty_input() {
+        assert!(parse_spec("").is_err());
+        assert!(parse_spec("# only comments\n").is_err());
+    }
+
+    #[test]
+    fn builtin_tcp_description_roundtrips() {
+        let spec = parse_spec(crate::tcp::TCP_HEADER_DESCRIPTION).unwrap();
+        let builtin = crate::tcp::tcp_spec();
+        assert_eq!(spec.name(), builtin.name());
+        assert_eq!(spec.total_bits(), builtin.total_bits());
+        assert_eq!(spec.field_count(), builtin.field_count());
+    }
+
+    #[test]
+    fn builtin_dccp_description_roundtrips() {
+        let spec = parse_spec(crate::dccp::DCCP_HEADER_DESCRIPTION).unwrap();
+        let builtin = crate::dccp::dccp_spec();
+        assert_eq!(spec.name(), builtin.name());
+        assert_eq!(spec.total_bits(), builtin.total_bits());
+        assert_eq!(spec.field_count(), builtin.field_count());
+    }
+}

@@ -1,0 +1,79 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced when describing, parsing, or manipulating packet headers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum PacketError {
+    /// A field name was looked up that does not exist in the format spec.
+    UnknownField {
+        /// The offending field name.
+        name: String,
+    },
+    /// A value does not fit in the field's bit width.
+    ValueOutOfRange {
+        /// Field that was being written.
+        field: String,
+        /// The value that did not fit.
+        value: u64,
+        /// The field's width in bits.
+        bits: u32,
+    },
+    /// A buffer was shorter than the header described by the spec.
+    BufferTooShort {
+        /// Bytes required by the spec.
+        needed: usize,
+        /// Bytes actually available.
+        got: usize,
+    },
+    /// A field wider than 64 bits was declared; fields are limited to 64 bits.
+    FieldTooWide {
+        /// The offending field name.
+        field: String,
+        /// The declared width in bits.
+        bits: u32,
+    },
+    /// A field with an empty or duplicate name, or zero width, was declared.
+    InvalidFieldSpec {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// The header description text could not be parsed.
+    ParseError {
+        /// Line number (1-based) where the error occurred.
+        line: usize,
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// A mutation was not applicable (for example divide by zero).
+    InvalidMutation {
+        /// Human-readable reason.
+        reason: String,
+    },
+}
+
+impl fmt::Display for PacketError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PacketError::UnknownField { name } => write!(f, "unknown header field `{name}`"),
+            PacketError::ValueOutOfRange { field, value, bits } => {
+                write!(f, "value {value} does not fit in {bits}-bit field `{field}`")
+            }
+            PacketError::BufferTooShort { needed, got } => {
+                write!(f, "buffer too short for header: need {needed} bytes, got {got}")
+            }
+            PacketError::FieldTooWide { field, bits } => {
+                write!(f, "field `{field}` is {bits} bits wide; the maximum is 64")
+            }
+            PacketError::InvalidFieldSpec { reason } => {
+                write!(f, "invalid field specification: {reason}")
+            }
+            PacketError::ParseError { line, reason } => {
+                write!(f, "header description parse error on line {line}: {reason}")
+            }
+            PacketError::InvalidMutation { reason } => write!(f, "invalid mutation: {reason}"),
+        }
+    }
+}
+
+impl Error for PacketError {}

@@ -1,0 +1,54 @@
+//! Packet header format descriptions and generic field manipulation.
+//!
+//! SNAKE (DSN 2015) requires only two protocol-specific inputs: a description
+//! of the packet header formats and the protocol state machine. This crate
+//! implements the first input: a small language for describing packet headers
+//! as sequences of bit-width fields ([`FormatSpec`]), a runtime
+//! parser/serializer over raw byte buffers ([`Header`]), and the generic field
+//! mutations used by the *lie* basic attack ([`FieldMutation`]).
+//!
+//! The paper generates C++ parsing code from the description; here the
+//! description is interpreted at runtime, which is equivalent for the search
+//! and keeps the tool fully data-driven: testing a new protocol only requires
+//! a new [`FormatSpec`] (plus a state machine, see `snake-statemachine`).
+//!
+//! Built-in specs are provided for TCP ([`tcp::tcp_spec`]) and DCCP
+//! ([`dccp::dccp_spec`]), the two protocols evaluated in the paper.
+//!
+//! # Examples
+//!
+//! ```
+//! use snake_packet::{tcp, FieldMutation};
+//!
+//! # fn main() -> Result<(), snake_packet::PacketError> {
+//! let spec = tcp::tcp_spec();
+//! let mut hdr = spec.new_header();
+//! hdr.set("seq", 1_000)?;
+//! hdr.set("syn", 1)?;
+//! assert_eq!(hdr.get("seq")?, 1_000);
+//!
+//! // The "lie" basic attack mutates an arbitrary header field.
+//! let mut rng = rand::rngs::mock::StepRng::new(7, 1);
+//! FieldMutation::Max.apply(&mut hdr, "window", &mut rng)?;
+//! assert_eq!(hdr.get("window")?, u16::MAX as u64);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+mod dsl;
+mod error;
+mod field;
+mod mutation;
+mod spec;
+
+pub mod dccp;
+pub mod tcp;
+
+pub use dsl::parse_spec;
+pub use error::PacketError;
+pub use field::{FieldRef, FieldSpec};
+pub use mutation::FieldMutation;
+pub use spec::{FormatSpec, Header};

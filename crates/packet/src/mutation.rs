@@ -1,0 +1,212 @@
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::{Header, PacketError};
+
+/// A field modification used by the *lie* basic attack (paper §IV-C).
+///
+/// The paper's proxy "intercepts a packet and modifies a specified field
+/// before sending it on. Modifications supported include setting particular
+/// values, setting random values, or adding/subtracting/multiplying/dividing
+/// the current value by some factor", with a value list "chosen based on the
+/// field-type to be likely to cause unexpected behavior" — zero, the field
+/// minimum, and the field maximum.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum FieldMutation {
+    /// Set the field to a specific value (truncated to the field width is an
+    /// error; callers pass in-range values).
+    Set(u64),
+    /// Set the field to its minimum value (zero).
+    Min,
+    /// Set the field to its maximum representable value.
+    Max,
+    /// Set the field to a uniformly random in-range value.
+    Random,
+    /// Add a constant, wrapping within the field width.
+    Add(u64),
+    /// Subtract a constant, wrapping within the field width.
+    Sub(u64),
+    /// Multiply by a constant, wrapping within the field width.
+    Mul(u64),
+    /// Divide by a non-zero constant.
+    Div(u64),
+}
+
+impl FieldMutation {
+    /// The standard mutation list SNAKE generates for every non-flag header
+    /// field (flags get the shorter [`flag_mutations`](Self::flag_mutations)
+    /// list since min/max/random collapse onto set-0/set-1).
+    pub fn standard_mutations() -> &'static [FieldMutation] {
+        &[
+            FieldMutation::Min,
+            FieldMutation::Max,
+            FieldMutation::Random,
+            FieldMutation::Add(1),
+            // A "slightly higher" in-window bump that decisively outruns
+            // the victim's own sequence advancement — the increment behind
+            // the DCCP in-window modification attack (paper §VI-B.2).
+            FieldMutation::Add(25),
+            FieldMutation::Sub(1),
+            FieldMutation::Mul(2),
+            FieldMutation::Div(2),
+        ]
+    }
+
+    /// The mutation list for single-bit flag fields: set and clear.
+    pub fn flag_mutations() -> &'static [FieldMutation] {
+        &[FieldMutation::Set(0), FieldMutation::Set(1)]
+    }
+
+    /// Applies the mutation to `field` of `header` in place.
+    ///
+    /// Arithmetic mutations wrap within the field's bit width, mirroring what
+    /// happens on the wire when a field overflows.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PacketError::UnknownField`] for unknown fields,
+    /// [`PacketError::InvalidMutation`] for division by zero, and
+    /// [`PacketError::ValueOutOfRange`] if a `Set` value does not fit.
+    pub fn apply<R: Rng + ?Sized>(
+        self,
+        header: &mut Header,
+        field: &str,
+        rng: &mut R,
+    ) -> Result<(), PacketError> {
+        let fref = header.spec().field(field)?;
+        let max = fref.max_value();
+        let cur = header.get_ref(fref)?;
+        let new = match self {
+            FieldMutation::Set(v) => v,
+            FieldMutation::Min => 0,
+            FieldMutation::Max => max,
+            FieldMutation::Random => {
+                if max == u64::MAX {
+                    rng.gen()
+                } else {
+                    rng.gen_range(0..=max)
+                }
+            }
+            FieldMutation::Add(k) => wrap(cur.wrapping_add(k), max),
+            FieldMutation::Sub(k) => wrap(cur.wrapping_sub(k), max),
+            FieldMutation::Mul(k) => wrap(cur.wrapping_mul(k), max),
+            FieldMutation::Div(k) => {
+                if k == 0 {
+                    return Err(PacketError::InvalidMutation {
+                        reason: "division by zero".to_owned(),
+                    });
+                }
+                cur / k
+            }
+        };
+        header.set_ref(fref, new)
+    }
+
+    /// A short, stable label used in strategy names and reports.
+    pub fn label(&self) -> String {
+        match self {
+            FieldMutation::Set(v) => format!("set={v}"),
+            FieldMutation::Min => "min".to_owned(),
+            FieldMutation::Max => "max".to_owned(),
+            FieldMutation::Random => "rand".to_owned(),
+            FieldMutation::Add(k) => format!("add={k}"),
+            FieldMutation::Sub(k) => format!("sub={k}"),
+            FieldMutation::Mul(k) => format!("mul={k}"),
+            FieldMutation::Div(k) => format!("div={k}"),
+        }
+    }
+}
+
+impl std::fmt::Display for FieldMutation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+/// Wraps a value into the 0..=max range where max is an all-ones mask.
+fn wrap(v: u64, max: u64) -> u64 {
+    v & max
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FieldSpec, FormatSpec};
+    use rand::rngs::mock::StepRng;
+    use std::sync::Arc;
+
+    fn header() -> Header {
+        let spec = Arc::new(
+            FormatSpec::new(
+                "m",
+                vec![FieldSpec::new("v", 16), FieldSpec::new("flag", 1), FieldSpec::new("pad", 7)],
+            )
+            .unwrap(),
+        );
+        spec.new_header()
+    }
+
+    #[test]
+    fn min_max_set() {
+        let mut h = header();
+        let mut rng = StepRng::new(0, 1);
+        h.set("v", 77).unwrap();
+        FieldMutation::Max.apply(&mut h, "v", &mut rng).unwrap();
+        assert_eq!(h.get("v").unwrap(), 65_535);
+        FieldMutation::Min.apply(&mut h, "v", &mut rng).unwrap();
+        assert_eq!(h.get("v").unwrap(), 0);
+        FieldMutation::Set(1234).apply(&mut h, "v", &mut rng).unwrap();
+        assert_eq!(h.get("v").unwrap(), 1234);
+    }
+
+    #[test]
+    fn arithmetic_wraps_in_field_width() {
+        let mut h = header();
+        let mut rng = StepRng::new(0, 1);
+        h.set("v", 65_535).unwrap();
+        FieldMutation::Add(1).apply(&mut h, "v", &mut rng).unwrap();
+        assert_eq!(h.get("v").unwrap(), 0, "add wraps at field width");
+        FieldMutation::Sub(1).apply(&mut h, "v", &mut rng).unwrap();
+        assert_eq!(h.get("v").unwrap(), 65_535, "sub wraps at field width");
+        h.set("v", 40_000).unwrap();
+        FieldMutation::Mul(2).apply(&mut h, "v", &mut rng).unwrap();
+        assert_eq!(h.get("v").unwrap(), 80_000 % 65_536);
+    }
+
+    #[test]
+    fn divide_truncates_and_rejects_zero() {
+        let mut h = header();
+        let mut rng = StepRng::new(0, 1);
+        h.set("v", 9).unwrap();
+        FieldMutation::Div(2).apply(&mut h, "v", &mut rng).unwrap();
+        assert_eq!(h.get("v").unwrap(), 4);
+        let err = FieldMutation::Div(0).apply(&mut h, "v", &mut rng).unwrap_err();
+        assert!(matches!(err, PacketError::InvalidMutation { .. }));
+    }
+
+    #[test]
+    fn random_stays_in_range_for_flag() {
+        let mut h = header();
+        let mut rng = rand::thread_rng();
+        for _ in 0..64 {
+            FieldMutation::Random.apply(&mut h, "flag", &mut rng).unwrap();
+            assert!(h.get("flag").unwrap() <= 1);
+        }
+    }
+
+    #[test]
+    fn set_out_of_range_rejected() {
+        let mut h = header();
+        let mut rng = StepRng::new(0, 1);
+        let err = FieldMutation::Set(2).apply(&mut h, "flag", &mut rng).unwrap_err();
+        assert!(matches!(err, PacketError::ValueOutOfRange { .. }));
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(FieldMutation::Set(5).label(), "set=5");
+        assert_eq!(FieldMutation::Random.label(), "rand");
+        assert_eq!(FieldMutation::Mul(2).to_string(), "mul=2");
+    }
+}

@@ -1,0 +1,427 @@
+//! The built-in TCP header description (RFC 793) and typed accessors.
+//!
+//! The header is described field-by-field in the same description language a
+//! user would supply for a new protocol; the typed [`TcpView`] /
+//! [`TcpBuilder`] wrappers are conveniences used by the TCP engine and tests.
+
+use std::sync::{Arc, OnceLock};
+
+use crate::{FormatSpec, Header, PacketError};
+
+/// The TCP header in the SNAKE header description language.
+///
+/// Flags are declared as individual one-bit fields so the generic *lie*
+/// mutation on a flag field produces exactly the invalid-flag-combination
+/// packets the paper studies (§VI-A.2).
+pub const TCP_HEADER_DESCRIPTION: &str = "\
+# TCP header, RFC 793
+header tcp {
+    src_port    : 16
+    dst_port    : 16
+    seq         : 32
+    ack         : 32
+    data_offset : 4
+    reserved    : 6
+    urg         : 1
+    ack_flag    : 1
+    psh         : 1
+    rst         : 1
+    syn         : 1
+    fin         : 1
+    window      : 16
+    checksum    : 16
+    urgent_ptr  : 16
+}
+";
+
+/// Returns the shared TCP [`FormatSpec`] (20-byte header, 15 fields).
+pub fn tcp_spec() -> Arc<FormatSpec> {
+    static SPEC: OnceLock<Arc<FormatSpec>> = OnceLock::new();
+    Arc::clone(SPEC.get_or_init(|| {
+        Arc::new(crate::parse_spec(TCP_HEADER_DESCRIPTION).expect("built-in TCP spec is valid"))
+    }))
+}
+
+/// TCP control flags as a compact value type.
+///
+/// `Display` renders the conventional `SYN+ACK` style names, used throughout
+/// strategy labels and attack reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct TcpFlags {
+    /// URG flag.
+    pub urg: bool,
+    /// ACK flag.
+    pub ack: bool,
+    /// PSH flag.
+    pub psh: bool,
+    /// RST flag.
+    pub rst: bool,
+    /// SYN flag.
+    pub syn: bool,
+    /// FIN flag.
+    pub fin: bool,
+}
+
+impl TcpFlags {
+    /// Flags for a connection-opening SYN.
+    pub const SYN: TcpFlags = TcpFlags { syn: true, ..TcpFlags::none() };
+    /// Flags for the SYN+ACK handshake reply.
+    pub const SYN_ACK: TcpFlags = TcpFlags { syn: true, ack: true, ..TcpFlags::none() };
+    /// Flags for a pure acknowledgment.
+    pub const ACK: TcpFlags = TcpFlags { ack: true, ..TcpFlags::none() };
+    /// Flags for a data segment with PSH.
+    pub const PSH_ACK: TcpFlags = TcpFlags { psh: true, ack: true, ..TcpFlags::none() };
+    /// Flags for a FIN (always carries ACK in practice).
+    pub const FIN_ACK: TcpFlags = TcpFlags { fin: true, ack: true, ..TcpFlags::none() };
+    /// Flags for a reset.
+    pub const RST: TcpFlags = TcpFlags { rst: true, ..TcpFlags::none() };
+    /// Flags for a reset that acknowledges data.
+    pub const RST_ACK: TcpFlags = TcpFlags { rst: true, ack: true, ..TcpFlags::none() };
+
+    /// No flags set. (A packet like this is never valid on the wire; Linux
+    /// 3.0.0 nevertheless responds to it — paper §VI-A.2.)
+    pub const fn none() -> TcpFlags {
+        TcpFlags { urg: false, ack: false, psh: false, rst: false, syn: false, fin: false }
+    }
+
+    /// Number of flags set.
+    pub fn count(&self) -> u32 {
+        [self.urg, self.ack, self.psh, self.rst, self.syn, self.fin]
+            .iter()
+            .filter(|&&b| b)
+            .count() as u32
+    }
+
+    /// Whether this is a combination a correct implementation would ever
+    /// send: at most one of SYN/FIN/RST, and every non-SYN packet carries
+    /// ACK. Everything else is "nonsensical" in the paper's terminology.
+    pub fn is_sensible(&self) -> bool {
+        let exclusive = [self.syn, self.fin, self.rst].iter().filter(|&&b| b).count();
+        if exclusive > 1 {
+            return false;
+        }
+        if self.count() == 0 {
+            return false;
+        }
+        // A bare SYN or RST is fine; anything else needs ACK.
+        if !self.ack && !(self.syn && self.count() == 1) && !(self.rst && self.count() == 1) {
+            return false;
+        }
+        true
+    }
+}
+
+impl std::fmt::Display for TcpFlags {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut parts = Vec::new();
+        if self.syn {
+            parts.push("SYN");
+        }
+        if self.fin {
+            parts.push("FIN");
+        }
+        if self.rst {
+            parts.push("RST");
+        }
+        if self.psh {
+            parts.push("PSH");
+        }
+        if self.urg {
+            parts.push("URG");
+        }
+        if self.ack {
+            parts.push("ACK");
+        }
+        if parts.is_empty() {
+            f.write_str("NONE")
+        } else {
+            f.write_str(&parts.join("+"))
+        }
+    }
+}
+
+/// The packet-type classification SNAKE keys strategies on for TCP.
+///
+/// The paper applies basic attacks to "all packets of the same type observed
+/// in the same state"; this enum is that type. `PshAck` is distinguished from
+/// `Data` because the Duplicate-Acknowledgment-Rate-Limiting attack
+/// (§VI-A.6) specifically targets the occasional PSH+ACK segments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[allow(missing_docs)]
+pub enum TcpPacketType {
+    Syn,
+    SynAck,
+    Ack,
+    Data,
+    PshAck,
+    FinAck,
+    Rst,
+    /// A flag combination no correct implementation sends.
+    Invalid,
+}
+
+impl TcpPacketType {
+    /// Classifies a segment from its flags and payload length.
+    pub fn classify(flags: TcpFlags, payload_len: u32) -> TcpPacketType {
+        if !flags.is_sensible() {
+            return TcpPacketType::Invalid;
+        }
+        if flags.rst {
+            return TcpPacketType::Rst;
+        }
+        if flags.syn {
+            return if flags.ack { TcpPacketType::SynAck } else { TcpPacketType::Syn };
+        }
+        if flags.fin {
+            return TcpPacketType::FinAck;
+        }
+        if payload_len > 0 {
+            return if flags.psh { TcpPacketType::PshAck } else { TcpPacketType::Data };
+        }
+        TcpPacketType::Ack
+    }
+
+    /// All classifications, in a stable order (used by strategy generation).
+    pub fn all() -> &'static [TcpPacketType] {
+        &[
+            TcpPacketType::Syn,
+            TcpPacketType::SynAck,
+            TcpPacketType::Ack,
+            TcpPacketType::Data,
+            TcpPacketType::PshAck,
+            TcpPacketType::FinAck,
+            TcpPacketType::Rst,
+            TcpPacketType::Invalid,
+        ]
+    }
+
+    /// A stable label used in strategies and reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            TcpPacketType::Syn => "SYN",
+            TcpPacketType::SynAck => "SYN+ACK",
+            TcpPacketType::Ack => "ACK",
+            TcpPacketType::Data => "DATA",
+            TcpPacketType::PshAck => "PSH+ACK",
+            TcpPacketType::FinAck => "FIN+ACK",
+            TcpPacketType::Rst => "RST",
+            TcpPacketType::Invalid => "INVALID",
+        }
+    }
+}
+
+impl std::fmt::Display for TcpPacketType {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Read-only typed view over a TCP header buffer.
+#[derive(Debug, Clone, Copy)]
+pub struct TcpView<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> TcpView<'a> {
+    /// Wraps raw bytes as a TCP header.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PacketError::BufferTooShort`] if `buf` is shorter than 20
+    /// bytes.
+    pub fn new(buf: &'a [u8]) -> Result<Self, PacketError> {
+        if buf.len() < tcp_spec().byte_len() {
+            return Err(PacketError::BufferTooShort { needed: tcp_spec().byte_len(), got: buf.len() });
+        }
+        Ok(TcpView { buf })
+    }
+
+    fn get(&self, name: &str) -> u64 {
+        let spec = tcp_spec();
+        let f = spec.field(name).expect("tcp spec field");
+        spec.get(self.buf, f).expect("length checked in new")
+    }
+
+    /// Source port.
+    pub fn src_port(&self) -> u16 {
+        self.get("src_port") as u16
+    }
+
+    /// Destination port.
+    pub fn dst_port(&self) -> u16 {
+        self.get("dst_port") as u16
+    }
+
+    /// Sequence number.
+    pub fn seq(&self) -> u32 {
+        self.get("seq") as u32
+    }
+
+    /// Acknowledgment number.
+    pub fn ack(&self) -> u32 {
+        self.get("ack") as u32
+    }
+
+    /// Receive window.
+    pub fn window(&self) -> u16 {
+        self.get("window") as u16
+    }
+
+    /// Control flags.
+    pub fn flags(&self) -> TcpFlags {
+        TcpFlags {
+            urg: self.get("urg") == 1,
+            ack: self.get("ack_flag") == 1,
+            psh: self.get("psh") == 1,
+            rst: self.get("rst") == 1,
+            syn: self.get("syn") == 1,
+            fin: self.get("fin") == 1,
+        }
+    }
+}
+
+/// Builder for TCP headers; the engine and the off-path injection attacks
+/// both construct segments through this.
+#[derive(Debug, Clone)]
+pub struct TcpBuilder {
+    src_port: u16,
+    dst_port: u16,
+    seq: u32,
+    ack: u32,
+    window: u16,
+    flags: TcpFlags,
+}
+
+impl TcpBuilder {
+    /// Starts a builder for a segment between two ports.
+    pub fn new(src_port: u16, dst_port: u16) -> Self {
+        TcpBuilder { src_port, dst_port, seq: 0, ack: 0, window: 65_535, flags: TcpFlags::none() }
+    }
+
+    /// Sets the sequence number.
+    pub fn seq(mut self, seq: u32) -> Self {
+        self.seq = seq;
+        self
+    }
+
+    /// Sets the acknowledgment number.
+    pub fn ack(mut self, ack: u32) -> Self {
+        self.ack = ack;
+        self
+    }
+
+    /// Sets the receive window.
+    pub fn window(mut self, window: u16) -> Self {
+        self.window = window;
+        self
+    }
+
+    /// Sets the control flags.
+    pub fn flags(mut self, flags: TcpFlags) -> Self {
+        self.flags = flags;
+        self
+    }
+
+    /// Builds the header bytes.
+    pub fn build(self) -> Header {
+        let spec = tcp_spec();
+        let mut h = spec.new_header();
+        // Unwraps are fine: field names and ranges are static.
+        h.set("src_port", self.src_port as u64).expect("in range");
+        h.set("dst_port", self.dst_port as u64).expect("in range");
+        h.set("seq", self.seq as u64).expect("in range");
+        h.set("ack", self.ack as u64).expect("in range");
+        h.set("data_offset", 5).expect("in range");
+        h.set("window", self.window as u64).expect("in range");
+        h.set("urg", self.flags.urg as u64).expect("in range");
+        h.set("ack_flag", self.flags.ack as u64).expect("in range");
+        h.set("psh", self.flags.psh as u64).expect("in range");
+        h.set("rst", self.flags.rst as u64).expect("in range");
+        h.set("syn", self.flags.syn as u64).expect("in range");
+        h.set("fin", self.flags.fin as u64).expect("in range");
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_is_20_bytes_15_fields() {
+        let spec = tcp_spec();
+        assert_eq!(spec.byte_len(), 20);
+        assert_eq!(spec.field_count(), 15);
+        assert_eq!(spec.total_bits(), 160);
+    }
+
+    #[test]
+    fn builder_view_roundtrip() {
+        let h = TcpBuilder::new(8080, 40_001)
+            .seq(0xDEAD_BEEF)
+            .ack(0x0102_0304)
+            .window(32_768)
+            .flags(TcpFlags::SYN_ACK)
+            .build();
+        let v = TcpView::new(h.bytes()).unwrap();
+        assert_eq!(v.src_port(), 8080);
+        assert_eq!(v.dst_port(), 40_001);
+        assert_eq!(v.seq(), 0xDEAD_BEEF);
+        assert_eq!(v.ack(), 0x0102_0304);
+        assert_eq!(v.window(), 32_768);
+        assert_eq!(v.flags(), TcpFlags::SYN_ACK);
+    }
+
+    #[test]
+    fn classify_handshake_types() {
+        assert_eq!(TcpPacketType::classify(TcpFlags::SYN, 0), TcpPacketType::Syn);
+        assert_eq!(TcpPacketType::classify(TcpFlags::SYN_ACK, 0), TcpPacketType::SynAck);
+        assert_eq!(TcpPacketType::classify(TcpFlags::ACK, 0), TcpPacketType::Ack);
+        assert_eq!(TcpPacketType::classify(TcpFlags::ACK, 1460), TcpPacketType::Data);
+        assert_eq!(TcpPacketType::classify(TcpFlags::PSH_ACK, 1460), TcpPacketType::PshAck);
+        assert_eq!(TcpPacketType::classify(TcpFlags::FIN_ACK, 0), TcpPacketType::FinAck);
+        assert_eq!(TcpPacketType::classify(TcpFlags::RST, 0), TcpPacketType::Rst);
+        assert_eq!(TcpPacketType::classify(TcpFlags::RST_ACK, 0), TcpPacketType::Rst);
+    }
+
+    #[test]
+    fn classify_nonsense_flags_as_invalid() {
+        // The paper's example: SYN+FIN+ACK+RST.
+        let combo = TcpFlags { syn: true, fin: true, ack: true, rst: true, ..TcpFlags::none() };
+        assert_eq!(TcpPacketType::classify(combo, 0), TcpPacketType::Invalid);
+        // Null flags are never valid.
+        assert_eq!(TcpPacketType::classify(TcpFlags::none(), 0), TcpPacketType::Invalid);
+        // SYN+FIN.
+        let synfin = TcpFlags { syn: true, fin: true, ..TcpFlags::none() };
+        assert_eq!(TcpPacketType::classify(synfin, 0), TcpPacketType::Invalid);
+        // FIN without ACK.
+        let bare_fin = TcpFlags { fin: true, ..TcpFlags::none() };
+        assert_eq!(TcpPacketType::classify(bare_fin, 0), TcpPacketType::Invalid);
+    }
+
+    #[test]
+    fn flags_display() {
+        assert_eq!(TcpFlags::SYN_ACK.to_string(), "SYN+ACK");
+        assert_eq!(TcpFlags::none().to_string(), "NONE");
+        let combo = TcpFlags { syn: true, fin: true, ack: true, psh: true, ..TcpFlags::none() };
+        assert_eq!(combo.to_string(), "SYN+FIN+PSH+ACK");
+    }
+
+    #[test]
+    fn sensible_flag_combinations() {
+        assert!(TcpFlags::SYN.is_sensible());
+        assert!(TcpFlags::SYN_ACK.is_sensible());
+        assert!(TcpFlags::ACK.is_sensible());
+        assert!(TcpFlags::RST.is_sensible());
+        assert!(TcpFlags::RST_ACK.is_sensible());
+        assert!(TcpFlags::FIN_ACK.is_sensible());
+        assert!(!TcpFlags::none().is_sensible());
+        assert!(!TcpFlags { syn: true, fin: true, ..TcpFlags::none() }.is_sensible());
+        assert!(!TcpFlags { psh: true, ..TcpFlags::none() }.is_sensible());
+    }
+
+    #[test]
+    fn view_rejects_short_buffer() {
+        assert!(TcpView::new(&[0u8; 19]).is_err());
+    }
+}

@@ -1,0 +1,871 @@
+
+use std::collections::HashMap;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use snake_netsim::{Addr, NodeId, Packet, SimDuration, SimTime, Tap, TapCtx};
+use snake_statemachine::{Dir, PairTracker};
+
+use crate::adapter::{swap_endpoints, InjectContext, ProtocolAdapter};
+use crate::strategy::{
+    BasicAttack, Endpoint, InjectDirection, InjectionAttack, Strategy, StrategyKind,
+};
+
+const TAG_BATCH: u64 = 1;
+/// Injection timer tags are `TAG_INJECT_BASE + rule index`, so several
+/// concurrent injection rules (combination strategies) keep separate
+/// schedules.
+const TAG_INJECT_BASE: u64 = 16;
+
+/// Where the proxy sits and what the (off-path) attacker is assumed to
+/// know: the service address and a guess at the client's ephemeral port —
+/// information the paper's attacker model grants (§III-C), but never the
+/// connection's sequence state.
+#[derive(Debug, Clone, Copy)]
+pub struct ProxyConfig {
+    /// The proxied client's node.
+    pub client_node: NodeId,
+    /// Whether the client is the `a` side of the tapped link.
+    pub client_is_a: bool,
+    /// The target service address.
+    pub server: Addr,
+    /// Guessed client ephemeral port (used until real traffic is seen).
+    pub client_port_guess: u16,
+    /// RNG seed for probabilistic attacks.
+    pub seed: u64,
+}
+
+/// Counters and state observations the executor extracts after a test and
+/// ships to the controller (paper §V-C).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ProxyReport {
+    /// Target-protocol packets that crossed the proxy.
+    pub packets_seen: u64,
+    /// Packets matched by the active strategy.
+    pub matched: u64,
+    /// Packets dropped.
+    pub dropped: u64,
+    /// Duplicate copies emitted.
+    pub duplicates: u64,
+    /// Packets delayed.
+    pub delayed: u64,
+    /// Packets batched.
+    pub batched: u64,
+    /// Packets reflected.
+    pub reflected: u64,
+    /// Packets with a mutated field.
+    pub lied: u64,
+    /// Packets injected.
+    pub injected: u64,
+    /// Per-(endpoint, state, packet type, direction) observation counts.
+    pub observed: Vec<(String, String, String, String, u64)>,
+    /// Final tracked client state.
+    pub client_final_state: String,
+    /// Final tracked server state.
+    pub server_final_state: String,
+}
+
+#[derive(Debug)]
+struct InjectionRun {
+    packet_type: String,
+    direction: InjectDirection,
+    next_seq: u64,
+    stride: u64,
+    remaining: u64,
+    per_tick: u64,
+    tick: SimDuration,
+    inert: bool,
+}
+
+/// The attack proxy: a [`Tap`] that tracks protocol state from observed
+/// packets and applies the active [`Strategy`] (or several at once — the
+/// *combination strategies* the paper leaves as future work).
+#[derive(Debug)]
+pub struct AttackProxy {
+    adapter: Box<dyn ProtocolAdapter>,
+    config: ProxyConfig,
+    rules: Vec<Strategy>,
+    /// One tracker per connection (keyed by the client-side transport
+    /// address pair): concurrent connections through the proxy are tracked
+    /// independently, so multi-connection exhaustion scenarios key
+    /// strategies correctly per connection.
+    trackers: Vec<((Addr, Addr), PairTracker)>,
+    by_conn: HashMap<(Addr, Addr), usize>,
+    rng: SmallRng,
+    observed_client: Option<Addr>,
+    observed_server: Option<Addr>,
+    packets_from_client: u64,
+    packets_from_server: u64,
+    batch: Vec<(Packet, bool)>,
+    batch_armed: bool,
+    /// Per-rule injection state (index-aligned with `rules`).
+    started: Vec<bool>,
+    injections: Vec<Option<InjectionRun>>,
+    report: ProxyReport,
+}
+
+impl AttackProxy {
+    /// Creates a proxy for one test run. Pass `None` as the strategy for
+    /// the baseline (observation-only) run.
+    pub fn new<A: ProtocolAdapter>(
+        adapter: A,
+        config: ProxyConfig,
+        strategy: Option<Strategy>,
+    ) -> AttackProxy {
+        AttackProxy::with_rules(adapter, config, strategy.into_iter().collect())
+    }
+
+    /// Creates a proxy applying several strategies in the same run — a
+    /// combination strategy. `OnPacket` rules are matched in order (first
+    /// match wins per packet); every `OnState` rule launches its own
+    /// injection when its trigger state is reached.
+    pub fn with_rules<A: ProtocolAdapter>(
+        adapter: A,
+        config: ProxyConfig,
+        rules: Vec<Strategy>,
+    ) -> AttackProxy {
+        let n = rules.len();
+        AttackProxy {
+            adapter: Box::new(adapter),
+            config,
+            rules,
+            trackers: Vec::new(),
+            by_conn: HashMap::new(),
+            rng: SmallRng::seed_from_u64(config.seed),
+            observed_client: None,
+            observed_server: None,
+            packets_from_client: 0,
+            packets_from_server: 0,
+            batch: Vec::new(),
+            batch_armed: false,
+            started: vec![false; n],
+            injections: (0..n).map(|_| None).collect(),
+            report: ProxyReport::default(),
+        }
+    }
+
+    /// The report accumulated so far (final after the run ends).
+    pub fn report(&self) -> &ProxyReport {
+        &self.report
+    }
+
+    /// The state tracker of the first observed connection (for tests and
+    /// diagnostics of single-connection scenarios).
+    pub fn tracker(&self) -> &PairTracker {
+        &self.trackers.first().expect("no connection observed yet").1
+    }
+
+    /// Number of distinct connections the proxy has tracked.
+    pub fn connections_tracked(&self) -> usize {
+        self.trackers.len()
+    }
+
+    /// Gets or creates the tracker for a connection, returning its index.
+    fn tracker_index(&mut self, key: (Addr, Addr)) -> usize {
+        if let Some(&i) = self.by_conn.get(&key) {
+            return i;
+        }
+        let tracker = PairTracker::new(
+            self.adapter.machine(),
+            self.adapter.client_initial(),
+            self.adapter.server_initial(),
+        )
+        .expect("adapter initial states exist in its machine");
+        let i = self.trackers.len();
+        self.trackers.push((key, tracker));
+        self.by_conn.insert(key, i);
+        i
+    }
+
+    fn client_addr(&self) -> Addr {
+        self.observed_client
+            .unwrap_or(Addr::new(self.config.client_node, self.config.client_port_guess))
+    }
+
+    fn server_addr(&self) -> Addr {
+        self.observed_server.unwrap_or(self.config.server)
+    }
+
+    /// Maps an injection direction onto the tapped link's orientation.
+    fn toward_b(&self, direction: InjectDirection) -> bool {
+        match direction {
+            InjectDirection::ToServer => self.config.client_is_a,
+            InjectDirection::ToClient => !self.config.client_is_a,
+        }
+    }
+
+    fn seq_value(&mut self, choice: crate::strategy::SeqChoice) -> u64 {
+        let mask = if self.adapter.seq_bits() >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.adapter.seq_bits()) - 1
+        };
+        match choice {
+            crate::strategy::SeqChoice::Zero => 0,
+            crate::strategy::SeqChoice::Max => mask,
+            crate::strategy::SeqChoice::Random => self.rng.gen::<u64>() & mask,
+        }
+    }
+
+    /// Starts any not-yet-started injection rule whose trigger endpoint is
+    /// now in its trigger state.
+    fn maybe_trigger_injection(&mut self, ctx: &mut TapCtx<'_>) {
+        for i in 0..self.rules.len() {
+            if self.started[i] {
+                continue;
+            }
+            let Strategy { kind: StrategyKind::OnState { endpoint, state, attack }, .. } =
+                self.rules[i].clone()
+            else {
+                continue;
+            };
+            let in_state = self.trackers.iter().any(|(_, t)| {
+                let current = match endpoint {
+                    Endpoint::Client => t.client().current_name(),
+                    Endpoint::Server => t.server().current_name(),
+                };
+                current == state
+            });
+            if !in_state {
+                continue;
+            }
+            self.started[i] = true;
+            self.injections[i] = Some(self.make_run(attack));
+            self.injection_tick(i, ctx);
+        }
+    }
+
+    /// Builds the paced run for an injection attack.
+    fn make_run(&mut self, attack: InjectionAttack) -> InjectionRun {
+        match attack {
+            InjectionAttack::Inject { packet_type, seq, direction, repeat } => {
+                let seq0 = self.seq_value(seq);
+                InjectionRun {
+                    packet_type,
+                    direction,
+                    next_seq: seq0,
+                    stride: 0,
+                    remaining: repeat.max(1) as u64,
+                    per_tick: 1,
+                    tick: SimDuration::from_millis(10),
+                    inert: false,
+                }
+            }
+            InjectionAttack::HitSeqWindow {
+                packet_type,
+                direction,
+                stride,
+                count,
+                rate_pps,
+                inert,
+            } => InjectionRun {
+                packet_type,
+                direction,
+                next_seq: 0,
+                stride,
+                remaining: count,
+                per_tick: (rate_pps / 100).max(1),
+                tick: SimDuration::from_millis(10),
+                inert,
+            },
+        }
+    }
+
+    /// Emits one tick's worth of packets for injection rule `i` and
+    /// reschedules it.
+    fn injection_tick(&mut self, i: usize, ctx: &mut TapCtx<'_>) {
+        let Some(mut run) = self.injections[i].take() else {
+            return;
+        };
+        let burst = run.per_tick.min(run.remaining);
+        let mask = if self.adapter.seq_bits() >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.adapter.seq_bits()) - 1
+        };
+        for i in 0..burst {
+            let (src, dst) = match run.direction {
+                InjectDirection::ToServer => (self.client_addr(), self.server_addr()),
+                InjectDirection::ToClient => (self.server_addr(), self.client_addr()),
+            };
+            let mut dst = dst;
+            if run.inert {
+                // The false-positive check: identical volume and pacing,
+                // but aimed at a dead port so no connection can react.
+                dst.port = dst.port.wrapping_add(7_777);
+            }
+            let ictx = InjectContext { src, dst, seq: run.next_seq };
+            if let Some(pkt) = self.adapter.build_inject(&run.packet_type, ictx) {
+                let toward_b = self.toward_b(run.direction);
+                // Spread the burst inside the tick to avoid a single
+                // line-rate spike.
+                let spread = SimDuration::from_micros(i * 100);
+                ctx.inject(pkt, toward_b, spread);
+                self.report.injected += 1;
+            }
+            run.next_seq = (run.next_seq.wrapping_add(run.stride.max(1))) & mask;
+            run.remaining -= 1;
+        }
+        if run.remaining > 0 {
+            ctx.set_timer(run.tick, TAG_INJECT_BASE + i as u64);
+            self.injections[i] = Some(run);
+        }
+    }
+
+    fn apply_basic(
+        &mut self,
+        ctx: &mut TapCtx<'_>,
+        attack: &BasicAttack,
+        mut packet: Packet,
+        toward_b: bool,
+    ) {
+        self.report.matched += 1;
+        match attack {
+            BasicAttack::Drop { percent } => {
+                if self.rng.gen_range(0u32..100) < *percent as u32 {
+                    self.report.dropped += 1;
+                } else {
+                    ctx.forward(packet, toward_b);
+                }
+            }
+            BasicAttack::Duplicate { copies } => {
+                for _ in 0..*copies {
+                    ctx.forward(packet.clone(), toward_b);
+                    self.report.duplicates += 1;
+                }
+                ctx.forward(packet, toward_b);
+            }
+            BasicAttack::Delay { secs } => {
+                self.report.delayed += 1;
+                ctx.forward_delayed(packet, toward_b, SimDuration::from_secs_f64(*secs));
+            }
+            BasicAttack::Batch { secs } => {
+                self.report.batched += 1;
+                self.batch.push((packet, toward_b));
+                if !self.batch_armed {
+                    self.batch_armed = true;
+                    ctx.set_timer(SimDuration::from_secs_f64(*secs), TAG_BATCH);
+                }
+            }
+            BasicAttack::Reflect => {
+                self.report.reflected += 1;
+                swap_endpoints(&self.adapter.spec(), &mut packet);
+                ctx.send_back(packet, toward_b);
+            }
+            BasicAttack::Lie { field, mutation } => {
+                let spec = self.adapter.spec();
+                if let Ok(mut header) = spec.parse(std::mem::take(&mut packet.header)) {
+                    if mutation.apply(&mut header, field, &mut self.rng).is_ok() {
+                        self.report.lied += 1;
+                    }
+                    packet.header = header.into_bytes();
+                }
+                ctx.forward(packet, toward_b);
+            }
+        }
+    }
+}
+
+impl Tap for AttackProxy {
+    fn on_start(&mut self, ctx: &mut TapCtx<'_>) {
+        // Time-interval baseline rules are armed against the wall clock.
+        for (i, rule) in self.rules.iter().enumerate() {
+            if let StrategyKind::AtTime { at_secs, .. } = &rule.kind {
+                ctx.set_timer(SimDuration::from_secs_f64(*at_secs), TAG_INJECT_BASE + i as u64);
+            }
+        }
+        // Strategies keyed to an initial state (CLOSED / LISTEN) trigger
+        // before any packet flows.
+        self.maybe_trigger_injection(ctx);
+    }
+
+    fn on_packet(&mut self, ctx: &mut TapCtx<'_>, packet: Packet, toward_b: bool) {
+        if packet.protocol != self.adapter.protocol() {
+            // "Protocols not of interest are returned ... for normal
+            // processing" (§V-B).
+            ctx.forward(packet, toward_b);
+            return;
+        }
+        let Some(ptype) = self.adapter.classify(&packet.header, packet.payload_len) else {
+            ctx.forward(packet, toward_b);
+            return;
+        };
+        self.report.packets_seen += 1;
+
+        let from_client = toward_b == self.config.client_is_a;
+        if from_client {
+            self.observed_client = Some(packet.src);
+            self.observed_server = Some(packet.dst);
+            self.packets_from_client += 1;
+        } else {
+            self.observed_client = Some(packet.dst);
+            self.observed_server = Some(packet.src);
+            self.packets_from_server += 1;
+        }
+        let sender_count =
+            if from_client { self.packets_from_client } else { self.packets_from_server };
+
+        // The strategy keys on the *sender's* state at the moment the
+        // packet was sent — i.e. before this packet's own transition —
+        // tracked per connection.
+        let key = if from_client {
+            (packet.src, packet.dst)
+        } else {
+            (packet.dst, packet.src)
+        };
+        let idx = self.tracker_index(key);
+        let tracker = &mut self.trackers[idx].1;
+        let sender = if from_client { Endpoint::Client } else { Endpoint::Server };
+        let sender_state = match sender {
+            Endpoint::Client => tracker.client().current_name().to_owned(),
+            Endpoint::Server => tracker.server().current_name().to_owned(),
+        };
+        tracker.observe_packet(from_client, &ptype, ctx.now().as_nanos());
+        self.maybe_trigger_injection(ctx);
+
+        let matched = self.rules.iter().find_map(|rule| match &rule.kind {
+            StrategyKind::OnPacket { endpoint, state, packet_type, attack }
+                if *endpoint == sender && *state == sender_state && *packet_type == ptype =>
+            {
+                Some(attack.clone())
+            }
+            StrategyKind::OnNthPacket { endpoint, n, attack }
+                if *endpoint == sender && *n == sender_count =>
+            {
+                Some(attack.clone())
+            }
+            _ => None,
+        });
+        match matched {
+            Some(attack) => self.apply_basic(ctx, &attack, packet, toward_b),
+            None => ctx.forward(packet, toward_b),
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut TapCtx<'_>, tag: u64) {
+        match tag {
+            TAG_BATCH => {
+                self.batch_armed = false;
+                for (pkt, toward_b) in std::mem::take(&mut self.batch) {
+                    ctx.forward(pkt, toward_b);
+                }
+            }
+            t if t >= TAG_INJECT_BASE => {
+                let i = (t - TAG_INJECT_BASE) as usize;
+                if !self.started[i] {
+                    if let Some(Strategy { kind: StrategyKind::AtTime { attack, .. }, .. }) =
+                        self.rules.get(i).cloned()
+                    {
+                        self.started[i] = true;
+                        self.injections[i] = Some(self.make_run(attack));
+                    }
+                }
+                self.injection_tick(i, ctx)
+            }
+            _ => {}
+        }
+    }
+
+    fn on_finish(&mut self, now: SimTime) {
+        // Aggregate observations across every tracked connection.
+        let mut totals: HashMap<(String, String, String, &'static str), u64> = HashMap::new();
+        for (_, tracker) in &mut self.trackers {
+            tracker.finish(now.as_nanos());
+        }
+        for (_, tracker) in &self.trackers {
+            for (endpoint, t) in [("client", tracker.client()), ("server", tracker.server())] {
+                for (state, ptype, dir, count) in t.observed_pairs() {
+                    let dir = match dir {
+                        Dir::Send => "send",
+                        Dir::Recv => "recv",
+                    };
+                    *totals.entry((endpoint.to_owned(), state, ptype, dir)).or_insert(0) += count;
+                }
+            }
+        }
+        self.report.observed.clear();
+        let mut entries: Vec<_> = totals.into_iter().collect();
+        entries.sort();
+        for ((endpoint, state, ptype, dir), count) in entries {
+            self.report.observed.push((endpoint, state, ptype, dir.to_owned(), count));
+        }
+        if let Some((_, tracker)) = self.trackers.first() {
+            self.report.client_final_state = tracker.client().current_name().to_owned();
+            self.report.server_final_state = tracker.server().current_name().to_owned();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adapter::TcpAdapter;
+    use crate::strategy::SeqChoice;
+    use snake_netsim::{Dumbbell, DumbbellSpec, Simulator};
+    use snake_tcp::{Profile, ServerApp, TcpHost};
+
+    fn config(d: &Dumbbell) -> ProxyConfig {
+        ProxyConfig {
+            client_node: d.client1,
+            client_is_a: true,
+            server: Addr::new(d.server1, 80),
+            client_port_guess: 40_000,
+            seed: 99,
+        }
+    }
+
+    fn tcp_download(strategy: Option<Strategy>, secs: u64) -> (Simulator, Dumbbell) {
+        let mut sim = Simulator::new(5);
+        let d = Dumbbell::build(&mut sim, DumbbellSpec::evaluation_default());
+        let mut s1 = TcpHost::new(Profile::linux_3_13());
+        s1.listen(80, ServerApp::bulk_sender(u64::MAX));
+        sim.set_agent(d.server1, s1);
+        let mut c1 = TcpHost::new(Profile::linux_3_13());
+        c1.connect_at(SimTime::ZERO, Addr::new(d.server1, 80));
+        sim.set_agent(d.client1, c1);
+        let proxy = AttackProxy::new(TcpAdapter, config(&d), strategy);
+        sim.attach_tap(d.proxy_link, proxy);
+        sim.run_until(SimTime::from_secs(secs));
+        (sim, d)
+    }
+
+    #[test]
+    fn baseline_proxy_is_transparent_and_tracks() {
+        let (sim, d) = tcp_download(None, 5);
+        let delivered = sim.agent::<TcpHost>(d.client1).unwrap().total_delivered();
+        assert!(delivered > 2_000_000, "proxy must not impede traffic: {delivered}");
+        let proxy = sim.tap::<AttackProxy>(d.proxy_link).unwrap();
+        assert_eq!(proxy.tracker().client().current_name(), "ESTABLISHED");
+        assert_eq!(proxy.tracker().server().current_name(), "ESTABLISHED");
+        assert!(proxy.report().packets_seen > 1_000);
+        assert_eq!(proxy.report().matched, 0);
+    }
+
+    #[test]
+    fn report_contains_observed_pairs_after_finish() {
+        let (sim, d) = tcp_download(None, 3);
+        let proxy = sim.tap::<AttackProxy>(d.proxy_link).unwrap();
+        let report = proxy.report();
+        assert!(report
+            .observed
+            .iter()
+            .any(|(e, s, p, dir, _)| e == "client" && s == "CLOSED" && p == "SYN" && dir == "send"));
+        assert!(report
+            .observed
+            .iter()
+            .any(|(e, s, p, _, n)| e == "server" && s == "ESTABLISHED" && p == "DATA" && *n > 100));
+        assert_eq!(report.client_final_state, "ESTABLISHED");
+    }
+
+    #[test]
+    fn drop_strategy_blocks_handshake() {
+        // The server sends its SYN+ACK (and every retransmission of it)
+        // while tracked in SYN_RECEIVED; dropping there prevents
+        // connection establishment entirely. Note that dropping SYNs in
+        // CLOSED would only delay the handshake — the client's
+        // retransmissions happen in SYN_SENT — which is exactly the
+        // semantic deduplication state-keyed strategies buy.
+        let strategy = Strategy {
+            id: 1,
+            kind: StrategyKind::OnPacket {
+                endpoint: Endpoint::Server,
+                state: "SYN_RECEIVED".into(),
+                packet_type: "SYN+ACK".into(),
+                attack: BasicAttack::Drop { percent: 100 },
+            },
+        };
+        let (sim, d) = tcp_download(Some(strategy), 5);
+        let delivered = sim.agent::<TcpHost>(d.client1).unwrap().total_delivered();
+        assert_eq!(delivered, 0, "no data without a handshake");
+        let proxy = sim.tap::<AttackProxy>(d.proxy_link).unwrap();
+        assert!(proxy.report().dropped >= 1);
+    }
+
+    #[test]
+    fn strategy_only_matches_its_state_and_type() {
+        // Dropping DATA in SYN_SENT matches nothing: the server never
+        // sends data while the client is tracked in SYN_SENT.
+        let strategy = Strategy {
+            id: 2,
+            kind: StrategyKind::OnPacket {
+                endpoint: Endpoint::Server,
+                state: "LISTEN".into(),
+                packet_type: "DATA".into(),
+                attack: BasicAttack::Drop { percent: 100 },
+            },
+        };
+        let (sim, d) = tcp_download(Some(strategy), 5);
+        let delivered = sim.agent::<TcpHost>(d.client1).unwrap().total_delivered();
+        assert!(delivered > 2_000_000);
+        let proxy = sim.tap::<AttackProxy>(d.proxy_link).unwrap();
+        assert_eq!(proxy.report().matched, 0);
+    }
+
+    #[test]
+    fn reflect_syn_causes_simultaneous_open() {
+        // The paper's reflect example: answering the client's SYN with its
+        // own SYN drives the client into SYN_RECEIVED (simultaneous open)
+        // and the connection never transfers data.
+        let strategy = Strategy {
+            id: 3,
+            kind: StrategyKind::OnPacket {
+                endpoint: Endpoint::Client,
+                state: "CLOSED".into(),
+                packet_type: "SYN".into(),
+                attack: BasicAttack::Reflect,
+            },
+        };
+        let (sim, d) = tcp_download(Some(strategy), 5);
+        let delivered = sim.agent::<TcpHost>(d.client1).unwrap().total_delivered();
+        assert_eq!(delivered, 0);
+        let proxy = sim.tap::<AttackProxy>(d.proxy_link).unwrap();
+        assert!(proxy.report().reflected >= 1);
+    }
+
+    #[test]
+    fn lie_on_window_field_stalls_transfer() {
+        // Zeroing the client's advertised window is a flow-control attack:
+        // the server can never send.
+        let strategy = Strategy {
+            id: 4,
+            kind: StrategyKind::OnPacket {
+                endpoint: Endpoint::Client,
+                state: "ESTABLISHED".into(),
+                packet_type: "ACK".into(),
+                attack: BasicAttack::Lie {
+                    field: "window".into(),
+                    mutation: snake_packet::FieldMutation::Min,
+                },
+            },
+        };
+        let (sim, d) = tcp_download(Some(strategy), 10);
+        let baseline = {
+            let (sim_b, d_b) = tcp_download(None, 10);
+            sim_b.agent::<TcpHost>(d_b.client1).unwrap().total_delivered()
+        };
+        let attacked = sim.agent::<TcpHost>(d.client1).unwrap().total_delivered();
+        assert!(
+            (attacked as f64) < baseline as f64 * 0.5,
+            "zero-window lie must throttle: {attacked} vs baseline {baseline}"
+        );
+    }
+
+    #[test]
+    fn hitseqwindow_rst_kills_connection() {
+        // The brute-force Reset attack: RSTs at window-sized strides
+        // across the whole 32-bit space; one must land in-window.
+        let strategy = Strategy {
+            id: 5,
+            kind: StrategyKind::OnState {
+                endpoint: Endpoint::Client,
+                state: "ESTABLISHED".into(),
+                attack: InjectionAttack::HitSeqWindow {
+                    packet_type: "RST".into(),
+                    direction: InjectDirection::ToClient,
+                    stride: 65_535,
+                    count: 65_537,
+                    rate_pps: 20_000,
+                    inert: false,
+                },
+            },
+        };
+        let (sim, d) = tcp_download(Some(strategy), 15);
+        let metrics = sim.agent::<TcpHost>(d.client1).unwrap().conn_metrics();
+        assert_eq!(
+            metrics[0].state,
+            snake_tcp::State::Closed,
+            "a sequence-valid RST must reset the connection"
+        );
+        let proxy = sim.tap::<AttackProxy>(d.proxy_link).unwrap();
+        assert!(proxy.report().injected > 1_000);
+    }
+
+    #[test]
+    fn inert_hitseqwindow_does_not_reset() {
+        let strategy = Strategy {
+            id: 6,
+            kind: StrategyKind::OnState {
+                endpoint: Endpoint::Client,
+                state: "ESTABLISHED".into(),
+                attack: InjectionAttack::HitSeqWindow {
+                    packet_type: "RST".into(),
+                    direction: InjectDirection::ToClient,
+                    stride: 65_535,
+                    count: 65_537,
+                    rate_pps: 20_000,
+                    inert: true,
+                },
+            },
+        };
+        let (sim, d) = tcp_download(Some(strategy), 15);
+        let metrics = sim.agent::<TcpHost>(d.client1).unwrap().conn_metrics();
+        assert_eq!(metrics[0].state, snake_tcp::State::Established, "inert volume has no effect");
+    }
+
+    #[test]
+    fn single_random_inject_rarely_lands() {
+        let strategy = Strategy {
+            id: 7,
+            kind: StrategyKind::OnState {
+                endpoint: Endpoint::Client,
+                state: "ESTABLISHED".into(),
+                attack: InjectionAttack::Inject {
+                    packet_type: "RST".into(),
+                    seq: SeqChoice::Random,
+                    direction: InjectDirection::ToClient,
+                    repeat: 3,
+                },
+            },
+        };
+        let (sim, d) = tcp_download(Some(strategy), 5);
+        let metrics = sim.agent::<TcpHost>(d.client1).unwrap().conn_metrics();
+        // 3 random 32-bit guesses against a 64 KiB window: ~0.005% odds.
+        assert_eq!(metrics[0].state, snake_tcp::State::Established);
+        let proxy = sim.tap::<AttackProxy>(d.proxy_link).unwrap();
+        assert_eq!(proxy.report().injected, 3);
+    }
+
+    #[test]
+    fn duplicate_strategy_emits_copies() {
+        let strategy = Strategy {
+            id: 8,
+            kind: StrategyKind::OnPacket {
+                endpoint: Endpoint::Client,
+                state: "ESTABLISHED".into(),
+                packet_type: "ACK".into(),
+                attack: BasicAttack::Duplicate { copies: 2 },
+            },
+        };
+        let (sim, d) = tcp_download(Some(strategy), 5);
+        let proxy = sim.tap::<AttackProxy>(d.proxy_link).unwrap();
+        assert!(proxy.report().duplicates > 100);
+        assert_eq!(proxy.report().duplicates, proxy.report().matched * 2);
+    }
+
+    #[test]
+    fn nth_packet_baseline_attacks_exactly_one_packet() {
+        // The send-packet-based injection model (§IV-B): attack only the
+        // 5th packet the client sends (its handshake-final ACK or an early
+        // data ack) — one match, regardless of state.
+        let strategy = Strategy {
+            id: 20,
+            kind: StrategyKind::OnNthPacket {
+                endpoint: Endpoint::Client,
+                n: 5,
+                attack: BasicAttack::Drop { percent: 100 },
+            },
+        };
+        let (sim, d) = tcp_download(Some(strategy), 5);
+        let proxy = sim.tap::<AttackProxy>(d.proxy_link).unwrap();
+        assert_eq!(proxy.report().matched, 1, "exactly one packet matched");
+        assert_eq!(proxy.report().dropped, 1);
+        // A single dropped ack does not hurt a healthy connection.
+        let delivered = sim.agent::<TcpHost>(d.client1).unwrap().total_delivered();
+        assert!(delivered > 1_000_000);
+    }
+
+    #[test]
+    fn at_time_baseline_injects_at_offset() {
+        // The time-interval-based injection model (§IV-B): a blind RST at
+        // t = 2 s. A random 32-bit sequence guess virtually never lands.
+        let strategy = Strategy {
+            id: 21,
+            kind: StrategyKind::AtTime {
+                at_secs: 2.0,
+                attack: InjectionAttack::Inject {
+                    packet_type: "RST".into(),
+                    seq: SeqChoice::Random,
+                    direction: InjectDirection::ToClient,
+                    repeat: 3,
+                },
+            },
+        };
+        let (sim, d) = tcp_download(Some(strategy), 5);
+        let proxy = sim.tap::<AttackProxy>(d.proxy_link).unwrap();
+        assert_eq!(proxy.report().injected, 3);
+        let metrics = sim.agent::<TcpHost>(d.client1).unwrap().conn_metrics();
+        assert_eq!(metrics[0].state, snake_tcp::State::Established);
+    }
+
+    #[test]
+    fn combination_rules_apply_independently() {
+        // Two OnPacket rules active at once: duplicate client acks AND
+        // drop the server's PSH+ACK segments.
+        let rules = vec![
+            Strategy {
+                id: 30,
+                kind: StrategyKind::OnPacket {
+                    endpoint: Endpoint::Client,
+                    state: "ESTABLISHED".into(),
+                    packet_type: "ACK".into(),
+                    attack: BasicAttack::Duplicate { copies: 1 },
+                },
+            },
+            Strategy {
+                id: 31,
+                kind: StrategyKind::OnPacket {
+                    endpoint: Endpoint::Server,
+                    state: "ESTABLISHED".into(),
+                    packet_type: "PSH+ACK".into(),
+                    attack: BasicAttack::Drop { percent: 100 },
+                },
+            },
+        ];
+        let mut sim = Simulator::new(5);
+        let d = Dumbbell::build(&mut sim, DumbbellSpec::evaluation_default());
+        let mut s1 = TcpHost::new(Profile::linux_3_13());
+        s1.listen(80, ServerApp::bulk_sender(u64::MAX));
+        sim.set_agent(d.server1, s1);
+        let mut c1 = TcpHost::new(Profile::linux_3_13());
+        c1.connect_at(SimTime::ZERO, Addr::new(d.server1, 80));
+        sim.set_agent(d.client1, c1);
+        sim.attach_tap(d.proxy_link, AttackProxy::with_rules(TcpAdapter, config(&d), rules));
+        sim.run_until(SimTime::from_secs(5));
+        let proxy = sim.tap::<AttackProxy>(d.proxy_link).unwrap();
+        assert!(proxy.report().duplicates > 0, "rule 1 acted");
+        assert!(proxy.report().dropped > 0, "rule 2 acted");
+    }
+
+    #[test]
+    fn concurrent_connections_are_tracked_independently() {
+        // Two overlapping downloads through the proxy: each gets its own
+        // tracker, and both end tracked in ESTABLISHED.
+        let mut sim = Simulator::new(5);
+        let d = Dumbbell::build(&mut sim, DumbbellSpec::evaluation_default());
+        let mut s1 = TcpHost::new(Profile::linux_3_13());
+        s1.listen(80, ServerApp::bulk_sender(u64::MAX));
+        sim.set_agent(d.server1, s1);
+        let mut c1 = TcpHost::new(Profile::linux_3_13());
+        c1.connect_at(SimTime::ZERO, Addr::new(d.server1, 80));
+        c1.connect_at(SimTime::from_millis(500), Addr::new(d.server1, 80));
+        sim.set_agent(d.client1, c1);
+        sim.attach_tap(d.proxy_link, AttackProxy::new(TcpAdapter, config(&d), None));
+        sim.run_until(SimTime::from_secs(5));
+        let proxy = sim.tap::<AttackProxy>(d.proxy_link).unwrap();
+        assert_eq!(proxy.connections_tracked(), 2);
+        assert_eq!(proxy.tracker().client().current_name(), "ESTABLISHED");
+        // Both connections transferred data.
+        let metrics = sim.agent::<TcpHost>(d.client1).unwrap().conn_metrics();
+        assert_eq!(metrics.len(), 2);
+        assert!(metrics.iter().all(|m| m.delivered > 100_000));
+    }
+
+    #[test]
+    fn batch_strategy_preserves_packets() {
+        let strategy = Strategy {
+            id: 9,
+            kind: StrategyKind::OnPacket {
+                endpoint: Endpoint::Server,
+                state: "ESTABLISHED".into(),
+                packet_type: "DATA".into(),
+                attack: BasicAttack::Batch { secs: 0.5 },
+            },
+        };
+        let (sim, d) = tcp_download(Some(strategy), 10);
+        let delivered = sim.agent::<TcpHost>(d.client1).unwrap().total_delivered();
+        assert!(delivered > 0, "batched packets are released, not lost");
+        let proxy = sim.tap::<AttackProxy>(d.proxy_link).unwrap();
+        assert!(proxy.report().batched > 0);
+    }
+}

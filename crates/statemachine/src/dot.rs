@@ -1,0 +1,276 @@
+//! Parser for the dot-language state machine descriptions (paper §V-C).
+//!
+//! SNAKE accepts the subset of dot needed for protocol state machines:
+//!
+//! ```text
+//! digraph tcp {
+//!     // comments in either style
+//!     # shell-style too
+//!     CLOSED -> SYN_SENT [label="send:SYN"];
+//!     SYN_SENT -> ESTABLISHED [label="recv:SYN+ACK"];
+//! }
+//! ```
+//!
+//! Edge labels carry the transition events: `send:TYPE` or `recv:TYPE`,
+//! where `TYPE` is a packet-type label from the protocol's header spec.
+//! Multiple events may be separated by commas (`label="recv:RST, send:RST"`),
+//! producing one transition per event. Plain node declarations
+//! (`ESTABLISHED;`) are allowed and intern the state.
+
+use std::sync::Arc;
+
+use crate::{Dir, Event, StateMachine, StateMachineError};
+
+/// Parses a dot description into a [`StateMachine`].
+///
+/// # Errors
+///
+/// Returns [`StateMachineError::ParseError`] for syntax errors with the
+/// offending line, and [`StateMachineError::BadLabel`] for labels that are
+/// not `send:TYPE`/`recv:TYPE` lists.
+///
+/// # Examples
+///
+/// ```
+/// let m = snake_statemachine::parse_dot(
+///     "digraph t { A -> B [label=\"send:SYN\"]; }",
+/// )?;
+/// assert_eq!(m.state_count(), 2);
+/// # Ok::<(), snake_statemachine::StateMachineError>(())
+/// ```
+pub fn parse_dot(text: &str) -> Result<Arc<StateMachine>, StateMachineError> {
+    // Normalise statements: dot allows several per line and statements that
+    // span lines; we re-split on `;` and `{`/`}` while tracking line numbers
+    // approximately (good enough for error messages).
+    let mut name: Option<String> = None;
+    let mut edges: Vec<(String, String, Event)> = Vec::new();
+    let mut nodes: Vec<String> = Vec::new();
+    let mut in_body = false;
+    let mut closed = false;
+
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = strip_comments(raw);
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if closed {
+            return Err(perr(lineno, "content after closing `}`"));
+        }
+        let mut rest = line;
+        if !in_body {
+            let body = rest
+                .strip_prefix("digraph")
+                .ok_or_else(|| perr(lineno, "expected `digraph <name> {`"))?;
+            let body = body.trim();
+            let (n, tail) = match body.split_once('{') {
+                Some((n, tail)) => (n.trim(), tail),
+                None => return Err(perr(lineno, "expected `{` on digraph line")),
+            };
+            if n.is_empty() || !ident_ok(n) {
+                return Err(perr(lineno, "invalid digraph name"));
+            }
+            name = Some(n.to_owned());
+            in_body = true;
+            rest = tail;
+            if rest.trim().is_empty() {
+                continue;
+            }
+        }
+        // Statements within the body, separated by `;`. A lone `}` closes.
+        for stmt in rest.split(';') {
+            let stmt = stmt.trim();
+            if stmt.is_empty() {
+                continue;
+            }
+            if stmt == "}" {
+                in_body = false;
+                closed = true;
+                continue;
+            }
+            let stmt = match stmt.strip_suffix('}') {
+                Some(s) => {
+                    in_body = false;
+                    closed = true;
+                    let s = s.trim();
+                    if s.is_empty() {
+                        continue;
+                    }
+                    s
+                }
+                None => stmt,
+            };
+            parse_statement(stmt, lineno, &mut edges, &mut nodes)?;
+        }
+    }
+
+    if in_body {
+        return Err(perr(text.lines().count().max(1), "missing closing `}`"));
+    }
+    let name = name.ok_or_else(|| perr(1, "no `digraph` block found"))?;
+    if edges.is_empty() {
+        return Err(StateMachineError::EmptyMachine);
+    }
+    // Seed plain node declarations first so standalone states keep their
+    // declaration order, then the edges.
+    let mut seeded: Vec<(String, String, Event)> = Vec::new();
+    for n in nodes {
+        // A self-loop on a never-matching pseudo event interns the state
+        // without affecting stepping; cheaper than widening the machine API.
+        seeded.push((n.clone(), n, Event::new(Dir::Recv, "\u{0}never")));
+    }
+    seeded.extend(edges);
+    StateMachine::new(name, seeded)
+}
+
+fn parse_statement(
+    stmt: &str,
+    lineno: usize,
+    edges: &mut Vec<(String, String, Event)>,
+    nodes: &mut Vec<String>,
+) -> Result<(), StateMachineError> {
+    if let Some((from, rest)) = stmt.split_once("->") {
+        let from = from.trim();
+        if !ident_ok(from) {
+            return Err(perr(lineno, "invalid source state name"));
+        }
+        let (to, attrs) = match rest.find('[') {
+            Some(i) => (rest[..i].trim(), Some(rest[i..].trim())),
+            None => (rest.trim(), None),
+        };
+        if !ident_ok(to) {
+            return Err(perr(lineno, "invalid destination state name"));
+        }
+        let attrs = attrs.ok_or_else(|| perr(lineno, "edge missing [label=\"...\"]"))?;
+        let label = extract_label(attrs).ok_or_else(|| perr(lineno, "edge missing label"))?;
+        for part in label.split(',') {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            edges.push((from.to_owned(), to.to_owned(), parse_event(part)?));
+        }
+        Ok(())
+    } else {
+        // Plain node declaration, possibly with attributes we ignore.
+        let node = match stmt.find('[') {
+            Some(i) => stmt[..i].trim(),
+            None => stmt,
+        };
+        if !ident_ok(node) {
+            return Err(perr(lineno, "invalid statement"));
+        }
+        nodes.push(node.to_owned());
+        Ok(())
+    }
+}
+
+fn parse_event(text: &str) -> Result<Event, StateMachineError> {
+    let bad = || StateMachineError::BadLabel { label: text.to_owned() };
+    let (dir, ty) = text.split_once(':').ok_or_else(bad)?;
+    let dir = match dir.trim() {
+        "send" => Dir::Send,
+        "recv" => Dir::Recv,
+        _ => return Err(bad()),
+    };
+    let ty = ty.trim();
+    if ty.is_empty() {
+        return Err(bad());
+    }
+    Ok(Event::new(dir, ty))
+}
+
+fn extract_label(attrs: &str) -> Option<String> {
+    let i = attrs.find("label")?;
+    let rest = attrs[i + "label".len()..].trim_start();
+    let rest = rest.strip_prefix('=')?.trim_start();
+    let rest = rest.strip_prefix('"')?;
+    let end = rest.find('"')?;
+    Some(rest[..end].to_owned())
+}
+
+fn strip_comments(line: &str) -> &str {
+    let mut end = line.len();
+    if let Some(i) = line.find("//") {
+        end = end.min(i);
+    }
+    if let Some(i) = line.find('#') {
+        end = end.min(i);
+    }
+    &line[..end]
+}
+
+fn ident_ok(s: &str) -> bool {
+    !s.is_empty() && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-')
+}
+
+fn perr(line: usize, reason: &str) -> StateMachineError {
+    StateMachineError::ParseError { line, reason: reason.to_owned() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_minimal_machine() {
+        let m = parse_dot("digraph t { A -> B [label=\"send:SYN\"]; }").unwrap();
+        assert_eq!(m.name(), "t");
+        assert_eq!(m.state_count(), 2);
+        let a = m.state("A").unwrap();
+        assert_eq!(m.step(a, Dir::Send, "SYN"), Some(m.state("B").unwrap()));
+    }
+
+    #[test]
+    fn parses_multiline_with_comments() {
+        let text = "digraph proto {\n  // establishment\n  A -> B [label=\"recv:REQ\"];\n  # teardown\n  B -> A [label=\"send:FIN+ACK\"];\n}\n";
+        let m = parse_dot(text).unwrap();
+        assert_eq!(m.transitions().len(), 2);
+    }
+
+    #[test]
+    fn comma_separated_events_fan_out() {
+        let m = parse_dot("digraph t { A -> B [label=\"recv:RST, send:RST\"]; }").unwrap();
+        assert_eq!(m.transitions().len(), 2);
+        let a = m.state("A").unwrap();
+        let b = m.state("B").unwrap();
+        assert_eq!(m.step(a, Dir::Recv, "RST"), Some(b));
+        assert_eq!(m.step(a, Dir::Send, "RST"), Some(b));
+    }
+
+    #[test]
+    fn plain_node_declarations_intern_states() {
+        let m = parse_dot("digraph t { LONELY; A -> B [label=\"send:X\"]; }").unwrap();
+        assert!(m.state("LONELY").is_ok());
+        assert_eq!(m.states()[0], "LONELY");
+    }
+
+    #[test]
+    fn rejects_edge_without_label() {
+        assert!(parse_dot("digraph t { A -> B; }").is_err());
+    }
+
+    #[test]
+    fn rejects_bad_event_direction() {
+        let e = parse_dot("digraph t { A -> B [label=\"emit:SYN\"]; }").unwrap_err();
+        assert!(matches!(e, StateMachineError::BadLabel { .. }));
+    }
+
+    #[test]
+    fn rejects_missing_brace() {
+        assert!(parse_dot("digraph t { A -> B [label=\"send:X\"];").is_err());
+    }
+
+    #[test]
+    fn rejects_empty_graph() {
+        assert!(matches!(parse_dot("digraph t { }"), Err(StateMachineError::EmptyMachine)));
+    }
+
+    #[test]
+    fn packet_type_labels_may_contain_plus() {
+        let m = parse_dot("digraph t { A -> B [label=\"recv:SYN+ACK\"]; }").unwrap();
+        let a = m.state("A").unwrap();
+        assert!(m.step(a, Dir::Recv, "SYN+ACK").is_some());
+    }
+}

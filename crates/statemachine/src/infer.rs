@@ -1,0 +1,351 @@
+//! Passive state-machine inference (k-tails).
+//!
+//! The paper assumes the protocol's state machine is available from its
+//! specification, noting that "for proprietary protocols where the
+//! specification of the state machine may not be available, recent work in
+//! state machine inference may be leveraged" (§I, citing Wang et al.).
+//! This module implements that escape hatch: given event traces observed
+//! from an endpoint (packet type send/receive sequences, exactly what the
+//! attack proxy sees), it infers a connection-lifecycle state machine with
+//! the classic k-tails algorithm:
+//!
+//! 1. build a prefix-tree acceptor over the traces,
+//! 2. merge states whose outgoing behaviour agrees for `k` steps,
+//! 3. re-merge until the result is deterministic.
+//!
+//! The inferred machine plugs directly into the
+//! [`Tracker`](crate::Tracker), so SNAKE can search a protocol it has
+//! never seen a specification for.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::sync::Arc;
+
+use crate::{Event, StateMachine, StateMachineError};
+
+/// Tuning for [`infer_machine`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InferenceConfig {
+    /// Look-ahead depth for state equivalence: two states merge when the
+    /// sets of event sequences of length ≤ `k` leaving them are equal.
+    /// `k = 2` recovers protocol handshake structure well in practice.
+    pub k: usize,
+}
+
+impl Default for InferenceConfig {
+    fn default() -> InferenceConfig {
+        InferenceConfig { k: 2 }
+    }
+}
+
+/// Infers a state machine from endpoint event traces.
+///
+/// Each trace is the ordered list of [`Event`]s one endpoint produced or
+/// consumed over one connection, starting from the protocol's initial
+/// state. The returned machine's initial state is named `S0`; other states
+/// are `S1`, `S2`, … in breadth-first discovery order.
+///
+/// # Errors
+///
+/// Returns [`StateMachineError::EmptyMachine`] when the traces contain no
+/// events at all.
+///
+/// # Examples
+///
+/// ```
+/// use snake_statemachine::{infer_machine, Dir, Event, InferenceConfig};
+///
+/// let trace = vec![
+///     Event::new(Dir::Send, "SYN"),
+///     Event::new(Dir::Recv, "SYN+ACK"),
+///     Event::new(Dir::Send, "ACK"),
+/// ];
+/// let machine = infer_machine("tcp_client", &[trace], InferenceConfig::default())?;
+/// assert!(machine.state_count() >= 2);
+/// # Ok::<(), snake_statemachine::StateMachineError>(())
+/// ```
+pub fn infer_machine(
+    name: impl Into<String>,
+    traces: &[Vec<Event>],
+    config: InferenceConfig,
+) -> Result<Arc<StateMachine>, StateMachineError> {
+    // --- 1. Prefix-tree acceptor -------------------------------------
+    // State 0 is the root; children keyed by event.
+    let mut children: Vec<BTreeMap<Event, usize>> = vec![BTreeMap::new()];
+    for trace in traces {
+        let mut at = 0usize;
+        for event in trace {
+            at = match children[at].get(event) {
+                Some(&next) => next,
+                None => {
+                    let next = children.len();
+                    children.push(BTreeMap::new());
+                    children[at].insert(event.clone(), next);
+                    next
+                }
+            };
+        }
+    }
+    if children.len() == 1 {
+        return Err(StateMachineError::EmptyMachine);
+    }
+
+    // --- 2. k-tails equivalence over the PTA -------------------------
+    let n = children.len();
+    let mut tails: Vec<BTreeSet<Vec<Event>>> = vec![BTreeSet::new(); n];
+    for state in 0..n {
+        collect_tails(&children, state, config.k, &mut Vec::new(), &mut tails[state]);
+    }
+    let mut uf = UnionFind::new(n);
+    let mut by_tail: HashMap<&BTreeSet<Vec<Event>>, usize> = HashMap::new();
+    for (state, tail) in tails.iter().enumerate() {
+        match by_tail.get(tail) {
+            Some(&rep) => uf.union(rep, state),
+            None => {
+                by_tail.insert(tail, state);
+            }
+        }
+    }
+
+    // --- 3. Determinise by further merging ---------------------------
+    // If a merged state has two transitions on the same event to
+    // different groups, those target groups must merge too.
+    loop {
+        let mut changed = false;
+        let mut outgoing: HashMap<(usize, &Event), usize> = HashMap::new();
+        for (state, edges) in children.iter().enumerate() {
+            let group = uf.find(state);
+            for (event, &to) in edges {
+                let to_group = uf.find(to);
+                match outgoing.get(&(group, event)) {
+                    Some(&existing) if uf.find(existing) != to_group => {
+                        uf.union(existing, to_group);
+                        changed = true;
+                    }
+                    Some(_) => {}
+                    None => {
+                        outgoing.insert((group, event), to_group);
+                    }
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // --- 4. Emit the machine (BFS naming from the root) --------------
+    let mut group_name: HashMap<usize, String> = HashMap::new();
+    let mut order: Vec<usize> = Vec::new();
+    let root = uf.find(0);
+    group_name.insert(root, "S0".to_owned());
+    order.push(root);
+    let mut frontier = std::collections::VecDeque::from([root]);
+    while let Some(group) = frontier.pop_front() {
+        // Deterministic child order: scan PTA states in index order.
+        for (state, edges) in children.iter().enumerate() {
+            if uf.find(state) != group {
+                continue;
+            }
+            for to in edges.values() {
+                let to_group = uf.find(*to);
+                if !group_name.contains_key(&to_group) {
+                    group_name.insert(to_group, format!("S{}", order.len()));
+                    order.push(to_group);
+                    frontier.push_back(to_group);
+                }
+            }
+        }
+    }
+
+    let mut edges_out: Vec<(String, String, Event)> = Vec::new();
+    let mut seen: BTreeSet<(String, String, String)> = BTreeSet::new();
+    // Seed the initial state first so it gets index 0 in the machine.
+    edges_out.push(("S0".to_owned(), "S0".to_owned(), Event::new(crate::Dir::Recv, "\u{0}never")));
+    for (state, edges) in children.iter().enumerate() {
+        let from = group_name[&uf.find(state)].clone();
+        for (event, to) in edges {
+            let to = group_name[&uf.find(*to)].clone();
+            let key = (from.clone(), to.clone(), event.to_string());
+            if seen.insert(key) {
+                edges_out.push((from.clone(), to, event.clone()));
+            }
+        }
+    }
+    StateMachine::new(name, edges_out)
+}
+
+/// Collects all event sequences of length ≤ `k` leaving `state`.
+fn collect_tails(
+    children: &[BTreeMap<Event, usize>],
+    state: usize,
+    k: usize,
+    prefix: &mut Vec<Event>,
+    out: &mut BTreeSet<Vec<Event>>,
+) {
+    if !prefix.is_empty() || children[state].is_empty() {
+        out.insert(prefix.clone());
+    }
+    if prefix.len() == k {
+        return;
+    }
+    for (event, &next) in &children[state] {
+        prefix.push(event.clone());
+        collect_tails(children, next, k, prefix, out);
+        prefix.pop();
+    }
+}
+
+#[derive(Debug)]
+struct UnionFind {
+    parent: Vec<usize>,
+}
+
+impl UnionFind {
+    fn new(n: usize) -> UnionFind {
+        UnionFind { parent: (0..n).collect() }
+    }
+
+    fn find(&mut self, x: usize) -> usize {
+        if self.parent[x] != x {
+            let root = self.find(self.parent[x]);
+            self.parent[x] = root;
+        }
+        self.parent[x]
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            // Merge into the smaller index so the root stays stable.
+            let (lo, hi) = if ra < rb { (ra, rb) } else { (rb, ra) };
+            self.parent[hi] = lo;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Dir, Tracker};
+
+    fn ev(dir: Dir, ty: &str) -> Event {
+        Event::new(dir, ty)
+    }
+
+    fn handshake_trace(n_data: usize) -> Vec<Event> {
+        let mut t = vec![
+            ev(Dir::Send, "SYN"),
+            ev(Dir::Recv, "SYN+ACK"),
+            ev(Dir::Send, "ACK"),
+        ];
+        for _ in 0..n_data {
+            t.push(ev(Dir::Recv, "DATA"));
+            t.push(ev(Dir::Send, "ACK"));
+        }
+        t.push(ev(Dir::Recv, "FIN+ACK"));
+        t.push(ev(Dir::Send, "ACK"));
+        t
+    }
+
+    #[test]
+    fn infers_handshake_structure() {
+        let traces: Vec<Vec<Event>> = (1..6).map(handshake_trace).collect();
+        let m = infer_machine("inferred_tcp", &traces, InferenceConfig::default()).unwrap();
+        // Handshake prefix must be present and deterministic.
+        let s0 = m.state("S0").unwrap();
+        let after_syn = m.step(s0, Dir::Send, "SYN").expect("SYN transition");
+        let after_synack = m.step(after_syn, Dir::Recv, "SYN+ACK").expect("SYN+ACK transition");
+        assert_ne!(after_syn, after_synack);
+        // The data-transfer loop must have collapsed into a cycle: from the
+        // established region, recv DATA / send ACK eventually revisits a
+        // state (rather than growing a chain per data packet).
+        assert!(
+            m.state_count() < 15,
+            "k-tails must fold the data loop: {} states",
+            m.state_count()
+        );
+    }
+
+    #[test]
+    fn inferred_machine_replays_its_own_traces() {
+        let traces: Vec<Vec<Event>> = (1..6).map(handshake_trace).collect();
+        let m = infer_machine("inferred_tcp", &traces, InferenceConfig::default()).unwrap();
+        // Every training trace must be a valid path from S0: each event
+        // either transitions or (never, here) self-loops.
+        for trace in &traces {
+            let mut tracker = Tracker::new(m.clone(), "S0").unwrap();
+            let mut t = 0;
+            for e in trace {
+                let before = tracker.current();
+                tracker.observe(e.dir, &e.packet_type, t);
+                t += 1;
+                // Transitions observed during training must exist: the
+                // machine accepts the trace without falling back to the
+                // implicit self-loop on handshake events.
+                if e.packet_type != "ACK" && e.packet_type != "DATA" {
+                    assert!(
+                        m.step(before, e.dir, &e.packet_type).is_some(),
+                        "missing transition for {e} in inferred machine"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn determinism_no_conflicting_edges() {
+        let traces: Vec<Vec<Event>> = (1..8).map(handshake_trace).collect();
+        let m = infer_machine("d", &traces, InferenceConfig { k: 2 }).unwrap();
+        use std::collections::HashMap;
+        let mut seen: HashMap<(usize, String), usize> = HashMap::new();
+        for t in m.transitions() {
+            let key = (t.from.index(), t.event.to_string());
+            if let Some(&existing) = seen.get(&key) {
+                assert_eq!(existing, t.to.index(), "nondeterministic edge on {}", t.event);
+            }
+            seen.insert(key, t.to.index());
+        }
+    }
+
+    #[test]
+    fn distinct_behaviours_stay_distinct() {
+        // Two different protocols' traces: a handshake and a one-shot
+        // request/response. Inference on each gives different machines.
+        let hs = vec![handshake_trace(2)];
+        let rr = vec![vec![ev(Dir::Send, "REQ"), ev(Dir::Recv, "RESP")]];
+        let a = infer_machine("a", &hs, InferenceConfig::default()).unwrap();
+        let b = infer_machine("b", &rr, InferenceConfig::default()).unwrap();
+        assert!(a.state_count() > b.state_count());
+        let b0 = b.state("S0").unwrap();
+        assert!(b.step(b0, Dir::Send, "REQ").is_some());
+        assert!(b.step(b0, Dir::Send, "SYN").is_none());
+    }
+
+    #[test]
+    fn empty_traces_rejected() {
+        assert!(matches!(
+            infer_machine("e", &[], InferenceConfig::default()),
+            Err(StateMachineError::EmptyMachine)
+        ));
+        assert!(matches!(
+            infer_machine("e", &[vec![]], InferenceConfig::default()),
+            Err(StateMachineError::EmptyMachine)
+        ));
+    }
+
+    #[test]
+    fn k_zero_collapses_everything() {
+        // k = 0 makes all non-leaf states equivalent: maximal merging.
+        let traces: Vec<Vec<Event>> = (1..4).map(handshake_trace).collect();
+        let m = infer_machine("k0", &traces, InferenceConfig { k: 0 }).unwrap();
+        assert!(m.state_count() <= 2, "k=0 should collapse: {}", m.state_count());
+    }
+
+    #[test]
+    fn larger_k_refines() {
+        let traces: Vec<Vec<Event>> = (1..6).map(handshake_trace).collect();
+        let coarse = infer_machine("c", &traces, InferenceConfig { k: 1 }).unwrap();
+        let fine = infer_machine("f", &traces, InferenceConfig { k: 3 }).unwrap();
+        assert!(fine.state_count() >= coarse.state_count());
+    }
+}

@@ -1,0 +1,118 @@
+//! Wraparound-safe 32-bit sequence number arithmetic (RFC 793 §3.3).
+//!
+//! The attack proxy routinely mutates sequence and acknowledgment fields to
+//! extreme values, so every comparison in the engine must be modular; plain
+//! `<` would make the engine accept or reject the wrong segments near the
+//! wrap point and the reproduction of the sequence-window attacks (Reset,
+//! SYN-Reset) would be unsound.
+
+/// `a < b` in sequence space.
+#[inline]
+pub fn lt(a: u32, b: u32) -> bool {
+    (a.wrapping_sub(b) as i32) < 0
+}
+
+/// `a <= b` in sequence space.
+#[inline]
+pub fn le(a: u32, b: u32) -> bool {
+    a == b || lt(a, b)
+}
+
+/// `a > b` in sequence space.
+#[inline]
+pub fn gt(a: u32, b: u32) -> bool {
+    lt(b, a)
+}
+
+/// `a >= b` in sequence space.
+#[inline]
+pub fn ge(a: u32, b: u32) -> bool {
+    le(b, a)
+}
+
+/// Whether `x` lies in the half-open window `[start, start + len)`,
+/// wraparound-safe.
+#[inline]
+pub fn in_window(x: u32, start: u32, len: u32) -> bool {
+    x.wrapping_sub(start) < len
+}
+
+/// Whether a segment `[seq, seq + seg_len)` overlaps the receive window
+/// `[rcv_nxt, rcv_nxt + rcv_wnd)` — the RFC 793 acceptability test.
+///
+/// Zero-length segments are acceptable when `seq` is inside the window (or
+/// equals `rcv_nxt` when the window is zero).
+pub fn segment_acceptable(seq: u32, seg_len: u32, rcv_nxt: u32, rcv_wnd: u32) -> bool {
+    if seg_len == 0 {
+        if rcv_wnd == 0 {
+            return seq == rcv_nxt;
+        }
+        return in_window(seq, rcv_nxt, rcv_wnd);
+    }
+    if rcv_wnd == 0 {
+        return false;
+    }
+    // First byte in window, or last byte in window.
+    in_window(seq, rcv_nxt, rcv_wnd)
+        || in_window(seq.wrapping_add(seg_len - 1), rcv_nxt, rcv_wnd)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_ordering() {
+        assert!(lt(1, 2));
+        assert!(gt(2, 1));
+        assert!(le(2, 2));
+        assert!(ge(2, 2));
+    }
+
+    #[test]
+    fn ordering_across_wrap() {
+        assert!(lt(u32::MAX, 0), "MAX is just before 0");
+        assert!(gt(5, u32::MAX - 5));
+        assert!(lt(u32::MAX - 5, 5));
+    }
+
+    #[test]
+    fn window_membership() {
+        assert!(in_window(10, 10, 1));
+        assert!(!in_window(11, 10, 1));
+        assert!(in_window(0, u32::MAX, 10), "window spanning the wrap");
+        assert!(!in_window(u32::MAX - 1, u32::MAX, 10));
+    }
+
+    #[test]
+    fn acceptability_zero_length() {
+        // Pure ACK exactly at rcv_nxt.
+        assert!(segment_acceptable(100, 0, 100, 65_535));
+        // Just below the window.
+        assert!(!segment_acceptable(99, 0, 100, 65_535));
+        // At the top edge (exclusive).
+        assert!(!segment_acceptable(100 + 65_535, 0, 100, 65_535));
+        // Zero window accepts only rcv_nxt.
+        assert!(segment_acceptable(100, 0, 100, 0));
+        assert!(!segment_acceptable(101, 0, 100, 0));
+    }
+
+    #[test]
+    fn acceptability_with_payload() {
+        // Fully inside.
+        assert!(segment_acceptable(100, 1460, 100, 65_535));
+        // Overlapping the left edge: old data but tail is new.
+        assert!(segment_acceptable(50, 100, 100, 65_535));
+        // Entirely old.
+        assert!(!segment_acceptable(50, 10, 100, 65_535));
+        // Zero window never accepts data.
+        assert!(!segment_acceptable(100, 1, 100, 0));
+    }
+
+    #[test]
+    fn acceptability_across_wrap() {
+        let rcv_nxt = u32::MAX - 100;
+        assert!(segment_acceptable(rcv_nxt, 1460, rcv_nxt, 65_535));
+        assert!(segment_acceptable(10, 1460, rcv_nxt, 65_535), "window wraps past zero");
+    }
+}

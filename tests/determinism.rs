@@ -1,0 +1,100 @@
+//! Determinism guarantees: identical (scenario, strategy, seed) inputs
+//! produce identical outcomes. The campaign's repeatability re-test and
+//! the exactness of the baseline comparison both rest on this.
+
+use snake_core::{Executor, ProtocolKind, ScenarioSpec};
+use snake_dccp::DccpProfile;
+use snake_packet::FieldMutation;
+use snake_proxy::{
+    BasicAttack, Endpoint, InjectDirection, InjectionAttack, Strategy, StrategyKind,
+};
+use snake_tcp::Profile;
+
+fn tcp_spec(seed: u64) -> ScenarioSpec {
+    ScenarioSpec { seed, ..ScenarioSpec::quick(ProtocolKind::Tcp(Profile::linux_3_0_0())) }
+}
+
+#[test]
+fn baseline_is_bit_for_bit_reproducible() {
+    let a = Executor::run(&tcp_spec(42), None);
+    let b = Executor::run(&tcp_spec(42), None);
+    assert_eq!(a, b);
+}
+
+#[test]
+fn attack_runs_are_reproducible_including_probabilistic_attacks() {
+    // Drop 50% uses the proxy RNG; the seed pins it.
+    let strategy = Strategy {
+        id: 9,
+        kind: StrategyKind::OnPacket {
+            endpoint: Endpoint::Server,
+            state: "ESTABLISHED".into(),
+            packet_type: "DATA".into(),
+            attack: BasicAttack::Drop { percent: 50 },
+        },
+    };
+    let a = Executor::run(&tcp_spec(42), Some(strategy.clone()));
+    let b = Executor::run(&tcp_spec(42), Some(strategy));
+    assert_eq!(a, b);
+    assert!(a.proxy.dropped > 0, "the probabilistic attack did act");
+}
+
+#[test]
+fn random_field_mutations_are_reproducible() {
+    let strategy = Strategy {
+        id: 10,
+        kind: StrategyKind::OnPacket {
+            endpoint: Endpoint::Client,
+            state: "ESTABLISHED".into(),
+            packet_type: "ACK".into(),
+            attack: BasicAttack::Lie { field: "ack".into(), mutation: FieldMutation::Random },
+        },
+    };
+    let a = Executor::run(&tcp_spec(7), Some(strategy.clone()));
+    let b = Executor::run(&tcp_spec(7), Some(strategy));
+    assert_eq!(a, b);
+}
+
+#[test]
+fn injection_attacks_are_reproducible() {
+    let strategy = Strategy {
+        id: 11,
+        kind: StrategyKind::OnState {
+            endpoint: Endpoint::Client,
+            state: "ESTABLISHED".into(),
+            attack: InjectionAttack::HitSeqWindow {
+                packet_type: "RST".into(),
+                direction: InjectDirection::ToClient,
+                stride: 65_535,
+                count: 10_000,
+                rate_pps: 20_000,
+                inert: false,
+            },
+        },
+    };
+    let a = Executor::run(&tcp_spec(5), Some(strategy.clone()));
+    let b = Executor::run(&tcp_spec(5), Some(strategy));
+    assert_eq!(a, b);
+}
+
+#[test]
+fn different_seeds_differ_in_detail_but_not_in_verdict_shape() {
+    let a = Executor::run(&tcp_spec(1), None);
+    let b = Executor::run(&tcp_spec(2), None);
+    // Different event interleavings...
+    assert_ne!(a.target_bytes, b.target_bytes);
+    // ...same qualitative picture (the repeatability re-test depends on
+    // this being stable across seeds).
+    assert_eq!(a.leaked_sockets, 0);
+    assert_eq!(b.leaked_sockets, 0);
+    let ratio = a.target_bytes as f64 / b.target_bytes as f64;
+    assert!(ratio > 0.5 && ratio < 2.0, "seed noise exceeds the detection threshold: {ratio}");
+}
+
+#[test]
+fn dccp_runs_are_reproducible() {
+    let spec = ScenarioSpec::quick(ProtocolKind::Dccp(DccpProfile::linux_3_13()));
+    let a = Executor::run(&spec, None);
+    let b = Executor::run(&spec, None);
+    assert_eq!(a, b);
+}

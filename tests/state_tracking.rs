@@ -1,0 +1,126 @@
+//! Validates SNAKE's packet-only state tracking against the engines'
+//! ground-truth states. The tracker never reads engine internals (the
+//! paper's tool has no such access), so this cross-check is the evidence
+//! that wire-level inference is good enough to key strategies on.
+
+use snake_netsim::{Addr, Dumbbell, DumbbellSpec, SimTime, Simulator};
+use snake_proxy::{AttackProxy, DccpAdapter, ProxyConfig, TcpAdapter};
+use snake_tcp::{Profile, ServerApp, TcpHost};
+
+fn proxy_config(d: &Dumbbell, port: u16) -> ProxyConfig {
+    ProxyConfig {
+        client_node: d.client1,
+        client_is_a: true,
+        server: Addr::new(d.server1, port),
+        client_port_guess: 40_000,
+        seed: 3,
+    }
+}
+
+#[test]
+fn tcp_tracker_matches_engine_through_data_transfer() {
+    let mut sim = Simulator::new(17);
+    let d = Dumbbell::build(&mut sim, DumbbellSpec::evaluation_default());
+    let mut server = TcpHost::new(Profile::linux_3_13());
+    server.listen(80, ServerApp::bulk_sender(u64::MAX));
+    sim.set_agent(d.server1, server);
+    let mut client = TcpHost::new(Profile::linux_3_13());
+    client.connect_at(SimTime::ZERO, Addr::new(d.server1, 80));
+    sim.set_agent(d.client1, client);
+    sim.attach_tap(d.proxy_link, AttackProxy::new(TcpAdapter, proxy_config(&d, 80), None));
+
+    // Sample at several points during the transfer: engine truth and
+    // tracked state must agree once the wire has quiesced.
+    for secs in [2, 4, 8] {
+        sim.run_until(SimTime::from_secs(secs));
+        let engine_client = sim.agent::<TcpHost>(d.client1).unwrap().conn_metrics()[0].state;
+        let engine_server = sim.agent::<TcpHost>(d.server1).unwrap().conn_metrics()[0].state;
+        let proxy = sim.tap::<AttackProxy>(d.proxy_link).unwrap();
+        assert_eq!(
+            proxy.tracker().client().current_name(),
+            engine_client.name(),
+            "client at t={secs}s"
+        );
+        assert_eq!(
+            proxy.tracker().server().current_name(),
+            engine_server.name(),
+            "server at t={secs}s"
+        );
+    }
+}
+
+#[test]
+fn tcp_tracker_follows_teardown() {
+    let mut sim = Simulator::new(17);
+    let d = Dumbbell::build(&mut sim, DumbbellSpec::evaluation_default());
+    // A bounded transfer so the teardown handshake happens naturally.
+    let mut server = TcpHost::new(Profile::linux_3_13());
+    server.listen(80, ServerApp::bulk_sender(300_000));
+    sim.set_agent(d.server1, server);
+    let mut client = TcpHost::new(Profile::linux_3_13());
+    client.connect_at(SimTime::ZERO, Addr::new(d.server1, 80));
+    sim.set_agent(d.client1, client);
+    sim.attach_tap(d.proxy_link, AttackProxy::new(TcpAdapter, proxy_config(&d, 80), None));
+
+    // Server finishes its 300 kB and the client app then closes cleanly.
+    sim.run_until(SimTime::from_secs(3));
+    sim.schedule_control(SimTime::from_secs(3), d.client1, |agent, ctx| {
+        let any: &mut dyn std::any::Any = agent;
+        any.downcast_mut::<TcpHost>().unwrap().close_all(ctx);
+    });
+    sim.run_until(SimTime::from_secs(10));
+
+    let engine_client = sim.agent::<TcpHost>(d.client1).unwrap().conn_metrics()[0].state;
+    let proxy = sim.tap::<AttackProxy>(d.proxy_link).unwrap();
+    let tracked = proxy.tracker().client().current_name();
+    assert_eq!(tracked, engine_client.name(), "teardown state agrees");
+    // The transfer completed and the close handshake ran: the client must
+    // have left ESTABLISHED.
+    assert_ne!(tracked, "ESTABLISHED");
+}
+
+#[test]
+fn dccp_tracker_matches_engine() {
+    use snake_dccp::{DccpHost, DccpProfile, DccpServerApp};
+    let mut sim = Simulator::new(23);
+    let d = Dumbbell::build(&mut sim, DumbbellSpec::evaluation_default());
+    let mut server = DccpHost::new(DccpProfile::linux_3_13());
+    server.listen(5_001, DccpServerApp::bulk_sender(u64::MAX));
+    sim.set_agent(d.server1, server);
+    let mut client = DccpHost::new(DccpProfile::linux_3_13());
+    client.connect_at(SimTime::ZERO, Addr::new(d.server1, 5_001));
+    sim.set_agent(d.client1, client);
+    sim.attach_tap(d.proxy_link, AttackProxy::new(DccpAdapter, proxy_config(&d, 5_001), None));
+
+    sim.run_until(SimTime::from_secs(5));
+    let engine_client = sim.agent::<DccpHost>(d.client1).unwrap().conn_metrics()[0].state;
+    let engine_server = sim.agent::<DccpHost>(d.server1).unwrap().conn_metrics()[0].state;
+    let proxy = sim.tap::<AttackProxy>(d.proxy_link).unwrap();
+    assert_eq!(proxy.tracker().client().current_name(), engine_client.name());
+    assert_eq!(proxy.tracker().server().current_name(), engine_server.name());
+    assert_eq!(engine_client.name(), "OPEN");
+}
+
+#[test]
+fn tracker_statistics_account_for_all_observed_packets() {
+    let mut sim = Simulator::new(17);
+    let d = Dumbbell::build(&mut sim, DumbbellSpec::evaluation_default());
+    let mut server = TcpHost::new(Profile::linux_3_13());
+    server.listen(80, ServerApp::bulk_sender(u64::MAX));
+    sim.set_agent(d.server1, server);
+    let mut client = TcpHost::new(Profile::linux_3_13());
+    client.connect_at(SimTime::ZERO, Addr::new(d.server1, 80));
+    sim.set_agent(d.client1, client);
+    sim.attach_tap(d.proxy_link, AttackProxy::new(TcpAdapter, proxy_config(&d, 80), None));
+    sim.run_until(SimTime::from_secs(5));
+
+    let proxy = sim.tap::<AttackProxy>(d.proxy_link).unwrap();
+    let seen = proxy.report().packets_seen;
+    // Every packet is observed by both endpoint trackers (one as send,
+    // one as recv), so each tracker's send-total plus recv-total equals
+    // the packet count.
+    for tracker in [proxy.tracker().client(), proxy.tracker().server()] {
+        let total: u64 = tracker.visited().map(|(_, s)| s.packet_count()).sum();
+        assert_eq!(total, seen);
+    }
+}
