@@ -11,7 +11,9 @@ use std::collections::BTreeSet;
 use criterion::{criterion_group, criterion_main, Criterion};
 use snake_bench::bench_scenario;
 use snake_core::search::{empirical_head_to_head, render_empirical, SearchSpaceParams};
-use snake_core::{generate_strategies, Executor, GenerationParams, ProtocolKind, DEFAULT_THRESHOLD};
+use snake_core::{
+    generate_strategies, Executor, GenerationParams, ProtocolKind, DEFAULT_THRESHOLD,
+};
 use snake_tcp::Profile;
 
 fn regenerate_comparison() {

@@ -19,7 +19,7 @@ fn regenerate_table1() {
             feedback_rounds: 1,
             ..CampaignConfig::new(spec)
         };
-        results.push(Campaign::run(config));
+        results.push(Campaign::run(config).expect("campaign preconditions hold"));
     }
     println!("\nTable I (capped to 150 strategies per implementation):");
     println!("{}", render_table1(&results));

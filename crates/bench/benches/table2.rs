@@ -54,42 +54,78 @@ fn table2_rows() -> Vec<(&'static str, ProtocolKind, Strategy)> {
         (
             "CLOSE_WAIT Resource Exhaustion",
             ProtocolKind::Tcp(Profile::linux_3_0_0()),
-            on_packet(Endpoint::Client, "FIN_WAIT_1", "RST", BasicAttack::Drop { percent: 100 }),
+            on_packet(
+                Endpoint::Client,
+                "FIN_WAIT_1",
+                "RST",
+                BasicAttack::Drop { percent: 100 },
+            ),
         ),
         (
             "Packets with Invalid Flags",
             ProtocolKind::Tcp(Profile::linux_3_0_0()),
-            on_packet(Endpoint::Client, "ESTABLISHED", "ACK", BasicAttack::Lie {
-                field: "syn".into(),
-                mutation: FieldMutation::Set(1),
-            }),
+            on_packet(
+                Endpoint::Client,
+                "ESTABLISHED",
+                "ACK",
+                BasicAttack::Lie {
+                    field: "syn".into(),
+                    mutation: FieldMutation::Set(1),
+                },
+            ),
         ),
         (
             "Duplicate Acknowledgment Spoofing",
             ProtocolKind::Tcp(Profile::windows_95()),
-            on_packet(Endpoint::Client, "ESTABLISHED", "ACK", BasicAttack::Duplicate { copies: 2 }),
+            on_packet(
+                Endpoint::Client,
+                "ESTABLISHED",
+                "ACK",
+                BasicAttack::Duplicate { copies: 2 },
+            ),
         ),
-        ("Reset Attack", ProtocolKind::Tcp(Profile::linux_3_13()), hitseq("RST")),
-        ("SYN-Reset Attack", ProtocolKind::Tcp(Profile::linux_3_13()), hitseq("SYN")),
+        (
+            "Reset Attack",
+            ProtocolKind::Tcp(Profile::linux_3_13()),
+            hitseq("RST"),
+        ),
+        (
+            "SYN-Reset Attack",
+            ProtocolKind::Tcp(Profile::linux_3_13()),
+            hitseq("SYN"),
+        ),
         (
             "Duplicate Acknowledgment Rate Limiting",
             ProtocolKind::Tcp(Profile::windows_8_1()),
-            on_packet(Endpoint::Server, "ESTABLISHED", "PSH+ACK", BasicAttack::Duplicate {
-                copies: 10,
-            }),
+            on_packet(
+                Endpoint::Server,
+                "ESTABLISHED",
+                "PSH+ACK",
+                BasicAttack::Duplicate { copies: 10 },
+            ),
         ),
         (
             "Acknowledgment Mung Resource Exhaustion",
             dccp.clone(),
-            on_packet(Endpoint::Client, "OPEN", "ACK", BasicAttack::Drop { percent: 100 }),
+            on_packet(
+                Endpoint::Client,
+                "OPEN",
+                "ACK",
+                BasicAttack::Drop { percent: 100 },
+            ),
         ),
         (
             "In-window Ack Sequence Number Modification",
             dccp.clone(),
-            on_packet(Endpoint::Client, "OPEN", "ACK", BasicAttack::Lie {
-                field: "seq".into(),
-                mutation: FieldMutation::Add(25),
-            }),
+            on_packet(
+                Endpoint::Client,
+                "OPEN",
+                "ACK",
+                BasicAttack::Lie {
+                    field: "seq".into(),
+                    mutation: FieldMutation::Add(25),
+                },
+            ),
         ),
         (
             "REQUEST Connection Termination",
@@ -137,8 +173,12 @@ fn bench(c: &mut Criterion) {
     regenerate_table2();
 
     let spec: ScenarioSpec = bench_scenario(ProtocolKind::Tcp(Profile::linux_3_0_0()));
-    let strategy =
-        on_packet(Endpoint::Client, "FIN_WAIT_1", "RST", BasicAttack::Drop { percent: 100 });
+    let strategy = on_packet(
+        Endpoint::Client,
+        "FIN_WAIT_1",
+        "RST",
+        BasicAttack::Drop { percent: 100 },
+    );
     let mut group = c.benchmark_group("attack_replay");
     group.sample_size(10);
     group.bench_function("close_wait_exhaustion", |b| {

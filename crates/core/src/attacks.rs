@@ -1,6 +1,5 @@
 use std::collections::BTreeMap;
 
-use serde::{Deserialize, Serialize};
 use snake_proxy::{BasicAttack, Endpoint, InjectionAttack, Strategy, StrategyKind};
 
 use crate::detect::Verdict;
@@ -8,7 +7,7 @@ use crate::scenario::{ProtocolKind, TestMetrics};
 
 /// The unique attacks of the paper's Table II, plus catch-all buckets for
 /// genuine-but-unnamed findings.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum KnownAttack {
     /// TCP: connections wedged in CLOSE_WAIT on the server after client
     /// teardown traffic is suppressed (server DoS).
@@ -52,7 +51,9 @@ impl KnownAttack {
             KnownAttack::SynResetAttack => "SYN-Reset Attack",
             KnownAttack::DupAckRateLimiting => "Duplicate Acknowledgment Rate Limiting",
             KnownAttack::AckMungExhaustion => "Acknowledgment Mung Resource Exhaustion",
-            KnownAttack::InWindowAckSeqMod => "In-window Acknowledgment Sequence Number Modification",
+            KnownAttack::InWindowAckSeqMod => {
+                "In-window Acknowledgment Sequence Number Modification"
+            }
             KnownAttack::RequestTermination => "REQUEST Connection Termination",
             KnownAttack::Other => "Other",
         }
@@ -85,7 +86,7 @@ impl std::fmt::Display for KnownAttack {
 /// strategies that all exploit the same mechanism ("many of these
 /// strategies are functionally the same attack, just performed on a
 /// different field or with a different value" — §VI-A).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AttackFinding {
     /// The named attack.
     pub attack: KnownAttack,
@@ -119,22 +120,29 @@ fn classify_tcp(strategy: &Strategy, verdict: &Verdict, metrics: &TestMetrics) -
         return KnownAttack::CloseWaitExhaustion;
     }
     match &strategy.kind {
-        StrategyKind::OnState { attack: InjectionAttack::HitSeqWindow { packet_type, .. }, .. } => {
-            match packet_type.as_str() {
-                "RST" => KnownAttack::ResetAttack,
-                "SYN" => KnownAttack::SynResetAttack,
-                _ => KnownAttack::Other,
-            }
-        }
-        StrategyKind::OnState { attack: InjectionAttack::Inject { packet_type, .. }, .. } => {
-            match packet_type.as_str() {
-                "RST" => KnownAttack::ResetAttack,
-                "SYN" => KnownAttack::SynResetAttack,
-                _ => KnownAttack::Other,
-            }
-        }
+        StrategyKind::OnState {
+            attack: InjectionAttack::HitSeqWindow { packet_type, .. },
+            ..
+        } => match packet_type.as_str() {
+            "RST" => KnownAttack::ResetAttack,
+            "SYN" => KnownAttack::SynResetAttack,
+            _ => KnownAttack::Other,
+        },
+        StrategyKind::OnState {
+            attack: InjectionAttack::Inject { packet_type, .. },
+            ..
+        } => match packet_type.as_str() {
+            "RST" => KnownAttack::ResetAttack,
+            "SYN" => KnownAttack::SynResetAttack,
+            _ => KnownAttack::Other,
+        },
         StrategyKind::AtTime { .. } | StrategyKind::OnNthPacket { .. } => KnownAttack::Other,
-        StrategyKind::OnPacket { endpoint, packet_type, attack, .. } => match attack {
+        StrategyKind::OnPacket {
+            endpoint,
+            packet_type,
+            attack,
+            ..
+        } => match attack {
             BasicAttack::Duplicate { .. } => {
                 if *endpoint == Endpoint::Client && packet_type == "ACK" && verdict.throughput_gain
                 {
@@ -167,7 +175,10 @@ fn classify_dccp(strategy: &Strategy, verdict: &Verdict, metrics: &TestMetrics) 
     } = &strategy.kind
     {
         if field == "seq"
-            && matches!(mutation, snake_packet::FieldMutation::Add(_) | snake_packet::FieldMutation::Sub(_))
+            && matches!(
+                mutation,
+                snake_packet::FieldMutation::Add(_) | snake_packet::FieldMutation::Sub(_)
+            )
             && (verdict.throughput_degradation || verdict.competing_degradation)
         {
             return KnownAttack::InWindowAckSeqMod;
@@ -193,7 +204,11 @@ fn classify_dccp(strategy: &Strategy, verdict: &Verdict, metrics: &TestMetrics) 
         } if packet_type == "REQUEST" && verdict.establishment_prevented => {
             KnownAttack::RequestTermination
         }
-        StrategyKind::OnPacket { endpoint: Endpoint::Client, attack, .. } => match attack {
+        StrategyKind::OnPacket {
+            endpoint: Endpoint::Client,
+            attack,
+            ..
+        } => match attack {
             BasicAttack::Lie { field, .. }
                 if field == "seq"
                     && (verdict.throughput_degradation || verdict.competing_degradation) =>
@@ -214,9 +229,7 @@ fn classify_dccp(strategy: &Strategy, verdict: &Verdict, metrics: &TestMetrics) 
 /// Groups classified true-attack strategies into unique attacks — the
 /// paper's reduction from "17–48 true attack strategies" to "3–4 true
 /// attacks" per implementation.
-pub fn cluster_attacks(
-    classified: &[(Strategy, Verdict, KnownAttack)],
-) -> Vec<AttackFinding> {
+pub fn cluster_attacks(classified: &[(Strategy, Verdict, KnownAttack)]) -> Vec<AttackFinding> {
     let mut clusters: BTreeMap<KnownAttack, AttackFinding> = BTreeMap::new();
     for (strategy, verdict, attack) in classified {
         let entry = clusters.entry(*attack).or_insert_with(|| AttackFinding {
@@ -238,7 +251,7 @@ pub fn cluster_attacks(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use snake_proxy::{InjectDirection, ProxyReport, SeqChoice};
+    use snake_proxy::{InjectDirection, SeqChoice};
     use snake_tcp::Profile;
 
     fn tcp() -> ProtocolKind {
@@ -256,12 +269,15 @@ mod tests {
             leaked_sockets: close_wait + with_queue,
             leaked_close_wait: close_wait,
             leaked_with_queue: with_queue,
-            proxy: ProxyReport::default(),
+            ..TestMetrics::empty()
         }
     }
 
     fn leak_verdict() -> Verdict {
-        Verdict { socket_leak: true, ..Verdict::default() }
+        Verdict {
+            socket_leak: true,
+            ..Verdict::default()
+        }
     }
 
     #[test]
@@ -298,9 +314,18 @@ mod tests {
                 },
             },
         };
-        let v = Verdict { throughput_degradation: true, ..Verdict::default() };
-        assert_eq!(classify(&tcp(), &make("RST"), &v, &metrics(0, 0)), KnownAttack::ResetAttack);
-        assert_eq!(classify(&tcp(), &make("SYN"), &v, &metrics(0, 0)), KnownAttack::SynResetAttack);
+        let v = Verdict {
+            throughput_degradation: true,
+            ..Verdict::default()
+        };
+        assert_eq!(
+            classify(&tcp(), &make("RST"), &v, &metrics(0, 0)),
+            KnownAttack::ResetAttack
+        );
+        assert_eq!(
+            classify(&tcp(), &make("SYN"), &v, &metrics(0, 0)),
+            KnownAttack::SynResetAttack
+        );
     }
 
     #[test]
@@ -314,14 +339,25 @@ mod tests {
                 attack: BasicAttack::Duplicate { copies: 2 },
             },
         };
-        let gain = Verdict { throughput_gain: true, ..Verdict::default() };
-        let degraded = Verdict { throughput_degradation: true, ..Verdict::default() };
+        let gain = Verdict {
+            throughput_gain: true,
+            ..Verdict::default()
+        };
+        let degraded = Verdict {
+            throughput_degradation: true,
+            ..Verdict::default()
+        };
         assert_eq!(
             classify(&tcp(), &dup(Endpoint::Client, "ACK"), &gain, &metrics(0, 0)),
             KnownAttack::DupAckSpoofing
         );
         assert_eq!(
-            classify(&tcp(), &dup(Endpoint::Server, "PSH+ACK"), &degraded, &metrics(0, 0)),
+            classify(
+                &tcp(),
+                &dup(Endpoint::Server, "PSH+ACK"),
+                &degraded,
+                &metrics(0, 0)
+            ),
             KnownAttack::DupAckRateLimiting
         );
     }
@@ -341,8 +377,14 @@ mod tests {
                 },
             },
         };
-        let v = Verdict { establishment_prevented: true, ..Verdict::default() };
-        assert_eq!(classify(&dccp(), &s, &v, &metrics(0, 0)), KnownAttack::RequestTermination);
+        let v = Verdict {
+            establishment_prevented: true,
+            ..Verdict::default()
+        };
+        assert_eq!(
+            classify(&dccp(), &s, &v, &metrics(0, 0)),
+            KnownAttack::RequestTermination
+        );
     }
 
     #[test]
@@ -363,7 +405,10 @@ mod tests {
             classify(&dccp(), &lie("ack"), &leak_verdict(), &metrics(0, 1)),
             KnownAttack::AckMungExhaustion
         );
-        let degraded = Verdict { throughput_degradation: true, ..Verdict::default() };
+        let degraded = Verdict {
+            throughput_degradation: true,
+            ..Verdict::default()
+        };
         assert_eq!(
             classify(&dccp(), &lie("seq"), &degraded, &metrics(0, 0)),
             KnownAttack::InWindowAckSeqMod
@@ -381,8 +426,14 @@ mod tests {
                 attack: BasicAttack::Duplicate { copies: 1 },
             },
         };
-        let s2 = Strategy { id: 2, ..s1.clone() };
-        let gain = Verdict { throughput_gain: true, ..Verdict::default() };
+        let s2 = Strategy {
+            id: 2,
+            ..s1.clone()
+        };
+        let gain = Verdict {
+            throughput_gain: true,
+            ..Verdict::default()
+        };
         let clusters = cluster_attacks(&[
             (s1, gain, KnownAttack::DupAckSpoofing),
             (s2, gain, KnownAttack::DupAckSpoofing),

@@ -33,13 +33,25 @@ const IMPLEMENTATIONS: &[(&str, &str)] = &[
 
 const ATTACKS: &[(&str, &str)] = &[
     ("close-wait", "CLOSE_WAIT Resource Exhaustion (TCP, Linux)"),
-    ("dupack-spoofing", "Duplicate Acknowledgment Spoofing (TCP, Windows 95)"),
-    ("dupack-rate-limiting", "Duplicate Acknowledgment Rate Limiting (TCP, Windows 8.1)"),
+    (
+        "dupack-spoofing",
+        "Duplicate Acknowledgment Spoofing (TCP, Windows 95)",
+    ),
+    (
+        "dupack-rate-limiting",
+        "Duplicate Acknowledgment Rate Limiting (TCP, Windows 8.1)",
+    ),
     ("reset", "Reset Attack (TCP, all implementations)"),
     ("syn-reset", "SYN-Reset Attack (TCP, all implementations)"),
     ("ack-mung", "Acknowledgment Mung Resource Exhaustion (DCCP)"),
-    ("ack-seq-mod", "In-window Ack Sequence Number Modification (DCCP)"),
-    ("request-termination", "REQUEST Connection Termination (DCCP)"),
+    (
+        "ack-seq-mod",
+        "In-window Ack Sequence Number Modification (DCCP)",
+    ),
+    (
+        "request-termination",
+        "REQUEST Connection Termination (DCCP)",
+    ),
 ];
 
 fn main() -> ExitCode {
@@ -77,6 +89,7 @@ fn usage() {
          snake list\n  \
          snake baseline --impl <name> [--data-secs N] [--seed N]\n  \
          snake campaign --impl <name> [--cap N] [--data-secs N] [--grace-secs N] [--seed N] [--tsv FILE]\n  \
+                        [--journal FILE] [--resume] [--budget EVENTS] [--progress N]\n  \
          snake replay --attack <name>\n  \
          snake search-space\n\n\
          Run `snake list` for implementation and attack names."
@@ -85,7 +98,9 @@ fn usage() {
 
 /// Looks up `--key value` in an argument list.
 fn flag(args: &[String], key: &str) -> Option<String> {
-    args.iter().position(|a| a == key).and_then(|i| args.get(i + 1).cloned())
+    args.iter()
+        .position(|a| a == key)
+        .and_then(|i| args.get(i + 1).cloned())
 }
 
 fn parse_impl(args: &[String]) -> Result<ProtocolKind, String> {
@@ -96,7 +111,11 @@ fn parse_impl(args: &[String]) -> Result<ProtocolKind, String> {
         "windows-8.1" => ProtocolKind::Tcp(Profile::windows_8_1()),
         "windows-95" => ProtocolKind::Tcp(Profile::windows_95()),
         "dccp" => ProtocolKind::Dccp(DccpProfile::linux_3_13()),
-        other => return Err(format!("unknown implementation `{other}` (try `snake list`)")),
+        other => {
+            return Err(format!(
+                "unknown implementation `{other}` (try `snake list`)"
+            ))
+        }
     })
 }
 
@@ -130,29 +149,69 @@ fn cmd_baseline(args: &[String]) -> Result<(), String> {
     let spec = parse_scenario(args)?;
     let m = Executor::run(&spec, None);
     println!("implementation : {}", spec.protocol.implementation_name());
-    println!("data phase     : {} s (+{} s observation)", spec.data_secs, spec.grace_secs);
-    println!("target flow    : {} bytes ({:.2} Mbit/s)", m.target_bytes, mbps(m.target_bytes, spec.data_secs));
-    println!("competing flow : {} bytes ({:.2} Mbit/s)", m.competing_bytes, mbps(m.competing_bytes, spec.data_secs));
+    println!(
+        "data phase     : {} s (+{} s observation)",
+        spec.data_secs, spec.grace_secs
+    );
+    println!(
+        "target flow    : {} bytes ({:.2} Mbit/s)",
+        m.target_bytes,
+        mbps(m.target_bytes, spec.data_secs)
+    );
+    println!(
+        "competing flow : {} bytes ({:.2} Mbit/s)",
+        m.competing_bytes,
+        mbps(m.competing_bytes, spec.data_secs)
+    );
     println!("leaked sockets : {}", m.leaked_sockets);
     println!("packets seen   : {}", m.proxy.packets_seen);
-    println!("final states   : client {} / server {}", m.proxy.client_final_state, m.proxy.server_final_state);
+    println!(
+        "final states   : client {} / server {}",
+        m.proxy.client_final_state, m.proxy.server_final_state
+    );
     Ok(())
 }
 
 fn cmd_campaign(args: &[String]) -> Result<(), String> {
-    let spec = parse_scenario(args)?;
+    let mut spec = parse_scenario(args)?;
     let cap = match flag(args, "--cap") {
         Some(v) => Some(v.parse().map_err(|_| "--cap expects an integer")?),
         None => None,
     };
-    let config = CampaignConfig { max_strategies: cap, ..CampaignConfig::new(spec) };
+    if let Some(v) = flag(args, "--budget") {
+        let budget: u64 = v
+            .parse()
+            .map_err(|_| "--budget expects an integer (events)")?;
+        spec.event_budget = Some(budget);
+    }
+    let journal = flag(args, "--journal").map(std::path::PathBuf::from);
+    let resume = args.iter().any(|a| a == "--resume");
+    let progress_every = match flag(args, "--progress") {
+        Some(v) => v.parse().map_err(|_| "--progress expects an integer")?,
+        None => 0,
+    };
+    let config = CampaignConfig {
+        max_strategies: cap,
+        journal,
+        resume,
+        progress_every,
+        ..CampaignConfig::new(spec)
+    };
     let start = std::time::Instant::now();
-    let result = Campaign::run(config);
+    let result = Campaign::run(config).map_err(|e| e.to_string())?;
     eprintln!(
-        "{} strategies in {:.1?}",
+        "{} strategies in {:.1?} ({} errored, {} truncated)",
         result.strategies_tried(),
-        start.elapsed()
+        start.elapsed(),
+        result.errored(),
+        result.truncated()
     );
+    if result.resumed > 0 {
+        eprintln!(
+            "resumed {} outcomes from the journal ({} malformed lines skipped)",
+            result.resumed, result.journal_lines_skipped
+        );
+    }
     println!("{}", render_table1(std::slice::from_ref(&result)));
     println!("{}", render_table2(std::slice::from_ref(&result)));
     if let Some(path) = flag(args, "--tsv") {
@@ -182,7 +241,11 @@ fn cmd_replay(args: &[String]) -> Result<(), String> {
         "sockets  : {} leaked (CLOSE_WAIT {}, queue-wedged {})",
         attacked.leaked_sockets, attacked.leaked_close_wait, attacked.leaked_with_queue
     );
-    println!("verdict  : flagged={} {:?}", verdict.flagged(), verdict.labels());
+    println!(
+        "verdict  : flagged={} {:?}",
+        verdict.flagged(),
+        verdict.labels()
+    );
     Ok(())
 }
 
@@ -199,11 +262,21 @@ fn named_attack(name: &str) -> Result<(ProtocolKind, Strategy), String> {
     Ok(match name {
         "close-wait" => (
             ProtocolKind::Tcp(Profile::linux_3_0_0()),
-            on_packet(Endpoint::Client, "FIN_WAIT_1", "RST", BasicAttack::Drop { percent: 100 }),
+            on_packet(
+                Endpoint::Client,
+                "FIN_WAIT_1",
+                "RST",
+                BasicAttack::Drop { percent: 100 },
+            ),
         ),
         "dupack-spoofing" => (
             ProtocolKind::Tcp(Profile::windows_95()),
-            on_packet(Endpoint::Client, "ESTABLISHED", "ACK", BasicAttack::Duplicate { copies: 2 }),
+            on_packet(
+                Endpoint::Client,
+                "ESTABLISHED",
+                "ACK",
+                BasicAttack::Duplicate { copies: 2 },
+            ),
         ),
         "dupack-rate-limiting" => (
             ProtocolKind::Tcp(Profile::windows_8_1()),
@@ -234,14 +307,24 @@ fn named_attack(name: &str) -> Result<(ProtocolKind, Strategy), String> {
         ),
         "ack-mung" => (
             ProtocolKind::Dccp(DccpProfile::linux_3_13()),
-            on_packet(Endpoint::Client, "OPEN", "ACK", BasicAttack::Drop { percent: 100 }),
+            on_packet(
+                Endpoint::Client,
+                "OPEN",
+                "ACK",
+                BasicAttack::Drop { percent: 100 },
+            ),
         ),
         "ack-seq-mod" => (
             ProtocolKind::Dccp(DccpProfile::linux_3_13()),
-            on_packet(Endpoint::Client, "OPEN", "ACK", BasicAttack::Lie {
-                field: "seq".into(),
-                mutation: FieldMutation::Add(25),
-            }),
+            on_packet(
+                Endpoint::Client,
+                "OPEN",
+                "ACK",
+                BasicAttack::Lie {
+                    field: "seq".into(),
+                    mutation: FieldMutation::Add(25),
+                },
+            ),
         ),
         "request-termination" => (
             ProtocolKind::Dccp(DccpProfile::linux_3_13()),

@@ -1,18 +1,20 @@
-use std::collections::BTreeSet;
-use std::sync::Arc;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::fmt;
+use std::io;
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
 
-use crossbeam::channel;
-use serde::{Deserialize, Serialize};
 use snake_proxy::{InjectionAttack, Strategy, StrategyKind};
 
 use crate::attacks::{classify, cluster_attacks, AttackFinding};
-use crate::detect::{detect, Verdict, DEFAULT_THRESHOLD};
+use crate::detect::{baseline_valid, detect, Verdict, DEFAULT_THRESHOLD};
+use crate::journal::{self, JournalHeader, JournalWriter};
 use crate::scenario::{Executor, ScenarioSpec, TestMetrics};
 use crate::strategen::{generate_strategies, is_on_path, is_self_denial, GenerationParams};
 
 /// Configuration of one campaign: one implementation under test, searched
 /// exhaustively with the state-based strategy generator.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct CampaignConfig {
     /// The scenario every strategy is tested in.
     pub scenario: ScenarioSpec,
@@ -31,6 +33,42 @@ pub struct CampaignConfig {
     /// Re-test flagged strategies under a different seed and keep only
     /// repeatable ones (§V-A).
     pub retest: bool,
+    /// Streaming JSONL journal: every outcome is appended (and flushed) as
+    /// it completes, so a killed campaign leaves a usable record behind.
+    pub journal: Option<PathBuf>,
+    /// Resume from the journal: outcomes already recorded for an identical
+    /// strategy are reused instead of re-run, and new outcomes are appended
+    /// to the same file. Requires `journal`.
+    pub resume: bool,
+    /// Print a progress line to stderr every N completed strategies
+    /// (0 disables progress output).
+    pub progress_every: usize,
+    /// Test-only fault injection: called with each strategy right before
+    /// its evaluation, inside the panic isolation boundary. A hook that
+    /// panics simulates a crashing engine run.
+    pub fault_hook: Option<FaultHook>,
+}
+
+/// Fault-injection hook called before each strategy evaluation, inside the
+/// panic isolation boundary (see [`CampaignConfig::fault_hook`]).
+pub type FaultHook = Arc<dyn Fn(&Strategy) + Send + Sync>;
+
+impl fmt::Debug for CampaignConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CampaignConfig")
+            .field("scenario", &self.scenario)
+            .field("params", &self.params)
+            .field("threshold", &self.threshold)
+            .field("parallelism", &self.parallelism)
+            .field("max_strategies", &self.max_strategies)
+            .field("feedback_rounds", &self.feedback_rounds)
+            .field("retest", &self.retest)
+            .field("journal", &self.journal)
+            .field("resume", &self.resume)
+            .field("progress_every", &self.progress_every)
+            .field("fault_hook", &self.fault_hook.as_ref().map(|_| "<hook>"))
+            .finish()
+    }
 }
 
 impl CampaignConfig {
@@ -41,20 +79,117 @@ impl CampaignConfig {
             scenario,
             params: GenerationParams::default(),
             threshold: DEFAULT_THRESHOLD,
-            parallelism: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4),
+            parallelism: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4),
             max_strategies: None,
             feedback_rounds: 2,
             retest: true,
+            journal: None,
+            resume: false,
+            progress_every: 0,
+            fault_hook: None,
+        }
+    }
+}
+
+/// Why a campaign could not run (as opposed to running and finding
+/// nothing).
+#[derive(Debug)]
+pub enum CampaignError {
+    /// The no-attack baseline moved zero bytes on the target connection,
+    /// so no throughput comparison can be anchored. The scenario (or the
+    /// implementation model) is broken; running strategies against it
+    /// would produce garbage verdicts.
+    InvalidBaseline {
+        /// The implementation whose baseline failed.
+        implementation: String,
+    },
+    /// Reading or writing the journal failed.
+    Journal {
+        /// The journal path.
+        path: PathBuf,
+        /// The underlying I/O error.
+        source: io::Error,
+    },
+    /// The journal belongs to a different campaign (implementation, seed,
+    /// or threshold differ), so resuming from it would mix results.
+    JournalMismatch {
+        /// The journal path.
+        path: PathBuf,
+        /// What differed.
+        detail: String,
+    },
+    /// `resume` was requested without a journal path to resume from.
+    ResumeWithoutJournal,
+}
+
+impl fmt::Display for CampaignError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CampaignError::InvalidBaseline { implementation } => write!(
+                f,
+                "baseline run for {implementation} transferred no data; \
+                 the scenario cannot anchor attack detection"
+            ),
+            CampaignError::Journal { path, source } => {
+                write!(f, "journal {}: {source}", path.display())
+            }
+            CampaignError::JournalMismatch { path, detail } => {
+                write!(
+                    f,
+                    "journal {} is from a different campaign: {detail}",
+                    path.display()
+                )
+            }
+            CampaignError::ResumeWithoutJournal => {
+                f.write_str("resume requested without a journal path")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CampaignError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CampaignError::Journal { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+/// How a strategy's evaluation ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OutcomeKind {
+    /// The run completed normally; the verdict is meaningful.
+    Ok,
+    /// The engine panicked while evaluating the strategy. The panic was
+    /// contained, the metrics are zeroed, and the verdict is empty.
+    Errored,
+    /// The run hit the scenario's event budget (a livelock guard) and was
+    /// cut short; the verdict is empty because partial throughput cannot
+    /// be compared against a full-length baseline.
+    Truncated,
+}
+
+impl OutcomeKind {
+    /// Stable lower-case label, used in the journal and TSV export.
+    pub fn label(self) -> &'static str {
+        match self {
+            OutcomeKind::Ok => "ok",
+            OutcomeKind::Errored => "errored",
+            OutcomeKind::Truncated => "truncated",
         }
     }
 }
 
 /// The outcome of testing one strategy.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct StrategyOutcome {
     /// The strategy tested.
     pub strategy: Strategy,
-    /// Detection verdict against the baseline.
+    /// Detection verdict against the baseline (empty unless `outcome_kind`
+    /// is [`OutcomeKind::Ok`]).
     pub verdict: Verdict,
     /// Raw metrics of the (first) attack run.
     pub metrics: TestMetrics,
@@ -66,13 +201,22 @@ pub struct StrategyOutcome {
     /// packet volume rather than protocol effect (hitseqwindow false
     /// positives, §VI-A).
     pub false_positive: bool,
+    /// Whether the evaluation completed, panicked, or was truncated.
+    pub outcome_kind: OutcomeKind,
+    /// The panic message, when `outcome_kind` is [`OutcomeKind::Errored`].
+    pub error: Option<String>,
 }
 
 impl StrategyOutcome {
-    /// Flagged, repeatable, not on-path, not a false positive: a true
-    /// attack strategy (the paper's final per-row count).
+    /// Flagged, repeatable, not on-path, not a false positive — and from a
+    /// run that actually completed: a true attack strategy (the paper's
+    /// final per-row count).
     pub fn is_true_attack(&self) -> bool {
-        self.verdict.flagged() && self.repeatable && !self.on_path && !self.false_positive
+        self.outcome_kind == OutcomeKind::Ok
+            && self.verdict.flagged()
+            && self.repeatable
+            && !self.on_path
+            && !self.false_positive
     }
 }
 
@@ -98,6 +242,11 @@ pub struct CampaignResult {
     pub outcomes: Vec<StrategyOutcome>,
     /// Unique attacks found (clusters of true attack strategies).
     pub findings: Vec<AttackFinding>,
+    /// Outcomes reused from a resumed journal instead of re-run.
+    pub resumed: usize,
+    /// Journal lines that could not be parsed on resume (a killed writer
+    /// can leave a partial final line; it is skipped, not fatal).
+    pub journal_lines_skipped: usize,
 }
 
 impl CampaignResult {
@@ -106,9 +255,13 @@ impl CampaignResult {
         self.outcomes.len()
     }
 
-    /// Table I: attack strategies found (flagged and repeatable).
+    /// Table I: attack strategies found (flagged and repeatable, from
+    /// completed runs).
     pub fn attack_strategies_found(&self) -> usize {
-        self.outcomes.iter().filter(|o| o.verdict.flagged() && o.repeatable).count()
+        self.outcomes
+            .iter()
+            .filter(|o| o.outcome_kind == OutcomeKind::Ok && o.verdict.flagged() && o.repeatable)
+            .count()
     }
 
     /// Table I: of the found strategies, those requiring an on-path
@@ -116,7 +269,12 @@ impl CampaignResult {
     pub fn on_path_count(&self) -> usize {
         self.outcomes
             .iter()
-            .filter(|o| o.verdict.flagged() && o.repeatable && o.on_path)
+            .filter(|o| {
+                o.outcome_kind == OutcomeKind::Ok
+                    && o.verdict.flagged()
+                    && o.repeatable
+                    && o.on_path
+            })
             .count()
     }
 
@@ -124,7 +282,13 @@ impl CampaignResult {
     pub fn false_positive_count(&self) -> usize {
         self.outcomes
             .iter()
-            .filter(|o| o.verdict.flagged() && o.repeatable && !o.on_path && o.false_positive)
+            .filter(|o| {
+                o.outcome_kind == OutcomeKind::Ok
+                    && o.verdict.flagged()
+                    && o.repeatable
+                    && !o.on_path
+                    && o.false_positive
+            })
             .count()
     }
 
@@ -138,21 +302,38 @@ impl CampaignResult {
         self.findings.len()
     }
 
+    /// Strategies whose evaluation panicked (contained, not fatal).
+    pub fn errored(&self) -> usize {
+        self.outcomes
+            .iter()
+            .filter(|o| o.outcome_kind == OutcomeKind::Errored)
+            .count()
+    }
+
+    /// Strategies whose run hit the event budget and was cut short.
+    pub fn truncated(&self) -> usize {
+        self.outcomes
+            .iter()
+            .filter(|o| o.outcome_kind == OutcomeKind::Truncated)
+            .count()
+    }
+
     /// Exports every strategy outcome as tab-separated values (one row per
     /// strategy) for offline analysis — the controller-side log the
     /// paper's authors worked from when separating on-path strategies and
-    /// false positives by hand.
+    /// false positives by hand. Free-text fields (the strategy description
+    /// and panic messages) are escaped so each outcome stays exactly one
+    /// row with a fixed column count.
     pub fn export_outcomes_tsv(&self) -> String {
         let mut out = String::from(
-            "id	strategy	flagged	repeatable	on_path	false_positive	true_attack	effects	target_bytes	competing_bytes	leaked_sockets
-",
+            "id\tstrategy\toutcome\tflagged\trepeatable\ton_path\tfalse_positive\ttrue_attack\teffects\ttarget_bytes\tcompeting_bytes\tleaked_sockets\terror\n",
         );
         for o in &self.outcomes {
             out.push_str(&format!(
-                "{}	{}	{}	{}	{}	{}	{}	{}	{}	{}	{}
-",
+                "{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\n",
                 o.strategy.id,
-                o.strategy.describe(),
+                tsv_escape(&o.strategy.describe()),
+                o.outcome_kind.label(),
                 o.verdict.flagged(),
                 o.repeatable,
                 o.on_path,
@@ -162,6 +343,7 @@ impl CampaignResult {
                 o.metrics.target_bytes,
                 o.metrics.competing_bytes,
                 o.metrics.leaked_sockets,
+                tsv_escape(o.error.as_deref().unwrap_or("")),
             ));
         }
         out
@@ -170,7 +352,7 @@ impl CampaignResult {
     /// Renders this campaign as one Table I row.
     pub fn table_row(&self) -> String {
         format!(
-            "| {:<5} | {:<13} | {:>16} | {:>23} | {:>15} | {:>15} | {:>22} | {:>12} |",
+            "| {:<5} | {:<13} | {:>16} | {:>23} | {:>15} | {:>15} | {:>22} | {:>12} | {:>7} | {:>9} |",
             self.protocol,
             self.implementation,
             self.strategies_tried(),
@@ -178,30 +360,173 @@ impl CampaignResult {
             self.on_path_count(),
             self.false_positive_count(),
             self.true_attack_strategies(),
-            self.true_attacks()
+            self.true_attacks(),
+            self.errored(),
+            self.truncated()
         )
     }
+}
+
+/// Escapes a free-text value for one TSV cell: backslash, tab, newline and
+/// carriage return become two-character escapes, so the row and column
+/// structure of the export survives any `Strategy::describe()` output.
+fn tsv_escape(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for c in text.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\t' => out.push_str("\\t"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[derive(Default)]
+struct Progress {
+    done: usize,
+    errored: usize,
+    truncated: usize,
 }
 
 impl Campaign {
     /// Runs a full campaign: baseline, iterative strategy generation,
     /// parallel execution, verdicts, re-tests, false-positive controls,
     /// classification, clustering.
-    pub fn run(config: CampaignConfig) -> CampaignResult {
+    ///
+    /// A panicking engine run or a budget-truncated run does not abort the
+    /// campaign: the affected strategy is reported as
+    /// [`OutcomeKind::Errored`] / [`OutcomeKind::Truncated`] and the batch
+    /// continues. Errors are reserved for broken preconditions (invalid
+    /// baseline) and journal I/O.
+    pub fn run(config: CampaignConfig) -> Result<CampaignResult, CampaignError> {
         let spec = config.scenario.clone();
         let baseline = Executor::run(&spec, None);
+        if !baseline_valid(&baseline) {
+            return Err(CampaignError::InvalidBaseline {
+                implementation: spec.protocol.implementation_name().to_owned(),
+            });
+        }
         // The repeatability re-test compares a different-seed attack run
         // against the matching different-seed baseline.
-        let retest_spec = ScenarioSpec { seed: spec.seed.wrapping_add(1), ..spec.clone() };
-        let retest_baseline = if config.retest { Some(Executor::run(&retest_spec, None)) } else { None };
+        let retest_spec = ScenarioSpec {
+            seed: spec.seed.wrapping_add(1),
+            ..spec.clone()
+        };
+        let retest_baseline = if config.retest {
+            Some(Executor::run(&retest_spec, None))
+        } else {
+            None
+        };
+
+        // Journal setup: load previous outcomes when resuming, then keep a
+        // writer open for streaming appends.
+        let header = JournalHeader {
+            implementation: spec.protocol.implementation_name().to_owned(),
+            seed: spec.seed,
+            threshold: config.threshold,
+        };
+        let mut reusable: BTreeMap<u64, StrategyOutcome> = BTreeMap::new();
+        let mut journal_lines_skipped = 0;
+        let writer: Option<JournalWriter> = match (&config.journal, config.resume) {
+            (None, true) => return Err(CampaignError::ResumeWithoutJournal),
+            (None, false) => None,
+            (Some(path), resume) => {
+                let journal_err = |source| CampaignError::Journal {
+                    path: path.clone(),
+                    source,
+                };
+                if resume {
+                    let loaded = journal::load(path).map_err(journal_err)?;
+                    journal_lines_skipped = loaded.malformed_lines;
+                    match &loaded.header {
+                        Some(h) if *h != header => {
+                            return Err(CampaignError::JournalMismatch {
+                                path: path.clone(),
+                                detail: format!(
+                                    "journal is for {} (seed {}, threshold {}), \
+                                     this campaign is {} (seed {}, threshold {})",
+                                    h.implementation,
+                                    h.seed,
+                                    h.threshold,
+                                    header.implementation,
+                                    header.seed,
+                                    header.threshold
+                                ),
+                            });
+                        }
+                        Some(_) => {
+                            for o in loaded.outcomes {
+                                reusable.insert(o.strategy.id, o);
+                            }
+                            Some(JournalWriter::append(path).map_err(journal_err)?)
+                        }
+                        // Missing or empty journal: resuming from nothing is
+                        // just a fresh run.
+                        None => Some(JournalWriter::create(path, &header).map_err(journal_err)?),
+                    }
+                } else {
+                    Some(JournalWriter::create(path, &header).map_err(journal_err)?)
+                }
+            }
+        };
+
+        let journal_cell = writer.map(Mutex::new);
+        let journal_error: Mutex<Option<io::Error>> = Mutex::new(None);
+        let progress = Mutex::new(Progress::default());
+        let progress_every = config.progress_every;
+        let observer = |outcome: &StrategyOutcome| {
+            if let Some(cell) = &journal_cell {
+                let mut writer = cell.lock().unwrap_or_else(|e| e.into_inner());
+                if let Err(e) = writer.record(outcome) {
+                    let mut slot = journal_error.lock().unwrap_or_else(|e| e.into_inner());
+                    if slot.is_none() {
+                        *slot = Some(e);
+                    }
+                }
+            }
+            if progress_every > 0 {
+                let mut p = progress.lock().unwrap_or_else(|e| e.into_inner());
+                p.done += 1;
+                match outcome.outcome_kind {
+                    OutcomeKind::Ok => {}
+                    OutcomeKind::Errored => p.errored += 1,
+                    OutcomeKind::Truncated => p.truncated += 1,
+                }
+                if p.done % progress_every == 0 {
+                    eprintln!(
+                        "campaign: {} strategies tested ({} errored, {} truncated)",
+                        p.done, p.errored, p.truncated
+                    );
+                }
+            }
+        };
 
         let mut next_id = 0u64;
         let mut seen = BTreeSet::new();
         let mut outcomes: Vec<StrategyOutcome> = Vec::new();
+        let mut resumed = 0usize;
         let mut reports = vec![baseline.proxy.clone()];
-        let shared = Arc::new((spec.clone(), retest_spec, baseline.clone(), retest_baseline, config.clone()));
+        let shared = Arc::new((
+            spec.clone(),
+            retest_spec,
+            baseline.clone(),
+            retest_baseline,
+            config.clone(),
+        ));
 
         for _round in 0..config.feedback_rounds.max(1) {
+            // The cap is re-checked at the top of every round: feedback
+            // rounds keep generating strategies, so a cap satisfied in
+            // round 0 must still stop rounds 1..n.
+            if config
+                .max_strategies
+                .is_some_and(|cap| outcomes.len() >= cap)
+            {
+                break;
+            }
             let refs: Vec<&snake_proxy::ProxyReport> = reports.iter().collect();
             let mut fresh = generate_strategies(
                 &spec.protocol,
@@ -217,18 +542,51 @@ impl Campaign {
             if fresh.is_empty() {
                 break;
             }
-            let round_outcomes = run_batch(&shared, fresh, config.parallelism);
-            for o in &round_outcomes {
-                // Feedback: states/types newly exposed under attack seed
-                // the next round. Only well-behaved runs contribute.
-                reports.push(o.metrics.proxy.clone());
-            }
-            outcomes.extend(round_outcomes);
-            if let Some(cap) = config.max_strategies {
-                if outcomes.len() >= cap {
-                    break;
+
+            // Split the round into journaled outcomes we can reuse and
+            // strategies that still need a run. Identity is checked on the
+            // full strategy, not just the id, so a stale journal entry is
+            // re-run rather than trusted.
+            let mut round: Vec<Option<StrategyOutcome>> = fresh.iter().map(|_| None).collect();
+            let mut pending: Vec<(usize, Strategy)> = Vec::new();
+            for (i, s) in fresh.into_iter().enumerate() {
+                match reusable.remove(&s.id) {
+                    Some(prev) if prev.strategy == s => {
+                        resumed += 1;
+                        round[i] = Some(prev);
+                    }
+                    _ => pending.push((i, s)),
                 }
             }
+            let (indices, batch): (Vec<usize>, Vec<Strategy>) = pending.into_iter().unzip();
+            let ran = run_batch(&shared, batch, config.parallelism, &observer);
+            for (i, outcome) in indices.into_iter().zip(ran) {
+                round[i] = Some(outcome);
+            }
+
+            for o in round.into_iter().flatten() {
+                // Feedback: states/types newly exposed under attack seed
+                // the next round. Only well-behaved runs contribute —
+                // zeroed metrics from a panic or a half-finished truncated
+                // run would poison the generator's view of the state space.
+                if o.outcome_kind == OutcomeKind::Ok {
+                    reports.push(o.metrics.proxy.clone());
+                }
+                outcomes.push(o);
+            }
+        }
+
+        if let Some(source) = journal_error
+            .into_inner()
+            .unwrap_or_else(|e| e.into_inner())
+        {
+            return Err(CampaignError::Journal {
+                path: config
+                    .journal
+                    .clone()
+                    .expect("journal errors require a journal"),
+                source,
+            });
         }
 
         // Classify and cluster the true attack strategies.
@@ -242,13 +600,15 @@ impl Campaign {
             .collect();
         let findings = cluster_attacks(&classified);
 
-        CampaignResult {
+        Ok(CampaignResult {
             protocol: spec.protocol.protocol_name().to_owned(),
             implementation: spec.protocol.implementation_name().to_owned(),
             baseline,
             outcomes,
             findings,
-        }
+            resumed,
+            journal_lines_skipped,
+        })
     }
 }
 
@@ -266,20 +626,47 @@ type Shared = Arc<(
 fn evaluate(shared: &Shared, strategy: Strategy) -> StrategyOutcome {
     let (spec, retest_spec, baseline, retest_baseline, config) = &**shared;
     let metrics = Executor::run(spec, Some(strategy.clone()));
+    if metrics.truncated {
+        // A budget-truncated run transferred less data because it ran for
+        // less virtual time; comparing it against a full-length baseline
+        // would manufacture degradation verdicts. Report it as truncated
+        // and skip the re-test and control runs.
+        return StrategyOutcome {
+            on_path: is_on_path(&strategy),
+            strategy,
+            verdict: Verdict::default(),
+            metrics,
+            repeatable: false,
+            false_positive: false,
+            outcome_kind: OutcomeKind::Truncated,
+            error: None,
+        };
+    }
     let verdict = detect(baseline, &metrics, config.threshold);
 
     let mut repeatable = true;
     if verdict.flagged() {
         if let Some(base2) = retest_baseline {
             let again = Executor::run(retest_spec, Some(strategy.clone()));
-            repeatable = detect(base2, &again, config.threshold).flagged();
+            repeatable = !again.truncated && detect(base2, &again, config.threshold).flagged();
         }
     }
 
     let mut false_positive = false;
     if verdict.flagged() && repeatable {
-        if let StrategyKind::OnState { endpoint, state, attack: InjectionAttack::HitSeqWindow {
-            packet_type, direction, stride, count, rate_pps, inert: false } } = &strategy.kind
+        if let StrategyKind::OnState {
+            endpoint,
+            state,
+            attack:
+                InjectionAttack::HitSeqWindow {
+                    packet_type,
+                    direction,
+                    stride,
+                    count,
+                    rate_pps,
+                    inert: false,
+                },
+        } = &strategy.kind
         {
             // Control run: identical volume aimed at a dead port. If the
             // impact persists, it came from the packet volume, not from
@@ -301,7 +688,7 @@ fn evaluate(shared: &Shared, strategy: Strategy) -> StrategyOutcome {
             };
             let control_metrics = Executor::run(spec, Some(control));
             let control_verdict = detect(baseline, &control_metrics, config.threshold);
-            false_positive = control_verdict.flagged();
+            false_positive = !control_metrics.truncated && control_verdict.flagged();
         }
     }
 
@@ -312,54 +699,98 @@ fn evaluate(shared: &Shared, strategy: Strategy) -> StrategyOutcome {
         metrics,
         repeatable,
         false_positive,
+        outcome_kind: OutcomeKind::Ok,
+        error: None,
+    }
+}
+
+/// Wraps [`evaluate`] in a panic boundary: a crashing engine run becomes an
+/// [`OutcomeKind::Errored`] outcome carrying the panic message, instead of
+/// unwinding through the batch and losing every other result.
+fn evaluate_guarded(shared: &Shared, strategy: Strategy) -> StrategyOutcome {
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        if let Some(hook) = &shared.4.fault_hook {
+            hook(&strategy);
+        }
+        evaluate(shared, strategy.clone())
+    }));
+    match result {
+        Ok(outcome) => outcome,
+        Err(payload) => StrategyOutcome {
+            on_path: is_on_path(&strategy),
+            strategy,
+            verdict: Verdict::default(),
+            metrics: TestMetrics::empty(),
+            repeatable: false,
+            false_positive: false,
+            outcome_kind: OutcomeKind::Errored,
+            error: Some(panic_message(payload.as_ref())),
+        },
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with non-string payload".to_owned()
     }
 }
 
 /// Runs a batch of strategies across `parallelism` worker threads — the
-/// paper's pool of executors with linear speedup (§V-D).
-fn run_batch(shared: &Shared, strategies: Vec<Strategy>, parallelism: usize) -> Vec<StrategyOutcome> {
+/// paper's pool of executors with linear speedup (§V-D). Each completed
+/// outcome is handed to `observer` immediately (journal append, progress),
+/// so a killed process loses at most the runs that were still in flight.
+fn run_batch(
+    shared: &Shared,
+    strategies: Vec<Strategy>,
+    parallelism: usize,
+    observer: &(dyn Fn(&StrategyOutcome) + Sync),
+) -> Vec<StrategyOutcome> {
     let n = strategies.len();
     if n == 0 {
         return Vec::new();
     }
     let workers = parallelism.clamp(1, n);
     if workers == 1 {
-        return strategies.into_iter().map(|s| evaluate(shared, s)).collect();
+        return strategies
+            .into_iter()
+            .map(|s| {
+                let outcome = evaluate_guarded(shared, s);
+                observer(&outcome);
+                outcome
+            })
+            .collect();
     }
-    let (job_tx, job_rx) = channel::unbounded::<(usize, Strategy)>();
-    let (res_tx, res_rx) = channel::unbounded::<(usize, StrategyOutcome)>();
-    for (i, s) in strategies.into_iter().enumerate() {
-        job_tx.send((i, s)).expect("queue open");
-    }
-    drop(job_tx);
-
+    let jobs: Mutex<VecDeque<(usize, Strategy)>> =
+        Mutex::new(strategies.into_iter().enumerate().collect());
+    let slots: Mutex<Vec<Option<StrategyOutcome>>> = Mutex::new((0..n).map(|_| None).collect());
     std::thread::scope(|scope| {
         for _ in 0..workers {
-            let job_rx = job_rx.clone();
-            let res_tx = res_tx.clone();
-            let shared = Arc::clone(shared);
-            scope.spawn(move || {
-                while let Ok((i, strategy)) = job_rx.recv() {
-                    let outcome = evaluate(&shared, strategy);
-                    if res_tx.send((i, outcome)).is_err() {
-                        break;
-                    }
-                }
+            scope.spawn(|| loop {
+                let job = jobs.lock().unwrap_or_else(|e| e.into_inner()).pop_front();
+                let Some((i, strategy)) = job else { break };
+                let outcome = evaluate_guarded(shared, strategy);
+                observer(&outcome);
+                slots.lock().unwrap_or_else(|e| e.into_inner())[i] = Some(outcome);
             });
         }
-        drop(res_tx);
-        let mut slots: Vec<Option<StrategyOutcome>> = (0..n).map(|_| None).collect();
-        while let Ok((i, outcome)) = res_rx.recv() {
-            slots[i] = Some(outcome);
-        }
-        slots.into_iter().map(|o| o.expect("every job produced a result")).collect()
-    })
+    });
+    slots
+        .into_inner()
+        .unwrap_or_else(|e| e.into_inner())
+        .into_iter()
+        .flatten()
+        .collect()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::scenario::ProtocolKind;
+    use snake_proxy::{BasicAttack, Endpoint};
     use snake_tcp::Profile;
 
     #[test]
@@ -372,10 +803,12 @@ mod tests {
             retest: false,
             ..CampaignConfig::new(spec)
         };
-        let result = Campaign::run(config);
+        let result = Campaign::run(config).expect("valid baseline");
         assert_eq!(result.strategies_tried(), 12);
         assert_eq!(result.protocol, "TCP");
         assert!(result.baseline.target_bytes > 0);
+        assert_eq!(result.errored(), 0);
+        assert_eq!(result.truncated(), 0);
         // Bookkeeping invariants.
         assert!(result.attack_strategies_found() >= result.true_attack_strategies());
         let row = result.table_row();
@@ -392,11 +825,54 @@ mod tests {
             retest: false,
             ..CampaignConfig::new(spec)
         };
-        let result = Campaign::run(config);
+        let result = Campaign::run(config).expect("valid baseline");
         let tsv = result.export_outcomes_tsv();
         assert_eq!(tsv.lines().count(), 1 + 6, "header + one row per strategy");
         assert!(tsv.starts_with("id\tstrategy"));
         assert!(tsv.contains("drop=100%"));
+    }
+
+    #[test]
+    fn tsv_export_escapes_free_text_fields() {
+        let hostile = Strategy {
+            id: 1,
+            kind: StrategyKind::OnPacket {
+                endpoint: Endpoint::Client,
+                state: "EST\tABL\nISHED".into(),
+                packet_type: "ACK\r".into(),
+                attack: BasicAttack::Drop { percent: 100 },
+            },
+        };
+        let outcome = StrategyOutcome {
+            strategy: hostile,
+            verdict: Verdict::default(),
+            metrics: TestMetrics::empty(),
+            repeatable: false,
+            on_path: false,
+            false_positive: false,
+            outcome_kind: OutcomeKind::Errored,
+            error: Some("boom\tat line\n3".into()),
+        };
+        let result = CampaignResult {
+            protocol: "TCP".into(),
+            implementation: "test".into(),
+            baseline: TestMetrics::empty(),
+            outcomes: vec![outcome],
+            findings: Vec::new(),
+            resumed: 0,
+            journal_lines_skipped: 0,
+        };
+        let tsv = result.export_outcomes_tsv();
+        let lines: Vec<&str> = tsv.lines().collect();
+        assert_eq!(lines.len(), 2, "hostile describe() must not add rows");
+        let columns = lines[1].split('\t').count();
+        assert_eq!(
+            columns,
+            lines[0].split('\t').count(),
+            "column structure survives"
+        );
+        assert!(tsv.contains("EST\\tABL\\nISHED"));
+        assert!(tsv.contains("boom\\tat line\\n3"));
     }
 
     #[test]
@@ -408,10 +884,63 @@ mod tests {
             retest: false,
             ..CampaignConfig::new(spec)
         };
-        let serial = Campaign::run(CampaignConfig { parallelism: 1, ..base.clone() });
-        let parallel = Campaign::run(CampaignConfig { parallelism: 4, ..base });
-        let v1: Vec<_> = serial.outcomes.iter().map(|o| (o.strategy.id, o.verdict)).collect();
-        let v2: Vec<_> = parallel.outcomes.iter().map(|o| (o.strategy.id, o.verdict)).collect();
+        let serial = Campaign::run(CampaignConfig {
+            parallelism: 1,
+            ..base.clone()
+        })
+        .expect("valid baseline");
+        let parallel = Campaign::run(CampaignConfig {
+            parallelism: 4,
+            ..base
+        })
+        .expect("valid baseline");
+        let v1: Vec<_> = serial
+            .outcomes
+            .iter()
+            .map(|o| (o.strategy.id, o.verdict))
+            .collect();
+        let v2: Vec<_> = parallel
+            .outcomes
+            .iter()
+            .map(|o| (o.strategy.id, o.verdict))
+            .collect();
         assert_eq!(v1, v2, "parallelism must not change results");
+    }
+
+    #[test]
+    fn invalid_baseline_is_an_error_not_a_table() {
+        // A scenario with no data phase moves no bytes, so the baseline
+        // cannot anchor throughput comparisons.
+        let mut spec = ScenarioSpec::quick(ProtocolKind::Tcp(Profile::linux_3_13()));
+        spec.data_secs = 0;
+        spec.grace_secs = 0;
+        let config = CampaignConfig {
+            max_strategies: Some(2),
+            feedback_rounds: 1,
+            retest: false,
+            ..CampaignConfig::new(spec)
+        };
+        match Campaign::run(config) {
+            Err(CampaignError::InvalidBaseline { implementation }) => {
+                assert!(implementation.contains("3.13"), "{implementation}");
+            }
+            other => panic!("expected InvalidBaseline, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn resume_without_journal_is_rejected() {
+        let spec = ScenarioSpec::quick(ProtocolKind::Tcp(Profile::linux_3_13()));
+        let config = CampaignConfig {
+            resume: true,
+            max_strategies: Some(1),
+            feedback_rounds: 1,
+            retest: false,
+            ..CampaignConfig::new(spec)
+        };
+        assert!(matches!(
+            Campaign::run(config),
+            Err(CampaignError::ResumeWithoutJournal)
+        ));
     }
 }

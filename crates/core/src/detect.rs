@@ -1,5 +1,3 @@
-use serde::{Deserialize, Serialize};
-
 use crate::scenario::TestMetrics;
 
 /// The paper's detection threshold: "an increase or decrease in achieved
@@ -9,7 +7,7 @@ pub const DEFAULT_THRESHOLD: f64 = 0.5;
 
 /// What an attempted strategy did to the connection, relative to the
 /// baseline run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct Verdict {
     /// The target connection transferred no data at all — a
     /// connection-establishment attack.
@@ -62,36 +60,49 @@ impl Verdict {
 /// Compares a strategy run against the baseline run (paper §V-A: "the
 /// controller ... compares the received metrics observed after the tested
 /// attack with the metrics observed in a non-attack test run").
+///
+/// A baseline that moved zero bytes cannot anchor any throughput
+/// comparison — every attack run would spuriously flag `throughput_gain`
+/// against it. [`baseline_valid`] rejects such baselines, and
+/// `Campaign::run` surfaces that as an explicit error before testing a
+/// single strategy; here the throughput comparisons simply disengage so a
+/// caller probing `detect` directly gets no bogus flags either.
 pub fn detect(baseline: &TestMetrics, attacked: &TestMetrics, threshold: f64) -> Verdict {
     let lo = 1.0 - threshold;
     let hi = 1.0 + threshold;
-    let base_t = baseline.target_bytes.max(1) as f64;
-    let base_c = baseline.competing_bytes.max(1) as f64;
+    let base_t = baseline.target_bytes as f64;
+    let base_c = baseline.competing_bytes as f64;
     let t = attacked.target_bytes as f64;
     let c = attacked.competing_bytes as f64;
 
     Verdict {
         establishment_prevented: attacked.target_bytes == 0 && baseline.target_bytes > 0,
-        throughput_degradation: attacked.target_bytes > 0 && t < base_t * lo,
-        throughput_gain: t > base_t * hi,
-        competing_degradation: c < base_c * lo,
+        throughput_degradation: baseline.target_bytes > 0
+            && attacked.target_bytes > 0
+            && t < base_t * lo,
+        throughput_gain: baseline.target_bytes > 0 && t > base_t * hi,
+        competing_degradation: baseline.competing_bytes > 0 && c < base_c * lo,
         socket_leak: attacked.leaked_sockets > baseline.leaked_sockets,
     }
+}
+
+/// Whether a baseline run can anchor detection: it must have moved data on
+/// the target connection. Campaigns treat a failing baseline as an invalid
+/// precondition (see `CampaignError::InvalidBaseline`).
+pub fn baseline_valid(baseline: &TestMetrics) -> bool {
+    baseline.target_bytes > 0
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use snake_proxy::ProxyReport;
 
     fn metrics(target: u64, competing: u64, leaked: usize) -> TestMetrics {
         TestMetrics {
             target_bytes: target,
             competing_bytes: competing,
             leaked_sockets: leaked,
-            leaked_close_wait: 0,
-            leaked_with_queue: 0,
-            proxy: ProxyReport::default(),
+            ..TestMetrics::empty()
         }
     }
 
@@ -106,7 +117,10 @@ mod tests {
     fn small_changes_stay_below_threshold() {
         let base = metrics(10_000_000, 10_000_000, 0);
         let v = detect(&base, &metrics(7_000_000, 12_000_000, 0), DEFAULT_THRESHOLD);
-        assert!(!v.flagged(), "30% dip is within the factor-of-two fairness band");
+        assert!(
+            !v.flagged(),
+            "30% dip is within the factor-of-two fairness band"
+        );
     }
 
     #[test]
@@ -132,6 +146,23 @@ mod tests {
         let v = detect(&base, &metrics(0, 10_000_000, 0), DEFAULT_THRESHOLD);
         assert!(v.establishment_prevented);
         assert!(!v.throughput_degradation, "zero data is its own category");
+    }
+
+    #[test]
+    fn zero_byte_baseline_is_invalid_not_a_gain() {
+        let broken = metrics(0, 0, 0);
+        assert!(!baseline_valid(&broken));
+        assert!(baseline_valid(&metrics(1, 0, 0)));
+        // Even when probed directly, a broken baseline produces no bogus
+        // throughput flags (previously every run flagged `gain` against a
+        // baseline clamped to one byte).
+        let v = detect(
+            &broken,
+            &metrics(10_000_000, 10_000_000, 0),
+            DEFAULT_THRESHOLD,
+        );
+        assert!(!v.throughput_gain);
+        assert!(!v.flagged());
     }
 
     #[test]

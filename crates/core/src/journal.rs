@@ -1,0 +1,400 @@
+//! Streaming JSONL campaign journal.
+//!
+//! One line per completed [`StrategyOutcome`], appended and flushed as the
+//! executors finish, preceded by a header line identifying the campaign. A
+//! campaign process that is killed (or crashes) mid-run leaves behind every
+//! outcome that completed; `Campaign::run` with `resume: true` reloads
+//! them, re-runs only what is missing, and reproduces the same final table.
+//!
+//! The format is deliberately line-oriented: a writer dying mid-append can
+//! corrupt at most the final line, which the loader skips (and counts)
+//! instead of rejecting the whole journal.
+
+use std::fs::{File, OpenOptions};
+use std::io::{self, BufRead, BufReader, Write};
+use std::path::Path;
+
+use snake_json::{obj, FromJson, JsonError, ObjExt, ToJson, Value};
+use snake_proxy::{ProxyReport, Strategy};
+
+use crate::campaign::{OutcomeKind, StrategyOutcome};
+use crate::detect::Verdict;
+use crate::scenario::TestMetrics;
+
+impl ToJson for Verdict {
+    fn to_json(&self) -> Value {
+        obj([
+            (
+                "establishment_prevented",
+                Value::Bool(self.establishment_prevented),
+            ),
+            (
+                "throughput_degradation",
+                Value::Bool(self.throughput_degradation),
+            ),
+            ("throughput_gain", Value::Bool(self.throughput_gain)),
+            (
+                "competing_degradation",
+                Value::Bool(self.competing_degradation),
+            ),
+            ("socket_leak", Value::Bool(self.socket_leak)),
+        ])
+    }
+}
+
+impl FromJson for Verdict {
+    fn from_json(value: &Value) -> Result<Verdict, JsonError> {
+        Ok(Verdict {
+            establishment_prevented: value.req_bool("establishment_prevented")?,
+            throughput_degradation: value.req_bool("throughput_degradation")?,
+            throughput_gain: value.req_bool("throughput_gain")?,
+            competing_degradation: value.req_bool("competing_degradation")?,
+            socket_leak: value.req_bool("socket_leak")?,
+        })
+    }
+}
+
+impl ToJson for TestMetrics {
+    fn to_json(&self) -> Value {
+        obj([
+            ("target_bytes", Value::U64(self.target_bytes)),
+            ("competing_bytes", Value::U64(self.competing_bytes)),
+            ("leaked_sockets", Value::U64(self.leaked_sockets as u64)),
+            (
+                "leaked_close_wait",
+                Value::U64(self.leaked_close_wait as u64),
+            ),
+            (
+                "leaked_with_queue",
+                Value::U64(self.leaked_with_queue as u64),
+            ),
+            ("truncated", Value::Bool(self.truncated)),
+            ("proxy", self.proxy.to_json()),
+        ])
+    }
+}
+
+impl FromJson for TestMetrics {
+    fn from_json(value: &Value) -> Result<TestMetrics, JsonError> {
+        let count = |key: &str| -> Result<usize, JsonError> {
+            usize::try_from(value.req_u64(key)?)
+                .map_err(|_| JsonError::decode(format!("field `{key}` out of range")))
+        };
+        Ok(TestMetrics {
+            target_bytes: value.req_u64("target_bytes")?,
+            competing_bytes: value.req_u64("competing_bytes")?,
+            leaked_sockets: count("leaked_sockets")?,
+            leaked_close_wait: count("leaked_close_wait")?,
+            leaked_with_queue: count("leaked_with_queue")?,
+            truncated: value.req_bool("truncated")?,
+            proxy: ProxyReport::from_json(value.req("proxy")?)?,
+        })
+    }
+}
+
+impl ToJson for OutcomeKind {
+    fn to_json(&self) -> Value {
+        Value::Str(self.label().to_owned())
+    }
+}
+
+impl FromJson for OutcomeKind {
+    fn from_json(value: &Value) -> Result<OutcomeKind, JsonError> {
+        match value.as_str() {
+            Some("ok") => Ok(OutcomeKind::Ok),
+            Some("errored") => Ok(OutcomeKind::Errored),
+            Some("truncated") => Ok(OutcomeKind::Truncated),
+            _ => Err(JsonError::decode(
+                "outcome kind must be ok/errored/truncated",
+            )),
+        }
+    }
+}
+
+impl ToJson for StrategyOutcome {
+    fn to_json(&self) -> Value {
+        obj([
+            ("type", Value::Str("outcome".into())),
+            ("outcome", self.outcome_kind.to_json()),
+            (
+                "error",
+                match &self.error {
+                    Some(e) => Value::Str(e.clone()),
+                    None => Value::Null,
+                },
+            ),
+            ("strategy", self.strategy.to_json()),
+            ("verdict", self.verdict.to_json()),
+            ("metrics", self.metrics.to_json()),
+            ("repeatable", Value::Bool(self.repeatable)),
+            ("on_path", Value::Bool(self.on_path)),
+            ("false_positive", Value::Bool(self.false_positive)),
+        ])
+    }
+}
+
+impl FromJson for StrategyOutcome {
+    fn from_json(value: &Value) -> Result<StrategyOutcome, JsonError> {
+        let error = match value.req("error")? {
+            Value::Null => None,
+            Value::Str(s) => Some(s.clone()),
+            _ => return Err(JsonError::decode("field `error` must be a string or null")),
+        };
+        Ok(StrategyOutcome {
+            strategy: Strategy::from_json(value.req("strategy")?)?,
+            verdict: Verdict::from_json(value.req("verdict")?)?,
+            metrics: TestMetrics::from_json(value.req("metrics")?)?,
+            repeatable: value.req_bool("repeatable")?,
+            on_path: value.req_bool("on_path")?,
+            false_positive: value.req_bool("false_positive")?,
+            outcome_kind: OutcomeKind::from_json(value.req("outcome")?)?,
+            error,
+        })
+    }
+}
+
+/// The journal's first line: which campaign the outcomes belong to. Resume
+/// refuses a journal whose header does not match the current config.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JournalHeader {
+    /// Implementation under test.
+    pub implementation: String,
+    /// Scenario seed.
+    pub seed: u64,
+    /// Detection threshold.
+    pub threshold: f64,
+}
+
+impl ToJson for JournalHeader {
+    fn to_json(&self) -> Value {
+        obj([
+            ("type", Value::Str("campaign".into())),
+            ("implementation", Value::Str(self.implementation.clone())),
+            ("seed", Value::U64(self.seed)),
+            ("threshold", Value::F64(self.threshold)),
+        ])
+    }
+}
+
+impl FromJson for JournalHeader {
+    fn from_json(value: &Value) -> Result<JournalHeader, JsonError> {
+        Ok(JournalHeader {
+            implementation: value.req_str("implementation")?.to_owned(),
+            seed: value.req_u64("seed")?,
+            threshold: value.req_f64("threshold")?,
+        })
+    }
+}
+
+/// Appends outcomes to a journal file, flushing after every line so a
+/// killed process loses at most the line being written.
+#[derive(Debug)]
+pub struct JournalWriter {
+    file: File,
+}
+
+impl JournalWriter {
+    /// Starts a fresh journal (truncating any previous file) and writes
+    /// the header line.
+    pub fn create(path: &Path, header: &JournalHeader) -> io::Result<JournalWriter> {
+        let mut file = File::create(path)?;
+        let mut line = header.to_json().to_string_compact();
+        line.push('\n');
+        file.write_all(line.as_bytes())?;
+        file.flush()?;
+        Ok(JournalWriter { file })
+    }
+
+    /// Reopens an existing journal for appending (resume). If the previous
+    /// writer was killed mid-line, the file may not end with a newline;
+    /// one is added so the torn fragment cannot glue onto the next record.
+    pub fn append(path: &Path) -> io::Result<JournalWriter> {
+        use std::io::{Read, Seek, SeekFrom};
+        let mut file = OpenOptions::new()
+            .read(true)
+            .append(true)
+            .create(true)
+            .open(path)?;
+        let len = file.metadata()?.len();
+        if len > 0 {
+            file.seek(SeekFrom::End(-1))?;
+            let mut last = [0u8; 1];
+            file.read_exact(&mut last)?;
+            if last[0] != b'\n' {
+                file.write_all(b"\n")?;
+                file.flush()?;
+            }
+        }
+        Ok(JournalWriter { file })
+    }
+
+    /// Appends one outcome as a single JSONL line and flushes.
+    pub fn record(&mut self, outcome: &StrategyOutcome) -> io::Result<()> {
+        let mut line = outcome.to_json().to_string_compact();
+        debug_assert!(!line.contains('\n'), "journal lines must be single-line");
+        line.push('\n');
+        self.file.write_all(line.as_bytes())?;
+        self.file.flush()
+    }
+}
+
+/// A journal read back from disk.
+#[derive(Debug)]
+pub struct LoadedJournal {
+    /// The header line, when present and well-formed.
+    pub header: Option<JournalHeader>,
+    /// Every well-formed outcome line, in file order.
+    pub outcomes: Vec<StrategyOutcome>,
+    /// Lines that failed to parse (typically one partial final line left
+    /// by a killed writer).
+    pub malformed_lines: usize,
+}
+
+/// Loads a journal, tolerating a missing file (empty journal) and
+/// malformed lines (skipped and counted, never fatal).
+pub fn load(path: &Path) -> io::Result<LoadedJournal> {
+    let file = match File::open(path) {
+        Ok(f) => f,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => {
+            return Ok(LoadedJournal {
+                header: None,
+                outcomes: Vec::new(),
+                malformed_lines: 0,
+            })
+        }
+        Err(e) => return Err(e),
+    };
+    let mut header = None;
+    let mut outcomes = Vec::new();
+    let mut malformed_lines = 0;
+    for (index, line) in BufReader::new(file).lines().enumerate() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let parsed = match snake_json::parse(&line) {
+            Ok(v) => v,
+            Err(_) => {
+                malformed_lines += 1;
+                continue;
+            }
+        };
+        match parsed.req_str("type") {
+            Ok("campaign") if index == 0 => match JournalHeader::from_json(&parsed) {
+                Ok(h) => header = Some(h),
+                Err(_) => malformed_lines += 1,
+            },
+            Ok("outcome") => match StrategyOutcome::from_json(&parsed) {
+                Ok(o) => outcomes.push(o),
+                Err(_) => malformed_lines += 1,
+            },
+            _ => malformed_lines += 1,
+        }
+    }
+    Ok(LoadedJournal {
+        header,
+        outcomes,
+        malformed_lines,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snake_proxy::{BasicAttack, Endpoint, StrategyKind};
+
+    fn outcome(id: u64) -> StrategyOutcome {
+        StrategyOutcome {
+            strategy: Strategy {
+                id,
+                kind: StrategyKind::OnPacket {
+                    endpoint: Endpoint::Client,
+                    state: "ESTABLISHED".into(),
+                    packet_type: "ACK".into(),
+                    attack: BasicAttack::Drop { percent: 100 },
+                },
+            },
+            verdict: Verdict {
+                throughput_degradation: true,
+                ..Verdict::default()
+            },
+            metrics: TestMetrics {
+                target_bytes: 123,
+                ..TestMetrics::empty()
+            },
+            repeatable: true,
+            on_path: false,
+            false_positive: false,
+            outcome_kind: OutcomeKind::Ok,
+            error: None,
+        }
+    }
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!(
+            "snake-journal-test-{}-{name}.jsonl",
+            std::process::id()
+        ));
+        p
+    }
+
+    #[test]
+    fn outcomes_roundtrip_through_json() {
+        let mut o = outcome(7);
+        o.outcome_kind = OutcomeKind::Errored;
+        o.error = Some("engine panicked: index out of bounds".into());
+        let text = o.to_json().to_string_compact();
+        assert!(!text.contains('\n'));
+        let back = StrategyOutcome::from_json(&snake_json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, o);
+    }
+
+    #[test]
+    fn write_then_load_preserves_everything() {
+        let path = temp_path("roundtrip");
+        let header = JournalHeader {
+            implementation: "Linux 3.13".into(),
+            seed: 42,
+            threshold: 0.5,
+        };
+        let mut w = JournalWriter::create(&path, &header).unwrap();
+        w.record(&outcome(1)).unwrap();
+        w.record(&outcome(2)).unwrap();
+        drop(w);
+        let loaded = load(&path).unwrap();
+        assert_eq!(loaded.header, Some(header));
+        assert_eq!(loaded.outcomes.len(), 2);
+        assert_eq!(loaded.outcomes[0], outcome(1));
+        assert_eq!(loaded.malformed_lines, 0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn partial_final_line_is_skipped_not_fatal() {
+        let path = temp_path("partial");
+        let header = JournalHeader {
+            implementation: "x".into(),
+            seed: 1,
+            threshold: 0.5,
+        };
+        let mut w = JournalWriter::create(&path, &header).unwrap();
+        w.record(&outcome(1)).unwrap();
+        drop(w);
+        // Simulate a writer killed mid-append: a truncated JSON fragment.
+        let mut text = std::fs::read_to_string(&path).unwrap();
+        text.push_str("{\"type\":\"outcome\",\"outcome\":\"ok\",\"err");
+        std::fs::write(&path, text).unwrap();
+        let loaded = load(&path).unwrap();
+        assert_eq!(loaded.outcomes.len(), 1);
+        assert_eq!(loaded.malformed_lines, 1);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_file_is_an_empty_journal() {
+        let loaded = load(Path::new("/nonexistent/snake-journal.jsonl")).unwrap();
+        assert!(loaded.header.is_none());
+        assert!(loaded.outcomes.is_empty());
+    }
+}

@@ -33,7 +33,7 @@
 //!
 //! let spec = ScenarioSpec::evaluation(ProtocolKind::Tcp(Profile::linux_3_13()));
 //! let config = CampaignConfig { max_strategies: Some(25), ..CampaignConfig::new(spec) };
-//! let result = Campaign::run(config);
+//! let result = Campaign::run(config).expect("baseline must transfer data");
 //! println!("{}", result.table_row());
 //! ```
 
@@ -43,14 +43,18 @@
 mod attacks;
 mod campaign;
 mod detect;
+pub mod journal;
 mod report;
 mod scenario;
 pub mod search;
 mod strategen;
 
 pub use attacks::{classify, cluster_attacks, AttackFinding, KnownAttack};
-pub use campaign::{Campaign, CampaignConfig, CampaignResult, Controller, StrategyOutcome};
-pub use detect::{detect, Verdict, DEFAULT_THRESHOLD};
+pub use campaign::{
+    Campaign, CampaignConfig, CampaignError, CampaignResult, Controller, FaultHook, OutcomeKind,
+    StrategyOutcome,
+};
+pub use detect::{baseline_valid, detect, Verdict, DEFAULT_THRESHOLD};
 pub use report::{render_table1, render_table2};
 pub use scenario::{Executor, ProtocolKind, ScenarioSpec, TestMetrics};
 pub use strategen::{generate_strategies, is_on_path, is_self_denial, GenerationParams};

@@ -7,10 +7,10 @@ use crate::campaign::CampaignResult;
 pub fn render_table1(results: &[CampaignResult]) -> String {
     let mut out = String::new();
     out.push_str(
-        "| Proto | Implementation | Strategies Tried | Attack Strategies Found | On-path Attacks | False Positives | True Attack Strategies | True Attacks |\n",
+        "| Proto | Implementation | Strategies Tried | Attack Strategies Found | On-path Attacks | False Positives | True Attack Strategies | True Attacks | Errored | Truncated |\n",
     );
     out.push_str(
-        "|-------|----------------|------------------|-------------------------|-----------------|-----------------|------------------------|--------------|\n",
+        "|-------|----------------|------------------|-------------------------|-----------------|-----------------|------------------------|--------------|---------|-----------|\n",
     );
     for r in results {
         out.push_str(&r.table_row());
@@ -65,7 +65,6 @@ mod tests {
     use super::*;
     use crate::attacks::AttackFinding;
     use crate::scenario::TestMetrics;
-    use snake_proxy::ProxyReport;
 
     fn fake_result(implementation: &str, attack: KnownAttack) -> CampaignResult {
         CampaignResult {
@@ -74,10 +73,7 @@ mod tests {
             baseline: TestMetrics {
                 target_bytes: 1,
                 competing_bytes: 1,
-                leaked_sockets: 0,
-                leaked_close_wait: 0,
-                leaked_with_queue: 0,
-                proxy: ProxyReport::default(),
+                ..TestMetrics::empty()
             },
             outcomes: Vec::new(),
             findings: vec![AttackFinding {
@@ -86,13 +82,14 @@ mod tests {
                 example: "example".into(),
                 effects: vec!["degradation".into()],
             }],
+            resumed: 0,
+            journal_lines_skipped: 0,
         }
     }
 
     #[test]
     fn table1_has_header_and_rows() {
-        let results =
-            vec![fake_result("Linux 3.0.0", KnownAttack::ResetAttack)];
+        let results = vec![fake_result("Linux 3.0.0", KnownAttack::ResetAttack)];
         let t = render_table1(&results);
         assert!(t.contains("Strategies Tried"));
         assert!(t.contains("Linux 3.0.0"));

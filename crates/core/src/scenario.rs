@@ -1,4 +1,3 @@
-use serde::{Deserialize, Serialize};
 use snake_dccp::{DccpHost, DccpProfile, DccpServerApp};
 use snake_netsim::{Addr, Dumbbell, DumbbellSpec, SimTime, Simulator};
 use snake_proxy::{AttackProxy, DccpAdapter, ProxyConfig, ProxyReport, Strategy, TcpAdapter};
@@ -60,6 +59,11 @@ pub struct ScenarioSpec {
     /// connection — the paper's "an attacker can easily initiate hundreds
     /// of thousands of such connections" (§VI-A.1), scaled to simulation.
     pub target_connections: usize,
+    /// Optional cap on simulator events for the whole run. A livelocked or
+    /// packet-storm strategy is deterministically truncated when the cap is
+    /// hit (the run's metrics then carry [`TestMetrics::truncated`]) instead
+    /// of hanging an executor. `None` means unbounded.
+    pub event_budget: Option<u64>,
 }
 
 impl ScenarioSpec {
@@ -76,18 +80,29 @@ impl ScenarioSpec {
             grace_secs: 40,
             seed: 7,
             target_connections: 1,
+            event_budget: None,
         }
     }
 
     /// A reduced configuration for tests: 6 s of data, 35 s of grace.
     pub fn quick(protocol: ProtocolKind) -> ScenarioSpec {
-        ScenarioSpec { data_secs: 6, grace_secs: 35, ..ScenarioSpec::evaluation(protocol) }
+        ScenarioSpec {
+            data_secs: 6,
+            grace_secs: 35,
+            ..ScenarioSpec::evaluation(protocol)
+        }
+    }
+
+    /// Returns the spec with an event budget applied.
+    pub fn with_event_budget(mut self, budget: u64) -> ScenarioSpec {
+        self.event_budget = Some(budget);
+        self
     }
 }
 
 /// Everything an executor measures in one run and reports to the
 /// controller (paper §V-A).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TestMetrics {
     /// Bytes the target (proxied) connection delivered to its application
     /// during the data phase.
@@ -101,8 +116,28 @@ pub struct TestMetrics {
     pub leaked_close_wait: usize,
     /// Server-1 sockets stuck with data still queued (DCCP OPEN/CLOSING).
     pub leaked_with_queue: usize,
+    /// Whether the run hit [`ScenarioSpec::event_budget`] and was cut short;
+    /// the remaining metrics describe the truncated run, not a full one.
+    pub truncated: bool,
     /// The attack proxy's observation report.
     pub proxy: ProxyReport,
+}
+
+impl TestMetrics {
+    /// An all-zero report used as the placeholder for runs that never
+    /// produced metrics (e.g. a panicking engine isolated by the campaign
+    /// runtime).
+    pub fn empty() -> TestMetrics {
+        TestMetrics {
+            target_bytes: 0,
+            competing_bytes: 0,
+            leaked_sockets: 0,
+            leaked_close_wait: 0,
+            leaked_with_queue: 0,
+            truncated: false,
+            proxy: ProxyReport::default(),
+        }
+    }
 }
 
 /// Runs scenarios: the paper's *executor*, which "initializes the virtual
@@ -142,6 +177,9 @@ fn proxy_config(d: &Dumbbell, spec: &ScenarioSpec) -> ProxyConfig {
 
 fn run_tcp(spec: &ScenarioSpec, profile: Profile, rules: Vec<Strategy>) -> TestMetrics {
     let mut sim = Simulator::new(spec.seed);
+    if let Some(budget) = spec.event_budget {
+        sim.set_event_budget(budget);
+    }
     let d = Dumbbell::build(&mut sim, spec.dumbbell);
     let port = spec.protocol.service_port();
 
@@ -153,43 +191,65 @@ fn run_tcp(spec: &ScenarioSpec, profile: Profile, rules: Vec<Strategy>) -> TestM
     {
         let mut host = TcpHost::new(profile.clone());
         for i in 0..spec.target_connections.max(1) {
-            host.connect_at(SimTime::from_millis(100 * i as u64), Addr::new(d.server1, port));
+            host.connect_at(
+                SimTime::from_millis(100 * i as u64),
+                Addr::new(d.server1, port),
+            );
         }
         sim.set_agent(d.client1, host);
         let mut competing = TcpHost::new(profile.clone());
         competing.connect_at(SimTime::ZERO, Addr::new(d.server2, port));
         sim.set_agent(d.client2, competing);
     }
-    sim.attach_tap(d.proxy_link, AttackProxy::with_rules(TcpAdapter, proxy_config(&d, spec), rules));
+    sim.attach_tap(
+        d.proxy_link,
+        AttackProxy::with_rules(TcpAdapter, proxy_config(&d, spec), rules),
+    );
 
     let data_end = SimTime::from_secs(spec.data_secs);
     sim.run_until(data_end);
-    let target_bytes = sim.agent::<TcpHost>(d.client1).expect("host").total_delivered();
-    let competing_bytes = sim.agent::<TcpHost>(d.client2).expect("host").total_delivered();
+    let target_bytes = sim
+        .agent::<TcpHost>(d.client1)
+        .expect("host")
+        .total_delivered();
+    let competing_bytes = sim
+        .agent::<TcpHost>(d.client2)
+        .expect("host")
+        .total_delivered();
 
     // The test ends: the client processes are killed mid-download.
     for client in [d.client1, d.client2] {
         sim.schedule_control(data_end, client, |agent, ctx| {
             let any: &mut dyn std::any::Any = agent;
-            any.downcast_mut::<TcpHost>().expect("tcp host").abort_all(ctx);
+            any.downcast_mut::<TcpHost>()
+                .expect("tcp host")
+                .abort_all(ctx);
         });
     }
     sim.run_until(SimTime::from_secs(spec.data_secs + spec.grace_secs));
 
     let census = sim.agent::<TcpHost>(d.server1).expect("host").census();
-    let proxy = sim.tap::<AttackProxy>(d.proxy_link).expect("proxy").report().clone();
+    let proxy = sim
+        .tap::<AttackProxy>(d.proxy_link)
+        .expect("proxy")
+        .report()
+        .clone();
     TestMetrics {
         target_bytes,
         competing_bytes,
         leaked_sockets: census.leaked(),
         leaked_close_wait: census.count("CLOSE_WAIT"),
         leaked_with_queue: 0,
+        truncated: sim.budget_exhausted(),
         proxy,
     }
 }
 
 fn run_dccp(spec: &ScenarioSpec, profile: DccpProfile, rules: Vec<Strategy>) -> TestMetrics {
     let mut sim = Simulator::new(spec.seed);
+    if let Some(budget) = spec.event_budget {
+        sim.set_event_budget(budget);
+    }
     let d = Dumbbell::build(&mut sim, spec.dumbbell);
     let port = spec.protocol.service_port();
 
@@ -201,25 +261,39 @@ fn run_dccp(spec: &ScenarioSpec, profile: DccpProfile, rules: Vec<Strategy>) -> 
     {
         let mut host = DccpHost::new(profile.clone());
         for i in 0..spec.target_connections.max(1) {
-            host.connect_at(SimTime::from_millis(100 * i as u64), Addr::new(d.server1, port));
+            host.connect_at(
+                SimTime::from_millis(100 * i as u64),
+                Addr::new(d.server1, port),
+            );
         }
         sim.set_agent(d.client1, host);
         let mut competing = DccpHost::new(profile.clone());
         competing.connect_at(SimTime::ZERO, Addr::new(d.server2, port));
         sim.set_agent(d.client2, competing);
     }
-    sim.attach_tap(d.proxy_link, AttackProxy::with_rules(DccpAdapter, proxy_config(&d, spec), rules));
+    sim.attach_tap(
+        d.proxy_link,
+        AttackProxy::with_rules(DccpAdapter, proxy_config(&d, spec), rules),
+    );
 
     let data_end = SimTime::from_secs(spec.data_secs);
     sim.run_until(data_end);
-    let target_bytes = sim.agent::<DccpHost>(d.client1).expect("host").total_goodput();
-    let competing_bytes = sim.agent::<DccpHost>(d.client2).expect("host").total_goodput();
+    let target_bytes = sim
+        .agent::<DccpHost>(d.client1)
+        .expect("host")
+        .total_goodput();
+    let competing_bytes = sim
+        .agent::<DccpHost>(d.client2)
+        .expect("host")
+        .total_goodput();
 
     // The test ends: iperf stops, the sending applications close.
     for server in [d.server1, d.server2] {
         sim.schedule_control(data_end, server, |agent, ctx| {
             let any: &mut dyn std::any::Any = agent;
-            any.downcast_mut::<DccpHost>().expect("dccp host").close_all(ctx);
+            any.downcast_mut::<DccpHost>()
+                .expect("dccp host")
+                .close_all(ctx);
         });
     }
     sim.run_until(SimTime::from_secs(spec.data_secs + spec.grace_secs));
@@ -229,18 +303,20 @@ fn run_dccp(spec: &ScenarioSpec, profile: DccpProfile, rules: Vec<Strategy>) -> 
     let leaked_with_queue = server
         .conn_metrics()
         .iter()
-        .filter(|m| {
-            m.queue_len > 0
-                && !matches!(m.state.name(), "CLOSED" | "LISTEN" | "TIMEWAIT")
-        })
+        .filter(|m| m.queue_len > 0 && !matches!(m.state.name(), "CLOSED" | "LISTEN" | "TIMEWAIT"))
         .count();
-    let proxy = sim.tap::<AttackProxy>(d.proxy_link).expect("proxy").report().clone();
+    let proxy = sim
+        .tap::<AttackProxy>(d.proxy_link)
+        .expect("proxy")
+        .report()
+        .clone();
     TestMetrics {
         target_bytes,
         competing_bytes,
         leaked_sockets: census.leaked(),
         leaked_close_wait: 0,
         leaked_with_queue,
+        truncated: sim.budget_exhausted(),
         proxy,
     }
 }
@@ -282,6 +358,29 @@ mod tests {
     }
 
     #[test]
+    fn budgeted_run_truncates_deterministically() {
+        let spec =
+            ScenarioSpec::quick(ProtocolKind::Tcp(Profile::linux_3_13())).with_event_budget(20_000);
+        let a = Executor::run(&spec, None);
+        assert!(a.truncated, "20k events cannot finish a quick scenario");
+        assert_eq!(
+            a,
+            Executor::run(&spec, None),
+            "truncation must be deterministic"
+        );
+        // A generous budget does not disturb the run at all.
+        let free = ScenarioSpec {
+            event_budget: None,
+            ..spec.clone()
+        };
+        let capped = ScenarioSpec {
+            event_budget: Some(u64::MAX),
+            ..spec
+        };
+        assert_eq!(Executor::run(&free, None), Executor::run(&capped, None));
+    }
+
+    #[test]
     fn different_seed_changes_details_not_shape() {
         let spec = ScenarioSpec::quick(ProtocolKind::Tcp(Profile::linux_3_13()));
         let a = Executor::run(&spec, None);
@@ -291,6 +390,11 @@ mod tests {
         // Shape holds: both clean, same order of magnitude.
         assert_eq!(b.leaked_sockets, 0);
         let ratio = a.target_bytes as f64 / b.target_bytes as f64;
-        assert!(ratio > 0.5 && ratio < 2.0, "{} vs {}", a.target_bytes, b.target_bytes);
+        assert!(
+            ratio > 0.5 && ratio < 2.0,
+            "{} vs {}",
+            a.target_bytes,
+            b.target_bytes
+        );
     }
 }

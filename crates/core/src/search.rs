@@ -12,7 +12,6 @@
 //! comparison with both the paper's parameters and this reproduction's
 //! measured ones.
 
-use serde::{Deserialize, Serialize};
 use snake_proxy::{
     BasicAttack, Endpoint, InjectDirection, InjectionAttack, ProxyReport, SeqChoice, Strategy,
     StrategyKind,
@@ -23,7 +22,7 @@ use crate::scenario::{Executor, ScenarioSpec};
 use crate::strategen::GenerationParams;
 
 /// Cost estimate for one search model.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SearchCost {
     /// Number of strategies the model must test.
     pub strategies: u64,
@@ -47,7 +46,7 @@ impl SearchCost {
 /// Parameters shared by the §VI-C estimates. `paper()` reproduces the
 /// published arithmetic; `measured(...)` plugs in this reproduction's
 /// observed values.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SearchSpaceParams {
     /// Test connection length in seconds (paper: 60).
     pub test_secs: u64,
@@ -142,9 +141,11 @@ impl SearchSpaceParams {
         out.push_str(
             "|----------------------|----------------|--------------------|--------------------------------|\n",
         );
-        for (name, c) in
-            [("time-interval-based", t), ("send-packet-based", p), ("state-based (SNAKE)", s)]
-        {
+        for (name, c) in [
+            ("time-interval-based", t),
+            ("send-packet-based", p),
+            ("state-based (SNAKE)", s),
+        ] {
             out.push_str(&format!(
                 "| {:<20} | {:>14} | {:>18.1} | {:>30.2} |\n",
                 name, c.strategies, c.serial_hours, c.parallel_days
@@ -155,7 +156,7 @@ impl SearchSpaceParams {
 }
 
 /// One row of the empirical injection-model head-to-head.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct EmpiricalResult {
     /// Model name.
     pub model: &'static str,
@@ -195,18 +196,24 @@ pub fn sample_send_packet_strategies(
         attacks.push(BasicAttack::Delay { secs: d });
     }
     let mut out = Vec::new();
-    let mut id = 1_000_000;
     let slots = budget.max(1) as u64;
     for i in 0..slots {
         // Even coverage of the packet index space, alternating endpoints.
         let n = 1 + i * packets / slots;
-        let endpoint = if i % 2 == 0 { Endpoint::Client } else { Endpoint::Server };
+        let endpoint = if i % 2 == 0 {
+            Endpoint::Client
+        } else {
+            Endpoint::Server
+        };
         let attack = attacks[(i as usize) % attacks.len()].clone();
         out.push(Strategy {
-            id,
-            kind: StrategyKind::OnNthPacket { endpoint, n, attack },
+            id: 1_000_000 + i,
+            kind: StrategyKind::OnNthPacket {
+                endpoint,
+                n,
+                attack,
+            },
         });
-        id += 1;
     }
     out
 }
@@ -216,14 +223,13 @@ pub fn sample_send_packet_strategies(
 /// over the test and blind sequence choices.
 pub fn sample_time_interval_strategies(test_secs: u64, budget: usize) -> Vec<Strategy> {
     let mut out = Vec::new();
-    let mut id = 2_000_000;
     let slots = budget.max(1);
     let seqs = [SeqChoice::Zero, SeqChoice::Random, SeqChoice::Max];
     let types = ["RST", "SYN", "ACK", "DATA"];
     for i in 0..slots {
         let at_secs = (i as f64 + 0.5) * test_secs as f64 / slots as f64;
         out.push(Strategy {
-            id,
+            id: 2_000_000 + i as u64,
             kind: StrategyKind::AtTime {
                 at_secs,
                 attack: InjectionAttack::Inject {
@@ -238,7 +244,6 @@ pub fn sample_time_interval_strategies(test_secs: u64, budget: usize) -> Vec<Str
                 },
             },
         });
-        id += 1;
     }
     out
 }
@@ -267,7 +272,12 @@ pub fn empirical_head_to_head(
                 detect(&baseline, &m, threshold).flagged()
             })
             .count();
-        EmpiricalResult { model, tested, flagged, full_space }
+        EmpiricalResult {
+            model,
+            tested,
+            flagged,
+            full_space,
+        }
     };
 
     let state: Vec<Strategy> = state_based.into_iter().take(budget).collect();
@@ -335,7 +345,11 @@ mod tests {
         // "22,967 hours of computation".
         assert!((c.serial_hours - 22_966.7).abs() < 1.0);
         // "about 191 days".
-        assert!((c.parallel_days - 191.0).abs() < 1.0, "got {}", c.parallel_days);
+        assert!(
+            (c.parallel_days - 191.0).abs() < 1.0,
+            "got {}",
+            c.parallel_days
+        );
     }
 
     #[test]
@@ -376,10 +390,11 @@ mod tests {
 
     #[test]
     fn send_packet_sample_spreads_over_packet_space() {
-        let mut report = ProxyReport::default();
-        report.packets_seen = 10_000;
-        let sample =
-            sample_send_packet_strategies(&report, &GenerationParams::default(), 20);
+        let report = ProxyReport {
+            packets_seen: 10_000,
+            ..Default::default()
+        };
+        let sample = sample_send_packet_strategies(&report, &GenerationParams::default(), 20);
         assert_eq!(sample.len(), 20);
         let ns: Vec<u64> = sample
             .iter()
@@ -389,7 +404,10 @@ mod tests {
             })
             .collect();
         assert!(ns[0] < 1_000);
-        assert!(*ns.last().unwrap() > 9_000, "spread covers the tail: {ns:?}");
+        assert!(
+            *ns.last().unwrap() > 9_000,
+            "spread covers the tail: {ns:?}"
+        );
     }
 
     #[test]
@@ -411,8 +429,18 @@ mod tests {
     #[test]
     fn empirical_render_has_all_rows() {
         let rows = vec![
-            EmpiricalResult { model: "state-based (SNAKE)", tested: 10, flagged: 3, full_space: 2_000 },
-            EmpiricalResult { model: "send-packet-based", tested: 10, flagged: 1, full_space: 600_000 },
+            EmpiricalResult {
+                model: "state-based (SNAKE)",
+                tested: 10,
+                flagged: 3,
+                full_space: 2_000,
+            },
+            EmpiricalResult {
+                model: "send-packet-based",
+                tested: 10,
+                flagged: 1,
+                full_space: 600_000,
+            },
         ];
         let t = render_empirical(&rows);
         assert!(t.contains("SNAKE"));

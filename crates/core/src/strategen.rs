@@ -135,7 +135,13 @@ pub fn generate_strategies(
                 FieldMutation::standard_mutations()
             };
             for &m in mutations {
-                on_packet(BasicAttack::Lie { field: field.name().to_owned(), mutation: m }, next_id);
+                on_packet(
+                    BasicAttack::Lie {
+                        field: field.name().to_owned(),
+                        mutation: m,
+                    },
+                    next_id,
+                );
             }
         }
     }
@@ -167,8 +173,14 @@ pub fn generate_strategies(
         }
         for &ptype in hitseq_types {
             for direction in [InjectDirection::ToClient, InjectDirection::ToServer] {
-                let space = if seq_bits >= 64 { u64::MAX } else { 1u64 << seq_bits };
-                let count = (space / window.max(1)).saturating_add(2).min(params.hitseq_max_count);
+                let space = if seq_bits >= 64 {
+                    u64::MAX
+                } else {
+                    1u64 << seq_bits
+                };
+                let count = (space / window.max(1))
+                    .saturating_add(2)
+                    .min(params.hitseq_max_count);
                 push(
                     StrategyKind::OnState {
                         endpoint,
@@ -226,9 +238,11 @@ const STRUCTURAL_FIELDS: &[&str] = &[
 /// what it receives, but cannot rewrite a packet's fields in transit).
 pub fn is_on_path(strategy: &Strategy) -> bool {
     match &strategy.kind {
-        StrategyKind::OnPacket { endpoint, attack: BasicAttack::Lie { field, .. }, .. } => {
-            STRUCTURAL_FIELDS.contains(&field.as_str()) || *endpoint == Endpoint::Server
-        }
+        StrategyKind::OnPacket {
+            endpoint,
+            attack: BasicAttack::Lie { field, .. },
+            ..
+        } => STRUCTURAL_FIELDS.contains(&field.as_str()) || *endpoint == Endpoint::Server,
         _ => false,
     }
 }
@@ -268,15 +282,10 @@ pub fn is_self_denial(strategy: &Strategy, verdict: &Verdict) -> bool {
                     // the paper's DCCP in-window modification attack
                     // (§VI-B.2: "an attacker does not have to be an
                     // endpoint"). Neither is self-denial.
-                    if TCP_FLAG_FIELDS.contains(&field.as_str()) {
-                        false
-                    } else if (field == "seq" || field == "ack")
-                        && matches!(mutation, FieldMutation::Add(_) | FieldMutation::Sub(_))
-                    {
-                        false
-                    } else {
-                        true
-                    }
+                    let flag_probe = TCP_FLAG_FIELDS.contains(&field.as_str());
+                    let seq_arith = (field == "seq" || field == "ack")
+                        && matches!(mutation, FieldMutation::Add(_) | FieldMutation::Sub(_));
+                    !(flag_probe || seq_arith)
                 }
                 BasicAttack::Duplicate { .. } | BasicAttack::Reflect => false,
             }
@@ -300,7 +309,8 @@ mod tests {
             ("server", "SYN_RECEIVED", "SYN+ACK", "send"),
             ("server", "ESTABLISHED", "DATA", "send"),
         ] {
-            r.observed.push((e.into(), s.into(), p.into(), d.into(), 10));
+            r.observed
+                .push((e.into(), s.into(), p.into(), d.into(), 10));
         }
         r
     }
@@ -335,15 +345,20 @@ mod tests {
         let mut seen = BTreeSet::new();
         let protocol = ProtocolKind::Tcp(Profile::linux_3_13());
         let params = GenerationParams::default();
-        let first =
-            generate_strategies(&protocol, &[&report], &params, &mut next_id, &mut seen);
+        let first = generate_strategies(&protocol, &[&report], &params, &mut next_id, &mut seen);
         let again = generate_strategies(&protocol, &[&report], &params, &mut next_id, &mut seen);
         assert!(!first.is_empty());
         assert!(again.is_empty(), "same feedback yields no new strategies");
 
         // A new state appearing under attack yields only its increment.
         let mut r2 = fake_report();
-        r2.observed.push(("server".into(), "CLOSE_WAIT".into(), "DATA".into(), "send".into(), 5));
+        r2.observed.push((
+            "server".into(),
+            "CLOSE_WAIT".into(),
+            "DATA".into(),
+            "send".into(),
+            5,
+        ));
         let more = generate_strategies(&protocol, &[&r2], &params, &mut next_id, &mut seen);
         let per_pair = 3 + 3 + 3 + 2 + 1 + 9 * 8 + 6 * 2;
         let per_state = 5 * 3 * 2 + 2 * 2;
@@ -374,7 +389,9 @@ mod tests {
             .collect();
         assert!(!hits.is_empty());
         // 2^32 / 65535 ≈ 65538: full coverage within the cap.
-        assert!(hits.iter().all(|&(c, s)| s == 65_535 && c >= (1u64 << 32) / 65_535));
+        assert!(hits
+            .iter()
+            .all(|&(c, s)| s == 65_535 && c >= (1u64 << 32) / 65_535));
     }
 
     #[test]

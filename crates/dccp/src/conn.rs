@@ -460,28 +460,26 @@ impl DccpConnection {
                 self.gsr = seg.seq;
                 self.emit_ack(out, DccpPacketType::Response, 0);
             }
-            DccpPacketType::Reset => {
-                if self.seq_valid(seg.seq) {
-                    self.state = DccpState::Closed;
-                    out.push(DccpConnEvent::CancelRtx);
-                    out.push(DccpConnEvent::Reset("reset during handshake"));
-                }
+            DccpPacketType::Reset if self.seq_valid(seg.seq) => {
+                self.state = DccpState::Closed;
+                out.push(DccpConnEvent::CancelRtx);
+                out.push(DccpConnEvent::Reset("reset during handshake"));
             }
-            DccpPacketType::Ack | DccpPacketType::DataAck => {
-                // The ack must cover one of our RESPONSEs (several may be
-                // outstanding when the REQUEST was duplicated or
-                // retransmitted).
-                if seq48::between(seg.ack, self.iss, self.gss) && self.seq_valid(seg.seq) {
-                    self.gsr = seg.seq;
-                    self.state = DccpState::Open;
-                    self.rtx_count = 0;
-                    out.push(DccpConnEvent::CancelRtx);
-                    out.push(DccpConnEvent::Accepted);
-                    if seg.payload_len > 0 {
-                        self.receive_payload(&seg, out);
-                    }
-                    self.try_send(now, out);
+            // The ack must cover one of our RESPONSEs (several may be
+            // outstanding when the REQUEST was duplicated or
+            // retransmitted).
+            DccpPacketType::Ack | DccpPacketType::DataAck
+                if seq48::between(seg.ack, self.iss, self.gss) && self.seq_valid(seg.seq) =>
+            {
+                self.gsr = seg.seq;
+                self.state = DccpState::Open;
+                self.rtx_count = 0;
+                out.push(DccpConnEvent::CancelRtx);
+                out.push(DccpConnEvent::Accepted);
+                if seg.payload_len > 0 {
+                    self.receive_payload(&seg, out);
                 }
+                self.try_send(now, out);
             }
             _ => {}
         }
@@ -728,7 +726,13 @@ impl DccpConnection {
         self.emit(out, ptype, ack, payload);
     }
 
-    fn emit(&mut self, out: &mut Vec<DccpConnEvent>, ptype: DccpPacketType, ack: u64, payload: u32) {
+    fn emit(
+        &mut self,
+        out: &mut Vec<DccpConnEvent>,
+        ptype: DccpPacketType,
+        ack: u64,
+        payload: u32,
+    ) {
         let seq = self.next_seq();
         self.packets_sent += 1;
         out.push(DccpConnEvent::Transmit(DccpSeg {
@@ -952,7 +956,11 @@ mod tests {
         let sent = transmits(&out);
         assert_eq!(sent.len(), 1);
         assert_eq!(sent[0].ptype, DccpPacketType::Sync);
-        assert_eq!(client.goodput(), PACKET_PAYLOAD as u64, "payload not delivered");
+        assert_eq!(
+            client.goodput(),
+            PACKET_PAYLOAD as u64,
+            "payload not delivered"
+        );
     }
 
     #[test]
@@ -1000,7 +1008,11 @@ mod tests {
         out.clear();
 
         client.on_packet(syncack, t(120), &mut out);
-        assert_eq!(client.gsr(), syncack.seq, "resynchronised on peer's real seq");
+        assert_eq!(
+            client.gsr(),
+            syncack.seq,
+            "resynchronised on peer's real seq"
+        );
     }
 
     #[test]
@@ -1016,7 +1028,9 @@ mod tests {
 
         server.app_close(t(70), &mut out);
         assert_eq!(server.state(), DccpState::Open, "still draining");
-        assert!(transmits(&out).iter().all(|s| s.ptype != DccpPacketType::Close));
+        assert!(transmits(&out)
+            .iter()
+            .all(|s| s.ptype != DccpPacketType::Close));
     }
 
     #[test]
@@ -1065,7 +1079,9 @@ mod tests {
         let (mut client, mut server) = open_pair();
         let mut out = Vec::new();
         server.app_close(t(60), &mut out);
-        let close = transmits(&out).into_iter().find(|s| s.ptype == DccpPacketType::Close);
+        let close = transmits(&out)
+            .into_iter()
+            .find(|s| s.ptype == DccpPacketType::Close);
         let close = close.expect("close sent immediately with empty queue");
         assert_eq!(server.state(), DccpState::Closing);
         out.clear();
@@ -1146,8 +1162,10 @@ mod tests {
         // Drop data[0]; deliver data[1]: the client observes a gap of one
         // and echoes it on its next acknowledgment.
         client.on_packet(data[1], t(100), &mut out);
-        let acks: Vec<DccpSeg> =
-            transmits(&out).into_iter().filter(|s| s.ptype == DccpPacketType::Ack).collect();
+        let acks: Vec<DccpSeg> = transmits(&out)
+            .into_iter()
+            .filter(|s| s.ptype == DccpPacketType::Ack)
+            .collect();
         assert!(!acks.is_empty(), "ack generated");
         assert_eq!(acks[0].loss_echo, 1, "gap counted");
     }
@@ -1161,7 +1179,10 @@ mod tests {
         for _ in 0..client.profile.request_retries {
             client.on_rtx(t(1_000), &mut out);
             assert_eq!(client.state(), DccpState::Request);
-            assert_eq!(transmits(&out).last().unwrap().ptype, DccpPacketType::Request);
+            assert_eq!(
+                transmits(&out).last().unwrap().ptype,
+                DccpPacketType::Request
+            );
             out.clear();
         }
         client.on_rtx(t(60_000), &mut out);

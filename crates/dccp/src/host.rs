@@ -211,7 +211,14 @@ impl DccpHost {
         app: Option<DccpServerApp>,
     ) -> usize {
         let idx = self.conns.len();
-        self.conns.push(ConnSlot { conn, local_port: port, remote, app, rto_gen: 0, rtx_gen: 0 });
+        self.conns.push(ConnSlot {
+            conn,
+            local_port: port,
+            remote,
+            app,
+            rto_gen: 0,
+            rtx_gen: 0,
+        });
         self.by_pair.insert((port, remote), idx);
         idx
     }
@@ -222,11 +229,8 @@ impl DccpHost {
             match ev {
                 DccpConnEvent::Transmit(seg) => {
                     let slot = &self.conns[idx];
-                    let pkt = build_packet(
-                        Addr::new(ctx.node(), slot.local_port),
-                        slot.remote,
-                        &seg,
-                    );
+                    let pkt =
+                        build_packet(Addr::new(ctx.node(), slot.local_port), slot.remote, &seg);
                     ctx.send(pkt);
                 }
                 DccpConnEvent::ArmRto(after) => {
@@ -271,8 +275,16 @@ fn build_packet(src: Addr, dst: Addr, seg: &DccpSeg) -> Packet {
         .seq(seg.seq)
         .ack(seg.ack)
         .build();
-    header.set("ack_reserved", seg.loss_echo as u64).expect("in range");
-    Packet::new(src, dst, Protocol::Dccp, header.into_bytes(), seg.payload_len)
+    header
+        .set("ack_reserved", seg.loss_echo as u64)
+        .expect("in range");
+    Packet::new(
+        src,
+        dst,
+        Protocol::Dccp,
+        header.into_bytes(),
+        seg.payload_len,
+    )
 }
 
 /// Decodes a wire packet, or `None` for malformed ones (short header,
@@ -286,7 +298,13 @@ fn parse_packet(pkt: &Packet) -> Option<DccpSeg> {
     }
     let ptype = view.packet_type()?;
     let loss_echo = hdr.get("ack_reserved").ok()? as u16;
-    Some(DccpSeg { ptype, seq: view.seq(), ack: view.ack(), loss_echo, payload_len: pkt.payload_len })
+    Some(DccpSeg {
+        ptype,
+        seq: view.seq(),
+        ack: view.ack(),
+        loss_echo,
+        payload_len: pkt.payload_len,
+    })
 }
 
 impl Agent for DccpHost {
@@ -348,26 +366,20 @@ impl Agent for DccpHost {
                     self.connect_now(ctx, plan.remote);
                 }
             }
-            KIND_RTO => {
-                if idx < self.conns.len() && self.conns[idx].rto_gen == gen {
-                    let mut events = Vec::new();
-                    self.conns[idx].conn.on_rto(ctx.now(), &mut events);
-                    self.pump(ctx, idx, events);
-                }
+            KIND_RTO if idx < self.conns.len() && self.conns[idx].rto_gen == gen => {
+                let mut events = Vec::new();
+                self.conns[idx].conn.on_rto(ctx.now(), &mut events);
+                self.pump(ctx, idx, events);
             }
-            KIND_RTX => {
-                if idx < self.conns.len() && self.conns[idx].rtx_gen == gen {
-                    let mut events = Vec::new();
-                    self.conns[idx].conn.on_rtx(ctx.now(), &mut events);
-                    self.pump(ctx, idx, events);
-                }
+            KIND_RTX if idx < self.conns.len() && self.conns[idx].rtx_gen == gen => {
+                let mut events = Vec::new();
+                self.conns[idx].conn.on_rtx(ctx.now(), &mut events);
+                self.pump(ctx, idx, events);
             }
-            KIND_TIME_WAIT => {
-                if idx < self.conns.len() {
-                    let mut events = Vec::new();
-                    self.conns[idx].conn.on_time_wait_expiry(&mut events);
-                    self.pump(ctx, idx, events);
-                }
+            KIND_TIME_WAIT if idx < self.conns.len() => {
+                let mut events = Vec::new();
+                self.conns[idx].conn.on_time_wait_expiry(&mut events);
+                self.pump(ctx, idx, events);
             }
             _ => {}
         }

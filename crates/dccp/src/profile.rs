@@ -1,4 +1,3 @@
-use serde::{Deserialize, Serialize};
 use snake_netsim::SimDuration;
 
 /// Behavioural parameters of a DCCP implementation.
@@ -7,7 +6,7 @@ use snake_netsim::SimDuration;
 /// exists so ablation benches can flip individual behaviours — notably the
 /// RFC-pseudocode type-before-sequence check in REQUEST that enables the
 /// REQUEST-Connection-Termination attack.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DccpProfile {
     /// Display name, as it appears in the paper's tables.
     pub name: String,

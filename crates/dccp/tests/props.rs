@@ -40,8 +40,7 @@ proptest! {
 
 fn open_pair(iss: u64) -> (DccpConnection, DccpConnection) {
     let mut client = DccpConnection::client(DccpProfile::linux_3_13(), iss);
-    let mut server =
-        DccpConnection::server(DccpProfile::linux_3_13(), seq48::add(iss, 0x9999));
+    let mut server = DccpConnection::server(DccpProfile::linux_3_13(), seq48::add(iss, 0x9999));
     let mut out = Vec::new();
     client.open(&mut out);
     let req = tx(&out);

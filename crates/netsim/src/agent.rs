@@ -66,7 +66,10 @@ impl Ctx<'_> {
 
     /// Sends a packet; it is routed from this node toward `packet.dst`.
     pub fn send(&mut self, packet: Packet) {
-        self.commands.push(Command::Send { from: self.node, packet });
+        self.commands.push(Command::Send {
+            from: self.node,
+            packet,
+        });
     }
 
     /// Sets a one-shot timer `after` from now; `tag` is returned to
@@ -74,7 +77,12 @@ impl Ctx<'_> {
     pub fn set_timer(&mut self, after: SimDuration, tag: u64) -> TimerHandle {
         let handle = TimerHandle(*self.next_timer);
         *self.next_timer += 1;
-        self.commands.push(Command::SetTimer { node: self.node, at: self.now + after, handle, tag });
+        self.commands.push(Command::SetTimer {
+            node: self.node,
+            at: self.now + after,
+            handle,
+            tag,
+        });
         handle
     }
 

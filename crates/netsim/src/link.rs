@@ -2,13 +2,12 @@ use std::collections::VecDeque;
 
 use rand::rngs::SmallRng;
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 
 use crate::packet::Packet;
 use crate::time::{tx_delay, SimDuration, SimTime};
 
 /// Identifier of a duplex link between two nodes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct LinkId(pub(crate) usize);
 
 impl LinkId {
@@ -19,7 +18,7 @@ impl LinkId {
 }
 
 /// Queue management discipline for a link direction.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Aqm {
     /// Plain FIFO tail drop.
     DropTail,
@@ -37,7 +36,7 @@ pub enum Aqm {
 /// The finite queue is what turns over-subscription into loss, which is the
 /// congestion signal TCP New Reno and DCCP CCID-2 respond to; without it
 /// none of the congestion-control attacks would have anything to attack.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct LinkSpec {
     /// Link rate in bits per second.
     pub bandwidth_bps: u64,
@@ -57,8 +56,16 @@ impl LinkSpec {
     /// Panics if `bandwidth_bps` is zero or `queue_packets` is zero.
     pub fn new(bandwidth_bps: u64, delay: SimDuration, queue_packets: usize) -> LinkSpec {
         assert!(bandwidth_bps > 0, "link bandwidth must be positive");
-        assert!(queue_packets > 0, "link queue must hold at least one packet");
-        LinkSpec { bandwidth_bps, delay, queue_packets, aqm: Aqm::DropTail }
+        assert!(
+            queue_packets > 0,
+            "link queue must hold at least one packet"
+        );
+        LinkSpec {
+            bandwidth_bps,
+            delay,
+            queue_packets,
+            aqm: Aqm::DropTail,
+        }
     }
 
     /// Switches the spec to RED queue management.
@@ -69,7 +76,7 @@ impl LinkSpec {
 }
 
 /// Counters for one direction of a link.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ChannelStats {
     /// Packets accepted onto the queue.
     pub enqueued: u64,
@@ -93,7 +100,12 @@ pub(crate) struct Channel {
 
 impl Channel {
     pub(crate) fn new(spec: LinkSpec) -> Channel {
-        Channel { spec, queue: VecDeque::new(), in_flight: None, stats: ChannelStats::default() }
+        Channel {
+            spec,
+            queue: VecDeque::new(),
+            in_flight: None,
+            stats: ChannelStats::default(),
+        }
     }
 
     /// Offers a packet to the channel. Returns the completion time of a
@@ -140,7 +152,10 @@ impl Channel {
     ///
     /// Panics if called with no transmission in flight (a scheduling bug).
     pub(crate) fn dequeue(&mut self, now: SimTime) -> (Packet, Option<SimTime>) {
-        let done = self.in_flight.take().expect("dequeue with no packet in flight");
+        let done = self
+            .in_flight
+            .take()
+            .expect("dequeue with no packet in flight");
         self.stats.transmitted += 1;
         self.stats.bytes += done.wire_len() as u64;
         let next = self.queue.pop_front().map(|p| {

@@ -1,7 +1,5 @@
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::sim::NodeId;
 
 /// Simulated network-layer overhead added to every packet's wire length
@@ -11,7 +9,7 @@ pub const NETWORK_OVERHEAD_BYTES: u32 = 20;
 /// The transport protocol a packet carries, used by the attack proxy to
 /// decide whether a packet is "of interest" (paper §V-B: "Protocols not of
 /// interest are returned to the tap-bridge for normal processing").
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Protocol {
     /// Transmission Control Protocol.
     Tcp,
@@ -32,7 +30,7 @@ impl fmt::Display for Protocol {
 }
 
 /// A transport address: a node plus a 16-bit port.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Addr {
     /// The host.
     pub node: NodeId,
@@ -87,7 +85,14 @@ impl Packet {
         header: Vec<u8>,
         payload_len: u32,
     ) -> Packet {
-        Packet { src, dst, protocol, header, payload_len, id: 0 }
+        Packet {
+            src,
+            dst,
+            protocol,
+            header,
+            payload_len,
+            id: 0,
+        }
     }
 
     /// Bytes this packet occupies on the wire, including simulated

@@ -4,7 +4,6 @@ use std::collections::{BinaryHeap, HashMap, HashSet};
 
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
-use serde::{Deserialize, Serialize};
 
 use crate::agent::{Agent, Ctx, TimerHandle};
 use crate::link::{Channel, ChannelStats, LinkId, LinkSpec};
@@ -14,7 +13,7 @@ use crate::time::{SimDuration, SimTime};
 use crate::trace::Trace;
 
 /// Identifier of a node in the simulated network.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct NodeId(usize);
 
 impl NodeId {
@@ -32,11 +31,28 @@ impl NodeId {
 /// Buffered side effects produced by agent and tap callbacks.
 #[derive(Debug)]
 pub(crate) enum Command {
-    Send { from: NodeId, packet: Packet },
-    SetTimer { node: NodeId, at: SimTime, handle: TimerHandle, tag: u64 },
-    CancelTimer { handle: TimerHandle },
-    TapEmit { packet: Packet, toward_b: bool, delay: SimDuration },
-    TapTimer { at: SimTime, tag: u64 },
+    Send {
+        from: NodeId,
+        packet: Packet,
+    },
+    SetTimer {
+        node: NodeId,
+        at: SimTime,
+        handle: TimerHandle,
+        tag: u64,
+    },
+    CancelTimer {
+        handle: TimerHandle,
+    },
+    TapEmit {
+        packet: Packet,
+        toward_b: bool,
+        delay: SimDuration,
+    },
+    TapTimer {
+        at: SimTime,
+        tag: u64,
+    },
 }
 
 enum EventKind {
@@ -69,7 +85,10 @@ impl Ord for Scheduled {
     fn cmp(&self, other: &Self) -> Ordering {
         // BinaryHeap is a max-heap; invert so earliest (then lowest seq) pops
         // first, giving deterministic FIFO ordering of simultaneous events.
-        other.at.cmp(&self.at).then_with(|| other.seq.cmp(&self.seq))
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
     }
 }
 
@@ -119,6 +138,8 @@ pub struct Simulator {
     rng: SmallRng,
     started: bool,
     events_processed: u64,
+    event_budget: Option<u64>,
+    budget_exhausted: bool,
     pending: Vec<Command>,
     trace: Option<Trace>,
 }
@@ -155,9 +176,29 @@ impl Simulator {
             rng: SmallRng::seed_from_u64(seed),
             started: false,
             events_processed: 0,
+            event_budget: None,
+            budget_exhausted: false,
             pending: Vec::new(),
             trace: None,
         }
+    }
+
+    /// Caps the total number of events this simulator will ever process.
+    ///
+    /// A livelocked or retransmission-storm run would otherwise grind
+    /// through events forever inside one `run_until` call; the budget turns
+    /// that into a deterministic truncation: event ordering is seeded, so
+    /// the same spec and budget always stop at exactly the same event.
+    /// Once exhausted, further [`run_until`](Simulator::run_until) calls
+    /// only advance the clock — no more events are dispatched — and
+    /// [`budget_exhausted`](Simulator::budget_exhausted) reports it.
+    pub fn set_event_budget(&mut self, budget: u64) {
+        self.event_budget = Some(budget);
+    }
+
+    /// Whether the event budget stopped the simulation early.
+    pub fn budget_exhausted(&self) -> bool {
+        self.budget_exhausted
     }
 
     /// Enables packet capture on every link, keeping up to `capacity`
@@ -187,7 +228,10 @@ impl Simulator {
     /// Adds a node with no agent yet.
     pub fn add_node(&mut self, name: impl Into<String>) -> NodeId {
         let id = NodeId(self.nodes.len());
-        self.nodes.push(NodeSlot { name: name.into(), agent: None });
+        self.nodes.push(NodeSlot {
+            name: name.into(),
+            agent: None,
+        });
         self.routes_dirty = true;
         id
     }
@@ -201,10 +245,25 @@ impl Simulator {
     pub fn add_link(&mut self, a: NodeId, b: NodeId, spec: LinkSpec) -> LinkId {
         let link = self.links.len();
         let c_ab = self.chans.len();
-        self.chans.push(ChanSlot { chan: Channel::new(spec), from: a, to: b, link });
+        self.chans.push(ChanSlot {
+            chan: Channel::new(spec),
+            from: a,
+            to: b,
+            link,
+        });
         let c_ba = self.chans.len();
-        self.chans.push(ChanSlot { chan: Channel::new(spec), from: b, to: a, link });
-        self.links.push(LinkSlot { a, b, chans: [c_ab, c_ba], tap: None });
+        self.chans.push(ChanSlot {
+            chan: Channel::new(spec),
+            from: b,
+            to: a,
+            link,
+        });
+        self.links.push(LinkSlot {
+            a,
+            b,
+            chans: [c_ab, c_ba],
+            tap: None,
+        });
         self.routes_dirty = true;
         LinkId(link)
     }
@@ -254,7 +313,10 @@ impl Simulator {
     /// Per-direction statistics for a link: `(a→b, b→a)`.
     pub fn link_stats(&self, link: LinkId) -> (ChannelStats, ChannelStats) {
         let l = &self.links[link.0];
-        (self.chans[l.chans[0]].chan.stats, self.chans[l.chans[1]].chan.stats)
+        (
+            self.chans[l.chans[0]].chan.stats,
+            self.chans[l.chans[1]].chan.stats,
+        )
     }
 
     /// Schedules a control action: at `at`, run `f` against the agent on
@@ -289,6 +351,12 @@ impl Simulator {
         while let Some(top) = self.queue.peek() {
             if top.at > deadline {
                 break;
+            }
+            if let Some(budget) = self.event_budget {
+                if self.events_processed >= budget {
+                    self.budget_exhausted = true;
+                    break;
+                }
             }
             let ev = self.queue.pop().expect("peeked");
             debug_assert!(ev.at >= self.now, "time went backwards");
@@ -401,13 +469,29 @@ impl Simulator {
                     }
                     self.route_send(from, packet);
                 }
-                Command::SetTimer { node, at, handle, tag } => {
-                    self.push(at.max(self.now), EventKind::TimerFire { node, handle: handle.0, tag });
+                Command::SetTimer {
+                    node,
+                    at,
+                    handle,
+                    tag,
+                } => {
+                    self.push(
+                        at.max(self.now),
+                        EventKind::TimerFire {
+                            node,
+                            handle: handle.0,
+                            tag,
+                        },
+                    );
                 }
                 Command::CancelTimer { handle } => {
                     self.cancelled_timers.insert(handle.0);
                 }
-                Command::TapEmit { mut packet, toward_b, delay } => {
+                Command::TapEmit {
+                    mut packet,
+                    toward_b,
+                    delay,
+                } => {
                     let link = tap_link.expect("TapEmit outside a tap callback");
                     if packet.id == 0 {
                         packet.id = self.next_packet_id;
@@ -528,7 +612,13 @@ mod tests {
     }
     impl Blaster {
         fn new(peer: NodeId, count: u32, size: u32) -> Blaster {
-            Blaster { peer, count, size, replies: 0, timer_fires: Vec::new() }
+            Blaster {
+                peer,
+                count,
+                size,
+                replies: 0,
+                timer_fires: Vec::new(),
+            }
         }
     }
     impl Agent for Blaster {
@@ -556,9 +646,18 @@ mod tests {
         let mut sim = Simulator::new(7);
         let a = sim.add_node("a");
         let b = sim.add_node("b");
-        sim.set_agent(b, Echo { received: Vec::new() });
+        sim.set_agent(
+            b,
+            Echo {
+                received: Vec::new(),
+            },
+        );
         // 8 Mbit/s = 1 byte/µs; 1 ms propagation.
-        let link = sim.add_link(a, b, LinkSpec::new(8_000_000, SimDuration::from_millis(1), queue));
+        let link = sim.add_link(
+            a,
+            b,
+            LinkSpec::new(8_000_000, SimDuration::from_millis(1), queue),
+        );
         (sim, a, b, link)
     }
 
@@ -595,7 +694,12 @@ mod tests {
         let r = sim.add_node("router");
         let b = sim.add_node("b");
         sim.set_agent(a, Blaster::new(b, 1, 100));
-        sim.set_agent(b, Echo { received: Vec::new() });
+        sim.set_agent(
+            b,
+            Echo {
+                received: Vec::new(),
+            },
+        );
         let spec = LinkSpec::new(8_000_000, SimDuration::from_millis(1), 16);
         sim.add_link(a, r, spec);
         sim.add_link(r, b, spec);
@@ -667,13 +771,7 @@ mod tests {
         }
         impl Agent for SelfSend {
             fn on_start(&mut self, ctx: &mut Ctx<'_>) {
-                let pkt = Packet::new(
-                    ctx.addr(1),
-                    ctx.addr(2),
-                    Protocol::Other(1),
-                    Vec::new(),
-                    0,
-                );
+                let pkt = Packet::new(ctx.addr(1), ctx.addr(2), Protocol::Other(1), Vec::new(), 0);
                 ctx.send(pkt);
             }
             fn on_packet(&mut self, _ctx: &mut Ctx<'_>, _packet: Packet) {
@@ -694,7 +792,12 @@ mod tests {
         let b = sim.add_node("b");
         // No link between a and b.
         sim.set_agent(a, Blaster::new(b, 3, 10));
-        sim.set_agent(b, Echo { received: Vec::new() });
+        sim.set_agent(
+            b,
+            Echo {
+                received: Vec::new(),
+            },
+        );
         sim.run_until(SimTime::from_secs(1));
         assert_eq!(sim.agent::<Echo>(b).unwrap().received.len(), 0);
     }
@@ -747,11 +850,65 @@ mod tests {
         }
         fn on_timer(&mut self, ctx: &mut TapCtx<'_>, tag: u64) {
             assert_eq!(tag, 99);
-            let pkt =
-                Packet::new(self.from, self.target, Protocol::Other(1), Vec::new(), 1);
+            let pkt = Packet::new(self.from, self.target, Protocol::Other(1), Vec::new(), 1);
             // Target is on the b side of the tapped link.
             ctx.inject(pkt, true, SimDuration::ZERO);
         }
+    }
+
+    #[test]
+    fn event_budget_truncates_deterministically() {
+        let run = |budget: u64| {
+            let (mut sim, a, b, link) = two_node_sim(64);
+            sim.set_agent(a, Blaster::new(b, 50, 80));
+            sim.set_event_budget(budget);
+            sim.run_until(SimTime::from_secs(1));
+            let (ab, _) = sim.link_stats(link);
+            (
+                sim.events_processed(),
+                sim.budget_exhausted(),
+                ab.transmitted,
+            )
+        };
+        let first = run(10);
+        assert!(first.1, "tiny budget must exhaust");
+        assert!(first.0 <= 10);
+        assert_eq!(first, run(10), "truncation must be deterministic");
+    }
+
+    #[test]
+    fn exhausted_budget_freezes_further_runs() {
+        let (mut sim, a, b, _) = two_node_sim(64);
+        sim.set_agent(a, Blaster::new(b, 50, 80));
+        sim.set_event_budget(5);
+        sim.run_until(SimTime::from_millis(10));
+        assert!(sim.budget_exhausted());
+        let processed = sim.events_processed();
+        sim.run_until(SimTime::from_secs(1));
+        assert_eq!(
+            sim.events_processed(),
+            processed,
+            "no events after exhaustion"
+        );
+        assert_eq!(sim.now(), SimTime::from_secs(1), "clock still advances");
+    }
+
+    #[test]
+    fn generous_budget_changes_nothing() {
+        let run = |budget: Option<u64>| {
+            let (mut sim, a, b, link) = two_node_sim(2);
+            sim.set_agent(a, Blaster::new(b, 10, 80));
+            if let Some(x) = budget {
+                sim.set_event_budget(x);
+            }
+            sim.run_until(SimTime::from_secs(1));
+            let (ab, ba) = sim.link_stats(link);
+            (sim.events_processed(), sim.budget_exhausted(), ab, ba)
+        };
+        let capped = run(Some(1_000_000));
+        let free = run(None);
+        assert!(!capped.1);
+        assert_eq!(capped, free);
     }
 
     #[test]
@@ -760,7 +917,10 @@ mod tests {
         sim.set_agent(a, Blaster::new(b, 0, 0));
         sim.attach_tap(
             link,
-            InjectingTap { target: Addr::new(b, 7), from: Addr::new(a, 1000) },
+            InjectingTap {
+                target: Addr::new(b, 7),
+                from: Addr::new(a, 1000),
+            },
         );
         sim.run_until(SimTime::from_secs(1));
         // Echo replies to the spoofed source; the blaster sees it.

@@ -57,13 +57,21 @@ impl TapCtx<'_> {
 
     /// Forwards a packet onward in the direction it was travelling.
     pub fn forward(&mut self, packet: Packet, toward_b: bool) {
-        self.commands.push(Command::TapEmit { packet, toward_b, delay: SimDuration::ZERO });
+        self.commands.push(Command::TapEmit {
+            packet,
+            toward_b,
+            delay: SimDuration::ZERO,
+        });
     }
 
     /// Forwards a packet after an extra delay (the *delay* and *batch*
     /// basic attacks).
     pub fn forward_delayed(&mut self, packet: Packet, toward_b: bool, delay: SimDuration) {
-        self.commands.push(Command::TapEmit { packet, toward_b, delay });
+        self.commands.push(Command::TapEmit {
+            packet,
+            toward_b,
+            delay,
+        });
     }
 
     /// Sends a packet back toward the side of the link it came from
@@ -82,12 +90,19 @@ impl TapCtx<'_> {
     /// Injects a new packet at the tap, emitting it toward `toward_b`
     /// (the *inject* and *hitseqwindow* off-path attacks).
     pub fn inject(&mut self, packet: Packet, toward_b: bool, delay: SimDuration) {
-        self.commands.push(Command::TapEmit { packet, toward_b, delay });
+        self.commands.push(Command::TapEmit {
+            packet,
+            toward_b,
+            delay,
+        });
     }
 
     /// Sets a one-shot tap timer `after` from now.
     pub fn set_timer(&mut self, after: SimDuration, tag: u64) {
-        self.commands.push(Command::TapTimer { at: self.now + after, tag });
+        self.commands.push(Command::TapTimer {
+            at: self.now + after,
+            tag,
+        });
     }
 }
 
@@ -133,7 +148,9 @@ mod tests {
         };
         ctx.forward(packet(), true);
         match &commands[0] {
-            Command::TapEmit { toward_b, delay, .. } => {
+            Command::TapEmit {
+                toward_b, delay, ..
+            } => {
                 assert!(toward_b);
                 assert_eq!(*delay, SimDuration::ZERO);
             }

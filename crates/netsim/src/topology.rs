@@ -1,7 +1,5 @@
 //! Canned topologies; currently the dumbbell from the paper's Figure 3.
 
-use serde::{Deserialize, Serialize};
-
 use crate::link::{LinkId, LinkSpec};
 use crate::sim::{NodeId, Simulator};
 use crate::time::SimDuration;
@@ -9,7 +7,7 @@ use crate::time::SimDuration;
 /// Parameters for the dumbbell test topology (paper Figure 3): two clients
 /// and two servers on either side of a bottleneck link between two routers.
 /// The attack proxy is spliced into client 1's access link.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DumbbellSpec {
     /// Bottleneck link between the routers.
     pub bottleneck: LinkSpec,
@@ -73,7 +71,16 @@ impl Dumbbell {
         sim.add_link(router2, server1, spec.access);
         sim.add_link(router2, server2, spec.access);
 
-        Dumbbell { client1, client2, router1, router2, server1, server2, proxy_link, bottleneck }
+        Dumbbell {
+            client1,
+            client2,
+            router1,
+            router2,
+            server1,
+            server2,
+            proxy_link,
+            bottleneck,
+        }
     }
 }
 
@@ -117,8 +124,20 @@ mod tests {
     fn dumbbell_routes_both_flows() {
         let mut sim = Simulator::new(3);
         let d = Dumbbell::build(&mut sim, DumbbellSpec::evaluation_default());
-        sim.set_agent(d.client1, Sender { to: d.server1, sent: 4 });
-        sim.set_agent(d.client2, Sender { to: d.server2, sent: 6 });
+        sim.set_agent(
+            d.client1,
+            Sender {
+                to: d.server1,
+                sent: 4,
+            },
+        );
+        sim.set_agent(
+            d.client2,
+            Sender {
+                to: d.server2,
+                sent: 6,
+            },
+        );
         sim.set_agent(d.server1, Counter { got: 0 });
         sim.set_agent(d.server2, Counter { got: 0 });
         sim.run_until(SimTime::from_secs(1));

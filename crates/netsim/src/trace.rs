@@ -6,8 +6,6 @@
 //! packet accepted onto any link, in order, with its timing and addressing
 //! — enough to reconstruct what a strategy actually did to the wire.
 
-use serde::{Deserialize, Serialize};
-
 use crate::link::LinkId;
 use crate::packet::{Addr, Packet, Protocol};
 use crate::sim::NodeId;
@@ -15,7 +13,7 @@ use crate::time::SimTime;
 
 /// One captured packet: when it was accepted onto which link, travelling
 /// between which nodes, with its transport addressing and header bytes.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TraceRecord {
     /// Capture time (when the packet entered the link's queue).
     pub time: SimTime,
@@ -68,7 +66,11 @@ pub struct Trace {
 
 impl Trace {
     pub(crate) fn new(capacity: usize) -> Trace {
-        Trace { records: Vec::new(), capacity, truncated: 0 }
+        Trace {
+            records: Vec::new(),
+            capacity,
+            truncated: 0,
+        }
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -116,7 +118,10 @@ impl Trace {
             out.push('\n');
         }
         if self.truncated > 0 {
-            out.push_str(&format!("... {} more packets not captured\n", self.truncated));
+            out.push_str(&format!(
+                "... {} more packets not captured\n",
+                self.truncated
+            ));
         }
         out
     }
@@ -152,7 +157,11 @@ mod tests {
         let mut sim = Simulator::new(1);
         let a = sim.add_node("a");
         let b = sim.add_node("b");
-        sim.add_link(a, b, LinkSpec::new(8_000_000, SimDuration::from_millis(1), 32));
+        sim.add_link(
+            a,
+            b,
+            LinkSpec::new(8_000_000, SimDuration::from_millis(1), 32),
+        );
         sim.set_agent(a, Burst { peer: b, n: 5 });
         sim.set_agent(b, Burst { peer: a, n: 0 });
         sim.enable_trace(1_000);
@@ -173,7 +182,11 @@ mod tests {
         let mut sim = Simulator::new(1);
         let a = sim.add_node("a");
         let b = sim.add_node("b");
-        sim.add_link(a, b, LinkSpec::new(8_000_000, SimDuration::from_millis(1), 64));
+        sim.add_link(
+            a,
+            b,
+            LinkSpec::new(8_000_000, SimDuration::from_millis(1), 64),
+        );
         sim.set_agent(a, Burst { peer: b, n: 10 });
         sim.set_agent(b, Burst { peer: a, n: 0 });
         sim.enable_trace(4);

@@ -46,9 +46,18 @@ fn run_script(script: Vec<(u64, u32)>, queue: usize, seed: u64) -> (Vec<(u16, u6
     let mut sim = Simulator::new(seed);
     let a = sim.add_node("a");
     let b = sim.add_node("b");
-    let link = sim.add_link(a, b, LinkSpec::new(8_000_000, SimDuration::from_millis(1), queue));
+    let link = sim.add_link(
+        a,
+        b,
+        LinkSpec::new(8_000_000, SimDuration::from_millis(1), queue),
+    );
     sim.set_agent(a, ScriptedSender { peer: b, script });
-    sim.set_agent(b, Recorder { arrivals: Vec::new() });
+    sim.set_agent(
+        b,
+        Recorder {
+            arrivals: Vec::new(),
+        },
+    );
     sim.run_until(SimTime::from_secs(10));
     let (ab, _) = sim.link_stats(link);
     let arrivals = sim.agent::<Recorder>(b).unwrap().arrivals.clone();

@@ -150,7 +150,10 @@ impl<'a> DccpView<'a> {
     pub fn new(buf: &'a [u8]) -> Result<Self, PacketError> {
         let needed = dccp_spec().byte_len();
         if buf.len() < needed {
-            return Err(PacketError::BufferTooShort { needed, got: buf.len() });
+            return Err(PacketError::BufferTooShort {
+                needed,
+                got: buf.len(),
+            });
         }
         Ok(DccpView { buf })
     }
@@ -201,7 +204,13 @@ pub struct DccpBuilder {
 impl DccpBuilder {
     /// Starts a builder for a packet of the given type between two ports.
     pub fn new(src_port: u16, dst_port: u16, packet_type: DccpPacketType) -> Self {
-        DccpBuilder { src_port, dst_port, packet_type, seq: 0, ack: 0 }
+        DccpBuilder {
+            src_port,
+            dst_port,
+            packet_type,
+            seq: 0,
+            ack: 0,
+        }
     }
 
     /// Sets the 48-bit sequence number (masked to 48 bits).
@@ -222,8 +231,10 @@ impl DccpBuilder {
         let mut h = spec.new_header();
         h.set("src_port", self.src_port as u64).expect("in range");
         h.set("dst_port", self.dst_port as u64).expect("in range");
-        h.set("data_offset", (spec.byte_len() / 4) as u64).expect("in range");
-        h.set("type", self.packet_type.code() as u64).expect("in range");
+        h.set("data_offset", (spec.byte_len() / 4) as u64)
+            .expect("in range");
+        h.set("type", self.packet_type.code() as u64)
+            .expect("in range");
         h.set("x", 1).expect("in range");
         h.set("seq", self.seq).expect("in range");
         h.set("ack", self.ack).expect("in range");
@@ -270,7 +281,9 @@ mod tests {
 
     #[test]
     fn seq_masked_to_48_bits() {
-        let h = DccpBuilder::new(1, 2, DccpPacketType::Data).seq(u64::MAX).build();
+        let h = DccpBuilder::new(1, 2, DccpPacketType::Data)
+            .seq(u64::MAX)
+            .build();
         let v = DccpView::new(h.bytes()).unwrap();
         assert_eq!(v.seq(), SEQ_MASK);
     }

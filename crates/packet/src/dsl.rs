@@ -60,7 +60,10 @@ pub fn parse_spec(text: &str) -> Result<FormatSpec, PacketError> {
                 .strip_suffix('{')
                 .ok_or_else(|| err(lineno, "expected `{` at end of header line"))?;
             let n = body.trim();
-            if n.is_empty() || !n.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-')
+            if n.is_empty()
+                || !n
+                    .chars()
+                    .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-')
             {
                 return Err(err(lineno, "invalid header name"));
             }
@@ -102,7 +105,10 @@ fn strip_comment(line: &str) -> &str {
 }
 
 fn err(line: usize, reason: &str) -> PacketError {
-    PacketError::ParseError { line, reason: reason.to_owned() }
+    PacketError::ParseError {
+        line,
+        reason: reason.to_owned(),
+    }
 }
 
 #[cfg(test)]
@@ -127,7 +133,10 @@ mod tests {
 
     #[test]
     fn rejects_missing_brace() {
-        assert!(matches!(parse_spec("header z {\n a : 1\n"), Err(PacketError::ParseError { .. })));
+        assert!(matches!(
+            parse_spec("header z {\n a : 1\n"),
+            Err(PacketError::ParseError { .. })
+        ));
     }
 
     #[test]

@@ -57,10 +57,16 @@ impl fmt::Display for PacketError {
         match self {
             PacketError::UnknownField { name } => write!(f, "unknown header field `{name}`"),
             PacketError::ValueOutOfRange { field, value, bits } => {
-                write!(f, "value {value} does not fit in {bits}-bit field `{field}`")
+                write!(
+                    f,
+                    "value {value} does not fit in {bits}-bit field `{field}`"
+                )
             }
             PacketError::BufferTooShort { needed, got } => {
-                write!(f, "buffer too short for header: need {needed} bytes, got {got}")
+                write!(
+                    f,
+                    "buffer too short for header: need {needed} bytes, got {got}"
+                )
             }
             PacketError::FieldTooWide { field, bits } => {
                 write!(f, "field `{field}` is {bits} bits wide; the maximum is 64")

@@ -1,11 +1,9 @@
-use serde::{Deserialize, Serialize};
-
 /// A single fixed-width field in a packet header description.
 ///
 /// Fields are laid out back to back in declaration order, most significant
 /// bit first, exactly like the classic RFC header diagrams. Widths of 1..=64
 /// bits are supported, which covers every field in the TCP and DCCP headers.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct FieldSpec {
     name: String,
     bits: u32,
@@ -18,7 +16,10 @@ impl FieldSpec {
     /// [`FormatSpec`](crate::FormatSpec); this constructor is infallible so
     /// specs can be written as simple literals.
     pub fn new(name: impl Into<String>, bits: u32) -> Self {
-        FieldSpec { name: name.into(), bits }
+        FieldSpec {
+            name: name.into(),
+            bits,
+        }
     }
 
     /// The field's name, unique within its format spec.

@@ -1,0 +1,71 @@
+//! JSON round-tripping for packet-layer types used in the campaign journal.
+
+use snake_json::{obj, FromJson, JsonError, ObjExt, ToJson, Value};
+
+use crate::FieldMutation;
+
+impl ToJson for FieldMutation {
+    fn to_json(&self) -> Value {
+        let (op, arg) = match *self {
+            FieldMutation::Set(v) => ("set", Some(v)),
+            FieldMutation::Min => ("min", None),
+            FieldMutation::Max => ("max", None),
+            FieldMutation::Random => ("random", None),
+            FieldMutation::Add(v) => ("add", Some(v)),
+            FieldMutation::Sub(v) => ("sub", Some(v)),
+            FieldMutation::Mul(v) => ("mul", Some(v)),
+            FieldMutation::Div(v) => ("div", Some(v)),
+        };
+        match arg {
+            Some(v) => obj([("op", Value::Str(op.to_owned())), ("arg", Value::U64(v))]),
+            None => obj([("op", Value::Str(op.to_owned()))]),
+        }
+    }
+}
+
+impl FromJson for FieldMutation {
+    fn from_json(value: &Value) -> Result<FieldMutation, JsonError> {
+        let op = value.req_str("op")?;
+        Ok(match op {
+            "set" => FieldMutation::Set(value.req_u64("arg")?),
+            "min" => FieldMutation::Min,
+            "max" => FieldMutation::Max,
+            "random" => FieldMutation::Random,
+            "add" => FieldMutation::Add(value.req_u64("arg")?),
+            "sub" => FieldMutation::Sub(value.req_u64("arg")?),
+            "mul" => FieldMutation::Mul(value.req_u64("arg")?),
+            "div" => FieldMutation::Div(value.req_u64("arg")?),
+            other => return Err(JsonError::decode(format!("unknown mutation op `{other}`"))),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mutations_roundtrip() {
+        let all = [
+            FieldMutation::Set(3),
+            FieldMutation::Min,
+            FieldMutation::Max,
+            FieldMutation::Random,
+            FieldMutation::Add(25),
+            FieldMutation::Sub(1),
+            FieldMutation::Mul(2),
+            FieldMutation::Div(2),
+        ];
+        for m in all {
+            let text = m.to_json().to_string_compact();
+            let back = FieldMutation::from_json(&snake_json::parse(&text).unwrap()).unwrap();
+            assert_eq!(back, m, "{text}");
+        }
+    }
+
+    #[test]
+    fn unknown_op_rejected() {
+        let v = snake_json::parse(r#"{"op":"frobnicate"}"#).unwrap();
+        assert!(FieldMutation::from_json(&v).is_err());
+    }
+}

@@ -41,6 +41,7 @@
 mod dsl;
 mod error;
 mod field;
+mod json;
 mod mutation;
 mod spec;
 

@@ -1,5 +1,4 @@
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 
 use crate::{Header, PacketError};
 
@@ -11,7 +10,7 @@ use crate::{Header, PacketError};
 /// the current value by some factor", with a value list "chosen based on the
 /// field-type to be likely to cause unexpected behavior" — zero, the field
 /// minimum, and the field maximum.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[non_exhaustive]
 pub enum FieldMutation {
     /// Set the field to a specific value (truncated to the field width is an
@@ -140,7 +139,11 @@ mod tests {
         let spec = Arc::new(
             FormatSpec::new(
                 "m",
-                vec![FieldSpec::new("v", 16), FieldSpec::new("flag", 1), FieldSpec::new("pad", 7)],
+                vec![
+                    FieldSpec::new("v", 16),
+                    FieldSpec::new("flag", 1),
+                    FieldSpec::new("pad", 7),
+                ],
             )
             .unwrap(),
         );
@@ -156,7 +159,9 @@ mod tests {
         assert_eq!(h.get("v").unwrap(), 65_535);
         FieldMutation::Min.apply(&mut h, "v", &mut rng).unwrap();
         assert_eq!(h.get("v").unwrap(), 0);
-        FieldMutation::Set(1234).apply(&mut h, "v", &mut rng).unwrap();
+        FieldMutation::Set(1234)
+            .apply(&mut h, "v", &mut rng)
+            .unwrap();
         assert_eq!(h.get("v").unwrap(), 1234);
     }
 
@@ -181,7 +186,9 @@ mod tests {
         h.set("v", 9).unwrap();
         FieldMutation::Div(2).apply(&mut h, "v", &mut rng).unwrap();
         assert_eq!(h.get("v").unwrap(), 4);
-        let err = FieldMutation::Div(0).apply(&mut h, "v", &mut rng).unwrap_err();
+        let err = FieldMutation::Div(0)
+            .apply(&mut h, "v", &mut rng)
+            .unwrap_err();
         assert!(matches!(err, PacketError::InvalidMutation { .. }));
     }
 
@@ -190,7 +197,9 @@ mod tests {
         let mut h = header();
         let mut rng = rand::thread_rng();
         for _ in 0..64 {
-            FieldMutation::Random.apply(&mut h, "flag", &mut rng).unwrap();
+            FieldMutation::Random
+                .apply(&mut h, "flag", &mut rng)
+                .unwrap();
             assert!(h.get("flag").unwrap() <= 1);
         }
     }
@@ -199,7 +208,9 @@ mod tests {
     fn set_out_of_range_rejected() {
         let mut h = header();
         let mut rng = StepRng::new(0, 1);
-        let err = FieldMutation::Set(2).apply(&mut h, "flag", &mut rng).unwrap_err();
+        let err = FieldMutation::Set(2)
+            .apply(&mut h, "flag", &mut rng)
+            .unwrap_err();
         assert!(matches!(err, PacketError::ValueOutOfRange { .. }));
     }
 

@@ -42,7 +42,10 @@ impl FormatSpec {
                 });
             }
             if f.bits() > 64 {
-                return Err(PacketError::FieldTooWide { field: f.name().to_owned(), bits: f.bits() });
+                return Err(PacketError::FieldTooWide {
+                    field: f.name().to_owned(),
+                    bits: f.bits(),
+                });
             }
             if f.name().is_empty() {
                 return Err(PacketError::InvalidFieldSpec {
@@ -54,10 +57,20 @@ impl FormatSpec {
                     reason: format!("duplicate field name `{}`", f.name()),
                 });
             }
-            refs.push(FieldRef { index, bit_offset: offset, bits: f.bits() });
+            refs.push(FieldRef {
+                index,
+                bit_offset: offset,
+                bits: f.bits(),
+            });
             offset += f.bits();
         }
-        Ok(FormatSpec { name, fields, refs, by_name, total_bits: offset })
+        Ok(FormatSpec {
+            name,
+            fields,
+            refs,
+            by_name,
+            total_bits: offset,
+        })
     }
 
     /// The protocol name this spec describes (for example `"tcp"`).
@@ -94,7 +107,9 @@ impl FormatSpec {
         self.by_name
             .get(name)
             .map(|&i| self.refs[i])
-            .ok_or_else(|| PacketError::UnknownField { name: name.to_owned() })
+            .ok_or_else(|| PacketError::UnknownField {
+                name: name.to_owned(),
+            })
     }
 
     /// Looks up a field by declaration index.
@@ -135,7 +150,10 @@ impl FormatSpec {
 
     /// Creates a zeroed header laid out according to this spec.
     pub fn new_header(self: &Arc<Self>) -> Header {
-        Header { spec: Arc::clone(self), bytes: vec![0u8; self.byte_len()] }
+        Header {
+            spec: Arc::clone(self),
+            bytes: vec![0u8; self.byte_len()],
+        }
     }
 
     /// Wraps existing header bytes for field access.
@@ -147,7 +165,10 @@ impl FormatSpec {
     /// untouched (they model protocol options/padding).
     pub fn parse(self: &Arc<Self>, bytes: Vec<u8>) -> Result<Header, PacketError> {
         self.check_len(bytes.len())?;
-        Ok(Header { spec: Arc::clone(self), bytes })
+        Ok(Header {
+            spec: Arc::clone(self),
+            bytes,
+        })
     }
 
     fn check_len(&self, got: usize) -> Result<(), PacketError> {
@@ -241,7 +262,7 @@ impl Eq for Header {}
 
 /// Reads `bits` bits starting `bit_offset` bits into `buf`, MSB first.
 fn read_bits(buf: &[u8], bit_offset: u32, bits: u32) -> u64 {
-    debug_assert!(bits >= 1 && bits <= 64);
+    debug_assert!((1..=64).contains(&bits));
     let mut value = 0u64;
     for i in 0..bits {
         let bit = bit_offset + i;
@@ -256,7 +277,7 @@ fn read_bits(buf: &[u8], bit_offset: u32, bits: u32) -> u64 {
 /// Writes `bits` bits of `value` starting `bit_offset` bits into `buf`,
 /// MSB first.
 fn write_bits(buf: &mut [u8], bit_offset: u32, bits: u32, value: u64) {
-    debug_assert!(bits >= 1 && bits <= 64);
+    debug_assert!((1..=64).contains(&bits));
     for i in 0..bits {
         let bit = bit_offset + i;
         let byte = (bit / 8) as usize;
@@ -339,7 +360,10 @@ mod tests {
     fn unknown_field_is_rejected() {
         let spec = simple_spec();
         let h = spec.new_header();
-        assert!(matches!(h.get("nope"), Err(PacketError::UnknownField { .. })));
+        assert!(matches!(
+            h.get("nope"),
+            Err(PacketError::UnknownField { .. })
+        ));
     }
 
     #[test]
@@ -364,7 +388,10 @@ mod tests {
     #[test]
     fn parse_rejects_short_buffer() {
         let spec = simple_spec();
-        assert!(matches!(spec.parse(vec![0u8; 3]), Err(PacketError::BufferTooShort { .. })));
+        assert!(matches!(
+            spec.parse(vec![0u8; 3]),
+            Err(PacketError::BufferTooShort { .. })
+        ));
     }
 
     #[test]
@@ -379,8 +406,7 @@ mod tests {
 
     #[test]
     fn full_width_64_bit_field() {
-        let spec =
-            Arc::new(FormatSpec::new("wide", vec![FieldSpec::new("x", 64)]).unwrap());
+        let spec = Arc::new(FormatSpec::new("wide", vec![FieldSpec::new("x", 64)]).unwrap());
         let mut h = spec.new_header();
         h.set("x", u64::MAX).unwrap();
         assert_eq!(h.get("x").unwrap(), u64::MAX);

@@ -64,24 +64,56 @@ pub struct TcpFlags {
 
 impl TcpFlags {
     /// Flags for a connection-opening SYN.
-    pub const SYN: TcpFlags = TcpFlags { syn: true, ..TcpFlags::none() };
+    pub const SYN: TcpFlags = TcpFlags {
+        syn: true,
+        ..TcpFlags::none()
+    };
     /// Flags for the SYN+ACK handshake reply.
-    pub const SYN_ACK: TcpFlags = TcpFlags { syn: true, ack: true, ..TcpFlags::none() };
+    pub const SYN_ACK: TcpFlags = TcpFlags {
+        syn: true,
+        ack: true,
+        ..TcpFlags::none()
+    };
     /// Flags for a pure acknowledgment.
-    pub const ACK: TcpFlags = TcpFlags { ack: true, ..TcpFlags::none() };
+    pub const ACK: TcpFlags = TcpFlags {
+        ack: true,
+        ..TcpFlags::none()
+    };
     /// Flags for a data segment with PSH.
-    pub const PSH_ACK: TcpFlags = TcpFlags { psh: true, ack: true, ..TcpFlags::none() };
+    pub const PSH_ACK: TcpFlags = TcpFlags {
+        psh: true,
+        ack: true,
+        ..TcpFlags::none()
+    };
     /// Flags for a FIN (always carries ACK in practice).
-    pub const FIN_ACK: TcpFlags = TcpFlags { fin: true, ack: true, ..TcpFlags::none() };
+    pub const FIN_ACK: TcpFlags = TcpFlags {
+        fin: true,
+        ack: true,
+        ..TcpFlags::none()
+    };
     /// Flags for a reset.
-    pub const RST: TcpFlags = TcpFlags { rst: true, ..TcpFlags::none() };
+    pub const RST: TcpFlags = TcpFlags {
+        rst: true,
+        ..TcpFlags::none()
+    };
     /// Flags for a reset that acknowledges data.
-    pub const RST_ACK: TcpFlags = TcpFlags { rst: true, ack: true, ..TcpFlags::none() };
+    pub const RST_ACK: TcpFlags = TcpFlags {
+        rst: true,
+        ack: true,
+        ..TcpFlags::none()
+    };
 
     /// No flags set. (A packet like this is never valid on the wire; Linux
     /// 3.0.0 nevertheless responds to it — paper §VI-A.2.)
     pub const fn none() -> TcpFlags {
-        TcpFlags { urg: false, ack: false, psh: false, rst: false, syn: false, fin: false }
+        TcpFlags {
+            urg: false,
+            ack: false,
+            psh: false,
+            rst: false,
+            syn: false,
+            fin: false,
+        }
     }
 
     /// Number of flags set.
@@ -96,7 +128,10 @@ impl TcpFlags {
     /// send: at most one of SYN/FIN/RST, and every non-SYN packet carries
     /// ACK. Everything else is "nonsensical" in the paper's terminology.
     pub fn is_sensible(&self) -> bool {
-        let exclusive = [self.syn, self.fin, self.rst].iter().filter(|&&b| b).count();
+        let exclusive = [self.syn, self.fin, self.rst]
+            .iter()
+            .filter(|&&b| b)
+            .count();
         if exclusive > 1 {
             return false;
         }
@@ -104,7 +139,9 @@ impl TcpFlags {
             return false;
         }
         // A bare SYN or RST is fine; anything else needs ACK.
-        if !self.ack && !(self.syn && self.count() == 1) && !(self.rst && self.count() == 1) {
+        let lone_syn = self.syn && self.count() == 1;
+        let lone_rst = self.rst && self.count() == 1;
+        if !(self.ack || lone_syn || lone_rst) {
             return false;
         }
         true
@@ -170,13 +207,21 @@ impl TcpPacketType {
             return TcpPacketType::Rst;
         }
         if flags.syn {
-            return if flags.ack { TcpPacketType::SynAck } else { TcpPacketType::Syn };
+            return if flags.ack {
+                TcpPacketType::SynAck
+            } else {
+                TcpPacketType::Syn
+            };
         }
         if flags.fin {
             return TcpPacketType::FinAck;
         }
         if payload_len > 0 {
-            return if flags.psh { TcpPacketType::PshAck } else { TcpPacketType::Data };
+            return if flags.psh {
+                TcpPacketType::PshAck
+            } else {
+                TcpPacketType::Data
+            };
         }
         TcpPacketType::Ack
     }
@@ -231,7 +276,10 @@ impl<'a> TcpView<'a> {
     /// bytes.
     pub fn new(buf: &'a [u8]) -> Result<Self, PacketError> {
         if buf.len() < tcp_spec().byte_len() {
-            return Err(PacketError::BufferTooShort { needed: tcp_spec().byte_len(), got: buf.len() });
+            return Err(PacketError::BufferTooShort {
+                needed: tcp_spec().byte_len(),
+                got: buf.len(),
+            });
         }
         Ok(TcpView { buf })
     }
@@ -295,7 +343,14 @@ pub struct TcpBuilder {
 impl TcpBuilder {
     /// Starts a builder for a segment between two ports.
     pub fn new(src_port: u16, dst_port: u16) -> Self {
-        TcpBuilder { src_port, dst_port, seq: 0, ack: 0, window: 65_535, flags: TcpFlags::none() }
+        TcpBuilder {
+            src_port,
+            dst_port,
+            seq: 0,
+            ack: 0,
+            window: 65_535,
+            flags: TcpFlags::none(),
+        }
     }
 
     /// Sets the sequence number.
@@ -374,28 +429,68 @@ mod tests {
 
     #[test]
     fn classify_handshake_types() {
-        assert_eq!(TcpPacketType::classify(TcpFlags::SYN, 0), TcpPacketType::Syn);
-        assert_eq!(TcpPacketType::classify(TcpFlags::SYN_ACK, 0), TcpPacketType::SynAck);
-        assert_eq!(TcpPacketType::classify(TcpFlags::ACK, 0), TcpPacketType::Ack);
-        assert_eq!(TcpPacketType::classify(TcpFlags::ACK, 1460), TcpPacketType::Data);
-        assert_eq!(TcpPacketType::classify(TcpFlags::PSH_ACK, 1460), TcpPacketType::PshAck);
-        assert_eq!(TcpPacketType::classify(TcpFlags::FIN_ACK, 0), TcpPacketType::FinAck);
-        assert_eq!(TcpPacketType::classify(TcpFlags::RST, 0), TcpPacketType::Rst);
-        assert_eq!(TcpPacketType::classify(TcpFlags::RST_ACK, 0), TcpPacketType::Rst);
+        assert_eq!(
+            TcpPacketType::classify(TcpFlags::SYN, 0),
+            TcpPacketType::Syn
+        );
+        assert_eq!(
+            TcpPacketType::classify(TcpFlags::SYN_ACK, 0),
+            TcpPacketType::SynAck
+        );
+        assert_eq!(
+            TcpPacketType::classify(TcpFlags::ACK, 0),
+            TcpPacketType::Ack
+        );
+        assert_eq!(
+            TcpPacketType::classify(TcpFlags::ACK, 1460),
+            TcpPacketType::Data
+        );
+        assert_eq!(
+            TcpPacketType::classify(TcpFlags::PSH_ACK, 1460),
+            TcpPacketType::PshAck
+        );
+        assert_eq!(
+            TcpPacketType::classify(TcpFlags::FIN_ACK, 0),
+            TcpPacketType::FinAck
+        );
+        assert_eq!(
+            TcpPacketType::classify(TcpFlags::RST, 0),
+            TcpPacketType::Rst
+        );
+        assert_eq!(
+            TcpPacketType::classify(TcpFlags::RST_ACK, 0),
+            TcpPacketType::Rst
+        );
     }
 
     #[test]
     fn classify_nonsense_flags_as_invalid() {
         // The paper's example: SYN+FIN+ACK+RST.
-        let combo = TcpFlags { syn: true, fin: true, ack: true, rst: true, ..TcpFlags::none() };
+        let combo = TcpFlags {
+            syn: true,
+            fin: true,
+            ack: true,
+            rst: true,
+            ..TcpFlags::none()
+        };
         assert_eq!(TcpPacketType::classify(combo, 0), TcpPacketType::Invalid);
         // Null flags are never valid.
-        assert_eq!(TcpPacketType::classify(TcpFlags::none(), 0), TcpPacketType::Invalid);
+        assert_eq!(
+            TcpPacketType::classify(TcpFlags::none(), 0),
+            TcpPacketType::Invalid
+        );
         // SYN+FIN.
-        let synfin = TcpFlags { syn: true, fin: true, ..TcpFlags::none() };
+        let synfin = TcpFlags {
+            syn: true,
+            fin: true,
+            ..TcpFlags::none()
+        };
         assert_eq!(TcpPacketType::classify(synfin, 0), TcpPacketType::Invalid);
         // FIN without ACK.
-        let bare_fin = TcpFlags { fin: true, ..TcpFlags::none() };
+        let bare_fin = TcpFlags {
+            fin: true,
+            ..TcpFlags::none()
+        };
         assert_eq!(TcpPacketType::classify(bare_fin, 0), TcpPacketType::Invalid);
     }
 
@@ -403,7 +498,13 @@ mod tests {
     fn flags_display() {
         assert_eq!(TcpFlags::SYN_ACK.to_string(), "SYN+ACK");
         assert_eq!(TcpFlags::none().to_string(), "NONE");
-        let combo = TcpFlags { syn: true, fin: true, ack: true, psh: true, ..TcpFlags::none() };
+        let combo = TcpFlags {
+            syn: true,
+            fin: true,
+            ack: true,
+            psh: true,
+            ..TcpFlags::none()
+        };
         assert_eq!(combo.to_string(), "SYN+FIN+PSH+ACK");
     }
 
@@ -416,8 +517,17 @@ mod tests {
         assert!(TcpFlags::RST_ACK.is_sensible());
         assert!(TcpFlags::FIN_ACK.is_sensible());
         assert!(!TcpFlags::none().is_sensible());
-        assert!(!TcpFlags { syn: true, fin: true, ..TcpFlags::none() }.is_sensible());
-        assert!(!TcpFlags { psh: true, ..TcpFlags::none() }.is_sensible());
+        assert!(!TcpFlags {
+            syn: true,
+            fin: true,
+            ..TcpFlags::none()
+        }
+        .is_sensible());
+        assert!(!TcpFlags {
+            psh: true,
+            ..TcpFlags::none()
+        }
+        .is_sensible());
     }
 
     #[test]

@@ -97,7 +97,11 @@ impl ProtocolAdapter for TcpAdapter {
 
     fn classify(&self, header: &[u8], payload_len: u32) -> Option<String> {
         let view = TcpView::new(header).ok()?;
-        Some(TcpPacketType::classify(view.flags(), payload_len).label().to_owned())
+        Some(
+            TcpPacketType::classify(view.flags(), payload_len)
+                .label()
+                .to_owned(),
+        )
     }
 
     fn injectable_types(&self) -> &'static [&'static str] {
@@ -126,7 +130,13 @@ impl ProtocolAdapter for TcpAdapter {
             .ack(0)
             .flags(flags)
             .build();
-        Some(Packet::new(ctx.src, ctx.dst, Protocol::Tcp, header.into_bytes(), payload))
+        Some(Packet::new(
+            ctx.src,
+            ctx.dst,
+            Protocol::Tcp,
+            header.into_bytes(),
+            payload,
+        ))
     }
 }
 
@@ -187,7 +197,13 @@ impl ProtocolAdapter for DccpAdapter {
             .seq(ctx.seq)
             .ack(ctx.seq)
             .build();
-        Some(Packet::new(ctx.src, ctx.dst, Protocol::Dccp, header.into_bytes(), payload))
+        Some(Packet::new(
+            ctx.src,
+            ctx.dst,
+            Protocol::Dccp,
+            header.into_bytes(),
+            payload,
+        ))
     }
 }
 
@@ -204,11 +220,25 @@ mod tests {
     fn tcp_classify_roundtrip() {
         let a = TcpAdapter;
         let pkt = a
-            .build_inject("SYN", InjectContext { src: addr(0, 40_000), dst: addr(1, 80), seq: 5 })
+            .build_inject(
+                "SYN",
+                InjectContext {
+                    src: addr(0, 40_000),
+                    dst: addr(1, 80),
+                    seq: 5,
+                },
+            )
             .unwrap();
         assert_eq!(a.classify(&pkt.header, pkt.payload_len).unwrap(), "SYN");
         let rst = a
-            .build_inject("RST", InjectContext { src: addr(0, 1), dst: addr(1, 2), seq: 0 })
+            .build_inject(
+                "RST",
+                InjectContext {
+                    src: addr(0, 1),
+                    dst: addr(1, 2),
+                    seq: 0,
+                },
+            )
             .unwrap();
         assert_eq!(a.classify(&rst.header, 0).unwrap(), "RST");
     }
@@ -218,7 +248,14 @@ mod tests {
         let a = DccpAdapter;
         for ty in a.injectable_types() {
             let pkt = a
-                .build_inject(ty, InjectContext { src: addr(0, 1), dst: addr(1, 2), seq: 9 })
+                .build_inject(
+                    ty,
+                    InjectContext {
+                        src: addr(0, 1),
+                        dst: addr(1, 2),
+                        seq: 9,
+                    },
+                )
                 .unwrap();
             assert_eq!(&a.classify(&pkt.header, pkt.payload_len).unwrap(), ty);
         }
@@ -227,7 +264,14 @@ mod tests {
     #[test]
     fn unknown_type_yields_none() {
         assert!(TcpAdapter
-            .build_inject("WAT", InjectContext { src: addr(0, 1), dst: addr(1, 2), seq: 0 })
+            .build_inject(
+                "WAT",
+                InjectContext {
+                    src: addr(0, 1),
+                    dst: addr(1, 2),
+                    seq: 0
+                }
+            )
             .is_none());
     }
 
@@ -235,7 +279,14 @@ mod tests {
     fn swap_endpoints_swaps_addresses_and_ports() {
         let a = TcpAdapter;
         let mut pkt = a
-            .build_inject("SYN", InjectContext { src: addr(0, 40_000), dst: addr(1, 80), seq: 5 })
+            .build_inject(
+                "SYN",
+                InjectContext {
+                    src: addr(0, 40_000),
+                    dst: addr(1, 80),
+                    seq: 5,
+                },
+            )
             .unwrap();
         swap_endpoints(&a.spec(), &mut pkt);
         assert_eq!(pkt.src, addr(1, 80));

@@ -27,6 +27,7 @@
 #![warn(missing_docs, missing_debug_implementations)]
 
 mod adapter;
+mod json;
 mod proxy;
 mod strategy;
 

@@ -1,9 +1,7 @@
-
 use std::collections::HashMap;
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
 use snake_netsim::{Addr, NodeId, Packet, SimDuration, SimTime, Tap, TapCtx};
 use snake_statemachine::{Dir, PairTracker};
 
@@ -38,7 +36,7 @@ pub struct ProxyConfig {
 
 /// Counters and state observations the executor extracts after a test and
 /// ships to the controller (paper §V-C).
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct ProxyReport {
     /// Target-protocol packets that crossed the proxy.
     pub packets_seen: u64,
@@ -179,8 +177,10 @@ impl AttackProxy {
     }
 
     fn client_addr(&self) -> Addr {
-        self.observed_client
-            .unwrap_or(Addr::new(self.config.client_node, self.config.client_port_guess))
+        self.observed_client.unwrap_or(Addr::new(
+            self.config.client_node,
+            self.config.client_port_guess,
+        ))
     }
 
     fn server_addr(&self) -> Addr {
@@ -215,8 +215,15 @@ impl AttackProxy {
             if self.started[i] {
                 continue;
             }
-            let Strategy { kind: StrategyKind::OnState { endpoint, state, attack }, .. } =
-                self.rules[i].clone()
+            let Strategy {
+                kind:
+                    StrategyKind::OnState {
+                        endpoint,
+                        state,
+                        attack,
+                    },
+                ..
+            } = self.rules[i].clone()
             else {
                 continue;
             };
@@ -239,7 +246,12 @@ impl AttackProxy {
     /// Builds the paced run for an injection attack.
     fn make_run(&mut self, attack: InjectionAttack) -> InjectionRun {
         match attack {
-            InjectionAttack::Inject { packet_type, seq, direction, repeat } => {
+            InjectionAttack::Inject {
+                packet_type,
+                seq,
+                direction,
+                repeat,
+            } => {
                 let seq0 = self.seq_value(seq);
                 InjectionRun {
                     packet_type,
@@ -295,7 +307,11 @@ impl AttackProxy {
                 // but aimed at a dead port so no connection can react.
                 dst.port = dst.port.wrapping_add(7_777);
             }
-            let ictx = InjectContext { src, dst, seq: run.next_seq };
+            let ictx = InjectContext {
+                src,
+                dst,
+                seq: run.next_seq,
+            };
             if let Some(pkt) = self.adapter.build_inject(&run.packet_type, ictx) {
                 let toward_b = self.toward_b(run.direction);
                 // Spread the burst inside the tick to avoid a single
@@ -372,7 +388,10 @@ impl Tap for AttackProxy {
         // Time-interval baseline rules are armed against the wall clock.
         for (i, rule) in self.rules.iter().enumerate() {
             if let StrategyKind::AtTime { at_secs, .. } = &rule.kind {
-                ctx.set_timer(SimDuration::from_secs_f64(*at_secs), TAG_INJECT_BASE + i as u64);
+                ctx.set_timer(
+                    SimDuration::from_secs_f64(*at_secs),
+                    TAG_INJECT_BASE + i as u64,
+                );
             }
         }
         // Strategies keyed to an initial state (CLOSED / LISTEN) trigger
@@ -403,8 +422,11 @@ impl Tap for AttackProxy {
             self.observed_server = Some(packet.src);
             self.packets_from_server += 1;
         }
-        let sender_count =
-            if from_client { self.packets_from_client } else { self.packets_from_server };
+        let sender_count = if from_client {
+            self.packets_from_client
+        } else {
+            self.packets_from_server
+        };
 
         // The strategy keys on the *sender's* state at the moment the
         // packet was sent — i.e. before this packet's own transition —
@@ -416,7 +438,11 @@ impl Tap for AttackProxy {
         };
         let idx = self.tracker_index(key);
         let tracker = &mut self.trackers[idx].1;
-        let sender = if from_client { Endpoint::Client } else { Endpoint::Server };
+        let sender = if from_client {
+            Endpoint::Client
+        } else {
+            Endpoint::Server
+        };
         let sender_state = match sender {
             Endpoint::Client => tracker.client().current_name().to_owned(),
             Endpoint::Server => tracker.server().current_name().to_owned(),
@@ -425,16 +451,19 @@ impl Tap for AttackProxy {
         self.maybe_trigger_injection(ctx);
 
         let matched = self.rules.iter().find_map(|rule| match &rule.kind {
-            StrategyKind::OnPacket { endpoint, state, packet_type, attack }
-                if *endpoint == sender && *state == sender_state && *packet_type == ptype =>
-            {
+            StrategyKind::OnPacket {
+                endpoint,
+                state,
+                packet_type,
+                attack,
+            } if *endpoint == sender && *state == sender_state && *packet_type == ptype => {
                 Some(attack.clone())
             }
-            StrategyKind::OnNthPacket { endpoint, n, attack }
-                if *endpoint == sender && *n == sender_count =>
-            {
-                Some(attack.clone())
-            }
+            StrategyKind::OnNthPacket {
+                endpoint,
+                n,
+                attack,
+            } if *endpoint == sender && *n == sender_count => Some(attack.clone()),
             _ => None,
         });
         match matched {
@@ -454,8 +483,10 @@ impl Tap for AttackProxy {
             t if t >= TAG_INJECT_BASE => {
                 let i = (t - TAG_INJECT_BASE) as usize;
                 if !self.started[i] {
-                    if let Some(Strategy { kind: StrategyKind::AtTime { attack, .. }, .. }) =
-                        self.rules.get(i).cloned()
+                    if let Some(Strategy {
+                        kind: StrategyKind::AtTime { attack, .. },
+                        ..
+                    }) = self.rules.get(i).cloned()
                     {
                         self.started[i] = true;
                         self.injections[i] = Some(self.make_run(attack));
@@ -480,7 +511,9 @@ impl Tap for AttackProxy {
                         Dir::Send => "send",
                         Dir::Recv => "recv",
                     };
-                    *totals.entry((endpoint.to_owned(), state, ptype, dir)).or_insert(0) += count;
+                    *totals
+                        .entry((endpoint.to_owned(), state, ptype, dir))
+                        .or_insert(0) += count;
                 }
             }
         }
@@ -488,7 +521,9 @@ impl Tap for AttackProxy {
         let mut entries: Vec<_> = totals.into_iter().collect();
         entries.sort();
         for ((endpoint, state, ptype, dir), count) in entries {
-            self.report.observed.push((endpoint, state, ptype, dir.to_owned(), count));
+            self.report
+                .observed
+                .push((endpoint, state, ptype, dir.to_owned(), count));
         }
         if let Some((_, tracker)) = self.trackers.first() {
             self.report.client_final_state = tracker.client().current_name().to_owned();
@@ -534,7 +569,10 @@ mod tests {
     fn baseline_proxy_is_transparent_and_tracks() {
         let (sim, d) = tcp_download(None, 5);
         let delivered = sim.agent::<TcpHost>(d.client1).unwrap().total_delivered();
-        assert!(delivered > 2_000_000, "proxy must not impede traffic: {delivered}");
+        assert!(
+            delivered > 2_000_000,
+            "proxy must not impede traffic: {delivered}"
+        );
         let proxy = sim.tap::<AttackProxy>(d.proxy_link).unwrap();
         assert_eq!(proxy.tracker().client().current_name(), "ESTABLISHED");
         assert_eq!(proxy.tracker().server().current_name(), "ESTABLISHED");
@@ -547,10 +585,10 @@ mod tests {
         let (sim, d) = tcp_download(None, 3);
         let proxy = sim.tap::<AttackProxy>(d.proxy_link).unwrap();
         let report = proxy.report();
-        assert!(report
-            .observed
-            .iter()
-            .any(|(e, s, p, dir, _)| e == "client" && s == "CLOSED" && p == "SYN" && dir == "send"));
+        assert!(report.observed.iter().any(|(e, s, p, dir, _)| e == "client"
+            && s == "CLOSED"
+            && p == "SYN"
+            && dir == "send"));
         assert!(report
             .observed
             .iter()
@@ -642,7 +680,10 @@ mod tests {
         let (sim, d) = tcp_download(Some(strategy), 10);
         let baseline = {
             let (sim_b, d_b) = tcp_download(None, 10);
-            sim_b.agent::<TcpHost>(d_b.client1).unwrap().total_delivered()
+            sim_b
+                .agent::<TcpHost>(d_b.client1)
+                .unwrap()
+                .total_delivered()
         };
         let attacked = sim.agent::<TcpHost>(d.client1).unwrap().total_delivered();
         assert!(
@@ -700,7 +741,11 @@ mod tests {
         };
         let (sim, d) = tcp_download(Some(strategy), 15);
         let metrics = sim.agent::<TcpHost>(d.client1).unwrap().conn_metrics();
-        assert_eq!(metrics[0].state, snake_tcp::State::Established, "inert volume has no effect");
+        assert_eq!(
+            metrics[0].state,
+            snake_tcp::State::Established,
+            "inert volume has no effect"
+        );
     }
 
     #[test]
@@ -820,7 +865,10 @@ mod tests {
         let mut c1 = TcpHost::new(Profile::linux_3_13());
         c1.connect_at(SimTime::ZERO, Addr::new(d.server1, 80));
         sim.set_agent(d.client1, c1);
-        sim.attach_tap(d.proxy_link, AttackProxy::with_rules(TcpAdapter, config(&d), rules));
+        sim.attach_tap(
+            d.proxy_link,
+            AttackProxy::with_rules(TcpAdapter, config(&d), rules),
+        );
         sim.run_until(SimTime::from_secs(5));
         let proxy = sim.tap::<AttackProxy>(d.proxy_link).unwrap();
         assert!(proxy.report().duplicates > 0, "rule 1 acted");

@@ -1,8 +1,7 @@
-use serde::{Deserialize, Serialize};
 use snake_packet::FieldMutation;
 
 /// Which endpoint of the target connection a strategy element refers to.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Endpoint {
     /// The client (the proxied host — in the paper's topology, client 1).
     Client,
@@ -31,7 +30,7 @@ impl std::fmt::Display for Endpoint {
 
 /// The packet-level basic attacks of paper §IV-C, applied to packets of one
 /// type observed while their sender is in one state.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum BasicAttack {
     /// Drop the packet with the given probability (percent).
     Drop {
@@ -83,7 +82,7 @@ impl BasicAttack {
 /// How the sequence field of an injected packet is chosen. Off-path
 /// attackers do not know the connection's sequence numbers, so the choices
 /// are blind (paper §IV-C).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SeqChoice {
     /// Zero.
     Zero,
@@ -105,7 +104,7 @@ impl std::fmt::Display for SeqChoice {
 
 /// Which way an injected packet travels (it is spoofed to look like it came
 /// from the opposite endpoint).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum InjectDirection {
     /// Toward the client, spoofed as the server.
     ToClient,
@@ -123,7 +122,7 @@ impl std::fmt::Display for InjectDirection {
 }
 
 /// The off-path attacks of paper §IV-C: spoofed packet injection.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum InjectionAttack {
     /// Inject a single spoofed packet (repeated a few times for loss
     /// robustness) when the tracked endpoint enters the strategy's state.
@@ -164,10 +163,22 @@ impl InjectionAttack {
     /// A short stable label for reports.
     pub fn label(&self) -> String {
         match self {
-            InjectionAttack::Inject { packet_type, seq, direction, repeat } => {
+            InjectionAttack::Inject {
+                packet_type,
+                seq,
+                direction,
+                repeat,
+            } => {
                 format!("inject:{packet_type}:seq={seq}{direction}x{repeat}")
             }
-            InjectionAttack::HitSeqWindow { packet_type, direction, stride, count, inert, .. } => {
+            InjectionAttack::HitSeqWindow {
+                packet_type,
+                direction,
+                stride,
+                count,
+                inert,
+                ..
+            } => {
                 let tag = if *inert { ":inert" } else { "" };
                 format!("hitseqwindow:{packet_type}{direction}:stride={stride}:n={count}{tag}")
             }
@@ -176,7 +187,7 @@ impl InjectionAttack {
 }
 
 /// When and what the proxy attacks.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum StrategyKind {
     /// Apply a basic attack to every packet of `packet_type` sent by
     /// `endpoint` while the tracker says that endpoint is in `state` —
@@ -225,7 +236,7 @@ pub enum StrategyKind {
 
 /// One attack strategy: the unit SNAKE's controller generates and an
 /// executor tests in a fresh scenario.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Strategy {
     /// Stable identifier assigned by the controller.
     pub id: u64,
@@ -237,13 +248,30 @@ impl Strategy {
     /// A human-readable one-line description.
     pub fn describe(&self) -> String {
         match &self.kind {
-            StrategyKind::OnPacket { endpoint, state, packet_type, attack } => {
-                format!("[{}] {endpoint}@{state}/{packet_type}: {}", self.id, attack.label())
+            StrategyKind::OnPacket {
+                endpoint,
+                state,
+                packet_type,
+                attack,
+            } => {
+                format!(
+                    "[{}] {endpoint}@{state}/{packet_type}: {}",
+                    self.id,
+                    attack.label()
+                )
             }
-            StrategyKind::OnState { endpoint, state, attack } => {
+            StrategyKind::OnState {
+                endpoint,
+                state,
+                attack,
+            } => {
                 format!("[{}] {endpoint}@{state}: {}", self.id, attack.label())
             }
-            StrategyKind::OnNthPacket { endpoint, n, attack } => {
+            StrategyKind::OnNthPacket {
+                endpoint,
+                n,
+                attack,
+            } => {
                 format!("[{}] {endpoint}#pkt{}: {}", self.id, n, attack.label())
             }
             StrategyKind::AtTime { at_secs, attack } => {
@@ -255,7 +283,10 @@ impl Strategy {
     /// Whether this strategy only injects traffic (models a third-party,
     /// off-path attacker).
     pub fn is_off_path(&self) -> bool {
-        matches!(self.kind, StrategyKind::OnState { .. } | StrategyKind::AtTime { .. })
+        matches!(
+            self.kind,
+            StrategyKind::OnState { .. } | StrategyKind::AtTime { .. }
+        )
     }
 }
 
@@ -268,7 +299,11 @@ mod tests {
         assert_eq!(BasicAttack::Drop { percent: 50 }.label(), "drop=50%");
         assert_eq!(BasicAttack::Duplicate { copies: 10 }.label(), "dup=10");
         assert_eq!(
-            BasicAttack::Lie { field: "window".into(), mutation: FieldMutation::Max }.label(),
+            BasicAttack::Lie {
+                field: "window".into(),
+                mutation: FieldMutation::Max
+            }
+            .label(),
             "lie:window:max"
         );
         let h = InjectionAttack::HitSeqWindow {

@@ -160,9 +160,15 @@ mod tests {
     fn tcp_reset_arcs_match_rfc_diagram() {
         let m = tcp_state_machine();
         let sr = m.state("SYN_RECEIVED").unwrap();
-        assert_eq!(m.state_name(m.step(sr, Dir::Recv, "RST").unwrap()), "LISTEN");
+        assert_eq!(
+            m.state_name(m.step(sr, Dir::Recv, "RST").unwrap()),
+            "LISTEN"
+        );
         let ss = m.state("SYN_SENT").unwrap();
-        assert_eq!(m.state_name(m.step(ss, Dir::Recv, "RST").unwrap()), "CLOSED");
+        assert_eq!(
+            m.state_name(m.step(ss, Dir::Recv, "RST").unwrap()),
+            "CLOSED"
+        );
     }
 
     #[test]
@@ -176,9 +182,10 @@ mod tests {
     #[test]
     fn dccp_machine_states() {
         let m = dccp_state_machine();
-        for s in
-            ["CLOSED", "LISTEN", "REQUEST", "RESPOND", "PARTOPEN", "OPEN", "CLOSEREQ", "CLOSING", "TIMEWAIT"]
-        {
+        for s in [
+            "CLOSED", "LISTEN", "REQUEST", "RESPOND", "PARTOPEN", "OPEN", "CLOSEREQ", "CLOSING",
+            "TIMEWAIT",
+        ] {
             assert!(m.state(s).is_ok(), "missing DCCP state {s}");
         }
         assert_eq!(m.state_count(), 9);

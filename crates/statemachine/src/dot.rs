@@ -167,7 +167,9 @@ fn parse_statement(
 }
 
 fn parse_event(text: &str) -> Result<Event, StateMachineError> {
-    let bad = || StateMachineError::BadLabel { label: text.to_owned() };
+    let bad = || StateMachineError::BadLabel {
+        label: text.to_owned(),
+    };
     let (dir, ty) = text.split_once(':').ok_or_else(bad)?;
     let dir = match dir.trim() {
         "send" => Dir::Send,
@@ -202,11 +204,16 @@ fn strip_comments(line: &str) -> &str {
 }
 
 fn ident_ok(s: &str) -> bool {
-    !s.is_empty() && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-')
+    !s.is_empty()
+        && s.chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-')
 }
 
 fn perr(line: usize, reason: &str) -> StateMachineError {
-    StateMachineError::ParseError { line, reason: reason.to_owned() }
+    StateMachineError::ParseError {
+        line,
+        reason: reason.to_owned(),
+    }
 }
 
 #[cfg(test)]
@@ -264,7 +271,10 @@ mod tests {
 
     #[test]
     fn rejects_empty_graph() {
-        assert!(matches!(parse_dot("digraph t { }"), Err(StateMachineError::EmptyMachine)));
+        assert!(matches!(
+            parse_dot("digraph t { }"),
+            Err(StateMachineError::EmptyMachine)
+        ));
     }
 
     #[test]

@@ -35,7 +35,10 @@ impl fmt::Display for StateMachineError {
             StateMachineError::UnknownState { name } => write!(f, "unknown state `{name}`"),
             StateMachineError::EmptyMachine => write!(f, "state machine has no states"),
             StateMachineError::BadLabel { label } => {
-                write!(f, "bad transition label `{label}`: expected `send:TYPE` or `recv:TYPE`")
+                write!(
+                    f,
+                    "bad transition label `{label}`: expected `send:TYPE` or `recv:TYPE`"
+                )
             }
         }
     }

@@ -92,8 +92,8 @@ pub fn infer_machine(
     // --- 2. k-tails equivalence over the PTA -------------------------
     let n = children.len();
     let mut tails: Vec<BTreeSet<Vec<Event>>> = vec![BTreeSet::new(); n];
-    for state in 0..n {
-        collect_tails(&children, state, config.k, &mut Vec::new(), &mut tails[state]);
+    for (state, tail) in tails.iter_mut().enumerate() {
+        collect_tails(&children, state, config.k, &mut Vec::new(), tail);
     }
     let mut uf = UnionFind::new(n);
     let mut by_tail: HashMap<&BTreeSet<Vec<Event>>, usize> = HashMap::new();
@@ -148,8 +148,9 @@ pub fn infer_machine(
             }
             for to in edges.values() {
                 let to_group = uf.find(*to);
-                if !group_name.contains_key(&to_group) {
-                    group_name.insert(to_group, format!("S{}", order.len()));
+                if let std::collections::hash_map::Entry::Vacant(slot) = group_name.entry(to_group)
+                {
+                    slot.insert(format!("S{}", order.len()));
                     order.push(to_group);
                     frontier.push_back(to_group);
                 }
@@ -160,7 +161,11 @@ pub fn infer_machine(
     let mut edges_out: Vec<(String, String, Event)> = Vec::new();
     let mut seen: BTreeSet<(String, String, String)> = BTreeSet::new();
     // Seed the initial state first so it gets index 0 in the machine.
-    edges_out.push(("S0".to_owned(), "S0".to_owned(), Event::new(crate::Dir::Recv, "\u{0}never")));
+    edges_out.push((
+        "S0".to_owned(),
+        "S0".to_owned(),
+        Event::new(crate::Dir::Recv, "\u{0}never"),
+    ));
     for (state, edges) in children.iter().enumerate() {
         let from = group_name[&uf.find(state)].clone();
         for (event, to) in edges {
@@ -202,7 +207,9 @@ struct UnionFind {
 
 impl UnionFind {
     fn new(n: usize) -> UnionFind {
-        UnionFind { parent: (0..n).collect() }
+        UnionFind {
+            parent: (0..n).collect(),
+        }
     }
 
     fn find(&mut self, x: usize) -> usize {
@@ -254,7 +261,9 @@ mod tests {
         // Handshake prefix must be present and deterministic.
         let s0 = m.state("S0").unwrap();
         let after_syn = m.step(s0, Dir::Send, "SYN").expect("SYN transition");
-        let after_synack = m.step(after_syn, Dir::Recv, "SYN+ACK").expect("SYN+ACK transition");
+        let after_synack = m
+            .step(after_syn, Dir::Recv, "SYN+ACK")
+            .expect("SYN+ACK transition");
         assert_ne!(after_syn, after_synack);
         // The data-transfer loop must have collapsed into a cycle: from the
         // established region, recv DATA / send ACK eventually revisits a
@@ -274,11 +283,9 @@ mod tests {
         // either transitions or (never, here) self-loops.
         for trace in &traces {
             let mut tracker = Tracker::new(m.clone(), "S0").unwrap();
-            let mut t = 0;
-            for e in trace {
+            for (t, e) in trace.iter().enumerate() {
                 let before = tracker.current();
-                tracker.observe(e.dir, &e.packet_type, t);
-                t += 1;
+                tracker.observe(e.dir, &e.packet_type, t as u64);
                 // Transitions observed during training must exist: the
                 // machine accepts the trace without falling back to the
                 // implicit self-loop on handshake events.
@@ -301,7 +308,12 @@ mod tests {
         for t in m.transitions() {
             let key = (t.from.index(), t.event.to_string());
             if let Some(&existing) = seen.get(&key) {
-                assert_eq!(existing, t.to.index(), "nondeterministic edge on {}", t.event);
+                assert_eq!(
+                    existing,
+                    t.to.index(),
+                    "nondeterministic edge on {}",
+                    t.event
+                );
             }
             seen.insert(key, t.to.index());
         }
@@ -338,7 +350,11 @@ mod tests {
         // k = 0 makes all non-leaf states equivalent: maximal merging.
         let traces: Vec<Vec<Event>> = (1..4).map(handshake_trace).collect();
         let m = infer_machine("k0", &traces, InferenceConfig { k: 0 }).unwrap();
-        assert!(m.state_count() <= 2, "k=0 should collapse: {}", m.state_count());
+        assert!(
+            m.state_count() <= 2,
+            "k=0 should collapse: {}",
+            m.state_count()
+        );
     }
 
     #[test]

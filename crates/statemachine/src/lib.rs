@@ -42,7 +42,7 @@ mod tracker;
 
 pub use builtin::{dccp_state_machine, tcp_state_machine, DCCP_DOT, TCP_DOT};
 pub use dot::parse_dot;
-pub use infer::{infer_machine, InferenceConfig};
 pub use error::StateMachineError;
+pub use infer::{infer_machine, InferenceConfig};
 pub use machine::{Dir, Event, StateId, StateMachine, Transition};
 pub use tracker::{PairTracker, StateStats, Tracker};

@@ -2,12 +2,10 @@ use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
 
-use serde::{Deserialize, Serialize};
-
 use crate::StateMachineError;
 
 /// Index of a state within its [`StateMachine`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct StateId(pub(crate) usize);
 
 impl StateId {
@@ -18,7 +16,7 @@ impl StateId {
 }
 
 /// Direction of an observed packet relative to the tracked endpoint.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Dir {
     /// The endpoint sent the packet.
     Send,
@@ -48,7 +46,7 @@ impl fmt::Display for Dir {
 
 /// A packet event that can trigger a transition: a packet of a named type
 /// sent or received by the endpoint.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Event {
     /// Direction relative to the endpoint.
     pub dir: Dir,
@@ -59,7 +57,10 @@ pub struct Event {
 impl Event {
     /// Convenience constructor.
     pub fn new(dir: Dir, packet_type: impl Into<String>) -> Self {
-        Event { dir, packet_type: packet_type.into() }
+        Event {
+            dir,
+            packet_type: packet_type.into(),
+        }
     }
 }
 
@@ -70,7 +71,7 @@ impl fmt::Display for Event {
 }
 
 /// A transition rule: in `from`, on `event`, move to `to`.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Transition {
     /// Origin state.
     pub from: StateId,
@@ -87,7 +88,7 @@ pub struct Transition {
 /// transition leave the state unchanged — RFC state diagrams only draw the
 /// state-changing packets, and everything else (data flow in ESTABLISHED,
 /// say) is an implicit self-loop.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct StateMachine {
     name: String,
     states: Vec<String>,
@@ -127,9 +128,18 @@ impl StateMachine {
         for (from, to, event) in edges {
             let f = intern(&from, &mut states, &mut by_name);
             let t = intern(&to, &mut states, &mut by_name);
-            transitions.push(Transition { from: f, to: t, event });
+            transitions.push(Transition {
+                from: f,
+                to: t,
+                event,
+            });
         }
-        Ok(Arc::new(StateMachine { name: name.into(), states, by_name, transitions }))
+        Ok(Arc::new(StateMachine {
+            name: name.into(),
+            states,
+            by_name,
+            transitions,
+        }))
     }
 
     /// The machine's name (the dot `digraph` name).
@@ -161,7 +171,9 @@ impl StateMachine {
         self.by_name
             .get(name)
             .copied()
-            .ok_or_else(|| StateMachineError::UnknownState { name: name.to_owned() })
+            .ok_or_else(|| StateMachineError::UnknownState {
+                name: name.to_owned(),
+            })
     }
 
     /// The name of a state.
@@ -244,7 +256,10 @@ mod tests {
     #[test]
     fn unknown_state_error() {
         let m = toy();
-        assert!(matches!(m.state("Q"), Err(StateMachineError::UnknownState { .. })));
+        assert!(matches!(
+            m.state("Q"),
+            Err(StateMachineError::UnknownState { .. })
+        ));
     }
 
     #[test]

@@ -50,7 +50,13 @@ impl Tracker {
         let current = machine.state(initial)?;
         let mut stats = vec![StateStats::default(); machine.state_count()];
         stats[current.index()].visits = 1;
-        Ok(Tracker { machine, current, entered_at: 0, stats, transitions_taken: 0 })
+        Ok(Tracker {
+            machine,
+            current,
+            entered_at: 0,
+            stats,
+            transitions_taken: 0,
+        })
     }
 
     /// The machine this tracker follows.
@@ -211,7 +217,11 @@ mod tests {
         t.observe(Dir::Recv, "SYN+ACK", 10);
         assert_eq!(t.current_name(), "ESTABLISHED");
         t.observe(Dir::Send, "ACK", 20);
-        assert_eq!(t.current_name(), "ESTABLISHED", "pure ACK send is a self-loop");
+        assert_eq!(
+            t.current_name(),
+            "ESTABLISHED",
+            "pure ACK send is a self-loop"
+        );
         assert_eq!(t.transitions_taken(), 2);
     }
 
@@ -275,10 +285,9 @@ mod tests {
         t.observe(Dir::Send, "SYN", 0);
         t.observe(Dir::Recv, "SYN+ACK", 1);
         let pairs = t.observed_pairs();
-        assert!(pairs.iter().any(|(s, ty, d, n)| s == "CLOSED"
-            && ty == "SYN"
-            && *d == Dir::Send
-            && *n == 1));
+        assert!(pairs
+            .iter()
+            .any(|(s, ty, d, n)| s == "CLOSED" && ty == "SYN" && *d == Dir::Send && *n == 1));
         assert!(pairs
             .iter()
             .any(|(s, ty, d, _)| s == "SYN_SENT" && ty == "SYN+ACK" && *d == Dir::Recv));

@@ -312,8 +312,10 @@ impl Connection {
         match self.profile.abort_style {
             AbortStyle::FinThenRst => {
                 self.aborted = true;
-                if matches!(self.state, State::Established | State::SynReceived | State::CloseWait)
-                    && self.fin_seq.is_none()
+                if matches!(
+                    self.state,
+                    State::Established | State::SynReceived | State::CloseWait
+                ) && self.fin_seq.is_none()
                 {
                     let fin = self.snd_nxt;
                     self.fin_seq = Some(fin);
@@ -363,13 +365,7 @@ impl Connection {
                     return;
                 }
                 self.backoff += 1;
-                self.emit(
-                    out,
-                    TcpFlags::SYN_ACK,
-                    self.iss,
-                    self.rcv_nxt,
-                    0,
-                );
+                self.emit(out, TcpFlags::SYN_ACK, self.iss, self.rcv_nxt, 0);
                 self.retransmits += 1;
                 self.arm_rto(out);
             }
@@ -793,7 +789,10 @@ impl Connection {
     }
 
     fn process_data(&mut self, seg: &Seg, out: &mut Vec<ConnEvent>) {
-        if !matches!(self.state, State::Established | State::FinWait1 | State::FinWait2) {
+        if !matches!(
+            self.state,
+            State::Established | State::FinWait1 | State::FinWait2
+        ) {
             // Data after the peer said it was done, or before establishment:
             // just re-ack.
             self.send_ack(out);
@@ -908,8 +907,12 @@ impl Connection {
             // PSH on every 10th segment and on a buffer flush, so PSH+ACK
             // segments "occur only occasionally in the data stream"
             // (paper §VI-A.6).
-            let psh = self.psh_counter % 10 == 0 || self.app_queue == 0;
-            let flags = if psh { TcpFlags::PSH_ACK } else { TcpFlags::ACK };
+            let psh = self.psh_counter.is_multiple_of(10) || self.app_queue == 0;
+            let flags = if psh {
+                TcpFlags::PSH_ACK
+            } else {
+                TcpFlags::ACK
+            };
             self.emit(out, flags, seq_no, self.rcv_nxt, chunk);
             if self.rtt_sample.is_none() {
                 self.rtt_sample = Some((self.snd_nxt, now));
@@ -1295,7 +1298,10 @@ mod tests {
         }
         let acks = transmits(&out);
         assert_eq!(acks.len(), 10);
-        assert!(acks[1..].iter().all(|a| a.urgent_ptr == DSACK_MARKER), "DSACK-marked");
+        assert!(
+            acks[1..].iter().all(|a| a.urgent_ptr == DSACK_MARKER),
+            "DSACK-marked"
+        );
         out.clear();
 
         for a in acks {
@@ -1331,7 +1337,10 @@ mod tests {
             client.on_segment(segs[0], t(51), &mut out);
         }
         let acks = transmits(&out);
-        assert!(acks[1..].iter().all(|a| a.urgent_ptr == 0), "Windows does not mark");
+        assert!(
+            acks[1..].iter().all(|a| a.urgent_ptr == 0),
+            "Windows does not mark"
+        );
         out.clear();
 
         let cwnd_before = server.cwnd();
@@ -1386,7 +1395,10 @@ mod tests {
         // strategy): a naïve stack grows its window for each.
         server.on_segment(first_ack, t(31), &mut out);
         server.on_segment(first_ack, t(32), &mut out);
-        assert!(server.cwnd() > before, "duplicates inflate the window on Windows 95");
+        assert!(
+            server.cwnd() > before,
+            "duplicates inflate the window on Windows 95"
+        );
 
         // Whereas Linux ignores them entirely.
         out.clear();
@@ -1507,13 +1519,23 @@ mod tests {
         let monster = Seg {
             seq: w81.rcv_nxt,
             ack: 0,
-            flags: TcpFlags { syn: true, fin: true, rst: true, ack: true, ..TcpFlags::none() },
+            flags: TcpFlags {
+                syn: true,
+                fin: true,
+                rst: true,
+                ack: true,
+                ..TcpFlags::none()
+            },
             window: 0,
             urgent_ptr: 0,
             payload_len: 0,
         };
         w81.on_segment(monster, t(1), &mut out);
-        assert_eq!(w81.state(), State::Closed, "RST wins regardless of other flags");
+        assert_eq!(
+            w81.state(),
+            State::Closed,
+            "RST wins regardless of other flags"
+        );
 
         // Linux 3.13 ignores the same packet.
         let mut c313 = Connection::client(Profile::linux_3_13(), 1_000);
@@ -1627,7 +1649,10 @@ mod tests {
         // being dropped by the attack).
         server.app_close(t(70), &mut out);
         assert_eq!(server.state(), State::CloseWait, "stuck in CLOSE_WAIT");
-        assert!(transmits(&out).iter().all(|s| !s.flags.fin), "no FIN while data pending");
+        assert!(
+            transmits(&out).iter().all(|s| !s.flags.fin),
+            "no FIN while data pending"
+        );
 
         // RTOs fire; the server keeps retransmitting into the void but
         // remains in CLOSE_WAIT until retries are exhausted.
@@ -1638,7 +1663,9 @@ mod tests {
         // The final retry gives up and force-closes.
         server.on_rto(t(100_000), &mut out);
         assert_eq!(server.state(), State::Closed);
-        assert!(out.iter().any(|e| matches!(e, ConnEvent::Reset("retransmissions exhausted"))));
+        assert!(out
+            .iter()
+            .any(|e| matches!(e, ConnEvent::Reset("retransmissions exhausted"))));
     }
 
     #[test]
@@ -1663,7 +1690,10 @@ mod tests {
             ConnEvent::ArmRto(d) => Some(*d),
             _ => None,
         });
-        assert!(rto2.unwrap() >= rto1.unwrap().saturating_mul(2), "exponential backoff");
+        assert!(
+            rto2.unwrap() >= rto1.unwrap().saturating_mul(2),
+            "exponential backoff"
+        );
     }
 
     #[test]
@@ -1678,7 +1708,9 @@ mod tests {
         }
         client.on_rto(t(60_000), &mut out);
         assert_eq!(client.state(), State::Closed);
-        assert!(out.iter().any(|e| matches!(e, ConnEvent::Reset("handshake timed out"))));
+        assert!(out
+            .iter()
+            .any(|e| matches!(e, ConnEvent::Reset("handshake timed out"))));
     }
 
     #[test]
@@ -1721,7 +1753,10 @@ mod tests {
         server.on_segment(ack, t(50), &mut out);
         out.clear();
         server.app_send(10 * MSS as u64, t(60), &mut out);
-        assert!(transmits(&out).is_empty(), "zero window blocks transmission");
+        assert!(
+            transmits(&out).is_empty(),
+            "zero window blocks transmission"
+        );
     }
 
     #[test]
@@ -1757,9 +1792,15 @@ mod tests {
         out.clear();
 
         // The window reopens; transfer resumes.
-        let open = Seg { window: 65_535, ..zero };
+        let open = Seg {
+            window: 65_535,
+            ..zero
+        };
         server.on_segment(open, t(400), &mut out);
-        assert!(!transmits(&out).is_empty(), "data flows once the window opens");
+        assert!(
+            !transmits(&out).is_empty(),
+            "data flows once the window opens"
+        );
     }
 
     #[test]

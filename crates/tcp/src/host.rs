@@ -234,7 +234,13 @@ impl TcpHost {
 
     fn install(&mut self, conn: Connection, port: u16, remote: Addr, app: AppKind) -> usize {
         let idx = self.conns.len();
-        self.conns.push(ConnSlot { conn, local_port: port, remote, app, rto_gen: 0 });
+        self.conns.push(ConnSlot {
+            conn,
+            local_port: port,
+            remote,
+            app,
+            rto_gen: 0,
+        });
         self.by_pair.insert((port, remote), idx);
         idx
     }
@@ -247,11 +253,8 @@ impl TcpHost {
             match ev {
                 ConnEvent::Transmit(seg) => {
                     let slot = &self.conns[idx];
-                    let pkt = build_packet(
-                        Addr::new(ctx.node(), slot.local_port),
-                        slot.remote,
-                        &seg,
-                    );
+                    let pkt =
+                        build_packet(Addr::new(ctx.node(), slot.local_port), slot.remote, &seg);
                     ctx.send(pkt);
                 }
                 ConnEvent::ArmRto(after) => {
@@ -301,8 +304,16 @@ fn build_packet(src: Addr, dst: Addr, seg: &Seg) -> Packet {
         .window(seg.window)
         .flags(seg.flags)
         .build();
-    header.set("urgent_ptr", seg.urgent_ptr as u64).expect("in range");
-    Packet::new(src, dst, Protocol::Tcp, header.into_bytes(), seg.payload_len)
+    header
+        .set("urgent_ptr", seg.urgent_ptr as u64)
+        .expect("in range");
+    Packet::new(
+        src,
+        dst,
+        Protocol::Tcp,
+        header.into_bytes(),
+        seg.payload_len,
+    )
 }
 
 /// Decodes a wire packet into a segment, or `None` if the header is
@@ -402,26 +413,20 @@ impl Agent for TcpHost {
                     self.connect_now(ctx, plan.remote);
                 }
             }
-            KIND_RTO => {
-                if idx < self.conns.len() && self.conns[idx].rto_gen == gen {
-                    let mut events = Vec::new();
-                    self.conns[idx].conn.on_rto(ctx.now(), &mut events);
-                    self.pump(ctx, idx, events);
-                }
+            KIND_RTO if idx < self.conns.len() && self.conns[idx].rto_gen == gen => {
+                let mut events = Vec::new();
+                self.conns[idx].conn.on_rto(ctx.now(), &mut events);
+                self.pump(ctx, idx, events);
             }
-            KIND_TIME_WAIT => {
-                if idx < self.conns.len() {
-                    let mut events = Vec::new();
-                    self.conns[idx].conn.on_time_wait_expiry(&mut events);
-                    self.pump(ctx, idx, events);
-                }
+            KIND_TIME_WAIT if idx < self.conns.len() => {
+                let mut events = Vec::new();
+                self.conns[idx].conn.on_time_wait_expiry(&mut events);
+                self.pump(ctx, idx, events);
             }
-            KIND_APP_CLOSE => {
-                if idx < self.conns.len() {
-                    let mut events = Vec::new();
-                    self.conns[idx].conn.app_close(ctx.now(), &mut events);
-                    self.pump(ctx, idx, events);
-                }
+            KIND_APP_CLOSE if idx < self.conns.len() => {
+                let mut events = Vec::new();
+                self.conns[idx].conn.app_close(ctx.now(), &mut events);
+                self.pump(ctx, idx, events);
             }
             _ => {}
         }
@@ -476,7 +481,10 @@ mod tests {
             let a = sim.agent::<TcpHost>(d.client1).unwrap().total_delivered() as f64;
             let b = sim.agent::<TcpHost>(d.client2).unwrap().total_delivered() as f64;
             let ratio = a.max(b) / a.min(b).max(1.0);
-            assert!(ratio < 2.0, "{name}: unfair baseline, ratio {ratio:.2} ({a} vs {b})");
+            assert!(
+                ratio < 2.0,
+                "{name}: unfair baseline, ratio {ratio:.2} ({a} vs {b})"
+            );
         }
     }
 
@@ -566,7 +574,11 @@ mod tests {
         let mut sim = Simulator::new(1);
         let a = sim.add_node("a");
         let b = sim.add_node("b");
-        sim.add_link(a, b, LinkSpec::new(10_000_000, SimDuration::from_millis(1), 16));
+        sim.add_link(
+            a,
+            b,
+            LinkSpec::new(10_000_000, SimDuration::from_millis(1), 16),
+        );
         let mut host = TcpHost::new(Profile::linux_3_13());
         host.listen(80, ServerApp::bulk_sender(1_000));
         sim.set_agent(b, host);
@@ -590,7 +602,12 @@ mod tests {
             }
             fn on_packet(&mut self, _ctx: &mut Ctx<'_>, _packet: Packet) {}
         }
-        sim.set_agent(a, BadSyn { target: Addr::new(b, 80) });
+        sim.set_agent(
+            a,
+            BadSyn {
+                target: Addr::new(b, 80),
+            },
+        );
         sim.run_until(SimTime::from_secs(1));
         let host = sim.agent::<TcpHost>(b).unwrap();
         assert_eq!(host.malformed_dropped(), 1);
@@ -602,7 +619,11 @@ mod tests {
         let mut sim = Simulator::new(1);
         let a = sim.add_node("a");
         let b = sim.add_node("b");
-        sim.add_link(a, b, LinkSpec::new(10_000_000, SimDuration::from_millis(1), 16));
+        sim.add_link(
+            a,
+            b,
+            LinkSpec::new(10_000_000, SimDuration::from_millis(1), 16),
+        );
         sim.set_agent(b, TcpHost::new(Profile::linux_3_13())); // no listener
 
         struct Probe {
@@ -622,12 +643,21 @@ mod tests {
                 ctx.send(pkt);
             }
             fn on_packet(&mut self, _ctx: &mut Ctx<'_>, packet: Packet) {
-                if TcpView::new(&packet.header).map(|v| v.flags().rst).unwrap_or(false) {
+                if TcpView::new(&packet.header)
+                    .map(|v| v.flags().rst)
+                    .unwrap_or(false)
+                {
                     self.got_rst = true;
                 }
             }
         }
-        sim.set_agent(a, Probe { target: Addr::new(b, 81), got_rst: false });
+        sim.set_agent(
+            a,
+            Probe {
+                target: Addr::new(b, 81),
+                got_rst: false,
+            },
+        );
         sim.run_until(SimTime::from_secs(1));
         assert!(sim.agent::<Probe>(a).unwrap().got_rst);
     }

@@ -1,9 +1,8 @@
-use serde::{Deserialize, Serialize};
 use snake_netsim::SimDuration;
 
 /// How a stack reacts to a segment whose flag combination no correct
 /// implementation would send (paper §VI-A.2).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum InvalidFlagPolicy {
     /// Attempt to interpret the packet anyway: the ACK field is processed,
     /// an in-window SYN resets, a FIN closes, and a packet with *no* flags
@@ -20,7 +19,7 @@ pub enum InvalidFlagPolicy {
 
 /// How a stack tears down when the local application exits abruptly in the
 /// middle of a transfer (a killed `wget`).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum AbortStyle {
     /// Send a FIN, then answer any further data with RSTs (valid per RFC
     /// 793 since the data can never be delivered). Linux behaviour; the
@@ -36,7 +35,7 @@ pub enum AbortStyle {
 ///
 /// Profiles only encode behaviours documented in the paper or the stacks'
 /// public defaults; everything else is shared RFC-conformant engine code.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Profile {
     /// Display name, as it appears in the paper's tables.
     pub name: String,
@@ -195,9 +194,18 @@ mod tests {
 
     #[test]
     fn profiles_encode_paper_documented_quirks() {
-        assert_eq!(Profile::linux_3_0_0().invalid_flags, InvalidFlagPolicy::BestEffort);
-        assert_eq!(Profile::linux_3_13().invalid_flags, InvalidFlagPolicy::Ignore);
-        assert_eq!(Profile::windows_8_1().invalid_flags, InvalidFlagPolicy::RstAlwaysWins);
+        assert_eq!(
+            Profile::linux_3_0_0().invalid_flags,
+            InvalidFlagPolicy::BestEffort
+        );
+        assert_eq!(
+            Profile::linux_3_13().invalid_flags,
+            InvalidFlagPolicy::Ignore
+        );
+        assert_eq!(
+            Profile::windows_8_1().invalid_flags,
+            InvalidFlagPolicy::RstAlwaysWins
+        );
         assert!(Profile::windows_95().naive_ack_counting);
         assert!(!Profile::linux_3_13().naive_ack_counting);
         assert!(!Profile::windows_8_1().dsack);
@@ -215,6 +223,9 @@ mod tests {
     #[test]
     fn all_lists_four_implementations() {
         let names: Vec<String> = Profile::all().into_iter().map(|p| p.name).collect();
-        assert_eq!(names, ["Linux 3.0.0", "Linux 3.13", "Windows 8.1", "Windows 95"]);
+        assert_eq!(
+            names,
+            ["Linux 3.0.0", "Linux 3.13", "Windows 8.1", "Windows 95"]
+        );
     }
 }

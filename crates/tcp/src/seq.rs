@@ -53,8 +53,7 @@ pub fn segment_acceptable(seq: u32, seg_len: u32, rcv_nxt: u32, rcv_wnd: u32) ->
         return false;
     }
     // First byte in window, or last byte in window.
-    in_window(seq, rcv_nxt, rcv_wnd)
-        || in_window(seq.wrapping_add(seg_len - 1), rcv_nxt, rcv_wnd)
+    in_window(seq, rcv_nxt, rcv_wnd) || in_window(seq.wrapping_add(seg_len - 1), rcv_nxt, rcv_wnd)
 }
 
 #[cfg(test)]
@@ -113,6 +112,9 @@ mod tests {
     fn acceptability_across_wrap() {
         let rcv_nxt = u32::MAX - 100;
         assert!(segment_acceptable(rcv_nxt, 1460, rcv_nxt, 65_535));
-        assert!(segment_acceptable(10, 1460, rcv_nxt, 65_535), "window wraps past zero");
+        assert!(
+            segment_acceptable(10, 1460, rcv_nxt, 65_535),
+            "window wraps past zero"
+        );
     }
 }

@@ -48,7 +48,10 @@ fn main() {
         },
     };
 
-    println!("baseline:            target {:>9} B, leaked {}", baseline.target_bytes, baseline.leaked_sockets);
+    println!(
+        "baseline:            target {:>9} B, leaked {}",
+        baseline.target_bytes, baseline.leaked_sockets
+    );
     for (name, rules) in [
         ("batch data only", vec![batch_data.clone()]),
         ("drop RSTs only", vec![drop_rsts.clone()]),

@@ -15,10 +15,13 @@ use snake_dccp::DccpProfile;
 fn main() {
     let cap: Option<usize> = std::env::args().nth(1).and_then(|s| s.parse().ok());
     let spec = ScenarioSpec::evaluation(ProtocolKind::Dccp(DccpProfile::linux_3_13()));
-    let config = CampaignConfig { max_strategies: cap, ..CampaignConfig::new(spec) };
+    let config = CampaignConfig {
+        max_strategies: cap,
+        ..CampaignConfig::new(spec)
+    };
     eprintln!("== campaign: Linux 3.13 DCCP ==");
     let start = std::time::Instant::now();
-    let result = Campaign::run(config);
+    let result = Campaign::run(config).expect("campaign preconditions hold");
     eprintln!(
         "   {} strategies in {:.1?}; {} flagged, {} true, {} unique attacks",
         result.strategies_tried(),
@@ -28,7 +31,12 @@ fn main() {
         result.true_attacks()
     );
     for f in &result.findings {
-        eprintln!("   * {} ({}) — e.g. {}", f.attack.name(), f.effects.join(","), f.example);
+        eprintln!(
+            "   * {} ({}) — e.g. {}",
+            f.attack.name(),
+            f.effects.join(","),
+            f.example
+        );
     }
 
     let results = vec![result];

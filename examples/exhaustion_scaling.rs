@@ -37,7 +37,10 @@ fn main() {
             ..ScenarioSpec::evaluation(ProtocolKind::Tcp(Profile::linux_3_0_0()))
         };
         let m = Executor::run(&spec, Some(drop_rsts.clone()));
-        println!("| {:>11} | {:>14} | {:>13} |", n, m.leaked_sockets, m.leaked_close_wait);
+        println!(
+            "| {:>11} | {:>14} | {:>13} |",
+            n, m.leaked_sockets, m.leaked_close_wait
+        );
     }
     println!(
         "\nEach malicious connection wedges one server socket — the linear DoS\n\

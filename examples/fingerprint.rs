@@ -44,7 +44,9 @@ fn probe(profile: &Profile, flags: TcpFlags) -> &'static str {
         payload_len: 0,
     };
     client.on_segment(probe, t(4), &mut out);
-    let replied = out.iter().any(|e| matches!(e, snake_tcp::ConnEvent::Transmit(_)));
+    let replied = out
+        .iter()
+        .any(|e| matches!(e, snake_tcp::ConnEvent::Transmit(_)));
     match (client.state(), replied) {
         (State::Closed, _) => "RESET",
         (_, true) => "replies",
@@ -69,14 +71,33 @@ fn t(ms: u64) -> SimTime {
 fn main() {
     let probes: [(&str, TcpFlags); 4] = [
         ("null flags", TcpFlags::none()),
-        ("SYN+FIN", TcpFlags { syn: true, fin: true, ..TcpFlags::none() }),
+        (
+            "SYN+FIN",
+            TcpFlags {
+                syn: true,
+                fin: true,
+                ..TcpFlags::none()
+            },
+        ),
         (
             "SYN+FIN+ACK+PSH",
-            TcpFlags { syn: true, fin: true, ack: true, psh: true, ..TcpFlags::none() },
+            TcpFlags {
+                syn: true,
+                fin: true,
+                ack: true,
+                psh: true,
+                ..TcpFlags::none()
+            },
         ),
         (
             "SYN+FIN+ACK+RST",
-            TcpFlags { syn: true, fin: true, ack: true, rst: true, ..TcpFlags::none() },
+            TcpFlags {
+                syn: true,
+                fin: true,
+                ack: true,
+                rst: true,
+                ..TcpFlags::none()
+            },
         ),
     ];
 

@@ -48,7 +48,11 @@ fn record_trace(seed: u64, bytes: u64) -> Vec<Event> {
         let Some(ptype) = adapter.classify(&r.header, r.payload_len) else {
             continue;
         };
-        let dir = if r.src.node == d.client1 { Dir::Send } else { Dir::Recv };
+        let dir = if r.src.node == d.client1 {
+            Dir::Send
+        } else {
+            Dir::Recv
+        };
         events.push(Event::new(dir, ptype));
     }
     events
@@ -56,10 +60,15 @@ fn record_trace(seed: u64, bytes: u64) -> Vec<Event> {
 
 fn main() {
     // Record five connections of different lengths.
-    let traces: Vec<Vec<Event>> =
-        (0..5).map(|i| record_trace(100 + i, 50_000 + 200_000 * i)).collect();
+    let traces: Vec<Vec<Event>> = (0..5)
+        .map(|i| record_trace(100 + i, 50_000 + 200_000 * i))
+        .collect();
     let total: usize = traces.iter().map(Vec::len).sum();
-    println!("recorded {} connections, {} events total", traces.len(), total);
+    println!(
+        "recorded {} connections, {} events total",
+        traces.len(),
+        total
+    );
 
     let machine =
         infer_machine("inferred_tcp_client", &traces, InferenceConfig::default()).unwrap();

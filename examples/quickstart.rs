@@ -16,7 +16,10 @@ use snake_tcp::Profile;
 fn main() {
     let spec = ScenarioSpec::evaluation(ProtocolKind::Tcp(Profile::linux_3_0_0()));
 
-    println!("== SNAKE quickstart: {} ==", spec.protocol.implementation_name());
+    println!(
+        "== SNAKE quickstart: {} ==",
+        spec.protocol.implementation_name()
+    );
     println!("running baseline (no attack)...");
     let baseline = Executor::run(&spec, None);
     println!(
@@ -49,7 +52,11 @@ fn main() {
     );
 
     let verdict = detect(&baseline, &attacked, DEFAULT_THRESHOLD);
-    println!("\nverdict: flagged={} effects={:?}", verdict.flagged(), verdict.labels());
+    println!(
+        "\nverdict: flagged={} effects={:?}",
+        verdict.flagged(),
+        verdict.labels()
+    );
     if verdict.socket_leak {
         println!(
             "=> server socket wedged in CLOSE_WAIT: the CLOSE_WAIT resource \

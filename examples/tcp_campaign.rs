@@ -19,9 +19,12 @@ fn main() {
         let name = profile.name.clone();
         eprintln!("== campaign: {name} ==");
         let spec = ScenarioSpec::evaluation(ProtocolKind::Tcp(profile));
-        let config = CampaignConfig { max_strategies: cap, ..CampaignConfig::new(spec) };
+        let config = CampaignConfig {
+            max_strategies: cap,
+            ..CampaignConfig::new(spec)
+        };
         let start = std::time::Instant::now();
-        let result = Campaign::run(config);
+        let result = Campaign::run(config).expect("campaign preconditions hold");
         eprintln!(
             "   {} strategies in {:.1?}; {} flagged, {} true, {} unique attacks",
             result.strategies_tried(),
@@ -31,7 +34,12 @@ fn main() {
             result.true_attacks()
         );
         for f in &result.findings {
-            eprintln!("   * {} ({}) — e.g. {}", f.attack.name(), f.effects.join(","), f.example);
+            eprintln!(
+                "   * {} ({}) — e.g. {}",
+                f.attack.name(),
+                f.effects.join(","),
+                f.example
+            );
         }
         results.push(result);
     }

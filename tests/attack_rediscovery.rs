@@ -42,7 +42,12 @@ fn run_dccp(strategy: Strategy) -> (snake_core::Verdict, snake_core::TestMetrics
 #[test]
 fn close_wait_exhaustion_on_linux_only() {
     let strategy = || {
-        on_packet(Endpoint::Client, "FIN_WAIT_1", "RST", BasicAttack::Drop { percent: 100 })
+        on_packet(
+            Endpoint::Client,
+            "FIN_WAIT_1",
+            "RST",
+            BasicAttack::Drop { percent: 100 },
+        )
     };
     for profile in [Profile::linux_3_0_0(), Profile::linux_3_13()] {
         let name = profile.name.clone();
@@ -63,15 +68,27 @@ fn close_wait_exhaustion_on_linux_only() {
 /// sender's window — Windows 95 only.
 #[test]
 fn dup_ack_spoofing_on_windows_95_only() {
-    let strategy =
-        || on_packet(Endpoint::Client, "ESTABLISHED", "ACK", BasicAttack::Duplicate { copies: 2 });
+    let strategy = || {
+        on_packet(
+            Endpoint::Client,
+            "ESTABLISHED",
+            "ACK",
+            BasicAttack::Duplicate { copies: 2 },
+        )
+    };
     let (verdict, _) = run_tcp(Profile::windows_95(), strategy());
-    assert!(verdict.throughput_gain, "Windows 95 gains from duplicated acks");
+    assert!(
+        verdict.throughput_gain,
+        "Windows 95 gains from duplicated acks"
+    );
 
     for profile in [Profile::linux_3_0_0(), Profile::linux_3_13()] {
         let name = profile.name.clone();
         let (verdict, _) = run_tcp(profile, strategy());
-        assert!(!verdict.throughput_gain, "{name}: DSACK filtering prevents the gain");
+        assert!(
+            !verdict.throughput_gain,
+            "{name}: DSACK filtering prevents the gain"
+        );
     }
 }
 
@@ -112,7 +129,12 @@ fn reset_and_syn_reset_on_all_implementations() {
 #[test]
 fn dup_ack_rate_limiting_on_windows_81_only() {
     let strategy = || {
-        on_packet(Endpoint::Server, "ESTABLISHED", "PSH+ACK", BasicAttack::Duplicate { copies: 10 })
+        on_packet(
+            Endpoint::Server,
+            "ESTABLISHED",
+            "PSH+ACK",
+            BasicAttack::Duplicate { copies: 10 },
+        )
     };
     let (verdict, _) = run_tcp(Profile::windows_8_1(), strategy());
     assert!(verdict.throughput_degradation, "Windows 8.1 degrades ~5x");
@@ -130,15 +152,24 @@ fn dup_ack_rate_limiting_on_windows_81_only() {
 /// best-effort stacks via its connection impact.
 #[test]
 fn invalid_flag_probes_have_observable_impact() {
-    let strategy =
-        || on_packet(Endpoint::Client, "ESTABLISHED", "ACK", BasicAttack::Lie {
-            field: "syn".into(),
-            mutation: FieldMutation::Set(1),
-        });
+    let strategy = || {
+        on_packet(
+            Endpoint::Client,
+            "ESTABLISHED",
+            "ACK",
+            BasicAttack::Lie {
+                field: "syn".into(),
+                mutation: FieldMutation::Set(1),
+            },
+        )
+    };
     // Setting SYN on the client's own acks makes them in-window SYNs: the
     // server resets (RFC 793) — observable on every implementation.
     let (verdict, _) = run_tcp(Profile::linux_3_0_0(), strategy());
-    assert!(verdict.flagged(), "in-window SYN via flag lie must be flagged");
+    assert!(
+        verdict.flagged(),
+        "in-window SYN via flag lie must be flagged"
+    );
 }
 
 /// Table II row 7: DCCP acknowledgment mung — invalidated acks pin the
@@ -146,11 +177,18 @@ fn invalid_flag_probes_have_observable_impact() {
 /// the socket hangs.
 #[test]
 fn dccp_ack_mung_resource_exhaustion() {
-    let strategy =
-        on_packet(Endpoint::Client, "OPEN", "ACK", BasicAttack::Drop { percent: 100 });
+    let strategy = on_packet(
+        Endpoint::Client,
+        "OPEN",
+        "ACK",
+        BasicAttack::Drop { percent: 100 },
+    );
     let (verdict, metrics) = run_dccp(strategy);
     assert!(verdict.socket_leak, "server socket must hang: {metrics:?}");
-    assert!(verdict.throughput_degradation, "sender pinned at minimum rate");
+    assert!(
+        verdict.throughput_degradation,
+        "sender pinned at minimum rate"
+    );
 }
 
 /// Table II row 8: in-window acknowledgment sequence-number modification —
@@ -158,10 +196,15 @@ fn dccp_ack_mung_resource_exhaustion() {
 /// over.
 #[test]
 fn dccp_in_window_ack_seq_modification() {
-    let strategy = on_packet(Endpoint::Client, "OPEN", "ACK", BasicAttack::Lie {
-        field: "seq".into(),
-        mutation: FieldMutation::Add(25),
-    });
+    let strategy = on_packet(
+        Endpoint::Client,
+        "OPEN",
+        "ACK",
+        BasicAttack::Lie {
+            field: "seq".into(),
+            mutation: FieldMutation::Add(25),
+        },
+    );
     let (verdict, metrics) = run_dccp(strategy);
     assert!(verdict.throughput_degradation, "resync storm: {metrics:?}");
     assert!(metrics.proxy.packets_seen > 0);
@@ -186,14 +229,21 @@ fn dccp_request_connection_termination() {
         },
     };
     let (verdict, _) = run_dccp(strategy);
-    assert!(verdict.establishment_prevented, "connection must never establish");
+    assert!(
+        verdict.establishment_prevented,
+        "connection must never establish"
+    );
 }
 
 /// The classifier names each rediscovered attack as Table II does.
 #[test]
 fn classifier_names_the_close_wait_attack() {
-    let strategy =
-        on_packet(Endpoint::Client, "FIN_WAIT_1", "RST", BasicAttack::Drop { percent: 100 });
+    let strategy = on_packet(
+        Endpoint::Client,
+        "FIN_WAIT_1",
+        "RST",
+        BasicAttack::Drop { percent: 100 },
+    );
     let protocol = ProtocolKind::Tcp(Profile::linux_3_0_0());
     let spec = ScenarioSpec::evaluation(protocol.clone());
     let baseline = Executor::run(&spec, None);

@@ -1,0 +1,275 @@
+//! Fault-tolerance and resumability of the campaign runtime: panic
+//! isolation, event-budget truncation, the streaming JSONL journal, and
+//! kill-and-resume reproducing the same final table.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use snake_core::{
+    journal, Campaign, CampaignConfig, CampaignError, CampaignResult, OutcomeKind, ProtocolKind,
+    ScenarioSpec,
+};
+use snake_tcp::Profile;
+
+fn quick_tcp() -> ScenarioSpec {
+    ScenarioSpec::quick(ProtocolKind::Tcp(Profile::linux_3_13()))
+}
+
+fn temp_journal(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!(
+        "snake-campaign-runtime-{}-{name}.jsonl",
+        std::process::id()
+    ));
+    std::fs::remove_file(&p).ok();
+    p
+}
+
+fn table_key(result: &CampaignResult) -> (String, usize, usize, usize, usize, usize, usize) {
+    (
+        result.table_row(),
+        result.strategies_tried(),
+        result.attack_strategies_found(),
+        result.true_attack_strategies(),
+        result.true_attacks(),
+        result.errored(),
+        result.truncated(),
+    )
+}
+
+#[test]
+fn panicking_strategy_is_isolated_and_journaled() {
+    let path = temp_journal("panic");
+    let config = CampaignConfig {
+        max_strategies: Some(10),
+        feedback_rounds: 1,
+        retest: false,
+        parallelism: 4,
+        journal: Some(path.clone()),
+        // Crash the engine run for two specific strategies, inside the
+        // worker, the way an engine bug would.
+        fault_hook: Some(Arc::new(|s| {
+            if s.id == 3 || s.id == 7 {
+                panic!("injected engine fault on strategy {}", s.id);
+            }
+        })),
+        ..CampaignConfig::new(quick_tcp())
+    };
+    let result = Campaign::run(config).expect("panics must not abort the campaign");
+
+    // The batch survived: every strategy has an outcome, the two injected
+    // faults are reported as errored with their panic message, and the
+    // Table-I error counter reflects them.
+    assert_eq!(result.strategies_tried(), 10);
+    assert_eq!(result.errored(), 2);
+    for id in [3u64, 7] {
+        let o = result
+            .outcomes
+            .iter()
+            .find(|o| o.strategy.id == id)
+            .unwrap();
+        assert_eq!(o.outcome_kind, OutcomeKind::Errored);
+        let msg = o.error.as_deref().unwrap_or("");
+        assert!(msg.contains("injected engine fault"), "{msg}");
+        assert!(
+            !o.verdict.flagged(),
+            "errored runs must not count as attacks"
+        );
+        assert!(!o.is_true_attack());
+    }
+    assert!(
+        result.table_row().contains("|       2 |"),
+        "errored column: {}",
+        result.table_row()
+    );
+
+    // The journal recorded all ten outcomes, errors included.
+    let loaded = journal::load(&path).unwrap();
+    assert_eq!(loaded.outcomes.len(), 10);
+    let journaled_errors: Vec<u64> = loaded
+        .outcomes
+        .iter()
+        .filter(|o| o.outcome_kind == OutcomeKind::Errored)
+        .map(|o| o.strategy.id)
+        .collect();
+    assert_eq!(journaled_errors.len(), 2);
+    assert!(journaled_errors.contains(&3) && journaled_errors.contains(&7));
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn kill_and_resume_reproduces_the_same_table() {
+    let journal_a = temp_journal("full");
+    let journal_b = temp_journal("resumed");
+    let config = |journal: PathBuf, resume: bool| CampaignConfig {
+        max_strategies: Some(12),
+        feedback_rounds: 1,
+        retest: false,
+        parallelism: 2,
+        journal: Some(journal),
+        resume,
+        ..CampaignConfig::new(quick_tcp())
+    };
+
+    // Reference: an uninterrupted run.
+    let full = Campaign::run(config(journal_a.clone(), false)).unwrap();
+
+    // Simulated kill: keep the header and the first five outcome lines
+    // (plus a torn partial line, as a killed writer would leave), then
+    // resume from that journal.
+    let text = std::fs::read_to_string(&journal_a).unwrap();
+    let mut kept: Vec<&str> = text.lines().take(6).collect();
+    let torn = "{\"type\":\"outcome\",\"outcome\":\"ok\",\"err";
+    kept.push(torn);
+    std::fs::write(&journal_b, kept.join("\n")).unwrap();
+
+    let resumed = Campaign::run(config(journal_b.clone(), true)).unwrap();
+    assert_eq!(resumed.resumed, 5, "five journaled outcomes reused");
+    assert_eq!(resumed.journal_lines_skipped, 1, "torn final line skipped");
+    assert_eq!(
+        table_key(&resumed),
+        table_key(&full),
+        "resume must reproduce the table"
+    );
+    let verdicts_full: Vec<_> = full
+        .outcomes
+        .iter()
+        .map(|o| (o.strategy.id, o.verdict, o.outcome_kind))
+        .collect();
+    let verdicts_resumed: Vec<_> = resumed
+        .outcomes
+        .iter()
+        .map(|o| (o.strategy.id, o.verdict, o.outcome_kind))
+        .collect();
+    assert_eq!(verdicts_full, verdicts_resumed);
+
+    // The resumed journal now also contains the re-run outcomes: resuming
+    // from it again reuses everything and runs nothing.
+    let again = Campaign::run(config(journal_b.clone(), true)).unwrap();
+    assert_eq!(again.resumed, 12);
+    assert_eq!(table_key(&again), table_key(&full));
+
+    std::fs::remove_file(&journal_a).ok();
+    std::fs::remove_file(&journal_b).ok();
+}
+
+#[test]
+fn resume_refuses_a_journal_from_a_different_campaign() {
+    let path = temp_journal("mismatch");
+    let mut spec = quick_tcp();
+    let base = CampaignConfig {
+        max_strategies: Some(3),
+        feedback_rounds: 1,
+        retest: false,
+        journal: Some(path.clone()),
+        ..CampaignConfig::new(spec.clone())
+    };
+    Campaign::run(base.clone()).unwrap();
+
+    // Same journal, different seed: the outcomes are not comparable.
+    spec.seed = spec.seed.wrapping_add(99);
+    let other = CampaignConfig {
+        scenario: spec,
+        resume: true,
+        ..base
+    };
+    match Campaign::run(other) {
+        Err(CampaignError::JournalMismatch { detail, .. }) => {
+            assert!(detail.contains("seed"), "{detail}");
+        }
+        other => panic!("expected JournalMismatch, got {other:?}"),
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn budget_truncation_is_deterministic_and_reported() {
+    // A budget far below what the quick scenario needs: every strategy run
+    // is cut short and reported, not silently misjudged.
+    let mut spec = quick_tcp();
+    spec.event_budget = Some(5_000);
+    let config = || CampaignConfig {
+        max_strategies: Some(6),
+        feedback_rounds: 1,
+        retest: false,
+        parallelism: 3,
+        ..CampaignConfig::new(spec.clone())
+    };
+    let a = Campaign::run(config()).unwrap();
+    let b = Campaign::run(config()).unwrap();
+
+    assert_eq!(a.truncated(), 6, "all runs hit the budget");
+    assert_eq!(
+        a.attack_strategies_found(),
+        0,
+        "truncated runs yield no verdicts"
+    );
+    let ka: Vec<_> = a
+        .outcomes
+        .iter()
+        .map(|o| (o.strategy.id, o.outcome_kind))
+        .collect();
+    let kb: Vec<_> = b
+        .outcomes
+        .iter()
+        .map(|o| (o.strategy.id, o.outcome_kind))
+        .collect();
+    assert_eq!(ka, kb, "same seed, same budget, same truncation set");
+    assert_eq!(a.table_row(), b.table_row());
+
+    // A generous budget changes nothing relative to no budget at all.
+    let mut unbudgeted_spec = quick_tcp();
+    unbudgeted_spec.event_budget = None;
+    let unbudgeted = Campaign::run(CampaignConfig {
+        max_strategies: Some(6),
+        feedback_rounds: 1,
+        retest: false,
+        parallelism: 3,
+        ..CampaignConfig::new(unbudgeted_spec.clone())
+    })
+    .unwrap();
+    unbudgeted_spec.event_budget = Some(u64::MAX);
+    let generous = Campaign::run(CampaignConfig {
+        max_strategies: Some(6),
+        feedback_rounds: 1,
+        retest: false,
+        parallelism: 3,
+        ..CampaignConfig::new(unbudgeted_spec)
+    })
+    .unwrap();
+    assert_eq!(generous.truncated(), 0);
+    assert_eq!(generous.table_row(), unbudgeted.table_row());
+}
+
+#[test]
+fn journal_and_faults_compose_with_budgets() {
+    // All three runtime guards at once: a panicking strategy, a strategy
+    // budget low enough to truncate nothing in the quick scenario (sanity
+    // that Ok outcomes still dominate), and the journal capturing every
+    // outcome kind.
+    let path = temp_journal("compose");
+    let config = CampaignConfig {
+        max_strategies: Some(8),
+        feedback_rounds: 1,
+        retest: false,
+        parallelism: 4,
+        journal: Some(path.clone()),
+        fault_hook: Some(Arc::new(|s| {
+            if s.id == 1 {
+                panic!("boom");
+            }
+        })),
+        ..CampaignConfig::new(quick_tcp())
+    };
+    let result = Campaign::run(config).unwrap();
+    assert_eq!(result.strategies_tried(), 8);
+    assert_eq!(result.errored(), 1);
+    let loaded = journal::load(&path).unwrap();
+    assert_eq!(loaded.outcomes.len(), 8);
+    let tsv = result.export_outcomes_tsv();
+    assert!(
+        tsv.contains("errored"),
+        "TSV outcome column records the fault"
+    );
+    std::fs::remove_file(&path).ok();
+}

@@ -11,7 +11,10 @@ use snake_proxy::{
 use snake_tcp::Profile;
 
 fn tcp_spec(seed: u64) -> ScenarioSpec {
-    ScenarioSpec { seed, ..ScenarioSpec::quick(ProtocolKind::Tcp(Profile::linux_3_0_0())) }
+    ScenarioSpec {
+        seed,
+        ..ScenarioSpec::quick(ProtocolKind::Tcp(Profile::linux_3_0_0()))
+    }
 }
 
 #[test]
@@ -47,7 +50,10 @@ fn random_field_mutations_are_reproducible() {
             endpoint: Endpoint::Client,
             state: "ESTABLISHED".into(),
             packet_type: "ACK".into(),
-            attack: BasicAttack::Lie { field: "ack".into(), mutation: FieldMutation::Random },
+            attack: BasicAttack::Lie {
+                field: "ack".into(),
+                mutation: FieldMutation::Random,
+            },
         },
     };
     let a = Executor::run(&tcp_spec(7), Some(strategy.clone()));
@@ -88,7 +94,10 @@ fn different_seeds_differ_in_detail_but_not_in_verdict_shape() {
     assert_eq!(a.leaked_sockets, 0);
     assert_eq!(b.leaked_sockets, 0);
     let ratio = a.target_bytes as f64 / b.target_bytes as f64;
-    assert!(ratio > 0.5 && ratio < 2.0, "seed noise exceeds the detection threshold: {ratio}");
+    assert!(
+        ratio > 0.5 && ratio < 2.0,
+        "seed noise exceeds the detection threshold: {ratio}"
+    );
 }
 
 #[test]

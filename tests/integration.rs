@@ -22,7 +22,11 @@ fn baseline_runs_are_clean_for_every_implementation() {
         let name = protocol.implementation_name().to_owned();
         let spec = ScenarioSpec::quick(protocol);
         let m = Executor::run(&spec, None);
-        assert!(m.target_bytes > 500_000, "{name}: target starved: {}", m.target_bytes);
+        assert!(
+            m.target_bytes > 500_000,
+            "{name}: target starved: {}",
+            m.target_bytes
+        );
         assert!(m.competing_bytes > 500_000, "{name}: competing starved");
         assert_eq!(m.leaked_sockets, 0, "{name}: baseline leak");
         let v = detect(&m, &m.clone(), DEFAULT_THRESHOLD);
@@ -34,9 +38,10 @@ fn baseline_runs_are_clean_for_every_implementation() {
 fn strategy_generation_covers_both_protocols() {
     // Generate from a real baseline report for each protocol and sanity
     // check composition.
-    for protocol in
-        [ProtocolKind::Tcp(Profile::linux_3_13()), ProtocolKind::Dccp(DccpProfile::linux_3_13())]
-    {
+    for protocol in [
+        ProtocolKind::Tcp(Profile::linux_3_13()),
+        ProtocolKind::Dccp(DccpProfile::linux_3_13()),
+    ] {
         let spec = ScenarioSpec::quick(protocol.clone());
         let baseline = Executor::run(&spec, None);
         let mut next_id = 0;
@@ -54,10 +59,14 @@ fn strategy_generation_covers_both_protocols() {
             protocol.protocol_name(),
             strategies.len()
         );
-        let on_packet =
-            strategies.iter().filter(|s| matches!(s.kind, StrategyKind::OnPacket { .. })).count();
-        let on_state =
-            strategies.iter().filter(|s| matches!(s.kind, StrategyKind::OnState { .. })).count();
+        let on_packet = strategies
+            .iter()
+            .filter(|s| matches!(s.kind, StrategyKind::OnPacket { .. }))
+            .count();
+        let on_state = strategies
+            .iter()
+            .filter(|s| matches!(s.kind, StrategyKind::OnState { .. }))
+            .count();
         assert!(on_packet > 0 && on_state > 0, "both families present");
         // Ids unique.
         let mut ids: Vec<u64> = strategies.iter().map(|s| s.id).collect();
@@ -75,12 +84,15 @@ fn campaign_counts_are_consistent() {
         retest: true,
         ..CampaignConfig::new(quick_tcp())
     };
-    let result = Campaign::run(config);
+    let result = Campaign::run(config).expect("campaign preconditions hold");
     assert_eq!(result.strategies_tried(), 40);
     let found = result.attack_strategies_found();
     let sum =
         result.on_path_count() + result.false_positive_count() + result.true_attack_strategies();
-    assert_eq!(found, sum, "Table I columns must partition the found strategies");
+    assert_eq!(
+        found, sum,
+        "Table I columns must partition the found strategies"
+    );
     assert!(result.true_attacks() <= result.true_attack_strategies().max(1));
 }
 
@@ -92,7 +104,7 @@ fn tables_render_from_campaign_results() {
         retest: false,
         ..CampaignConfig::new(quick_tcp())
     };
-    let result = Campaign::run(config);
+    let result = Campaign::run(config).expect("campaign preconditions hold");
     let t1 = render_table1(std::slice::from_ref(&result));
     assert!(t1.contains("Linux 3.13"));
     assert!(t1.contains("Strategies Tried"));
@@ -108,7 +120,7 @@ fn attack_run_feedback_covers_baseline_space() {
         retest: false,
         ..CampaignConfig::new(quick_tcp())
     };
-    let one = Campaign::run(config);
+    let one = Campaign::run(config).expect("campaign preconditions hold");
     assert_eq!(one.strategies_tried(), 60);
     // A fresh generation pass over the executed outcomes' observations
     // finds at least the baseline-visible space again.
@@ -149,7 +161,7 @@ fn dccp_campaign_smoke() {
         retest: false,
         ..CampaignConfig::new(spec)
     };
-    let result = Campaign::run(config);
+    let result = Campaign::run(config).expect("campaign preconditions hold");
     assert_eq!(result.protocol, "DCCP");
     assert_eq!(result.strategies_tried(), 25);
 }

@@ -27,7 +27,10 @@ fn tcp_tracker_matches_engine_through_data_transfer() {
     let mut client = TcpHost::new(Profile::linux_3_13());
     client.connect_at(SimTime::ZERO, Addr::new(d.server1, 80));
     sim.set_agent(d.client1, client);
-    sim.attach_tap(d.proxy_link, AttackProxy::new(TcpAdapter, proxy_config(&d, 80), None));
+    sim.attach_tap(
+        d.proxy_link,
+        AttackProxy::new(TcpAdapter, proxy_config(&d, 80), None),
+    );
 
     // Sample at several points during the transfer: engine truth and
     // tracked state must agree once the wire has quiesced.
@@ -60,7 +63,10 @@ fn tcp_tracker_follows_teardown() {
     let mut client = TcpHost::new(Profile::linux_3_13());
     client.connect_at(SimTime::ZERO, Addr::new(d.server1, 80));
     sim.set_agent(d.client1, client);
-    sim.attach_tap(d.proxy_link, AttackProxy::new(TcpAdapter, proxy_config(&d, 80), None));
+    sim.attach_tap(
+        d.proxy_link,
+        AttackProxy::new(TcpAdapter, proxy_config(&d, 80), None),
+    );
 
     // Server finishes its 300 kB and the client app then closes cleanly.
     sim.run_until(SimTime::from_secs(3));
@@ -90,14 +96,23 @@ fn dccp_tracker_matches_engine() {
     let mut client = DccpHost::new(DccpProfile::linux_3_13());
     client.connect_at(SimTime::ZERO, Addr::new(d.server1, 5_001));
     sim.set_agent(d.client1, client);
-    sim.attach_tap(d.proxy_link, AttackProxy::new(DccpAdapter, proxy_config(&d, 5_001), None));
+    sim.attach_tap(
+        d.proxy_link,
+        AttackProxy::new(DccpAdapter, proxy_config(&d, 5_001), None),
+    );
 
     sim.run_until(SimTime::from_secs(5));
     let engine_client = sim.agent::<DccpHost>(d.client1).unwrap().conn_metrics()[0].state;
     let engine_server = sim.agent::<DccpHost>(d.server1).unwrap().conn_metrics()[0].state;
     let proxy = sim.tap::<AttackProxy>(d.proxy_link).unwrap();
-    assert_eq!(proxy.tracker().client().current_name(), engine_client.name());
-    assert_eq!(proxy.tracker().server().current_name(), engine_server.name());
+    assert_eq!(
+        proxy.tracker().client().current_name(),
+        engine_client.name()
+    );
+    assert_eq!(
+        proxy.tracker().server().current_name(),
+        engine_server.name()
+    );
     assert_eq!(engine_client.name(), "OPEN");
 }
 
@@ -111,7 +126,10 @@ fn tracker_statistics_account_for_all_observed_packets() {
     let mut client = TcpHost::new(Profile::linux_3_13());
     client.connect_at(SimTime::ZERO, Addr::new(d.server1, 80));
     sim.set_agent(d.client1, client);
-    sim.attach_tap(d.proxy_link, AttackProxy::new(TcpAdapter, proxy_config(&d, 80), None));
+    sim.attach_tap(
+        d.proxy_link,
+        AttackProxy::new(TcpAdapter, proxy_config(&d, 80), None),
+    );
     sim.run_until(SimTime::from_secs(5));
 
     let proxy = sim.tap::<AttackProxy>(d.proxy_link).unwrap();

@@ -1,0 +1,222 @@
+//! Offline-compatible subset of the `criterion` bench API.
+//!
+//! The build environment has no crates registry, so the slice of criterion
+//! the workspace's `harness = false` benches use is vendored here. The
+//! harness performs a simple warmup + timed-sample measurement and prints
+//! mean wall-clock time per iteration — enough to compare runs locally,
+//! without upstream's statistical machinery or HTML reports.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Measurement driver passed to bench closures.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: usize,
+    last: Option<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine`, running it `samples` times after one warmup call.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        black_box(routine());
+        let start = Instant::now();
+        for _ in 0..self.samples {
+            black_box(routine());
+        }
+        self.last = Some(start.elapsed() / self.samples as u32);
+    }
+}
+
+/// Identifier for a parameterised benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a parameter.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            name: format!("{}/{}", function.into(), parameter),
+        }
+    }
+
+    /// Creates an id from the parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+/// A named group of related benchmarks.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    samples: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed iterations per benchmark.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.samples = samples.max(1);
+        self
+    }
+
+    /// Ignored in the offline stub (kept for API compatibility).
+    pub fn measurement_time(&mut self, _dur: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs a benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            samples: self.samples,
+            last: None,
+        };
+        f(&mut b);
+        self.criterion
+            .report(&format!("{}/{}", self.name, id), b.last);
+        self
+    }
+
+    /// Runs a benchmark that receives an input by reference.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher {
+            samples: self.samples,
+            last: None,
+        };
+        f(&mut b, input);
+        self.criterion
+            .report(&format!("{}/{}", self.name, id), b.last);
+        self
+    }
+
+    /// Finishes the group (no-op beyond API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            samples: 20,
+        }
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            samples: 20,
+            last: None,
+        };
+        f(&mut b);
+        let name = id.to_string();
+        self.report(&name, b.last);
+        self
+    }
+
+    fn report(&mut self, name: &str, time: Option<Duration>) {
+        match time {
+            Some(t) => println!("bench {name:<40} {t:>12.2?}/iter"),
+            None => println!("bench {name:<40} (no measurement)"),
+        }
+    }
+}
+
+/// Opaque value barrier preventing the optimiser from deleting benched work.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Declares a benchmark group function, as in upstream criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench entry point running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fib(n: u64) -> u64 {
+        if n < 2 {
+            n
+        } else {
+            fib(n - 1) + fib(n - 2)
+        }
+    }
+
+    #[test]
+    fn group_runs_and_times() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3);
+        let mut ran = 0;
+        group.bench_function("fib", |b| {
+            b.iter(|| {
+                ran += 1;
+                fib(10)
+            });
+        });
+        group.finish();
+        // One warmup + three timed samples.
+        assert_eq!(ran, 4);
+    }
+
+    #[test]
+    fn bench_with_input_passes_input() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(1);
+        group.bench_with_input(BenchmarkId::from_parameter("x"), &7u64, |b, n| {
+            b.iter(|| fib(*n));
+        });
+        group.finish();
+    }
+}
