@@ -1,0 +1,186 @@
+//! Campaign throughput: the same capped campaign run twice — once with the
+//! snapshot-fork executor (the default) and once strictly from scratch —
+//! timed wall-clock, with per-run simulator event counts summed from the
+//! outcomes. Emits `BENCH_campaign.json` at the workspace root so CI can
+//! archive the numbers, and prints the same figures to stdout.
+//!
+//! The two campaigns must produce identical outcomes (fork equivalence);
+//! the bench asserts this, so it doubles as an end-to-end determinism
+//! check at full campaign scale.
+//!
+//! The same-binary from-scratch mode understates what forking bought: it
+//! still benefits from this change's event-loop work (inline header
+//! storage, `Arc`-shared reports, dead-timer purging). The full comparison
+//! is against the executor as it existed *before* any of that, which a
+//! single binary cannot contain — `scripts/bench_campaign.sh` measures
+//! that executor from the pinned pre-change commit and passes its
+//! wall-clock in via `SNAKE_PRE_PR_WALL_SECS`/`SNAKE_PRE_PR_COMMIT`; when
+//! set, the JSON gains a `pre_pr` block and the headline `speedup` is
+//! computed against it (falling back to the same-binary ratio otherwise).
+
+use std::time::Instant;
+
+use snake_core::{
+    Campaign, CampaignConfig, CampaignResult, GenerationParams, ProtocolKind, ScenarioSpec,
+};
+use snake_json::{obj, Value};
+use snake_tcp::Profile;
+
+const MAX_STRATEGIES: usize = 200;
+
+fn config(snapshot_fork: bool) -> CampaignConfig {
+    let spec = ScenarioSpec::quick(ProtocolKind::Tcp(Profile::linux_3_13()));
+    CampaignConfig {
+        max_strategies: Some(MAX_STRATEGIES),
+        // One parameterisation per basic attack instead of the default
+        // grid, so the 200-strategy cap covers every observed (state,
+        // packet type) pair — triggers spread over the whole connection
+        // lifetime rather than clustering in the handshake, which is the
+        // workload the snapshot planner is built for.
+        params: GenerationParams {
+            drop_percents: vec![100],
+            duplicate_copies: vec![2],
+            delay_secs: vec![1.0],
+            batch_secs: vec![4.0],
+            ..GenerationParams::default()
+        },
+        feedback_rounds: 2,
+        retest: false,
+        snapshot_fork,
+        ..CampaignConfig::new(spec)
+    }
+}
+
+/// Simulator events the campaign processed: every outcome's run plus the
+/// baseline run. Identical between the two modes — the fork executor's
+/// whole point is reaching the same events without re-simulating them.
+fn events(result: &CampaignResult) -> u64 {
+    result.baseline.sim_events
+        + result
+            .outcomes
+            .iter()
+            .map(|o| o.metrics.sim_events)
+            .sum::<u64>()
+}
+
+/// One timed campaign run.
+fn timed_once(snapshot_fork: bool) -> (CampaignResult, f64) {
+    let start = Instant::now();
+    let result = Campaign::run(config(snapshot_fork)).expect("valid baseline");
+    (result, start.elapsed().as_secs_f64())
+}
+
+/// Runs both modes `iters` times in alternation (so neither mode
+/// systematically benefits from a warmer allocator) and keeps each mode's
+/// fastest wall-clock — the usual way to strip warmup noise from a
+/// single-figure benchmark.
+fn timed_pair(iters: usize) -> ((CampaignResult, f64), (CampaignResult, f64)) {
+    let mut forked: Option<(CampaignResult, f64)> = None;
+    let mut scratch: Option<(CampaignResult, f64)> = None;
+    for _ in 0..iters {
+        for (snapshot_fork, best) in [(true, &mut forked), (false, &mut scratch)] {
+            let (result, secs) = timed_once(snapshot_fork);
+            if best.as_ref().is_none_or(|(_, b)| secs < *b) {
+                *best = Some((result, secs));
+            }
+        }
+    }
+    (forked.expect("iters >= 1"), scratch.expect("iters >= 1"))
+}
+
+fn main() {
+    // `cargo bench` passes harness flags; a custom main ignores them.
+    // Warm up caches and the allocator outside the timed region.
+    let warmup = CampaignConfig {
+        max_strategies: Some(8),
+        ..config(true)
+    };
+    Campaign::run(warmup).expect("valid baseline");
+
+    let ((forked, forked_secs), (scratch, scratch_secs)) = timed_pair(3);
+
+    assert_eq!(
+        forked.outcomes, scratch.outcomes,
+        "snapshot-fork campaign must reproduce the from-scratch campaign exactly"
+    );
+
+    let n = forked.strategies_tried() as f64;
+    let same_binary_speedup = scratch_secs / forked_secs;
+    let pre_pr = std::env::var("SNAKE_PRE_PR_WALL_SECS")
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .map(|secs| {
+            let commit = std::env::var("SNAKE_PRE_PR_COMMIT").unwrap_or_default();
+            (commit, secs)
+        });
+    let speedup = match &pre_pr {
+        Some((_, secs)) => secs / forked_secs,
+        None => same_binary_speedup,
+    };
+    let mut report = obj([
+        ("scenario", Value::Str("quick TCP Linux 3.13".to_owned())),
+        ("max_strategies", Value::U64(MAX_STRATEGIES as u64)),
+        (
+            "strategies_tried",
+            Value::U64(forked.strategies_tried() as u64),
+        ),
+        (
+            "forked",
+            obj([
+                ("wall_clock_secs", Value::F64(forked_secs)),
+                ("strategies_per_sec", Value::F64(n / forked_secs)),
+                (
+                    "events_per_sec",
+                    Value::F64(events(&forked) as f64 / forked_secs),
+                ),
+                ("sim_events", Value::U64(events(&forked))),
+            ]),
+        ),
+        (
+            "from_scratch",
+            obj([
+                ("wall_clock_secs", Value::F64(scratch_secs)),
+                ("strategies_per_sec", Value::F64(n / scratch_secs)),
+                (
+                    "events_per_sec",
+                    Value::F64(events(&scratch) as f64 / scratch_secs),
+                ),
+                ("sim_events", Value::U64(events(&scratch))),
+            ]),
+        ),
+        ("speedup_same_binary", Value::F64(same_binary_speedup)),
+        ("speedup", Value::F64(speedup)),
+    ]);
+    if let (Some((commit, secs)), Value::Obj(pairs)) = (&pre_pr, &mut report) {
+        pairs.push((
+            "pre_pr".to_owned(),
+            obj([
+                ("commit", Value::Str(commit.clone())),
+                ("wall_clock_secs", Value::F64(*secs)),
+                ("speedup", Value::F64(secs / forked_secs)),
+            ]),
+        ));
+    }
+    let json = report.to_string_compact();
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_campaign.json");
+    std::fs::write(path, format!("{json}\n")).expect("write BENCH_campaign.json");
+
+    println!("campaign_throughput: {MAX_STRATEGIES}-strategy quick TCP campaign");
+    println!(
+        "  snapshot-fork: {forked_secs:.2}s  ({:.1} strategies/s, {:.0} events/s)",
+        n / forked_secs,
+        events(&forked) as f64 / forked_secs
+    );
+    println!(
+        "  from-scratch:  {scratch_secs:.2}s  ({:.1} strategies/s, {:.0} events/s)",
+        n / scratch_secs,
+        events(&scratch) as f64 / scratch_secs
+    );
+    if let Some((commit, secs)) = &pre_pr {
+        println!(
+            "  pre-change from-scratch ({}): {secs:.2}s",
+            &commit[..commit.len().min(12)]
+        );
+    }
+    println!("  speedup: {speedup:.2}x  (same binary: {same_binary_speedup:.2}x)  → {path}");
+}

@@ -1,7 +1,8 @@
-use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::io;
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
 use snake_proxy::{InjectionAttack, Strategy, StrategyKind};
@@ -9,7 +10,7 @@ use snake_proxy::{InjectionAttack, Strategy, StrategyKind};
 use crate::attacks::{classify, cluster_attacks, AttackFinding};
 use crate::detect::{baseline_valid, detect, Verdict, DEFAULT_THRESHOLD};
 use crate::journal::{self, JournalHeader, JournalWriter};
-use crate::scenario::{Executor, ScenarioSpec, TestMetrics};
+use crate::scenario::{PlannedExecutor, ScenarioSpec, TestMetrics};
 use crate::strategen::{generate_strategies, is_on_path, is_self_denial, GenerationParams};
 
 /// Configuration of one campaign: one implementation under test, searched
@@ -43,6 +44,13 @@ pub struct CampaignConfig {
     /// Print a progress line to stderr every N completed strategies
     /// (0 disables progress output).
     pub progress_every: usize,
+    /// Execute strategies by forking snapshots of the no-attack baseline
+    /// instead of replaying the attack-free prefix from scratch (see
+    /// [`PlannedExecutor`](crate::scenario::PlannedExecutor)). Results are
+    /// identical either way — the planner falls back to from-scratch runs
+    /// whenever fork equivalence cannot be guaranteed — so this is purely
+    /// a throughput knob.
+    pub snapshot_fork: bool,
     /// Test-only fault injection: called with each strategy right before
     /// its evaluation, inside the panic isolation boundary. A hook that
     /// panics simulates a crashing engine run.
@@ -66,6 +74,7 @@ impl fmt::Debug for CampaignConfig {
             .field("journal", &self.journal)
             .field("resume", &self.resume)
             .field("progress_every", &self.progress_every)
+            .field("snapshot_fork", &self.snapshot_fork)
             .field("fault_hook", &self.fault_hook.as_ref().map(|_| "<hook>"))
             .finish()
     }
@@ -88,6 +97,7 @@ impl CampaignConfig {
             journal: None,
             resume: false,
             progress_every: 0,
+            snapshot_fork: true,
             fault_hook: None,
         }
     }
@@ -403,7 +413,8 @@ impl Campaign {
     /// baseline) and journal I/O.
     pub fn run(config: CampaignConfig) -> Result<CampaignResult, CampaignError> {
         let spec = config.scenario.clone();
-        let baseline = Executor::run(&spec, None);
+        let exec = PlannedExecutor::new(&spec, config.snapshot_fork);
+        let baseline = exec.baseline().clone();
         if !baseline_valid(&baseline) {
             return Err(CampaignError::InvalidBaseline {
                 implementation: spec.protocol.implementation_name().to_owned(),
@@ -415,8 +426,8 @@ impl Campaign {
             seed: spec.seed.wrapping_add(1),
             ..spec.clone()
         };
-        let retest_baseline = if config.retest {
-            Some(Executor::run(&retest_spec, None))
+        let retest_exec = if config.retest {
+            Some(PlannedExecutor::new(&retest_spec, config.snapshot_fork))
         } else {
             None
         };
@@ -509,13 +520,11 @@ impl Campaign {
         let mut outcomes: Vec<StrategyOutcome> = Vec::new();
         let mut resumed = 0usize;
         let mut reports = vec![baseline.proxy.clone()];
-        let shared = Arc::new((
-            spec.clone(),
-            retest_spec,
-            baseline.clone(),
-            retest_baseline,
-            config.clone(),
-        ));
+        let shared = Arc::new(SharedCtx {
+            exec,
+            retest_exec,
+            config: config.clone(),
+        });
 
         for _round in 0..config.feedback_rounds.max(1) {
             // The cap is re-checked at the top of every round: feedback
@@ -527,7 +536,7 @@ impl Campaign {
             {
                 break;
             }
-            let refs: Vec<&snake_proxy::ProxyReport> = reports.iter().collect();
+            let refs: Vec<&snake_proxy::ProxyReport> = reports.iter().map(|r| r.as_ref()).collect();
             let mut fresh = generate_strategies(
                 &spec.protocol,
                 &refs,
@@ -612,20 +621,27 @@ impl Campaign {
     }
 }
 
-type Shared = Arc<(
-    ScenarioSpec,
-    ScenarioSpec,
-    TestMetrics,
-    Option<TestMetrics>,
-    CampaignConfig,
-)>;
+/// Everything the executor workers share read-only: the planned (snapshot
+/// holding) executors for the main and re-test seeds, plus the config.
+struct SharedCtx {
+    exec: PlannedExecutor,
+    retest_exec: Option<PlannedExecutor>,
+    config: CampaignConfig,
+}
+
+type Shared = Arc<SharedCtx>;
 
 /// Executes one strategy end to end: attack run, verdict, repeatability
 /// re-test, and (for flagged hitseqwindow strategies) the inert-volume
 /// false-positive control.
 fn evaluate(shared: &Shared, strategy: Strategy) -> StrategyOutcome {
-    let (spec, retest_spec, baseline, retest_baseline, config) = &**shared;
-    let metrics = Executor::run(spec, Some(strategy.clone()));
+    let SharedCtx {
+        exec,
+        retest_exec,
+        config,
+    } = &**shared;
+    let baseline = exec.baseline();
+    let metrics = exec.run(Some(strategy.clone()));
     if metrics.truncated {
         // A budget-truncated run transferred less data because it ran for
         // less virtual time; comparing it against a full-length baseline
@@ -646,9 +662,10 @@ fn evaluate(shared: &Shared, strategy: Strategy) -> StrategyOutcome {
 
     let mut repeatable = true;
     if verdict.flagged() {
-        if let Some(base2) = retest_baseline {
-            let again = Executor::run(retest_spec, Some(strategy.clone()));
-            repeatable = !again.truncated && detect(base2, &again, config.threshold).flagged();
+        if let Some(retest) = retest_exec {
+            let again = retest.run(Some(strategy.clone()));
+            repeatable =
+                !again.truncated && detect(retest.baseline(), &again, config.threshold).flagged();
         }
     }
 
@@ -686,7 +703,7 @@ fn evaluate(shared: &Shared, strategy: Strategy) -> StrategyOutcome {
                     },
                 },
             };
-            let control_metrics = Executor::run(spec, Some(control));
+            let control_metrics = exec.run(Some(control));
             let control_verdict = detect(baseline, &control_metrics, config.threshold);
             false_positive = !control_metrics.truncated && control_verdict.flagged();
         }
@@ -709,7 +726,7 @@ fn evaluate(shared: &Shared, strategy: Strategy) -> StrategyOutcome {
 /// unwinding through the batch and losing every other result.
 fn evaluate_guarded(shared: &Shared, strategy: Strategy) -> StrategyOutcome {
     let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        if let Some(hook) = &shared.4.fault_hook {
+        if let Some(hook) = &shared.config.fault_hook {
             hook(&strategy);
         }
         evaluate(shared, strategy.clone())
@@ -764,26 +781,35 @@ fn run_batch(
             })
             .collect();
     }
-    let jobs: Mutex<VecDeque<(usize, Strategy)>> =
-        Mutex::new(strategies.into_iter().enumerate().collect());
-    let slots: Mutex<Vec<Option<StrategyOutcome>>> = Mutex::new((0..n).map(|_| None).collect());
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let job = jobs.lock().unwrap_or_else(|e| e.into_inner()).pop_front();
-                let Some((i, strategy)) = job else { break };
-                let outcome = evaluate_guarded(shared, strategy);
-                observer(&outcome);
-                slots.lock().unwrap_or_else(|e| e.into_inner())[i] = Some(outcome);
-            });
-        }
+    // Lock-free work distribution: workers claim the next strategy index
+    // with a relaxed fetch-add (no queue mutex on the hot path) and keep
+    // their finished outcomes in a private vec, so the only cross-thread
+    // contention left is the one atomic word and whatever `observer` does.
+    let jobs = &strategies[..];
+    let next = AtomicUsize::new(0);
+    let mut results: Vec<(usize, StrategyOutcome)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut mine = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(strategy) = jobs.get(i) else { break };
+                        let outcome = evaluate_guarded(shared, strategy.clone());
+                        observer(&outcome);
+                        mine.push((i, outcome));
+                    }
+                    mine
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("worker panics are caught inside"))
+            .collect()
     });
-    slots
-        .into_inner()
-        .unwrap_or_else(|e| e.into_inner())
-        .into_iter()
-        .flatten()
-        .collect()
+    results.sort_unstable_by_key(|(i, _)| *i);
+    results.into_iter().map(|(_, outcome)| outcome).collect()
 }
 
 #[cfg(test)]

@@ -69,6 +69,7 @@ impl ToJson for TestMetrics {
                 Value::U64(self.leaked_with_queue as u64),
             ),
             ("truncated", Value::Bool(self.truncated)),
+            ("sim_events", Value::U64(self.sim_events)),
             ("proxy", self.proxy.to_json()),
         ])
     }
@@ -87,7 +88,14 @@ impl FromJson for TestMetrics {
             leaked_close_wait: count("leaked_close_wait")?,
             leaked_with_queue: count("leaked_with_queue")?,
             truncated: value.req_bool("truncated")?,
-            proxy: ProxyReport::from_json(value.req("proxy")?)?,
+            // Journals written before event accounting lack the field;
+            // default to zero rather than rejecting the whole journal.
+            sim_events: if value.get("sim_events").is_some() {
+                value.req_u64("sim_events")?
+            } else {
+                0
+            },
+            proxy: std::sync::Arc::new(ProxyReport::from_json(value.req("proxy")?)?),
         })
     }
 }

@@ -56,5 +56,5 @@ pub use campaign::{
 };
 pub use detect::{baseline_valid, detect, Verdict, DEFAULT_THRESHOLD};
 pub use report::{render_table1, render_table2};
-pub use scenario::{Executor, ProtocolKind, ScenarioSpec, TestMetrics};
+pub use scenario::{Executor, PlannedExecutor, ProtocolKind, ScenarioSpec, TestMetrics};
 pub use strategen::{generate_strategies, is_on_path, is_self_denial, GenerationParams};

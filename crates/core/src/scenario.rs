@@ -1,6 +1,11 @@
+use std::sync::Arc;
+
 use snake_dccp::{DccpHost, DccpProfile, DccpServerApp};
 use snake_netsim::{Addr, Dumbbell, DumbbellSpec, SimTime, Simulator};
-use snake_proxy::{AttackProxy, DccpAdapter, ProxyConfig, ProxyReport, Strategy, TcpAdapter};
+use snake_proxy::{
+    AttackProxy, DccpAdapter, ProxyConfig, ProxyReport, StateTimeline, Strategy, StrategyKind,
+    TcpAdapter,
+};
 use snake_tcp::{Profile, ServerApp, TcpHost};
 
 /// The protocol and implementation under test in a scenario.
@@ -119,8 +124,12 @@ pub struct TestMetrics {
     /// Whether the run hit [`ScenarioSpec::event_budget`] and was cut short;
     /// the remaining metrics describe the truncated run, not a full one.
     pub truncated: bool,
-    /// The attack proxy's observation report.
-    pub proxy: ProxyReport,
+    /// Total simulator events the run processed (throughput accounting;
+    /// identical between a snapshot-forked run and a from-scratch one).
+    pub sim_events: u64,
+    /// The attack proxy's observation report, shared rather than deep-copied
+    /// — campaigns hold hundreds of these for generator feedback.
+    pub proxy: Arc<ProxyReport>,
 }
 
 impl TestMetrics {
@@ -135,7 +144,8 @@ impl TestMetrics {
             leaked_close_wait: 0,
             leaked_with_queue: 0,
             truncated: false,
-            proxy: ProxyReport::default(),
+            sim_events: 0,
+            proxy: Arc::new(ProxyReport::default()),
         }
     }
 }
@@ -157,10 +167,15 @@ impl Executor {
     /// *combination strategy*, the extension the paper sketches at the end
     /// of §IV-C ("strategies consisting of sequences of actions").
     pub fn run_combination(spec: &ScenarioSpec, rules: Vec<Strategy>) -> TestMetrics {
-        match &spec.protocol {
-            ProtocolKind::Tcp(profile) => run_tcp(spec, profile.clone(), rules),
-            ProtocolKind::Dccp(profile) => run_dccp(spec, profile.clone(), rules),
-        }
+        let mut session = Session::build(spec, rules, false);
+        let data_end = SimTime::from_secs(spec.data_secs);
+        session.sim.run_until(data_end);
+        let bytes = session.measure(spec);
+        session.schedule_finish(spec, data_end);
+        session
+            .sim
+            .run_until(SimTime::from_secs(spec.data_secs + spec.grace_secs));
+        session.finish(spec, bytes)
     }
 }
 
@@ -175,150 +190,448 @@ fn proxy_config(d: &Dumbbell, spec: &ScenarioSpec) -> ProxyConfig {
     }
 }
 
-fn run_tcp(spec: &ScenarioSpec, profile: Profile, rules: Vec<Strategy>) -> TestMetrics {
-    let mut sim = Simulator::new(spec.seed);
-    if let Some(budget) = spec.event_budget {
-        sim.set_event_budget(budget);
-    }
-    let d = Dumbbell::build(&mut sim, spec.dumbbell);
-    let port = spec.protocol.service_port();
+/// One built simulation of a scenario: four hosts on the dumbbell with the
+/// attack proxy tapped into the target client's access link. Both the
+/// from-scratch executor and the snapshot-fork planner drive their runs
+/// through the same build / measure / schedule-finish / finish phases, so
+/// the two paths execute byte-identical event sequences.
+struct Session {
+    sim: Simulator,
+    d: Dumbbell,
+}
 
-    for server in [d.server1, d.server2] {
-        let mut host = TcpHost::new(profile.clone());
-        host.listen(port, ServerApp::bulk_sender(u64::MAX));
-        sim.set_agent(server, host);
-    }
-    {
-        let mut host = TcpHost::new(profile.clone());
-        for i in 0..spec.target_connections.max(1) {
-            host.connect_at(
-                SimTime::from_millis(100 * i as u64),
-                Addr::new(d.server1, port),
-            );
+impl Session {
+    fn build(spec: &ScenarioSpec, rules: Vec<Strategy>, record_timeline: bool) -> Session {
+        let mut sim = Simulator::new(spec.seed);
+        if let Some(budget) = spec.event_budget {
+            sim.set_event_budget(budget);
         }
-        sim.set_agent(d.client1, host);
-        let mut competing = TcpHost::new(profile.clone());
-        competing.connect_at(SimTime::ZERO, Addr::new(d.server2, port));
-        sim.set_agent(d.client2, competing);
+        let d = Dumbbell::build(&mut sim, spec.dumbbell);
+        let port = spec.protocol.service_port();
+        match &spec.protocol {
+            ProtocolKind::Tcp(profile) => {
+                for server in [d.server1, d.server2] {
+                    let mut host = TcpHost::new(profile.clone());
+                    host.listen(port, ServerApp::bulk_sender(u64::MAX));
+                    sim.set_agent(server, host);
+                }
+                let mut host = TcpHost::new(profile.clone());
+                for i in 0..spec.target_connections.max(1) {
+                    host.connect_at(
+                        SimTime::from_millis(100 * i as u64),
+                        Addr::new(d.server1, port),
+                    );
+                }
+                sim.set_agent(d.client1, host);
+                let mut competing = TcpHost::new(profile.clone());
+                competing.connect_at(SimTime::ZERO, Addr::new(d.server2, port));
+                sim.set_agent(d.client2, competing);
+                let mut proxy = AttackProxy::with_rules(TcpAdapter, proxy_config(&d, spec), rules);
+                if record_timeline {
+                    proxy.record_timeline();
+                }
+                sim.attach_tap(d.proxy_link, proxy);
+            }
+            ProtocolKind::Dccp(profile) => {
+                for server in [d.server1, d.server2] {
+                    let mut host = DccpHost::new(profile.clone());
+                    host.listen(port, DccpServerApp::bulk_sender(u64::MAX));
+                    sim.set_agent(server, host);
+                }
+                let mut host = DccpHost::new(profile.clone());
+                for i in 0..spec.target_connections.max(1) {
+                    host.connect_at(
+                        SimTime::from_millis(100 * i as u64),
+                        Addr::new(d.server1, port),
+                    );
+                }
+                sim.set_agent(d.client1, host);
+                let mut competing = DccpHost::new(profile.clone());
+                competing.connect_at(SimTime::ZERO, Addr::new(d.server2, port));
+                sim.set_agent(d.client2, competing);
+                let mut proxy = AttackProxy::with_rules(DccpAdapter, proxy_config(&d, spec), rules);
+                if record_timeline {
+                    proxy.record_timeline();
+                }
+                sim.attach_tap(d.proxy_link, proxy);
+            }
+        }
+        Session { sim, d }
     }
-    sim.attach_tap(
-        d.proxy_link,
-        AttackProxy::with_rules(TcpAdapter, proxy_config(&d, spec), rules),
-    );
 
-    let data_end = SimTime::from_secs(spec.data_secs);
-    sim.run_until(data_end);
-    let target_bytes = sim
-        .agent::<TcpHost>(d.client1)
-        .expect("host")
-        .total_delivered();
-    let competing_bytes = sim
-        .agent::<TcpHost>(d.client2)
-        .expect("host")
-        .total_delivered();
-
-    // The test ends: the client processes are killed mid-download.
-    for client in [d.client1, d.client2] {
-        sim.schedule_control(data_end, client, |agent, ctx| {
-            let any: &mut dyn std::any::Any = agent;
-            any.downcast_mut::<TcpHost>()
-                .expect("tcp host")
-                .abort_all(ctx);
-        });
+    /// Bytes the target and competing connections delivered so far — read
+    /// at `data_end`, the end of the data-transfer phase.
+    fn measure(&self, spec: &ScenarioSpec) -> (u64, u64) {
+        match &spec.protocol {
+            ProtocolKind::Tcp(_) => (
+                self.sim
+                    .agent::<TcpHost>(self.d.client1)
+                    .expect("host")
+                    .total_delivered(),
+                self.sim
+                    .agent::<TcpHost>(self.d.client2)
+                    .expect("host")
+                    .total_delivered(),
+            ),
+            ProtocolKind::Dccp(_) => (
+                self.sim
+                    .agent::<DccpHost>(self.d.client1)
+                    .expect("host")
+                    .total_goodput(),
+                self.sim
+                    .agent::<DccpHost>(self.d.client2)
+                    .expect("host")
+                    .total_goodput(),
+            ),
+        }
     }
-    sim.run_until(SimTime::from_secs(spec.data_secs + spec.grace_secs));
 
-    let census = sim.agent::<TcpHost>(d.server1).expect("host").census();
-    let proxy = sim
-        .tap::<AttackProxy>(d.proxy_link)
-        .expect("proxy")
-        .report()
-        .clone();
-    TestMetrics {
-        target_bytes,
-        competing_bytes,
-        leaked_sockets: census.leaked(),
-        leaked_close_wait: census.count("CLOSE_WAIT"),
-        leaked_with_queue: 0,
-        truncated: sim.budget_exhausted(),
-        proxy,
+    /// Schedules the end-of-test control actions at `data_end`: TCP client
+    /// processes are killed mid-download; DCCP sending applications close.
+    fn schedule_finish(&mut self, spec: &ScenarioSpec, data_end: SimTime) {
+        match &spec.protocol {
+            ProtocolKind::Tcp(_) => {
+                for client in [self.d.client1, self.d.client2] {
+                    self.sim.schedule_control(data_end, client, |agent, ctx| {
+                        let any: &mut dyn std::any::Any = agent;
+                        any.downcast_mut::<TcpHost>()
+                            .expect("tcp host")
+                            .abort_all(ctx);
+                    });
+                }
+            }
+            ProtocolKind::Dccp(_) => {
+                for server in [self.d.server1, self.d.server2] {
+                    self.sim.schedule_control(data_end, server, |agent, ctx| {
+                        let any: &mut dyn std::any::Any = agent;
+                        any.downcast_mut::<DccpHost>()
+                            .expect("dccp host")
+                            .close_all(ctx);
+                    });
+                }
+            }
+        }
+    }
+
+    /// The post-grace socket census and final report assembly.
+    fn finish(&self, spec: &ScenarioSpec, bytes: (u64, u64)) -> TestMetrics {
+        let (leaked_sockets, leaked_close_wait, leaked_with_queue) = match &spec.protocol {
+            ProtocolKind::Tcp(_) => {
+                let census = self
+                    .sim
+                    .agent::<TcpHost>(self.d.server1)
+                    .expect("host")
+                    .census();
+                (census.leaked(), census.count("CLOSE_WAIT"), 0)
+            }
+            ProtocolKind::Dccp(_) => {
+                let server = self.sim.agent::<DccpHost>(self.d.server1).expect("host");
+                let census = server.census();
+                let with_queue = server
+                    .conn_metrics()
+                    .iter()
+                    .filter(|m| {
+                        m.queue_len > 0
+                            && !matches!(m.state.name(), "CLOSED" | "LISTEN" | "TIMEWAIT")
+                    })
+                    .count();
+                (census.leaked(), 0, with_queue)
+            }
+        };
+        let proxy = self
+            .sim
+            .tap::<AttackProxy>(self.d.proxy_link)
+            .expect("proxy")
+            .report()
+            .clone();
+        TestMetrics {
+            target_bytes: bytes.0,
+            competing_bytes: bytes.1,
+            leaked_sockets,
+            leaked_close_wait,
+            leaked_with_queue,
+            truncated: self.sim.budget_exhausted(),
+            sim_events: self.sim.events_processed(),
+            proxy: Arc::new(proxy),
+        }
     }
 }
 
-fn run_dccp(spec: &ScenarioSpec, profile: DccpProfile, rules: Vec<Strategy>) -> TestMetrics {
-    let mut sim = Simulator::new(spec.seed);
-    if let Some(budget) = spec.event_budget {
-        sim.set_event_budget(budget);
-    }
-    let d = Dumbbell::build(&mut sim, spec.dumbbell);
-    let port = spec.protocol.service_port();
+/// Cap on captured snapshots per plan: each one is a full deep copy of the
+/// simulation, so memory bounds the count. Thinning is safe — a strategy
+/// just forks from an earlier snapshot and replays a little more prefix.
+const MAX_SNAPSHOTS: usize = 64;
 
-    for server in [d.server1, d.server2] {
-        let mut host = DccpHost::new(profile.clone());
-        host.listen(port, DccpServerApp::bulk_sender(u64::MAX));
-        sim.set_agent(server, host);
-    }
-    {
-        let mut host = DccpHost::new(profile.clone());
-        for i in 0..spec.target_connections.max(1) {
-            host.connect_at(
-                SimTime::from_millis(100 * i as u64),
-                Addr::new(d.server1, port),
-            );
+/// How a strategy set should be executed against a snapshot plan.
+enum ForkDecision {
+    /// No rule's trigger key ever occurs in the baseline timeline: the
+    /// attack run is event-for-event identical to the baseline (a rule can
+    /// only fire once the run has already diverged, and the first
+    /// divergence can only come from a rule firing), so the baseline
+    /// metrics ARE the run's metrics.
+    Elide,
+    /// Not fork-eligible: `AtTime` rules arm a timer in the proxy's
+    /// `on_start`, and `OnNthPacket` activation times are not in the
+    /// timeline. Run from scratch.
+    FromScratch,
+    /// Forkable; the earliest simulated time any rule could first activate.
+    ForkAt(SimTime),
+}
+
+/// A paused deep copy of the baseline simulation.
+struct Snapshot {
+    /// Pause time (one nanosecond before a baseline trigger activation).
+    at: SimTime,
+    /// The data-phase byte measurement, carried for snapshots taken at or
+    /// after `data_end` — a fork resumed past that point can no longer
+    /// observe it.
+    bytes: Option<(u64, u64)>,
+    sim: Simulator,
+}
+
+struct SnapshotPlan {
+    d: Dumbbell,
+    timeline: StateTimeline,
+    /// Ascending by `at`.
+    snapshots: Vec<Snapshot>,
+}
+
+impl SnapshotPlan {
+    fn decide(&self, rules: &[Strategy]) -> ForkDecision {
+        let mut earliest: Option<SimTime> = None;
+        for rule in rules {
+            let t = match &rule.kind {
+                StrategyKind::AtTime { .. } | StrategyKind::OnNthPacket { .. } => {
+                    return ForkDecision::FromScratch;
+                }
+                StrategyKind::OnPacket {
+                    endpoint,
+                    state,
+                    packet_type,
+                    ..
+                } => self
+                    .timeline
+                    .packets
+                    .get(&(*endpoint, state.clone(), packet_type.clone())),
+                StrategyKind::OnState {
+                    endpoint, state, ..
+                } => self.timeline.states.get(&(*endpoint, state.clone())),
+            };
+            // A rule whose key is absent from the baseline can never be the
+            // first to fire; it does not constrain the fork point.
+            if let Some(t) = t {
+                earliest = Some(earliest.map_or(*t, |e| e.min(*t)));
+            }
         }
-        sim.set_agent(d.client1, host);
-        let mut competing = DccpHost::new(profile.clone());
-        competing.connect_at(SimTime::ZERO, Addr::new(d.server2, port));
-        sim.set_agent(d.client2, competing);
+        match earliest {
+            Some(t) => ForkDecision::ForkAt(t),
+            None => ForkDecision::Elide,
+        }
     }
-    sim.attach_tap(
-        d.proxy_link,
-        AttackProxy::with_rules(DccpAdapter, proxy_config(&d, spec), rules),
-    );
 
+    /// The latest snapshot strictly before `t` — strictly, so every event
+    /// at the activation time itself replays inside the fork.
+    fn latest_before(&self, t: SimTime) -> Option<&Snapshot> {
+        self.snapshots.iter().rev().find(|s| s.at < t)
+    }
+}
+
+/// A scenario executor that runs the no-attack baseline once, snapshots it
+/// at every state-transition boundary, and executes each strategy by
+/// forking the latest snapshot strictly before the strategy's trigger
+/// could first activate — the simulation analogue of the paper's executor
+/// "initializing the virtual machines from snapshots" (§V-A), and the
+/// reason its campaigns amortize the test prefix instead of replaying it.
+///
+/// Correctness rests on determinism: a forked run is bit-identical to a
+/// from-scratch run of the same strategy because the prefix before the
+/// trigger's first possible activation is bit-identical to the baseline.
+/// The plan is self-guarding — while capturing snapshots it replays the
+/// baseline with extra pauses and compares the final metrics against the
+/// uninterrupted run; any difference disables forking entirely and every
+/// strategy silently falls back to from-scratch execution.
+#[derive(Debug)]
+pub struct PlannedExecutor {
+    spec: ScenarioSpec,
+    baseline: TestMetrics,
+    plan: Option<SnapshotPlan>,
+}
+
+impl std::fmt::Debug for SnapshotPlan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SnapshotPlan")
+            .field("snapshots", &self.snapshots.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl PlannedExecutor {
+    /// Runs the baseline and, when `snapshot_fork` is on, builds the
+    /// snapshot plan.
+    pub fn new(spec: &ScenarioSpec, snapshot_fork: bool) -> PlannedExecutor {
+        // Pass 1: the reference baseline, recording the trigger timeline.
+        let mut session = Session::build(spec, Vec::new(), true);
+        let data_end = SimTime::from_secs(spec.data_secs);
+        let end = SimTime::from_secs(spec.data_secs + spec.grace_secs);
+        session.sim.run_until(data_end);
+        let bytes = session.measure(spec);
+        session.schedule_finish(spec, data_end);
+        session.sim.run_until(end);
+        let timeline = session
+            .sim
+            .tap::<AttackProxy>(session.d.proxy_link)
+            .expect("proxy")
+            .timeline()
+            .cloned()
+            .unwrap_or_default();
+        let baseline = session.finish(spec, bytes);
+        let plan = if snapshot_fork {
+            build_plan(spec, &baseline, timeline)
+        } else {
+            None
+        };
+        PlannedExecutor {
+            spec: spec.clone(),
+            baseline,
+            plan,
+        }
+    }
+
+    /// The scenario this executor runs.
+    pub fn spec(&self) -> &ScenarioSpec {
+        &self.spec
+    }
+
+    /// The no-attack baseline metrics.
+    pub fn baseline(&self) -> &TestMetrics {
+        &self.baseline
+    }
+
+    /// Number of captured fork snapshots (0 means every strategy runs from
+    /// scratch).
+    pub fn snapshot_count(&self) -> usize {
+        self.plan.as_ref().map_or(0, |p| p.snapshots.len())
+    }
+
+    /// Runs one strategy (or the baseline when `None`).
+    pub fn run(&self, strategy: Option<Strategy>) -> TestMetrics {
+        self.run_combination(strategy.into_iter().collect())
+    }
+
+    /// Runs a combination strategy, forking a baseline snapshot when every
+    /// rule is fork-eligible.
+    pub fn run_combination(&self, rules: Vec<Strategy>) -> TestMetrics {
+        let Some(plan) = &self.plan else {
+            return Executor::run_combination(&self.spec, rules);
+        };
+        match plan.decide(&rules) {
+            ForkDecision::Elide => self.baseline.clone(),
+            ForkDecision::FromScratch => Executor::run_combination(&self.spec, rules),
+            ForkDecision::ForkAt(t) => {
+                let forked = plan
+                    .latest_before(t)
+                    .and_then(|snap| snap.sim.fork().map(|sim| (snap, sim)));
+                match forked {
+                    Some((snap, sim)) => self.resume(plan, snap, sim, rules),
+                    // No snapshot precedes the trigger (or an agent turned
+                    // out not to be forkable): run the whole thing.
+                    None => Executor::run_combination(&self.spec, rules),
+                }
+            }
+        }
+    }
+
+    /// Continues a forked snapshot to the end of the scenario with the
+    /// strategy's rules armed.
+    fn resume(
+        &self,
+        plan: &SnapshotPlan,
+        snap: &Snapshot,
+        sim: Simulator,
+        rules: Vec<Strategy>,
+    ) -> TestMetrics {
+        let spec = &self.spec;
+        let data_end = SimTime::from_secs(spec.data_secs);
+        let end = SimTime::from_secs(spec.data_secs + spec.grace_secs);
+        let mut session = Session { sim, d: plan.d };
+        session
+            .sim
+            .tap_mut::<AttackProxy>(plan.d.proxy_link)
+            .expect("proxy")
+            .install_rules(rules);
+        let bytes = match snap.bytes {
+            // The fork point is past data_end, so the data phase was
+            // attack-free and its measurement is the carried baseline one.
+            Some(b) => {
+                session.sim.run_until(end);
+                b
+            }
+            None => {
+                session.sim.run_until(data_end);
+                let b = session.measure(spec);
+                session.schedule_finish(spec, data_end);
+                session.sim.run_until(end);
+                b
+            }
+        };
+        session.finish(spec, bytes)
+    }
+}
+
+/// Pass 2 of plan construction: replay the baseline, pausing one simulated
+/// nanosecond before each first trigger activation observed in pass 1 and
+/// forking a snapshot there. Returns `None` (disabling forked execution)
+/// if anything in the simulation refuses to fork or the paused replay
+/// fails to reproduce the reference baseline bit for bit.
+fn build_plan(
+    spec: &ScenarioSpec,
+    baseline: &TestMetrics,
+    timeline: StateTimeline,
+) -> Option<SnapshotPlan> {
     let data_end = SimTime::from_secs(spec.data_secs);
-    sim.run_until(data_end);
-    let target_bytes = sim
-        .agent::<DccpHost>(d.client1)
-        .expect("host")
-        .total_goodput();
-    let competing_bytes = sim
-        .agent::<DccpHost>(d.client2)
-        .expect("host")
-        .total_goodput();
-
-    // The test ends: iperf stops, the sending applications close.
-    for server in [d.server1, d.server2] {
-        sim.schedule_control(data_end, server, |agent, ctx| {
-            let any: &mut dyn std::any::Any = agent;
-            any.downcast_mut::<DccpHost>()
-                .expect("dccp host")
-                .close_all(ctx);
-        });
+    let end = SimTime::from_secs(spec.data_secs + spec.grace_secs);
+    let mut times: Vec<SimTime> = timeline
+        .states
+        .values()
+        .chain(timeline.packets.values())
+        .filter(|t| t.as_nanos() > 0 && **t < end)
+        .map(|t| SimTime::from_nanos(t.as_nanos() - 1))
+        .collect();
+    times.sort_unstable();
+    times.dedup();
+    if times.len() > MAX_SNAPSHOTS {
+        let step = times.len().div_ceil(MAX_SNAPSHOTS);
+        times = times.into_iter().step_by(step).collect();
     }
-    sim.run_until(SimTime::from_secs(spec.data_secs + spec.grace_secs));
 
-    let server = sim.agent::<DccpHost>(d.server1).expect("host");
-    let census = server.census();
-    let leaked_with_queue = server
-        .conn_metrics()
-        .iter()
-        .filter(|m| m.queue_len > 0 && !matches!(m.state.name(), "CLOSED" | "LISTEN" | "TIMEWAIT"))
-        .count();
-    let proxy = sim
-        .tap::<AttackProxy>(d.proxy_link)
-        .expect("proxy")
-        .report()
-        .clone();
-    TestMetrics {
-        target_bytes,
-        competing_bytes,
-        leaked_sockets: census.leaked(),
-        leaked_close_wait: 0,
-        leaked_with_queue,
-        truncated: sim.budget_exhausted(),
-        proxy,
+    let mut session = Session::build(spec, Vec::new(), false);
+    let mut snapshots = Vec::with_capacity(times.len());
+    let mut bytes = None;
+    for t in times {
+        if bytes.is_none() && t >= data_end {
+            session.sim.run_until(data_end);
+            bytes = Some(session.measure(spec));
+            session.schedule_finish(spec, data_end);
+        }
+        session.sim.run_until(t);
+        let sim = session.sim.fork()?;
+        snapshots.push(Snapshot { at: t, bytes, sim });
     }
+    if bytes.is_none() {
+        session.sim.run_until(data_end);
+        bytes = Some(session.measure(spec));
+        session.schedule_finish(spec, data_end);
+    }
+    session.sim.run_until(end);
+    let replay = session.finish(spec, bytes.expect("measured above"));
+    if replay != *baseline {
+        return None;
+    }
+    Some(SnapshotPlan {
+        d: session.d,
+        timeline,
+        snapshots,
+    })
 }
 
 #[cfg(test)]

@@ -92,11 +92,15 @@ pub fn generate_strategies(
         }
     }
 
-    let mut out = Vec::new();
-    let mut push = |kind: StrategyKind, next_id: &mut u64| {
-        out.push(Strategy { id: *next_id, kind });
-        *next_id += 1;
-    };
+    // One bucket of candidate strategies per observed pair / state. The
+    // buckets are emitted breadth-first (every pair's first variant before
+    // any pair's second), so a controller that caps the strategy count
+    // still covers the whole observed state space — the paper's
+    // state-coverage premise (§IV-C) — instead of exhausting one pair's
+    // parameter grid while later states go untested. Late-state triggers
+    // also fork from late snapshots, which is what makes capped campaigns
+    // fast under the snapshot planner.
+    let mut buckets: Vec<Vec<StrategyKind>> = Vec::new();
 
     for (endpoint, state, ptype) in pairs {
         let key = format!("pair:{endpoint}:{state}:{ptype}");
@@ -104,30 +108,28 @@ pub fn generate_strategies(
             continue;
         }
         let endpoint = parse_endpoint(&endpoint);
-        let mut on_packet = |attack: BasicAttack, next_id: &mut u64| {
-            push(
-                StrategyKind::OnPacket {
-                    endpoint,
-                    state: state.clone(),
-                    packet_type: ptype.clone(),
-                    attack,
-                },
-                next_id,
-            );
+        let mut bucket = Vec::new();
+        let mut on_packet = |attack: BasicAttack| {
+            bucket.push(StrategyKind::OnPacket {
+                endpoint,
+                state: state.clone(),
+                packet_type: ptype.clone(),
+                attack,
+            });
         };
         for &p in &params.drop_percents {
-            on_packet(BasicAttack::Drop { percent: p }, next_id);
+            on_packet(BasicAttack::Drop { percent: p });
         }
         for &c in &params.duplicate_copies {
-            on_packet(BasicAttack::Duplicate { copies: c }, next_id);
+            on_packet(BasicAttack::Duplicate { copies: c });
         }
         for &s in &params.delay_secs {
-            on_packet(BasicAttack::Delay { secs: s }, next_id);
+            on_packet(BasicAttack::Delay { secs: s });
         }
         for &s in &params.batch_secs {
-            on_packet(BasicAttack::Batch { secs: s }, next_id);
+            on_packet(BasicAttack::Batch { secs: s });
         }
-        on_packet(BasicAttack::Reflect, next_id);
+        on_packet(BasicAttack::Reflect);
         for field in spec.fields() {
             let mutations: &[FieldMutation] = if field.is_flag() {
                 FieldMutation::flag_mutations()
@@ -135,15 +137,13 @@ pub fn generate_strategies(
                 FieldMutation::standard_mutations()
             };
             for &m in mutations {
-                on_packet(
-                    BasicAttack::Lie {
-                        field: field.name().to_owned(),
-                        mutation: m,
-                    },
-                    next_id,
-                );
+                on_packet(BasicAttack::Lie {
+                    field: field.name().to_owned(),
+                    mutation: m,
+                });
             }
         }
+        buckets.push(bucket);
     }
 
     for (endpoint, state) in states {
@@ -152,22 +152,21 @@ pub fn generate_strategies(
             continue;
         }
         let endpoint = parse_endpoint(&endpoint);
+        let mut bucket = Vec::new();
+        let mut push = |kind: StrategyKind| bucket.push(kind);
         for &ptype in injectable {
             for seq in [SeqChoice::Zero, SeqChoice::Random, SeqChoice::Max] {
                 for direction in [InjectDirection::ToClient, InjectDirection::ToServer] {
-                    push(
-                        StrategyKind::OnState {
-                            endpoint,
-                            state: state.clone(),
-                            attack: InjectionAttack::Inject {
-                                packet_type: ptype.to_owned(),
-                                seq,
-                                direction,
-                                repeat: params.inject_repeat,
-                            },
+                    push(StrategyKind::OnState {
+                        endpoint,
+                        state: state.clone(),
+                        attack: InjectionAttack::Inject {
+                            packet_type: ptype.to_owned(),
+                            seq,
+                            direction,
+                            repeat: params.inject_repeat,
                         },
-                        next_id,
-                    );
+                    });
                 }
             }
         }
@@ -181,22 +180,38 @@ pub fn generate_strategies(
                 let count = (space / window.max(1))
                     .saturating_add(2)
                     .min(params.hitseq_max_count);
-                push(
-                    StrategyKind::OnState {
-                        endpoint,
-                        state: state.clone(),
-                        attack: InjectionAttack::HitSeqWindow {
-                            packet_type: ptype.to_owned(),
-                            direction,
-                            stride: window,
-                            count,
-                            rate_pps: params.hitseq_rate_pps,
-                            inert: false,
-                        },
+                push(StrategyKind::OnState {
+                    endpoint,
+                    state: state.clone(),
+                    attack: InjectionAttack::HitSeqWindow {
+                        packet_type: ptype.to_owned(),
+                        direction,
+                        stride: window,
+                        count,
+                        rate_pps: params.hitseq_rate_pps,
+                        inert: false,
                     },
-                    next_id,
-                );
+                });
             }
+        }
+        buckets.push(bucket);
+    }
+
+    // Breadth-first emission: variant 0 of every bucket, then variant 1 of
+    // every bucket, and so on until all buckets are drained.
+    let mut out = Vec::new();
+    let mut iters: Vec<_> = buckets.into_iter().map(Vec::into_iter).collect();
+    loop {
+        let mut emitted = false;
+        for it in &mut iters {
+            if let Some(kind) = it.next() {
+                out.push(Strategy { id: *next_id, kind });
+                *next_id += 1;
+                emitted = true;
+            }
+        }
+        if !emitted {
+            break;
         }
     }
     out

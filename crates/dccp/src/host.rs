@@ -91,7 +91,7 @@ fn untag(tag: u64) -> (usize, u64, u64) {
     ((tag >> 32) as usize, (tag >> 28) & 0xF, tag & 0x0FFF_FFFF)
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct ConnSlot {
     conn: DccpConnection,
     local_port: u16,
@@ -108,7 +108,7 @@ struct ConnectPlan {
 }
 
 /// A simulated host running the DCCP implementation under test.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct DccpHost {
     profile: DccpProfile,
     conns: Vec<ConnSlot>,
@@ -271,13 +271,11 @@ impl DccpHost {
 
 /// Encodes an outbound DCCP packet.
 fn build_packet(src: Addr, dst: Addr, seg: &DccpSeg) -> Packet {
-    let mut header = DccpBuilder::new(src.port, dst.port, seg.ptype)
+    let header = DccpBuilder::new(src.port, dst.port, seg.ptype)
         .seq(seg.seq)
         .ack(seg.ack)
+        .ack_reserved(seg.loss_echo)
         .build();
-    header
-        .set("ack_reserved", seg.loss_echo as u64)
-        .expect("in range");
     Packet::new(
         src,
         dst,
@@ -291,23 +289,24 @@ fn build_packet(src: Addr, dst: Addr, seg: &DccpSeg) -> Packet {
 /// reserved type code, bad checksum).
 fn parse_packet(pkt: &Packet) -> Option<DccpSeg> {
     let view = DccpView::new(&pkt.header).ok()?;
-    let spec = snake_packet::dccp::dccp_spec();
-    let hdr = spec.parse(pkt.header.clone()).ok()?;
-    if hdr.get("checksum").ok()? != 0 {
+    if view.checksum() != 0 {
         return None;
     }
     let ptype = view.packet_type()?;
-    let loss_echo = hdr.get("ack_reserved").ok()? as u16;
     Some(DccpSeg {
         ptype,
         seq: view.seq(),
         ack: view.ack(),
-        loss_echo,
+        loss_echo: view.ack_reserved(),
         payload_len: pkt.payload_len,
     })
 }
 
 impl Agent for DccpHost {
+    fn boxed_clone(&self) -> Option<Box<dyn Agent>> {
+        Some(Box::new(self.clone()))
+    }
+
     fn on_start(&mut self, ctx: &mut Ctx<'_>) {
         let plans = self.plans.clone();
         for (i, plan) in plans.iter().enumerate() {
@@ -449,9 +448,9 @@ mod tests {
         fn on_packet(&mut self, ctx: &mut TapCtx<'_>, mut packet: Packet, toward_b: bool) {
             if toward_b && ctx.now() > SimTime::from_secs(2) {
                 let spec = snake_packet::dccp::dccp_spec();
-                if let Ok(mut hdr) = spec.parse(packet.header.clone()) {
+                if let Ok(mut hdr) = spec.parse(packet.header.to_vec()) {
                     let _ = hdr.set("ack", (1u64 << 48) - 1);
-                    packet.header = hdr.into_bytes();
+                    packet.header = hdr.into_bytes().into();
                 }
             }
             ctx.forward(packet, toward_b);

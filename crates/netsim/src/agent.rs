@@ -6,9 +6,14 @@ use crate::packet::{Addr, Packet};
 use crate::sim::{Command, NodeId};
 use crate::time::{SimDuration, SimTime};
 
-/// Handle for a pending timer, used to cancel it.
+/// Handle for a pending timer, used to cancel it. Carries the timer's fire
+/// time so the simulator can purge cancellation records once the fire time
+/// has passed (a cancelled timer can never fire after its deadline).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub struct TimerHandle(pub(crate) u64);
+pub struct TimerHandle {
+    pub(crate) id: u64,
+    pub(crate) at: SimTime,
+}
 
 /// A protocol endpoint (or any other process) running on a simulated node.
 ///
@@ -19,8 +24,10 @@ pub struct TimerHandle(pub(crate) u64);
 ///
 /// The `Any` supertrait lets the executor downcast agents after a run to
 /// extract metrics (the simulated equivalent of the paper's executor
-/// querying the OS with `netstat`).
-pub trait Agent: Any {
+/// querying the OS with `netstat`). The `Send + Sync` supertraits let a
+/// paused simulator snapshot be shared across executor worker threads, which
+/// fork their own copies from it.
+pub trait Agent: Any + Send + Sync {
     /// Called once when the simulation starts.
     fn on_start(&mut self, ctx: &mut Ctx<'_>) {
         let _ = ctx;
@@ -32,6 +39,14 @@ pub trait Agent: Any {
     /// Called when a timer set with [`Ctx::set_timer`] fires.
     fn on_timer(&mut self, ctx: &mut Ctx<'_>, tag: u64) {
         let _ = (ctx, tag);
+    }
+
+    /// Deep-clones this agent as a boxed trait object, for
+    /// [`Simulator::fork`](crate::Simulator::fork). The default returns
+    /// `None` (not forkable); production agents override it with
+    /// `Some(Box::new(self.clone()))`.
+    fn boxed_clone(&self) -> Option<Box<dyn Agent>> {
+        None
     }
 }
 
@@ -75,11 +90,13 @@ impl Ctx<'_> {
     /// Sets a one-shot timer `after` from now; `tag` is returned to
     /// [`Agent::on_timer`].
     pub fn set_timer(&mut self, after: SimDuration, tag: u64) -> TimerHandle {
-        let handle = TimerHandle(*self.next_timer);
+        let handle = TimerHandle {
+            id: *self.next_timer,
+            at: self.now + after,
+        };
         *self.next_timer += 1;
         self.commands.push(Command::SetTimer {
             node: self.node,
-            at: self.now + after,
             handle,
             tag,
         });
@@ -118,8 +135,8 @@ mod tests {
         ctx.cancel_timer(h);
         assert_eq!(commands.len(), 2);
         match &commands[0] {
-            Command::SetTimer { at, tag, .. } => {
-                assert_eq!(*at, SimTime::from_millis(1_010));
+            Command::SetTimer { handle, tag, .. } => {
+                assert_eq!(handle.at, SimTime::from_millis(1_010));
                 assert_eq!(*tag, 42);
             }
             other => panic!("unexpected command {other:?}"),

@@ -55,6 +55,7 @@ mod agent;
 mod link;
 mod packet;
 mod sim;
+mod smallbuf;
 mod tap;
 mod time;
 mod topology;
@@ -64,6 +65,7 @@ pub use agent::{Agent, Ctx, TimerHandle};
 pub use link::{Aqm, ChannelStats, LinkId, LinkSpec};
 pub use packet::{Addr, Packet, Protocol};
 pub use sim::{NodeId, Simulator};
+pub use smallbuf::HeaderBuf;
 pub use tap::{Tap, TapCtx};
 pub use time::{SimDuration, SimTime};
 pub use topology::{Dumbbell, DumbbellSpec};

@@ -90,7 +90,7 @@ pub struct ChannelStats {
 
 /// One direction of a duplex link: a FIFO tail-drop queue feeding a
 /// transmitter, followed by fixed propagation delay.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub(crate) struct Channel {
     pub(crate) spec: LinkSpec,
     queue: VecDeque<Packet>,

@@ -1,6 +1,7 @@
 use std::fmt;
 
 use crate::sim::NodeId;
+use crate::smallbuf::HeaderBuf;
 
 /// Simulated network-layer overhead added to every packet's wire length
 /// (an IPv4 header without options).
@@ -68,8 +69,9 @@ pub struct Packet {
     pub dst: Addr,
     /// Transport protocol of the header bytes.
     pub protocol: Protocol,
-    /// Raw transport header bytes.
-    pub header: Vec<u8>,
+    /// Raw transport header bytes, stored inline when short (see
+    /// [`HeaderBuf`]) so per-hop packet clones stay allocation-free.
+    pub header: HeaderBuf,
     /// Simulated application payload length in bytes.
     pub payload_len: u32,
     /// Unique id assigned at first send, for tracing.
@@ -82,14 +84,14 @@ impl Packet {
         src: Addr,
         dst: Addr,
         protocol: Protocol,
-        header: Vec<u8>,
+        header: impl Into<HeaderBuf>,
         payload_len: u32,
     ) -> Packet {
         Packet {
             src,
             dst,
             protocol,
-            header,
+            header: header.into(),
             payload_len,
             id: 0,
         }

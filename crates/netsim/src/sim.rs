@@ -1,6 +1,7 @@
 use std::any::Any;
 use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashMap, HashSet};
+use std::collections::{BinaryHeap, HashMap};
+use std::sync::Arc;
 
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -29,7 +30,7 @@ impl NodeId {
 }
 
 /// Buffered side effects produced by agent and tap callbacks.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub(crate) enum Command {
     Send {
         from: NodeId,
@@ -37,7 +38,6 @@ pub(crate) enum Command {
     },
     SetTimer {
         node: NodeId,
-        at: SimTime,
         handle: TimerHandle,
         tag: u64,
     },
@@ -55,6 +55,7 @@ pub(crate) enum Command {
     },
 }
 
+#[derive(Clone)]
 enum EventKind {
     Deliver { node: NodeId, packet: Packet },
     TimerFire { node: NodeId, handle: u64, tag: u64 },
@@ -64,6 +65,7 @@ enum EventKind {
     Control { key: u64 },
 }
 
+#[derive(Clone)]
 struct Scheduled {
     at: SimTime,
     seq: u64,
@@ -97,6 +99,7 @@ struct NodeSlot {
     agent: Option<Box<dyn Agent>>,
 }
 
+#[derive(Clone)]
 struct ChanSlot {
     chan: Channel,
     from: NodeId,
@@ -112,7 +115,15 @@ struct LinkSlot {
     tap: Option<Box<dyn Tap>>,
 }
 
-type ControlFn = Box<dyn FnOnce(&mut dyn Agent, &mut Ctx<'_>)>;
+/// Scheduled control actions are `Arc<dyn Fn>` (not `Box<dyn FnOnce>`) so a
+/// forked simulator shares the still-pending controls of its parent: each
+/// run invokes its own clone of the closure exactly once.
+type ControlFn = Arc<dyn Fn(&mut dyn Agent, &mut Ctx<'_>) + Send + Sync>;
+
+/// How many cancelled-timer records may accumulate before `run_until`
+/// compacts the event queue (dropping the dead `TimerFire` entries and
+/// their cancellation records in one pass).
+const CANCELLED_COMPACT_THRESHOLD: usize = 256;
 
 /// The discrete-event network simulator.
 ///
@@ -130,7 +141,11 @@ pub struct Simulator {
     links: Vec<LinkSlot>,
     next_hop: Vec<Vec<Option<usize>>>,
     routes_dirty: bool,
-    cancelled_timers: HashSet<u64>,
+    /// Cancelled-but-not-yet-fired timers, by handle id, with the time the
+    /// timer would have fired. Entries are consumed when the dead
+    /// `TimerFire` event pops, purged once their fire time has passed, and
+    /// compacted out of the event queue when they accumulate.
+    cancelled_timers: HashMap<u64, SimTime>,
     next_timer: u64,
     next_packet_id: u64,
     controls: HashMap<u64, (NodeId, ControlFn)>,
@@ -168,7 +183,7 @@ impl Simulator {
             links: Vec::new(),
             next_hop: Vec::new(),
             routes_dirty: true,
-            cancelled_timers: HashSet::new(),
+            cancelled_timers: HashMap::new(),
             next_timer: 0,
             next_packet_id: 1,
             controls: HashMap::new(),
@@ -310,6 +325,73 @@ impl Simulator {
         any.downcast_ref()
     }
 
+    /// Mutable access to the tap on `link`, downcast to its concrete type
+    /// (the snapshot-fork executor rewrites a forked baseline proxy's rules
+    /// through this).
+    pub fn tap_mut<T: Tap>(&mut self, link: LinkId) -> Option<&mut T> {
+        let tap = self.links[link.0].tap.as_deref_mut()?;
+        let any: &mut dyn Any = tap;
+        any.downcast_mut()
+    }
+
+    /// Deep-clones the whole simulator — event queue, channels, agents,
+    /// taps, RNG, pending controls — producing an independent run that
+    /// continues from this exact instant. Determinism makes the fork exact:
+    /// a fork left untouched replays byte-for-byte what its parent does.
+    ///
+    /// Returns `None` if any installed agent or tap does not implement
+    /// [`Agent::boxed_clone`] / [`Tap::boxed_clone`]. Must not be called
+    /// from inside a callback (no commands may be pending).
+    pub fn fork(&self) -> Option<Simulator> {
+        debug_assert!(self.pending.is_empty(), "fork inside a callback");
+        let mut nodes = Vec::with_capacity(self.nodes.len());
+        for n in &self.nodes {
+            let agent = match &n.agent {
+                Some(a) => Some(a.boxed_clone()?),
+                None => None,
+            };
+            nodes.push(NodeSlot {
+                name: n.name.clone(),
+                agent,
+            });
+        }
+        let mut links = Vec::with_capacity(self.links.len());
+        for l in &self.links {
+            let tap = match &l.tap {
+                Some(t) => Some(t.boxed_clone()?),
+                None => None,
+            };
+            links.push(LinkSlot {
+                a: l.a,
+                b: l.b,
+                chans: l.chans,
+                tap,
+            });
+        }
+        Some(Simulator {
+            now: self.now,
+            seq: self.seq,
+            queue: self.queue.clone(),
+            nodes,
+            chans: self.chans.clone(),
+            links,
+            next_hop: self.next_hop.clone(),
+            routes_dirty: self.routes_dirty,
+            cancelled_timers: self.cancelled_timers.clone(),
+            next_timer: self.next_timer,
+            next_packet_id: self.next_packet_id,
+            controls: self.controls.clone(),
+            next_control: self.next_control,
+            rng: self.rng.clone(),
+            started: self.started,
+            events_processed: self.events_processed,
+            event_budget: self.event_budget,
+            budget_exhausted: self.budget_exhausted,
+            pending: Vec::new(),
+            trace: self.trace.clone(),
+        })
+    }
+
     /// Per-direction statistics for a link: `(a→b, b→a)`.
     pub fn link_stats(&self, link: LinkId) -> (ChannelStats, ChannelStats) {
         let l = &self.links[link.0];
@@ -324,11 +406,11 @@ impl Simulator {
     /// scenarios (start transfers, abort clients, close server apps).
     pub fn schedule_control<F>(&mut self, at: SimTime, node: NodeId, f: F)
     where
-        F: FnOnce(&mut dyn Agent, &mut Ctx<'_>) + 'static,
+        F: Fn(&mut dyn Agent, &mut Ctx<'_>) + Send + Sync + 'static,
     {
         let key = self.next_control;
         self.next_control += 1;
-        self.controls.insert(key, (node, Box::new(f)));
+        self.controls.insert(key, (node, Arc::new(f)));
         self.push(at, EventKind::Control { key });
     }
 
@@ -338,6 +420,9 @@ impl Simulator {
     pub fn run_until(&mut self, deadline: SimTime) {
         if self.routes_dirty {
             self.compute_routes();
+        }
+        if self.cancelled_timers.len() >= CANCELLED_COMPACT_THRESHOLD {
+            self.compact_queue();
         }
         if !self.started {
             self.started = true;
@@ -361,15 +446,45 @@ impl Simulator {
             let ev = self.queue.pop().expect("peeked");
             debug_assert!(ev.at >= self.now, "time went backwards");
             self.now = ev.at;
+            // A cancelled timer's event is dead: consume the cancellation
+            // record and move on. Dead events are not dispatched and not
+            // counted, so whether compaction already removed one is
+            // unobservable (budget truncation stays deterministic).
+            if let EventKind::TimerFire { handle, .. } = ev.kind {
+                if self.cancelled_timers.remove(&handle).is_some() {
+                    continue;
+                }
+            }
             self.events_processed += 1;
             self.dispatch(ev.kind);
         }
         self.now = deadline;
+        // Purge cancellation records whose fire time has passed: their dead
+        // TimerFire event (if any) has already popped, so the record can
+        // never be consulted again. Long grace periods with heavy
+        // cancel-after-fire traffic no longer accumulate dead state.
+        let now = self.now;
+        self.cancelled_timers.retain(|_, at| *at > now);
         for li in 0..self.links.len() {
             if let Some(tap) = self.links[li].tap.as_deref_mut() {
                 tap.on_finish(deadline);
             }
         }
+    }
+
+    /// Rebuilds the event queue without the `TimerFire` events of cancelled
+    /// timers, consuming their cancellation records. The `Scheduled` heap's
+    /// backing allocation is reused across `run_until` calls (heap → vec →
+    /// filtered vec → heap, all in place), so compaction allocates nothing.
+    /// Event order is unaffected: ordering is total on `(at, seq)`.
+    fn compact_queue(&mut self) {
+        let mut events = std::mem::take(&mut self.queue).into_vec();
+        let cancelled = &mut self.cancelled_timers;
+        events.retain(|ev| match ev.kind {
+            EventKind::TimerFire { handle, .. } => cancelled.remove(&handle).is_none(),
+            _ => true,
+        });
+        self.queue = BinaryHeap::from(events);
     }
 
     fn dispatch(&mut self, kind: EventKind) {
@@ -382,10 +497,9 @@ impl Simulator {
                     self.route_send(node, packet);
                 }
             }
-            EventKind::TimerFire { node, handle, tag } => {
-                if !self.cancelled_timers.remove(&handle) {
-                    self.with_agent(node, |agent, ctx| agent.on_timer(ctx, tag));
-                }
+            EventKind::TimerFire { node, tag, .. } => {
+                // Cancelled timers were filtered in the run loop.
+                self.with_agent(node, |agent, ctx| agent.on_timer(ctx, tag));
             }
             EventKind::ChanDequeue { chan } => {
                 let now = self.now;
@@ -469,23 +583,21 @@ impl Simulator {
                     }
                     self.route_send(from, packet);
                 }
-                Command::SetTimer {
-                    node,
-                    at,
-                    handle,
-                    tag,
-                } => {
+                Command::SetTimer { node, handle, tag } => {
                     self.push(
-                        at.max(self.now),
+                        handle.at.max(self.now),
                         EventKind::TimerFire {
                             node,
-                            handle: handle.0,
+                            handle: handle.id,
                             tag,
                         },
                     );
                 }
                 Command::CancelTimer { handle } => {
-                    self.cancelled_timers.insert(handle.0);
+                    // A cancel for a timer that already fired would linger
+                    // forever; recording the fire time lets run_until purge
+                    // stale records.
+                    self.cancelled_timers.insert(handle.id, handle.at);
                 }
                 Command::TapEmit {
                     mut packet,
@@ -585,10 +697,14 @@ mod tests {
     use crate::packet::{Addr, Protocol};
 
     /// Echoes every received packet back to its source.
+    #[derive(Clone)]
     struct Echo {
         received: Vec<Packet>,
     }
     impl Agent for Echo {
+        fn boxed_clone(&self) -> Option<Box<dyn Agent>> {
+            Some(Box::new(self.clone()))
+        }
         fn on_packet(&mut self, ctx: &mut Ctx<'_>, packet: Packet) {
             let reply = Packet::new(
                 Addr::new(ctx.node(), packet.dst.port),
@@ -603,6 +719,7 @@ mod tests {
     }
 
     /// Sends `count` packets at start, records replies and timer fires.
+    #[derive(Clone)]
     struct Blaster {
         peer: NodeId,
         count: u32,
@@ -622,6 +739,9 @@ mod tests {
         }
     }
     impl Agent for Blaster {
+        fn boxed_clone(&self) -> Option<Box<dyn Agent>> {
+            Some(Box::new(self.clone()))
+        }
         fn on_start(&mut self, ctx: &mut Ctx<'_>) {
             for _ in 0..self.count {
                 let pkt = Packet::new(
@@ -926,5 +1046,133 @@ mod tests {
         // Echo replies to the spoofed source; the blaster sees it.
         assert_eq!(sim.agent::<Echo>(b).unwrap().received.len(), 1);
         assert_eq!(sim.agent::<Blaster>(a).unwrap().replies, 1);
+    }
+
+    fn state_of(sim: &Simulator, a: NodeId, b: NodeId, link: LinkId) -> (u64, u32, usize, u64) {
+        let (ab, _) = sim.link_stats(link);
+        (
+            sim.events_processed(),
+            sim.agent::<Blaster>(a).unwrap().replies,
+            sim.agent::<Echo>(b).unwrap().received.len(),
+            ab.transmitted,
+        )
+    }
+
+    #[test]
+    fn fork_replays_parent_exactly() {
+        let (mut sim, a, b, link) = two_node_sim(4);
+        sim.set_agent(a, Blaster::new(b, 10, 80));
+        sim.run_until(SimTime::from_millis(3));
+        let mut child = sim.fork().expect("all agents cloneable");
+        sim.run_until(SimTime::from_secs(1));
+        child.run_until(SimTime::from_secs(1));
+        assert_eq!(
+            state_of(&sim, a, b, link),
+            state_of(&child, a, b, link),
+            "an untouched fork must replay its parent byte for byte"
+        );
+    }
+
+    #[test]
+    fn fork_does_not_perturb_parent() {
+        let run = |fork_midway: bool| {
+            let (mut sim, a, b, link) = two_node_sim(4);
+            sim.set_agent(a, Blaster::new(b, 10, 80));
+            sim.run_until(SimTime::from_millis(3));
+            let child = if fork_midway { sim.fork() } else { None };
+            sim.run_until(SimTime::from_secs(1));
+            drop(child);
+            state_of(&sim, a, b, link)
+        };
+        assert_eq!(run(true), run(false), "forking is invisible to the parent");
+    }
+
+    #[test]
+    fn fork_preserves_pending_timers_and_cancellations() {
+        struct Arm;
+        impl Agent for Arm {
+            fn boxed_clone(&self) -> Option<Box<dyn Agent>> {
+                Some(Box::new(Arm))
+            }
+            fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+                ctx.set_timer(SimDuration::from_millis(10), 1);
+                let dead = ctx.set_timer(SimDuration::from_millis(20), 2);
+                ctx.cancel_timer(dead);
+                ctx.set_timer(SimDuration::from_millis(30), 3);
+            }
+            fn on_packet(&mut self, _ctx: &mut Ctx<'_>, _packet: Packet) {}
+            fn on_timer(&mut self, ctx: &mut Ctx<'_>, tag: u64) {
+                // Visible side effect per fire: a loopback packet.
+                let pkt = Packet::new(
+                    ctx.addr(tag as u16),
+                    ctx.addr(7),
+                    Protocol::Other(1),
+                    Vec::new(),
+                    0,
+                );
+                ctx.send(pkt);
+            }
+        }
+        let mut sim = Simulator::new(3);
+        let n = sim.add_node("n");
+        sim.set_agent(n, Arm);
+        sim.run_until(SimTime::from_millis(5));
+        let mut child = sim.fork().expect("cloneable");
+        sim.run_until(SimTime::from_secs(1));
+        child.run_until(SimTime::from_secs(1));
+        assert_eq!(sim.events_processed(), child.events_processed());
+        // Timers 1 and 3 fired (each a timer event + a delivered packet);
+        // the cancelled timer 2 must fire in neither run.
+        assert_eq!(sim.events_processed(), 2 + 2);
+    }
+
+    #[test]
+    fn fork_refused_when_an_agent_is_not_cloneable() {
+        struct Opaque;
+        impl Agent for Opaque {
+            fn on_packet(&mut self, _ctx: &mut Ctx<'_>, _packet: Packet) {}
+        }
+        let mut sim = Simulator::new(1);
+        let n = sim.add_node("n");
+        sim.set_agent(n, Opaque);
+        sim.run_until(SimTime::from_millis(1));
+        assert!(sim.fork().is_none(), "default boxed_clone declines to fork");
+    }
+
+    #[test]
+    fn fork_refused_when_a_tap_is_not_cloneable() {
+        let (mut sim, a, b, link) = two_node_sim(4);
+        sim.set_agent(a, Blaster::new(b, 1, 80));
+        sim.attach_tap(link, PassTap);
+        sim.run_until(SimTime::from_millis(1));
+        assert!(sim.fork().is_none(), "PassTap has no boxed_clone");
+    }
+
+    #[test]
+    fn cancelled_timer_records_are_purged_after_fire_time() {
+        struct Canceller;
+        impl Agent for Canceller {
+            fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+                for _ in 0..10 {
+                    let h = ctx.set_timer(SimDuration::from_millis(10), 0);
+                    ctx.cancel_timer(h);
+                }
+            }
+            fn on_packet(&mut self, _ctx: &mut Ctx<'_>, _packet: Packet) {}
+        }
+        let mut sim = Simulator::new(1);
+        let n = sim.add_node("n");
+        sim.set_agent(n, Canceller);
+        sim.run_until(SimTime::from_millis(5));
+        assert_eq!(
+            sim.cancelled_timers.len(),
+            10,
+            "records live until fire time"
+        );
+        sim.run_until(SimTime::from_millis(50));
+        assert!(
+            sim.cancelled_timers.is_empty(),
+            "records whose fire time passed are purged"
+        );
     }
 }

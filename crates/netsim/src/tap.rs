@@ -11,7 +11,10 @@ use crate::time::{SimDuration, SimTime};
 /// forward copies, send it back where it came from, inject brand-new
 /// packets, or do nothing (drop). Taps can also set timers, which is how
 /// time-triggered injection attacks and batching are implemented.
-pub trait Tap: std::any::Any {
+///
+/// The `Send + Sync` supertraits let a paused simulator snapshot be shared
+/// across executor worker threads, which fork their own copies from it.
+pub trait Tap: std::any::Any + Send + Sync {
     /// Called once at simulation start (before any packets flow).
     fn on_start(&mut self, ctx: &mut TapCtx<'_>) {
         let _ = ctx;
@@ -32,6 +35,14 @@ pub trait Tap: std::any::Any {
     /// Called when the simulation finishes (for final accounting).
     fn on_finish(&mut self, now: SimTime) {
         let _ = now;
+    }
+
+    /// Deep-clones this tap as a boxed trait object, for
+    /// [`Simulator::fork`](crate::Simulator::fork). The default returns
+    /// `None` (not forkable); production taps override it with
+    /// `Some(Box::new(self.clone()))`.
+    fn boxed_clone(&self) -> Option<Box<dyn Tap>> {
+        None
     }
 }
 

@@ -94,7 +94,7 @@ impl Trace {
             src: packet.src,
             dst: packet.dst,
             protocol: packet.protocol,
-            header: packet.header.clone(),
+            header: packet.header.to_vec(),
             payload_len: packet.payload_len,
             packet_id: packet.id,
         });

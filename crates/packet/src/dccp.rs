@@ -9,7 +9,7 @@
 
 use std::sync::{Arc, OnceLock};
 
-use crate::{FormatSpec, Header, PacketError};
+use crate::{FieldRef, FormatSpec, Header, PacketError};
 
 /// The DCCP generic header (plus acknowledgment subheader) in the SNAKE
 /// header description language: 13 fields, 24 bytes.
@@ -158,37 +158,83 @@ impl<'a> DccpView<'a> {
         Ok(DccpView { buf })
     }
 
-    fn get(&self, name: &str) -> u64 {
-        let spec = dccp_spec();
-        let f = spec.field(name).expect("dccp spec field");
-        spec.get(self.buf, f).expect("length checked in new")
+    fn get(&self, field: FieldRef) -> u64 {
+        dccp_spec()
+            .get(self.buf, field)
+            .expect("length checked in new")
     }
 
     /// Source port.
     pub fn src_port(&self) -> u16 {
-        self.get("src_port") as u16
+        self.get(dccp_refs().src_port) as u16
     }
 
     /// Destination port.
     pub fn dst_port(&self) -> u16 {
-        self.get("dst_port") as u16
+        self.get(dccp_refs().dst_port) as u16
     }
 
     /// 48-bit sequence number.
     pub fn seq(&self) -> u64 {
-        self.get("seq")
+        self.get(dccp_refs().seq)
     }
 
     /// 48-bit acknowledgment number.
     pub fn ack(&self) -> u64 {
-        self.get("ack")
+        self.get(dccp_refs().ack)
+    }
+
+    /// Checksum field (`0` on every packet the simulation builds).
+    pub fn checksum(&self) -> u16 {
+        self.get(dccp_refs().checksum) as u16
+    }
+
+    /// The reserved bits alongside the acknowledgment number, which the
+    /// simulated CCID repurposes as a loss-echo counter.
+    pub fn ack_reserved(&self) -> u16 {
+        self.get(dccp_refs().ack_reserved) as u16
     }
 
     /// Packet type, or `None` for a reserved type code (such packets are
     /// ignored by receivers per RFC 4340 §5.1).
     pub fn packet_type(&self) -> Option<DccpPacketType> {
-        DccpPacketType::from_code(self.get("type") as u8)
+        DccpPacketType::from_code(self.get(dccp_refs().ptype) as u8)
     }
+}
+
+/// Pre-resolved [`FieldRef`]s for the DCCP fields read per delivered
+/// packet — same rationale as the TCP table: by-name resolution is a
+/// string-keyed hash lookup, too slow for the per-packet path.
+#[derive(Debug, Clone, Copy)]
+struct DccpRefs {
+    src_port: FieldRef,
+    dst_port: FieldRef,
+    data_offset: FieldRef,
+    x: FieldRef,
+    seq: FieldRef,
+    ack: FieldRef,
+    ptype: FieldRef,
+    checksum: FieldRef,
+    ack_reserved: FieldRef,
+}
+
+fn dccp_refs() -> &'static DccpRefs {
+    static REFS: OnceLock<DccpRefs> = OnceLock::new();
+    REFS.get_or_init(|| {
+        let spec = dccp_spec();
+        let f = |name| spec.field(name).expect("dccp spec field");
+        DccpRefs {
+            src_port: f("src_port"),
+            dst_port: f("dst_port"),
+            data_offset: f("data_offset"),
+            x: f("x"),
+            seq: f("seq"),
+            ack: f("ack"),
+            ptype: f("type"),
+            checksum: f("checksum"),
+            ack_reserved: f("ack_reserved"),
+        }
+    })
 }
 
 /// Builder for DCCP headers.
@@ -199,6 +245,7 @@ pub struct DccpBuilder {
     packet_type: DccpPacketType,
     seq: u64,
     ack: u64,
+    ack_reserved: u16,
 }
 
 impl DccpBuilder {
@@ -210,6 +257,7 @@ impl DccpBuilder {
             packet_type,
             seq: 0,
             ack: 0,
+            ack_reserved: 0,
         }
     }
 
@@ -225,19 +273,31 @@ impl DccpBuilder {
         self
     }
 
+    /// Sets the reserved bits alongside the acknowledgment number (the
+    /// simulated CCID's loss-echo counter).
+    pub fn ack_reserved(mut self, ack_reserved: u16) -> Self {
+        self.ack_reserved = ack_reserved;
+        self
+    }
+
     /// Builds the header bytes.
     pub fn build(self) -> Header {
         let spec = dccp_spec();
         let mut h = spec.new_header();
-        h.set("src_port", self.src_port as u64).expect("in range");
-        h.set("dst_port", self.dst_port as u64).expect("in range");
-        h.set("data_offset", (spec.byte_len() / 4) as u64)
+        let r = dccp_refs();
+        h.set_ref(r.src_port, self.src_port as u64)
             .expect("in range");
-        h.set("type", self.packet_type.code() as u64)
+        h.set_ref(r.dst_port, self.dst_port as u64)
             .expect("in range");
-        h.set("x", 1).expect("in range");
-        h.set("seq", self.seq).expect("in range");
-        h.set("ack", self.ack).expect("in range");
+        h.set_ref(r.data_offset, (spec.byte_len() / 4) as u64)
+            .expect("in range");
+        h.set_ref(r.ptype, self.packet_type.code() as u64)
+            .expect("in range");
+        h.set_ref(r.x, 1).expect("in range");
+        h.set_ref(r.seq, self.seq).expect("in range");
+        h.set_ref(r.ack, self.ack).expect("in range");
+        h.set_ref(r.ack_reserved, self.ack_reserved as u64)
+            .expect("in range");
         h
     }
 }

@@ -261,30 +261,59 @@ impl PartialEq for Header {
 impl Eq for Header {}
 
 /// Reads `bits` bits starting `bit_offset` bits into `buf`, MSB first.
+///
+/// Hot path: field reads happen for every header field of every packet an
+/// endpoint or the proxy handles, so this loads the byte window containing
+/// the field as one big-endian word instead of looping per bit.
 fn read_bits(buf: &[u8], bit_offset: u32, bits: u32) -> u64 {
     debug_assert!((1..=64).contains(&bits));
-    let mut value = 0u64;
-    for i in 0..bits {
-        let bit = bit_offset + i;
-        let byte = (bit / 8) as usize;
-        let shift = 7 - (bit % 8);
-        let b = (buf[byte] >> shift) & 1;
-        value = (value << 1) | b as u64;
+    let first = (bit_offset / 8) as usize;
+    let last = ((bit_offset + bits - 1) / 8) as usize;
+    let span = last - first + 1;
+    if span <= 8 {
+        let mut window = [0u8; 8];
+        window[8 - span..].copy_from_slice(&buf[first..=last]);
+        let word = u64::from_be_bytes(window);
+        let tail = 7 - ((bit_offset + bits - 1) % 8);
+        (word >> tail) & mask(bits)
+    } else {
+        // A 64-bit field straddling 9 bytes: widen through u128.
+        let mut window = [0u8; 16];
+        window[16 - span..].copy_from_slice(&buf[first..=last]);
+        let word = u128::from_be_bytes(window);
+        let tail = 7 - ((bit_offset + bits - 1) % 8);
+        ((word >> tail) & mask(bits) as u128) as u64
     }
-    value
 }
 
 /// Writes `bits` bits of `value` starting `bit_offset` bits into `buf`,
-/// MSB first.
+/// MSB first. Same word-window strategy as [`read_bits`].
 fn write_bits(buf: &mut [u8], bit_offset: u32, bits: u32, value: u64) {
     debug_assert!((1..=64).contains(&bits));
-    for i in 0..bits {
-        let bit = bit_offset + i;
-        let byte = (bit / 8) as usize;
-        let shift = 7 - (bit % 8);
-        let v = ((value >> (bits - 1 - i)) & 1) as u8;
-        buf[byte] = (buf[byte] & !(1 << shift)) | (v << shift);
+    let first = (bit_offset / 8) as usize;
+    let last = ((bit_offset + bits - 1) / 8) as usize;
+    let span = last - first + 1;
+    let tail = 7 - ((bit_offset + bits - 1) % 8);
+    if span <= 8 {
+        let mut window = [0u8; 8];
+        window[8 - span..].copy_from_slice(&buf[first..=last]);
+        let mut word = u64::from_be_bytes(window);
+        word &= !(mask(bits) << tail);
+        word |= (value & mask(bits)) << tail;
+        buf[first..=last].copy_from_slice(&word.to_be_bytes()[8 - span..]);
+    } else {
+        let mut window = [0u8; 16];
+        window[16 - span..].copy_from_slice(&buf[first..=last]);
+        let mut word = u128::from_be_bytes(window);
+        word &= !((mask(bits) as u128) << tail);
+        word |= ((value & mask(bits)) as u128) << tail;
+        buf[first..=last].copy_from_slice(&word.to_be_bytes()[16 - span..]);
     }
+}
+
+/// All-ones mask for the low `bits` bits (`bits` in `1..=64`).
+fn mask(bits: u32) -> u64 {
+    u64::MAX >> (64 - bits)
 }
 
 #[cfg(test)]

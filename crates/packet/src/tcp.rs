@@ -6,7 +6,7 @@
 
 use std::sync::{Arc, OnceLock};
 
-use crate::{FormatSpec, Header, PacketError};
+use crate::{FieldRef, FormatSpec, Header, PacketError};
 
 /// The TCP header in the SNAKE header description language.
 ///
@@ -40,6 +40,52 @@ pub fn tcp_spec() -> Arc<FormatSpec> {
     Arc::clone(SPEC.get_or_init(|| {
         Arc::new(crate::parse_spec(TCP_HEADER_DESCRIPTION).expect("built-in TCP spec is valid"))
     }))
+}
+
+/// Pre-resolved [`FieldRef`]s for every TCP header field the engine reads
+/// per packet. Resolving by name costs a string-keyed hash lookup; the TCP
+/// engine and proxy parse headers for every delivered packet, so the refs
+/// are resolved once and reused.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct TcpRefs {
+    pub src_port: FieldRef,
+    pub dst_port: FieldRef,
+    pub seq: FieldRef,
+    pub ack: FieldRef,
+    pub data_offset: FieldRef,
+    pub urg: FieldRef,
+    pub ack_flag: FieldRef,
+    pub psh: FieldRef,
+    pub rst: FieldRef,
+    pub syn: FieldRef,
+    pub fin: FieldRef,
+    pub window: FieldRef,
+    pub checksum: FieldRef,
+    pub urgent_ptr: FieldRef,
+}
+
+pub(crate) fn tcp_refs() -> &'static TcpRefs {
+    static REFS: OnceLock<TcpRefs> = OnceLock::new();
+    REFS.get_or_init(|| {
+        let spec = tcp_spec();
+        let f = |name| spec.field(name).expect("tcp spec field");
+        TcpRefs {
+            src_port: f("src_port"),
+            dst_port: f("dst_port"),
+            seq: f("seq"),
+            ack: f("ack"),
+            data_offset: f("data_offset"),
+            urg: f("urg"),
+            ack_flag: f("ack_flag"),
+            psh: f("psh"),
+            rst: f("rst"),
+            syn: f("syn"),
+            fin: f("fin"),
+            window: f("window"),
+            checksum: f("checksum"),
+            urgent_ptr: f("urgent_ptr"),
+        }
+    })
 }
 
 /// TCP control flags as a compact value type.
@@ -284,46 +330,63 @@ impl<'a> TcpView<'a> {
         Ok(TcpView { buf })
     }
 
-    fn get(&self, name: &str) -> u64 {
-        let spec = tcp_spec();
-        let f = spec.field(name).expect("tcp spec field");
-        spec.get(self.buf, f).expect("length checked in new")
+    fn get(&self, field: FieldRef) -> u64 {
+        tcp_spec()
+            .get(self.buf, field)
+            .expect("length checked in new")
     }
 
     /// Source port.
     pub fn src_port(&self) -> u16 {
-        self.get("src_port") as u16
+        self.get(tcp_refs().src_port) as u16
     }
 
     /// Destination port.
     pub fn dst_port(&self) -> u16 {
-        self.get("dst_port") as u16
+        self.get(tcp_refs().dst_port) as u16
     }
 
     /// Sequence number.
     pub fn seq(&self) -> u32 {
-        self.get("seq") as u32
+        self.get(tcp_refs().seq) as u32
     }
 
     /// Acknowledgment number.
     pub fn ack(&self) -> u32 {
-        self.get("ack") as u32
+        self.get(tcp_refs().ack) as u32
+    }
+
+    /// Header length in 32-bit words (`5` on every packet the simulation
+    /// builds; anything else means the field was mutated in flight).
+    pub fn data_offset(&self) -> u8 {
+        self.get(tcp_refs().data_offset) as u8
     }
 
     /// Receive window.
     pub fn window(&self) -> u16 {
-        self.get("window") as u16
+        self.get(tcp_refs().window) as u16
+    }
+
+    /// Checksum field (`0` on every packet the simulation builds).
+    pub fn checksum(&self) -> u16 {
+        self.get(tcp_refs().checksum) as u16
+    }
+
+    /// Urgent pointer.
+    pub fn urgent_ptr(&self) -> u16 {
+        self.get(tcp_refs().urgent_ptr) as u16
     }
 
     /// Control flags.
     pub fn flags(&self) -> TcpFlags {
+        let r = tcp_refs();
         TcpFlags {
-            urg: self.get("urg") == 1,
-            ack: self.get("ack_flag") == 1,
-            psh: self.get("psh") == 1,
-            rst: self.get("rst") == 1,
-            syn: self.get("syn") == 1,
-            fin: self.get("fin") == 1,
+            urg: self.get(r.urg) == 1,
+            ack: self.get(r.ack_flag) == 1,
+            psh: self.get(r.psh) == 1,
+            rst: self.get(r.rst) == 1,
+            syn: self.get(r.syn) == 1,
+            fin: self.get(r.fin) == 1,
         }
     }
 }
@@ -337,6 +400,7 @@ pub struct TcpBuilder {
     seq: u32,
     ack: u32,
     window: u16,
+    urgent_ptr: u16,
     flags: TcpFlags,
 }
 
@@ -349,6 +413,7 @@ impl TcpBuilder {
             seq: 0,
             ack: 0,
             window: 65_535,
+            urgent_ptr: 0,
             flags: TcpFlags::none(),
         }
     }
@@ -377,23 +442,36 @@ impl TcpBuilder {
         self
     }
 
+    /// Sets the urgent pointer.
+    pub fn urgent_ptr(mut self, urgent_ptr: u16) -> Self {
+        self.urgent_ptr = urgent_ptr;
+        self
+    }
+
     /// Builds the header bytes.
     pub fn build(self) -> Header {
         let spec = tcp_spec();
         let mut h = spec.new_header();
-        // Unwraps are fine: field names and ranges are static.
-        h.set("src_port", self.src_port as u64).expect("in range");
-        h.set("dst_port", self.dst_port as u64).expect("in range");
-        h.set("seq", self.seq as u64).expect("in range");
-        h.set("ack", self.ack as u64).expect("in range");
-        h.set("data_offset", 5).expect("in range");
-        h.set("window", self.window as u64).expect("in range");
-        h.set("urg", self.flags.urg as u64).expect("in range");
-        h.set("ack_flag", self.flags.ack as u64).expect("in range");
-        h.set("psh", self.flags.psh as u64).expect("in range");
-        h.set("rst", self.flags.rst as u64).expect("in range");
-        h.set("syn", self.flags.syn as u64).expect("in range");
-        h.set("fin", self.flags.fin as u64).expect("in range");
+        let r = tcp_refs();
+        // Unwraps are fine: the refs are resolved from this spec and every
+        // value fits its field.
+        h.set_ref(r.src_port, self.src_port as u64)
+            .expect("in range");
+        h.set_ref(r.dst_port, self.dst_port as u64)
+            .expect("in range");
+        h.set_ref(r.seq, self.seq as u64).expect("in range");
+        h.set_ref(r.ack, self.ack as u64).expect("in range");
+        h.set_ref(r.data_offset, 5).expect("in range");
+        h.set_ref(r.window, self.window as u64).expect("in range");
+        h.set_ref(r.urgent_ptr, self.urgent_ptr as u64)
+            .expect("in range");
+        h.set_ref(r.urg, self.flags.urg as u64).expect("in range");
+        h.set_ref(r.ack_flag, self.flags.ack as u64)
+            .expect("in range");
+        h.set_ref(r.psh, self.flags.psh as u64).expect("in range");
+        h.set_ref(r.rst, self.flags.rst as u64).expect("in range");
+        h.set_ref(r.syn, self.flags.syn as u64).expect("in range");
+        h.set_ref(r.fin, self.flags.fin as u64).expect("in range");
         h
     }
 }

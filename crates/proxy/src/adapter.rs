@@ -24,9 +24,17 @@ pub struct InjectContext {
 /// into the type labels the state machine speaks, and how to fabricate
 /// packets for injection. One adapter per protocol; everything else in the
 /// proxy is generic.
-pub trait ProtocolAdapter: std::fmt::Debug + 'static {
+///
+/// The `Send + Sync` bounds come with the proxy being a
+/// [`Tap`](snake_netsim::Tap), so paused simulator snapshots can be shared
+/// across executor threads; `clone_adapter` makes the proxy forkable.
+pub trait ProtocolAdapter: std::fmt::Debug + Send + Sync + 'static {
     /// The wire protocol this adapter handles.
     fn protocol(&self) -> Protocol;
+
+    /// Deep-clones the adapter as a boxed trait object (adapters are
+    /// stateless, so this is cheap).
+    fn clone_adapter(&self) -> Box<dyn ProtocolAdapter>;
 
     /// The header format spec.
     fn spec(&self) -> Arc<FormatSpec>;
@@ -41,8 +49,9 @@ pub trait ProtocolAdapter: std::fmt::Debug + 'static {
     fn server_initial(&self) -> &'static str;
 
     /// Classifies a packet into a type label (`None` for unparseable
-    /// headers, which are forwarded untouched and untracked).
-    fn classify(&self, header: &[u8], payload_len: u32) -> Option<String>;
+    /// headers, which are forwarded untouched and untracked). Labels are
+    /// `&'static str` so the per-packet hot path never allocates.
+    fn classify(&self, header: &[u8], payload_len: u32) -> Option<&'static str>;
 
     /// Packet types worth injecting, by label.
     fn injectable_types(&self) -> &'static [&'static str];
@@ -79,6 +88,10 @@ impl ProtocolAdapter for TcpAdapter {
         Protocol::Tcp
     }
 
+    fn clone_adapter(&self) -> Box<dyn ProtocolAdapter> {
+        Box::new(*self)
+    }
+
     fn spec(&self) -> Arc<FormatSpec> {
         tcp_spec()
     }
@@ -95,13 +108,9 @@ impl ProtocolAdapter for TcpAdapter {
         "LISTEN"
     }
 
-    fn classify(&self, header: &[u8], payload_len: u32) -> Option<String> {
+    fn classify(&self, header: &[u8], payload_len: u32) -> Option<&'static str> {
         let view = TcpView::new(header).ok()?;
-        Some(
-            TcpPacketType::classify(view.flags(), payload_len)
-                .label()
-                .to_owned(),
-        )
+        Some(TcpPacketType::classify(view.flags(), payload_len).label())
     }
 
     fn injectable_types(&self) -> &'static [&'static str] {
@@ -149,6 +158,10 @@ impl ProtocolAdapter for DccpAdapter {
         Protocol::Dccp
     }
 
+    fn clone_adapter(&self) -> Box<dyn ProtocolAdapter> {
+        Box::new(*self)
+    }
+
     fn spec(&self) -> Arc<FormatSpec> {
         dccp_spec()
     }
@@ -165,9 +178,9 @@ impl ProtocolAdapter for DccpAdapter {
         "LISTEN"
     }
 
-    fn classify(&self, header: &[u8], _payload_len: u32) -> Option<String> {
+    fn classify(&self, header: &[u8], _payload_len: u32) -> Option<&'static str> {
         let view = DccpView::new(header).ok()?;
-        Some(view.packet_type()?.label().to_owned())
+        Some(view.packet_type()?.label())
     }
 
     fn injectable_types(&self) -> &'static [&'static str] {

@@ -32,7 +32,7 @@ mod proxy;
 mod strategy;
 
 pub use adapter::{DccpAdapter, InjectContext, ProtocolAdapter, TcpAdapter};
-pub use proxy::{AttackProxy, ProxyConfig, ProxyReport};
+pub use proxy::{AttackProxy, ProxyConfig, ProxyReport, StateTimeline};
 pub use strategy::{
     BasicAttack, Endpoint, InjectDirection, InjectionAttack, SeqChoice, Strategy, StrategyKind,
 };

@@ -64,7 +64,24 @@ pub struct ProxyReport {
     pub server_final_state: String,
 }
 
-#[derive(Debug)]
+/// First-occurrence times of trigger-visible observations in a baseline
+/// (no-attack) run, recorded when [`AttackProxy::record_timeline`] is on.
+///
+/// The snapshot-fork executor uses this to place forks: a strategy's
+/// trigger cannot activate before the first time its key appears here, so
+/// forking the baseline snapshot strictly before that time yields a run
+/// identical to executing the strategy from scratch.
+#[derive(Debug, Clone, Default)]
+pub struct StateTimeline {
+    /// First time each `(endpoint, state)` pair became visible to the
+    /// `OnState` trigger check (which runs after every observed packet).
+    pub states: HashMap<(Endpoint, String), SimTime>,
+    /// First time each `(sender endpoint, sender pre-transition state,
+    /// packet type)` triple was seen by the `OnPacket` match.
+    pub packets: HashMap<(Endpoint, String, String), SimTime>,
+}
+
+#[derive(Debug, Clone)]
 struct InjectionRun {
     packet_type: String,
     direction: InjectDirection,
@@ -100,7 +117,32 @@ pub struct AttackProxy {
     /// Per-rule injection state (index-aligned with `rules`).
     started: Vec<bool>,
     injections: Vec<Option<InjectionRun>>,
+    /// Baseline trigger timeline, recorded only when enabled.
+    timeline: Option<StateTimeline>,
     report: ProxyReport,
+}
+
+impl Clone for AttackProxy {
+    fn clone(&self) -> AttackProxy {
+        AttackProxy {
+            adapter: self.adapter.clone_adapter(),
+            config: self.config,
+            rules: self.rules.clone(),
+            trackers: self.trackers.clone(),
+            by_conn: self.by_conn.clone(),
+            rng: self.rng.clone(),
+            observed_client: self.observed_client,
+            observed_server: self.observed_server,
+            packets_from_client: self.packets_from_client,
+            packets_from_server: self.packets_from_server,
+            batch: self.batch.clone(),
+            batch_armed: self.batch_armed,
+            started: self.started.clone(),
+            injections: self.injections.clone(),
+            timeline: self.timeline.clone(),
+            report: self.report.clone(),
+        }
+    }
 }
 
 impl AttackProxy {
@@ -139,8 +181,36 @@ impl AttackProxy {
             batch_armed: false,
             started: vec![false; n],
             injections: (0..n).map(|_| None).collect(),
+            timeline: None,
             report: ProxyReport::default(),
         }
+    }
+
+    /// Replaces the active rule set, resetting per-rule trigger state while
+    /// keeping every observation (trackers, counters, report) intact.
+    ///
+    /// This is how the snapshot-fork executor arms a strategy inside a
+    /// forked baseline: the fork already carries the prefix's observations,
+    /// and the new rules start matching from the next packet on. It does
+    /// *not* re-run [`Tap::on_start`], so `AtTime` rules (armed by a timer
+    /// at simulation start) must not be installed this way — the executor
+    /// runs those from scratch.
+    pub fn install_rules(&mut self, rules: Vec<Strategy>) {
+        let n = rules.len();
+        self.rules = rules;
+        self.started = vec![false; n];
+        self.injections = (0..n).map(|_| None).collect();
+    }
+
+    /// Enables baseline trigger-timeline recording (off by default; costs
+    /// a hash lookup per packet, so only observation runs turn it on).
+    pub fn record_timeline(&mut self) {
+        self.timeline = Some(StateTimeline::default());
+    }
+
+    /// The recorded baseline trigger timeline, if recording was enabled.
+    pub fn timeline(&self) -> Option<&StateTimeline> {
+        self.timeline.as_ref()
     }
 
     /// The report accumulated so far (final after the run ends).
@@ -209,34 +279,34 @@ impl AttackProxy {
     }
 
     /// Starts any not-yet-started injection rule whose trigger endpoint is
-    /// now in its trigger state.
+    /// now in its trigger state. Runs after every observed packet, so the
+    /// non-triggering pass must not allocate or clone.
     fn maybe_trigger_injection(&mut self, ctx: &mut TapCtx<'_>) {
         for i in 0..self.rules.len() {
             if self.started[i] {
                 continue;
             }
-            let Strategy {
-                kind:
-                    StrategyKind::OnState {
-                        endpoint,
-                        state,
-                        attack,
-                    },
-                ..
-            } = self.rules[i].clone()
+            let StrategyKind::OnState {
+                endpoint, state, ..
+            } = &self.rules[i].kind
             else {
                 continue;
             };
+            let endpoint = *endpoint;
             let in_state = self.trackers.iter().any(|(_, t)| {
                 let current = match endpoint {
                     Endpoint::Client => t.client().current_name(),
                     Endpoint::Server => t.server().current_name(),
                 };
-                current == state
+                current == state.as_str()
             });
             if !in_state {
                 continue;
             }
+            let attack = match &self.rules[i].kind {
+                StrategyKind::OnState { attack, .. } => attack.clone(),
+                _ => unreachable!(),
+            };
             self.started[i] = true;
             self.injections[i] = Some(self.make_run(attack));
             self.injection_tick(i, ctx);
@@ -371,11 +441,11 @@ impl AttackProxy {
             }
             BasicAttack::Lie { field, mutation } => {
                 let spec = self.adapter.spec();
-                if let Ok(mut header) = spec.parse(std::mem::take(&mut packet.header)) {
+                if let Ok(mut header) = spec.parse(std::mem::take(&mut packet.header).into_vec()) {
                     if mutation.apply(&mut header, field, &mut self.rng).is_ok() {
                         self.report.lied += 1;
                     }
-                    packet.header = header.into_bytes();
+                    packet.header = header.into_bytes().into();
                 }
                 ctx.forward(packet, toward_b);
             }
@@ -384,6 +454,10 @@ impl AttackProxy {
 }
 
 impl Tap for AttackProxy {
+    fn boxed_clone(&self) -> Option<Box<dyn snake_netsim::Tap>> {
+        Some(Box::new(self.clone()))
+    }
+
     fn on_start(&mut self, ctx: &mut TapCtx<'_>) {
         // Time-interval baseline rules are armed against the wall clock.
         for (i, rule) in self.rules.iter().enumerate() {
@@ -437,35 +511,63 @@ impl Tap for AttackProxy {
             (packet.dst, packet.src)
         };
         let idx = self.tracker_index(key);
-        let tracker = &mut self.trackers[idx].1;
         let sender = if from_client {
             Endpoint::Client
         } else {
             Endpoint::Server
         };
-        let sender_state = match sender {
-            Endpoint::Client => tracker.client().current_name().to_owned(),
-            Endpoint::Server => tracker.server().current_name().to_owned(),
-        };
-        tracker.observe_packet(from_client, &ptype, ctx.now().as_nanos());
-        self.maybe_trigger_injection(ctx);
-
-        let matched = self.rules.iter().find_map(|rule| match &rule.kind {
-            StrategyKind::OnPacket {
-                endpoint,
-                state,
-                packet_type,
-                attack,
-            } if *endpoint == sender && *state == sender_state && *packet_type == ptype => {
-                Some(attack.clone())
+        // Rule matching is pure, so it runs against the borrowed state name
+        // before the observe step — no per-packet String clone.
+        let matched = {
+            let tracker = &self.trackers[idx].1;
+            let sender_state = match sender {
+                Endpoint::Client => tracker.client().current_name(),
+                Endpoint::Server => tracker.server().current_name(),
+            };
+            if let Some(tl) = self.timeline.as_mut() {
+                let now = ctx.now();
+                tl.packets
+                    .entry((sender, sender_state.to_owned(), ptype.to_owned()))
+                    .or_insert(now);
             }
-            StrategyKind::OnNthPacket {
-                endpoint,
-                n,
-                attack,
-            } if *endpoint == sender && *n == sender_count => Some(attack.clone()),
-            _ => None,
-        });
+            self.rules.iter().find_map(|rule| match &rule.kind {
+                StrategyKind::OnPacket {
+                    endpoint,
+                    state,
+                    packet_type,
+                    attack,
+                } if *endpoint == sender
+                    && state.as_str() == sender_state
+                    && packet_type.as_str() == ptype =>
+                {
+                    Some(attack.clone())
+                }
+                StrategyKind::OnNthPacket {
+                    endpoint,
+                    n,
+                    attack,
+                } if *endpoint == sender && *n == sender_count => Some(attack.clone()),
+                _ => None,
+            })
+        };
+        self.trackers[idx]
+            .1
+            .observe_packet(from_client, ptype, ctx.now().as_nanos());
+        self.maybe_trigger_injection(ctx);
+        if let Some(tl) = self.timeline.as_mut() {
+            // The OnState trigger check sees post-transition states; record
+            // first visibility for both endpoints of this connection.
+            let tracker = &self.trackers[idx].1;
+            let now = ctx.now();
+            for (endpoint, t) in [
+                (Endpoint::Client, tracker.client()),
+                (Endpoint::Server, tracker.server()),
+            ] {
+                tl.states
+                    .entry((endpoint, t.current_name().to_owned()))
+                    .or_insert(now);
+            }
+        }
         match matched {
             Some(attack) => self.apply_basic(ctx, &attack, packet, toward_b),
             None => ctx.forward(packet, toward_b),

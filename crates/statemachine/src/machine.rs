@@ -94,6 +94,10 @@ pub struct StateMachine {
     states: Vec<String>,
     by_name: HashMap<String, StateId>,
     transitions: Vec<Transition>,
+    /// Per-state, per-direction transition index: `step_table[state][dir]`
+    /// maps packet type → destination. `step` is called for every tracker
+    /// on every proxied packet, so it must not scan `transitions`.
+    step_table: Vec<[HashMap<String, StateId>; 2]>,
 }
 
 impl StateMachine {
@@ -134,11 +138,22 @@ impl StateMachine {
                 event,
             });
         }
+        let mut step_table: Vec<[HashMap<String, StateId>; 2]> = states
+            .iter()
+            .map(|_| [HashMap::new(), HashMap::new()])
+            .collect();
+        for t in &transitions {
+            // First matching transition wins, same as the old linear scan.
+            step_table[t.from.0][t.event.dir as usize]
+                .entry(t.event.packet_type.clone())
+                .or_insert(t.to);
+        }
         Ok(Arc::new(StateMachine {
             name: name.into(),
             states,
             by_name,
             transitions,
+            step_table,
         }))
     }
 
@@ -188,10 +203,9 @@ impl StateMachine {
     /// Finds the destination of the first transition out of `from` matching
     /// the event, or `None` (implicit self-loop).
     pub fn step(&self, from: StateId, dir: Dir, packet_type: &str) -> Option<StateId> {
-        self.transitions
-            .iter()
-            .find(|t| t.from == from && t.event.dir == dir && t.event.packet_type == packet_type)
-            .map(|t| t.to)
+        self.step_table[from.0][dir as usize]
+            .get(packet_type)
+            .copied()
     }
 
     /// Renders the machine back to dot, suitable for graphviz. Internal

@@ -90,7 +90,13 @@ impl Tracker {
             Dir::Send => &mut stats.sent,
             Dir::Recv => &mut stats.recv,
         };
-        *bucket.entry(packet_type.to_owned()).or_insert(0) += 1;
+        // get_mut first: after the first packet of each type the count
+        // bumps without allocating a key String (this runs per packet).
+        if let Some(count) = bucket.get_mut(packet_type) {
+            *count += 1;
+        } else {
+            bucket.insert(packet_type.to_owned(), 1);
+        }
 
         if let Some(next) = self.machine.step(self.current, dir, packet_type) {
             if next != self.current {

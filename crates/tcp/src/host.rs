@@ -100,7 +100,7 @@ enum AppKind {
     ServerBulk { bytes: u64 },
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct ConnSlot {
     conn: Connection,
     local_port: u16,
@@ -119,7 +119,7 @@ struct ConnectPlan {
 /// table, listeners, and the client/server applications of the evaluation
 /// workload. Implements [`Agent`] so it can be installed on any simulator
 /// node.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct TcpHost {
     profile: Profile,
     conns: Vec<ConnSlot>,
@@ -298,15 +298,13 @@ impl TcpHost {
 
 /// Encodes an outbound segment as a wire packet.
 fn build_packet(src: Addr, dst: Addr, seg: &Seg) -> Packet {
-    let mut header = TcpBuilder::new(src.port, dst.port)
+    let header = TcpBuilder::new(src.port, dst.port)
         .seq(seg.seq)
         .ack(seg.ack)
         .window(seg.window)
         .flags(seg.flags)
+        .urgent_ptr(seg.urgent_ptr)
         .build();
-    header
-        .set("urgent_ptr", seg.urgent_ptr as u64)
-        .expect("in range");
     Packet::new(
         src,
         dst,
@@ -322,16 +320,14 @@ fn build_packet(src: Addr, dst: Addr, seg: &Seg) -> Packet {
 /// structural lie mutations into connection-establishment denial.
 fn parse_packet(pkt: &Packet) -> Option<Seg> {
     let view = TcpView::new(&pkt.header).ok()?;
-    let spec = snake_packet::tcp::tcp_spec();
-    let hdr = spec.parse(pkt.header.clone()).ok()?;
     // A real stack validates the header length and checksum before
     // processing. The simulation writes data_offset=5 and checksum=0 on
     // legitimate packets, so any other value means the field was mutated
     // in flight.
-    if hdr.get("data_offset").ok()? != 5 {
+    if view.data_offset() != 5 {
         return None;
     }
-    if hdr.get("checksum").ok()? != 0 {
+    if view.checksum() != 0 {
         return None;
     }
     Some(Seg {
@@ -339,12 +335,16 @@ fn parse_packet(pkt: &Packet) -> Option<Seg> {
         ack: view.ack(),
         flags: view.flags(),
         window: view.window(),
-        urgent_ptr: hdr.get("urgent_ptr").ok()? as u16,
+        urgent_ptr: view.urgent_ptr(),
         payload_len: pkt.payload_len,
     })
 }
 
 impl Agent for TcpHost {
+    fn boxed_clone(&self) -> Option<Box<dyn Agent>> {
+        Some(Box::new(self.clone()))
+    }
+
     fn on_start(&mut self, ctx: &mut Ctx<'_>) {
         let plans = self.plans.clone();
         for (i, plan) in plans.iter().enumerate() {

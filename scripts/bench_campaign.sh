@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# Campaign throughput benchmark, end to end.
+#
+# Times the quick TCP Linux-3.13 campaign (200-strategy cap) two-and-a-half
+# ways and writes BENCH_campaign.json at the repo root:
+#
+#   1. snapshot-fork executor (current tree)      — the default runtime
+#   2. from-scratch executor  (current tree)      — same binary, forking off
+#   3. from-scratch executor  (pre-snapshot-fork) — the executor as it was
+#      before forked execution existed, built from PRE_PR_REF in a
+#      throwaway worktree using scripts/prepr_campaign.rs
+#
+# (1) and (2) come from the `campaign_throughput` bench; (3) is measured
+# here and handed to the bench via SNAKE_PRE_PR_WALL_SECS so the JSON can
+# record the cross-commit speedup alongside the same-binary one. If the
+# comparator commit is unreachable (shallow clone) the script degrades to
+# the same-binary comparison only.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+# The last commit before snapshot-fork execution landed: every strategy ran
+# from scratch and the event-loop hot path still cloned per hop.
+PRE_PR_REF="${PRE_PR_REF:-a80cb1c638d462aa5182061c4868d712e1f13e12}"
+WORKTREE=.bench-prepr
+
+pre_pr_secs=""
+if git rev-parse --verify --quiet "${PRE_PR_REF}^{commit}" >/dev/null; then
+    trap 'git worktree remove --force "$WORKTREE" 2>/dev/null || true' EXIT
+    git worktree add --force "$WORKTREE" "$PRE_PR_REF"
+    mkdir -p "$WORKTREE/crates/core/examples"
+    cp scripts/prepr_campaign.rs "$WORKTREE/crates/core/examples/prepr_campaign.rs"
+    (cd "$WORKTREE" && cargo build --release --example prepr_campaign)
+    pre_pr_secs=$("$WORKTREE/target/release/examples/prepr_campaign" \
+        | sed -n 's/^PRE_PR_WALL_SECS=//p')
+    echo "pre-PR from-scratch executor (${PRE_PR_REF:0:12}): ${pre_pr_secs}s"
+else
+    echo "warning: comparator commit $PRE_PR_REF not found; skipping" >&2
+fi
+
+SNAKE_PRE_PR_WALL_SECS="$pre_pr_secs" \
+SNAKE_PRE_PR_COMMIT="$PRE_PR_REF" \
+    cargo bench -p snake-bench --bench campaign_throughput

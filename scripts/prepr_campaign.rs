@@ -1,0 +1,51 @@
+//! Pre-snapshot-fork comparator harness for `scripts/bench_campaign.sh`.
+//!
+//! This file is compiled *inside a git worktree of an older commit* (the
+//! executor as it existed before snapshot-fork execution landed) and runs
+//! the same campaign the `campaign_throughput` bench times: quick TCP
+//! Linux 3.13, 200-strategy cap, one parameterisation per basic attack.
+//! It prints a single machine-readable line the script scrapes:
+//!
+//! ```text
+//! PRE_PR_WALL_SECS=<min wall-clock over 3 runs>
+//! ```
+//!
+//! Only APIs that predate the snapshot-fork executor are used, so the
+//! harness compiles against both the old and the current tree.
+
+use std::time::Instant;
+
+use snake_core::{Campaign, CampaignConfig, GenerationParams, ProtocolKind, ScenarioSpec};
+use snake_tcp::Profile;
+
+fn config(max_strategies: usize) -> CampaignConfig {
+    let spec = ScenarioSpec::quick(ProtocolKind::Tcp(Profile::linux_3_13()));
+    CampaignConfig {
+        max_strategies: Some(max_strategies),
+        params: GenerationParams {
+            drop_percents: vec![100],
+            duplicate_copies: vec![2],
+            delay_secs: vec![1.0],
+            batch_secs: vec![4.0],
+            ..GenerationParams::default()
+        },
+        feedback_rounds: 2,
+        retest: false,
+        ..CampaignConfig::new(spec)
+    }
+}
+
+fn main() {
+    // Warm up the allocator and page cache outside the timed region, same
+    // as the bench proper.
+    Campaign::run(config(8)).expect("valid baseline");
+    let mut best = f64::INFINITY;
+    for _ in 0..3 {
+        let start = Instant::now();
+        let result = Campaign::run(config(200)).expect("valid baseline");
+        let secs = start.elapsed().as_secs_f64();
+        eprintln!("pre-PR campaign: {secs:.2}s ({} strategies)", result.outcomes.len());
+        best = best.min(secs);
+    }
+    println!("PRE_PR_WALL_SECS={best}");
+}

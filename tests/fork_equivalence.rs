@@ -1,0 +1,144 @@
+//! Snapshot-fork equivalence: executing a strategy by forking a baseline
+//! snapshot must be indistinguishable — bit for bit, including the proxy
+//! report and the simulator event count — from executing it from scratch.
+//! This is the correctness contract of `PlannedExecutor`; the campaign
+//! turns it on by default, so any divergence here would silently change
+//! campaign results.
+
+use snake_core::{
+    generate_strategies, Executor, GenerationParams, PlannedExecutor, ProtocolKind, ScenarioSpec,
+};
+use snake_dccp::DccpProfile;
+use snake_proxy::{BasicAttack, Endpoint, Strategy, StrategyKind};
+use snake_tcp::Profile;
+
+/// Every implementation profile the repo ships.
+fn all_protocols() -> Vec<ProtocolKind> {
+    let mut out: Vec<ProtocolKind> = Profile::all().into_iter().map(ProtocolKind::Tcp).collect();
+    out.push(ProtocolKind::Dccp(DccpProfile::linux_3_13()));
+    out.push(ProtocolKind::Dccp(DccpProfile::linux_3_13_seqcheck_fixed()));
+    out
+}
+
+/// A small, deterministic, kind-diverse sample of generated strategies:
+/// the first strategy of each `StrategyKind` variant plus an even stride
+/// over the rest, so every dispatch path (fork, from-scratch, elide) gets
+/// exercised without running the full generated set.
+fn sample_strategies(
+    spec: &ScenarioSpec,
+    baseline_proxy: &snake_proxy::ProxyReport,
+    take: usize,
+) -> Vec<Strategy> {
+    let mut next_id = 0;
+    let mut seen = std::collections::BTreeSet::new();
+    let generated = generate_strategies(
+        &spec.protocol,
+        &[baseline_proxy],
+        &GenerationParams::default(),
+        &mut next_id,
+        &mut seen,
+    );
+    assert!(!generated.is_empty(), "generator produced no strategies");
+    let mut sample: Vec<Strategy> = Vec::new();
+    for variant in 0..4 {
+        let found = generated.iter().find(|s| {
+            matches!(
+                (&s.kind, variant),
+                (StrategyKind::OnPacket { .. }, 0)
+                    | (StrategyKind::OnState { .. }, 1)
+                    | (StrategyKind::AtTime { .. }, 2)
+                    | (StrategyKind::OnNthPacket { .. }, 3)
+            )
+        });
+        if let Some(s) = found {
+            sample.push(s.clone());
+        }
+    }
+    let stride = (generated.len() / take.max(1)).max(1);
+    for s in generated.iter().step_by(stride).take(take) {
+        if !sample.iter().any(|have| have.id == s.id) {
+            sample.push(s.clone());
+        }
+    }
+    sample
+}
+
+#[test]
+fn forked_runs_match_from_scratch_on_every_profile() {
+    for protocol in all_protocols() {
+        let spec = ScenarioSpec::quick(protocol);
+        let name = spec.protocol.implementation_name();
+        let exec = PlannedExecutor::new(&spec, true);
+        assert!(
+            exec.snapshot_count() > 0,
+            "{name}: baseline saw state transitions, so the plan must hold snapshots"
+        );
+        assert_eq!(
+            *exec.baseline(),
+            Executor::run(&spec, None),
+            "{name}: planned baseline differs from a plain baseline run"
+        );
+        for strategy in sample_strategies(&spec, &exec.baseline().proxy, 5) {
+            let label = strategy.describe();
+            let forked = exec.run(Some(strategy.clone()));
+            let scratch = Executor::run(&spec, Some(strategy));
+            assert_eq!(
+                forked, scratch,
+                "{name}: fork/scratch divergence for `{label}`"
+            );
+        }
+    }
+}
+
+#[test]
+fn forked_combination_runs_match_from_scratch() {
+    let spec = ScenarioSpec::quick(ProtocolKind::Tcp(Profile::linux_3_13()));
+    let exec = PlannedExecutor::new(&spec, true);
+    let sample = sample_strategies(&spec, &exec.baseline().proxy, 6);
+    // Pair strategies up so the fork point is the min of two trigger times.
+    for pair in sample.chunks(2) {
+        let rules: Vec<Strategy> = pair.to_vec();
+        let labels: Vec<String> = rules.iter().map(|s| s.describe()).collect();
+        let forked = exec.run_combination(rules.clone());
+        let scratch = Executor::run_combination(&spec, rules);
+        assert_eq!(forked, scratch, "combination divergence for {labels:?}");
+    }
+}
+
+#[test]
+fn never_triggering_strategy_is_elided_to_the_baseline() {
+    let spec = ScenarioSpec::quick(ProtocolKind::Tcp(Profile::linux_3_13()));
+    let exec = PlannedExecutor::new(&spec, true);
+    // A TCP client never receives a SYN in the baseline dumbbell, so this
+    // rule's trigger key is absent from the timeline: the planner answers
+    // with the baseline metrics without running anything.
+    let strategy = Strategy {
+        id: 7777,
+        kind: StrategyKind::OnPacket {
+            endpoint: Endpoint::Client,
+            state: "ESTABLISHED".into(),
+            packet_type: "SYN".into(),
+            attack: BasicAttack::Drop { percent: 100 },
+        },
+    };
+    let elided = exec.run(Some(strategy.clone()));
+    assert_eq!(elided, *exec.baseline());
+    // ... and that answer is exactly what a real run would have produced.
+    assert_eq!(elided, Executor::run(&spec, Some(strategy)));
+}
+
+#[test]
+fn disabled_planner_still_matches() {
+    // snapshot_fork=false must be a pure pass-through to the old executor.
+    let spec = ScenarioSpec::quick(ProtocolKind::Dccp(DccpProfile::linux_3_13()));
+    let exec = PlannedExecutor::new(&spec, false);
+    assert_eq!(exec.snapshot_count(), 0);
+    let strategy = sample_strategies(&spec, &exec.baseline().proxy, 1)
+        .into_iter()
+        .next()
+        .expect("at least one strategy");
+    assert_eq!(
+        exec.run(Some(strategy.clone())),
+        Executor::run(&spec, Some(strategy))
+    );
+}

@@ -126,8 +126,11 @@ fn attack_run_feedback_covers_baseline_space() {
     // finds at least the baseline-visible space again.
     let mut seen = std::collections::BTreeSet::new();
     let mut next_id = 0;
-    let reports: Vec<&snake_proxy::ProxyReport> =
-        one.outcomes.iter().map(|o| &o.metrics.proxy).collect();
+    let reports: Vec<&snake_proxy::ProxyReport> = one
+        .outcomes
+        .iter()
+        .map(|o| o.metrics.proxy.as_ref())
+        .collect();
     let regen = generate_strategies(
         &ProtocolKind::Tcp(Profile::linux_3_13()),
         &reports,
