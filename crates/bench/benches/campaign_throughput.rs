@@ -1,15 +1,16 @@
-//! Campaign throughput: the same capped campaign run twice — once with the
-//! snapshot-fork executor (the default) and once strictly from scratch —
-//! timed wall-clock, with per-run simulator event counts summed from the
-//! outcomes. Emits `BENCH_campaign.json` at the workspace root so CI can
-//! archive the numbers, and prints the same figures to stdout.
+//! Campaign throughput: the same capped campaign run three ways — with
+//! memoization on top of the snapshot-fork executor (the default), with
+//! forking alone, and strictly from scratch — timed wall-clock, with
+//! per-run simulator event counts summed from the outcomes. Emits
+//! `BENCH_campaign.json` at the workspace root so CI can archive the
+//! numbers, and prints the same figures to stdout.
 //!
-//! The two campaigns must produce identical outcomes (fork equivalence);
-//! the bench asserts this, so it doubles as an end-to-end determinism
-//! check at full campaign scale.
+//! The three campaigns must produce identical outcomes (modulo the memo
+//! provenance markers); the bench asserts this, so it doubles as an
+//! end-to-end determinism check at full campaign scale.
 //!
 //! The same-binary from-scratch mode understates what forking bought: it
-//! still benefits from this change's event-loop work (inline header
+//! still benefits from the earlier event-loop work (inline header
 //! storage, `Arc`-shared reports, dead-timer purging). The full comparison
 //! is against the executor as it existed *before* any of that, which a
 //! single binary cannot contain — `scripts/bench_campaign.sh` measures
@@ -17,18 +18,24 @@
 //! wall-clock in via `SNAKE_PRE_PR_WALL_SECS`/`SNAKE_PRE_PR_COMMIT`; when
 //! set, the JSON gains a `pre_pr` block and the headline `speedup` is
 //! computed against it (falling back to the same-binary ratio otherwise).
+//!
+//! Each emission appends the run's headline figures to a `history` array
+//! carried over from the previous `BENCH_campaign.json`, so the committed
+//! file accumulates a trend line instead of overwriting it.
 
 use std::time::Instant;
 
 use snake_core::{
     Campaign, CampaignConfig, CampaignResult, GenerationParams, ProtocolKind, ScenarioSpec,
+    StrategyOutcome,
 };
 use snake_json::{obj, Value};
 use snake_tcp::Profile;
 
 const MAX_STRATEGIES: usize = 200;
+const HISTORY_CAP: usize = 50;
 
-fn config(snapshot_fork: bool) -> CampaignConfig {
+fn config(snapshot_fork: bool, memoize: bool) -> CampaignConfig {
     let spec = ScenarioSpec::quick(ProtocolKind::Tcp(Profile::linux_3_13()));
     CampaignConfig {
         max_strategies: Some(MAX_STRATEGIES),
@@ -47,13 +54,14 @@ fn config(snapshot_fork: bool) -> CampaignConfig {
         feedback_rounds: 2,
         retest: false,
         snapshot_fork,
+        memoize,
         ..CampaignConfig::new(spec)
     }
 }
 
-/// Simulator events the campaign processed: every outcome's run plus the
-/// baseline run. Identical between the two modes — the fork executor's
-/// whole point is reaching the same events without re-simulating them.
+/// Simulator events the campaign accounts for: every outcome's run plus
+/// the baseline run. Identical between the modes — memoized outcomes carry
+/// the representative's (or the baseline's) metrics, events included.
 fn events(result: &CampaignResult) -> u64 {
     result.baseline.sim_events
         + result
@@ -63,29 +71,68 @@ fn events(result: &CampaignResult) -> u64 {
             .sum::<u64>()
 }
 
+/// Outcomes with the memo provenance marker stripped: memoization records
+/// *how* an outcome was obtained, the equality contract is about *what*.
+fn stripped(result: &CampaignResult) -> Vec<StrategyOutcome> {
+    result
+        .outcomes
+        .iter()
+        .map(|o| StrategyOutcome {
+            memo: None,
+            ..o.clone()
+        })
+        .collect()
+}
+
 /// One timed campaign run.
-fn timed_once(snapshot_fork: bool) -> (CampaignResult, f64) {
+fn timed_once(snapshot_fork: bool, memoize: bool) -> (CampaignResult, f64) {
     let start = Instant::now();
-    let result = Campaign::run(config(snapshot_fork)).expect("valid baseline");
+    let result = Campaign::run(config(snapshot_fork, memoize)).expect("valid baseline");
     (result, start.elapsed().as_secs_f64())
 }
 
-/// Runs both modes `iters` times in alternation (so neither mode
+type Timed = (CampaignResult, f64);
+
+/// Runs all three modes `iters` times in alternation (so no mode
 /// systematically benefits from a warmer allocator) and keeps each mode's
 /// fastest wall-clock — the usual way to strip warmup noise from a
 /// single-figure benchmark.
-fn timed_pair(iters: usize) -> ((CampaignResult, f64), (CampaignResult, f64)) {
-    let mut forked: Option<(CampaignResult, f64)> = None;
-    let mut scratch: Option<(CampaignResult, f64)> = None;
+fn timed_trio(iters: usize) -> (Timed, Timed, Timed) {
+    let mut memoized: Option<Timed> = None;
+    let mut forked: Option<Timed> = None;
+    let mut scratch: Option<Timed> = None;
     for _ in 0..iters {
-        for (snapshot_fork, best) in [(true, &mut forked), (false, &mut scratch)] {
-            let (result, secs) = timed_once(snapshot_fork);
+        for (snapshot_fork, memoize, best) in [
+            (true, true, &mut memoized),
+            (true, false, &mut forked),
+            (false, false, &mut scratch),
+        ] {
+            let (result, secs) = timed_once(snapshot_fork, memoize);
             if best.as_ref().is_none_or(|(_, b)| secs < *b) {
                 *best = Some((result, secs));
             }
         }
     }
-    (forked.expect("iters >= 1"), scratch.expect("iters >= 1"))
+    (
+        memoized.expect("iters >= 1"),
+        forked.expect("iters >= 1"),
+        scratch.expect("iters >= 1"),
+    )
+}
+
+/// Loads the previous report's `history` array (if any) so this run can
+/// extend it rather than start over.
+fn load_history(path: &str) -> Vec<Value> {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    let Ok(previous) = snake_json::parse(&text) else {
+        return Vec::new();
+    };
+    match previous.get("history") {
+        Some(Value::Arr(entries)) => entries.clone(),
+        _ => Vec::new(),
+    }
 }
 
 fn main() {
@@ -93,19 +140,32 @@ fn main() {
     // Warm up caches and the allocator outside the timed region.
     let warmup = CampaignConfig {
         max_strategies: Some(8),
-        ..config(true)
+        ..config(true, true)
     };
     Campaign::run(warmup).expect("valid baseline");
 
-    let ((forked, forked_secs), (scratch, scratch_secs)) = timed_pair(3);
+    let ((memoized, memo_secs), (forked, forked_secs), (scratch, scratch_secs)) = timed_trio(3);
 
     assert_eq!(
         forked.outcomes, scratch.outcomes,
         "snapshot-fork campaign must reproduce the from-scratch campaign exactly"
     );
+    assert_eq!(
+        stripped(&memoized),
+        stripped(&forked),
+        "memoized campaign must reproduce the unmemoized campaign exactly"
+    );
 
-    let n = forked.strategies_tried() as f64;
-    let same_binary_speedup = scratch_secs / forked_secs;
+    let n = memoized.strategies_tried() as f64;
+    let memo_hits = memoized.memo_hits as u64;
+    let short_circuits = memoized.short_circuits as u64;
+    assert!(
+        memo_hits > 0 && short_circuits > 0,
+        "the benchmark campaign must exercise both memoization layers \
+         ({memo_hits} memo hits, {short_circuits} short-circuits)"
+    );
+    let same_binary_speedup = scratch_secs / memo_secs;
+    let speedup_memo = forked_secs / memo_secs;
     let pre_pr = std::env::var("SNAKE_PRE_PR_WALL_SECS")
         .ok()
         .and_then(|s| s.parse::<f64>().ok())
@@ -114,42 +174,60 @@ fn main() {
             (commit, secs)
         });
     let speedup = match &pre_pr {
-        Some((_, secs)) => secs / forked_secs,
+        Some((_, secs)) => secs / memo_secs,
         None => same_binary_speedup,
     };
+
+    let mode_block = |result: &CampaignResult, secs: f64| {
+        obj([
+            ("wall_clock_secs", Value::F64(secs)),
+            ("strategies_per_sec", Value::F64(n / secs)),
+            ("events_per_sec", Value::F64(events(result) as f64 / secs)),
+            ("sim_events", Value::U64(events(result))),
+        ])
+    };
+    let mut memo_block = mode_block(&memoized, memo_secs);
+    if let Value::Obj(pairs) = &mut memo_block {
+        pairs.push(("memo_hits".to_owned(), Value::U64(memo_hits)));
+        pairs.push(("short_circuits".to_owned(), Value::U64(short_circuits)));
+        pairs.push(("memo_hit_rate".to_owned(), Value::F64(memo_hits as f64 / n)));
+        pairs.push((
+            "short_circuit_rate".to_owned(),
+            Value::F64(short_circuits as f64 / n),
+        ));
+    }
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_campaign.json");
+    let mut history = load_history(path);
+    history.push(obj([
+        ("memoized_strategies_per_sec", Value::F64(n / memo_secs)),
+        ("forked_strategies_per_sec", Value::F64(n / forked_secs)),
+        (
+            "from_scratch_strategies_per_sec",
+            Value::F64(n / scratch_secs),
+        ),
+        ("speedup_memo", Value::F64(speedup_memo)),
+        ("speedup", Value::F64(speedup)),
+    ]));
+    if history.len() > HISTORY_CAP {
+        let excess = history.len() - HISTORY_CAP;
+        history.drain(..excess);
+    }
+
     let mut report = obj([
         ("scenario", Value::Str("quick TCP Linux 3.13".to_owned())),
         ("max_strategies", Value::U64(MAX_STRATEGIES as u64)),
         (
             "strategies_tried",
-            Value::U64(forked.strategies_tried() as u64),
+            Value::U64(memoized.strategies_tried() as u64),
         ),
-        (
-            "forked",
-            obj([
-                ("wall_clock_secs", Value::F64(forked_secs)),
-                ("strategies_per_sec", Value::F64(n / forked_secs)),
-                (
-                    "events_per_sec",
-                    Value::F64(events(&forked) as f64 / forked_secs),
-                ),
-                ("sim_events", Value::U64(events(&forked))),
-            ]),
-        ),
-        (
-            "from_scratch",
-            obj([
-                ("wall_clock_secs", Value::F64(scratch_secs)),
-                ("strategies_per_sec", Value::F64(n / scratch_secs)),
-                (
-                    "events_per_sec",
-                    Value::F64(events(&scratch) as f64 / scratch_secs),
-                ),
-                ("sim_events", Value::U64(events(&scratch))),
-            ]),
-        ),
+        ("memoized", memo_block),
+        ("forked", mode_block(&forked, forked_secs)),
+        ("from_scratch", mode_block(&scratch, scratch_secs)),
+        ("speedup_memo", Value::F64(speedup_memo)),
         ("speedup_same_binary", Value::F64(same_binary_speedup)),
         ("speedup", Value::F64(speedup)),
+        ("history", Value::Arr(history)),
     ]);
     if let (Some((commit, secs)), Value::Obj(pairs)) = (&pre_pr, &mut report) {
         pairs.push((
@@ -157,15 +235,20 @@ fn main() {
             obj([
                 ("commit", Value::Str(commit.clone())),
                 ("wall_clock_secs", Value::F64(*secs)),
-                ("speedup", Value::F64(secs / forked_secs)),
+                ("speedup", Value::F64(secs / memo_secs)),
             ]),
         ));
     }
     let json = report.to_string_compact();
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_campaign.json");
     std::fs::write(path, format!("{json}\n")).expect("write BENCH_campaign.json");
 
     println!("campaign_throughput: {MAX_STRATEGIES}-strategy quick TCP campaign");
+    println!(
+        "  memoized:      {memo_secs:.2}s  ({:.1} strategies/s, {:.0} events/s, \
+         {memo_hits} memo hits, {short_circuits} short-circuits)",
+        n / memo_secs,
+        events(&memoized) as f64 / memo_secs
+    );
     println!(
         "  snapshot-fork: {forked_secs:.2}s  ({:.1} strategies/s, {:.0} events/s)",
         n / forked_secs,
@@ -182,5 +265,8 @@ fn main() {
             &commit[..commit.len().min(12)]
         );
     }
-    println!("  speedup: {speedup:.2}x  (same binary: {same_binary_speedup:.2}x)  → {path}");
+    println!(
+        "  speedup: {speedup:.2}x  (memoization over forking alone: {speedup_memo:.2}x, \
+         same binary: {same_binary_speedup:.2}x)  → {path}"
+    );
 }

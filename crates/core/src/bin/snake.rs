@@ -89,7 +89,7 @@ fn usage() {
          snake list\n  \
          snake baseline --impl <name> [--data-secs N] [--seed N]\n  \
          snake campaign --impl <name> [--cap N] [--data-secs N] [--grace-secs N] [--seed N] [--tsv FILE]\n  \
-                        [--journal FILE] [--resume] [--budget EVENTS] [--progress N]\n  \
+                        [--journal FILE] [--resume] [--budget EVENTS] [--progress N] [--no-memo]\n  \
          snake replay --attack <name>\n  \
          snake search-space\n\n\
          Run `snake list` for implementation and attack names."
@@ -190,11 +190,13 @@ fn cmd_campaign(args: &[String]) -> Result<(), String> {
         Some(v) => v.parse().map_err(|_| "--progress expects an integer")?,
         None => 0,
     };
+    let memoize = !args.iter().any(|a| a == "--no-memo");
     let config = CampaignConfig {
         max_strategies: cap,
         journal,
         resume,
         progress_every,
+        memoize,
         ..CampaignConfig::new(spec)
     };
     let start = std::time::Instant::now();
@@ -206,6 +208,16 @@ fn cmd_campaign(args: &[String]) -> Result<(), String> {
         result.errored(),
         result.truncated()
     );
+    if memoize {
+        let tried = result.strategies_tried().max(1);
+        eprintln!(
+            "memoization: {} memo hits, {} short-circuits ({:.1}% / {:.1}% of strategies)",
+            result.memo_hits,
+            result.short_circuits,
+            100.0 * result.memo_hits as f64 / tried as f64,
+            100.0 * result.short_circuits as f64 / tried as f64
+        );
+    }
     if result.resumed > 0 {
         eprintln!(
             "resumed {} outcomes from the journal ({} malformed lines skipped)",

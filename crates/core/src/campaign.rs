@@ -2,9 +2,10 @@ use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::io;
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
+use snake_netsim::FxHashMap;
 use snake_proxy::{InjectionAttack, Strategy, StrategyKind};
 
 use crate::attacks::{classify, cluster_attacks, AttackFinding};
@@ -51,6 +52,18 @@ pub struct CampaignConfig {
     /// whenever fork equivalence cannot be guaranteed — so this is purely
     /// a throughput knob.
     pub snapshot_fork: bool,
+    /// Memoize across strategies: statically provable wire no-ops are
+    /// answered with the baseline outcome, trigger-equivalent `OnState`
+    /// strategies share one representative run, runs whose wire-effect
+    /// fingerprint was seen before share the cached verdict, and the
+    /// executor halts runs whose rules are spent without a wire effect.
+    /// Every shortcut is conditioned on the snapshot planner's determinism
+    /// guard (same philosophy: memoization is disabled whenever identical
+    /// replay cannot be guaranteed), so outcomes are bit-identical with
+    /// memoization off — this too is purely a throughput knob. Forced off
+    /// when a `fault_hook` is installed, because an elided strategy never
+    /// reaches the hook.
+    pub memoize: bool,
     /// Test-only fault injection: called with each strategy right before
     /// its evaluation, inside the panic isolation boundary. A hook that
     /// panics simulates a crashing engine run.
@@ -75,6 +88,7 @@ impl fmt::Debug for CampaignConfig {
             .field("resume", &self.resume)
             .field("progress_every", &self.progress_every)
             .field("snapshot_fork", &self.snapshot_fork)
+            .field("memoize", &self.memoize)
             .field("fault_hook", &self.fault_hook.as_ref().map(|_| "<hook>"))
             .finish()
     }
@@ -98,6 +112,7 @@ impl CampaignConfig {
             resume: false,
             progress_every: 0,
             snapshot_fork: true,
+            memoize: true,
             fault_hook: None,
         }
     }
@@ -215,6 +230,12 @@ pub struct StrategyOutcome {
     pub outcome_kind: OutcomeKind,
     /// The panic message, when `outcome_kind` is [`OutcomeKind::Errored`].
     pub error: Option<String>,
+    /// How memoization produced this outcome without a dedicated run:
+    /// `"inert"` (statically provable wire no-op, answered with the
+    /// baseline) or `"class"` (shared the run of a trigger-equivalent
+    /// representative). `None` for outcomes that ran. Recorded in the
+    /// journal so `--resume` replays memoized outcomes exactly.
+    pub memo: Option<String>,
 }
 
 impl StrategyOutcome {
@@ -257,6 +278,15 @@ pub struct CampaignResult {
     /// Journal lines that could not be parsed on resume (a killed writer
     /// can leave a partial final line; it is skipped, not fatal).
     pub journal_lines_skipped: usize,
+    /// Memoization hits: outcomes that shared a trigger-equivalent
+    /// representative's run plus verdicts shared through the wire-effect
+    /// fingerprint cache. Zero when memoization is off.
+    pub memo_hits: usize,
+    /// Runs short-circuited outright: statically provable wire no-ops
+    /// answered with the baseline outcome plus runs the proxy halted once
+    /// every rule was spent without a wire effect. Zero when memoization
+    /// is off.
+    pub short_circuits: usize,
 }
 
 impl CampaignResult {
@@ -413,7 +443,11 @@ impl Campaign {
     /// baseline) and journal I/O.
     pub fn run(config: CampaignConfig) -> Result<CampaignResult, CampaignError> {
         let spec = config.scenario.clone();
-        let exec = PlannedExecutor::new(&spec, config.snapshot_fork);
+        // A fault hook must see every strategy, so memoization (which
+        // answers some strategies without ever evaluating them) is forced
+        // off under fault injection.
+        let memoize = config.memoize && config.fault_hook.is_none();
+        let exec = PlannedExecutor::with_options(&spec, config.snapshot_fork, memoize);
         let baseline = exec.baseline().clone();
         if !baseline_valid(&baseline) {
             return Err(CampaignError::InvalidBaseline {
@@ -427,7 +461,11 @@ impl Campaign {
             ..spec.clone()
         };
         let retest_exec = if config.retest {
-            Some(PlannedExecutor::new(&retest_spec, config.snapshot_fork))
+            Some(PlannedExecutor::with_options(
+                &retest_spec,
+                config.snapshot_fork,
+                memoize,
+            ))
         } else {
             None
         };
@@ -520,10 +558,15 @@ impl Campaign {
         let mut outcomes: Vec<StrategyOutcome> = Vec::new();
         let mut resumed = 0usize;
         let mut reports = vec![baseline.proxy.clone()];
+        let mut memo_hits = 0usize;
+        let mut short_circuits = 0usize;
         let shared = Arc::new(SharedCtx {
             exec,
             retest_exec,
             config: config.clone(),
+            memoize,
+            fp_cache: Mutex::new(FxHashMap::default()),
+            fp_hits: AtomicU64::new(0),
         });
 
         for _round in 0..config.feedback_rounds.max(1) {
@@ -567,9 +610,50 @@ impl Campaign {
                     _ => pending.push((i, s)),
                 }
             }
-            let (indices, batch): (Vec<usize>, Vec<Strategy>) = pending.into_iter().unzip();
+            // Memoization pass over the strategies that still need a run:
+            // statically provable wire no-ops are answered with the
+            // baseline outcome on the spot, and trigger-equivalent
+            // `OnState` strategies are grouped so only one representative
+            // per class runs — the rest copy its result afterwards.
+            let mut to_run: Vec<(usize, Strategy)> = Vec::new();
+            let mut followers: Vec<(usize, Strategy, usize)> = Vec::new();
+            let mut class_reps: BTreeMap<String, usize> = BTreeMap::new();
+            for (i, s) in pending {
+                if let Some(outcome) = inert_outcome(&shared, &s) {
+                    short_circuits += 1;
+                    observer(&outcome);
+                    round[i] = Some(outcome);
+                    continue;
+                }
+                match class_key(&shared, &s) {
+                    Some(key) => match class_reps.get(&key) {
+                        Some(&rep) => followers.push((i, s, rep)),
+                        None => {
+                            class_reps.insert(key, i);
+                            to_run.push((i, s));
+                        }
+                    },
+                    None => to_run.push((i, s)),
+                }
+            }
+            let (indices, batch): (Vec<usize>, Vec<Strategy>) = to_run.into_iter().unzip();
             let ran = run_batch(&shared, batch, config.parallelism, &observer);
             for (i, outcome) in indices.into_iter().zip(ran) {
+                round[i] = Some(outcome);
+            }
+            for (i, s, rep) in followers {
+                let rep_outcome = round[rep]
+                    .as_ref()
+                    .expect("class representative ran in this batch");
+                let outcome = if rep_outcome.outcome_kind == OutcomeKind::Errored {
+                    // A panicking representative proves nothing about its
+                    // class; run the member itself.
+                    evaluate_guarded(&shared, s)
+                } else {
+                    memo_hits += 1;
+                    materialize_class_member(rep_outcome, s)
+                };
+                observer(&outcome);
                 round[i] = Some(outcome);
             }
 
@@ -609,6 +693,13 @@ impl Campaign {
             .collect();
         let findings = cluster_attacks(&classified);
 
+        let fp_hits = shared.fp_hits.load(Ordering::Relaxed) as usize;
+        let halted = (shared.exec.short_circuits()
+            + shared
+                .retest_exec
+                .as_ref()
+                .map_or(0, |e| e.short_circuits())) as usize;
+
         Ok(CampaignResult {
             protocol: spec.protocol.protocol_name().to_owned(),
             implementation: spec.protocol.implementation_name().to_owned(),
@@ -617,6 +708,8 @@ impl Campaign {
             findings,
             resumed,
             journal_lines_skipped,
+            memo_hits: memo_hits + fp_hits,
+            short_circuits: short_circuits + halted,
         })
     }
 }
@@ -627,9 +720,105 @@ struct SharedCtx {
     exec: PlannedExecutor,
     retest_exec: Option<PlannedExecutor>,
     config: CampaignConfig,
+    /// Whether campaign-level memoization is live (config switch and no
+    /// fault hook; each executor additionally requires its determinism
+    /// guard to have passed).
+    memoize: bool,
+    /// Wire-effect fingerprint → verdict cache. A fingerprint captures
+    /// every effect the proxy actually had on the wire (plus its RNG
+    /// draws), so equal fingerprints mean byte-identical runs and the
+    /// verdict can be shared. Only unflagged verdicts are cached: a
+    /// flagged outcome also depends on the different-seed re-test run,
+    /// which the main run's fingerprint says nothing about.
+    fp_cache: Mutex<FxHashMap<(u64, u64), Verdict>>,
+    /// Verdicts served from `fp_cache`.
+    fp_hits: AtomicU64,
 }
 
 type Shared = Arc<SharedCtx>;
+
+/// Answers a statically provable wire no-op with the baseline outcome —
+/// exactly what [`evaluate`] would produce, without running anything.
+/// Returns `None` when the strategy is not provably inert, or when the
+/// baseline compared against itself would flag (a degenerate scenario; the
+/// ordinary path then runs the strategy for real, keeping memoized and
+/// unmemoized campaigns bit-identical).
+fn inert_outcome(shared: &Shared, strategy: &Strategy) -> Option<StrategyOutcome> {
+    if !shared.memoize || !shared.exec.provably_inert(strategy) {
+        return None;
+    }
+    let baseline = shared.exec.baseline();
+    if baseline.truncated {
+        return Some(StrategyOutcome {
+            on_path: is_on_path(strategy),
+            strategy: strategy.clone(),
+            verdict: Verdict::default(),
+            metrics: baseline.clone(),
+            repeatable: false,
+            false_positive: false,
+            outcome_kind: OutcomeKind::Truncated,
+            error: None,
+            memo: Some("inert".to_owned()),
+        });
+    }
+    let verdict = detect(baseline, baseline, shared.config.threshold);
+    if verdict.flagged() {
+        return None;
+    }
+    Some(StrategyOutcome {
+        on_path: is_on_path(strategy) || is_self_denial(strategy, &verdict),
+        strategy: strategy.clone(),
+        verdict,
+        metrics: baseline.clone(),
+        repeatable: true,
+        false_positive: false,
+        outcome_kind: OutcomeKind::Ok,
+        error: None,
+        memo: Some("inert".to_owned()),
+    })
+}
+
+/// Memo-class key covering every run [`evaluate`] might make for a
+/// strategy: the main-seed class key joined with the re-test seed's when
+/// re-testing is on. Strategies sharing the composite key are
+/// trigger-equivalent under every executor involved, so their evaluations
+/// are identical end to end — including the inert-volume control run,
+/// whose trigger has the same first-visibility instant as the member's.
+fn class_key(shared: &Shared, strategy: &Strategy) -> Option<String> {
+    if !shared.memoize {
+        return None;
+    }
+    let main = shared.exec.class_key(strategy)?;
+    match &shared.retest_exec {
+        None => Some(main),
+        Some(retest) => {
+            let rk = retest.class_key(strategy)?;
+            Some(format!("{main}|{rk}"))
+        }
+    }
+}
+
+/// Copies a class representative's outcome onto a trigger-equivalent
+/// member. The run results are identical by construction; only the
+/// strategy identity and the strategy-derived on-path classification are
+/// recomputed (class members can sit on different endpoint/state pairs).
+fn materialize_class_member(rep: &StrategyOutcome, strategy: Strategy) -> StrategyOutcome {
+    let on_path = match rep.outcome_kind {
+        OutcomeKind::Ok => is_on_path(&strategy) || is_self_denial(&strategy, &rep.verdict),
+        _ => is_on_path(&strategy),
+    };
+    StrategyOutcome {
+        on_path,
+        strategy,
+        verdict: rep.verdict,
+        metrics: rep.metrics.clone(),
+        repeatable: rep.repeatable,
+        false_positive: rep.false_positive,
+        outcome_kind: rep.outcome_kind,
+        error: None,
+        memo: Some("class".to_owned()),
+    }
+}
 
 /// Executes one strategy end to end: attack run, verdict, repeatability
 /// re-test, and (for flagged hitseqwindow strategies) the inert-volume
@@ -639,6 +828,7 @@ fn evaluate(shared: &Shared, strategy: Strategy) -> StrategyOutcome {
         exec,
         retest_exec,
         config,
+        ..
     } = &**shared;
     let baseline = exec.baseline();
     let metrics = exec.run(Some(strategy.clone()));
@@ -656,9 +846,41 @@ fn evaluate(shared: &Shared, strategy: Strategy) -> StrategyOutcome {
             false_positive: false,
             outcome_kind: OutcomeKind::Truncated,
             error: None,
+            memo: None,
         };
     }
-    let verdict = detect(baseline, &metrics, config.threshold);
+    // Wire-effect fingerprint cache: equal fingerprints mean the runs were
+    // byte-identical on the wire, so the verdict carries over. Cached
+    // verdicts are always unflagged, which also keeps the re-test and
+    // control logic below trivially consistent with a cache hit.
+    let fp = (metrics.proxy.effect_fp_a, metrics.proxy.effect_fp_b);
+    let verdict = if shared.memoize {
+        let cached = shared
+            .fp_cache
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(&fp)
+            .copied();
+        match cached {
+            Some(v) => {
+                shared.fp_hits.fetch_add(1, Ordering::Relaxed);
+                v
+            }
+            None => {
+                let v = detect(baseline, &metrics, config.threshold);
+                if !v.flagged() {
+                    shared
+                        .fp_cache
+                        .lock()
+                        .unwrap_or_else(|e| e.into_inner())
+                        .insert(fp, v);
+                }
+                v
+            }
+        }
+    } else {
+        detect(baseline, &metrics, config.threshold)
+    };
 
     let mut repeatable = true;
     if verdict.flagged() {
@@ -718,6 +940,7 @@ fn evaluate(shared: &Shared, strategy: Strategy) -> StrategyOutcome {
         false_positive,
         outcome_kind: OutcomeKind::Ok,
         error: None,
+        memo: None,
     }
 }
 
@@ -742,6 +965,7 @@ fn evaluate_guarded(shared: &Shared, strategy: Strategy) -> StrategyOutcome {
             false_positive: false,
             outcome_kind: OutcomeKind::Errored,
             error: Some(panic_message(payload.as_ref())),
+            memo: None,
         },
     }
 }
@@ -878,6 +1102,7 @@ mod tests {
             false_positive: false,
             outcome_kind: OutcomeKind::Errored,
             error: Some("boom\tat line\n3".into()),
+            memo: None,
         };
         let result = CampaignResult {
             protocol: "TCP".into(),
@@ -887,6 +1112,8 @@ mod tests {
             findings: Vec::new(),
             resumed: 0,
             journal_lines_skipped: 0,
+            memo_hits: 0,
+            short_circuits: 0,
         };
         let tsv = result.export_outcomes_tsv();
         let lines: Vec<&str> = tsv.lines().collect();

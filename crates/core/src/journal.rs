@@ -137,6 +137,13 @@ impl ToJson for StrategyOutcome {
             ("repeatable", Value::Bool(self.repeatable)),
             ("on_path", Value::Bool(self.on_path)),
             ("false_positive", Value::Bool(self.false_positive)),
+            (
+                "memo",
+                match &self.memo {
+                    Some(m) => Value::Str(m.clone()),
+                    None => Value::Null,
+                },
+            ),
         ])
     }
 }
@@ -157,6 +164,13 @@ impl FromJson for StrategyOutcome {
             false_positive: value.req_bool("false_positive")?,
             outcome_kind: OutcomeKind::from_json(value.req("outcome")?)?,
             error,
+            // Journals written before memoization lack the field; those
+            // outcomes all ran for real.
+            memo: match value.get("memo") {
+                None | Some(Value::Null) => None,
+                Some(Value::Str(s)) => Some(s.clone()),
+                Some(_) => return Err(JsonError::decode("field `memo` must be a string or null")),
+            },
         })
     }
 }
@@ -335,6 +349,7 @@ mod tests {
             false_positive: false,
             outcome_kind: OutcomeKind::Ok,
             error: None,
+            memo: Some("inert".into()),
         }
     }
 

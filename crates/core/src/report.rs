@@ -84,6 +84,8 @@ mod tests {
             }],
             resumed: 0,
             journal_lines_skipped: 0,
+            memo_hits: 0,
+            short_circuits: 0,
         }
     }
 

@@ -1,10 +1,13 @@
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use snake_dccp::{DccpHost, DccpProfile, DccpServerApp};
+use snake_json::ToJson;
 use snake_netsim::{Addr, Dumbbell, DumbbellSpec, SimTime, Simulator};
+use snake_packet::{FieldMutation, FormatSpec};
 use snake_proxy::{
-    AttackProxy, DccpAdapter, ProxyConfig, ProxyReport, StateTimeline, Strategy, StrategyKind,
-    TcpAdapter,
+    AttackProxy, BasicAttack, DccpAdapter, ProtocolAdapter, ProxyConfig, ProxyReport,
+    StateTimeline, Strategy, StrategyKind, TcpAdapter,
 };
 use snake_tcp::{Profile, ServerApp, TcpHost};
 
@@ -412,15 +415,20 @@ impl SnapshotPlan {
                 } => self
                     .timeline
                     .packets
-                    .get(&(*endpoint, state.clone(), packet_type.clone())),
+                    .get(&(*endpoint, state.clone(), packet_type.clone()))
+                    .map(|seen| seen.first_at),
                 StrategyKind::OnState {
                     endpoint, state, ..
-                } => self.timeline.states.get(&(*endpoint, state.clone())),
+                } => self
+                    .timeline
+                    .states
+                    .get(&(*endpoint, state.clone()))
+                    .map(|seen| seen.first_at),
             };
             // A rule whose key is absent from the baseline can never be the
             // first to fire; it does not constrain the fork point.
             if let Some(t) = t {
-                earliest = Some(earliest.map_or(*t, |e| e.min(*t)));
+                earliest = Some(earliest.map_or(t, |e| e.min(t)));
             }
         }
         match earliest {
@@ -455,6 +463,16 @@ pub struct PlannedExecutor {
     spec: ScenarioSpec,
     baseline: TestMetrics,
     plan: Option<SnapshotPlan>,
+    /// Enables the memoization family of shortcuts: static no-op elision
+    /// ([`provably_inert`](PlannedExecutor::provably_inert)), trigger-class
+    /// keys ([`class_key`](PlannedExecutor::class_key)), and the runtime
+    /// no-op halt for spent one-shot rules. All of them substitute the
+    /// baseline (or a classmate's) outcome for a run they prove equivalent,
+    /// and all require the plan's determinism guard to have passed.
+    memoize: bool,
+    /// Runs ended early because every rule was proven a wire no-op — either
+    /// statically elided or halted mid-run by the proxy.
+    short_circuits: AtomicU64,
 }
 
 impl std::fmt::Debug for SnapshotPlan {
@@ -467,8 +485,23 @@ impl std::fmt::Debug for SnapshotPlan {
 
 impl PlannedExecutor {
     /// Runs the baseline and, when `snapshot_fork` is on, builds the
-    /// snapshot plan.
+    /// snapshot plan. Memoization shortcuts are off; use
+    /// [`with_options`](PlannedExecutor::with_options) to enable them.
     pub fn new(spec: &ScenarioSpec, snapshot_fork: bool) -> PlannedExecutor {
+        PlannedExecutor::with_options(spec, snapshot_fork, false)
+    }
+
+    /// Runs the baseline and builds the executor with both knobs explicit:
+    /// `snapshot_fork` controls the fork plan, `memoize` the no-op
+    /// short-circuit and equivalence-class machinery. `memoize` without an
+    /// intact plan (forking off, or the determinism guard tripped) is
+    /// silently inert — every memo proof leans on the baseline being
+    /// reproducible.
+    pub fn with_options(
+        spec: &ScenarioSpec,
+        snapshot_fork: bool,
+        memoize: bool,
+    ) -> PlannedExecutor {
         // Pass 1: the reference baseline, recording the trigger timeline.
         let mut session = Session::build(spec, Vec::new(), true);
         let data_end = SimTime::from_secs(spec.data_secs);
@@ -494,6 +527,8 @@ impl PlannedExecutor {
             spec: spec.clone(),
             baseline,
             plan,
+            memoize,
+            short_circuits: AtomicU64::new(0),
         }
     }
 
@@ -513,6 +548,149 @@ impl PlannedExecutor {
         self.plan.as_ref().map_or(0, |p| p.snapshots.len())
     }
 
+    /// Whether the snapshot plan is intact — forking is on and the
+    /// determinism guard reproduced the baseline bit for bit. Every
+    /// memoization proof is conditioned on this.
+    pub fn plan_active(&self) -> bool {
+        self.plan.is_some()
+    }
+
+    /// Runs this executor short-circuited so far: statically elided
+    /// provably-inert strategies are not counted here (the campaign counts
+    /// those at its level); this counts runs the proxy halted mid-flight.
+    pub fn short_circuits(&self) -> u64 {
+        self.short_circuits.load(Ordering::Relaxed)
+    }
+
+    /// The header format spec of the protocol under test.
+    fn header_spec(&self) -> Arc<FormatSpec> {
+        match &self.spec.protocol {
+            ProtocolKind::Tcp(_) => TcpAdapter.spec(),
+            ProtocolKind::Dccp(_) => DccpAdapter.spec(),
+        }
+    }
+
+    /// Statically proves a strategy is a wire no-op: an `OnPacket` lie
+    /// whose mutation writes back the value the targeted field held in
+    /// *every* baseline packet matching the trigger triple. Because the
+    /// no-op lie forwards bytes untouched and counts nothing, the run
+    /// replays the (reproducible) baseline by induction packet-by-packet —
+    /// the constancy observed in the baseline therefore holds in the
+    /// attacked run too, and the proof closes. Such strategies can be
+    /// answered with the baseline outcome without executing anything.
+    pub fn provably_inert(&self, strategy: &Strategy) -> bool {
+        if !self.memoize {
+            return false;
+        }
+        let Some(plan) = &self.plan else {
+            return false;
+        };
+        let StrategyKind::OnPacket {
+            endpoint,
+            state,
+            packet_type,
+            attack: BasicAttack::Lie { field, mutation },
+        } = &strategy.kind
+        else {
+            return false;
+        };
+        let Some(seen) =
+            plan.timeline
+                .packets
+                .get(&(*endpoint, state.clone(), packet_type.clone()))
+        else {
+            // Key absent from the baseline: `decide` elides it already.
+            return false;
+        };
+        let spec = self.header_spec();
+        let Some(fi) = spec.fields().iter().position(|f| f.name() == *field) else {
+            // Unknown field: every application errors out, which the proxy
+            // treats as a wire no-op.
+            return true;
+        };
+        let Some((_, fref)) = spec.field_at(fi) else {
+            return false;
+        };
+        match seen.fields.get(fi) {
+            Some(Some(v)) => lie_is_inert(*mutation, *v, fref.max_value()),
+            _ => false,
+        }
+    }
+
+    /// A memo-class key for trigger-equivalent `OnState` strategies: two
+    /// strategies with the same key start the same canonical injection at
+    /// the same first-visibility instant of the same baseline run, and an
+    /// `OnState` rule is never consulted again after it starts — so their
+    /// runs are identical and one execution serves the whole class.
+    pub fn class_key(&self, strategy: &Strategy) -> Option<String> {
+        if !self.memoize {
+            return None;
+        }
+        let plan = self.plan.as_ref()?;
+        let StrategyKind::OnState {
+            endpoint,
+            state,
+            attack,
+        } = &strategy.kind
+        else {
+            return None;
+        };
+        let seen = plan.timeline.states.get(&(*endpoint, state.clone()))?;
+        Some(format!(
+            "{}@{}:{}",
+            seen.first_at.as_nanos(),
+            seen.first_index,
+            attack.to_json().to_string_compact()
+        ))
+    }
+
+    /// Whether every rule is a one-shot lie eligible for the runtime no-op
+    /// halt: `OnNthPacket` + `Lie` can have at most one wire effect, and if
+    /// that effect turns out to be a byte-identical no-op the rest of the
+    /// run is the baseline.
+    fn haltable(rules: &[Strategy]) -> bool {
+        !rules.is_empty()
+            && rules.iter().all(|rule| {
+                matches!(
+                    &rule.kind,
+                    StrategyKind::OnNthPacket {
+                        attack: BasicAttack::Lie { .. },
+                        ..
+                    }
+                )
+            })
+    }
+
+    /// From-scratch run with the proxy's no-op halt armed: the moment every
+    /// rule is spent without a wire effect, the simulation stops and the
+    /// baseline outcome is substituted (it is what the full run would have
+    /// produced — the determinism guard vouches for the baseline, and the
+    /// spent rules can never act again).
+    fn run_halt_armed(&self, rules: Vec<Strategy>) -> TestMetrics {
+        let spec = &self.spec;
+        let mut session = Session::build(spec, rules, false);
+        session
+            .sim
+            .tap_mut::<AttackProxy>(session.d.proxy_link)
+            .expect("proxy")
+            .arm_noop_halt();
+        let data_end = SimTime::from_secs(spec.data_secs);
+        let end = SimTime::from_secs(spec.data_secs + spec.grace_secs);
+        session.sim.run_until(data_end);
+        if session.sim.halted() {
+            self.short_circuits.fetch_add(1, Ordering::Relaxed);
+            return self.baseline.clone();
+        }
+        let bytes = session.measure(spec);
+        session.schedule_finish(spec, data_end);
+        session.sim.run_until(end);
+        if session.sim.halted() {
+            self.short_circuits.fetch_add(1, Ordering::Relaxed);
+            return self.baseline.clone();
+        }
+        session.finish(spec, bytes)
+    }
+
     /// Runs one strategy (or the baseline when `None`).
     pub fn run(&self, strategy: Option<Strategy>) -> TestMetrics {
         self.run_combination(strategy.into_iter().collect())
@@ -526,7 +704,13 @@ impl PlannedExecutor {
         };
         match plan.decide(&rules) {
             ForkDecision::Elide => self.baseline.clone(),
-            ForkDecision::FromScratch => Executor::run_combination(&self.spec, rules),
+            ForkDecision::FromScratch => {
+                if self.memoize && PlannedExecutor::haltable(&rules) {
+                    self.run_halt_armed(rules)
+                } else {
+                    Executor::run_combination(&self.spec, rules)
+                }
+            }
             ForkDecision::ForkAt(t) => {
                 let forked = plan
                     .latest_before(t)
@@ -593,8 +777,9 @@ fn build_plan(
     let mut times: Vec<SimTime> = timeline
         .states
         .values()
-        .chain(timeline.packets.values())
-        .filter(|t| t.as_nanos() > 0 && **t < end)
+        .map(|seen| seen.first_at)
+        .chain(timeline.packets.values().map(|seen| seen.first_at))
+        .filter(|t| t.as_nanos() > 0 && *t < end)
         .map(|t| SimTime::from_nanos(t.as_nanos() - 1))
         .collect();
     times.sort_unstable();
@@ -632,6 +817,27 @@ fn build_plan(
         timeline,
         snapshots,
     })
+}
+
+/// Whether applying `mutation` to a field currently holding `value` (with
+/// representable maximum `max`) writes back `value` — i.e. the lie cannot
+/// change any wire byte. Mirrors [`FieldMutation::apply`] exactly, including
+/// its error cases: a mutation that fails to apply (out-of-range `Set`,
+/// division by zero) is forwarded unmodified by the proxy, so it is inert
+/// too. `Random` consumes entropy and is never statically classifiable.
+fn lie_is_inert(mutation: FieldMutation, value: u64, max: u64) -> bool {
+    match mutation {
+        FieldMutation::Set(x) => x > max || x == value,
+        FieldMutation::Min => value == 0,
+        FieldMutation::Max => value == max,
+        FieldMutation::Add(k) => value.wrapping_add(k) & max == value,
+        FieldMutation::Sub(k) => value.wrapping_sub(k) & max == value,
+        FieldMutation::Mul(k) => value.wrapping_mul(k) & max == value,
+        FieldMutation::Div(k) => k == 0 || value / k == value,
+        // `Random` (and any future variant) consumes RNG state or has
+        // unknown semantics: never provably inert.
+        _ => false,
+    }
 }
 
 #[cfg(test)]

@@ -130,17 +130,34 @@ pub fn generate_strategies(
             on_packet(BasicAttack::Batch { secs: s });
         }
         on_packet(BasicAttack::Reflect);
-        for field in spec.fields() {
-            let mutations: &[FieldMutation] = if field.is_flag() {
-                FieldMutation::flag_mutations()
-            } else {
-                FieldMutation::standard_mutations()
-            };
-            for &m in mutations {
-                on_packet(BasicAttack::Lie {
-                    field: field.name().to_owned(),
-                    mutation: m,
-                });
+        // Lies are emitted mutation-round-robin across fields (flag fields
+        // first within each round) rather than field-major: a capped
+        // controller then samples every field with its first mutation before
+        // any field's second, and the flag Set(0)/Set(1) lies — half of
+        // which the executor proves inert against the baseline and answers
+        // for free — land inside the cap instead of behind one field's
+        // whole mutation grid.
+        let mut lie_fields: Vec<_> = spec.fields().iter().collect();
+        lie_fields.sort_by_key(|f| !f.is_flag());
+        let per_field: Vec<&[FieldMutation]> = lie_fields
+            .iter()
+            .map(|f| {
+                if f.is_flag() {
+                    FieldMutation::flag_mutations()
+                } else {
+                    FieldMutation::standard_mutations()
+                }
+            })
+            .collect();
+        let rounds = per_field.iter().map(|m| m.len()).max().unwrap_or(0);
+        for round in 0..rounds {
+            for (field, mutations) in lie_fields.iter().zip(&per_field) {
+                if let Some(&m) = mutations.get(round) {
+                    on_packet(BasicAttack::Lie {
+                        field: field.name().to_owned(),
+                        mutation: m,
+                    });
+                }
             }
         }
         buckets.push(bucket);

@@ -52,6 +52,7 @@
 #![warn(missing_docs, missing_debug_implementations)]
 
 mod agent;
+mod fxhash;
 mod link;
 mod packet;
 mod sim;
@@ -62,6 +63,7 @@ mod topology;
 mod trace;
 
 pub use agent::{Agent, Ctx, TimerHandle};
+pub use fxhash::{FxBuildHasher, FxHashMap, FxHasher};
 pub use link::{Aqm, ChannelStats, LinkId, LinkSpec};
 pub use packet::{Addr, Packet, Protocol};
 pub use sim::{NodeId, Simulator};

@@ -1,12 +1,13 @@
 use std::any::Any;
 use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::BinaryHeap;
 use std::sync::Arc;
 
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
 use crate::agent::{Agent, Ctx, TimerHandle};
+use crate::fxhash::FxHashMap;
 use crate::link::{Channel, ChannelStats, LinkId, LinkSpec};
 use crate::packet::Packet;
 use crate::tap::{Tap, TapCtx};
@@ -53,6 +54,9 @@ pub(crate) enum Command {
         at: SimTime,
         tag: u64,
     },
+    /// Stop dispatching events: the requester (a tap) has determined the
+    /// rest of the run is already known (see `Simulator::halted`).
+    Halt,
 }
 
 #[derive(Clone)]
@@ -145,16 +149,22 @@ pub struct Simulator {
     /// timer would have fired. Entries are consumed when the dead
     /// `TimerFire` event pops, purged once their fire time has passed, and
     /// compacted out of the event queue when they accumulate.
-    cancelled_timers: HashMap<u64, SimTime>,
+    cancelled_timers: FxHashMap<u64, SimTime>,
     next_timer: u64,
     next_packet_id: u64,
-    controls: HashMap<u64, (NodeId, ControlFn)>,
+    controls: FxHashMap<u64, (NodeId, ControlFn)>,
     next_control: u64,
     rng: SmallRng,
     started: bool,
     events_processed: u64,
     event_budget: Option<u64>,
     budget_exhausted: bool,
+    /// Set by [`Command::Halt`]: a tap concluded the remainder of the run
+    /// is fully determined (e.g. all its one-shot rules are provably dead
+    /// no-ops), so event dispatch stops and the caller substitutes the
+    /// known outcome. Sticky for the simulator's lifetime, like the event
+    /// budget.
+    halted: bool,
     pending: Vec<Command>,
     trace: Option<Trace>,
 }
@@ -183,16 +193,17 @@ impl Simulator {
             links: Vec::new(),
             next_hop: Vec::new(),
             routes_dirty: true,
-            cancelled_timers: HashMap::new(),
+            cancelled_timers: FxHashMap::default(),
             next_timer: 0,
             next_packet_id: 1,
-            controls: HashMap::new(),
+            controls: FxHashMap::default(),
             next_control: 0,
             rng: SmallRng::seed_from_u64(seed),
             started: false,
             events_processed: 0,
             event_budget: None,
             budget_exhausted: false,
+            halted: false,
             pending: Vec::new(),
             trace: None,
         }
@@ -214,6 +225,13 @@ impl Simulator {
     /// Whether the event budget stopped the simulation early.
     pub fn budget_exhausted(&self) -> bool {
         self.budget_exhausted
+    }
+
+    /// Whether a tap halted the run via [`TapCtx::request_halt`]. Once set,
+    /// no further events are dispatched — the caller is expected to already
+    /// know the run's outcome (that is the only sound reason to halt).
+    pub fn halted(&self) -> bool {
+        self.halted
     }
 
     /// Enables packet capture on every link, keeping up to `capacity`
@@ -387,6 +405,7 @@ impl Simulator {
             events_processed: self.events_processed,
             event_budget: self.event_budget,
             budget_exhausted: self.budget_exhausted,
+            halted: self.halted,
             pending: Vec::new(),
             trace: self.trace.clone(),
         })
@@ -434,6 +453,9 @@ impl Simulator {
             }
         }
         while let Some(top) = self.queue.peek() {
+            if self.halted {
+                break;
+            }
             if top.at > deadline {
                 break;
             }
@@ -620,6 +642,9 @@ impl Simulator {
                     let link = tap_link.expect("TapTimer outside a tap callback");
                     self.push(at.max(self.now), EventKind::TapTimerFire { link, tag });
                 }
+                Command::Halt => {
+                    self.halted = true;
+                }
             }
         }
         // Hand the (now empty) buffer back for reuse.
@@ -632,6 +657,11 @@ impl Simulator {
     /// hop, diverts through the link's tap if one is attached, otherwise
     /// enqueues on the channel.
     fn route_send(&mut self, from: NodeId, packet: Packet) {
+        if self.halted {
+            // A halted run is over; in-flight sends vanish like the queued
+            // events the halt already cut off.
+            return;
+        }
         if packet.dst.node == from {
             // Loopback: deliver immediately.
             self.push(self.now, EventKind::Deliver { node: from, packet });
@@ -1146,6 +1176,40 @@ mod tests {
         sim.attach_tap(link, PassTap);
         sim.run_until(SimTime::from_millis(1));
         assert!(sim.fork().is_none(), "PassTap has no boxed_clone");
+    }
+
+    /// Forwards packets until `after` have passed, then halts the run.
+    struct HaltingTap {
+        after: u64,
+        seen: u64,
+    }
+    impl Tap for HaltingTap {
+        fn on_packet(&mut self, ctx: &mut TapCtx<'_>, packet: Packet, toward_b: bool) {
+            self.seen += 1;
+            ctx.forward(packet, toward_b);
+            if self.seen >= self.after {
+                ctx.request_halt();
+            }
+        }
+    }
+
+    #[test]
+    fn tap_halt_stops_event_dispatch() {
+        let (mut sim, a, b, link) = two_node_sim(64);
+        sim.set_agent(a, Blaster::new(b, 10, 80));
+        sim.attach_tap(link, HaltingTap { after: 3, seen: 0 });
+        sim.run_until(SimTime::from_secs(1));
+        assert!(sim.halted());
+        // The blaster's ten sends are routed synchronously at start; the
+        // halt after the third stops the remaining seven at the router.
+        assert_eq!(sim.tap::<HaltingTap>(link).unwrap().seen, 3);
+        // Forwarded packets were enqueued but their delivery events never
+        // dispatched — the run was already over.
+        assert_eq!(sim.agent::<Echo>(b).unwrap().received.len(), 0);
+        let processed = sim.events_processed();
+        sim.run_until(SimTime::from_secs(2));
+        assert_eq!(sim.events_processed(), processed, "halt is sticky");
+        assert_eq!(sim.now(), SimTime::from_secs(2), "clock still advances");
     }
 
     #[test]

@@ -32,7 +32,9 @@ mod proxy;
 mod strategy;
 
 pub use adapter::{DccpAdapter, InjectContext, ProtocolAdapter, TcpAdapter};
-pub use proxy::{AttackProxy, ProxyConfig, ProxyReport, StateTimeline};
+pub use proxy::{
+    AttackProxy, PacketFirstSeen, ProxyConfig, ProxyReport, StateFirstSeen, StateTimeline,
+};
 pub use strategy::{
     BasicAttack, Endpoint, InjectDirection, InjectionAttack, SeqChoice, Strategy, StrategyKind,
 };

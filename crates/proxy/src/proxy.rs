@@ -1,8 +1,7 @@
-use std::collections::HashMap;
-
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use snake_netsim::{Addr, NodeId, Packet, SimDuration, SimTime, Tap, TapCtx};
+use snake_netsim::{Addr, FxHashMap, NodeId, Packet, SimDuration, SimTime, Tap, TapCtx};
+use snake_packet::FormatSpec;
 use snake_statemachine::{Dir, PairTracker};
 
 use crate::adapter::{swap_endpoints, InjectContext, ProtocolAdapter};
@@ -56,6 +55,18 @@ pub struct ProxyReport {
     pub lied: u64,
     /// Packets injected.
     pub injected: u64,
+    /// First lane of the wire-effect fingerprint: a running hash over every
+    /// actual effect the active strategy had on the wire (drops, copies,
+    /// delays, reflected and mutated bytes, injections), each keyed by the
+    /// packet index or injection time it occurred at. A run with no effects
+    /// keeps the zero fingerprint, bit-identical to the baseline's; two runs
+    /// with equal fingerprints produced the same visible packet stream, so
+    /// the campaign can share one verdict between them.
+    pub effect_fp_a: u64,
+    /// Second, independently keyed fingerprint lane (different rotation and
+    /// multiplier), so sharing requires agreement of both lanes — a single
+    /// 64-bit collision is not enough to cross-contaminate verdicts.
+    pub effect_fp_b: u64,
     /// Per-(endpoint, state, packet type, direction) observation counts.
     pub observed: Vec<(String, String, String, String, u64)>,
     /// Final tracked client state.
@@ -73,12 +84,70 @@ pub struct ProxyReport {
 /// identical to executing the strategy from scratch.
 #[derive(Debug, Clone, Default)]
 pub struct StateTimeline {
-    /// First time each `(endpoint, state)` pair became visible to the
-    /// `OnState` trigger check (which runs after every observed packet).
-    pub states: HashMap<(Endpoint, String), SimTime>,
-    /// First time each `(sender endpoint, sender pre-transition state,
-    /// packet type)` triple was seen by the `OnPacket` match.
-    pub packets: HashMap<(Endpoint, String, String), SimTime>,
+    /// First visibility of each `(endpoint, state)` pair to the `OnState`
+    /// trigger check (which runs after every observed packet).
+    pub states: FxHashMap<(Endpoint, String), StateFirstSeen>,
+    /// Per `(sender endpoint, sender pre-transition state, packet type)`
+    /// triple: first sighting by the `OnPacket` match, plus which header
+    /// fields held the same value in every packet seen under the triple.
+    pub packets: FxHashMap<(Endpoint, String, String), PacketFirstSeen>,
+}
+
+/// When an `(endpoint, state)` pair first became trigger-visible in the
+/// baseline run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StateFirstSeen {
+    /// Simulated time of first visibility.
+    pub first_at: SimTime,
+    /// `packets_seen` count at that moment (disambiguates distinct packets
+    /// observed at the same nanosecond).
+    pub first_index: u64,
+}
+
+/// Baseline observations for one `(sender, pre-transition state, packet
+/// type)` triple: first sighting, plus per-field value constancy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PacketFirstSeen {
+    /// Simulated time the triple was first seen.
+    pub first_at: SimTime,
+    /// `packets_seen` count at that moment.
+    pub first_index: u64,
+    /// For each field of the protocol's header spec (by field index):
+    /// `Some(v)` if every packet seen under this triple carried value `v`
+    /// in that field, `None` if it varied or could not be read. A lie whose
+    /// mutation provably writes the constant value back is a wire no-op on
+    /// every packet it could match, so the planner elides the run.
+    pub fields: Vec<Option<u64>>,
+}
+
+impl PacketFirstSeen {
+    /// Folds one packet's field values into the constancy vector.
+    fn update_constancy(&mut self, spec: &FormatSpec, header: &[u8]) {
+        let n = spec.fields().len();
+        if self.fields.is_empty() {
+            self.fields.reserve(n);
+            for i in 0..n {
+                let v = spec.field_at(i).and_then(|(_, r)| spec.get(header, r).ok());
+                self.fields.push(v);
+            }
+            return;
+        }
+        for i in 0..n {
+            let v = spec.field_at(i).and_then(|(_, r)| spec.get(header, r).ok());
+            if self.fields[i] != v {
+                self.fields[i] = None;
+            }
+        }
+    }
+}
+
+/// Hashes a byte slice with the deterministic netsim hasher (for folding
+/// packet contents into the effect fingerprint).
+fn fx_hash_bytes(bytes: &[u8]) -> u64 {
+    use std::hash::Hasher;
+    let mut h = snake_netsim::FxHasher::default();
+    h.write(bytes);
+    h.finish()
 }
 
 #[derive(Debug, Clone)]
@@ -106,7 +175,7 @@ pub struct AttackProxy {
     /// independently, so multi-connection exhaustion scenarios key
     /// strategies correctly per connection.
     trackers: Vec<((Addr, Addr), PairTracker)>,
-    by_conn: HashMap<(Addr, Addr), usize>,
+    by_conn: FxHashMap<(Addr, Addr), usize>,
     rng: SmallRng,
     observed_client: Option<Addr>,
     observed_server: Option<Addr>,
@@ -119,6 +188,10 @@ pub struct AttackProxy {
     injections: Vec<Option<InjectionRun>>,
     /// Baseline trigger timeline, recorded only when enabled.
     timeline: Option<StateTimeline>,
+    /// When set (see [`AttackProxy::arm_noop_halt`]), the proxy halts the
+    /// simulation as soon as every rule is provably dead without having had
+    /// any wire effect — the rest of the run is the baseline by definition.
+    halt_armed: bool,
     report: ProxyReport,
 }
 
@@ -140,6 +213,7 @@ impl Clone for AttackProxy {
             started: self.started.clone(),
             injections: self.injections.clone(),
             timeline: self.timeline.clone(),
+            halt_armed: self.halt_armed,
             report: self.report.clone(),
         }
     }
@@ -171,7 +245,7 @@ impl AttackProxy {
             config,
             rules,
             trackers: Vec::new(),
-            by_conn: HashMap::new(),
+            by_conn: FxHashMap::default(),
             rng: SmallRng::seed_from_u64(config.seed),
             observed_client: None,
             observed_server: None,
@@ -182,6 +256,7 @@ impl AttackProxy {
             started: vec![false; n],
             injections: (0..n).map(|_| None).collect(),
             timeline: None,
+            halt_armed: false,
             report: ProxyReport::default(),
         }
     }
@@ -200,6 +275,54 @@ impl AttackProxy {
         self.rules = rules;
         self.started = vec![false; n];
         self.injections = (0..n).map(|_| None).collect();
+        self.halt_armed = false;
+    }
+
+    /// Arms the no-op short-circuit: once every rule is a spent one-shot
+    /// (`OnNthPacket` whose packet number has passed) and the run has had
+    /// zero wire effects (`matched == 0 && injected == 0`), the proxy halts
+    /// the simulation — the remainder of the run is the baseline, and the
+    /// executor substitutes the baseline outcome.
+    ///
+    /// Only sound when the caller can vouch that (a) an effect-free run
+    /// really is the baseline (the planner's determinism guard passed) and
+    /// (b) the rules cannot act after going dead — which is why the
+    /// executor arms it only for all-`OnNthPacket`-lie rule sets.
+    pub fn arm_noop_halt(&mut self) {
+        self.halt_armed = true;
+    }
+
+    /// Whether every rule is a one-shot whose firing opportunity has
+    /// passed. Only meaningful for `OnNthPacket` rule sets (any other kind
+    /// keeps the answer `false`, so an armed halt never fires for them).
+    fn noop_rules_dead(&self) -> bool {
+        self.rules.iter().all(|rule| match &rule.kind {
+            StrategyKind::OnNthPacket { endpoint, n, .. } => {
+                let sent = match endpoint {
+                    Endpoint::Client => self.packets_from_client,
+                    Endpoint::Server => self.packets_from_server,
+                };
+                sent >= *n
+            }
+            _ => false,
+        })
+    }
+
+    /// Folds one wire effect into both fingerprint lanes: a category code,
+    /// the packet index (or injection time) it happened at, and an
+    /// effect-specific detail word. Lanes use different rotations,
+    /// pre-whitening, and multipliers, so agreement on both is required
+    /// for two runs to be considered effect-identical.
+    fn fp_fold_event(&mut self, category: u64, index: u64, detail: u64) {
+        const GOLDEN: u64 = 0x9E37_79B9_7F4A_7C15;
+        const MULT_A: u64 = 0x517c_c1b7_2722_0a95;
+        const MULT_B: u64 = 0x2545_F491_4F6C_DD1D;
+        let r = &mut self.report;
+        for w in [category, index, detail] {
+            r.effect_fp_a = (r.effect_fp_a.rotate_left(5) ^ w).wrapping_mul(MULT_A);
+            r.effect_fp_b =
+                (r.effect_fp_b.rotate_left(7) ^ w.wrapping_add(GOLDEN)).wrapping_mul(MULT_B);
+        }
     }
 
     /// Enables baseline trigger-timeline recording (off by default; costs
@@ -387,8 +510,14 @@ impl AttackProxy {
                 // Spread the burst inside the tick to avoid a single
                 // line-rate spike.
                 let spread = SimDuration::from_micros(i * 100);
+                let header_hash = fx_hash_bytes(&pkt.header);
                 ctx.inject(pkt, toward_b, spread);
                 self.report.injected += 1;
+                self.fp_fold_event(
+                    7,
+                    (ctx.now() + spread).as_nanos(),
+                    header_hash ^ toward_b as u64,
+                );
             }
             run.next_seq = (run.next_seq.wrapping_add(run.stride.max(1))) & mask;
             run.remaining -= 1;
@@ -406,16 +535,23 @@ impl AttackProxy {
         mut packet: Packet,
         toward_b: bool,
     ) {
-        self.report.matched += 1;
+        // Fingerprint folds key each effect to the index of the packet it
+        // hit (`packets_seen` was already incremented for this packet).
+        let idx = self.report.packets_seen;
         match attack {
             BasicAttack::Drop { percent } => {
-                if self.rng.gen_range(0u32..100) < *percent as u32 {
+                self.report.matched += 1;
+                let hit = self.rng.gen_range(0u32..100) < *percent as u32;
+                self.fp_fold_event(1, idx, hit as u64);
+                if hit {
                     self.report.dropped += 1;
                 } else {
                     ctx.forward(packet, toward_b);
                 }
             }
             BasicAttack::Duplicate { copies } => {
+                self.report.matched += 1;
+                self.fp_fold_event(2, idx, *copies as u64);
                 for _ in 0..*copies {
                     ctx.forward(packet.clone(), toward_b);
                     self.report.duplicates += 1;
@@ -423,11 +559,15 @@ impl AttackProxy {
                 ctx.forward(packet, toward_b);
             }
             BasicAttack::Delay { secs } => {
+                self.report.matched += 1;
                 self.report.delayed += 1;
+                self.fp_fold_event(3, idx, secs.to_bits());
                 ctx.forward_delayed(packet, toward_b, SimDuration::from_secs_f64(*secs));
             }
             BasicAttack::Batch { secs } => {
+                self.report.matched += 1;
                 self.report.batched += 1;
+                self.fp_fold_event(4, idx, secs.to_bits());
                 self.batch.push((packet, toward_b));
                 if !self.batch_armed {
                     self.batch_armed = true;
@@ -435,17 +575,38 @@ impl AttackProxy {
                 }
             }
             BasicAttack::Reflect => {
+                self.report.matched += 1;
                 self.report.reflected += 1;
                 swap_endpoints(&self.adapter.spec(), &mut packet);
+                self.fp_fold_event(5, idx, fx_hash_bytes(&packet.header));
                 ctx.send_back(packet, toward_b);
             }
             BasicAttack::Lie { field, mutation } => {
+                // A lie that leaves the header byte-identical — the mutation
+                // wrote the value the field already held, the header failed
+                // to parse, or the mutation was out of range — is a wire
+                // no-op: forward the original bytes untouched and count
+                // nothing, so an all-no-op run's report (fingerprint
+                // included) stays bit-identical to the baseline's.
                 let spec = self.adapter.spec();
-                if let Ok(mut header) = spec.parse(std::mem::take(&mut packet.header).into_vec()) {
-                    if mutation.apply(&mut header, field, &mut self.rng).is_ok() {
-                        self.report.lied += 1;
+                let original = packet.header.clone();
+                let mut changed = false;
+                match spec.parse(std::mem::take(&mut packet.header).into_vec()) {
+                    Ok(mut header) => {
+                        if mutation.apply(&mut header, field, &mut self.rng).is_ok() {
+                            let bytes = header.into_bytes();
+                            changed = bytes[..] != original[..];
+                            packet.header = bytes.into();
+                        } else {
+                            packet.header = original;
+                        }
                     }
-                    packet.header = header.into_bytes().into();
+                    Err(_) => packet.header = original,
+                }
+                if changed {
+                    self.report.matched += 1;
+                    self.report.lied += 1;
+                    self.fp_fold_event(6, idx, fx_hash_bytes(&packet.header));
                 }
                 ctx.forward(packet, toward_b);
             }
@@ -517,7 +678,8 @@ impl Tap for AttackProxy {
             Endpoint::Server
         };
         // Rule matching is pure, so it runs against the borrowed state name
-        // before the observe step — no per-packet String clone.
+        // before the observe step — no per-packet String clone; the match
+        // yields the rule's index, not a clone of its attack.
         let matched = {
             let tracker = &self.trackers[idx].1;
             let sender_state = match sender {
@@ -526,28 +688,32 @@ impl Tap for AttackProxy {
             };
             if let Some(tl) = self.timeline.as_mut() {
                 let now = ctx.now();
+                let index = self.report.packets_seen;
+                let spec = self.adapter.spec();
                 tl.packets
                     .entry((sender, sender_state.to_owned(), ptype.to_owned()))
-                    .or_insert(now);
+                    .or_insert_with(|| PacketFirstSeen {
+                        first_at: now,
+                        first_index: index,
+                        fields: Vec::new(),
+                    })
+                    .update_constancy(&spec, &packet.header);
             }
-            self.rules.iter().find_map(|rule| match &rule.kind {
+            self.rules.iter().position(|rule| match &rule.kind {
                 StrategyKind::OnPacket {
                     endpoint,
                     state,
                     packet_type,
-                    attack,
-                } if *endpoint == sender
-                    && state.as_str() == sender_state
-                    && packet_type.as_str() == ptype =>
-                {
-                    Some(attack.clone())
+                    ..
+                } => {
+                    *endpoint == sender
+                        && state.as_str() == sender_state
+                        && packet_type.as_str() == ptype
                 }
-                StrategyKind::OnNthPacket {
-                    endpoint,
-                    n,
-                    attack,
-                } if *endpoint == sender && *n == sender_count => Some(attack.clone()),
-                _ => None,
+                StrategyKind::OnNthPacket { endpoint, n, .. } => {
+                    *endpoint == sender && *n == sender_count
+                }
+                _ => false,
             })
         };
         self.trackers[idx]
@@ -559,18 +725,46 @@ impl Tap for AttackProxy {
             // first visibility for both endpoints of this connection.
             let tracker = &self.trackers[idx].1;
             let now = ctx.now();
+            let index = self.report.packets_seen;
             for (endpoint, t) in [
                 (Endpoint::Client, tracker.client()),
                 (Endpoint::Server, tracker.server()),
             ] {
                 tl.states
                     .entry((endpoint, t.current_name().to_owned()))
-                    .or_insert(now);
+                    .or_insert(StateFirstSeen {
+                        first_at: now,
+                        first_index: index,
+                    });
             }
         }
         match matched {
-            Some(attack) => self.apply_basic(ctx, &attack, packet, toward_b),
+            Some(ri) => {
+                // Move the rule set aside to borrow the matched attack
+                // across the `&mut self` call — no per-packet clone of the
+                // rule or its attack (`apply_basic` never touches rules).
+                let rules = std::mem::take(&mut self.rules);
+                match &rules[ri].kind {
+                    StrategyKind::OnPacket { attack, .. }
+                    | StrategyKind::OnNthPacket { attack, .. } => {
+                        self.apply_basic(ctx, attack, packet, toward_b);
+                    }
+                    _ => unreachable!("matcher only yields packet-triggered rules"),
+                }
+                self.rules = rules;
+            }
             None => ctx.forward(packet, toward_b),
+        }
+        if self.halt_armed
+            && self.report.matched == 0
+            && self.report.injected == 0
+            && self.noop_rules_dead()
+        {
+            // Every rule is a spent one-shot and none of them touched the
+            // wire: the rest of this run is the baseline. Stop simulating;
+            // the executor substitutes the baseline outcome.
+            self.halt_armed = false;
+            ctx.request_halt();
         }
     }
 
@@ -585,14 +779,19 @@ impl Tap for AttackProxy {
             t if t >= TAG_INJECT_BASE => {
                 let i = (t - TAG_INJECT_BASE) as usize;
                 if !self.started[i] {
+                    // Move the rule set aside instead of cloning the whole
+                    // strategy; only the injection attack itself is cloned
+                    // (once per rule, when it first arms).
+                    let rules = std::mem::take(&mut self.rules);
                     if let Some(Strategy {
                         kind: StrategyKind::AtTime { attack, .. },
                         ..
-                    }) = self.rules.get(i).cloned()
+                    }) = rules.get(i)
                     {
                         self.started[i] = true;
-                        self.injections[i] = Some(self.make_run(attack));
+                        self.injections[i] = Some(self.make_run(attack.clone()));
                     }
+                    self.rules = rules;
                 }
                 self.injection_tick(i, ctx)
             }
@@ -602,7 +801,8 @@ impl Tap for AttackProxy {
 
     fn on_finish(&mut self, now: SimTime) {
         // Aggregate observations across every tracked connection.
-        let mut totals: HashMap<(String, String, String, &'static str), u64> = HashMap::new();
+        let mut totals: FxHashMap<(String, String, String, &'static str), u64> =
+            FxHashMap::default();
         for (_, tracker) in &mut self.trackers {
             tracker.finish(now.as_nanos());
         }

@@ -1,17 +1,22 @@
 #!/usr/bin/env bash
 # Campaign throughput benchmark, end to end.
 #
-# Times the quick TCP Linux-3.13 campaign (200-strategy cap) two-and-a-half
-# ways and writes BENCH_campaign.json at the repo root:
+# Times the quick TCP Linux-3.13 campaign (200-strategy cap) three-and-a-
+# half ways and writes BENCH_campaign.json at the repo root (appending the
+# run to the file's `history` array rather than overwriting the trend):
 #
-#   1. snapshot-fork executor (current tree)      — the default runtime
-#   2. from-scratch executor  (current tree)      — same binary, forking off
-#   3. from-scratch executor  (pre-snapshot-fork) — the executor as it was
+#   1. memoized executor      (current tree)      — the default runtime:
+#      snapshot forking plus wire-effect memoization (inert elision,
+#      OnState class sharing, fingerprint verdict cache, no-op halt);
+#      the JSON records its memo / short-circuit hit rates
+#   2. snapshot-fork executor (current tree)      — memoization off
+#   3. from-scratch executor  (current tree)      — same binary, forking off
+#   4. from-scratch executor  (pre-snapshot-fork) — the executor as it was
 #      before forked execution existed, built from PRE_PR_REF in a
 #      throwaway worktree using scripts/prepr_campaign.rs
 #
-# (1) and (2) come from the `campaign_throughput` bench; (3) is measured
-# here and handed to the bench via SNAKE_PRE_PR_WALL_SECS so the JSON can
+# (1)–(3) come from the `campaign_throughput` bench; (4) is measured here
+# and handed to the bench via SNAKE_PRE_PR_WALL_SECS so the JSON can
 # record the cross-commit speedup alongside the same-binary one. If the
 # comparator commit is unreachable (shallow clone) the script degrades to
 # the same-binary comparison only.
