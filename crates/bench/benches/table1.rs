@@ -14,11 +14,11 @@ fn regenerate_table1() {
     let mut results = Vec::new();
     for protocol in all_implementations() {
         let spec = bench_scenario(protocol);
-        let config = CampaignConfig {
-            max_strategies: Some(150),
-            feedback_rounds: 1,
-            ..CampaignConfig::new(spec)
-        };
+        let config = CampaignConfig::builder(spec)
+            .cap(150)
+            .feedback_rounds(1)
+            .build()
+            .expect("valid config");
         results.push(Campaign::run(config).expect("campaign preconditions hold"));
     }
     println!("\nTable I (capped to 150 strategies per implementation):");

@@ -4,17 +4,25 @@
 //! snake list                               implementations under test
 //! snake baseline --impl linux-3.13        run the no-attack scenario
 //! snake campaign --impl linux-3.0.0       full state-based search
-//!               [--cap N] [--data-secs N] [--grace-secs N] [--seed N]
+//!               [--cap N] [--quick] [--manifest FILE] [--observe-summary] …
 //! snake replay --attack close-wait        replay a named Table II attack
 //! snake search-space                      the §VI-C injection-model comparison
 //! ```
+//!
+//! Flag handling is table-driven: each command declares its flags once in
+//! [`COMMANDS`] (name, argument placeholder, help line), the parser walks
+//! that table — so an unknown or misspelled flag is an error instead of
+//! being silently ignored — and `snake help` renders its text from the
+//! very same table.
 
 use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Instant;
 
 use snake_core::search::SearchSpaceParams;
 use snake_core::{
-    detect, render_table1, render_table2, Campaign, CampaignConfig, Executor, ProtocolKind,
-    ScenarioSpec, DEFAULT_THRESHOLD,
+    build_run_manifest, detect, render_table1, render_table2, Campaign, CampaignConfig, Executor,
+    ProtocolKind, Recorder, ScenarioSpec, DEFAULT_THRESHOLD,
 };
 use snake_dccp::DccpProfile;
 use snake_packet::FieldMutation;
@@ -54,6 +62,171 @@ const ATTACKS: &[(&str, &str)] = &[
     ),
 ];
 
+/// One flag a command accepts: `arg` is `None` for a bare switch, or the
+/// placeholder shown in help (`--cap N`) for a value-taking flag.
+struct FlagSpec {
+    name: &'static str,
+    arg: Option<&'static str>,
+    help: &'static str,
+}
+
+const fn switch(name: &'static str, help: &'static str) -> FlagSpec {
+    FlagSpec {
+        name,
+        arg: None,
+        help,
+    }
+}
+
+const fn value(name: &'static str, arg: &'static str, help: &'static str) -> FlagSpec {
+    FlagSpec {
+        name,
+        arg: Some(arg),
+        help,
+    }
+}
+
+/// One subcommand: its flag table drives both the parser and `snake help`.
+struct CommandSpec {
+    name: &'static str,
+    summary: &'static str,
+    flags: &'static [FlagSpec],
+}
+
+/// Scenario flags shared by `baseline` and `campaign`.
+const IMPL_FLAG: FlagSpec = value("--impl", "NAME", "implementation under test (`snake list`)");
+const DATA_SECS_FLAG: FlagSpec = value("--data-secs", "N", "data-phase length in seconds");
+const GRACE_SECS_FLAG: FlagSpec = value("--grace-secs", "N", "observation tail in seconds");
+const SEED_FLAG: FlagSpec = value("--seed", "N", "simulation seed");
+const QUICK_FLAG: FlagSpec = switch(
+    "--quick",
+    "use the shortened quick scenario instead of the paper-length one",
+);
+
+const COMMANDS: &[CommandSpec] = &[
+    CommandSpec {
+        name: "list",
+        summary: "implementations and named attacks",
+        flags: &[],
+    },
+    CommandSpec {
+        name: "baseline",
+        summary: "run the no-attack scenario",
+        flags: &[
+            IMPL_FLAG,
+            DATA_SECS_FLAG,
+            GRACE_SECS_FLAG,
+            SEED_FLAG,
+            QUICK_FLAG,
+        ],
+    },
+    CommandSpec {
+        name: "campaign",
+        summary: "full state-based attack search (one Table I row)",
+        flags: &[
+            IMPL_FLAG,
+            DATA_SECS_FLAG,
+            GRACE_SECS_FLAG,
+            SEED_FLAG,
+            QUICK_FLAG,
+            value("--cap", "N", "test at most N strategies"),
+            value("--budget", "EVENTS", "per-run simulator event budget"),
+            value("--tsv", "FILE", "export per-strategy outcomes as TSV"),
+            value("--journal", "FILE", "stream outcomes to a JSONL journal"),
+            switch("--resume", "reuse outcomes already in the journal"),
+            value("--progress", "N", "progress line every N strategies"),
+            switch("--no-memo", "disable cross-strategy memoization"),
+            value("--manifest", "FILE", "write the observability run manifest"),
+            switch("--observe-summary", "print the observability summary"),
+        ],
+    },
+    CommandSpec {
+        name: "replay",
+        summary: "replay a named Table II attack",
+        flags: &[value("--attack", "NAME", "attack to replay (`snake list`)")],
+    },
+    CommandSpec {
+        name: "search-space",
+        summary: "the §VI-C injection-model comparison",
+        flags: &[],
+    },
+];
+
+/// Flags parsed against one command's table. Duplicated flags keep the
+/// last occurrence, mirroring most CLI conventions.
+struct ParsedFlags<'a> {
+    values: Vec<(&'static str, Option<&'a str>)>,
+}
+
+impl<'a> ParsedFlags<'a> {
+    fn has(&self, name: &str) -> bool {
+        self.values.iter().any(|(n, _)| *n == name)
+    }
+
+    fn get(&self, name: &str) -> Option<&'a str> {
+        self.values
+            .iter()
+            .rev()
+            .find(|(n, _)| *n == name)
+            .and_then(|(_, v)| *v)
+    }
+
+    /// Parses a value flag into `T`, with the flag's own placeholder in
+    /// the error message.
+    fn parsed<T: std::str::FromStr>(&self, spec: &FlagSpec) -> Result<Option<T>, String> {
+        match self.get(spec.name) {
+            None => Ok(None),
+            Some(raw) => raw.parse().map(Some).map_err(|_| {
+                format!(
+                    "{} expects {} (got `{raw}`)",
+                    spec.name,
+                    spec.arg.unwrap_or("a value")
+                )
+            }),
+        }
+    }
+}
+
+/// Finds a flag's spec inside a command table (the parser guarantees the
+/// name exists; this is for typed lookups by callers).
+fn flag_spec(command: &CommandSpec, name: &str) -> &'static FlagSpec {
+    command
+        .flags
+        .iter()
+        .find(|f| f.name == name)
+        .unwrap_or_else(|| panic!("flag {name} not declared for snake {}", command.name))
+}
+
+/// Walks `args` against the command's flag table: every token must be a
+/// declared flag, and value flags must be followed by their argument.
+fn parse_flags<'a>(command: &CommandSpec, args: &'a [String]) -> Result<ParsedFlags<'a>, String> {
+    let mut values = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        let token = args[i].as_str();
+        let Some(spec) = command.flags.iter().find(|f| f.name == token) else {
+            return Err(format!(
+                "unknown flag `{token}` for `snake {}` (see `snake help`)",
+                command.name
+            ));
+        };
+        match spec.arg {
+            None => {
+                values.push((spec.name, None));
+                i += 1;
+            }
+            Some(placeholder) => {
+                let Some(value) = args.get(i + 1) else {
+                    return Err(format!("{} expects {placeholder}", spec.name));
+                };
+                values.push((spec.name, Some(value.as_str())));
+                i += 2;
+            }
+        }
+    }
+    Ok(ParsedFlags { values })
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(command) = args.first() else {
@@ -61,16 +234,21 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     };
     let result = match command.as_str() {
-        "list" => cmd_list(),
-        "baseline" => cmd_baseline(&args[1..]),
-        "campaign" => cmd_campaign(&args[1..]),
-        "replay" => cmd_replay(&args[1..]),
-        "search-space" => cmd_search_space(),
         "help" | "--help" | "-h" => {
             usage();
             Ok(())
         }
-        other => Err(format!("unknown command `{other}`")),
+        name => match COMMANDS.iter().find(|c| c.name == name) {
+            None => Err(format!("unknown command `{name}`")),
+            Some(spec) => parse_flags(spec, &args[1..]).and_then(|flags| match spec.name {
+                "list" => cmd_list(),
+                "baseline" => cmd_baseline(spec, &flags),
+                "campaign" => cmd_campaign(spec, &flags),
+                "replay" => cmd_replay(&flags),
+                "search-space" => cmd_search_space(),
+                other => unreachable!("command {other} declared but not dispatched"),
+            }),
+        },
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
@@ -82,30 +260,27 @@ fn main() -> ExitCode {
     }
 }
 
+/// Renders the help text from [`COMMANDS`] — the same table the parser
+/// uses, so help and behaviour cannot drift apart.
 fn usage() {
-    eprintln!(
-        "snake — state-based network attack explorer (SNAKE, DSN 2015 reproduction)\n\n\
-         USAGE:\n  \
-         snake list\n  \
-         snake baseline --impl <name> [--data-secs N] [--seed N]\n  \
-         snake campaign --impl <name> [--cap N] [--data-secs N] [--grace-secs N] [--seed N] [--tsv FILE]\n  \
-                        [--journal FILE] [--resume] [--budget EVENTS] [--progress N] [--no-memo]\n  \
-         snake replay --attack <name>\n  \
-         snake search-space\n\n\
-         Run `snake list` for implementation and attack names."
-    );
+    eprintln!("snake — state-based network attack explorer (SNAKE, DSN 2015 reproduction)\n");
+    eprintln!("USAGE:");
+    for command in COMMANDS {
+        eprintln!("  snake {:<13} {}", command.name, command.summary);
+        for flag in command.flags {
+            let left = match flag.arg {
+                Some(arg) => format!("{} {arg}", flag.name),
+                None => flag.name.to_owned(),
+            };
+            eprintln!("      {left:<20} {}", flag.help);
+        }
+    }
+    eprintln!("  snake help\n\nRun `snake list` for implementation and attack names.");
 }
 
-/// Looks up `--key value` in an argument list.
-fn flag(args: &[String], key: &str) -> Option<String> {
-    args.iter()
-        .position(|a| a == key)
-        .and_then(|i| args.get(i + 1).cloned())
-}
-
-fn parse_impl(args: &[String]) -> Result<ProtocolKind, String> {
-    let name = flag(args, "--impl").ok_or("missing --impl <name>")?;
-    Ok(match name.as_str() {
+fn parse_impl(flags: &ParsedFlags<'_>) -> Result<ProtocolKind, String> {
+    let name = flags.get("--impl").ok_or("missing --impl <name>")?;
+    Ok(match name {
         "linux-3.0.0" => ProtocolKind::Tcp(Profile::linux_3_0_0()),
         "linux-3.13" => ProtocolKind::Tcp(Profile::linux_3_13()),
         "windows-8.1" => ProtocolKind::Tcp(Profile::windows_8_1()),
@@ -119,16 +294,21 @@ fn parse_impl(args: &[String]) -> Result<ProtocolKind, String> {
     })
 }
 
-fn parse_scenario(args: &[String]) -> Result<ScenarioSpec, String> {
-    let mut spec = ScenarioSpec::evaluation(parse_impl(args)?);
-    if let Some(v) = flag(args, "--data-secs") {
-        spec.data_secs = v.parse().map_err(|_| "--data-secs expects an integer")?;
+fn parse_scenario(command: &CommandSpec, flags: &ParsedFlags<'_>) -> Result<ScenarioSpec, String> {
+    let protocol = parse_impl(flags)?;
+    let mut spec = if flags.has("--quick") {
+        ScenarioSpec::quick(protocol)
+    } else {
+        ScenarioSpec::evaluation(protocol)
+    };
+    if let Some(v) = flags.parsed(flag_spec(command, "--data-secs"))? {
+        spec.data_secs = v;
     }
-    if let Some(v) = flag(args, "--grace-secs") {
-        spec.grace_secs = v.parse().map_err(|_| "--grace-secs expects an integer")?;
+    if let Some(v) = flags.parsed(flag_spec(command, "--grace-secs"))? {
+        spec.grace_secs = v;
     }
-    if let Some(v) = flag(args, "--seed") {
-        spec.seed = v.parse().map_err(|_| "--seed expects an integer")?;
+    if let Some(v) = flags.parsed(flag_spec(command, "--seed"))? {
+        spec.seed = v;
     }
     Ok(spec)
 }
@@ -145,8 +325,8 @@ fn cmd_list() -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_baseline(args: &[String]) -> Result<(), String> {
-    let spec = parse_scenario(args)?;
+fn cmd_baseline(command: &CommandSpec, flags: &ParsedFlags<'_>) -> Result<(), String> {
+    let spec = parse_scenario(command, flags)?;
     let m = Executor::run(&spec, None);
     println!("implementation : {}", spec.protocol.implementation_name());
     println!(
@@ -172,35 +352,39 @@ fn cmd_baseline(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_campaign(args: &[String]) -> Result<(), String> {
-    let mut spec = parse_scenario(args)?;
-    let cap = match flag(args, "--cap") {
-        Some(v) => Some(v.parse().map_err(|_| "--cap expects an integer")?),
-        None => None,
-    };
-    if let Some(v) = flag(args, "--budget") {
-        let budget: u64 = v
-            .parse()
-            .map_err(|_| "--budget expects an integer (events)")?;
+fn cmd_campaign(command: &CommandSpec, flags: &ParsedFlags<'_>) -> Result<(), String> {
+    let mut spec = parse_scenario(command, flags)?;
+    if let Some(budget) = flags.parsed(flag_spec(command, "--budget"))? {
         spec.event_budget = Some(budget);
     }
-    let journal = flag(args, "--journal").map(std::path::PathBuf::from);
-    let resume = args.iter().any(|a| a == "--resume");
-    let progress_every = match flag(args, "--progress") {
-        Some(v) => v.parse().map_err(|_| "--progress expects an integer")?,
-        None => 0,
-    };
-    let memoize = !args.iter().any(|a| a == "--no-memo");
-    let config = CampaignConfig {
-        max_strategies: cap,
-        journal,
-        resume,
-        progress_every,
-        memoize,
-        ..CampaignConfig::new(spec)
-    };
-    let start = std::time::Instant::now();
+    let memoize = !flags.has("--no-memo");
+    let manifest_path = flags.get("--manifest");
+    let observe_summary = flags.has("--observe-summary");
+    // The recorder only exists when someone will read it; otherwise the
+    // campaign keeps the default no-op observer and pays nothing.
+    let recorder = (manifest_path.is_some() || observe_summary).then(|| Arc::new(Recorder::new()));
+
+    let mut builder = CampaignConfig::builder(spec).memoize(memoize);
+    if let Some(cap) = flags.parsed(flag_spec(command, "--cap"))? {
+        builder = builder.cap(cap);
+    }
+    if let Some(path) = flags.get("--journal") {
+        builder = builder.journal(path);
+    }
+    if flags.has("--resume") {
+        builder = builder.resume(true);
+    }
+    if let Some(every) = flags.parsed(flag_spec(command, "--progress"))? {
+        builder = builder.progress_every(every);
+    }
+    if let Some(recorder) = &recorder {
+        builder = builder.observer(recorder.clone());
+    }
+    let config = builder.build().map_err(|e| e.to_string())?;
+
+    let start = Instant::now();
     let result = Campaign::run(config).map_err(|e| e.to_string())?;
+    let wall_secs = start.elapsed().as_secs_f64();
     eprintln!(
         "{} strategies in {:.1?} ({} errored, {} truncated)",
         result.strategies_tried(),
@@ -226,17 +410,69 @@ fn cmd_campaign(args: &[String]) -> Result<(), String> {
     }
     println!("{}", render_table1(std::slice::from_ref(&result)));
     println!("{}", render_table2(std::slice::from_ref(&result)));
-    if let Some(path) = flag(args, "--tsv") {
-        std::fs::write(&path, result.export_outcomes_tsv())
+    if let Some(path) = flags.get("--tsv") {
+        std::fs::write(path, result.export_outcomes_tsv())
             .map_err(|e| format!("writing {path}: {e}"))?;
         eprintln!("wrote per-strategy outcomes to {path}");
+    }
+    if let Some(recorder) = &recorder {
+        let snapshot = recorder.snapshot();
+        let manifest = build_run_manifest(&result, &snapshot, wall_secs);
+        if let Some(path) = manifest_path {
+            let json = manifest.to_json().to_string_compact();
+            std::fs::write(path, format!("{json}\n"))
+                .map_err(|e| format!("writing {path}: {e}"))?;
+            eprintln!("wrote run manifest to {path}");
+        }
+        if observe_summary {
+            print_observe_summary(&snapshot, wall_secs);
+        }
     }
     Ok(())
 }
 
-fn cmd_replay(args: &[String]) -> Result<(), String> {
-    let name = flag(args, "--attack").ok_or("missing --attack <name>")?;
-    let (protocol, strategy) = named_attack(&name)?;
+/// Human-oriented digest of the recorder snapshot (`--observe-summary`).
+fn print_observe_summary(snapshot: &snake_core::RecorderSnapshot, wall_secs: f64) {
+    eprintln!("observability summary ({wall_secs:.2}s wall clock):");
+    eprintln!(
+        "  runs: {} from scratch, {} forked, {} elided, {} halted",
+        snapshot.counter("exec.runs.from_scratch"),
+        snapshot.counter("exec.runs.forked"),
+        snapshot.counter("exec.runs.elided"),
+        snapshot.counter("exec.runs.halted"),
+    );
+    eprintln!(
+        "  netsim: {} events, {} timers cancelled, {} purged, {} queue compactions",
+        snapshot.counter("netsim.events"),
+        snapshot.counter("netsim.timers_cancelled"),
+        snapshot.counter("netsim.timers_purged"),
+        snapshot.counter("netsim.queue_compactions"),
+    );
+    eprintln!(
+        "  forks: {} snapshot captures ({} bytes), {} run forks ({} bytes)",
+        snapshot.counter("netsim.snapshot_forks"),
+        snapshot.counter("netsim.snapshot_clone_bytes"),
+        snapshot.counter("netsim.forks"),
+        snapshot.counter("netsim.fork_clone_bytes"),
+    );
+    for (name, (count, wall_nanos)) in snapshot.span_totals() {
+        eprintln!(
+            "  {name}: {count} span(s), {:.3}s wall",
+            wall_nanos as f64 / 1e9
+        );
+    }
+    if let Some(busy) = snapshot.histograms.get("worker.busy_nanos") {
+        eprintln!(
+            "  workers: {} batch-worker lifetimes, mean busy {:.3}s",
+            busy.count,
+            busy.mean() as f64 / 1e9
+        );
+    }
+}
+
+fn cmd_replay(flags: &ParsedFlags<'_>) -> Result<(), String> {
+    let name = flags.get("--attack").ok_or("missing --attack <name>")?;
+    let (protocol, strategy) = named_attack(name)?;
     let spec = ScenarioSpec::evaluation(protocol);
     let baseline = Executor::run(&spec, None);
     let attacked = Executor::run(&spec, Some(strategy.clone()));

@@ -2,76 +2,67 @@ use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::io;
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 use snake_netsim::FxHashMap;
+use snake_observe::{self as observe, Observer};
 use snake_proxy::{InjectionAttack, Strategy, StrategyKind};
 
 use crate::attacks::{classify, cluster_attacks, AttackFinding};
 use crate::detect::{baseline_valid, detect, Verdict, DEFAULT_THRESHOLD};
 use crate::journal::{self, JournalHeader, JournalWriter};
-use crate::scenario::{PlannedExecutor, ScenarioSpec, TestMetrics};
+use crate::scenario::{ExecutorOptions, PlannedExecutor, ScenarioSpec, TestMetrics};
 use crate::strategen::{generate_strategies, is_on_path, is_self_denial, GenerationParams};
 
 /// Configuration of one campaign: one implementation under test, searched
 /// exhaustively with the state-based strategy generator.
+///
+/// Built exclusively through [`CampaignConfig::builder`], which validates
+/// the whole configuration once at
+/// [`build`](CampaignConfigBuilder::build) time — so a `CampaignConfig`
+/// that exists is a `CampaignConfig` that can run. The fields are private
+/// on purpose: the old `CampaignConfig::new(spec)` + public-field-mutation
+/// pattern let callers assemble configurations no validation ever saw
+/// (zero feedback rounds, `resume` without a journal).
 #[derive(Clone)]
 pub struct CampaignConfig {
-    /// The scenario every strategy is tested in.
-    pub scenario: ScenarioSpec,
-    /// Basic-attack parameter lists.
-    pub params: GenerationParams,
-    /// Detection threshold (the paper's 50 %).
-    pub threshold: f64,
-    /// Executor worker threads (the paper ran five executors).
-    pub parallelism: usize,
-    /// Optional cap on the number of strategies to test (for quick runs).
-    pub max_strategies: Option<usize>,
-    /// How many feedback rounds of strategy generation to run: round 0
-    /// uses the baseline's observations, later rounds add strategies for
-    /// states first exposed by attack runs.
-    pub feedback_rounds: usize,
-    /// Re-test flagged strategies under a different seed and keep only
-    /// repeatable ones (§V-A).
-    pub retest: bool,
-    /// Streaming JSONL journal: every outcome is appended (and flushed) as
-    /// it completes, so a killed campaign leaves a usable record behind.
-    pub journal: Option<PathBuf>,
-    /// Resume from the journal: outcomes already recorded for an identical
-    /// strategy are reused instead of re-run, and new outcomes are appended
-    /// to the same file. Requires `journal`.
-    pub resume: bool,
-    /// Print a progress line to stderr every N completed strategies
-    /// (0 disables progress output).
-    pub progress_every: usize,
-    /// Execute strategies by forking snapshots of the no-attack baseline
-    /// instead of replaying the attack-free prefix from scratch (see
-    /// [`PlannedExecutor`](crate::scenario::PlannedExecutor)). Results are
-    /// identical either way — the planner falls back to from-scratch runs
-    /// whenever fork equivalence cannot be guaranteed — so this is purely
-    /// a throughput knob.
-    pub snapshot_fork: bool,
-    /// Memoize across strategies: statically provable wire no-ops are
-    /// answered with the baseline outcome, trigger-equivalent `OnState`
-    /// strategies share one representative run, runs whose wire-effect
-    /// fingerprint was seen before share the cached verdict, and the
-    /// executor halts runs whose rules are spent without a wire effect.
-    /// Every shortcut is conditioned on the snapshot planner's determinism
-    /// guard (same philosophy: memoization is disabled whenever identical
-    /// replay cannot be guaranteed), so outcomes are bit-identical with
-    /// memoization off — this too is purely a throughput knob. Forced off
-    /// when a `fault_hook` is installed, because an elided strategy never
-    /// reaches the hook.
-    pub memoize: bool,
-    /// Test-only fault injection: called with each strategy right before
-    /// its evaluation, inside the panic isolation boundary. A hook that
-    /// panics simulates a crashing engine run.
-    pub fault_hook: Option<FaultHook>,
+    // The scenario every strategy is tested in.
+    scenario: ScenarioSpec,
+    // Basic-attack parameter lists.
+    params: GenerationParams,
+    // Detection threshold (the paper's 50 %).
+    threshold: f64,
+    // Executor worker threads (the paper ran five executors).
+    parallelism: usize,
+    // Optional cap on the number of strategies to test (for quick runs).
+    max_strategies: Option<usize>,
+    // Feedback rounds of strategy generation: round 0 uses the baseline's
+    // observations, later rounds add strategies for states first exposed
+    // by attack runs.
+    feedback_rounds: usize,
+    // Re-test flagged strategies under a different seed (§V-A).
+    retest: bool,
+    // Streaming JSONL journal path.
+    journal: Option<PathBuf>,
+    // Reuse journaled outcomes instead of re-running them.
+    resume: bool,
+    // Progress line to stderr every N completed strategies (0 = off).
+    progress_every: usize,
+    // Fork baseline snapshots instead of replaying the attack-free prefix.
+    snapshot_fork: bool,
+    // Cross-strategy memoization (inert elision, class sharing,
+    // fingerprint cache, no-op halt).
+    memoize: bool,
+    // Test-only fault injection inside the panic isolation boundary.
+    fault_hook: Option<FaultHook>,
+    // Observability sink threaded through the executors and workers.
+    observer: Arc<dyn Observer>,
 }
 
 /// Fault-injection hook called before each strategy evaluation, inside the
-/// panic isolation boundary (see [`CampaignConfig::fault_hook`]).
+/// panic isolation boundary (see [`CampaignConfigBuilder::fault_hook`]).
 pub type FaultHook = Arc<dyn Fn(&Strategy) + Send + Sync>;
 
 impl fmt::Debug for CampaignConfig {
@@ -90,15 +81,17 @@ impl fmt::Debug for CampaignConfig {
             .field("snapshot_fork", &self.snapshot_fork)
             .field("memoize", &self.memoize)
             .field("fault_hook", &self.fault_hook.as_ref().map(|_| "<hook>"))
+            .field("observer_enabled", &self.observer.enabled())
             .finish()
     }
 }
 
 impl CampaignConfig {
-    /// Defaults mirroring the paper's setup (five executors, 50 %
-    /// threshold, repeatability re-testing, two feedback rounds).
-    pub fn new(scenario: ScenarioSpec) -> CampaignConfig {
-        CampaignConfig {
+    /// Starts a builder with defaults mirroring the paper's setup (five
+    /// executors, 50 % threshold, repeatability re-testing, two feedback
+    /// rounds) and no observer.
+    pub fn builder(scenario: ScenarioSpec) -> CampaignConfigBuilder {
+        CampaignConfigBuilder {
             scenario,
             params: GenerationParams::default(),
             threshold: DEFAULT_THRESHOLD,
@@ -114,7 +107,201 @@ impl CampaignConfig {
             snapshot_fork: true,
             memoize: true,
             fault_hook: None,
+            observer: observe::noop(),
         }
+    }
+
+    /// Default configuration for `scenario`.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `CampaignConfig::builder(scenario)` and its setters; \
+                `build()` validates what field mutation never did"
+    )]
+    pub fn new(scenario: ScenarioSpec) -> CampaignConfig {
+        CampaignConfig::builder(scenario)
+            .build()
+            .expect("the default configuration is valid")
+    }
+}
+
+/// Validating builder for [`CampaignConfig`] — the only way to construct
+/// one. Every setter is chainable; [`build`](CampaignConfigBuilder::build)
+/// checks the combination and returns
+/// [`CampaignError::InvalidConfig`] / [`CampaignError::ResumeWithoutJournal`]
+/// instead of letting a nonsensical campaign start.
+#[derive(Clone)]
+pub struct CampaignConfigBuilder {
+    scenario: ScenarioSpec,
+    params: GenerationParams,
+    threshold: f64,
+    parallelism: usize,
+    max_strategies: Option<usize>,
+    feedback_rounds: usize,
+    retest: bool,
+    journal: Option<PathBuf>,
+    resume: bool,
+    progress_every: usize,
+    snapshot_fork: bool,
+    memoize: bool,
+    fault_hook: Option<FaultHook>,
+    observer: Arc<dyn Observer>,
+}
+
+impl fmt::Debug for CampaignConfigBuilder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CampaignConfigBuilder")
+            .field("scenario", &self.scenario)
+            .field("threshold", &self.threshold)
+            .field("parallelism", &self.parallelism)
+            .field("max_strategies", &self.max_strategies)
+            .field("feedback_rounds", &self.feedback_rounds)
+            .field("retest", &self.retest)
+            .field("journal", &self.journal)
+            .field("resume", &self.resume)
+            .finish_non_exhaustive()
+    }
+}
+
+impl CampaignConfigBuilder {
+    /// Basic-attack parameter lists for the strategy generator.
+    pub fn params(mut self, params: GenerationParams) -> Self {
+        self.params = params;
+        self
+    }
+
+    /// Detection threshold as a fraction (the paper's 50 % is `0.5`).
+    pub fn threshold(mut self, threshold: f64) -> Self {
+        self.threshold = threshold;
+        self
+    }
+
+    /// Executor worker threads.
+    pub fn parallelism(mut self, workers: usize) -> Self {
+        self.parallelism = workers;
+        self
+    }
+
+    /// Caps the number of strategies tested (quick runs, benchmarks).
+    pub fn cap(mut self, max_strategies: usize) -> Self {
+        self.max_strategies = Some(max_strategies);
+        self
+    }
+
+    /// How many feedback rounds of strategy generation to run.
+    pub fn feedback_rounds(mut self, rounds: usize) -> Self {
+        self.feedback_rounds = rounds;
+        self
+    }
+
+    /// Re-test flagged strategies under a different seed and keep only
+    /// repeatable ones (§V-A).
+    pub fn retest(mut self, retest: bool) -> Self {
+        self.retest = retest;
+        self
+    }
+
+    /// Streams every outcome to a JSONL journal at `path` as it completes,
+    /// so a killed campaign leaves a usable record behind.
+    pub fn journal(mut self, path: impl Into<PathBuf>) -> Self {
+        self.journal = Some(path.into());
+        self
+    }
+
+    /// Reuses outcomes already recorded in the journal instead of
+    /// re-running them. Requires [`journal`](Self::journal).
+    pub fn resume(mut self, resume: bool) -> Self {
+        self.resume = resume;
+        self
+    }
+
+    /// Prints a progress line to stderr every `n` completed strategies
+    /// (0 disables progress output).
+    pub fn progress_every(mut self, n: usize) -> Self {
+        self.progress_every = n;
+        self
+    }
+
+    /// Executes strategies by forking snapshots of the no-attack baseline
+    /// instead of replaying the attack-free prefix from scratch (see
+    /// [`PlannedExecutor`]). Results are identical either way — the
+    /// planner falls back to from-scratch runs whenever fork equivalence
+    /// cannot be guaranteed — so this is purely a throughput knob.
+    pub fn snapshot_fork(mut self, snapshot_fork: bool) -> Self {
+        self.snapshot_fork = snapshot_fork;
+        self
+    }
+
+    /// Memoizes across strategies: statically provable wire no-ops are
+    /// answered with the baseline outcome, trigger-equivalent `OnState`
+    /// strategies share one representative run, runs whose wire-effect
+    /// fingerprint was seen before share the cached verdict, and the
+    /// executor halts runs whose rules are spent without a wire effect.
+    /// Every shortcut is conditioned on the snapshot planner's determinism
+    /// guard (same philosophy: memoization is disabled whenever identical
+    /// replay cannot be guaranteed), so outcomes are bit-identical with
+    /// memoization off — this too is purely a throughput knob. Forced off
+    /// when a `fault_hook` is installed, because an elided strategy never
+    /// reaches the hook.
+    pub fn memoize(mut self, memoize: bool) -> Self {
+        self.memoize = memoize;
+        self
+    }
+
+    /// Test-only fault injection: `hook` is called with each strategy
+    /// right before its evaluation, inside the panic isolation boundary.
+    /// A hook that panics simulates a crashing engine run.
+    pub fn fault_hook(mut self, hook: FaultHook) -> Self {
+        self.fault_hook = Some(hook);
+        self
+    }
+
+    /// Observability sink for the campaign: phase spans, executor and
+    /// netsim counters, per-worker histograms. Pass an
+    /// [`observe::Recorder`](snake_observe::Recorder) wrapped in an `Arc`
+    /// and snapshot it after the run to build a
+    /// [`RunManifest`](snake_observe::RunManifest). The default is the
+    /// no-op observer, which compiles the instrumentation down to nothing.
+    pub fn observer(mut self, observer: Arc<dyn Observer>) -> Self {
+        self.observer = observer;
+        self
+    }
+
+    /// Validates the configuration and produces the [`CampaignConfig`].
+    pub fn build(self) -> Result<CampaignConfig, CampaignError> {
+        let invalid = |detail: String| Err(CampaignError::InvalidConfig { detail });
+        if !self.threshold.is_finite() || self.threshold <= 0.0 {
+            return invalid(format!(
+                "threshold must be a finite fraction above zero, got {}",
+                self.threshold
+            ));
+        }
+        if self.parallelism == 0 {
+            return invalid("parallelism must be at least one worker".to_owned());
+        }
+        if self.feedback_rounds == 0 {
+            return invalid(
+                "feedback_rounds must be at least one (round 0 is the baseline round)".to_owned(),
+            );
+        }
+        if self.resume && self.journal.is_none() {
+            return Err(CampaignError::ResumeWithoutJournal);
+        }
+        Ok(CampaignConfig {
+            scenario: self.scenario,
+            params: self.params,
+            threshold: self.threshold,
+            parallelism: self.parallelism,
+            max_strategies: self.max_strategies,
+            feedback_rounds: self.feedback_rounds,
+            retest: self.retest,
+            journal: self.journal,
+            resume: self.resume,
+            progress_every: self.progress_every,
+            snapshot_fork: self.snapshot_fork,
+            memoize: self.memoize,
+            fault_hook: self.fault_hook,
+            observer: self.observer,
+        })
     }
 }
 
@@ -147,6 +334,12 @@ pub enum CampaignError {
     },
     /// `resume` was requested without a journal path to resume from.
     ResumeWithoutJournal,
+    /// The builder rejected the configuration (non-finite threshold, zero
+    /// workers, zero feedback rounds, …) before anything ran.
+    InvalidConfig {
+        /// Human-readable description of the rejected combination.
+        detail: String,
+    },
 }
 
 impl fmt::Display for CampaignError {
@@ -169,6 +362,9 @@ impl fmt::Display for CampaignError {
             }
             CampaignError::ResumeWithoutJournal => {
                 f.write_str("resume requested without a journal path")
+            }
+            CampaignError::InvalidConfig { detail } => {
+                write!(f, "invalid campaign configuration: {detail}")
             }
         }
     }
@@ -230,10 +426,13 @@ pub struct StrategyOutcome {
     pub outcome_kind: OutcomeKind,
     /// The panic message, when `outcome_kind` is [`OutcomeKind::Errored`].
     pub error: Option<String>,
-    /// How memoization produced this outcome without a dedicated run:
-    /// `"inert"` (statically provable wire no-op, answered with the
-    /// baseline) or `"class"` (shared the run of a trigger-equivalent
-    /// representative). `None` for outcomes that ran. Recorded in the
+    /// How memoization produced (or shortened) this outcome: `"inert"`
+    /// (statically provable wire no-op, answered with the baseline),
+    /// `"class"` (shared the run of a trigger-equivalent representative),
+    /// `"fp"` (verdict served from the wire-effect fingerprint cache), or
+    /// `"halt"` (the proxy halted the run once every rule was spent
+    /// without a wire effect and substituted the baseline). `None` for
+    /// outcomes whose run went the ordinary distance. Recorded in the
     /// journal so `--resume` replays memoized outcomes exactly.
     pub memo: Option<String>,
 }
@@ -279,13 +478,17 @@ pub struct CampaignResult {
     /// can leave a partial final line; it is skipped, not fatal).
     pub journal_lines_skipped: usize,
     /// Memoization hits: outcomes that shared a trigger-equivalent
-    /// representative's run plus verdicts shared through the wire-effect
-    /// fingerprint cache. Zero when memoization is off.
+    /// representative's run (`memo == "class"`) plus verdicts served from
+    /// the wire-effect fingerprint cache (`memo == "fp"`). Derived by
+    /// counting the outcome markers, so the run manifest's memo breakdown
+    /// always sums back to this field. Zero when memoization is off.
     pub memo_hits: usize,
     /// Runs short-circuited outright: statically provable wire no-ops
-    /// answered with the baseline outcome plus runs the proxy halted once
-    /// every rule was spent without a wire effect. Zero when memoization
-    /// is off.
+    /// answered with the baseline outcome (`memo == "inert"`) plus main
+    /// runs the proxy halted once every rule was spent without a wire
+    /// effect (`memo == "halt"`). Derived from the outcome markers;
+    /// auxiliary halts (re-test and control runs) show up in the
+    /// executors' own tallies, not here. Zero when memoization is off.
     pub short_circuits: usize,
 }
 
@@ -447,7 +650,13 @@ impl Campaign {
         // answers some strategies without ever evaluating them) is forced
         // off under fault injection.
         let memoize = config.memoize && config.fault_hook.is_none();
-        let exec = PlannedExecutor::with_options(&spec, config.snapshot_fork, memoize);
+        let exec_options = ExecutorOptions {
+            snapshot_fork: config.snapshot_fork,
+            memoize,
+            halt_arming: true,
+            observer: config.observer.clone(),
+        };
+        let exec = PlannedExecutor::new(&spec, exec_options.clone());
         let baseline = exec.baseline().clone();
         if !baseline_valid(&baseline) {
             return Err(CampaignError::InvalidBaseline {
@@ -461,11 +670,7 @@ impl Campaign {
             ..spec.clone()
         };
         let retest_exec = if config.retest {
-            Some(PlannedExecutor::with_options(
-                &retest_spec,
-                config.snapshot_fork,
-                memoize,
-            ))
+            Some(PlannedExecutor::new(&retest_spec, exec_options))
         } else {
             None
         };
@@ -526,7 +731,7 @@ impl Campaign {
         let journal_error: Mutex<Option<io::Error>> = Mutex::new(None);
         let progress = Mutex::new(Progress::default());
         let progress_every = config.progress_every;
-        let observer = |outcome: &StrategyOutcome| {
+        let on_outcome = |outcome: &StrategyOutcome| {
             if let Some(cell) = &journal_cell {
                 let mut writer = cell.lock().unwrap_or_else(|e| e.into_inner());
                 if let Err(e) = writer.record(outcome) {
@@ -558,18 +763,15 @@ impl Campaign {
         let mut outcomes: Vec<StrategyOutcome> = Vec::new();
         let mut resumed = 0usize;
         let mut reports = vec![baseline.proxy.clone()];
-        let mut memo_hits = 0usize;
-        let mut short_circuits = 0usize;
         let shared = Arc::new(SharedCtx {
             exec,
             retest_exec,
             config: config.clone(),
             memoize,
             fp_cache: Mutex::new(FxHashMap::default()),
-            fp_hits: AtomicU64::new(0),
         });
 
-        for _round in 0..config.feedback_rounds.max(1) {
+        for _round in 0..config.feedback_rounds {
             // The cap is re-checked at the top of every round: feedback
             // rounds keep generating strategies, so a cap satisfied in
             // round 0 must still stop rounds 1..n.
@@ -598,13 +800,28 @@ impl Campaign {
             // Split the round into journaled outcomes we can reuse and
             // strategies that still need a run. Identity is checked on the
             // full strategy, not just the id, so a stale journal entry is
-            // re-run rather than trusted.
+            // re-run rather than trusted. Reused outcomes re-prime the
+            // memoization layers — the fingerprint cache is re-seeded from
+            // their recorded verdicts and non-inert reused strategies
+            // re-register as class representatives — so a resumed campaign
+            // reaches the same memo decisions (and markers) as an
+            // uninterrupted one.
             let mut round: Vec<Option<StrategyOutcome>> = fresh.iter().map(|_| None).collect();
             let mut pending: Vec<(usize, Strategy)> = Vec::new();
+            let mut class_reps: BTreeMap<String, usize> = BTreeMap::new();
             for (i, s) in fresh.into_iter().enumerate() {
                 match reusable.remove(&s.id) {
                     Some(prev) if prev.strategy == s => {
                         resumed += 1;
+                        seed_fp_cache(&shared, &prev);
+                        // An inert-marked outcome never reached the class
+                        // grouping in the original run, so it must not
+                        // become a representative now.
+                        if prev.memo.as_deref() != Some("inert") {
+                            if let Some(key) = class_key(&shared, &s) {
+                                class_reps.entry(key).or_insert(i);
+                            }
+                        }
                         round[i] = Some(prev);
                     }
                     _ => pending.push((i, s)),
@@ -617,11 +834,9 @@ impl Campaign {
             // per class runs — the rest copy its result afterwards.
             let mut to_run: Vec<(usize, Strategy)> = Vec::new();
             let mut followers: Vec<(usize, Strategy, usize)> = Vec::new();
-            let mut class_reps: BTreeMap<String, usize> = BTreeMap::new();
             for (i, s) in pending {
                 if let Some(outcome) = inert_outcome(&shared, &s) {
-                    short_circuits += 1;
-                    observer(&outcome);
+                    on_outcome(&outcome);
                     round[i] = Some(outcome);
                     continue;
                 }
@@ -636,26 +851,27 @@ impl Campaign {
                     None => to_run.push((i, s)),
                 }
             }
+            let batch_span = observe::span(config.observer.as_ref(), "phase.batch", 0);
             let (indices, batch): (Vec<usize>, Vec<Strategy>) = to_run.into_iter().unzip();
-            let ran = run_batch(&shared, batch, config.parallelism, &observer);
+            let ran = run_batch(&shared, batch, config.parallelism, &on_outcome);
             for (i, outcome) in indices.into_iter().zip(ran) {
                 round[i] = Some(outcome);
             }
             for (i, s, rep) in followers {
                 let rep_outcome = round[rep]
                     .as_ref()
-                    .expect("class representative ran in this batch");
+                    .expect("class representatives are reused or ran in this batch");
                 let outcome = if rep_outcome.outcome_kind == OutcomeKind::Errored {
                     // A panicking representative proves nothing about its
                     // class; run the member itself.
                     evaluate_guarded(&shared, s)
                 } else {
-                    memo_hits += 1;
                     materialize_class_member(rep_outcome, s)
                 };
-                observer(&outcome);
+                on_outcome(&outcome);
                 round[i] = Some(outcome);
             }
+            drop(batch_span);
 
             for o in round.into_iter().flatten() {
                 // Feedback: states/types newly exposed under attack seed
@@ -693,12 +909,18 @@ impl Campaign {
             .collect();
         let findings = cluster_attacks(&classified);
 
-        let fp_hits = shared.fp_hits.load(Ordering::Relaxed) as usize;
-        let halted = (shared.exec.short_circuits()
-            + shared
-                .retest_exec
-                .as_ref()
-                .map_or(0, |e| e.short_circuits())) as usize;
+        // The memo totals are derived from the provenance markers the
+        // outcomes actually carry, so the campaign counters, the journal
+        // and the run manifest can never disagree.
+        let mut memo_hits = 0usize;
+        let mut short_circuits = 0usize;
+        for o in &outcomes {
+            match o.memo.as_deref() {
+                Some("class") | Some("fp") => memo_hits += 1,
+                Some("inert") | Some("halt") => short_circuits += 1,
+                _ => {}
+            }
+        }
 
         Ok(CampaignResult {
             protocol: spec.protocol.protocol_name().to_owned(),
@@ -708,8 +930,8 @@ impl Campaign {
             findings,
             resumed,
             journal_lines_skipped,
-            memo_hits: memo_hits + fp_hits,
-            short_circuits: short_circuits + halted,
+            memo_hits,
+            short_circuits,
         })
     }
 }
@@ -731,11 +953,37 @@ struct SharedCtx {
     /// flagged outcome also depends on the different-seed re-test run,
     /// which the main run's fingerprint says nothing about.
     fp_cache: Mutex<FxHashMap<(u64, u64), Verdict>>,
-    /// Verdicts served from `fp_cache`.
-    fp_hits: AtomicU64,
 }
 
 type Shared = Arc<SharedCtx>;
+
+/// Re-seeds the wire-effect fingerprint cache from a journaled outcome on
+/// resume. Only outcomes that would have populated the cache in the
+/// original run qualify: completed, unflagged, and produced by an actual
+/// run (`memo` of `None`), a cache hit (`"fp"`), or a proxy halt
+/// (`"halt"`, whose substituted baseline metrics carry the baseline's
+/// fingerprint) — `"inert"` and `"class"` outcomes never touched the
+/// cache. With the cache restored, the strategies that still need a run
+/// reach the same verdict-sharing decisions as an uninterrupted campaign.
+fn seed_fp_cache(shared: &Shared, outcome: &StrategyOutcome) {
+    if !shared.memoize
+        || outcome.outcome_kind != OutcomeKind::Ok
+        || outcome.verdict.flagged()
+        || !matches!(outcome.memo.as_deref(), None | Some("fp") | Some("halt"))
+    {
+        return;
+    }
+    let fp = (
+        outcome.metrics.proxy.effect_fp_a,
+        outcome.metrics.proxy.effect_fp_b,
+    );
+    shared
+        .fp_cache
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .entry(fp)
+        .or_insert(outcome.verdict);
+}
 
 /// Answers a statically provable wire no-op with the baseline outcome —
 /// exactly what [`evaluate`] would produce, without running anything.
@@ -831,7 +1079,12 @@ fn evaluate(shared: &Shared, strategy: Strategy) -> StrategyOutcome {
         ..
     } = &**shared;
     let baseline = exec.baseline();
-    let metrics = exec.run(Some(strategy.clone()));
+    let (metrics, info) = exec.run_with_info(Some(strategy.clone()));
+    // A halted run (every rule spent with zero wire effect) substituted
+    // the baseline outcome; the marker records that this outcome was
+    // short-circuited, and takes precedence over a fingerprint-cache hit
+    // on the same (baseline-equal) metrics.
+    let mut memo: Option<String> = info.halted.then(|| "halt".to_owned());
     if metrics.truncated {
         // A budget-truncated run transferred less data because it ran for
         // less virtual time; comparing it against a full-length baseline
@@ -846,7 +1099,7 @@ fn evaluate(shared: &Shared, strategy: Strategy) -> StrategyOutcome {
             false_positive: false,
             outcome_kind: OutcomeKind::Truncated,
             error: None,
-            memo: None,
+            memo,
         };
     }
     // Wire-effect fingerprint cache: equal fingerprints mean the runs were
@@ -863,7 +1116,9 @@ fn evaluate(shared: &Shared, strategy: Strategy) -> StrategyOutcome {
             .copied();
         match cached {
             Some(v) => {
-                shared.fp_hits.fetch_add(1, Ordering::Relaxed);
+                if memo.is_none() {
+                    memo = Some("fp".to_owned());
+                }
                 v
             }
             None => {
@@ -885,6 +1140,7 @@ fn evaluate(shared: &Shared, strategy: Strategy) -> StrategyOutcome {
     let mut repeatable = true;
     if verdict.flagged() {
         if let Some(retest) = retest_exec {
+            let _span = observe::span(config.observer.as_ref(), "phase.retests", 0);
             let again = retest.run(Some(strategy.clone()));
             repeatable =
                 !again.truncated && detect(retest.baseline(), &again, config.threshold).flagged();
@@ -940,7 +1196,7 @@ fn evaluate(shared: &Shared, strategy: Strategy) -> StrategyOutcome {
         false_positive,
         outcome_kind: OutcomeKind::Ok,
         error: None,
-        memo: None,
+        memo,
     }
 }
 
@@ -980,35 +1236,87 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     }
 }
 
+/// Per-worker activity tally, folded into the observer's histograms when
+/// observation is enabled. The `Instant` reads are gated on
+/// [`Observer::enabled`], so the default no-op observer costs the workers
+/// nothing but a branch per claim.
+struct WorkerClock {
+    started: Option<Instant>,
+    busy_nanos: u64,
+    claimed: u64,
+}
+
+impl WorkerClock {
+    fn start(enabled: bool) -> WorkerClock {
+        WorkerClock {
+            started: enabled.then(Instant::now),
+            busy_nanos: 0,
+            claimed: 0,
+        }
+    }
+
+    /// Runs `work`, attributing its wall time to this worker's busy tally.
+    fn time<T>(&mut self, work: impl FnOnce() -> T) -> T {
+        let t0 = self.started.map(|_| Instant::now());
+        let out = work();
+        if let Some(t0) = t0 {
+            self.busy_nanos += t0.elapsed().as_nanos() as u64;
+        }
+        self.claimed += 1;
+        out
+    }
+
+    /// Emits the per-worker histogram samples: busy wall time, idle wall
+    /// time (lifetime minus busy — claim overhead, journal contention,
+    /// end-of-batch drain), and strategies claimed.
+    fn finish(self, observer: &dyn Observer) {
+        let Some(started) = self.started else { return };
+        let lifetime = started.elapsed().as_nanos() as u64;
+        observer.record("worker.busy_nanos", self.busy_nanos);
+        observer.record(
+            "worker.idle_nanos",
+            lifetime.saturating_sub(self.busy_nanos),
+        );
+        observer.record("worker.claimed", self.claimed);
+    }
+}
+
 /// Runs a batch of strategies across `parallelism` worker threads — the
 /// paper's pool of executors with linear speedup (§V-D). Each completed
-/// outcome is handed to `observer` immediately (journal append, progress),
-/// so a killed process loses at most the runs that were still in flight.
+/// outcome is handed to `on_outcome` immediately (journal append,
+/// progress), so a killed process loses at most the runs that were still
+/// in flight.
 fn run_batch(
     shared: &Shared,
     strategies: Vec<Strategy>,
     parallelism: usize,
-    observer: &(dyn Fn(&StrategyOutcome) + Sync),
+    on_outcome: &(dyn Fn(&StrategyOutcome) + Sync),
 ) -> Vec<StrategyOutcome> {
     let n = strategies.len();
     if n == 0 {
         return Vec::new();
     }
+    let observer = shared.config.observer.as_ref();
+    let enabled = observer.enabled();
     let workers = parallelism.clamp(1, n);
     if workers == 1 {
-        return strategies
+        let mut clock = WorkerClock::start(enabled);
+        let out = strategies
             .into_iter()
             .map(|s| {
-                let outcome = evaluate_guarded(shared, s);
-                observer(&outcome);
+                let outcome = clock.time(|| evaluate_guarded(shared, s));
+                on_outcome(&outcome);
                 outcome
             })
             .collect();
+        clock.finish(observer);
+        return out;
     }
     // Lock-free work distribution: workers claim the next strategy index
     // with a relaxed fetch-add (no queue mutex on the hot path) and keep
     // their finished outcomes in a private vec, so the only cross-thread
-    // contention left is the one atomic word and whatever `observer` does.
+    // contention left is the one atomic word and whatever `on_outcome`
+    // does.
     let jobs = &strategies[..];
     let next = AtomicUsize::new(0);
     let mut results: Vec<(usize, StrategyOutcome)> = std::thread::scope(|scope| {
@@ -1016,13 +1324,15 @@ fn run_batch(
             .map(|_| {
                 scope.spawn(|| {
                     let mut mine = Vec::new();
+                    let mut clock = WorkerClock::start(enabled);
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         let Some(strategy) = jobs.get(i) else { break };
-                        let outcome = evaluate_guarded(shared, strategy.clone());
-                        observer(&outcome);
+                        let outcome = clock.time(|| evaluate_guarded(shared, strategy.clone()));
+                        on_outcome(&outcome);
                         mine.push((i, outcome));
                     }
+                    clock.finish(observer);
                     mine
                 })
             })
@@ -1046,13 +1356,13 @@ mod tests {
     #[test]
     fn tiny_campaign_runs_end_to_end() {
         let spec = ScenarioSpec::quick(ProtocolKind::Tcp(Profile::linux_3_13()));
-        let config = CampaignConfig {
-            max_strategies: Some(12),
-            parallelism: 4,
-            feedback_rounds: 1,
-            retest: false,
-            ..CampaignConfig::new(spec)
-        };
+        let config = CampaignConfig::builder(spec)
+            .cap(12)
+            .parallelism(4)
+            .feedback_rounds(1)
+            .retest(false)
+            .build()
+            .expect("valid config");
         let result = Campaign::run(config).expect("valid baseline");
         assert_eq!(result.strategies_tried(), 12);
         assert_eq!(result.protocol, "TCP");
@@ -1068,13 +1378,13 @@ mod tests {
     #[test]
     fn tsv_export_has_one_row_per_outcome() {
         let spec = ScenarioSpec::quick(ProtocolKind::Tcp(Profile::linux_3_13()));
-        let config = CampaignConfig {
-            max_strategies: Some(6),
-            parallelism: 2,
-            feedback_rounds: 1,
-            retest: false,
-            ..CampaignConfig::new(spec)
-        };
+        let config = CampaignConfig::builder(spec)
+            .cap(6)
+            .parallelism(2)
+            .feedback_rounds(1)
+            .retest(false)
+            .build()
+            .expect("valid config");
         let result = Campaign::run(config).expect("valid baseline");
         let tsv = result.export_outcomes_tsv();
         assert_eq!(tsv.lines().count(), 1 + 6, "header + one row per strategy");
@@ -1131,22 +1441,17 @@ mod tests {
     #[test]
     fn parallel_and_serial_agree() {
         let spec = ScenarioSpec::quick(ProtocolKind::Tcp(Profile::linux_3_13()));
-        let base = CampaignConfig {
-            max_strategies: Some(8),
-            feedback_rounds: 1,
-            retest: false,
-            ..CampaignConfig::new(spec)
+        let config = |workers| {
+            CampaignConfig::builder(spec.clone())
+                .cap(8)
+                .feedback_rounds(1)
+                .retest(false)
+                .parallelism(workers)
+                .build()
+                .expect("valid config")
         };
-        let serial = Campaign::run(CampaignConfig {
-            parallelism: 1,
-            ..base.clone()
-        })
-        .expect("valid baseline");
-        let parallel = Campaign::run(CampaignConfig {
-            parallelism: 4,
-            ..base
-        })
-        .expect("valid baseline");
+        let serial = Campaign::run(config(1)).expect("valid baseline");
+        let parallel = Campaign::run(config(4)).expect("valid baseline");
         let v1: Vec<_> = serial
             .outcomes
             .iter()
@@ -1167,12 +1472,12 @@ mod tests {
         let mut spec = ScenarioSpec::quick(ProtocolKind::Tcp(Profile::linux_3_13()));
         spec.data_secs = 0;
         spec.grace_secs = 0;
-        let config = CampaignConfig {
-            max_strategies: Some(2),
-            feedback_rounds: 1,
-            retest: false,
-            ..CampaignConfig::new(spec)
-        };
+        let config = CampaignConfig::builder(spec)
+            .cap(2)
+            .feedback_rounds(1)
+            .retest(false)
+            .build()
+            .expect("valid config");
         match Campaign::run(config) {
             Err(CampaignError::InvalidBaseline { implementation }) => {
                 assert!(implementation.contains("3.13"), "{implementation}");
@@ -1183,17 +1488,33 @@ mod tests {
 
     #[test]
     fn resume_without_journal_is_rejected() {
+        // The builder catches the combination before anything runs.
         let spec = ScenarioSpec::quick(ProtocolKind::Tcp(Profile::linux_3_13()));
-        let config = CampaignConfig {
-            resume: true,
-            max_strategies: Some(1),
-            feedback_rounds: 1,
-            retest: false,
-            ..CampaignConfig::new(spec)
-        };
         assert!(matches!(
-            Campaign::run(config),
+            CampaignConfig::builder(spec).resume(true).build(),
             Err(CampaignError::ResumeWithoutJournal)
         ));
+    }
+
+    #[test]
+    fn builder_rejects_degenerate_settings() {
+        let spec = || ScenarioSpec::quick(ProtocolKind::Tcp(Profile::linux_3_13()));
+        for broken in [
+            CampaignConfig::builder(spec()).threshold(f64::NAN),
+            CampaignConfig::builder(spec()).threshold(0.0),
+            CampaignConfig::builder(spec()).parallelism(0),
+            CampaignConfig::builder(spec()).feedback_rounds(0),
+        ] {
+            match broken.build() {
+                Err(CampaignError::InvalidConfig { detail }) => {
+                    assert!(!detail.is_empty());
+                }
+                other => panic!("expected InvalidConfig, got {other:?}"),
+            }
+        }
+        // The deprecated shim still hands out a valid default config.
+        #[allow(deprecated)]
+        let legacy = CampaignConfig::new(spec());
+        assert!(legacy.memoize, "defaults must match the builder's");
     }
 }

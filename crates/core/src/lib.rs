@@ -32,9 +32,32 @@
 //! use snake_tcp::Profile;
 //!
 //! let spec = ScenarioSpec::evaluation(ProtocolKind::Tcp(Profile::linux_3_13()));
-//! let config = CampaignConfig { max_strategies: Some(25), ..CampaignConfig::new(spec) };
+//! let config = CampaignConfig::builder(spec).cap(25).build().expect("valid config");
 //! let result = Campaign::run(config).expect("baseline must transfer data");
 //! println!("{}", result.table_row());
+//! ```
+//!
+//! To observe a campaign (phase spans, memo-layer counters, per-worker
+//! histograms), attach a [`Recorder`] through the builder and fold its
+//! snapshot into a [`RunManifest`] with [`build_run_manifest`]:
+//!
+//! ```no_run
+//! use std::sync::Arc;
+//! use snake_core::{build_run_manifest, Campaign, CampaignConfig, ProtocolKind, ScenarioSpec};
+//! use snake_observe::Recorder;
+//! use snake_tcp::Profile;
+//!
+//! let spec = ScenarioSpec::quick(ProtocolKind::Tcp(Profile::linux_3_13()));
+//! let recorder = Arc::new(Recorder::new());
+//! let config = CampaignConfig::builder(spec)
+//!     .cap(25)
+//!     .observer(recorder.clone())
+//!     .build()
+//!     .expect("valid config");
+//! let start = std::time::Instant::now();
+//! let result = Campaign::run(config).expect("baseline must transfer data");
+//! let manifest = build_run_manifest(&result, &recorder.snapshot(), start.elapsed().as_secs_f64());
+//! println!("{}", manifest.to_json().to_string_compact());
 //! ```
 
 #![forbid(unsafe_code)]
@@ -44,6 +67,7 @@ mod attacks;
 mod campaign;
 mod detect;
 pub mod journal;
+mod manifest;
 mod report;
 mod scenario;
 pub mod search;
@@ -51,10 +75,14 @@ mod strategen;
 
 pub use attacks::{classify, cluster_attacks, AttackFinding, KnownAttack};
 pub use campaign::{
-    Campaign, CampaignConfig, CampaignError, CampaignResult, Controller, FaultHook, OutcomeKind,
-    StrategyOutcome,
+    Campaign, CampaignConfig, CampaignConfigBuilder, CampaignError, CampaignResult, Controller,
+    FaultHook, OutcomeKind, StrategyOutcome,
 };
 pub use detect::{baseline_valid, detect, Verdict, DEFAULT_THRESHOLD};
+pub use manifest::build_run_manifest;
 pub use report::{render_table1, render_table2};
-pub use scenario::{Executor, PlannedExecutor, ProtocolKind, ScenarioSpec, TestMetrics};
+pub use scenario::{
+    Executor, ExecutorOptions, PlannedExecutor, ProtocolKind, RunInfo, ScenarioSpec, TestMetrics,
+};
+pub use snake_observe::{NullObserver, Observer, Recorder, RecorderSnapshot, RunManifest};
 pub use strategen::{generate_strategies, is_on_path, is_self_denial, GenerationParams};

@@ -1,0 +1,215 @@
+//! Run manifest assembly: folds a finished [`CampaignResult`] and a
+//! [`RecorderSnapshot`] into one structured JSON document per campaign
+//! run — the `snake campaign --manifest FILE` output.
+//!
+//! Determinism contract: every section except `timing` is derived from
+//! the campaign's deterministic outputs (outcomes, memo markers,
+//! simulator event counters), so two same-seed single-worker runs produce
+//! byte-identical manifests once `timing` is stripped. The `timing`
+//! section is wall-clock by definition and varies run to run.
+
+use std::collections::BTreeMap;
+
+use snake_json::{obj, Value};
+use snake_observe::{RecorderSnapshot, RunManifest};
+use snake_proxy::{InjectionAttack, StrategyKind};
+
+use crate::campaign::CampaignResult;
+
+/// Builds the per-run manifest from the campaign's result, the observer's
+/// merged snapshot, and the run's wall-clock duration in seconds.
+///
+/// The `memo` section's totals are computed from the same outcome markers
+/// as [`CampaignResult::memo_hits`] / [`CampaignResult::short_circuits`],
+/// so the manifest and the in-process counters cannot disagree.
+pub fn build_run_manifest(
+    result: &CampaignResult,
+    snapshot: &RecorderSnapshot,
+    wall_secs: f64,
+) -> RunManifest {
+    let mut manifest = RunManifest::new("snake campaign");
+    manifest.set_section("run", run_section(result));
+    manifest.set_section("memo", memo_section(result));
+    manifest.set_section("exec", exec_section(snapshot));
+    manifest.set_section("netsim", netsim_section(snapshot));
+    manifest.set_section("proxy", proxy_section(result));
+    manifest.set_section("timing", timing_section(snapshot, wall_secs));
+    manifest
+}
+
+/// Campaign identity and Table-I-style outcome tallies.
+fn run_section(result: &CampaignResult) -> Value {
+    obj([
+        ("protocol", Value::Str(result.protocol.clone())),
+        ("implementation", Value::Str(result.implementation.clone())),
+        (
+            "strategies_tried",
+            Value::U64(result.strategies_tried() as u64),
+        ),
+        (
+            "attack_strategies_found",
+            Value::U64(result.attack_strategies_found() as u64),
+        ),
+        (
+            "true_attack_strategies",
+            Value::U64(result.true_attack_strategies() as u64),
+        ),
+        ("true_attacks", Value::U64(result.true_attacks() as u64)),
+        ("errored", Value::U64(result.errored() as u64)),
+        ("truncated", Value::U64(result.truncated() as u64)),
+        ("resumed", Value::U64(result.resumed as u64)),
+        (
+            "journal_lines_skipped",
+            Value::U64(result.journal_lines_skipped as u64),
+        ),
+    ])
+}
+
+/// Memo-layer hit breakdown, counted from the outcome provenance markers.
+fn memo_section(result: &CampaignResult) -> Value {
+    let count = |marker: &str| {
+        Value::U64(
+            result
+                .outcomes
+                .iter()
+                .filter(|o| o.memo.as_deref() == Some(marker))
+                .count() as u64,
+        )
+    };
+    obj([
+        (
+            "breakdown",
+            obj([
+                ("inert", count("inert")),
+                ("class", count("class")),
+                ("fingerprint", count("fp")),
+                ("halt", count("halt")),
+            ]),
+        ),
+        ("memo_hits", Value::U64(result.memo_hits as u64)),
+        ("short_circuits", Value::U64(result.short_circuits as u64)),
+    ])
+}
+
+/// Executor run-dispatch tallies: how each run was actually executed,
+/// across the main, re-test and control executors.
+fn exec_section(snapshot: &RecorderSnapshot) -> Value {
+    obj([
+        (
+            "runs_from_scratch",
+            Value::U64(snapshot.counter("exec.runs.from_scratch")),
+        ),
+        (
+            "runs_forked",
+            Value::U64(snapshot.counter("exec.runs.forked")),
+        ),
+        (
+            "runs_elided",
+            Value::U64(snapshot.counter("exec.runs.elided")),
+        ),
+        (
+            "runs_halted",
+            Value::U64(snapshot.counter("exec.runs.halted")),
+        ),
+    ])
+}
+
+/// Simulator event-loop totals summed over every run the campaign made.
+fn netsim_section(snapshot: &RecorderSnapshot) -> Value {
+    let c = |name: &str| Value::U64(snapshot.counter(name));
+    obj([
+        ("events", c("netsim.events")),
+        ("timers_cancelled", c("netsim.timers_cancelled")),
+        ("timers_purged", c("netsim.timers_purged")),
+        ("queue_compactions", c("netsim.queue_compactions")),
+        ("snapshot_forks", c("netsim.snapshot_forks")),
+        ("snapshot_clone_bytes", c("netsim.snapshot_clone_bytes")),
+        ("forks", c("netsim.forks")),
+        ("fork_clone_bytes", c("netsim.fork_clone_bytes")),
+    ])
+}
+
+/// The `(state, packet type)` pair a strategy constrains, with `"*"` for
+/// dimensions the strategy kind leaves unconstrained.
+fn strategy_dims(kind: &StrategyKind) -> (String, String) {
+    let injected = |attack: &InjectionAttack| match attack {
+        InjectionAttack::Inject { packet_type, .. }
+        | InjectionAttack::HitSeqWindow { packet_type, .. } => packet_type.clone(),
+    };
+    match kind {
+        StrategyKind::OnPacket {
+            state, packet_type, ..
+        } => (state.clone(), packet_type.clone()),
+        StrategyKind::OnState { state, attack, .. } => (state.clone(), injected(attack)),
+        StrategyKind::OnNthPacket { .. } => ("*".to_owned(), "*".to_owned()),
+        StrategyKind::AtTime { attack, .. } => ("*".to_owned(), injected(attack)),
+    }
+}
+
+/// Proxy rule-hit histogram per `(state, packet type)`: for every outcome
+/// whose run had wire-visible rule activity, the hits are attributed to
+/// the strategy's constrained dimensions. Sorted by key (a `BTreeMap`),
+/// so the section is deterministic regardless of outcome order.
+fn proxy_section(result: &CampaignResult) -> Value {
+    let mut per_dims: BTreeMap<(String, String), (u64, u64)> = BTreeMap::new();
+    for outcome in &result.outcomes {
+        let hits: u64 = outcome
+            .metrics
+            .proxy
+            .rule_hits
+            .iter()
+            .map(|(_, count)| *count)
+            .sum();
+        if hits == 0 {
+            continue;
+        }
+        let entry = per_dims
+            .entry(strategy_dims(&outcome.strategy.kind))
+            .or_insert((0, 0));
+        entry.0 += 1;
+        entry.1 += hits;
+    }
+    let rows: Vec<Value> = per_dims
+        .into_iter()
+        .map(|((state, packet_type), (strategies, hits))| {
+            obj([
+                ("state", Value::Str(state)),
+                ("packet_type", Value::Str(packet_type)),
+                ("strategies", Value::U64(strategies)),
+                ("rule_hits", Value::U64(hits)),
+            ])
+        })
+        .collect();
+    obj([("rule_hits", Value::Arr(rows))])
+}
+
+/// Wall-clock timing: total duration, per-phase span totals, and the
+/// per-worker busy/idle/claimed histograms. Everything in here is
+/// nondeterministic by nature; manifest consumers comparing runs must
+/// strip this section (the determinism tests do).
+fn timing_section(snapshot: &RecorderSnapshot, wall_secs: f64) -> Value {
+    let phases: Vec<(String, Value)> = snapshot
+        .span_totals()
+        .into_iter()
+        .map(|(name, (count, wall_nanos))| {
+            (
+                name.to_owned(),
+                obj([
+                    ("count", Value::U64(count)),
+                    ("wall_nanos", Value::U64(wall_nanos)),
+                ]),
+            )
+        })
+        .collect();
+    let workers: Vec<(String, Value)> = snapshot
+        .histograms
+        .iter()
+        .filter(|(name, _)| name.starts_with("worker."))
+        .map(|(name, histogram)| (name.to_string(), histogram.to_json()))
+        .collect();
+    obj([
+        ("wall_clock_secs", Value::F64(wall_secs)),
+        ("phases", Value::Obj(phases)),
+        ("workers", Value::Obj(workers)),
+    ])
+}

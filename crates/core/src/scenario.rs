@@ -4,6 +4,7 @@ use std::sync::Arc;
 use snake_dccp::{DccpHost, DccpProfile, DccpServerApp};
 use snake_json::ToJson;
 use snake_netsim::{Addr, Dumbbell, DumbbellSpec, SimTime, Simulator};
+use snake_observe::{self as observe, NullObserver, Observer};
 use snake_packet::{FieldMutation, FormatSpec};
 use snake_proxy::{
     AttackProxy, BasicAttack, DccpAdapter, ProtocolAdapter, ProxyConfig, ProxyReport,
@@ -170,16 +171,42 @@ impl Executor {
     /// *combination strategy*, the extension the paper sketches at the end
     /// of §IV-C ("strategies consisting of sequences of actions").
     pub fn run_combination(spec: &ScenarioSpec, rules: Vec<Strategy>) -> TestMetrics {
-        let mut session = Session::build(spec, rules, false);
-        let data_end = SimTime::from_secs(spec.data_secs);
-        session.sim.run_until(data_end);
-        let bytes = session.measure(spec);
-        session.schedule_finish(spec, data_end);
-        session
-            .sim
-            .run_until(SimTime::from_secs(spec.data_secs + spec.grace_secs));
-        session.finish(spec, bytes)
+        run_full(spec, rules, &NullObserver)
     }
+}
+
+/// The shared from-scratch run path: build, run to the end of the grace
+/// period, census — reporting the simulator's event-loop stats to the
+/// observer afterwards (never per event; the hot loop stays virtual-call
+/// free).
+fn run_full(spec: &ScenarioSpec, rules: Vec<Strategy>, observer: &dyn Observer) -> TestMetrics {
+    let mut session = Session::build(spec, rules, false);
+    let data_end = SimTime::from_secs(spec.data_secs);
+    session.sim.run_until(data_end);
+    let bytes = session.measure(spec);
+    session.schedule_finish(spec, data_end);
+    session
+        .sim
+        .run_until(SimTime::from_secs(spec.data_secs + spec.grace_secs));
+    let metrics = session.finish(spec, bytes);
+    record_sim_stats(observer, &session.sim);
+    metrics
+}
+
+/// Folds a finished simulator's event-loop counters into the observer.
+/// Deliberately *not* part of [`TestMetrics`]: the consumed/purged split
+/// depends on how often `run_until` was re-entered, which differs between
+/// the planner's paused replay and a straight run, and would trip the
+/// determinism guard if compared.
+fn record_sim_stats(observer: &dyn Observer, sim: &Simulator) {
+    if !observer.enabled() {
+        return;
+    }
+    let stats = sim.stats();
+    observer.counter_add("netsim.events", stats.events_processed);
+    observer.counter_add("netsim.timers_cancelled", stats.timers_cancelled);
+    observer.counter_add("netsim.timers_purged", stats.timers_purged);
+    observer.counter_add("netsim.queue_compactions", stats.queue_compactions);
 }
 
 fn proxy_config(d: &Dumbbell, spec: &ScenarioSpec) -> ProxyConfig {
@@ -444,6 +471,73 @@ impl SnapshotPlan {
     }
 }
 
+/// Construction options for [`PlannedExecutor`], replacing the former
+/// `new` / `with_options` constructor split with one explicit bundle.
+///
+/// `Default` gives the plain forking executor: snapshot-fork on, the
+/// memoization family off, halt arming allowed (inert while `memoize` is
+/// off), and the no-op observer.
+#[derive(Clone)]
+pub struct ExecutorOptions {
+    /// Build the snapshot plan and fork strategies from baseline
+    /// snapshots; off means every run executes from scratch.
+    pub snapshot_fork: bool,
+    /// Enables the memoization shortcuts: static no-op elision
+    /// ([`provably_inert`](PlannedExecutor::provably_inert)), trigger-class
+    /// keys ([`class_key`](PlannedExecutor::class_key)), and — subject to
+    /// `halt_arming` — the runtime no-op halt. All of them substitute the
+    /// baseline (or a classmate's) outcome for a run they prove
+    /// equivalent, and all require the plan's determinism guard to have
+    /// passed.
+    pub memoize: bool,
+    /// Permits the runtime no-op halt for all-one-shot-lie rule sets.
+    /// Only consulted when `memoize` is on; turning it off isolates the
+    /// static shortcuts from the mid-run halt.
+    pub halt_arming: bool,
+    /// Observability sink for phase spans, per-run execution counters and
+    /// netsim event-loop stats. The default no-op observer reduces every
+    /// hook to a constant-returning virtual call, issued at most a few
+    /// times per *run* — never per event or per packet.
+    pub observer: Arc<dyn Observer>,
+}
+
+impl Default for ExecutorOptions {
+    fn default() -> Self {
+        ExecutorOptions {
+            snapshot_fork: true,
+            memoize: false,
+            halt_arming: true,
+            observer: observe::noop(),
+        }
+    }
+}
+
+impl std::fmt::Debug for ExecutorOptions {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ExecutorOptions")
+            .field("snapshot_fork", &self.snapshot_fork)
+            .field("memoize", &self.memoize)
+            .field("halt_arming", &self.halt_arming)
+            .field("observer_enabled", &self.observer.enabled())
+            .finish()
+    }
+}
+
+/// How [`PlannedExecutor::run_with_info`] executed a run. The campaign
+/// uses this to attribute memo markers (a halted run is journaled as
+/// `"halt"`) without re-deriving the decision from counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RunInfo {
+    /// The proxy halted the simulation mid-run (every rule provably spent
+    /// with zero wire effect); the baseline outcome was substituted.
+    pub halted: bool,
+    /// Answered with the baseline without simulating anything: no rule's
+    /// trigger key occurs in the baseline timeline.
+    pub elided: bool,
+    /// Resumed from a baseline snapshot fork.
+    pub forked: bool,
+}
+
 /// A scenario executor that runs the no-attack baseline once, snapshots it
 /// at every state-transition boundary, and executes each strategy by
 /// forking the latest snapshot strictly before the strategy's trigger
@@ -458,21 +552,29 @@ impl SnapshotPlan {
 /// baseline with extra pauses and compares the final metrics against the
 /// uninterrupted run; any difference disables forking entirely and every
 /// strategy silently falls back to from-scratch execution.
-#[derive(Debug)]
 pub struct PlannedExecutor {
     spec: ScenarioSpec,
     baseline: TestMetrics,
     plan: Option<SnapshotPlan>,
-    /// Enables the memoization family of shortcuts: static no-op elision
-    /// ([`provably_inert`](PlannedExecutor::provably_inert)), trigger-class
-    /// keys ([`class_key`](PlannedExecutor::class_key)), and the runtime
-    /// no-op halt for spent one-shot rules. All of them substitute the
-    /// baseline (or a classmate's) outcome for a run they prove equivalent,
-    /// and all require the plan's determinism guard to have passed.
+    /// See [`ExecutorOptions::memoize`].
     memoize: bool,
+    /// See [`ExecutorOptions::halt_arming`].
+    halt_arming: bool,
+    observer: Arc<dyn Observer>,
     /// Runs ended early because every rule was proven a wire no-op — either
     /// statically elided or halted mid-run by the proxy.
     short_circuits: AtomicU64,
+}
+
+impl std::fmt::Debug for PlannedExecutor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PlannedExecutor")
+            .field("spec", &self.spec)
+            .field("plan", &self.plan)
+            .field("memoize", &self.memoize)
+            .field("halt_arming", &self.halt_arming)
+            .finish_non_exhaustive()
+    }
 }
 
 impl std::fmt::Debug for SnapshotPlan {
@@ -484,28 +586,23 @@ impl std::fmt::Debug for SnapshotPlan {
 }
 
 impl PlannedExecutor {
-    /// Runs the baseline and, when `snapshot_fork` is on, builds the
-    /// snapshot plan. Memoization shortcuts are off; use
-    /// [`with_options`](PlannedExecutor::with_options) to enable them.
-    pub fn new(spec: &ScenarioSpec, snapshot_fork: bool) -> PlannedExecutor {
-        PlannedExecutor::with_options(spec, snapshot_fork, false)
-    }
-
-    /// Runs the baseline and builds the executor with both knobs explicit:
-    /// `snapshot_fork` controls the fork plan, `memoize` the no-op
-    /// short-circuit and equivalence-class machinery. `memoize` without an
-    /// intact plan (forking off, or the determinism guard tripped) is
-    /// silently inert — every memo proof leans on the baseline being
-    /// reproducible.
-    pub fn with_options(
-        spec: &ScenarioSpec,
-        snapshot_fork: bool,
-        memoize: bool,
-    ) -> PlannedExecutor {
-        // Pass 1: the reference baseline, recording the trigger timeline.
-        let mut session = Session::build(spec, Vec::new(), true);
+    /// Runs the baseline (recording the trigger timeline) and, when
+    /// `options.snapshot_fork` is on, builds the snapshot plan. `memoize`
+    /// without an intact plan (forking off, or the determinism guard
+    /// tripped) is silently inert — every memo proof leans on the baseline
+    /// being reproducible.
+    pub fn new(spec: &ScenarioSpec, options: ExecutorOptions) -> PlannedExecutor {
+        let ExecutorOptions {
+            snapshot_fork,
+            memoize,
+            halt_arming,
+            observer,
+        } = options;
         let data_end = SimTime::from_secs(spec.data_secs);
         let end = SimTime::from_secs(spec.data_secs + spec.grace_secs);
+        // Pass 1: the reference baseline, recording the trigger timeline.
+        let baseline_span = observe::span(observer.as_ref(), "phase.baseline", end.as_nanos());
+        let mut session = Session::build(spec, Vec::new(), true);
         session.sim.run_until(data_end);
         let bytes = session.measure(spec);
         session.schedule_finish(spec, data_end);
@@ -518,8 +615,11 @@ impl PlannedExecutor {
             .cloned()
             .unwrap_or_default();
         let baseline = session.finish(spec, bytes);
+        record_sim_stats(observer.as_ref(), &session.sim);
+        drop(baseline_span);
         let plan = if snapshot_fork {
-            build_plan(spec, &baseline, timeline)
+            let _span = observe::span(observer.as_ref(), "phase.snapshotting", end.as_nanos());
+            build_plan(spec, &baseline, timeline, observer.as_ref())
         } else {
             None
         };
@@ -528,6 +628,8 @@ impl PlannedExecutor {
             baseline,
             plan,
             memoize,
+            halt_arming,
+            observer,
             short_circuits: AtomicU64::new(0),
         }
     }
@@ -665,8 +767,9 @@ impl PlannedExecutor {
     /// rule is spent without a wire effect, the simulation stops and the
     /// baseline outcome is substituted (it is what the full run would have
     /// produced — the determinism guard vouches for the baseline, and the
-    /// spent rules can never act again).
-    fn run_halt_armed(&self, rules: Vec<Strategy>) -> TestMetrics {
+    /// spent rules can never act again). The second return says whether
+    /// the halt actually fired.
+    fn run_halt_armed(&self, rules: Vec<Strategy>) -> (TestMetrics, bool) {
         let spec = &self.spec;
         let mut session = Session::build(spec, rules, false);
         session
@@ -679,16 +782,20 @@ impl PlannedExecutor {
         session.sim.run_until(data_end);
         if session.sim.halted() {
             self.short_circuits.fetch_add(1, Ordering::Relaxed);
-            return self.baseline.clone();
+            record_sim_stats(self.observer.as_ref(), &session.sim);
+            return (self.baseline.clone(), true);
         }
         let bytes = session.measure(spec);
         session.schedule_finish(spec, data_end);
         session.sim.run_until(end);
         if session.sim.halted() {
             self.short_circuits.fetch_add(1, Ordering::Relaxed);
-            return self.baseline.clone();
+            record_sim_stats(self.observer.as_ref(), &session.sim);
+            return (self.baseline.clone(), true);
         }
-        session.finish(spec, bytes)
+        let metrics = session.finish(spec, bytes);
+        record_sim_stats(self.observer.as_ref(), &session.sim);
+        (metrics, false)
     }
 
     /// Runs one strategy (or the baseline when `None`).
@@ -696,19 +803,58 @@ impl PlannedExecutor {
         self.run_combination(strategy.into_iter().collect())
     }
 
+    /// Like [`run`](PlannedExecutor::run), also reporting how the run was
+    /// executed.
+    pub fn run_with_info(&self, strategy: Option<Strategy>) -> (TestMetrics, RunInfo) {
+        self.run_combination_with_info(strategy.into_iter().collect())
+    }
+
     /// Runs a combination strategy, forking a baseline snapshot when every
     /// rule is fork-eligible.
     pub fn run_combination(&self, rules: Vec<Strategy>) -> TestMetrics {
+        self.run_combination_with_info(rules).0
+    }
+
+    /// Like [`run_combination`](PlannedExecutor::run_combination), also
+    /// reporting how the run was executed.
+    pub fn run_combination_with_info(&self, rules: Vec<Strategy>) -> (TestMetrics, RunInfo) {
+        let obs = self.observer.as_ref();
         let Some(plan) = &self.plan else {
-            return Executor::run_combination(&self.spec, rules);
+            obs.counter_add("exec.runs.from_scratch", 1);
+            return (run_full(&self.spec, rules, obs), RunInfo::default());
         };
         match plan.decide(&rules) {
-            ForkDecision::Elide => self.baseline.clone(),
+            ForkDecision::Elide => {
+                obs.counter_add("exec.runs.elided", 1);
+                (
+                    self.baseline.clone(),
+                    RunInfo {
+                        elided: true,
+                        ..RunInfo::default()
+                    },
+                )
+            }
             ForkDecision::FromScratch => {
-                if self.memoize && PlannedExecutor::haltable(&rules) {
-                    self.run_halt_armed(rules)
+                if self.memoize && self.halt_arming && PlannedExecutor::haltable(&rules) {
+                    let (metrics, halted) = self.run_halt_armed(rules);
+                    obs.counter_add(
+                        if halted {
+                            "exec.runs.halted"
+                        } else {
+                            "exec.runs.from_scratch"
+                        },
+                        1,
+                    );
+                    (
+                        metrics,
+                        RunInfo {
+                            halted,
+                            ..RunInfo::default()
+                        },
+                    )
                 } else {
-                    Executor::run_combination(&self.spec, rules)
+                    obs.counter_add("exec.runs.from_scratch", 1);
+                    (run_full(&self.spec, rules, obs), RunInfo::default())
                 }
             }
             ForkDecision::ForkAt(t) => {
@@ -716,10 +862,29 @@ impl PlannedExecutor {
                     .latest_before(t)
                     .and_then(|snap| snap.sim.fork().map(|sim| (snap, sim)));
                 match forked {
-                    Some((snap, sim)) => self.resume(plan, snap, sim, rules),
+                    Some((snap, sim)) => {
+                        obs.counter_add("exec.runs.forked", 1);
+                        obs.counter_add("netsim.forks", 1);
+                        if obs.enabled() {
+                            obs.counter_add(
+                                "netsim.fork_clone_bytes",
+                                snap.sim.approx_clone_bytes(),
+                            );
+                        }
+                        (
+                            self.resume(plan, snap, sim, rules),
+                            RunInfo {
+                                forked: true,
+                                ..RunInfo::default()
+                            },
+                        )
+                    }
                     // No snapshot precedes the trigger (or an agent turned
                     // out not to be forkable): run the whole thing.
-                    None => Executor::run_combination(&self.spec, rules),
+                    None => {
+                        obs.counter_add("exec.runs.from_scratch", 1);
+                        (run_full(&self.spec, rules, obs), RunInfo::default())
+                    }
                 }
             }
         }
@@ -758,7 +923,9 @@ impl PlannedExecutor {
                 b
             }
         };
-        session.finish(spec, bytes)
+        let metrics = session.finish(spec, bytes);
+        record_sim_stats(self.observer.as_ref(), &session.sim);
+        metrics
     }
 }
 
@@ -771,6 +938,7 @@ fn build_plan(
     spec: &ScenarioSpec,
     baseline: &TestMetrics,
     timeline: StateTimeline,
+    observer: &dyn Observer,
 ) -> Option<SnapshotPlan> {
     let data_end = SimTime::from_secs(spec.data_secs);
     let end = SimTime::from_secs(spec.data_secs + spec.grace_secs);
@@ -800,6 +968,13 @@ fn build_plan(
         }
         session.sim.run_until(t);
         let sim = session.sim.fork()?;
+        observer.counter_add("netsim.snapshot_forks", 1);
+        if observer.enabled() {
+            observer.counter_add(
+                "netsim.snapshot_clone_bytes",
+                session.sim.approx_clone_bytes(),
+            );
+        }
         snapshots.push(Snapshot { at: t, bytes, sim });
     }
     if bytes.is_none() {
@@ -809,6 +984,7 @@ fn build_plan(
     }
     session.sim.run_until(end);
     let replay = session.finish(spec, bytes.expect("measured above"));
+    record_sim_stats(observer, &session.sim);
     if replay != *baseline {
         return None;
     }

@@ -66,7 +66,7 @@ pub use agent::{Agent, Ctx, TimerHandle};
 pub use fxhash::{FxBuildHasher, FxHashMap, FxHasher};
 pub use link::{Aqm, ChannelStats, LinkId, LinkSpec};
 pub use packet::{Addr, Packet, Protocol};
-pub use sim::{NodeId, Simulator};
+pub use sim::{NodeId, SimStats, Simulator};
 pub use smallbuf::HeaderBuf;
 pub use tap::{Tap, TapCtx};
 pub use time::{SimDuration, SimTime};

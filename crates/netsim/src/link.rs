@@ -99,6 +99,12 @@ pub(crate) struct Channel {
 }
 
 impl Channel {
+    /// Packets currently held by this channel (queued plus in flight),
+    /// used to estimate how much a simulator fork copies.
+    pub(crate) fn occupancy(&self) -> usize {
+        self.queue.len() + usize::from(self.in_flight.is_some())
+    }
+
     pub(crate) fn new(spec: LinkSpec) -> Channel {
         Channel {
             spec,

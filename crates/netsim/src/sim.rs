@@ -129,6 +129,27 @@ type ControlFn = Arc<dyn Fn(&mut dyn Agent, &mut Ctx<'_>) + Send + Sync>;
 /// their cancellation records in one pass).
 const CANCELLED_COMPACT_THRESHOLD: usize = 256;
 
+/// Event-loop counters exported by [`Simulator::stats`].
+///
+/// These are plain totals kept on the simulator itself (not routed
+/// through an observer) so the hot loop stays free of virtual calls;
+/// callers that care read them once after a run. They are deliberately
+/// *not* part of any run-equality comparison: the split between
+/// consumed, purged and compacted timer records depends on how often
+/// `run_until` is re-entered, which differs between a paused replay and
+/// a straight run even when the simulated behaviour is identical.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SimStats {
+    /// Events dispatched (dead timer fires excluded).
+    pub events_processed: u64,
+    /// `CancelTimer` commands issued.
+    pub timers_cancelled: u64,
+    /// Cancellation records dropped by stale-purge or queue compaction.
+    pub timers_purged: u64,
+    /// Times the event queue was compacted.
+    pub queue_compactions: u64,
+}
+
 /// The discrete-event network simulator.
 ///
 /// Build a topology with [`add_node`](Simulator::add_node) /
@@ -157,6 +178,14 @@ pub struct Simulator {
     rng: SmallRng,
     started: bool,
     events_processed: u64,
+    /// Total `CancelTimer` commands ever issued (see [`SimStats`]).
+    timers_cancelled: u64,
+    /// Cancellation records discarded without their dead `TimerFire`
+    /// popping in the event loop: stale-record purges after the fire time
+    /// passed, plus queue-compaction removals.
+    timers_purged: u64,
+    /// Times `compact_queue` rebuilt the event heap.
+    queue_compactions: u64,
     event_budget: Option<u64>,
     budget_exhausted: bool,
     /// Set by [`Command::Halt`]: a tap concluded the remainder of the run
@@ -201,6 +230,9 @@ impl Simulator {
             rng: SmallRng::seed_from_u64(seed),
             started: false,
             events_processed: 0,
+            timers_cancelled: 0,
+            timers_purged: 0,
+            queue_compactions: 0,
             event_budget: None,
             budget_exhausted: false,
             halted: false,
@@ -316,6 +348,38 @@ impl Simulator {
         self.events_processed
     }
 
+    /// Event-loop counters for observability. Forked simulators inherit
+    /// their parent's totals (like [`events_processed`]), so a fork's
+    /// final stats describe prefix + continuation, the same work a
+    /// from-scratch run would have done.
+    ///
+    /// [`events_processed`]: Simulator::events_processed
+    pub fn stats(&self) -> SimStats {
+        SimStats {
+            events_processed: self.events_processed,
+            timers_cancelled: self.timers_cancelled,
+            timers_purged: self.timers_purged,
+            queue_compactions: self.queue_compactions,
+        }
+    }
+
+    /// Deterministic estimate of the heap bytes [`fork`](Simulator::fork)
+    /// copies right now: the event queue, per-channel packet occupancy and
+    /// bookkeeping maps. Agent/tap internals are opaque boxes, so this is
+    /// a lower bound — useful for comparing fork costs, not for accounting
+    /// exact allocations.
+    pub fn approx_clone_bytes(&self) -> u64 {
+        let queue = self.queue.len() * std::mem::size_of::<Scheduled>();
+        let packets: usize = self
+            .chans
+            .iter()
+            .map(|c| c.chan.occupancy() * std::mem::size_of::<Packet>())
+            .sum();
+        let maps = self.cancelled_timers.len() * (std::mem::size_of::<(u64, SimTime)>() + 8)
+            + self.controls.len() * 24;
+        (queue + packets + maps) as u64
+    }
+
     /// A node's name.
     pub fn node_name(&self, node: NodeId) -> &str {
         &self.nodes[node.0].name
@@ -403,6 +467,9 @@ impl Simulator {
             rng: self.rng.clone(),
             started: self.started,
             events_processed: self.events_processed,
+            timers_cancelled: self.timers_cancelled,
+            timers_purged: self.timers_purged,
+            queue_compactions: self.queue_compactions,
             event_budget: self.event_budget,
             budget_exhausted: self.budget_exhausted,
             halted: self.halted,
@@ -486,7 +553,9 @@ impl Simulator {
         // never be consulted again. Long grace periods with heavy
         // cancel-after-fire traffic no longer accumulate dead state.
         let now = self.now;
+        let before = self.cancelled_timers.len();
         self.cancelled_timers.retain(|_, at| *at > now);
+        self.timers_purged += (before - self.cancelled_timers.len()) as u64;
         for li in 0..self.links.len() {
             if let Some(tap) = self.links[li].tap.as_deref_mut() {
                 tap.on_finish(deadline);
@@ -501,11 +570,14 @@ impl Simulator {
     /// Event order is unaffected: ordering is total on `(at, seq)`.
     fn compact_queue(&mut self) {
         let mut events = std::mem::take(&mut self.queue).into_vec();
+        let before = events.len();
         let cancelled = &mut self.cancelled_timers;
         events.retain(|ev| match ev.kind {
             EventKind::TimerFire { handle, .. } => cancelled.remove(&handle).is_none(),
             _ => true,
         });
+        self.timers_purged += (before - events.len()) as u64;
+        self.queue_compactions += 1;
         self.queue = BinaryHeap::from(events);
     }
 
@@ -619,6 +691,7 @@ impl Simulator {
                     // A cancel for a timer that already fired would linger
                     // forever; recording the fire time lets run_until purge
                     // stale records.
+                    self.timers_cancelled += 1;
                     self.cancelled_timers.insert(handle.id, handle.at);
                 }
                 Command::TapEmit {

@@ -319,6 +319,15 @@ impl ToJson for ProxyReport {
             ("injected", Value::U64(self.injected)),
             ("effect_fp_a", Value::U64(self.effect_fp_a)),
             ("effect_fp_b", Value::U64(self.effect_fp_b)),
+            (
+                "rule_hits",
+                Value::Arr(
+                    self.rule_hits
+                        .iter()
+                        .map(|(ri, n)| Value::Arr(vec![Value::U64(*ri as u64), Value::U64(*n)]))
+                        .collect(),
+                ),
+            ),
             ("observed", Value::Arr(observed)),
             (
                 "client_final_state",
@@ -376,6 +385,31 @@ impl FromJson for ProxyReport {
                 value.req_u64("effect_fp_b")?
             } else {
                 0
+            },
+            // Absent in journals written before per-rule hit counting;
+            // default to no recorded hits.
+            rule_hits: match value.get("rule_hits") {
+                Some(raw) => {
+                    let entries = raw
+                        .as_arr()
+                        .ok_or_else(|| JsonError::decode("`rule_hits` must be an array"))?;
+                    let mut hits = Vec::with_capacity(entries.len());
+                    for entry in entries {
+                        let pair = entry.as_arr().filter(|p| p.len() == 2).ok_or_else(|| {
+                            JsonError::decode("rule hit must be a [index, count] pair")
+                        })?;
+                        let ri = pair[0]
+                            .as_u64()
+                            .and_then(|v| u32::try_from(v).ok())
+                            .ok_or_else(|| JsonError::decode("rule index must fit in u32"))?;
+                        let n = pair[1].as_u64().ok_or_else(|| {
+                            JsonError::decode("rule hit count must be an integer")
+                        })?;
+                        hits.push((ri, n));
+                    }
+                    hits
+                }
+                None => Vec::new(),
             },
             observed,
             client_final_state: value.req_str("client_final_state")?.to_owned(),
@@ -459,6 +493,7 @@ mod tests {
             injected: 5,
             effect_fp_a: 0x1234_5678_9abc_def0,
             effect_fp_b: 0x0fed_cba9_8765_4321,
+            rule_hits: vec![(0, 3), (2, 5)],
             observed: vec![(
                 "client".into(),
                 "ESTABLISHED".into(),

@@ -67,6 +67,14 @@ pub struct ProxyReport {
     /// multiplier), so sharing requires agreement of both lanes — a single
     /// 64-bit collision is not enough to cross-contaminate verdicts.
     pub effect_fp_b: u64,
+    /// Effective hits per rule, as sparse `(rule index, count)` pairs
+    /// sorted by index. A rule is credited once per wire effect it causes
+    /// — the same discipline as `matched`/`injected`, so a run whose rules
+    /// never touch the wire keeps an empty vector, bit-identical to the
+    /// baseline's (the memo layers substitute baseline reports for
+    /// provably effect-free runs). The campaign manifest aggregates these
+    /// into per-`(state, packet type)` histograms.
+    pub rule_hits: Vec<(u32, u64)>,
     /// Per-(endpoint, state, packet type, direction) observation counts.
     pub observed: Vec<(String, String, String, String, u64)>,
     /// Final tracked client state.
@@ -276,6 +284,10 @@ impl AttackProxy {
         self.started = vec![false; n];
         self.injections = (0..n).map(|_| None).collect();
         self.halt_armed = false;
+        // Hit indices refer to the rule set that earned them; a new rule
+        // set starts from a clean slate (the baseline prefix a fork carries
+        // had no rules, so this is a no-op for the snapshot-fork path).
+        self.report.rule_hits.clear();
     }
 
     /// Arms the no-op short-circuit: once every rule is a spent one-shot
@@ -480,6 +492,7 @@ impl AttackProxy {
     /// Emits one tick's worth of packets for injection rule `i` and
     /// reschedules it.
     fn injection_tick(&mut self, i: usize, ctx: &mut TapCtx<'_>) {
+        let rule_index = i;
         let Some(mut run) = self.injections[i].take() else {
             return;
         };
@@ -513,6 +526,7 @@ impl AttackProxy {
                 let header_hash = fx_hash_bytes(&pkt.header);
                 ctx.inject(pkt, toward_b, spread);
                 self.report.injected += 1;
+                self.bump_rule_hit(rule_index);
                 self.fp_fold_event(
                     7,
                     (ctx.now() + spread).as_nanos(),
@@ -528,9 +542,25 @@ impl AttackProxy {
         }
     }
 
+    /// Credits rule `ri` with one effective (wire-visible) hit.
+    fn bump_rule_hit(&mut self, ri: usize) {
+        let ri = ri as u32;
+        match self.report.rule_hits.binary_search_by_key(&ri, |e| e.0) {
+            Ok(pos) => self.report.rule_hits[pos].1 += 1,
+            Err(pos) => self.report.rule_hits.insert(pos, (ri, 1)),
+        }
+    }
+
+    /// Counts one matched packet against rule `ri`.
+    fn count_match(&mut self, ri: usize) {
+        self.report.matched += 1;
+        self.bump_rule_hit(ri);
+    }
+
     fn apply_basic(
         &mut self,
         ctx: &mut TapCtx<'_>,
+        ri: usize,
         attack: &BasicAttack,
         mut packet: Packet,
         toward_b: bool,
@@ -540,7 +570,7 @@ impl AttackProxy {
         let idx = self.report.packets_seen;
         match attack {
             BasicAttack::Drop { percent } => {
-                self.report.matched += 1;
+                self.count_match(ri);
                 let hit = self.rng.gen_range(0u32..100) < *percent as u32;
                 self.fp_fold_event(1, idx, hit as u64);
                 if hit {
@@ -550,7 +580,7 @@ impl AttackProxy {
                 }
             }
             BasicAttack::Duplicate { copies } => {
-                self.report.matched += 1;
+                self.count_match(ri);
                 self.fp_fold_event(2, idx, *copies as u64);
                 for _ in 0..*copies {
                     ctx.forward(packet.clone(), toward_b);
@@ -559,13 +589,13 @@ impl AttackProxy {
                 ctx.forward(packet, toward_b);
             }
             BasicAttack::Delay { secs } => {
-                self.report.matched += 1;
+                self.count_match(ri);
                 self.report.delayed += 1;
                 self.fp_fold_event(3, idx, secs.to_bits());
                 ctx.forward_delayed(packet, toward_b, SimDuration::from_secs_f64(*secs));
             }
             BasicAttack::Batch { secs } => {
-                self.report.matched += 1;
+                self.count_match(ri);
                 self.report.batched += 1;
                 self.fp_fold_event(4, idx, secs.to_bits());
                 self.batch.push((packet, toward_b));
@@ -575,7 +605,7 @@ impl AttackProxy {
                 }
             }
             BasicAttack::Reflect => {
-                self.report.matched += 1;
+                self.count_match(ri);
                 self.report.reflected += 1;
                 swap_endpoints(&self.adapter.spec(), &mut packet);
                 self.fp_fold_event(5, idx, fx_hash_bytes(&packet.header));
@@ -604,7 +634,7 @@ impl AttackProxy {
                     Err(_) => packet.header = original,
                 }
                 if changed {
-                    self.report.matched += 1;
+                    self.count_match(ri);
                     self.report.lied += 1;
                     self.fp_fold_event(6, idx, fx_hash_bytes(&packet.header));
                 }
@@ -747,7 +777,7 @@ impl Tap for AttackProxy {
                 match &rules[ri].kind {
                     StrategyKind::OnPacket { attack, .. }
                     | StrategyKind::OnNthPacket { attack, .. } => {
-                        self.apply_basic(ctx, attack, packet, toward_b);
+                        self.apply_basic(ctx, ri, attack, packet, toward_b);
                     }
                     _ => unreachable!("matcher only yields packet-triggered rules"),
                 }

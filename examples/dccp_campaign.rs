@@ -15,10 +15,11 @@ use snake_dccp::DccpProfile;
 fn main() {
     let cap: Option<usize> = std::env::args().nth(1).and_then(|s| s.parse().ok());
     let spec = ScenarioSpec::evaluation(ProtocolKind::Dccp(DccpProfile::linux_3_13()));
-    let config = CampaignConfig {
-        max_strategies: cap,
-        ..CampaignConfig::new(spec)
-    };
+    let mut builder = CampaignConfig::builder(spec);
+    if let Some(cap) = cap {
+        builder = builder.cap(cap);
+    }
+    let config = builder.build().expect("valid config");
     eprintln!("== campaign: Linux 3.13 DCCP ==");
     let start = std::time::Instant::now();
     let result = Campaign::run(config).expect("campaign preconditions hold");

@@ -19,10 +19,11 @@ fn main() {
         let name = profile.name.clone();
         eprintln!("== campaign: {name} ==");
         let spec = ScenarioSpec::evaluation(ProtocolKind::Tcp(profile));
-        let config = CampaignConfig {
-            max_strategies: cap,
-            ..CampaignConfig::new(spec)
-        };
+        let mut builder = CampaignConfig::builder(spec);
+        if let Some(cap) = cap {
+            builder = builder.cap(cap);
+        }
+        let config = builder.build().expect("valid config");
         let start = std::time::Instant::now();
         let result = Campaign::run(config).expect("campaign preconditions hold");
         eprintln!(

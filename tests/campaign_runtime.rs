@@ -40,21 +40,21 @@ fn table_key(result: &CampaignResult) -> (String, usize, usize, usize, usize, us
 #[test]
 fn panicking_strategy_is_isolated_and_journaled() {
     let path = temp_journal("panic");
-    let config = CampaignConfig {
-        max_strategies: Some(10),
-        feedback_rounds: 1,
-        retest: false,
-        parallelism: 4,
-        journal: Some(path.clone()),
+    let config = CampaignConfig::builder(quick_tcp())
+        .cap(10)
+        .feedback_rounds(1)
+        .retest(false)
+        .parallelism(4)
+        .journal(path.clone())
         // Crash the engine run for two specific strategies, inside the
         // worker, the way an engine bug would.
-        fault_hook: Some(Arc::new(|s| {
+        .fault_hook(Arc::new(|s| {
             if s.id == 3 || s.id == 7 {
                 panic!("injected engine fault on strategy {}", s.id);
             }
-        })),
-        ..CampaignConfig::new(quick_tcp())
-    };
+        }))
+        .build()
+        .expect("valid config");
     let result = Campaign::run(config).expect("panics must not abort the campaign");
 
     // The batch survived: every strategy has an outcome, the two injected
@@ -101,14 +101,16 @@ fn panicking_strategy_is_isolated_and_journaled() {
 fn kill_and_resume_reproduces_the_same_table() {
     let journal_a = temp_journal("full");
     let journal_b = temp_journal("resumed");
-    let config = |journal: PathBuf, resume: bool| CampaignConfig {
-        max_strategies: Some(12),
-        feedback_rounds: 1,
-        retest: false,
-        parallelism: 2,
-        journal: Some(journal),
-        resume,
-        ..CampaignConfig::new(quick_tcp())
+    let config = |journal: PathBuf, resume: bool| {
+        CampaignConfig::builder(quick_tcp())
+            .cap(12)
+            .feedback_rounds(1)
+            .retest(false)
+            .parallelism(2)
+            .journal(journal)
+            .resume(resume)
+            .build()
+            .expect("valid config")
     };
 
     // Reference: an uninterrupted run.
@@ -157,23 +159,21 @@ fn kill_and_resume_reproduces_the_same_table() {
 fn resume_refuses_a_journal_from_a_different_campaign() {
     let path = temp_journal("mismatch");
     let mut spec = quick_tcp();
-    let base = CampaignConfig {
-        max_strategies: Some(3),
-        feedback_rounds: 1,
-        retest: false,
-        journal: Some(path.clone()),
-        ..CampaignConfig::new(spec.clone())
+    let config = |spec: ScenarioSpec, resume: bool| {
+        CampaignConfig::builder(spec)
+            .cap(3)
+            .feedback_rounds(1)
+            .retest(false)
+            .journal(path.clone())
+            .resume(resume)
+            .build()
+            .expect("valid config")
     };
-    Campaign::run(base.clone()).unwrap();
+    Campaign::run(config(spec.clone(), false)).unwrap();
 
     // Same journal, different seed: the outcomes are not comparable.
     spec.seed = spec.seed.wrapping_add(99);
-    let other = CampaignConfig {
-        scenario: spec,
-        resume: true,
-        ..base
-    };
-    match Campaign::run(other) {
+    match Campaign::run(config(spec, true)) {
         Err(CampaignError::JournalMismatch { detail, .. }) => {
             assert!(detail.contains("seed"), "{detail}");
         }
@@ -188,15 +188,17 @@ fn budget_truncation_is_deterministic_and_reported() {
     // is cut short and reported, not silently misjudged.
     let mut spec = quick_tcp();
     spec.event_budget = Some(5_000);
-    let config = || CampaignConfig {
-        max_strategies: Some(6),
-        feedback_rounds: 1,
-        retest: false,
-        parallelism: 3,
-        ..CampaignConfig::new(spec.clone())
+    let config = |spec: ScenarioSpec| {
+        CampaignConfig::builder(spec)
+            .cap(6)
+            .feedback_rounds(1)
+            .retest(false)
+            .parallelism(3)
+            .build()
+            .expect("valid config")
     };
-    let a = Campaign::run(config()).unwrap();
-    let b = Campaign::run(config()).unwrap();
+    let a = Campaign::run(config(spec.clone())).unwrap();
+    let b = Campaign::run(config(spec)).unwrap();
 
     assert_eq!(a.truncated(), 6, "all runs hit the budget");
     assert_eq!(
@@ -220,23 +222,9 @@ fn budget_truncation_is_deterministic_and_reported() {
     // A generous budget changes nothing relative to no budget at all.
     let mut unbudgeted_spec = quick_tcp();
     unbudgeted_spec.event_budget = None;
-    let unbudgeted = Campaign::run(CampaignConfig {
-        max_strategies: Some(6),
-        feedback_rounds: 1,
-        retest: false,
-        parallelism: 3,
-        ..CampaignConfig::new(unbudgeted_spec.clone())
-    })
-    .unwrap();
+    let unbudgeted = Campaign::run(config(unbudgeted_spec.clone())).unwrap();
     unbudgeted_spec.event_budget = Some(u64::MAX);
-    let generous = Campaign::run(CampaignConfig {
-        max_strategies: Some(6),
-        feedback_rounds: 1,
-        retest: false,
-        parallelism: 3,
-        ..CampaignConfig::new(unbudgeted_spec)
-    })
-    .unwrap();
+    let generous = Campaign::run(config(unbudgeted_spec)).unwrap();
     assert_eq!(generous.truncated(), 0);
     assert_eq!(generous.table_row(), unbudgeted.table_row());
 }
@@ -248,19 +236,19 @@ fn journal_and_faults_compose_with_budgets() {
     // that Ok outcomes still dominate), and the journal capturing every
     // outcome kind.
     let path = temp_journal("compose");
-    let config = CampaignConfig {
-        max_strategies: Some(8),
-        feedback_rounds: 1,
-        retest: false,
-        parallelism: 4,
-        journal: Some(path.clone()),
-        fault_hook: Some(Arc::new(|s| {
+    let config = CampaignConfig::builder(quick_tcp())
+        .cap(8)
+        .feedback_rounds(1)
+        .retest(false)
+        .parallelism(4)
+        .journal(path.clone())
+        .fault_hook(Arc::new(|s| {
             if s.id == 1 {
                 panic!("boom");
             }
-        })),
-        ..CampaignConfig::new(quick_tcp())
-    };
+        }))
+        .build()
+        .expect("valid config");
     let result = Campaign::run(config).unwrap();
     assert_eq!(result.strategies_tried(), 8);
     assert_eq!(result.errored(), 1);

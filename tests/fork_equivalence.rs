@@ -6,7 +6,8 @@
 //! campaign results.
 
 use snake_core::{
-    generate_strategies, Executor, GenerationParams, PlannedExecutor, ProtocolKind, ScenarioSpec,
+    generate_strategies, Executor, ExecutorOptions, GenerationParams, PlannedExecutor,
+    ProtocolKind, ScenarioSpec,
 };
 use snake_dccp::DccpProfile;
 use snake_proxy::{BasicAttack, Endpoint, Strategy, StrategyKind};
@@ -68,7 +69,7 @@ fn forked_runs_match_from_scratch_on_every_profile() {
     for protocol in all_protocols() {
         let spec = ScenarioSpec::quick(protocol);
         let name = spec.protocol.implementation_name();
-        let exec = PlannedExecutor::new(&spec, true);
+        let exec = PlannedExecutor::new(&spec, ExecutorOptions::default());
         assert!(
             exec.snapshot_count() > 0,
             "{name}: baseline saw state transitions, so the plan must hold snapshots"
@@ -93,7 +94,7 @@ fn forked_runs_match_from_scratch_on_every_profile() {
 #[test]
 fn forked_combination_runs_match_from_scratch() {
     let spec = ScenarioSpec::quick(ProtocolKind::Tcp(Profile::linux_3_13()));
-    let exec = PlannedExecutor::new(&spec, true);
+    let exec = PlannedExecutor::new(&spec, ExecutorOptions::default());
     let sample = sample_strategies(&spec, &exec.baseline().proxy, 6);
     // Pair strategies up so the fork point is the min of two trigger times.
     for pair in sample.chunks(2) {
@@ -108,7 +109,7 @@ fn forked_combination_runs_match_from_scratch() {
 #[test]
 fn never_triggering_strategy_is_elided_to_the_baseline() {
     let spec = ScenarioSpec::quick(ProtocolKind::Tcp(Profile::linux_3_13()));
-    let exec = PlannedExecutor::new(&spec, true);
+    let exec = PlannedExecutor::new(&spec, ExecutorOptions::default());
     // A TCP client never receives a SYN in the baseline dumbbell, so this
     // rule's trigger key is absent from the timeline: the planner answers
     // with the baseline metrics without running anything.
@@ -131,7 +132,13 @@ fn never_triggering_strategy_is_elided_to_the_baseline() {
 fn disabled_planner_still_matches() {
     // snapshot_fork=false must be a pure pass-through to the old executor.
     let spec = ScenarioSpec::quick(ProtocolKind::Dccp(DccpProfile::linux_3_13()));
-    let exec = PlannedExecutor::new(&spec, false);
+    let exec = PlannedExecutor::new(
+        &spec,
+        ExecutorOptions {
+            snapshot_fork: false,
+            ..ExecutorOptions::default()
+        },
+    );
     assert_eq!(exec.snapshot_count(), 0);
     let strategy = sample_strategies(&spec, &exec.baseline().proxy, 1)
         .into_iter()

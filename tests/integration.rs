@@ -78,12 +78,12 @@ fn strategy_generation_covers_both_protocols() {
 
 #[test]
 fn campaign_counts_are_consistent() {
-    let config = CampaignConfig {
-        max_strategies: Some(40),
-        feedback_rounds: 1,
-        retest: true,
-        ..CampaignConfig::new(quick_tcp())
-    };
+    let config = CampaignConfig::builder(quick_tcp())
+        .cap(40)
+        .feedback_rounds(1)
+        .retest(true)
+        .build()
+        .expect("valid config");
     let result = Campaign::run(config).expect("campaign preconditions hold");
     assert_eq!(result.strategies_tried(), 40);
     let found = result.attack_strategies_found();
@@ -98,12 +98,12 @@ fn campaign_counts_are_consistent() {
 
 #[test]
 fn tables_render_from_campaign_results() {
-    let config = CampaignConfig {
-        max_strategies: Some(15),
-        feedback_rounds: 1,
-        retest: false,
-        ..CampaignConfig::new(quick_tcp())
-    };
+    let config = CampaignConfig::builder(quick_tcp())
+        .cap(15)
+        .feedback_rounds(1)
+        .retest(false)
+        .build()
+        .expect("valid config");
     let result = Campaign::run(config).expect("campaign preconditions hold");
     let t1 = render_table1(std::slice::from_ref(&result));
     assert!(t1.contains("Linux 3.13"));
@@ -114,12 +114,12 @@ fn tables_render_from_campaign_results() {
 
 #[test]
 fn attack_run_feedback_covers_baseline_space() {
-    let config = CampaignConfig {
-        feedback_rounds: 1,
-        max_strategies: Some(60),
-        retest: false,
-        ..CampaignConfig::new(quick_tcp())
-    };
+    let config = CampaignConfig::builder(quick_tcp())
+        .cap(60)
+        .feedback_rounds(1)
+        .retest(false)
+        .build()
+        .expect("valid config");
     let one = Campaign::run(config).expect("campaign preconditions hold");
     assert_eq!(one.strategies_tried(), 60);
     // A fresh generation pass over the executed outcomes' observations
@@ -158,12 +158,12 @@ fn search_space_comparison_shape() {
 #[test]
 fn dccp_campaign_smoke() {
     let spec = ScenarioSpec::quick(ProtocolKind::Dccp(DccpProfile::linux_3_13()));
-    let config = CampaignConfig {
-        max_strategies: Some(25),
-        feedback_rounds: 1,
-        retest: false,
-        ..CampaignConfig::new(spec)
-    };
+    let config = CampaignConfig::builder(spec)
+        .cap(25)
+        .feedback_rounds(1)
+        .retest(false)
+        .build()
+        .expect("valid config");
     let result = Campaign::run(config).expect("campaign preconditions hold");
     assert_eq!(result.protocol, "DCCP");
     assert_eq!(result.strategies_tried(), 25);

@@ -1,0 +1,140 @@
+//! Run-manifest determinism: everything except the `timing` section is
+//! derived from the campaign's deterministic outputs, so two same-seed
+//! single-worker runs must produce byte-identical manifests once `timing`
+//! is stripped; the manifest's memo totals must equal the campaign's own
+//! counters; and a killed-and-resumed campaign must reproduce the
+//! uninterrupted run's memo section exactly.
+//!
+//! Worker count matters: the `fp` (fingerprint-cache) provenance marker is
+//! attributed racily under parallelism > 1 — two workers can both miss the
+//! cache for the same fingerprint — so every test here runs one worker.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use snake_core::{
+    build_run_manifest, Campaign, CampaignConfig, CampaignResult, ProtocolKind, Recorder,
+    RecorderSnapshot, ScenarioSpec,
+};
+use snake_json::Value;
+use snake_tcp::Profile;
+
+fn quick_tcp() -> ScenarioSpec {
+    ScenarioSpec::quick(ProtocolKind::Tcp(Profile::linux_3_13()))
+}
+
+/// One observed single-worker memoized campaign, optionally journaled.
+fn observed_campaign(journal: Option<(PathBuf, bool)>) -> (CampaignResult, RecorderSnapshot) {
+    let recorder = Arc::new(Recorder::new());
+    let mut builder = CampaignConfig::builder(quick_tcp())
+        .cap(40)
+        .feedback_rounds(1)
+        .retest(false)
+        .parallelism(1)
+        .memoize(true)
+        .observer(recorder.clone());
+    if let Some((path, resume)) = journal {
+        builder = builder.journal(path).resume(resume);
+    }
+    let config = builder.build().expect("valid config");
+    let result = Campaign::run(config).expect("valid baseline");
+    (result, recorder.snapshot())
+}
+
+/// The manifest rendered with its wall-clock-derived `timing` section
+/// removed — the part the determinism contract covers.
+fn stable_json(result: &CampaignResult, snapshot: &RecorderSnapshot) -> String {
+    let manifest = build_run_manifest(result, snapshot, 0.0);
+    match manifest.to_json() {
+        Value::Obj(pairs) => Value::Obj(pairs.into_iter().filter(|(k, _)| k != "timing").collect())
+            .to_string_compact(),
+        other => other.to_string_compact(),
+    }
+}
+
+fn u64_at(value: &Value, key: &str) -> u64 {
+    match value.get(key) {
+        Some(Value::U64(n)) => *n,
+        other => panic!("expected u64 at `{key}`, got {other:?}"),
+    }
+}
+
+#[test]
+fn same_seed_runs_produce_identical_manifests_modulo_timing() {
+    let (result_a, snapshot_a) = observed_campaign(None);
+    let (result_b, snapshot_b) = observed_campaign(None);
+    assert_eq!(
+        stable_json(&result_a, &snapshot_a),
+        stable_json(&result_b, &snapshot_b),
+        "same-seed single-worker manifests must agree outside `timing`"
+    );
+}
+
+#[test]
+fn manifest_memo_totals_equal_campaign_counters() {
+    let (result, snapshot) = observed_campaign(None);
+    let manifest = build_run_manifest(&result, &snapshot, 0.0);
+    let memo = manifest.section("memo").expect("memo section present");
+    assert_eq!(u64_at(memo, "memo_hits"), result.memo_hits as u64);
+    assert_eq!(u64_at(memo, "short_circuits"), result.short_circuits as u64);
+    let breakdown = memo.get("breakdown").expect("breakdown present");
+    assert_eq!(
+        u64_at(breakdown, "class") + u64_at(breakdown, "fingerprint"),
+        result.memo_hits as u64,
+        "memo hits are exactly the class + fingerprint outcomes"
+    );
+    assert_eq!(
+        u64_at(breakdown, "inert") + u64_at(breakdown, "halt"),
+        result.short_circuits as u64,
+        "short-circuits are exactly the inert + halt outcomes"
+    );
+    assert!(
+        result.memo_hits + result.short_circuits > 0,
+        "the quick campaign must exercise the memo layers at all"
+    );
+}
+
+#[test]
+fn resumed_campaign_reproduces_the_memo_section() {
+    let dir = std::env::temp_dir();
+    let journal_a: PathBuf = dir.join(format!("snake-manifest-full-{}.jsonl", std::process::id()));
+    let journal_b: PathBuf = dir.join(format!(
+        "snake-manifest-resumed-{}.jsonl",
+        std::process::id()
+    ));
+    std::fs::remove_file(&journal_a).ok();
+    std::fs::remove_file(&journal_b).ok();
+
+    let (full, full_snapshot) = observed_campaign(Some((journal_a.clone(), false)));
+
+    // Simulated kill after twelve outcomes (header + 12 lines), then
+    // resume from the truncated journal.
+    let text = std::fs::read_to_string(&journal_a).unwrap();
+    let kept: Vec<&str> = text.lines().take(13).collect();
+    std::fs::write(&journal_b, kept.join("\n")).unwrap();
+    let (resumed, resumed_snapshot) = observed_campaign(Some((journal_b.clone(), true)));
+
+    assert_eq!(resumed.resumed, 12, "twelve journaled outcomes reused");
+    assert_eq!(
+        resumed.memo_hits, full.memo_hits,
+        "resume must reproduce the memo-hit total"
+    );
+    assert_eq!(
+        resumed.short_circuits, full.short_circuits,
+        "resume must reproduce the short-circuit total"
+    );
+    let memo_of = |result: &CampaignResult, snapshot: &RecorderSnapshot| {
+        build_run_manifest(result, snapshot, 0.0)
+            .section("memo")
+            .expect("memo section present")
+            .to_string_compact()
+    };
+    assert_eq!(
+        memo_of(&resumed, &resumed_snapshot),
+        memo_of(&full, &full_snapshot),
+        "resume must reproduce the per-marker memo breakdown"
+    );
+
+    std::fs::remove_file(&journal_a).ok();
+    std::fs::remove_file(&journal_b).ok();
+}

@@ -9,7 +9,8 @@ use std::path::PathBuf;
 
 use snake_core::{
     generate_strategies, journal, Campaign, CampaignConfig, CampaignResult, Executor,
-    GenerationParams, PlannedExecutor, ProtocolKind, ScenarioSpec, StrategyOutcome,
+    ExecutorOptions, GenerationParams, PlannedExecutor, ProtocolKind, ScenarioSpec,
+    StrategyOutcome,
 };
 use snake_dccp::DccpProfile;
 use snake_packet::FieldMutation;
@@ -38,15 +39,15 @@ fn comparable(outcomes: &[StrategyOutcome]) -> Vec<StrategyOutcome> {
 }
 
 fn campaign(spec: ScenarioSpec, cap: usize, memoize: bool) -> CampaignResult {
-    Campaign::run(CampaignConfig {
-        max_strategies: Some(cap),
-        feedback_rounds: 1,
-        retest: false,
-        parallelism: 2,
-        memoize,
-        ..CampaignConfig::new(spec)
-    })
-    .expect("valid baseline")
+    let config = CampaignConfig::builder(spec)
+        .cap(cap)
+        .feedback_rounds(1)
+        .retest(false)
+        .parallelism(2)
+        .memoize(memoize)
+        .build()
+        .expect("valid config");
+    Campaign::run(config).expect("valid baseline")
 }
 
 #[test]
@@ -72,13 +73,15 @@ fn memoization_is_transparent_under_retesting() {
     // runs (the composite class key), and flagged verdicts must never be
     // served from the fingerprint cache.
     let spec = ScenarioSpec::quick(ProtocolKind::Tcp(Profile::linux_3_13()));
-    let config = |memoize| CampaignConfig {
-        max_strategies: Some(60),
-        feedback_rounds: 1,
-        retest: true,
-        parallelism: 2,
-        memoize,
-        ..CampaignConfig::new(spec.clone())
+    let config = |memoize| {
+        CampaignConfig::builder(spec.clone())
+            .cap(60)
+            .feedback_rounds(1)
+            .retest(true)
+            .parallelism(2)
+            .memoize(memoize)
+            .build()
+            .expect("valid config")
     };
     let with_memo = Campaign::run(config(true)).expect("valid baseline");
     let without = Campaign::run(config(false)).expect("valid baseline");
@@ -96,22 +99,22 @@ fn memoized_tcp_campaign_reports_hits() {
     // inert against the baseline, and trigger-equivalent OnState
     // injections sharing one representative run.
     let spec = ScenarioSpec::quick(ProtocolKind::Tcp(Profile::linux_3_13()));
-    let result = Campaign::run(CampaignConfig {
-        max_strategies: Some(200),
-        feedback_rounds: 2,
-        retest: false,
-        parallelism: 2,
-        memoize: true,
-        params: GenerationParams {
+    let config = CampaignConfig::builder(spec)
+        .cap(200)
+        .feedback_rounds(2)
+        .retest(false)
+        .parallelism(2)
+        .memoize(true)
+        .params(GenerationParams {
             drop_percents: vec![100],
             duplicate_copies: vec![2],
             delay_secs: vec![1.0],
             batch_secs: vec![4.0],
             ..GenerationParams::default()
-        },
-        ..CampaignConfig::new(spec)
-    })
-    .expect("valid baseline");
+        })
+        .build()
+        .expect("valid config");
+    let result = Campaign::run(config).expect("valid baseline");
     assert_eq!(result.strategies_tried(), 200);
     assert!(
         result.short_circuits > 0,
@@ -138,7 +141,13 @@ fn provably_inert_strategies_really_are_inert() {
     ] {
         let spec = ScenarioSpec::quick(protocol);
         let name = spec.protocol.implementation_name().to_owned();
-        let exec = PlannedExecutor::with_options(&spec, true, true);
+        let exec = PlannedExecutor::new(
+            &spec,
+            ExecutorOptions {
+                memoize: true,
+                ..ExecutorOptions::default()
+            },
+        );
         assert!(exec.plan_active(), "{name}: determinism guard failed");
         let mut next_id = 0;
         let mut seen = std::collections::BTreeSet::new();
@@ -173,7 +182,13 @@ fn provably_inert_strategies_really_are_inert() {
 #[test]
 fn noop_halt_matches_full_runs() {
     let spec = ScenarioSpec::quick(ProtocolKind::Tcp(Profile::linux_3_13()));
-    let exec = PlannedExecutor::with_options(&spec, true, true);
+    let exec = PlannedExecutor::new(
+        &spec,
+        ExecutorOptions {
+            memoize: true,
+            ..ExecutorOptions::default()
+        },
+    );
     assert!(exec.plan_active());
     let nth_lie = |id, n, field: &str, mutation| Strategy {
         id,
@@ -206,7 +221,7 @@ fn noop_halt_matches_full_runs() {
     assert_eq!(exec.short_circuits(), 1, "a live lie must not be halted");
 
     // With memoization off the same inert lie takes the ordinary path.
-    let plain = PlannedExecutor::with_options(&spec, true, false);
+    let plain = PlannedExecutor::new(&spec, ExecutorOptions::default());
     let inert = nth_lie(3, 3, "seq", FieldMutation::Add(0));
     assert_eq!(plain.run(Some(inert)), *plain.baseline());
     assert_eq!(plain.short_circuits(), 0);
@@ -219,17 +234,19 @@ fn killed_memoized_campaign_resumes_identically() {
     let journal_b: PathBuf = dir.join(format!("snake-memo-resumed-{}.jsonl", std::process::id()));
     std::fs::remove_file(&journal_a).ok();
     std::fs::remove_file(&journal_b).ok();
-    let config = |journal: PathBuf, resume: bool| CampaignConfig {
-        max_strategies: Some(40),
-        feedback_rounds: 1,
-        retest: false,
-        parallelism: 1,
-        memoize: true,
-        journal: Some(journal),
-        resume,
-        ..CampaignConfig::new(ScenarioSpec::quick(
+    let config = |journal: PathBuf, resume: bool| {
+        CampaignConfig::builder(ScenarioSpec::quick(
             ProtocolKind::Tcp(Profile::linux_3_13()),
         ))
+        .cap(40)
+        .feedback_rounds(1)
+        .retest(false)
+        .parallelism(1)
+        .memoize(true)
+        .journal(journal)
+        .resume(resume)
+        .build()
+        .expect("valid config")
     };
 
     // Reference: an uninterrupted memoized run.
