@@ -17,14 +17,15 @@
 
 use std::process::ExitCode;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use snake_core::search::SearchSpaceParams;
 use snake_core::{
-    build_run_manifest, detect, render_table1, render_table2, Campaign, CampaignConfig, Executor,
-    ProtocolKind, Recorder, ScenarioSpec, DEFAULT_THRESHOLD,
+    build_run_manifest, detect, render_table1, render_table2, Campaign, CampaignConfig, ChaosPlan,
+    Executor, ProtocolKind, Recorder, ScenarioSpec, DEFAULT_THRESHOLD,
 };
 use snake_dccp::DccpProfile;
+use snake_netsim::{preset_names, Impairment, LinkSpec, SimDuration};
 use snake_packet::FieldMutation;
 use snake_proxy::{
     BasicAttack, Endpoint, InjectDirection, InjectionAttack, SeqChoice, Strategy, StrategyKind,
@@ -102,6 +103,16 @@ const QUICK_FLAG: FlagSpec = switch(
     "--quick",
     "use the shortened quick scenario instead of the paper-length one",
 );
+const IMPAIR_FLAG: FlagSpec = value(
+    "--impair",
+    "SPEC",
+    "link impairments: a preset name or loss=F,dup=F,reorder=F,jitter=MS,flap=A:B:C",
+);
+const BOTTLENECK_FLAG: FlagSpec = value(
+    "--bottleneck",
+    "SPEC",
+    "bottleneck link as MBIT/DELAY_MS/QUEUE_PKTS[/red]",
+);
 
 const COMMANDS: &[CommandSpec] = &[
     CommandSpec {
@@ -118,6 +129,8 @@ const COMMANDS: &[CommandSpec] = &[
             GRACE_SECS_FLAG,
             SEED_FLAG,
             QUICK_FLAG,
+            IMPAIR_FLAG,
+            BOTTLENECK_FLAG,
         ],
     },
     CommandSpec {
@@ -129,8 +142,25 @@ const COMMANDS: &[CommandSpec] = &[
             GRACE_SECS_FLAG,
             SEED_FLAG,
             QUICK_FLAG,
+            IMPAIR_FLAG,
+            BOTTLENECK_FLAG,
             value("--cap", "N", "test at most N strategies"),
             value("--budget", "EVENTS", "per-run simulator event budget"),
+            value(
+                "--baseline-reps",
+                "K",
+                "build the detection envelope from K seed-jittered baselines",
+            ),
+            value(
+                "--deadline",
+                "SECS",
+                "per-run watchdog deadline; hung runs become `stalled`",
+            ),
+            value(
+                "--chaos",
+                "PLAN",
+                "inject chaos faults (panics, stalls, journal, mayhem)",
+            ),
             value("--tsv", "FILE", "export per-strategy outcomes as TSV"),
             value("--journal", "FILE", "stream outcomes to a JSONL journal"),
             switch("--resume", "reuse outcomes already in the journal"),
@@ -310,7 +340,61 @@ fn parse_scenario(command: &CommandSpec, flags: &ParsedFlags<'_>) -> Result<Scen
     if let Some(v) = flags.parsed(flag_spec(command, "--seed"))? {
         spec.seed = v;
     }
+    if let Some(raw) = flags.get("--bottleneck") {
+        spec.dumbbell.bottleneck = parse_bottleneck(raw)?;
+    }
+    // Impairments go on last so they survive a `--bottleneck` override.
+    if let Some(raw) = flags.get("--impair") {
+        let impair = Impairment::parse(raw)
+            .map_err(|e| format!("--impair: {e} (presets: {})", preset_names().join(", ")))?;
+        spec = spec.with_impairment(impair);
+    }
     Ok(spec)
+}
+
+/// Parses `--bottleneck MBIT/DELAY_MS/QUEUE_PKTS[/red]` through
+/// [`LinkSpec::try_new`], so degenerate links (zero bandwidth, zero queue)
+/// are rejected before any simulation starts.
+fn parse_bottleneck(raw: &str) -> Result<LinkSpec, String> {
+    let parts: Vec<&str> = raw.split('/').collect();
+    let (dims, red) = match parts.as_slice() {
+        [bw, delay, queue] => ([*bw, *delay, *queue], false),
+        [bw, delay, queue, "red"] => ([*bw, *delay, *queue], true),
+        _ => {
+            return Err(format!(
+                "--bottleneck expects MBIT/DELAY_MS/QUEUE_PKTS[/red] (got `{raw}`)"
+            ))
+        }
+    };
+    let mbit: f64 = dims[0]
+        .parse()
+        .map_err(|_| format!("--bottleneck bandwidth expects Mbit/s (got `{}`)", dims[0]))?;
+    if !mbit.is_finite() || mbit <= 0.0 {
+        return Err(format!(
+            "--bottleneck bandwidth must be positive (got {mbit})"
+        ));
+    }
+    let delay_ms: f64 = dims[1].parse().map_err(|_| {
+        format!(
+            "--bottleneck delay expects milliseconds (got `{}`)",
+            dims[1]
+        )
+    })?;
+    if !delay_ms.is_finite() || delay_ms < 0.0 {
+        return Err(format!(
+            "--bottleneck delay must be non-negative (got {delay_ms})"
+        ));
+    }
+    let queue: usize = dims[2]
+        .parse()
+        .map_err(|_| format!("--bottleneck queue expects packets (got `{}`)", dims[2]))?;
+    let spec = LinkSpec::try_new(
+        (mbit * 1e6) as u64,
+        SimDuration::from_secs_f64(delay_ms / 1e3),
+        queue,
+    )
+    .map_err(|e| format!("--bottleneck: {e}"))?;
+    Ok(if red { spec.with_red() } else { spec })
 }
 
 fn cmd_list() -> Result<(), String> {
@@ -377,6 +461,24 @@ fn cmd_campaign(command: &CommandSpec, flags: &ParsedFlags<'_>) -> Result<(), St
     if let Some(every) = flags.parsed(flag_spec(command, "--progress"))? {
         builder = builder.progress_every(every);
     }
+    if let Some(reps) = flags.parsed(flag_spec(command, "--baseline-reps"))? {
+        builder = builder.baseline_reps(reps);
+    }
+    if let Some(secs) = flags.parsed::<f64>(flag_spec(command, "--deadline"))? {
+        if !secs.is_finite() || secs <= 0.0 {
+            return Err(format!(
+                "--deadline must be a positive number of seconds (got {secs})"
+            ));
+        }
+        builder = builder.deadline(Duration::from_secs_f64(secs));
+    }
+    if let Some(name) = flags.get("--chaos") {
+        let plan = ChaosPlan::preset(name).ok_or_else(|| {
+            let names: Vec<&str> = ChaosPlan::presets().iter().map(|(n, _)| *n).collect();
+            format!("unknown chaos plan `{name}` (try {})", names.join(", "))
+        })?;
+        builder = builder.chaos(plan);
+    }
     if let Some(recorder) = &recorder {
         builder = builder.observer(recorder.clone());
     }
@@ -386,12 +488,27 @@ fn cmd_campaign(command: &CommandSpec, flags: &ParsedFlags<'_>) -> Result<(), St
     let result = Campaign::run(config).map_err(|e| e.to_string())?;
     let wall_secs = start.elapsed().as_secs_f64();
     eprintln!(
-        "{} strategies in {:.1?} ({} errored, {} truncated)",
+        "{} strategies in {:.1?} ({} errored, {} truncated, {} stalled)",
         result.strategies_tried(),
         start.elapsed(),
         result.errored(),
-        result.truncated()
+        result.truncated(),
+        result.stalled()
     );
+    if result.baseline_reps > 1 {
+        eprintln!(
+            "ensemble: {} baselines, envelope width ±{:.1}%, {} borderline verdict(s) escalated",
+            result.baseline_reps,
+            100.0 * result.envelope.target_width_fraction(),
+            result.escalated
+        );
+    }
+    if result.stalls > 0 || result.quarantined > 0 {
+        eprintln!(
+            "watchdog: {} stall(s) observed, {} strateg(ies) quarantined",
+            result.stalls, result.quarantined
+        );
+    }
     if memoize {
         let tried = result.strategies_tried().max(1);
         eprintln!(
@@ -455,6 +572,26 @@ fn print_observe_summary(snapshot: &snake_core::RecorderSnapshot, wall_secs: f64
         snapshot.counter("netsim.forks"),
         snapshot.counter("netsim.fork_clone_bytes"),
     );
+    let impair_events: u64 = [
+        "netsim.impair.lost",
+        "netsim.impair.duplicated",
+        "netsim.impair.corrupted",
+        "netsim.impair.reordered",
+        "netsim.impair.flap_dropped",
+    ]
+    .iter()
+    .map(|name| snapshot.counter(name))
+    .sum();
+    if impair_events > 0 {
+        eprintln!(
+            "  impairments: {} lost, {} duplicated, {} corrupted, {} reordered, {} flap-dropped",
+            snapshot.counter("netsim.impair.lost"),
+            snapshot.counter("netsim.impair.duplicated"),
+            snapshot.counter("netsim.impair.corrupted"),
+            snapshot.counter("netsim.impair.reordered"),
+            snapshot.counter("netsim.impair.flap_dropped"),
+        );
+    }
     for (name, (count, wall_nanos)) in snapshot.span_totals() {
         eprintln!(
             "  {name}: {count} span(s), {:.3}s wall",

@@ -2,18 +2,18 @@ use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::io;
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
-use std::time::Instant;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::{Duration, Instant};
 
 use snake_netsim::FxHashMap;
 use snake_observe::{self as observe, Observer};
 use snake_proxy::{InjectionAttack, Strategy, StrategyKind};
 
 use crate::attacks::{classify, cluster_attacks, AttackFinding};
-use crate::detect::{baseline_valid, detect, Verdict, DEFAULT_THRESHOLD};
+use crate::detect::{baseline_valid, detect_enveloped, Envelope, Verdict, DEFAULT_THRESHOLD};
 use crate::journal::{self, JournalHeader, JournalWriter};
-use crate::scenario::{ExecutorOptions, PlannedExecutor, ScenarioSpec, TestMetrics};
+use crate::scenario::{Executor, ExecutorOptions, PlannedExecutor, ScenarioSpec, TestMetrics};
 use crate::strategen::{generate_strategies, is_on_path, is_self_denial, GenerationParams};
 
 /// Configuration of one campaign: one implementation under test, searched
@@ -57,6 +57,17 @@ pub struct CampaignConfig {
     memoize: bool,
     // Test-only fault injection inside the panic isolation boundary.
     fault_hook: Option<FaultHook>,
+    // Deterministic chaos injection (panics, stalls, journal faults).
+    chaos: Option<ChaosPlan>,
+    // Ensemble size: how many seed-jittered no-attack baselines anchor
+    // the detection envelope (1 = the legacy single baseline).
+    baseline_reps: usize,
+    // Per-evaluation wall-clock watchdog deadline (None = no watchdog).
+    deadline: Option<Duration>,
+    // How many times a stalled evaluation is retried before quarantine.
+    stall_retries: usize,
+    // Initial backoff between stall retries (doubles each attempt).
+    stall_backoff: Duration,
     // Observability sink threaded through the executors and workers.
     observer: Arc<dyn Observer>,
 }
@@ -64,6 +75,106 @@ pub struct CampaignConfig {
 /// Fault-injection hook called before each strategy evaluation, inside the
 /// panic isolation boundary (see [`CampaignConfigBuilder::fault_hook`]).
 pub type FaultHook = Arc<dyn Fn(&Strategy) + Send + Sync>;
+
+/// A deterministic chaos schedule, generalizing the one-off
+/// [`FaultHook`]: worker panics, evaluation stalls, and journal write
+/// faults are injected by strategy id (and write ordinal), so the same
+/// plan perturbs the same runs every time. Like a fault hook, an active
+/// plan forces memoization off — an elided strategy would never meet its
+/// scheduled fault.
+///
+/// Chaos plans exist to prove the campaign runtime survives its
+/// environment: panics must isolate, stalls must trip the watchdog, and
+/// journal faults must be retried — all without changing which strategies
+/// get tested.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ChaosPlan {
+    /// Panic inside the evaluation of every strategy whose id is a
+    /// multiple of this (`None` = no injected panics).
+    pub panic_every: Option<u64>,
+    /// Stall (sleep) inside the evaluation of every strategy whose id is a
+    /// multiple of this.
+    pub stall_every: Option<u64>,
+    /// How long an injected stall sleeps, in milliseconds.
+    pub stall_for_ms: u64,
+    /// Fail every Nth journal write with a transient I/O error (the
+    /// campaign's single bounded retry must absorb it).
+    pub journal_fail_every: Option<u64>,
+}
+
+impl ChaosPlan {
+    /// Built-in plans for the chaos test matrix.
+    pub fn presets() -> &'static [(&'static str, ChaosPlan)] {
+        const PRESETS: &[(&str, ChaosPlan)] = &[
+            (
+                "panics",
+                ChaosPlan {
+                    panic_every: Some(5),
+                    stall_every: None,
+                    stall_for_ms: 0,
+                    journal_fail_every: None,
+                },
+            ),
+            (
+                "stalls",
+                ChaosPlan {
+                    panic_every: None,
+                    stall_every: Some(7),
+                    stall_for_ms: 400,
+                    journal_fail_every: None,
+                },
+            ),
+            (
+                "journal",
+                ChaosPlan {
+                    panic_every: None,
+                    stall_every: None,
+                    stall_for_ms: 0,
+                    journal_fail_every: Some(3),
+                },
+            ),
+            (
+                "mayhem",
+                ChaosPlan {
+                    panic_every: Some(11),
+                    stall_every: Some(13),
+                    stall_for_ms: 400,
+                    journal_fail_every: Some(5),
+                },
+            ),
+        ];
+        PRESETS
+    }
+
+    /// Looks up a built-in plan by name.
+    pub fn preset(name: &str) -> Option<ChaosPlan> {
+        ChaosPlan::presets()
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, p)| *p)
+    }
+
+    fn hits(every: Option<u64>, id: u64) -> bool {
+        every.is_some_and(|n| n > 0 && id.is_multiple_of(n))
+    }
+
+    /// Applies the evaluation-side faults for `strategy` (called inside
+    /// the panic isolation boundary). Stalls are applied before panics so
+    /// a strategy scheduled for both exercises the watchdog first.
+    pub fn apply(&self, strategy: &Strategy) {
+        if ChaosPlan::hits(self.stall_every, strategy.id) && self.stall_for_ms > 0 {
+            std::thread::sleep(Duration::from_millis(self.stall_for_ms));
+        }
+        if ChaosPlan::hits(self.panic_every, strategy.id) {
+            panic!("chaos: injected engine panic (strategy {})", strategy.id);
+        }
+    }
+
+    /// Whether the `n`th journal write (1-based) is scheduled to fail.
+    pub fn fails_journal_write(&self, n: u64) -> bool {
+        ChaosPlan::hits(self.journal_fail_every, n)
+    }
+}
 
 impl fmt::Debug for CampaignConfig {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -81,6 +192,10 @@ impl fmt::Debug for CampaignConfig {
             .field("snapshot_fork", &self.snapshot_fork)
             .field("memoize", &self.memoize)
             .field("fault_hook", &self.fault_hook.as_ref().map(|_| "<hook>"))
+            .field("chaos", &self.chaos)
+            .field("baseline_reps", &self.baseline_reps)
+            .field("deadline", &self.deadline)
+            .field("stall_retries", &self.stall_retries)
             .field("observer_enabled", &self.observer.enabled())
             .finish()
     }
@@ -107,6 +222,11 @@ impl CampaignConfig {
             snapshot_fork: true,
             memoize: true,
             fault_hook: None,
+            chaos: None,
+            baseline_reps: 1,
+            deadline: None,
+            stall_retries: 2,
+            stall_backoff: Duration::from_millis(50),
             observer: observe::noop(),
         }
     }
@@ -144,6 +264,11 @@ pub struct CampaignConfigBuilder {
     snapshot_fork: bool,
     memoize: bool,
     fault_hook: Option<FaultHook>,
+    chaos: Option<ChaosPlan>,
+    baseline_reps: usize,
+    deadline: Option<Duration>,
+    stall_retries: usize,
+    stall_backoff: Duration,
     observer: Arc<dyn Observer>,
 }
 
@@ -255,6 +380,52 @@ impl CampaignConfigBuilder {
         self
     }
 
+    /// Installs a deterministic [`ChaosPlan`]: scheduled worker panics,
+    /// evaluation stalls, and transient journal write faults. Forces
+    /// memoization off, like [`fault_hook`](Self::fault_hook).
+    pub fn chaos(mut self, plan: ChaosPlan) -> Self {
+        self.chaos = Some(plan);
+        self
+    }
+
+    /// Anchors detection on an ensemble of `reps` seed-jittered no-attack
+    /// baselines instead of a single run: verdicts flag only outside the
+    /// median/MAD envelope the ensemble spans (see
+    /// [`Envelope`](crate::detect::Envelope)), and borderline verdicts are
+    /// escalated to a confirmatory re-test. `1` (the default) keeps the
+    /// legacy single-baseline comparison bit for bit. Use ≥ 3 whenever
+    /// link impairments make runs noisy.
+    pub fn baseline_reps(mut self, reps: usize) -> Self {
+        self.baseline_reps = reps;
+        self
+    }
+
+    /// Arms the per-evaluation watchdog: an evaluation that produces no
+    /// outcome within `deadline` of wall-clock time is abandoned and
+    /// retried (with exponential backoff), and after the retry budget the
+    /// strategy is quarantined as [`OutcomeKind::Stalled`] — the campaign
+    /// keeps going instead of hanging. The stalled worker thread is
+    /// detached, not killed; it can finish late harmlessly because
+    /// outcomes are only journaled by the watchdog's caller.
+    pub fn deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// How many times a stalled evaluation is retried before quarantine
+    /// (default 2; 0 quarantines on the first stall).
+    pub fn stall_retries(mut self, retries: usize) -> Self {
+        self.stall_retries = retries;
+        self
+    }
+
+    /// Initial wait before a stall retry; doubles on each further retry
+    /// (default 50 ms).
+    pub fn stall_backoff(mut self, backoff: Duration) -> Self {
+        self.stall_backoff = backoff;
+        self
+    }
+
     /// Observability sink for the campaign: phase spans, executor and
     /// netsim counters, per-worker histograms. Pass an
     /// [`observe::Recorder`](snake_observe::Recorder) wrapped in an `Arc`
@@ -286,6 +457,12 @@ impl CampaignConfigBuilder {
         if self.resume && self.journal.is_none() {
             return Err(CampaignError::ResumeWithoutJournal);
         }
+        if self.baseline_reps == 0 {
+            return invalid("baseline_reps must be at least one".to_owned());
+        }
+        if self.deadline.is_some_and(|d| d.is_zero()) {
+            return invalid("watchdog deadline must be longer than zero".to_owned());
+        }
         Ok(CampaignConfig {
             scenario: self.scenario,
             params: self.params,
@@ -300,6 +477,11 @@ impl CampaignConfigBuilder {
             snapshot_fork: self.snapshot_fork,
             memoize: self.memoize,
             fault_hook: self.fault_hook,
+            chaos: self.chaos,
+            baseline_reps: self.baseline_reps,
+            deadline: self.deadline,
+            stall_retries: self.stall_retries,
+            stall_backoff: self.stall_backoff,
             observer: self.observer,
         })
     }
@@ -391,6 +573,12 @@ pub enum OutcomeKind {
     /// cut short; the verdict is empty because partial throughput cannot
     /// be compared against a full-length baseline.
     Truncated,
+    /// The evaluation produced no outcome within the watchdog's wall-clock
+    /// deadline, was retried up to the retry budget, and was quarantined.
+    /// The metrics are zeroed and the verdict is empty; the campaign
+    /// continues instead of hanging (see
+    /// [`CampaignConfigBuilder::deadline`]).
+    Stalled,
 }
 
 impl OutcomeKind {
@@ -400,6 +588,7 @@ impl OutcomeKind {
             OutcomeKind::Ok => "ok",
             OutcomeKind::Errored => "errored",
             OutcomeKind::Truncated => "truncated",
+            OutcomeKind::Stalled => "stalled",
         }
     }
 }
@@ -490,6 +679,20 @@ pub struct CampaignResult {
     /// auxiliary halts (re-test and control runs) show up in the
     /// executors' own tallies, not here. Zero when memoization is off.
     pub short_circuits: usize,
+    /// How many seed-jittered baselines anchor the detection envelope
+    /// (1 = the legacy single baseline).
+    pub baseline_reps: usize,
+    /// The detection envelope every verdict was judged against.
+    pub envelope: Envelope,
+    /// Borderline verdicts escalated to a confirmatory re-test (only
+    /// tallied when `baseline_reps > 1`).
+    pub escalated: usize,
+    /// Watchdog deadline expiries, counting every attempt (one strategy
+    /// retried twice contributes three).
+    pub stalls: usize,
+    /// Strategies quarantined as [`OutcomeKind::Stalled`] after the
+    /// watchdog's retry budget ran out.
+    pub quarantined: usize,
 }
 
 impl CampaignResult {
@@ -558,6 +761,14 @@ impl CampaignResult {
         self.outcomes
             .iter()
             .filter(|o| o.outcome_kind == OutcomeKind::Truncated)
+            .count()
+    }
+
+    /// Strategies quarantined by the watchdog as stalled.
+    pub fn stalled(&self) -> usize {
+        self.outcomes
+            .iter()
+            .filter(|o| o.outcome_kind == OutcomeKind::Stalled)
             .count()
     }
 
@@ -632,6 +843,7 @@ struct Progress {
     done: usize,
     errored: usize,
     truncated: usize,
+    stalled: usize,
 }
 
 impl Campaign {
@@ -646,10 +858,10 @@ impl Campaign {
     /// baseline) and journal I/O.
     pub fn run(config: CampaignConfig) -> Result<CampaignResult, CampaignError> {
         let spec = config.scenario.clone();
-        // A fault hook must see every strategy, so memoization (which
-        // answers some strategies without ever evaluating them) is forced
-        // off under fault injection.
-        let memoize = config.memoize && config.fault_hook.is_none();
+        // A fault hook (or chaos plan) must see every strategy, so
+        // memoization (which answers some strategies without ever
+        // evaluating them) is forced off under fault injection.
+        let memoize = config.memoize && config.fault_hook.is_none() && config.chaos.is_none();
         let exec_options = ExecutorOptions {
             snapshot_fork: config.snapshot_fork,
             memoize,
@@ -674,6 +886,41 @@ impl Campaign {
         } else {
             None
         };
+
+        // Detection envelopes. With `baseline_reps == 1` the envelope is
+        // the single baseline and `detect_enveloped` degenerates to the
+        // legacy `detect` — bit-identical verdicts. With reps ≥ 2, K−1
+        // extra seed-jittered no-attack runs widen the band by the noise
+        // the scenario (impairments included) actually exhibits.
+        let envelope = {
+            let _span = observe::span(config.observer.as_ref(), "phase.ensemble", 0);
+            build_envelope(&spec, &baseline, config.baseline_reps, config.threshold)
+        };
+        let retest_envelope = retest_exec.as_ref().map(|retest| {
+            let _span = observe::span(config.observer.as_ref(), "phase.ensemble", 0);
+            build_envelope(
+                &retest_spec,
+                retest.baseline(),
+                config.baseline_reps,
+                config.threshold,
+            )
+        });
+        if config.observer.enabled() {
+            let obs = config.observer.as_ref();
+            obs.counter_add("detect.envelope.members", envelope.members as u64);
+            obs.counter_add(
+                "detect.envelope.target_lo",
+                envelope.target_lo.max(0.0) as u64,
+            );
+            obs.counter_add(
+                "detect.envelope.target_hi",
+                envelope.target_hi.max(0.0) as u64,
+            );
+            obs.counter_add(
+                "detect.envelope.width_permille",
+                (envelope.target_width_fraction() * 1000.0) as u64,
+            );
+        }
 
         // Journal setup: load previous outcomes when resuming, then keep a
         // writer open for streaming appends.
@@ -729,12 +976,29 @@ impl Campaign {
 
         let journal_cell = writer.map(Mutex::new);
         let journal_error: Mutex<Option<io::Error>> = Mutex::new(None);
+        let journal_writes = AtomicU64::new(0);
         let progress = Mutex::new(Progress::default());
         let progress_every = config.progress_every;
+        let chaos = config.chaos;
+        let observer_for_journal = config.observer.clone();
         let on_outcome = |outcome: &StrategyOutcome| {
             if let Some(cell) = &journal_cell {
                 let mut writer = cell.lock().unwrap_or_else(|e| e.into_inner());
-                if let Err(e) = writer.record(outcome) {
+                let n = journal_writes.fetch_add(1, Ordering::Relaxed) + 1;
+                let mut result = if chaos.is_some_and(|c| c.fails_journal_write(n)) {
+                    observer_for_journal.counter_add("campaign.journal_faults", 1);
+                    Err(io::Error::other("chaos: injected journal write failure"))
+                } else {
+                    writer.record(outcome)
+                };
+                if result.is_err() {
+                    // One bounded retry: a transient write failure (or an
+                    // injected chaos fault) gets a second chance before
+                    // the campaign aborts with a journal error.
+                    observer_for_journal.counter_add("campaign.journal_retries", 1);
+                    result = writer.record(outcome);
+                }
+                if let Err(e) = result {
                     let mut slot = journal_error.lock().unwrap_or_else(|e| e.into_inner());
                     if slot.is_none() {
                         *slot = Some(e);
@@ -748,11 +1012,12 @@ impl Campaign {
                     OutcomeKind::Ok => {}
                     OutcomeKind::Errored => p.errored += 1,
                     OutcomeKind::Truncated => p.truncated += 1,
+                    OutcomeKind::Stalled => p.stalled += 1,
                 }
                 if p.done % progress_every == 0 {
                     eprintln!(
-                        "campaign: {} strategies tested ({} errored, {} truncated)",
-                        p.done, p.errored, p.truncated
+                        "campaign: {} strategies tested ({} errored, {} truncated, {} stalled)",
+                        p.done, p.errored, p.truncated, p.stalled
                     );
                 }
             }
@@ -768,7 +1033,12 @@ impl Campaign {
             retest_exec,
             config: config.clone(),
             memoize,
+            envelope,
+            retest_envelope,
             fp_cache: Mutex::new(FxHashMap::default()),
+            escalated: AtomicUsize::new(0),
+            stalls: AtomicUsize::new(0),
+            quarantined: AtomicUsize::new(0),
         });
 
         for _round in 0..config.feedback_rounds {
@@ -864,7 +1134,7 @@ impl Campaign {
                 let outcome = if rep_outcome.outcome_kind == OutcomeKind::Errored {
                     // A panicking representative proves nothing about its
                     // class; run the member itself.
-                    evaluate_guarded(&shared, s)
+                    evaluate_watched(&shared, s)
                 } else {
                     materialize_class_member(rep_outcome, s)
                 };
@@ -932,8 +1202,43 @@ impl Campaign {
             journal_lines_skipped,
             memo_hits,
             short_circuits,
+            baseline_reps: config.baseline_reps,
+            envelope: shared.envelope,
+            escalated: shared.escalated.load(Ordering::Relaxed),
+            stalls: shared.stalls.load(Ordering::Relaxed),
+            quarantined: shared.quarantined.load(Ordering::Relaxed),
         })
     }
+}
+
+/// Deterministic seed for ensemble member `k` (member 0 is the scenario
+/// seed itself). The golden-ratio multiply diffuses `k` across the word so
+/// member seeds never collide with each other or with the re-test seed.
+fn ensemble_seed(seed: u64, k: usize) -> u64 {
+    seed ^ (k as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+/// Builds the detection envelope: the campaign's own baseline plus
+/// `reps − 1` plain from-scratch no-attack runs at jittered seeds.
+fn build_envelope(
+    spec: &ScenarioSpec,
+    baseline: &TestMetrics,
+    reps: usize,
+    threshold: f64,
+) -> Envelope {
+    if reps <= 1 {
+        return Envelope::from_baseline(baseline, threshold);
+    }
+    let mut members = Vec::with_capacity(reps);
+    members.push(baseline.clone());
+    for k in 1..reps {
+        let member_spec = ScenarioSpec {
+            seed: ensemble_seed(spec.seed, k),
+            ..spec.clone()
+        };
+        members.push(Executor::run(&member_spec, None));
+    }
+    Envelope::from_members(&members, threshold)
 }
 
 /// Everything the executor workers share read-only: the planned (snapshot
@@ -943,9 +1248,20 @@ struct SharedCtx {
     retest_exec: Option<PlannedExecutor>,
     config: CampaignConfig,
     /// Whether campaign-level memoization is live (config switch and no
-    /// fault hook; each executor additionally requires its determinism
-    /// guard to have passed).
+    /// fault hook or chaos plan; each executor additionally requires its
+    /// determinism guard to have passed).
     memoize: bool,
+    /// Detection envelope for the main seed (single-baseline degenerate
+    /// when `baseline_reps == 1`).
+    envelope: Envelope,
+    /// Envelope for the re-test seed, when re-testing is on.
+    retest_envelope: Option<Envelope>,
+    /// Borderline verdicts escalated to a confirmatory re-test.
+    escalated: AtomicUsize,
+    /// Watchdog deadline expiries (every attempt counts).
+    stalls: AtomicUsize,
+    /// Strategies quarantined after the stall retry budget.
+    quarantined: AtomicUsize,
     /// Wire-effect fingerprint → verdict cache. A fingerprint captures
     /// every effect the proxy actually had on the wire (plus its RNG
     /// draws), so equal fingerprints mean byte-identical runs and the
@@ -1009,7 +1325,7 @@ fn inert_outcome(shared: &Shared, strategy: &Strategy) -> Option<StrategyOutcome
             memo: Some("inert".to_owned()),
         });
     }
-    let verdict = detect(baseline, baseline, shared.config.threshold);
+    let verdict = detect_enveloped(&shared.envelope, baseline);
     if verdict.flagged() {
         return None;
     }
@@ -1078,7 +1394,6 @@ fn evaluate(shared: &Shared, strategy: Strategy) -> StrategyOutcome {
         config,
         ..
     } = &**shared;
-    let baseline = exec.baseline();
     let (metrics, info) = exec.run_with_info(Some(strategy.clone()));
     // A halted run (every rule spent with zero wire effect) substituted
     // the baseline outcome; the marker records that this outcome was
@@ -1122,7 +1437,7 @@ fn evaluate(shared: &Shared, strategy: Strategy) -> StrategyOutcome {
                 v
             }
             None => {
-                let v = detect(baseline, &metrics, config.threshold);
+                let v = detect_enveloped(&shared.envelope, &metrics);
                 if !v.flagged() {
                     shared
                         .fp_cache
@@ -1134,16 +1449,34 @@ fn evaluate(shared: &Shared, strategy: Strategy) -> StrategyOutcome {
             }
         }
     } else {
-        detect(baseline, &metrics, config.threshold)
+        detect_enveloped(&shared.envelope, &metrics)
     };
 
+    // Flagged verdicts re-test as always; with an ensemble (reps > 1),
+    // *borderline* results — within BORDERLINE_MARGIN of an envelope edge,
+    // on either side — are escalated to the same different-seed re-test
+    // instead of trusting a single draw of the noise. A borderline flag
+    // must repeat to survive; a borderline near-miss gets a confirmatory
+    // run (counted, never promoted to a flag, so the ensemble's zero-FP
+    // guarantee is preserved).
     let mut repeatable = true;
-    if verdict.flagged() {
+    let borderline = shared.config.baseline_reps > 1 && shared.envelope.is_borderline(&metrics);
+    if verdict.flagged() || borderline {
         if let Some(retest) = retest_exec {
+            if borderline {
+                shared.escalated.fetch_add(1, Ordering::Relaxed);
+                config.observer.counter_add("campaign.escalated", 1);
+            }
             let _span = observe::span(config.observer.as_ref(), "phase.retests", 0);
             let again = retest.run(Some(strategy.clone()));
-            repeatable =
-                !again.truncated && detect(retest.baseline(), &again, config.threshold).flagged();
+            let retest_env = shared
+                .retest_envelope
+                .as_ref()
+                .expect("a re-test executor always has a re-test envelope");
+            let again_flagged = !again.truncated && detect_enveloped(retest_env, &again).flagged();
+            if verdict.flagged() {
+                repeatable = again_flagged;
+            }
         }
     }
 
@@ -1182,7 +1515,7 @@ fn evaluate(shared: &Shared, strategy: Strategy) -> StrategyOutcome {
                 },
             };
             let control_metrics = exec.run(Some(control));
-            let control_verdict = detect(baseline, &control_metrics, config.threshold);
+            let control_verdict = detect_enveloped(&shared.envelope, &control_metrics);
             false_positive = !control_metrics.truncated && control_verdict.flagged();
         }
     }
@@ -1208,6 +1541,9 @@ fn evaluate_guarded(shared: &Shared, strategy: Strategy) -> StrategyOutcome {
         if let Some(hook) = &shared.config.fault_hook {
             hook(&strategy);
         }
+        if let Some(chaos) = &shared.config.chaos {
+            chaos.apply(&strategy);
+        }
         evaluate(shared, strategy.clone())
     }));
     match result {
@@ -1223,6 +1559,69 @@ fn evaluate_guarded(shared: &Shared, strategy: Strategy) -> StrategyOutcome {
             error: Some(panic_message(payload.as_ref())),
             memo: None,
         },
+    }
+}
+
+/// Wraps [`evaluate_guarded`] in the per-run watchdog when a deadline is
+/// configured: the evaluation runs on its own thread, and if no outcome
+/// arrives within the wall-clock deadline the attempt is abandoned and
+/// retried with doubling backoff. Once the retry budget is spent the
+/// strategy is quarantined as [`OutcomeKind::Stalled`] — the campaign
+/// moves on instead of hanging on one livelocked engine.
+///
+/// Abandoned threads are detached, never killed: they hold only `Arc`
+/// clones, their late results are dropped on a closed channel, and the
+/// journal append happens in the watchdog's caller, so a straggler can
+/// never write anything.
+fn evaluate_watched(shared: &Shared, strategy: Strategy) -> StrategyOutcome {
+    let Some(deadline) = shared.config.deadline else {
+        return evaluate_guarded(shared, strategy);
+    };
+    let observer = shared.config.observer.clone();
+    let retries = shared.config.stall_retries;
+    let mut backoff = shared.config.stall_backoff;
+    for attempt in 0..=retries {
+        let (tx, rx) = mpsc::channel();
+        let worker_shared = Arc::clone(shared);
+        let worker_strategy = strategy.clone();
+        let spawned = std::thread::Builder::new()
+            .name(format!("snake-eval-{}", strategy.id))
+            .spawn(move || {
+                let _ = tx.send(evaluate_guarded(&worker_shared, worker_strategy));
+            });
+        if spawned.is_err() {
+            // Thread exhaustion: fall back to an unwatched inline run
+            // rather than failing the strategy for a host-side problem.
+            return evaluate_guarded(shared, strategy);
+        }
+        match rx.recv_timeout(deadline) {
+            Ok(outcome) => return outcome,
+            Err(_) => {
+                shared.stalls.fetch_add(1, Ordering::Relaxed);
+                observer.counter_add("campaign.stalls", 1);
+                if attempt < retries {
+                    observer.counter_add("campaign.stall_retries", 1);
+                    std::thread::sleep(backoff);
+                    backoff = backoff.saturating_mul(2);
+                }
+            }
+        }
+    }
+    shared.quarantined.fetch_add(1, Ordering::Relaxed);
+    observer.counter_add("campaign.quarantined", 1);
+    StrategyOutcome {
+        on_path: is_on_path(&strategy),
+        error: Some(format!(
+            "stalled: no outcome within {deadline:?} in any of {} attempts; quarantined",
+            retries + 1
+        )),
+        strategy,
+        verdict: Verdict::default(),
+        metrics: TestMetrics::empty(),
+        repeatable: false,
+        false_positive: false,
+        outcome_kind: OutcomeKind::Stalled,
+        memo: None,
     }
 }
 
@@ -1304,7 +1703,7 @@ fn run_batch(
         let out = strategies
             .into_iter()
             .map(|s| {
-                let outcome = clock.time(|| evaluate_guarded(shared, s));
+                let outcome = clock.time(|| evaluate_watched(shared, s));
                 on_outcome(&outcome);
                 outcome
             })
@@ -1328,7 +1727,7 @@ fn run_batch(
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         let Some(strategy) = jobs.get(i) else { break };
-                        let outcome = clock.time(|| evaluate_guarded(shared, strategy.clone()));
+                        let outcome = clock.time(|| evaluate_watched(shared, strategy.clone()));
                         on_outcome(&outcome);
                         mine.push((i, outcome));
                     }
@@ -1424,6 +1823,11 @@ mod tests {
             journal_lines_skipped: 0,
             memo_hits: 0,
             short_circuits: 0,
+            baseline_reps: 1,
+            envelope: Envelope::from_baseline(&TestMetrics::empty(), DEFAULT_THRESHOLD),
+            escalated: 0,
+            stalls: 0,
+            quarantined: 0,
         };
         let tsv = result.export_outcomes_tsv();
         let lines: Vec<&str> = tsv.lines().collect();
@@ -1504,6 +1908,8 @@ mod tests {
             CampaignConfig::builder(spec()).threshold(0.0),
             CampaignConfig::builder(spec()).parallelism(0),
             CampaignConfig::builder(spec()).feedback_rounds(0),
+            CampaignConfig::builder(spec()).baseline_reps(0),
+            CampaignConfig::builder(spec()).deadline(Duration::ZERO),
         ] {
             match broken.build() {
                 Err(CampaignError::InvalidConfig { detail }) => {
@@ -1516,5 +1922,40 @@ mod tests {
         #[allow(deprecated)]
         let legacy = CampaignConfig::new(spec());
         assert!(legacy.memoize, "defaults must match the builder's");
+    }
+
+    #[test]
+    fn chaos_presets_resolve_by_name_and_schedule_deterministically() {
+        for (name, plan) in ChaosPlan::presets() {
+            assert_eq!(ChaosPlan::preset(name), Some(*plan));
+        }
+        assert_eq!(ChaosPlan::preset("nope"), None);
+        let plan = ChaosPlan::preset("journal").unwrap();
+        assert!(plan.fails_journal_write(3));
+        assert!(plan.fails_journal_write(6));
+        assert!(!plan.fails_journal_write(4));
+        // A default (empty) plan injects nothing anywhere.
+        let noop = ChaosPlan::default();
+        assert!(!noop.fails_journal_write(1));
+        noop.apply(&Strategy {
+            id: 0,
+            kind: StrategyKind::OnPacket {
+                endpoint: Endpoint::Client,
+                state: "ESTABLISHED".into(),
+                packet_type: "ACK".into(),
+                attack: BasicAttack::Drop { percent: 100 },
+            },
+        });
+    }
+
+    #[test]
+    fn ensemble_seeds_are_distinct_and_avoid_the_retest_seed() {
+        let seed = 7u64;
+        let mut seen = std::collections::BTreeSet::new();
+        seen.insert(seed);
+        seen.insert(seed.wrapping_add(1)); // the re-test seed
+        for k in 1..16 {
+            assert!(seen.insert(ensemble_seed(seed, k)), "collision at k={k}");
+        }
     }
 }

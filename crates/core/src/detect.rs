@@ -5,6 +5,16 @@ use crate::scenario::TestMetrics;
 /// grounded in the factor-of-two fairness notion of TFRC.
 pub const DEFAULT_THRESHOLD: f64 = 0.5;
 
+/// How close (relative to the boundary) an attacked measurement must sit
+/// to an envelope edge to count as *borderline* — the campaign escalates
+/// such verdicts to a different-seed re-test regardless of which side of
+/// the edge they landed on.
+pub const BORDERLINE_MARGIN: f64 = 0.1;
+
+/// Consistency factor making the median absolute deviation comparable to a
+/// standard deviation for normally distributed noise.
+const MAD_SCALE: f64 = 1.4826;
+
 /// What an attempted strategy did to the connection, relative to the
 /// baseline run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -93,6 +103,141 @@ pub fn baseline_valid(baseline: &TestMetrics) -> bool {
     baseline.target_bytes > 0
 }
 
+/// A noise-tolerant detection band, built from an *ensemble* of
+/// seed-jittered no-attack runs under the active network conditions.
+///
+/// A single deterministic baseline is one unlucky queue drop away from a
+/// false "degradation" flag the moment link impairments add stochastic
+/// loss or jitter. The envelope widens the paper's `threshold` band by the
+/// spread the ensemble actually exhibited: the throughput edges are the
+/// threshold band around the ensemble *median*, pushed out by three
+/// scaled-MAD units of observed noise, and — by construction — always wide
+/// enough to contain every member, so a no-attack run that was itself a
+/// member can never flag.
+///
+/// With a single member the MAD is zero and the min/max expansion is the
+/// member itself, so [`detect_enveloped`] degenerates to exactly
+/// [`detect`] against that baseline — campaigns with `baseline_reps == 1`
+/// keep the legacy behaviour bit for bit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Envelope {
+    /// How many ensemble members the envelope was built from.
+    pub members: usize,
+    /// Median target-connection bytes across the members.
+    pub target_median: f64,
+    /// Degradation edge: flag only below this many target bytes.
+    pub target_lo: f64,
+    /// Gain edge: flag only above this many target bytes.
+    pub target_hi: f64,
+    /// Median competing-connection bytes across the members.
+    pub competing_median: f64,
+    /// Competing-degradation edge.
+    pub competing_lo: f64,
+    /// Largest leaked-socket count any member showed; leaks flag only
+    /// strictly above it.
+    pub leaked_max: usize,
+    /// Smallest member target-byte count. Zero disables
+    /// establishment-prevention detection (some member failed to connect
+    /// on its own, so a zero-byte attacked run proves nothing).
+    pub target_min: u64,
+}
+
+/// Median and median-absolute-deviation of a sample (empty ⇒ zeros).
+fn median_mad(values: &[f64]) -> (f64, f64) {
+    if values.is_empty() {
+        return (0.0, 0.0);
+    }
+    let med = median_of(values);
+    let deviations: Vec<f64> = values.iter().map(|v| (v - med).abs()).collect();
+    (med, median_of(&deviations))
+}
+
+fn median_of(values: &[f64]) -> f64 {
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    let n = sorted.len();
+    if n % 2 == 1 {
+        sorted[n / 2]
+    } else {
+        (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0
+    }
+}
+
+impl Envelope {
+    /// Builds the envelope from the ensemble members (at least one) and
+    /// the detection threshold.
+    pub fn from_members(members: &[TestMetrics], threshold: f64) -> Envelope {
+        assert!(!members.is_empty(), "an envelope needs at least one member");
+        let targets: Vec<f64> = members.iter().map(|m| m.target_bytes as f64).collect();
+        let competing: Vec<f64> = members.iter().map(|m| m.competing_bytes as f64).collect();
+        let (t_med, t_mad) = median_mad(&targets);
+        let (c_med, c_mad) = median_mad(&competing);
+        let t_noise = 3.0 * MAD_SCALE * t_mad;
+        let c_noise = 3.0 * MAD_SCALE * c_mad;
+        let t_min = targets.iter().cloned().fold(f64::INFINITY, f64::min);
+        let t_max = targets.iter().cloned().fold(0.0f64, f64::max);
+        let c_min = competing.iter().cloned().fold(f64::INFINITY, f64::min);
+        Envelope {
+            members: members.len(),
+            target_median: t_med,
+            target_lo: ((1.0 - threshold) * t_med - t_noise).min(t_min),
+            target_hi: ((1.0 + threshold) * t_med + t_noise).max(t_max),
+            competing_median: c_med,
+            competing_lo: ((1.0 - threshold) * c_med - c_noise).min(c_min),
+            leaked_max: members.iter().map(|m| m.leaked_sockets).max().unwrap_or(0),
+            target_min: members.iter().map(|m| m.target_bytes).min().unwrap_or(0),
+        }
+    }
+
+    /// The single-baseline envelope [`detect`] implicitly uses.
+    pub fn from_baseline(baseline: &TestMetrics, threshold: f64) -> Envelope {
+        Envelope::from_members(std::slice::from_ref(baseline), threshold)
+    }
+
+    /// Whether `attacked` lands within [`BORDERLINE_MARGIN`] of a
+    /// throughput edge (either side) or exactly on the leak edge — close
+    /// enough that the campaign escalates the verdict to a re-test instead
+    /// of trusting one draw of the noise.
+    pub fn is_borderline(&self, attacked: &TestMetrics) -> bool {
+        let near =
+            |value: f64, edge: f64| edge > 0.0 && (value - edge).abs() <= BORDERLINE_MARGIN * edge;
+        let t = attacked.target_bytes as f64;
+        let c = attacked.competing_bytes as f64;
+        (self.target_median > 0.0 && (near(t, self.target_lo) || near(t, self.target_hi)))
+            || (self.competing_median > 0.0 && near(c, self.competing_lo))
+            || (self.leaked_max > 0 && attacked.leaked_sockets == self.leaked_max)
+    }
+
+    /// Width of the target-throughput band, as a fraction of the median
+    /// (for the run manifest's robustness section).
+    pub fn target_width_fraction(&self) -> f64 {
+        if self.target_median > 0.0 {
+            (self.target_hi - self.target_lo) / self.target_median
+        } else {
+            0.0
+        }
+    }
+}
+
+/// [`detect`] generalized to an ensemble envelope: flags only outside the
+/// noise-widened band. A member of the ensemble can never flag against its
+/// own envelope (the edges were expanded to contain every member), which
+/// is what guarantees zero false positives for no-attack runs under the
+/// impairment preset the ensemble was measured under.
+pub fn detect_enveloped(envelope: &Envelope, attacked: &TestMetrics) -> Verdict {
+    let t = attacked.target_bytes as f64;
+    let c = attacked.competing_bytes as f64;
+    Verdict {
+        establishment_prevented: attacked.target_bytes == 0 && envelope.target_min > 0,
+        throughput_degradation: envelope.target_median > 0.0
+            && attacked.target_bytes > 0
+            && t < envelope.target_lo,
+        throughput_gain: envelope.target_median > 0.0 && t > envelope.target_hi,
+        competing_degradation: envelope.competing_median > 0.0 && c < envelope.competing_lo,
+        socket_leak: attacked.leaked_sockets > envelope.leaked_max,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -172,5 +317,93 @@ mod tests {
         assert!(v.socket_leak);
         assert!(v.flagged());
         assert_eq!(v.labels(), vec!["socket-leak"]);
+    }
+
+    #[test]
+    fn single_member_envelope_degenerates_to_detect() {
+        let base = metrics(10_000_000, 9_000_000, 0);
+        let env = Envelope::from_baseline(&base, DEFAULT_THRESHOLD);
+        for attacked in [
+            metrics(10_000_000, 9_000_000, 0),
+            metrics(2_000_000, 14_000_000, 0),
+            metrics(16_000_000, 4_000_000, 0),
+            metrics(0, 9_000_000, 0),
+            metrics(9_500_000, 9_000_000, 1),
+            metrics(4_999_999, 9_000_000, 0),
+            metrics(5_000_000, 9_000_000, 0),
+        ] {
+            assert_eq!(
+                detect_enveloped(&env, &attacked),
+                detect(&base, &attacked, DEFAULT_THRESHOLD),
+                "K=1 must reproduce the legacy verdict for {attacked:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn ensemble_members_never_flag_against_their_own_envelope() {
+        // A wild ensemble — the min/max expansion must cover even members
+        // far outside the threshold band around the median.
+        let members = [
+            metrics(10_000_000, 9_000_000, 0),
+            metrics(4_000_000, 12_000_000, 1),
+            metrics(17_000_000, 2_000_000, 0),
+        ];
+        let env = Envelope::from_members(&members, DEFAULT_THRESHOLD);
+        for m in &members {
+            assert!(
+                !detect_enveloped(&env, m).flagged(),
+                "member {m:?} flagged against its own envelope"
+            );
+        }
+    }
+
+    #[test]
+    fn envelope_widens_with_observed_noise() {
+        let tight = [
+            metrics(10_000_000, 10_000_000, 0),
+            metrics(10_000_100, 10_000_000, 0),
+            metrics(9_999_900, 10_000_000, 0),
+        ];
+        let noisy = [
+            metrics(10_000_000, 10_000_000, 0),
+            metrics(11_000_000, 10_000_000, 0),
+            metrics(9_000_000, 10_000_000, 0),
+        ];
+        let tight_env = Envelope::from_members(&tight, DEFAULT_THRESHOLD);
+        let noisy_env = Envelope::from_members(&noisy, DEFAULT_THRESHOLD);
+        assert!(noisy_env.target_lo < tight_env.target_lo);
+        assert!(noisy_env.target_hi > tight_env.target_hi);
+        assert!(noisy_env.target_width_fraction() > tight_env.target_width_fraction());
+        // A dip that would flag against the tight envelope survives the
+        // noisy one: the verdict adapts to the conditions measured.
+        let dip = metrics(4_300_000, 10_000_000, 0);
+        assert!(detect_enveloped(&tight_env, &dip).throughput_degradation);
+        assert!(!detect_enveloped(&noisy_env, &dip).throughput_degradation);
+    }
+
+    #[test]
+    fn borderline_detection_brackets_the_edges() {
+        let base = metrics(10_000_000, 10_000_000, 0);
+        let env = Envelope::from_baseline(&base, DEFAULT_THRESHOLD);
+        // lo edge is 5e6: within 10 % either side is borderline.
+        assert!(env.is_borderline(&metrics(4_600_000, 10_000_000, 0)));
+        assert!(env.is_borderline(&metrics(5_400_000, 10_000_000, 0)));
+        assert!(!env.is_borderline(&metrics(8_000_000, 10_000_000, 0)));
+        // hi edge is 15e6.
+        assert!(env.is_borderline(&metrics(14_000_000, 10_000_000, 0)));
+        assert!(!env.is_borderline(&metrics(20_000_000, 10_000_000, 0)));
+    }
+
+    #[test]
+    fn envelope_disables_establishment_when_a_member_failed_to_connect() {
+        let members = [
+            metrics(10_000_000, 10_000_000, 0),
+            metrics(0, 10_000_000, 0),
+        ];
+        let env = Envelope::from_members(&members, DEFAULT_THRESHOLD);
+        assert_eq!(env.target_min, 0);
+        let v = detect_enveloped(&env, &metrics(0, 10_000_000, 0));
+        assert!(!v.establishment_prevented);
     }
 }

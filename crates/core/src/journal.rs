@@ -9,8 +9,23 @@
 //! The format is deliberately line-oriented: a writer dying mid-append can
 //! corrupt at most the final line, which the loader skips (and counts)
 //! instead of rejecting the whole journal.
+//!
+//! Two hardening measures protect resumes against torn and silently
+//! corrupted data:
+//!
+//! * every line the writer emits carries a trailing FNV-1a checksum
+//!   (`<json>\t<16 hex digits>`), verified on load — a line whose payload
+//!   was damaged in place (bit rot, a partially overwritten sector, an
+//!   editor mishap) is counted as malformed and skipped instead of being
+//!   trusted, and the affected strategy simply re-runs;
+//! * the header is first written to a temporary sibling file and then
+//!   renamed into place, so a crash during journal creation can never
+//!   leave a half-written header behind.
+//!
+//! Checksums are optional on read: journals written before this scheme
+//! (bare JSON lines) still load.
 
-use std::fs::{File, OpenOptions};
+use std::fs::{self, File, OpenOptions};
 use std::io::{self, BufRead, BufReader, Write};
 use std::path::Path;
 
@@ -112,8 +127,9 @@ impl FromJson for OutcomeKind {
             Some("ok") => Ok(OutcomeKind::Ok),
             Some("errored") => Ok(OutcomeKind::Errored),
             Some("truncated") => Ok(OutcomeKind::Truncated),
+            Some("stalled") => Ok(OutcomeKind::Stalled),
             _ => Err(JsonError::decode(
-                "outcome kind must be ok/errored/truncated",
+                "outcome kind must be ok/errored/truncated/stalled",
             )),
         }
     }
@@ -208,6 +224,47 @@ impl FromJson for JournalHeader {
     }
 }
 
+/// FNV-1a 64-bit hash of a line's JSON payload — the per-line checksum.
+/// Small, dependency-free, and plenty for detecting torn or bit-rotted
+/// lines (this guards against accidents, not adversaries).
+fn line_checksum(payload: &str) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for byte in payload.as_bytes() {
+        hash ^= u64::from(*byte);
+        hash = hash.wrapping_mul(0x100_0000_01b3);
+    }
+    hash
+}
+
+/// Renders one journal line: compact JSON, a tab, and the checksum as 16
+/// lowercase hex digits. The tab can never appear inside the payload (the
+/// JSON writer escapes control characters), so the loader can split
+/// unambiguously from the right.
+fn checksummed_line(payload: &str) -> String {
+    debug_assert!(!payload.contains('\n'), "journal lines must be single-line");
+    debug_assert!(
+        !payload.contains('\t'),
+        "payload tabs would break the checksum split"
+    );
+    format!("{payload}\t{:016x}\n", line_checksum(payload))
+}
+
+/// Splits a loaded line into its JSON payload, verifying the checksum
+/// when one is present. Returns `None` for a checksum mismatch (the line
+/// is damaged); bare lines without a checksum pass through untouched for
+/// backward compatibility.
+fn verify_line(line: &str) -> Option<&str> {
+    match line.rsplit_once('\t') {
+        Some((payload, suffix))
+            if suffix.len() == 16 && suffix.bytes().all(|b| b.is_ascii_hexdigit()) =>
+        {
+            let expected = u64::from_str_radix(suffix, 16).ok()?;
+            (line_checksum(payload) == expected).then_some(payload)
+        }
+        _ => Some(line),
+    }
+}
+
 /// Appends outcomes to a journal file, flushing after every line so a
 /// killed process loses at most the line being written.
 #[derive(Debug)]
@@ -216,14 +273,23 @@ pub struct JournalWriter {
 }
 
 impl JournalWriter {
-    /// Starts a fresh journal (truncating any previous file) and writes
-    /// the header line.
+    /// Starts a fresh journal and writes the header line. The header is
+    /// written to a temporary sibling file and renamed into place, so a
+    /// crash here leaves either the old journal or a complete new header —
+    /// never a torn one. The returned writer keeps appending through the
+    /// same (renamed) file handle.
     pub fn create(path: &Path, header: &JournalHeader) -> io::Result<JournalWriter> {
-        let mut file = File::create(path)?;
-        let mut line = header.to_json().to_string_compact();
-        line.push('\n');
+        let mut tmp = path.as_os_str().to_owned();
+        tmp.push(".tmp");
+        let tmp_path = std::path::PathBuf::from(tmp);
+        let mut file = File::create(&tmp_path)?;
+        let line = checksummed_line(&header.to_json().to_string_compact());
         file.write_all(line.as_bytes())?;
         file.flush()?;
+        file.sync_all()?;
+        // Renaming moves the inode the handle already points at, so the
+        // writer needs no reopen — appends after this land in `path`.
+        fs::rename(&tmp_path, path)?;
         Ok(JournalWriter { file })
     }
 
@@ -250,11 +316,9 @@ impl JournalWriter {
         Ok(JournalWriter { file })
     }
 
-    /// Appends one outcome as a single JSONL line and flushes.
+    /// Appends one outcome as a single checksummed JSONL line and flushes.
     pub fn record(&mut self, outcome: &StrategyOutcome) -> io::Result<()> {
-        let mut line = outcome.to_json().to_string_compact();
-        debug_assert!(!line.contains('\n'), "journal lines must be single-line");
-        line.push('\n');
+        let line = checksummed_line(&outcome.to_json().to_string_compact());
         self.file.write_all(line.as_bytes())?;
         self.file.flush()
     }
@@ -294,7 +358,13 @@ pub fn load(path: &Path) -> io::Result<LoadedJournal> {
         if line.trim().is_empty() {
             continue;
         }
-        let parsed = match snake_json::parse(&line) {
+        // Checksum gate first: a damaged line must not be trusted even if
+        // it still happens to parse as JSON.
+        let Some(payload) = verify_line(&line) else {
+            malformed_lines += 1;
+            continue;
+        };
+        let parsed = match snake_json::parse(payload) {
             Ok(v) => v,
             Err(_) => {
                 malformed_lines += 1;
@@ -419,5 +489,103 @@ mod tests {
         let loaded = load(Path::new("/nonexistent/snake-journal.jsonl")).unwrap();
         assert!(loaded.header.is_none());
         assert!(loaded.outcomes.is_empty());
+    }
+
+    #[test]
+    fn stalled_outcomes_roundtrip_through_the_journal() {
+        let path = temp_path("stalled");
+        let header = JournalHeader {
+            implementation: "x".into(),
+            seed: 1,
+            threshold: 0.5,
+        };
+        let mut o = outcome(9);
+        o.outcome_kind = OutcomeKind::Stalled;
+        o.error = Some("stalled: no outcome within 2s in any of 3 attempts; quarantined".into());
+        o.verdict = Verdict::default();
+        o.repeatable = false;
+        o.memo = None;
+        let mut w = JournalWriter::create(&path, &header).unwrap();
+        w.record(&o).unwrap();
+        drop(w);
+        let loaded = load(&path).unwrap();
+        assert_eq!(loaded.outcomes, vec![o]);
+        assert_eq!(loaded.malformed_lines, 0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupted_checksum_line_is_skipped_not_trusted() {
+        let path = temp_path("corrupt");
+        let header = JournalHeader {
+            implementation: "x".into(),
+            seed: 1,
+            threshold: 0.5,
+        };
+        let mut w = JournalWriter::create(&path, &header).unwrap();
+        w.record(&outcome(1)).unwrap();
+        w.record(&outcome(2)).unwrap();
+        drop(w);
+        // Damage outcome 2's payload in place without touching its
+        // checksum: the line still parses as JSON, so only the checksum
+        // can reveal the corruption.
+        let text = std::fs::read_to_string(&path).unwrap();
+        let mut lines: Vec<String> = text.lines().map(String::from).collect();
+        let last = lines.last_mut().unwrap();
+        let damaged = last.replace("\"target_bytes\":123", "\"target_bytes\":999");
+        assert_ne!(*last, damaged, "the replacement must hit");
+        *last = damaged;
+        std::fs::write(&path, lines.join("\n") + "\n").unwrap();
+        let loaded = load(&path).unwrap();
+        assert_eq!(loaded.outcomes.len(), 1, "the damaged line must be dropped");
+        assert_eq!(loaded.outcomes[0].strategy.id, 1);
+        assert_eq!(loaded.malformed_lines, 1);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn legacy_journals_without_checksums_still_load() {
+        let path = temp_path("legacy");
+        let header = JournalHeader {
+            implementation: "x".into(),
+            seed: 1,
+            threshold: 0.5,
+        };
+        // A pre-checksum journal: bare JSON lines, no tab suffix.
+        let mut text = header.to_json().to_string_compact();
+        text.push('\n');
+        text.push_str(&outcome(1).to_json().to_string_compact());
+        text.push('\n');
+        std::fs::write(&path, text).unwrap();
+        let loaded = load(&path).unwrap();
+        assert_eq!(loaded.header, Some(header));
+        assert_eq!(loaded.outcomes, vec![outcome(1)]);
+        assert_eq!(loaded.malformed_lines, 0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn create_leaves_no_temporary_file_behind() {
+        let path = temp_path("atomic");
+        let header = JournalHeader {
+            implementation: "x".into(),
+            seed: 1,
+            threshold: 0.5,
+        };
+        let mut w = JournalWriter::create(&path, &header).unwrap();
+        w.record(&outcome(1)).unwrap();
+        drop(w);
+        let mut tmp = path.as_os_str().to_owned();
+        tmp.push(".tmp");
+        assert!(
+            !Path::new(&tmp).exists(),
+            "header temp file must be renamed away"
+        );
+        // The writer kept appending through the renamed handle, so the
+        // final file holds both the header and the outcome.
+        let loaded = load(&path).unwrap();
+        assert!(loaded.header.is_some());
+        assert_eq!(loaded.outcomes.len(), 1);
+        std::fs::remove_file(&path).ok();
     }
 }

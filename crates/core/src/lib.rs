@@ -75,10 +75,10 @@ mod strategen;
 
 pub use attacks::{classify, cluster_attacks, AttackFinding, KnownAttack};
 pub use campaign::{
-    Campaign, CampaignConfig, CampaignConfigBuilder, CampaignError, CampaignResult, Controller,
-    FaultHook, OutcomeKind, StrategyOutcome,
+    Campaign, CampaignConfig, CampaignConfigBuilder, CampaignError, CampaignResult, ChaosPlan,
+    Controller, FaultHook, OutcomeKind, StrategyOutcome,
 };
-pub use detect::{baseline_valid, detect, Verdict, DEFAULT_THRESHOLD};
+pub use detect::{baseline_valid, detect, detect_enveloped, Envelope, Verdict, DEFAULT_THRESHOLD};
 pub use manifest::build_run_manifest;
 pub use report::{render_table1, render_table2};
 pub use scenario::{

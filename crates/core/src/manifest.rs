@@ -32,6 +32,7 @@ pub fn build_run_manifest(
     manifest.set_section("memo", memo_section(result));
     manifest.set_section("exec", exec_section(snapshot));
     manifest.set_section("netsim", netsim_section(snapshot));
+    manifest.set_section("robustness", robustness_section(result, snapshot));
     manifest.set_section("proxy", proxy_section(result));
     manifest.set_section("timing", timing_section(snapshot, wall_secs));
     manifest
@@ -57,6 +58,7 @@ fn run_section(result: &CampaignResult) -> Value {
         ("true_attacks", Value::U64(result.true_attacks() as u64)),
         ("errored", Value::U64(result.errored() as u64)),
         ("truncated", Value::U64(result.truncated() as u64)),
+        ("stalled", Value::U64(result.stalled() as u64)),
         ("resumed", Value::U64(result.resumed as u64)),
         (
             "journal_lines_skipped",
@@ -126,6 +128,59 @@ fn netsim_section(snapshot: &RecorderSnapshot) -> Value {
         ("snapshot_clone_bytes", c("netsim.snapshot_clone_bytes")),
         ("forks", c("netsim.forks")),
         ("fork_clone_bytes", c("netsim.fork_clone_bytes")),
+    ])
+}
+
+/// Robustness report: impairment draws on the emulated links, the
+/// detection envelope the verdicts were judged against, and the watchdog /
+/// chaos tallies. Everything here is deterministic (impairment draws come
+/// from seeded per-link RNG lanes; the envelope from seed-jittered runs)
+/// except that stall counts can vary with host load when a watchdog
+/// deadline is armed.
+fn robustness_section(result: &CampaignResult, snapshot: &RecorderSnapshot) -> Value {
+    let c = |name: &str| Value::U64(snapshot.counter(name));
+    let envelope = &result.envelope;
+    obj([
+        (
+            "impairments",
+            obj([
+                ("lost", c("netsim.impair.lost")),
+                ("duplicated", c("netsim.impair.duplicated")),
+                ("corrupted", c("netsim.impair.corrupted")),
+                ("reordered", c("netsim.impair.reordered")),
+                ("flap_dropped", c("netsim.impair.flap_dropped")),
+            ]),
+        ),
+        (
+            "envelope",
+            obj([
+                ("members", Value::U64(envelope.members as u64)),
+                ("target_lo", Value::F64(envelope.target_lo.max(0.0))),
+                ("target_hi", Value::F64(envelope.target_hi)),
+                ("competing_lo", Value::F64(envelope.competing_lo.max(0.0))),
+                ("leaked_max", Value::U64(envelope.leaked_max as u64)),
+                (
+                    "target_width_fraction",
+                    Value::F64(envelope.target_width_fraction()),
+                ),
+            ]),
+        ),
+        (
+            "watchdog",
+            obj([
+                ("stalls", Value::U64(result.stalls as u64)),
+                ("stall_retries", c("campaign.stall_retries")),
+                ("quarantined", Value::U64(result.quarantined as u64)),
+            ]),
+        ),
+        ("escalated", Value::U64(result.escalated as u64)),
+        (
+            "journal",
+            obj([
+                ("injected_faults", c("campaign.journal_faults")),
+                ("write_retries", c("campaign.journal_retries")),
+            ]),
+        ),
     ])
 }
 

@@ -86,6 +86,14 @@ mod tests {
             journal_lines_skipped: 0,
             memo_hits: 0,
             short_circuits: 0,
+            baseline_reps: 1,
+            envelope: crate::detect::Envelope::from_baseline(
+                &TestMetrics::empty(),
+                crate::detect::DEFAULT_THRESHOLD,
+            ),
+            escalated: 0,
+            stalls: 0,
+            quarantined: 0,
         }
     }
 

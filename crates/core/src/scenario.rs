@@ -3,7 +3,7 @@ use std::sync::Arc;
 
 use snake_dccp::{DccpHost, DccpProfile, DccpServerApp};
 use snake_json::ToJson;
-use snake_netsim::{Addr, Dumbbell, DumbbellSpec, SimTime, Simulator};
+use snake_netsim::{Addr, Dumbbell, DumbbellSpec, Impairment, SimTime, Simulator};
 use snake_observe::{self as observe, NullObserver, Observer};
 use snake_packet::{FieldMutation, FormatSpec};
 use snake_proxy::{
@@ -107,6 +107,17 @@ impl ScenarioSpec {
         self.event_budget = Some(budget);
         self
     }
+
+    /// Returns the spec with `impair` applied to the dumbbell's bottleneck
+    /// link — the shared path both connections cross, so loss, jitter,
+    /// duplication, corruption and flap windows hit target and competing
+    /// traffic alike (an adversarial *environment*, not an attack).
+    /// Impairment draws come from per-link RNG lanes, so the rest of the
+    /// simulation is bit-identical with and without this.
+    pub fn with_impairment(mut self, impair: Impairment) -> ScenarioSpec {
+        self.dumbbell.bottleneck = self.dumbbell.bottleneck.with_impairment(impair);
+        self
+    }
 }
 
 /// Everything an executor measures in one run and reports to the
@@ -207,6 +218,14 @@ fn record_sim_stats(observer: &dyn Observer, sim: &Simulator) {
     observer.counter_add("netsim.timers_cancelled", stats.timers_cancelled);
     observer.counter_add("netsim.timers_purged", stats.timers_purged);
     observer.counter_add("netsim.queue_compactions", stats.queue_compactions);
+    let (lost, duplicated, corrupted, reordered, flap_dropped) = sim.impairment_totals();
+    if lost + duplicated + corrupted + reordered + flap_dropped > 0 {
+        observer.counter_add("netsim.impair.lost", lost);
+        observer.counter_add("netsim.impair.duplicated", duplicated);
+        observer.counter_add("netsim.impair.corrupted", corrupted);
+        observer.counter_add("netsim.impair.reordered", reordered);
+        observer.counter_add("netsim.impair.flap_dropped", flap_dropped);
+    }
 }
 
 fn proxy_config(d: &Dumbbell, spec: &ScenarioSpec) -> ProxyConfig {
@@ -1073,6 +1092,19 @@ mod tests {
             ..spec
         };
         assert_eq!(Executor::run(&free, None), Executor::run(&capped, None));
+    }
+
+    #[test]
+    fn impaired_scenario_is_deterministic_and_still_moves_data() {
+        let spec = ScenarioSpec::quick(ProtocolKind::Tcp(Profile::linux_3_13()))
+            .with_impairment(Impairment::preset("lossy").expect("built-in preset"));
+        let a = Executor::run(&spec, None);
+        let b = Executor::run(&spec, None);
+        assert_eq!(a, b, "impairment draws must be seed-deterministic");
+        assert!(
+            a.target_bytes > 500_000,
+            "a lossy bottleneck degrades but must not kill the transfer: {a:?}"
+        );
     }
 
     #[test]

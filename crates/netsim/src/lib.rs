@@ -53,6 +53,7 @@
 
 mod agent;
 mod fxhash;
+mod impair;
 mod link;
 mod packet;
 mod sim;
@@ -64,6 +65,7 @@ mod trace;
 
 pub use agent::{Agent, Ctx, TimerHandle};
 pub use fxhash::{FxBuildHasher, FxHashMap, FxHasher};
+pub use impair::{preset_names, FlapSpec, Impairment, PPM};
 pub use link::{Aqm, ChannelStats, LinkId, LinkSpec};
 pub use packet::{Addr, Packet, Protocol};
 pub use sim::{NodeId, SimStats, Simulator};

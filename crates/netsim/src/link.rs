@@ -1,8 +1,9 @@
 use std::collections::VecDeque;
 
 use rand::rngs::SmallRng;
-use rand::Rng;
+use rand::{Rng, SeedableRng};
 
+use crate::impair::{Impairment, PPM};
 use crate::packet::Packet;
 use crate::time::{tx_delay, SimDuration, SimTime};
 
@@ -30,8 +31,9 @@ pub enum Aqm {
     Red,
 }
 
-/// Parameters of a duplex link: bandwidth, one-way propagation delay, and
-/// per-direction queue capacity in packets.
+/// Parameters of a duplex link: bandwidth, one-way propagation delay,
+/// per-direction queue capacity in packets, and optional adversarial
+/// impairments.
 ///
 /// The finite queue is what turns over-subscription into loss, which is the
 /// congestion signal TCP New Reno and DCCP CCID-2 respond to; without it
@@ -46,31 +48,55 @@ pub struct LinkSpec {
     pub queue_packets: usize,
     /// Queue management discipline.
     pub aqm: Aqm,
+    /// Adversarial impairments applied to each direction
+    /// ([`Impairment::NONE`] by default).
+    pub impair: Impairment,
 }
 
 impl LinkSpec {
-    /// Creates a tail-drop link spec.
+    /// Creates a tail-drop link spec, validating the parameters.
     ///
-    /// # Panics
-    ///
-    /// Panics if `bandwidth_bps` is zero or `queue_packets` is zero.
-    pub fn new(bandwidth_bps: u64, delay: SimDuration, queue_packets: usize) -> LinkSpec {
-        assert!(bandwidth_bps > 0, "link bandwidth must be positive");
-        assert!(
-            queue_packets > 0,
-            "link queue must hold at least one packet"
-        );
-        LinkSpec {
+    /// Zero bandwidth would make transmission time infinite and a zero
+    /// queue could never start a transmission, so both are rejected.
+    pub fn try_new(
+        bandwidth_bps: u64,
+        delay: SimDuration,
+        queue_packets: usize,
+    ) -> Result<LinkSpec, String> {
+        if bandwidth_bps == 0 {
+            return Err("link bandwidth must be positive".to_owned());
+        }
+        if queue_packets == 0 {
+            return Err("link queue must hold at least one packet".to_owned());
+        }
+        Ok(LinkSpec {
             bandwidth_bps,
             delay,
             queue_packets,
             aqm: Aqm::DropTail,
-        }
+            impair: Impairment::NONE,
+        })
+    }
+
+    /// Creates a tail-drop link spec.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bandwidth_bps` is zero or `queue_packets` is zero; use
+    /// [`LinkSpec::try_new`] to validate untrusted input instead.
+    pub fn new(bandwidth_bps: u64, delay: SimDuration, queue_packets: usize) -> LinkSpec {
+        LinkSpec::try_new(bandwidth_bps, delay, queue_packets).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Switches the spec to RED queue management.
     pub fn with_red(mut self) -> LinkSpec {
         self.aqm = Aqm::Red;
+        self
+    }
+
+    /// Applies an impairment spec to both directions of the link.
+    pub fn with_impairment(mut self, impair: Impairment) -> LinkSpec {
+        self.impair = impair;
         self
     }
 }
@@ -80,21 +106,66 @@ impl LinkSpec {
 pub struct ChannelStats {
     /// Packets accepted onto the queue.
     pub enqueued: u64,
-    /// Packets dropped because the queue was full.
+    /// Packets dropped because the queue was full (or by RED).
     pub dropped: u64,
     /// Packets fully transmitted.
     pub transmitted: u64,
     /// Bytes fully transmitted (wire lengths).
     pub bytes: u64,
+    /// Packets removed by the stochastic loss impairment.
+    pub lost: u64,
+    /// Packets duplicated by the duplication impairment.
+    pub duplicated: u64,
+    /// Packets discarded as corrupted (failed frame check on receive).
+    pub corrupted: u64,
+    /// Packets delayed by reorder jitter.
+    pub reordered: u64,
+    /// Packets dropped because the link was in a flap outage window.
+    pub flap_dropped: u64,
 }
 
+impl ChannelStats {
+    /// Total packets removed or perturbed by impairments (not queue drops).
+    pub fn impaired(&self) -> u64 {
+        self.lost + self.duplicated + self.corrupted + self.reordered + self.flap_dropped
+    }
+}
+
+/// Mixes a simulator seed, a lane index and a lane salt into an
+/// independent RNG seed (a splitmix64 finalizer over the xor-combined
+/// inputs). Each subsystem draws from its own lane, so adding draws in one
+/// lane — enabling an impairment, adding a RED queue — never reshuffles
+/// the sequence seen by any other.
+pub(crate) fn lane_seed(seed: u64, lane: u64, salt: u64) -> u64 {
+    let mut z =
+        seed ^ lane.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ salt.wrapping_mul(0xD1B5_4A32_D192_ED03);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Lane salt for a channel's AQM (RED) draws.
+pub(crate) const LANE_AQM: u64 = 1;
+/// Lane salt for a channel's impairment draws.
+pub(crate) const LANE_IMPAIR: u64 = 2;
+
 /// One direction of a duplex link: a FIFO tail-drop queue feeding a
-/// transmitter, followed by fixed propagation delay.
+/// transmitter, followed by fixed propagation delay, with an optional
+/// impairment stage in front of the queue.
+///
+/// Each channel owns two private RNG lanes derived from the simulator
+/// seed and the channel's index: one for AQM drop decisions, one for
+/// impairment draws. A lane only advances when *this* channel consults
+/// it, so a channel's random behaviour is a pure function of the seed and
+/// the traffic it has carried — the property the snapshot-fork executor
+/// and the memoization layer rely on.
 #[derive(Debug, Clone)]
 pub(crate) struct Channel {
     pub(crate) spec: LinkSpec,
     queue: VecDeque<Packet>,
     in_flight: Option<Packet>,
+    aqm_rng: SmallRng,
+    impair_rng: SmallRng,
     pub(crate) stats: ChannelStats,
 }
 
@@ -105,25 +176,65 @@ impl Channel {
         self.queue.len() + usize::from(self.in_flight.is_some())
     }
 
-    pub(crate) fn new(spec: LinkSpec) -> Channel {
+    pub(crate) fn new(spec: LinkSpec, sim_seed: u64, index: usize) -> Channel {
+        let lane = |salt| SmallRng::seed_from_u64(lane_seed(sim_seed, index as u64, salt));
         Channel {
             spec,
             queue: VecDeque::new(),
             in_flight: None,
+            aqm_rng: lane(LANE_AQM),
+            impair_rng: lane(LANE_IMPAIR),
             stats: ChannelStats::default(),
         }
+    }
+
+    /// Draws one impairment decision with probability `ppm` / 1e6.
+    fn draw(&mut self, ppm: u32) -> bool {
+        ppm > 0 && self.impair_rng.gen_range(0..PPM) < ppm
     }
 
     /// Offers a packet to the channel. Returns the completion time of a
     /// newly started transmission (the caller schedules the dequeue event),
     /// or `None` if the packet was queued behind an in-flight one or
     /// dropped.
-    pub(crate) fn enqueue(
-        &mut self,
-        packet: Packet,
-        now: SimTime,
-        rng: &mut SmallRng,
-    ) -> Option<SimTime> {
+    ///
+    /// Impairments run in front of the queue in a fixed order — flap
+    /// window (no draw), loss, corruption, duplication — and each draw
+    /// happens only when its probability is non-zero, so an unimpaired
+    /// channel never touches its impairment lane.
+    pub(crate) fn enqueue(&mut self, packet: Packet, now: SimTime) -> Option<SimTime> {
+        let impair = self.spec.impair;
+        if let Some(flap) = &impair.flap {
+            if flap.is_down(now) {
+                self.stats.flap_dropped += 1;
+                return None;
+            }
+        }
+        if self.draw(impair.loss_ppm) {
+            self.stats.lost += 1;
+            return None;
+        }
+        if self.draw(impair.corrupt_ppm) {
+            // Corrupted on the wire: the receiving side's frame check fails
+            // and the frame is discarded, so corruption is loss with its
+            // own counter and its own independent draw.
+            self.stats.corrupted += 1;
+            return None;
+        }
+        let copy = self.draw(impair.dup_ppm).then(|| packet.clone());
+        let started = self.admit(packet, now);
+        if let Some(copy) = copy {
+            self.stats.duplicated += 1;
+            // The original is now in flight or queued (or tail-dropped with
+            // the queue full), so the copy can never start a transmission.
+            let also = self.admit(copy, now);
+            debug_assert!(also.is_none(), "duplicate started a transmission");
+        }
+        started
+    }
+
+    /// Queue admission: the tail-drop/RED stage behind the impairments.
+    fn admit(&mut self, packet: Packet, now: SimTime) -> Option<SimTime> {
         if self.in_flight.is_none() {
             self.stats.enqueued += 1;
             let done = now + self.tx_time(&packet);
@@ -139,7 +250,7 @@ impl Channel {
             if self.queue.len() >= min_th {
                 let span = (self.spec.queue_packets - min_th).max(1) as f64;
                 let p = 0.15 * (self.queue.len() - min_th) as f64 / span;
-                if rng.gen::<f64>() < p {
+                if self.aqm_rng.gen::<f64>() < p {
                     self.stats.dropped += 1;
                     return None;
                 }
@@ -172,6 +283,23 @@ impl Channel {
         (done, next)
     }
 
+    /// Propagation delay for a packet leaving the transmitter now: the
+    /// spec's fixed delay, plus — with the configured reorder probability —
+    /// an extra uniform jitter in `(0, jitter]` that lets later traffic
+    /// overtake this packet.
+    pub(crate) fn delivery_delay(&mut self) -> SimDuration {
+        let impair = self.spec.impair;
+        if self.draw(impair.reorder_ppm) {
+            let jitter = impair.jitter.as_nanos();
+            if jitter > 0 {
+                self.stats.reordered += 1;
+                let extra = self.impair_rng.gen_range(1..=jitter);
+                return self.spec.delay + SimDuration::from_nanos(extra);
+            }
+        }
+        self.spec.delay
+    }
+
     /// Packets currently queued (not counting the one in flight).
     #[cfg(test)]
     pub(crate) fn queue_len(&self) -> usize {
@@ -202,18 +330,25 @@ mod tests {
 
     fn chan() -> Channel {
         // 8 Mbit/s => 1 byte per microsecond.
-        Channel::new(LinkSpec::new(8_000_000, SimDuration::from_millis(1), 2))
+        Channel::new(
+            LinkSpec::new(8_000_000, SimDuration::from_millis(1), 2),
+            7,
+            0,
+        )
     }
 
-    fn rng() -> SmallRng {
-        use rand::SeedableRng;
-        SmallRng::seed_from_u64(7)
+    fn red_chan(seed: u64) -> Channel {
+        Channel::new(
+            LinkSpec::new(8_000_000, SimDuration::from_millis(1), 16).with_red(),
+            seed,
+            0,
+        )
     }
 
     #[test]
     fn idle_channel_transmits_immediately() {
         let mut c = chan();
-        let done = c.enqueue(pkt(80), SimTime::ZERO, &mut rng());
+        let done = c.enqueue(pkt(80), SimTime::ZERO);
         // 100 wire bytes at 1 byte/µs = 100 µs.
         assert_eq!(done, Some(SimTime::from_micros(100)));
     }
@@ -221,8 +356,8 @@ mod tests {
     #[test]
     fn busy_channel_queues() {
         let mut c = chan();
-        assert!(c.enqueue(pkt(80), SimTime::ZERO, &mut rng()).is_some());
-        assert_eq!(c.enqueue(pkt(80), SimTime::ZERO, &mut rng()), None);
+        assert!(c.enqueue(pkt(80), SimTime::ZERO).is_some());
+        assert_eq!(c.enqueue(pkt(80), SimTime::ZERO), None);
         assert_eq!(c.queue_len(), 1);
         assert_eq!(c.stats.enqueued, 2);
     }
@@ -230,10 +365,10 @@ mod tests {
     #[test]
     fn full_queue_tail_drops() {
         let mut c = chan();
-        c.enqueue(pkt(80), SimTime::ZERO, &mut rng()); // in flight
-        c.enqueue(pkt(80), SimTime::ZERO, &mut rng()); // queued 1
-        c.enqueue(pkt(80), SimTime::ZERO, &mut rng()); // queued 2 (cap)
-        c.enqueue(pkt(80), SimTime::ZERO, &mut rng()); // dropped
+        c.enqueue(pkt(80), SimTime::ZERO); // in flight
+        c.enqueue(pkt(80), SimTime::ZERO); // queued 1
+        c.enqueue(pkt(80), SimTime::ZERO); // queued 2 (cap)
+        c.enqueue(pkt(80), SimTime::ZERO); // dropped
         assert_eq!(c.stats.dropped, 1);
         assert_eq!(c.queue_len(), 2);
     }
@@ -241,8 +376,8 @@ mod tests {
     #[test]
     fn dequeue_starts_next_transmission() {
         let mut c = chan();
-        c.enqueue(pkt(80), SimTime::ZERO, &mut rng());
-        c.enqueue(pkt(180), SimTime::ZERO, &mut rng());
+        c.enqueue(pkt(80), SimTime::ZERO);
+        c.enqueue(pkt(180), SimTime::ZERO);
         let now = SimTime::from_micros(100);
         let (sent, next) = c.dequeue(now);
         assert_eq!(sent.payload_len, 80);
@@ -263,5 +398,243 @@ mod tests {
     #[should_panic(expected = "bandwidth")]
     fn zero_bandwidth_rejected() {
         LinkSpec::new(0, SimDuration::ZERO, 1);
+    }
+
+    #[test]
+    fn try_new_reports_instead_of_panicking() {
+        assert!(LinkSpec::try_new(0, SimDuration::ZERO, 1)
+            .unwrap_err()
+            .contains("bandwidth"));
+        assert!(LinkSpec::try_new(1_000, SimDuration::ZERO, 0)
+            .unwrap_err()
+            .contains("queue"));
+        let spec = LinkSpec::try_new(8_000_000, SimDuration::from_millis(1), 2).unwrap();
+        assert_eq!(
+            spec,
+            LinkSpec::new(8_000_000, SimDuration::from_millis(1), 2)
+        );
+    }
+
+    /// Fills a RED channel to a target backlog, then counts drops across
+    /// `offers` further arrivals, each made with exactly `backlog` packets
+    /// queued (an accepted offer is immediately drained back down).
+    fn red_drops_at_backlog(seed: u64, backlog: usize, offers: u32) -> u64 {
+        let mut c = red_chan(seed);
+        c.enqueue(pkt(80), SimTime::ZERO); // in flight
+        while c.queue_len() < backlog {
+            // Keep offering until the queue really holds `backlog` packets
+            // (RED may drop some offers on the way up).
+            c.enqueue(pkt(80), SimTime::ZERO);
+        }
+        let before = c.stats.dropped;
+        for _ in 0..offers {
+            c.enqueue(pkt(80), SimTime::ZERO);
+            if c.queue_len() > backlog {
+                // Accepted: complete the in-flight transmission, which
+                // promotes one queued packet and restores the backlog.
+                c.dequeue(SimTime::ZERO);
+            }
+        }
+        c.stats.dropped - before
+    }
+
+    #[test]
+    fn red_never_drops_below_min_threshold() {
+        // queue_packets = 16 → min_th = 4: below 4 queued, RED is inert.
+        let mut c = red_chan(11);
+        c.enqueue(pkt(80), SimTime::ZERO); // in flight
+        for _ in 0..3 {
+            c.enqueue(pkt(80), SimTime::ZERO);
+        }
+        assert_eq!(c.stats.dropped, 0, "no drops below min_th");
+        assert_eq!(c.queue_len(), 3);
+    }
+
+    #[test]
+    fn red_drop_probability_ramps_with_backlog() {
+        // At min_th the ramp starts at exactly p = 0: still no drops.
+        assert_eq!(red_drops_at_backlog(11, 4, 200), 0);
+        // Deep in the ramp the drop rate must be non-zero and below the
+        // tail-drop regime.
+        let deep = red_drops_at_backlog(11, 12, 400);
+        assert!(deep > 0, "RED must drop in the upper ramp");
+        assert!(deep < 400, "RED must not drop everything");
+    }
+
+    #[test]
+    fn red_is_deterministic_under_a_fixed_seed() {
+        assert_eq!(
+            red_drops_at_backlog(42, 12, 400),
+            red_drops_at_backlog(42, 12, 400)
+        );
+        // ... and the seed actually matters somewhere in the lane space.
+        let differs = (0..16u64)
+            .any(|s| red_drops_at_backlog(s, 12, 400) != red_drops_at_backlog(42, 12, 400));
+        assert!(differs, "every seed giving identical drops is implausible");
+    }
+
+    fn impaired(impair: Impairment, seed: u64) -> Channel {
+        Channel::new(
+            LinkSpec::new(8_000_000, SimDuration::from_millis(1), 64).with_impairment(impair),
+            seed,
+            0,
+        )
+    }
+
+    #[test]
+    fn loss_impairment_drops_roughly_at_rate() {
+        let mut c = impaired(
+            Impairment {
+                loss_ppm: 200_000, // 20 %
+                ..Impairment::NONE
+            },
+            9,
+        );
+        for _ in 0..1_000 {
+            c.enqueue(pkt(80), SimTime::ZERO);
+            if c.occupancy() > 0 {
+                while c.dequeue(SimTime::ZERO).1.is_some() {}
+            }
+        }
+        assert!(
+            (100..300).contains(&c.stats.lost),
+            "20% loss over 1000 offers ⇒ ≈200 lost, got {}",
+            c.stats.lost
+        );
+        assert_eq!(c.stats.lost + c.stats.enqueued, 1_000);
+    }
+
+    #[test]
+    fn duplication_enqueues_a_copy() {
+        let mut c = impaired(
+            Impairment {
+                dup_ppm: PPM, // always duplicate
+                ..Impairment::NONE
+            },
+            9,
+        );
+        c.enqueue(pkt(80), SimTime::ZERO);
+        assert_eq!(c.stats.duplicated, 1);
+        assert_eq!(c.stats.enqueued, 2, "original in flight + copy queued");
+        assert_eq!(c.queue_len(), 1);
+    }
+
+    #[test]
+    fn corruption_is_counted_separately_from_loss() {
+        let mut c = impaired(
+            Impairment {
+                corrupt_ppm: PPM,
+                ..Impairment::NONE
+            },
+            9,
+        );
+        for _ in 0..10 {
+            c.enqueue(pkt(80), SimTime::ZERO);
+        }
+        assert_eq!(c.stats.corrupted, 10);
+        assert_eq!(c.stats.lost, 0);
+        assert_eq!(c.stats.enqueued, 0);
+    }
+
+    #[test]
+    fn flap_outage_drops_without_consuming_draws() {
+        let flap = FlapSpecFor::window();
+        let mut a = impaired(
+            Impairment {
+                loss_ppm: 500_000,
+                flap: Some(flap),
+                ..Impairment::NONE
+            },
+            9,
+        );
+        let mut b = impaired(
+            Impairment {
+                loss_ppm: 500_000,
+                ..Impairment::NONE
+            },
+            9,
+        );
+        // During the outage only `a` drops, and without drawing: both lanes
+        // stay in lockstep, so post-outage decisions are identical.
+        let down = SimTime::from_millis(1_050);
+        a.enqueue(pkt(80), down);
+        assert_eq!(a.stats.flap_dropped, 1);
+        let up = SimTime::from_millis(3_500);
+        for _ in 0..50 {
+            a.enqueue(pkt(80), up);
+            b.enqueue(pkt(80), up);
+        }
+        assert_eq!(a.stats.lost, b.stats.lost, "flap must not consume draws");
+    }
+
+    #[test]
+    fn reorder_jitter_delays_some_deliveries() {
+        let mut c = impaired(
+            Impairment {
+                reorder_ppm: 500_000, // 50 %
+                jitter: SimDuration::from_millis(2),
+                ..Impairment::NONE
+            },
+            9,
+        );
+        let base = c.spec.delay;
+        let mut jittered = 0;
+        for _ in 0..100 {
+            let d = c.delivery_delay();
+            assert!(d >= base);
+            assert!(d <= base + SimDuration::from_millis(2));
+            if d > base {
+                jittered += 1;
+            }
+        }
+        assert!(
+            (20..80).contains(&jittered),
+            "≈50% jittered, got {jittered}"
+        );
+        assert_eq!(c.stats.reordered, jittered);
+    }
+
+    #[test]
+    fn unimpaired_channel_never_touches_its_impairment_lane() {
+        // Two channels, same seed/index: one plain, one that becomes
+        // impaired only for a later packet via spec mutation. If the plain
+        // enqueues consumed impairment draws, the lanes would diverge.
+        let mut plain = chan();
+        let mut check = chan();
+        for _ in 0..20 {
+            plain.enqueue(pkt(80), SimTime::ZERO);
+            check.enqueue(pkt(80), SimTime::ZERO);
+        }
+        plain.spec.impair.loss_ppm = 500_000;
+        check.spec.impair.loss_ppm = 500_000;
+        for _ in 0..20 {
+            assert_eq!(
+                plain.enqueue(pkt(80), SimTime::ZERO),
+                check.enqueue(pkt(80), SimTime::ZERO)
+            );
+        }
+        assert_eq!(plain.stats, check.stats);
+    }
+
+    #[test]
+    fn lane_seeds_are_distinct_across_lanes_and_salts() {
+        let mut seen = std::collections::BTreeSet::new();
+        for lane in 0..32 {
+            for salt in [LANE_AQM, LANE_IMPAIR] {
+                assert!(seen.insert(lane_seed(7, lane, salt)), "lane seed collision");
+            }
+        }
+    }
+
+    /// Helper namespace so the flap test reads clearly.
+    struct FlapSpecFor;
+    impl FlapSpecFor {
+        fn window() -> crate::impair::FlapSpec {
+            crate::impair::FlapSpec {
+                first_down: SimTime::from_secs(1),
+                down_for: SimDuration::from_millis(100),
+                period: SimDuration::from_secs(1),
+            }
+        }
     }
 }

@@ -160,6 +160,11 @@ pub struct SimStats {
 pub struct Simulator {
     now: SimTime,
     seq: u64,
+    /// The root seed every RNG lane is derived from: the agents' lane
+    /// seeds directly from it, and each channel derives private AQM and
+    /// impairment lanes from `(seed, channel index, lane salt)` — so
+    /// adding draws in one subsystem never reshuffles another's sequence.
+    seed: u64,
     queue: BinaryHeap<Scheduled>,
     nodes: Vec<NodeSlot>,
     chans: Vec<ChanSlot>,
@@ -175,7 +180,9 @@ pub struct Simulator {
     next_packet_id: u64,
     controls: FxHashMap<u64, (NodeId, ControlFn)>,
     next_control: u64,
-    rng: SmallRng,
+    /// The agents' RNG lane (exposed to agent callbacks through [`Ctx`]).
+    /// Channels own their AQM/impairment lanes; nothing else draws here.
+    agent_rng: SmallRng,
     started: bool,
     events_processed: u64,
     /// Total `CancelTimer` commands ever issued (see [`SimStats`]).
@@ -216,6 +223,7 @@ impl Simulator {
         Simulator {
             now: SimTime::ZERO,
             seq: 0,
+            seed,
             queue: BinaryHeap::new(),
             nodes: Vec::new(),
             chans: Vec::new(),
@@ -227,7 +235,7 @@ impl Simulator {
             next_packet_id: 1,
             controls: FxHashMap::default(),
             next_control: 0,
-            rng: SmallRng::seed_from_u64(seed),
+            agent_rng: SmallRng::seed_from_u64(seed),
             started: false,
             events_processed: 0,
             timers_cancelled: 0,
@@ -285,7 +293,7 @@ impl Simulator {
             trace.record(self.now, LinkId(slot.link), slot.from, slot.to, &packet);
         }
         let now = self.now;
-        if let Some(done) = self.chans[chan].chan.enqueue(packet, now, &mut self.rng) {
+        if let Some(done) = self.chans[chan].chan.enqueue(packet, now) {
             self.push(done, EventKind::ChanDequeue { chan });
         }
     }
@@ -311,14 +319,14 @@ impl Simulator {
         let link = self.links.len();
         let c_ab = self.chans.len();
         self.chans.push(ChanSlot {
-            chan: Channel::new(spec),
+            chan: Channel::new(spec, self.seed, c_ab),
             from: a,
             to: b,
             link,
         });
         let c_ba = self.chans.len();
         self.chans.push(ChanSlot {
-            chan: Channel::new(spec),
+            chan: Channel::new(spec, self.seed, c_ba),
             from: b,
             to: a,
             link,
@@ -453,6 +461,7 @@ impl Simulator {
         Some(Simulator {
             now: self.now,
             seq: self.seq,
+            seed: self.seed,
             queue: self.queue.clone(),
             nodes,
             chans: self.chans.clone(),
@@ -464,7 +473,7 @@ impl Simulator {
             next_packet_id: self.next_packet_id,
             controls: self.controls.clone(),
             next_control: self.next_control,
-            rng: self.rng.clone(),
+            agent_rng: self.agent_rng.clone(),
             started: self.started,
             events_processed: self.events_processed,
             timers_cancelled: self.timers_cancelled,
@@ -485,6 +494,21 @@ impl Simulator {
             self.chans[l.chans[0]].chan.stats,
             self.chans[l.chans[1]].chan.stats,
         )
+    }
+
+    /// Impairment draw totals summed over every channel, for observability:
+    /// `(lost, duplicated, corrupted, reordered, flap_dropped)`.
+    pub fn impairment_totals(&self) -> (u64, u64, u64, u64, u64) {
+        let mut totals = (0, 0, 0, 0, 0);
+        for slot in &self.chans {
+            let s = &slot.chan.stats;
+            totals.0 += s.lost;
+            totals.1 += s.duplicated;
+            totals.2 += s.corrupted;
+            totals.3 += s.reordered;
+            totals.4 += s.flap_dropped;
+        }
+        totals
     }
 
     /// Schedules a control action: at `at`, run `f` against the agent on
@@ -598,7 +622,10 @@ impl Simulator {
             EventKind::ChanDequeue { chan } => {
                 let now = self.now;
                 let slot = &mut self.chans[chan];
-                let delay = slot.chan.spec.delay;
+                // Reorder jitter is drawn per delivered packet from the
+                // channel's own impairment lane (a plain spec delay when
+                // no reordering is configured).
+                let delay = slot.chan.delivery_delay();
                 let to = slot.to;
                 let (packet, next) = slot.chan.dequeue(now);
                 if let Some(t) = next {
@@ -635,7 +662,7 @@ impl Simulator {
                 now: self.now,
                 node,
                 commands: &mut commands,
-                rng: &mut self.rng,
+                rng: &mut self.agent_rng,
                 next_timer: &mut self.next_timer,
             };
             f(agent.as_mut(), &mut ctx);

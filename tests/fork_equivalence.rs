@@ -10,6 +10,7 @@ use snake_core::{
     ProtocolKind, ScenarioSpec,
 };
 use snake_dccp::DccpProfile;
+use snake_netsim::Impairment;
 use snake_proxy::{BasicAttack, Endpoint, Strategy, StrategyKind};
 use snake_tcp::Profile;
 
@@ -87,6 +88,39 @@ fn forked_runs_match_from_scratch_on_every_profile() {
                 forked, scratch,
                 "{name}: fork/scratch divergence for `{label}`"
             );
+        }
+    }
+}
+
+#[test]
+fn forked_runs_match_from_scratch_under_impairments() {
+    // Impairment draws come from per-channel RNG lanes inside the
+    // simulator, so they are part of the snapshot state: a run forked from
+    // a baseline snapshot must replay the exact same loss/reorder/flap
+    // draws a from-scratch run makes.
+    for preset in ["lossy", "jittery", "flappy"] {
+        let impair = Impairment::preset(preset).expect("built-in preset");
+        for protocol in [
+            ProtocolKind::Tcp(Profile::linux_3_13()),
+            ProtocolKind::Dccp(DccpProfile::linux_3_13()),
+        ] {
+            let spec = ScenarioSpec::quick(protocol).with_impairment(impair);
+            let name = spec.protocol.implementation_name().to_owned();
+            let exec = PlannedExecutor::new(&spec, ExecutorOptions::default());
+            assert_eq!(
+                *exec.baseline(),
+                Executor::run(&spec, None),
+                "{name}/{preset}: planned baseline differs from a plain baseline run"
+            );
+            for strategy in sample_strategies(&spec, &exec.baseline().proxy, 3) {
+                let label = strategy.describe();
+                let forked = exec.run(Some(strategy.clone()));
+                let scratch = Executor::run(&spec, Some(strategy));
+                assert_eq!(
+                    forked, scratch,
+                    "{name}/{preset}: fork/scratch divergence for `{label}`"
+                );
+            }
         }
     }
 }

@@ -13,6 +13,7 @@ use snake_core::{
     StrategyOutcome,
 };
 use snake_dccp::DccpProfile;
+use snake_netsim::Impairment;
 use snake_packet::FieldMutation;
 use snake_proxy::{BasicAttack, Endpoint, Strategy, StrategyKind};
 use snake_tcp::Profile;
@@ -64,6 +65,32 @@ fn memoized_campaigns_match_unmemoized_on_every_profile() {
         );
         assert_eq!(without.memo_hits, 0);
         assert_eq!(without.short_circuits, 0);
+    }
+}
+
+#[test]
+fn memoized_campaigns_match_unmemoized_under_impairments() {
+    // Memoization keys on wire fingerprints and trigger classes; impaired
+    // links add loss and reorder noise to both. The equivalence contract
+    // must hold anyway: the same noise is deterministic per seed, so a
+    // memoized impaired campaign and an unmemoized one still agree bit
+    // for bit.
+    for preset in ["lossy", "flappy"] {
+        let impair = Impairment::preset(preset).expect("built-in preset");
+        for protocol in [
+            ProtocolKind::Tcp(Profile::linux_3_13()),
+            ProtocolKind::Dccp(DccpProfile::linux_3_13()),
+        ] {
+            let spec = ScenarioSpec::quick(protocol).with_impairment(impair);
+            let name = spec.protocol.implementation_name().to_owned();
+            let with_memo = campaign(spec.clone(), 24, true);
+            let without = campaign(spec, 24, false);
+            assert_eq!(
+                comparable(&with_memo.outcomes),
+                comparable(&without.outcomes),
+                "{name}/{preset}: memoization changed impaired campaign outcomes"
+            );
+        }
     }
 }
 

@@ -1,0 +1,366 @@
+//! Robustness layer: adversarial link impairments, noise-robust ensemble
+//! verdicts, the per-run watchdog, and chaos-hardened journaling.
+//!
+//! These are the campaign-level contracts: impaired runs stay bit-for-bit
+//! deterministic per seed, ensembles keep the false-positive column at
+//! zero under every impairment preset, hung evaluations become `stalled`
+//! outcomes instead of hanging the campaign, and a journal damaged
+//! mid-write (torn tail, corrupted checksum) resumes cleanly.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+use snake_core::{
+    detect_enveloped, journal, Campaign, CampaignConfig, CampaignResult, ChaosPlan, Envelope,
+    Executor, OutcomeKind, ProtocolKind, Recorder, ScenarioSpec, TestMetrics, DEFAULT_THRESHOLD,
+};
+use snake_dccp::DccpProfile;
+use snake_netsim::{preset_names, Impairment};
+use snake_tcp::Profile;
+
+fn quick_tcp() -> ScenarioSpec {
+    ScenarioSpec::quick(ProtocolKind::Tcp(Profile::linux_3_13()))
+}
+
+fn temp_journal(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!(
+        "snake-robustness-{}-{name}.jsonl",
+        std::process::id()
+    ));
+    std::fs::remove_file(&p).ok();
+    p
+}
+
+fn outcome_key(result: &CampaignResult) -> Vec<(u64, bool, OutcomeKind)> {
+    result
+        .outcomes
+        .iter()
+        .map(|o| (o.strategy.id, o.verdict.flagged(), o.outcome_kind))
+        .collect()
+}
+
+#[test]
+fn impaired_campaigns_are_bit_identical_per_seed() {
+    // Same seed + same preset must reproduce the entire campaign — the
+    // impairment draws come from seeded per-link RNG lanes, not from any
+    // ambient randomness.
+    for protocol in [
+        ProtocolKind::Tcp(Profile::linux_3_13()),
+        ProtocolKind::Dccp(DccpProfile::linux_3_13()),
+    ] {
+        let spec = ScenarioSpec::quick(protocol)
+            .with_impairment(Impairment::preset("chaos").expect("built-in preset"));
+        let name = spec.protocol.implementation_name().to_owned();
+        let config = |spec: ScenarioSpec| {
+            CampaignConfig::builder(spec)
+                .cap(12)
+                .feedback_rounds(1)
+                .retest(true)
+                .baseline_reps(2)
+                .parallelism(2)
+                .build()
+                .expect("valid config")
+        };
+        let a = Campaign::run(config(spec.clone())).unwrap();
+        let b = Campaign::run(config(spec)).unwrap();
+        assert_eq!(a.outcomes, b.outcomes, "{name}: impaired runs diverged");
+        assert_eq!(a.table_row(), b.table_row());
+        assert_eq!(a.envelope, b.envelope, "{name}: envelopes diverged");
+    }
+}
+
+#[test]
+fn ensemble_envelope_never_flags_unattacked_runs_under_any_preset() {
+    // The noise floor itself must never look like an attack: an envelope
+    // built from K seed-jittered no-attack runs contains every one of its
+    // members under every built-in impairment preset, on both protocol
+    // families.
+    for preset in preset_names() {
+        let impair = Impairment::preset(preset).expect("built-in preset");
+        for protocol in [
+            ProtocolKind::Tcp(Profile::linux_3_13()),
+            ProtocolKind::Dccp(DccpProfile::linux_3_13()),
+        ] {
+            let base = ScenarioSpec::quick(protocol).with_impairment(impair);
+            let name = base.protocol.implementation_name().to_owned();
+            let members: Vec<TestMetrics> = (0..3u64)
+                .map(|k| {
+                    let mut spec = base.clone();
+                    spec.seed ^= k.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                    Executor::run(&spec, None)
+                })
+                .collect();
+            let envelope = Envelope::from_members(&members, DEFAULT_THRESHOLD);
+            for (k, member) in members.iter().enumerate() {
+                let verdict = detect_enveloped(&envelope, member);
+                assert!(
+                    !verdict.flagged(),
+                    "{name}/{preset}: no-attack run {k} flagged as {:?}",
+                    verdict.labels()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn ensembles_keep_the_false_positive_column_at_zero() {
+    // The acceptance check in campaign form: under adversarial link noise
+    // with --baseline-reps 3, Table I's false-positive column stays zero.
+    for preset in ["lossy", "flappy"] {
+        let impair = Impairment::preset(preset).expect("built-in preset");
+        for protocol in [
+            ProtocolKind::Tcp(Profile::linux_3_13()),
+            ProtocolKind::Dccp(DccpProfile::linux_3_13()),
+        ] {
+            let spec = ScenarioSpec::quick(protocol).with_impairment(impair);
+            let name = spec.protocol.implementation_name().to_owned();
+            let config = CampaignConfig::builder(spec)
+                .cap(20)
+                .feedback_rounds(1)
+                .retest(true)
+                .baseline_reps(3)
+                .parallelism(2)
+                .build()
+                .expect("valid config");
+            let result = Campaign::run(config).unwrap();
+            assert_eq!(result.baseline_reps, 3);
+            assert_eq!(result.envelope.members, 3);
+            assert_eq!(
+                result.false_positive_count(),
+                0,
+                "{name}/{preset}: spurious flags survived the ensemble + retest"
+            );
+        }
+    }
+}
+
+#[test]
+#[ignore = "full matrix for the chaos CI job: every profile x every impairment preset"]
+fn full_matrix_keeps_the_false_positive_column_at_zero() {
+    let mut protocols: Vec<ProtocolKind> =
+        Profile::all().into_iter().map(ProtocolKind::Tcp).collect();
+    protocols.push(ProtocolKind::Dccp(DccpProfile::linux_3_13()));
+    protocols.push(ProtocolKind::Dccp(DccpProfile::linux_3_13_seqcheck_fixed()));
+    for preset in preset_names() {
+        let impair = Impairment::preset(preset).expect("built-in preset");
+        for protocol in &protocols {
+            let spec = ScenarioSpec::quick(protocol.clone()).with_impairment(impair);
+            let name = spec.protocol.implementation_name().to_owned();
+            let config = CampaignConfig::builder(spec)
+                .cap(40)
+                .feedback_rounds(1)
+                .retest(true)
+                .baseline_reps(3)
+                .parallelism(2)
+                .build()
+                .expect("valid config");
+            let result = Campaign::run(config).unwrap();
+            assert_eq!(
+                result.false_positive_count(),
+                0,
+                "{name}/{preset}: spurious flags survived the ensemble + retest"
+            );
+        }
+    }
+}
+
+#[test]
+fn stalling_strategy_is_quarantined_and_survives_resume() {
+    let path = temp_journal("stall");
+    // Strategy 2's evaluation livelocks (here: a long sleep standing in
+    // for a hung engine); the watchdog must abandon it after the deadline,
+    // retry with backoff, then quarantine it as a `stalled` outcome while
+    // the rest of the batch completes normally.
+    let config = |fault: bool, resume: bool| {
+        let mut builder = CampaignConfig::builder(quick_tcp())
+            .cap(5)
+            .feedback_rounds(1)
+            .retest(false)
+            .parallelism(2)
+            .journal(path.clone())
+            .resume(resume)
+            // Comfortably above a healthy quick-scenario evaluation, far
+            // below the injected hang.
+            .deadline(Duration::from_secs(3))
+            .stall_retries(1)
+            .stall_backoff(Duration::from_millis(10));
+        if fault {
+            builder = builder.fault_hook(Arc::new(|s| {
+                if s.id == 2 {
+                    std::thread::sleep(Duration::from_secs(60));
+                }
+            }));
+        }
+        builder.build().expect("valid config")
+    };
+    let result = Campaign::run(config(true, false)).expect("stalls must not abort the campaign");
+    assert_eq!(result.strategies_tried(), 5);
+    assert_eq!(result.stalled(), 1, "exactly one quarantined outcome");
+    assert!(
+        result.stalls >= 2,
+        "initial attempt + one retry both timed out (saw {})",
+        result.stalls
+    );
+    assert_eq!(result.quarantined, 1);
+    let stalled = result
+        .outcomes
+        .iter()
+        .find(|o| o.strategy.id == 2)
+        .expect("outcome for the hung strategy");
+    assert_eq!(stalled.outcome_kind, OutcomeKind::Stalled);
+    let msg = stalled.error.as_deref().unwrap_or("");
+    assert!(msg.contains("quarantined"), "{msg}");
+    assert!(!stalled.verdict.flagged(), "stalled runs are never attacks");
+
+    // Kill-and-resume: the journaled `stalled` outcome is reused, so the
+    // resumed campaign (run without the fault this time) re-runs nothing
+    // and reports the same table.
+    let resumed = Campaign::run(config(false, true)).unwrap();
+    assert_eq!(resumed.resumed, 5, "all five outcomes reused");
+    assert_eq!(resumed.stalled(), 1, "the quarantine verdict is durable");
+    assert_eq!(resumed.stalls, 0, "nothing re-ran, so nothing re-stalled");
+    assert_eq!(outcome_key(&resumed), outcome_key(&result));
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn watchdog_leaves_healthy_campaigns_untouched() {
+    // A generous deadline must be invisible: same outcomes as no deadline.
+    let config = |deadline: Option<Duration>| {
+        let mut builder = CampaignConfig::builder(quick_tcp())
+            .cap(8)
+            .feedback_rounds(1)
+            .retest(false)
+            .parallelism(2);
+        if let Some(d) = deadline {
+            builder = builder.deadline(d);
+        }
+        builder.build().expect("valid config")
+    };
+    let watched = Campaign::run(config(Some(Duration::from_secs(120)))).unwrap();
+    let unwatched = Campaign::run(config(None)).unwrap();
+    assert_eq!(watched.stalled(), 0);
+    assert_eq!(watched.quarantined, 0);
+    assert_eq!(outcome_key(&watched), outcome_key(&unwatched));
+    assert_eq!(watched.table_row(), unwatched.table_row());
+}
+
+#[test]
+fn chaos_plan_faults_are_absorbed_not_fatal() {
+    // Worker panics and injected journal write failures at once: every
+    // strategy still gets exactly one journaled outcome, the panics land
+    // as `errored`, and the single-retry journal policy absorbs every
+    // injected write failure.
+    let path = temp_journal("chaos");
+    let recorder = Arc::new(Recorder::new());
+    let config = CampaignConfig::builder(quick_tcp())
+        .cap(12)
+        .feedback_rounds(1)
+        .retest(false)
+        .parallelism(3)
+        .journal(path.clone())
+        .observer(recorder.clone())
+        .chaos(ChaosPlan {
+            panic_every: Some(5),
+            stall_every: None,
+            stall_for_ms: 0,
+            journal_fail_every: Some(3),
+        })
+        .build()
+        .expect("valid config");
+    let result = Campaign::run(config).expect("chaos faults must be absorbed");
+    assert_eq!(result.strategies_tried(), 12);
+    assert!(result.errored() > 0, "the panic schedule must have fired");
+    let loaded = journal::load(&path).unwrap();
+    assert_eq!(loaded.outcomes.len(), 12, "no outcome lost to write faults");
+    let snapshot = recorder.snapshot();
+    assert!(
+        snapshot.counter("campaign.journal_faults") > 0,
+        "the journal fault schedule must have fired"
+    );
+    assert_eq!(
+        snapshot.counter("campaign.journal_faults"),
+        snapshot.counter("campaign.journal_retries"),
+        "every injected write failure is absorbed by exactly one retry"
+    );
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn chaos_stall_preset_exercises_the_watchdog() {
+    // The `stalls` preset sleeps 400 ms on every 7th strategy; with a
+    // 150 ms deadline and no retries those evaluations are quarantined.
+    let plan = ChaosPlan::preset("stalls").expect("built-in preset");
+    let config = CampaignConfig::builder(quick_tcp())
+        .cap(8)
+        .feedback_rounds(1)
+        .retest(false)
+        .parallelism(2)
+        .chaos(plan)
+        .deadline(Duration::from_millis(150))
+        .stall_retries(0)
+        .build()
+        .expect("valid config");
+    let result = Campaign::run(config).unwrap();
+    assert_eq!(result.strategies_tried(), 8);
+    assert!(
+        result.stalled() > 0,
+        "the stall schedule must have tripped the watchdog"
+    );
+    assert_eq!(result.stalled(), result.quarantined);
+}
+
+#[test]
+fn torn_and_corrupted_journal_lines_resume_cleanly() {
+    let journal_a = temp_journal("damage-full");
+    let journal_b = temp_journal("damage-resumed");
+    let config = |journal: PathBuf, resume: bool| {
+        CampaignConfig::builder(quick_tcp())
+            .cap(10)
+            .feedback_rounds(1)
+            .retest(false)
+            .parallelism(2)
+            .journal(journal)
+            .resume(resume)
+            .build()
+            .expect("valid config")
+    };
+    let full = Campaign::run(config(journal_a.clone(), false)).unwrap();
+
+    // Damage the journal the way a kill mid-write plus a disk hiccup
+    // would: the last outcome line is torn in half, and the line before it
+    // has one checksum digit flipped. Both must be skipped on resume —
+    // the checksummed format means a corrupted line is detected, never
+    // trusted.
+    let text = std::fs::read_to_string(&journal_a).unwrap();
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), 11, "header + ten outcomes");
+    let mut damaged: Vec<String> = lines[..9].iter().map(|l| (*l).to_string()).collect();
+    let corrupt = {
+        let line = lines[9];
+        let flipped = if line.ends_with('0') { "1" } else { "0" };
+        format!("{}{flipped}", &line[..line.len() - 1])
+    };
+    damaged.push(corrupt);
+    damaged.push(lines[10][..lines[10].len() / 2].to_string());
+    std::fs::write(&journal_b, damaged.join("\n")).unwrap();
+
+    let resumed = Campaign::run(config(journal_b.clone(), true)).unwrap();
+    assert_eq!(resumed.resumed, 8, "eight intact outcomes reused");
+    assert_eq!(
+        resumed.journal_lines_skipped, 2,
+        "torn + corrupted lines skipped"
+    );
+    assert_eq!(outcome_key(&resumed), outcome_key(&full));
+    assert_eq!(resumed.table_row(), full.table_row());
+
+    // The repaired journal is complete again: a further resume re-runs
+    // nothing at all.
+    let again = Campaign::run(config(journal_b.clone(), true)).unwrap();
+    assert_eq!(again.resumed, 10);
+    std::fs::remove_file(&journal_a).ok();
+    std::fs::remove_file(&journal_b).ok();
+}
