@@ -24,10 +24,19 @@
 //! set, the JSON gains a `pre_pr` block and the headline `speedup` is
 //! computed against it (falling back to the same-binary ratio otherwise).
 //!
+//! A fifth, warm-store rep runs the memoized campaign twice against one
+//! persistent memo store — cold, then warm — asserting the store is
+//! invisible to outcomes and that the warm rerun serves at least half its
+//! eligible runs from disk; the figures land in the JSON's `warm_store`
+//! block. Set `SNAKE_MEMO_STORE` to keep the store file at that path
+//! (CI's bench-smoke job archives it); by default a temp file is used and
+//! removed.
+//!
 //! Each emission appends the run's headline figures to a `history` array
 //! carried over from the previous `BENCH_campaign.json`, so the committed
 //! file accumulates a trend line instead of overwriting it.
 
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -44,7 +53,12 @@ const HISTORY_CAP: usize = 50;
 /// this multiple of the unobserved (no-op observer) wall-clock.
 const OVERHEAD_LIMIT: f64 = 1.02;
 
-fn config(snapshot_fork: bool, memoize: bool, observer: Option<Arc<Recorder>>) -> CampaignConfig {
+fn config(
+    snapshot_fork: bool,
+    memoize: bool,
+    observer: Option<Arc<Recorder>>,
+    memo_store: Option<&Path>,
+) -> CampaignConfig {
     let spec = ScenarioSpec::quick(ProtocolKind::Tcp(Profile::linux_3_13()));
     let mut builder = CampaignConfig::builder(spec)
         .cap(MAX_STRATEGIES)
@@ -66,6 +80,9 @@ fn config(snapshot_fork: bool, memoize: bool, observer: Option<Arc<Recorder>>) -
         .memoize(memoize);
     if let Some(recorder) = observer {
         builder = builder.observer(recorder);
+    }
+    if let Some(path) = memo_store {
+        builder = builder.memo_store(path);
     }
     builder.build().expect("valid config")
 }
@@ -104,10 +121,17 @@ fn timed_once(
 ) -> (CampaignResult, f64, Option<RecorderSnapshot>) {
     let recorder = observe.then(|| Arc::new(Recorder::new()));
     let start = Instant::now();
-    let result =
-        Campaign::run(config(snapshot_fork, memoize, recorder.clone())).expect("valid baseline");
+    let result = Campaign::run(config(snapshot_fork, memoize, recorder.clone(), None))
+        .expect("valid baseline");
     let secs = start.elapsed().as_secs_f64();
     (result, secs, recorder.map(|r| r.snapshot()))
+}
+
+/// One timed memoized campaign against the persistent store at `path`.
+fn timed_store_once(path: &Path) -> (CampaignResult, f64) {
+    let start = Instant::now();
+    let result = Campaign::run(config(true, true, None, Some(path))).expect("valid baseline");
+    (result, start.elapsed().as_secs_f64())
 }
 
 type Timed = (CampaignResult, f64, Option<RecorderSnapshot>);
@@ -213,6 +237,41 @@ fn main() {
         observed_secs = observed_secs.min(secs);
     }
 
+    // Warm-store rep: the same memoized campaign twice against one
+    // persistent store. The store must be invisible to outcomes both
+    // cold and warm, and the warm run must serve at least half its
+    // eligible runs from disk — the cross-run contract CI gates on.
+    let (store_path, keep_store) = match std::env::var_os("SNAKE_MEMO_STORE") {
+        Some(path) => (PathBuf::from(path), true),
+        None => (
+            std::env::temp_dir().join(format!("snake-bench-store-{}.jsonl", std::process::id())),
+            false,
+        ),
+    };
+    std::fs::remove_file(&store_path).ok();
+    let (cold_store, cold_store_secs) = timed_store_once(&store_path);
+    let (warm_store, warm_store_secs) = timed_store_once(&store_path);
+    assert_eq!(
+        cold_store.outcomes, memoized.outcomes,
+        "a cold persistent store must not change campaign outcomes"
+    );
+    assert_eq!(
+        warm_store.outcomes, cold_store.outcomes,
+        "a warm persistent store must not change campaign outcomes"
+    );
+    let warm_report = warm_store
+        .memo_store
+        .expect("store was configured and active");
+    assert!(
+        warm_report.hit_rate() >= 0.5,
+        "warm store rerun must serve at least half its eligible runs from \
+         disk: {warm_report:?}"
+    );
+    assert_eq!(warm_report.verdict_mismatches, 0, "{warm_report:?}");
+    if !keep_store {
+        std::fs::remove_file(&store_path).ok();
+    }
+
     let same_binary_speedup = scratch_secs / memo_secs;
     let speedup_memo = forked_secs / memo_secs;
     let observer_overhead = observed_secs / memo_secs;
@@ -259,6 +318,7 @@ fn main() {
         ("speedup_memo", Value::F64(speedup_memo)),
         ("speedup", Value::F64(speedup)),
         ("observer_overhead", Value::F64(observer_overhead)),
+        ("warm_store_hit_rate", Value::F64(warm_report.hit_rate())),
     ]));
     if history.len() > HISTORY_CAP {
         let excess = history.len() - HISTORY_CAP;
@@ -276,6 +336,33 @@ fn main() {
         ("forked", mode_block(&forked, forked_secs)),
         ("from_scratch", mode_block(&scratch, scratch_secs)),
         ("observed", mode_block(&observed, observed_secs)),
+        (
+            "warm_store",
+            obj([
+                ("cold_wall_clock_secs", Value::F64(cold_store_secs)),
+                ("wall_clock_secs", Value::F64(warm_store_secs)),
+                ("strategies_per_sec", Value::F64(n / warm_store_secs)),
+                (
+                    "cross_run_hits",
+                    Value::U64(warm_report.cross_run_hits as u64),
+                ),
+                (
+                    "eligible_runs",
+                    Value::U64(warm_report.eligible_runs as u64),
+                ),
+                ("hit_rate", Value::F64(warm_report.hit_rate())),
+                ("appended_cold", {
+                    let cold_report = cold_store
+                        .memo_store
+                        .expect("store was configured and active");
+                    Value::U64(cold_report.appended as u64)
+                }),
+                (
+                    "speedup_vs_cold",
+                    Value::F64(cold_store_secs / warm_store_secs),
+                ),
+            ]),
+        ),
         ("observer_overhead", Value::F64(observer_overhead)),
         ("speedup_memo", Value::F64(speedup_memo)),
         ("speedup_same_binary", Value::F64(same_binary_speedup)),
@@ -342,6 +429,13 @@ fn main() {
          → {manifest_path}",
         (observer_overhead - 1.0) * 100.0,
         (OVERHEAD_LIMIT - 1.0) * 100.0
+    );
+    println!(
+        "  warm store:    {warm_store_secs:.2}s  (cold {cold_store_secs:.2}s, \
+         {}/{} cross-run hits = {:.0}% hit rate)",
+        warm_report.cross_run_hits,
+        warm_report.eligible_runs,
+        warm_report.hit_rate() * 100.0
     );
     if let Some((commit, secs)) = &pre_pr {
         println!(

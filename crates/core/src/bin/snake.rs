@@ -166,6 +166,11 @@ const COMMANDS: &[CommandSpec] = &[
             switch("--resume", "reuse outcomes already in the journal"),
             value("--progress", "N", "progress line every N strategies"),
             switch("--no-memo", "disable cross-strategy memoization"),
+            value(
+                "--memo-store",
+                "FILE",
+                "persist the fingerprint verdict cache across runs",
+            ),
             value("--manifest", "FILE", "write the observability run manifest"),
             switch("--observe-summary", "print the observability summary"),
         ],
@@ -184,6 +189,7 @@ const COMMANDS: &[CommandSpec] = &[
 
 /// Flags parsed against one command's table. Duplicated flags keep the
 /// last occurrence, mirroring most CLI conventions.
+#[derive(Debug)]
 struct ParsedFlags<'a> {
     values: Vec<(&'static str, Option<&'a str>)>,
 }
@@ -213,6 +219,31 @@ impl<'a> ParsedFlags<'a> {
                     spec.arg.unwrap_or("a value")
                 )
             }),
+        }
+    }
+
+    /// Like [`parsed`](Self::parsed), but additionally rejects zero (and,
+    /// for floats, NaN and negatives): the uniform parse-time guard for
+    /// numeric flags whose zero is degenerate — `--cap 0` tests nothing,
+    /// `--baseline-reps 0` anchors no envelope, `--deadline 0` quarantines
+    /// every run — so they all fail with one message shape instead of
+    /// surfacing as assorted downstream errors.
+    fn parsed_positive<T>(&self, spec: &FlagSpec) -> Result<Option<T>, String>
+    where
+        T: std::str::FromStr + PartialOrd + Default,
+    {
+        match self.parsed::<T>(spec)? {
+            // An explicit `partial_cmp` rather than `v <= 0` so a NaN
+            // (which compares false both ways) is rejected too.
+            Some(v) if v.partial_cmp(&T::default()) != Some(std::cmp::Ordering::Greater) => {
+                Err(format!(
+                    "{} expects a positive {} (got `{}`)",
+                    spec.name,
+                    spec.arg.unwrap_or("value"),
+                    self.get(spec.name).unwrap_or_default()
+                ))
+            }
+            other => Ok(other),
         }
     }
 }
@@ -436,20 +467,20 @@ fn cmd_baseline(command: &CommandSpec, flags: &ParsedFlags<'_>) -> Result<(), St
     Ok(())
 }
 
-fn cmd_campaign(command: &CommandSpec, flags: &ParsedFlags<'_>) -> Result<(), String> {
+/// Assembles the campaign configuration from the parsed flags — split out
+/// of [`cmd_campaign`] so every flag validation (including the uniform
+/// positive-value guards) is unit-testable without running a campaign.
+fn campaign_config(
+    command: &CommandSpec,
+    flags: &ParsedFlags<'_>,
+    observer: Option<Arc<Recorder>>,
+) -> Result<CampaignConfig, String> {
     let mut spec = parse_scenario(command, flags)?;
-    if let Some(budget) = flags.parsed(flag_spec(command, "--budget"))? {
+    if let Some(budget) = flags.parsed_positive(flag_spec(command, "--budget"))? {
         spec.event_budget = Some(budget);
     }
-    let memoize = !flags.has("--no-memo");
-    let manifest_path = flags.get("--manifest");
-    let observe_summary = flags.has("--observe-summary");
-    // The recorder only exists when someone will read it; otherwise the
-    // campaign keeps the default no-op observer and pays nothing.
-    let recorder = (manifest_path.is_some() || observe_summary).then(|| Arc::new(Recorder::new()));
-
-    let mut builder = CampaignConfig::builder(spec).memoize(memoize);
-    if let Some(cap) = flags.parsed(flag_spec(command, "--cap"))? {
+    let mut builder = CampaignConfig::builder(spec).memoize(!flags.has("--no-memo"));
+    if let Some(cap) = flags.parsed_positive(flag_spec(command, "--cap"))? {
         builder = builder.cap(cap);
     }
     if let Some(path) = flags.get("--journal") {
@@ -461,16 +492,20 @@ fn cmd_campaign(command: &CommandSpec, flags: &ParsedFlags<'_>) -> Result<(), St
     if let Some(every) = flags.parsed(flag_spec(command, "--progress"))? {
         builder = builder.progress_every(every);
     }
-    if let Some(reps) = flags.parsed(flag_spec(command, "--baseline-reps"))? {
+    if let Some(reps) = flags.parsed_positive(flag_spec(command, "--baseline-reps"))? {
         builder = builder.baseline_reps(reps);
     }
-    if let Some(secs) = flags.parsed::<f64>(flag_spec(command, "--deadline"))? {
-        if !secs.is_finite() || secs <= 0.0 {
+    if let Some(secs) = flags.parsed_positive::<f64>(flag_spec(command, "--deadline"))? {
+        if !secs.is_finite() {
             return Err(format!(
-                "--deadline must be a positive number of seconds (got {secs})"
+                "--deadline expects a positive SECS (got `{}`)",
+                flags.get("--deadline").unwrap_or_default()
             ));
         }
         builder = builder.deadline(Duration::from_secs_f64(secs));
+    }
+    if let Some(path) = flags.get("--memo-store") {
+        builder = builder.memo_store(path);
     }
     if let Some(name) = flags.get("--chaos") {
         let plan = ChaosPlan::preset(name).ok_or_else(|| {
@@ -479,10 +514,20 @@ fn cmd_campaign(command: &CommandSpec, flags: &ParsedFlags<'_>) -> Result<(), St
         })?;
         builder = builder.chaos(plan);
     }
-    if let Some(recorder) = &recorder {
-        builder = builder.observer(recorder.clone());
+    if let Some(recorder) = observer {
+        builder = builder.observer(recorder);
     }
-    let config = builder.build().map_err(|e| e.to_string())?;
+    builder.build().map_err(|e| e.to_string())
+}
+
+fn cmd_campaign(command: &CommandSpec, flags: &ParsedFlags<'_>) -> Result<(), String> {
+    let memoize = !flags.has("--no-memo");
+    let manifest_path = flags.get("--manifest");
+    let observe_summary = flags.has("--observe-summary");
+    // The recorder only exists when someone will read it; otherwise the
+    // campaign keeps the default no-op observer and pays nothing.
+    let recorder = (manifest_path.is_some() || observe_summary).then(|| Arc::new(Recorder::new()));
+    let config = campaign_config(command, flags, recorder.clone())?;
 
     let start = Instant::now();
     let result = Campaign::run(config).map_err(|e| e.to_string())?;
@@ -519,6 +564,29 @@ fn cmd_campaign(command: &CommandSpec, flags: &ParsedFlags<'_>) -> Result<(), St
             100.0 * result.short_circuits as f64 / tried as f64
         );
     }
+    if let Some(store) = &result.memo_store {
+        eprintln!(
+            "memo store: {} entries loaded ({} for this scope, {} skipped), \
+             {} cross-run hits / {} eligible ({:.1}%), {} appended{}",
+            store.entries_loaded,
+            store.entries_valid,
+            store.entries_skipped,
+            store.cross_run_hits,
+            store.eligible_runs,
+            100.0 * store.hit_rate(),
+            store.appended,
+            if store.write_failures > 0 {
+                format!(
+                    ", {} write failure(s) — persistence disabled",
+                    store.write_failures
+                )
+            } else {
+                String::new()
+            }
+        );
+    } else if flags.get("--memo-store").is_some() {
+        eprintln!("memo store: inactive (memoization is forced off this run)");
+    }
     if result.resumed > 0 {
         eprintln!(
             "resumed {} outcomes from the journal ({} malformed lines skipped)",
@@ -542,14 +610,18 @@ fn cmd_campaign(command: &CommandSpec, flags: &ParsedFlags<'_>) -> Result<(), St
             eprintln!("wrote run manifest to {path}");
         }
         if observe_summary {
-            print_observe_summary(&snapshot, wall_secs);
+            print_observe_summary(&snapshot, result.memo_store.as_ref(), wall_secs);
         }
     }
     Ok(())
 }
 
 /// Human-oriented digest of the recorder snapshot (`--observe-summary`).
-fn print_observe_summary(snapshot: &snake_core::RecorderSnapshot, wall_secs: f64) {
+fn print_observe_summary(
+    snapshot: &snake_core::RecorderSnapshot,
+    memo_store: Option<&snake_core::MemoStoreReport>,
+    wall_secs: f64,
+) {
     eprintln!("observability summary ({wall_secs:.2}s wall clock):");
     eprintln!(
         "  runs: {} from scratch, {} forked, {} elided, {} halted",
@@ -558,6 +630,17 @@ fn print_observe_summary(snapshot: &snake_core::RecorderSnapshot, wall_secs: f64
         snapshot.counter("exec.runs.elided"),
         snapshot.counter("exec.runs.halted"),
     );
+    if let Some(store) = memo_store {
+        eprintln!(
+            "  memo store: {} loaded / {} valid / {} skipped, {} cross-run hits of {} eligible, {} appended",
+            store.entries_loaded,
+            store.entries_valid,
+            store.entries_skipped,
+            store.cross_run_hits,
+            store.eligible_runs,
+            store.appended,
+        );
+    }
     eprintln!(
         "  netsim: {} events, {} timers cancelled, {} purged, {} queue compactions",
         snapshot.counter("netsim.events"),
@@ -739,4 +822,114 @@ fn cmd_search_space() -> Result<(), String> {
 
 fn mbps(bytes: u64, secs: u64) -> f64 {
     bytes as f64 * 8.0 / secs.max(1) as f64 / 1e6
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn campaign_spec() -> &'static CommandSpec {
+        COMMANDS.iter().find(|c| c.name == "campaign").unwrap()
+    }
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| (*s).to_owned()).collect()
+    }
+
+    /// Runs the full flag-parse → config-build pipeline the way `main`
+    /// does, returning the error a user would see.
+    fn config_err(extra: &[&str]) -> String {
+        let mut all = vec!["--impl", "linux-3.13", "--quick"];
+        all.extend_from_slice(extra);
+        let owned = args(&all);
+        let spec = campaign_spec();
+        parse_flags(spec, &owned)
+            .and_then(|flags| campaign_config(spec, &flags, None).map(|_| ()))
+            .expect_err("degenerate flags must be rejected")
+    }
+
+    #[test]
+    fn help_table_is_well_formed() {
+        // The parser and `snake help` read the same table; a malformed
+        // entry would corrupt both.
+        for command in COMMANDS {
+            assert!(!command.summary.is_empty(), "{}", command.name);
+            for flag in command.flags {
+                assert!(flag.name.starts_with("--"), "{}", flag.name);
+                assert!(!flag.help.is_empty(), "{}", flag.name);
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_flags_and_missing_values_are_parse_errors() {
+        let spec = campaign_spec();
+        let err = parse_flags(spec, &args(&["--nope"])).unwrap_err();
+        assert!(err.contains("unknown flag `--nope`"), "{err}");
+        assert!(err.contains("snake campaign"), "{err}");
+        let err = parse_flags(spec, &args(&["--cap"])).unwrap_err();
+        assert!(err.contains("--cap expects N"), "{err}");
+    }
+
+    #[test]
+    fn duplicated_flags_keep_the_last_occurrence() {
+        let spec = campaign_spec();
+        let owned = args(&["--cap", "3", "--cap", "7"]);
+        let flags = parse_flags(spec, &owned).unwrap();
+        assert_eq!(flags.get("--cap"), Some("7"));
+    }
+
+    #[test]
+    fn degenerate_numerics_are_rejected_uniformly_at_parse_time() {
+        // Every zero/negative/NaN numeric fails with the one shared
+        // message shape, instead of an assorted downstream error.
+        for (flags, offender) in [
+            (&["--cap", "0"][..], "--cap"),
+            (&["--budget", "0"][..], "--budget"),
+            (&["--baseline-reps", "0"][..], "--baseline-reps"),
+            (&["--deadline", "0"][..], "--deadline"),
+            (&["--deadline", "-1"][..], "--deadline"),
+            (&["--deadline", "NaN"][..], "--deadline"),
+            (&["--deadline", "inf"][..], "--deadline"),
+        ] {
+            let err = config_err(flags);
+            assert!(
+                err.contains(offender) && err.contains("expects a positive"),
+                "{flags:?}: {err}"
+            );
+        }
+        // Non-numeric garbage still reports the placeholder.
+        let err = config_err(&["--cap", "many"]);
+        assert!(err.contains("--cap expects N"), "{err}");
+        // Zero remains valid where it is meaningful: `--progress 0` = off,
+        // `--seed 0` is a seed like any other.
+        let owned = args(&[
+            "--impl",
+            "linux-3.13",
+            "--quick",
+            "--progress",
+            "0",
+            "--seed",
+            "0",
+        ]);
+        let spec = campaign_spec();
+        let flags = parse_flags(spec, &owned).unwrap();
+        campaign_config(spec, &flags, None).expect("zero progress/seed are valid");
+    }
+
+    #[test]
+    fn memo_store_flag_is_wired_and_contradiction_is_caught() {
+        let spec = campaign_spec();
+        let owned = args(&[
+            "--impl",
+            "linux-3.13",
+            "--quick",
+            "--memo-store",
+            "/tmp/store.jsonl",
+            "--no-memo",
+        ]);
+        let flags = parse_flags(spec, &owned).unwrap();
+        let err = campaign_config(spec, &flags, None).unwrap_err();
+        assert!(err.contains("memo_store requires memoize"), "{err}");
+    }
 }

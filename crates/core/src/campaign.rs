@@ -1,3 +1,4 @@
+use std::collections::hash_map::Entry;
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::io;
@@ -13,6 +14,7 @@ use snake_proxy::{InjectionAttack, Strategy, StrategyKind};
 use crate::attacks::{classify, cluster_attacks, AttackFinding};
 use crate::detect::{baseline_valid, detect_enveloped, Envelope, Verdict, DEFAULT_THRESHOLD};
 use crate::journal::{self, JournalHeader, JournalWriter};
+use crate::memostore::{scenario_digest, MemoStore, MemoStoreReport, StoreScope};
 use crate::scenario::{Executor, ExecutorOptions, PlannedExecutor, ScenarioSpec, TestMetrics};
 use crate::strategen::{generate_strategies, is_on_path, is_self_denial, GenerationParams};
 
@@ -55,6 +57,8 @@ pub struct CampaignConfig {
     // Cross-strategy memoization (inert elision, class sharing,
     // fingerprint cache, no-op halt).
     memoize: bool,
+    // Persistent cross-run fingerprint→verdict store path.
+    memo_store: Option<PathBuf>,
     // Test-only fault injection inside the panic isolation boundary.
     fault_hook: Option<FaultHook>,
     // Deterministic chaos injection (panics, stalls, journal faults).
@@ -191,6 +195,7 @@ impl fmt::Debug for CampaignConfig {
             .field("progress_every", &self.progress_every)
             .field("snapshot_fork", &self.snapshot_fork)
             .field("memoize", &self.memoize)
+            .field("memo_store", &self.memo_store)
             .field("fault_hook", &self.fault_hook.as_ref().map(|_| "<hook>"))
             .field("chaos", &self.chaos)
             .field("baseline_reps", &self.baseline_reps)
@@ -221,6 +226,7 @@ impl CampaignConfig {
             progress_every: 0,
             snapshot_fork: true,
             memoize: true,
+            memo_store: None,
             fault_hook: None,
             chaos: None,
             baseline_reps: 1,
@@ -263,6 +269,7 @@ pub struct CampaignConfigBuilder {
     progress_every: usize,
     snapshot_fork: bool,
     memoize: bool,
+    memo_store: Option<PathBuf>,
     fault_hook: Option<FaultHook>,
     chaos: Option<ChaosPlan>,
     baseline_reps: usize,
@@ -372,6 +379,23 @@ impl CampaignConfigBuilder {
         self
     }
 
+    /// Persists the wire-effect fingerprint → verdict cache across
+    /// campaign processes: verdicts are loaded from the checksummed store
+    /// at `path` when the run starts and new ones are appended as it goes
+    /// (see [`MemoStore`]). Entries are keyed by scenario digest,
+    /// implementation, seed and impairment spec, so a store can be shared
+    /// between arbitrary campaigns — entries from a different
+    /// configuration simply never match. Purely an accounting and
+    /// persistence layer: verdicts are still computed fresh every run, so
+    /// outcomes are bit-identical with the store cold, warm, damaged or
+    /// absent. Requires [`memoize`](Self::memoize) (the default); silently
+    /// inactive when a `fault_hook` or `chaos` plan forces memoization
+    /// off.
+    pub fn memo_store(mut self, path: impl Into<PathBuf>) -> Self {
+        self.memo_store = Some(path.into());
+        self
+    }
+
     /// Test-only fault injection: `hook` is called with each strategy
     /// right before its evaluation, inside the panic isolation boundary.
     /// A hook that panics simulates a crashing engine run.
@@ -463,6 +487,13 @@ impl CampaignConfigBuilder {
         if self.deadline.is_some_and(|d| d.is_zero()) {
             return invalid("watchdog deadline must be longer than zero".to_owned());
         }
+        if self.memo_store.is_some() && !self.memoize {
+            return invalid(
+                "memo_store requires memoize: the persistent store is the \
+                 fingerprint cache's disk layer"
+                    .to_owned(),
+            );
+        }
         Ok(CampaignConfig {
             scenario: self.scenario,
             params: self.params,
@@ -476,6 +507,7 @@ impl CampaignConfigBuilder {
             progress_every: self.progress_every,
             snapshot_fork: self.snapshot_fork,
             memoize: self.memoize,
+            memo_store: self.memo_store,
             fault_hook: self.fault_hook,
             chaos: self.chaos,
             baseline_reps: self.baseline_reps,
@@ -514,6 +546,15 @@ pub enum CampaignError {
         /// What differed.
         detail: String,
     },
+    /// Opening the persistent memo store failed with a real I/O error
+    /// (a damaged store is recovered from, not an error — see
+    /// [`MemoStore::open`]).
+    MemoStore {
+        /// The store path.
+        path: PathBuf,
+        /// The underlying I/O error.
+        source: io::Error,
+    },
     /// `resume` was requested without a journal path to resume from.
     ResumeWithoutJournal,
     /// The builder rejected the configuration (non-finite threshold, zero
@@ -542,6 +583,9 @@ impl fmt::Display for CampaignError {
                     path.display()
                 )
             }
+            CampaignError::MemoStore { path, source } => {
+                write!(f, "memo store {}: {source}", path.display())
+            }
             CampaignError::ResumeWithoutJournal => {
                 f.write_str("resume requested without a journal path")
             }
@@ -555,7 +599,9 @@ impl fmt::Display for CampaignError {
 impl std::error::Error for CampaignError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
-            CampaignError::Journal { source, .. } => Some(source),
+            CampaignError::Journal { source, .. } | CampaignError::MemoStore { source, .. } => {
+                Some(source)
+            }
             _ => None,
         }
     }
@@ -693,6 +739,10 @@ pub struct CampaignResult {
     /// Strategies quarantined as [`OutcomeKind::Stalled`] after the
     /// watchdog's retry budget ran out.
     pub quarantined: usize,
+    /// What the persistent memo store did, when one was configured and
+    /// active (`None` when no store was set, or when a fault hook / chaos
+    /// plan forced memoization — and with it the store — off).
+    pub memo_store: Option<MemoStoreReport>,
 }
 
 impl CampaignResult {
@@ -923,11 +973,18 @@ impl Campaign {
         }
 
         // Journal setup: load previous outcomes when resuming, then keep a
-        // writer open for streaming appends.
+        // writer open for streaming appends. The header records the
+        // memoization and impairment settings alongside the campaign
+        // identity, so appending to a journal written under different
+        // memo/impairment semantics is refused instead of silently mixing
+        // provenance markers (or metrics) from two different worlds.
+        let impairment_label = spec.dumbbell.bottleneck.impair.to_string();
         let header = JournalHeader {
             implementation: spec.protocol.implementation_name().to_owned(),
             seed: spec.seed,
             threshold: config.threshold,
+            memoize: Some(memoize),
+            impairment: Some(impairment_label.clone()),
         };
         let mut reusable: BTreeMap<u64, StrategyOutcome> = BTreeMap::new();
         let mut journal_lines_skipped = 0;
@@ -943,22 +1000,13 @@ impl Campaign {
                     let loaded = journal::load(path).map_err(journal_err)?;
                     journal_lines_skipped = loaded.malformed_lines;
                     match &loaded.header {
-                        Some(h) if *h != header => {
-                            return Err(CampaignError::JournalMismatch {
-                                path: path.clone(),
-                                detail: format!(
-                                    "journal is for {} (seed {}, threshold {}), \
-                                     this campaign is {} (seed {}, threshold {})",
-                                    h.implementation,
-                                    h.seed,
-                                    h.threshold,
-                                    header.implementation,
-                                    header.seed,
-                                    header.threshold
-                                ),
-                            });
-                        }
-                        Some(_) => {
+                        Some(h) => {
+                            if let Some(detail) = h.mismatch_against(&header) {
+                                return Err(CampaignError::JournalMismatch {
+                                    path: path.clone(),
+                                    detail,
+                                });
+                            }
                             for o in loaded.outcomes {
                                 reusable.insert(o.strategy.id, o);
                             }
@@ -973,6 +1021,32 @@ impl Campaign {
                 }
             }
         };
+
+        // Persistent memo store: opened only while memoization is live (a
+        // fault hook or chaos plan that forces memoization off silently
+        // deactivates the store with it). The store never influences a
+        // verdict or a memo marker — admission always computes verdicts
+        // fresh — so outcomes are bit-identical with the store cold, warm
+        // or absent; what it adds is persistence and cross-run hit
+        // accounting.
+        let store = match (&config.memo_store, memoize) {
+            (Some(path), true) => {
+                Some(
+                    MemoStore::open(path).map_err(|source| CampaignError::MemoStore {
+                        path: path.clone(),
+                        source,
+                    })?,
+                )
+            }
+            _ => None,
+        };
+        let scope = StoreScope {
+            scenario_digest: scenario_digest(&spec, config.threshold, config.baseline_reps),
+            implementation: spec.protocol.implementation_name().to_owned(),
+            seed: spec.seed,
+            impairment: impairment_label,
+        };
+        let ledger = Mutex::new(MemoLedger::new(memoize, store, scope));
 
         let journal_cell = writer.map(Mutex::new);
         let journal_error: Mutex<Option<io::Error>> = Mutex::new(None);
@@ -1035,7 +1109,6 @@ impl Campaign {
             memoize,
             envelope,
             retest_envelope,
-            fp_cache: Mutex::new(FxHashMap::default()),
             escalated: AtomicUsize::new(0),
             stalls: AtomicUsize::new(0),
             quarantined: AtomicUsize::new(0),
@@ -1083,7 +1156,10 @@ impl Campaign {
                 match reusable.remove(&s.id) {
                     Some(prev) if prev.strategy == s => {
                         resumed += 1;
-                        seed_fp_cache(&shared, &prev);
+                        ledger
+                            .lock()
+                            .unwrap_or_else(|e| e.into_inner())
+                            .seed_resumed(&prev);
                         // An inert-marked outcome never reached the class
                         // grouping in the original run, so it must not
                         // become a representative now.
@@ -1123,7 +1199,7 @@ impl Campaign {
             }
             let batch_span = observe::span(config.observer.as_ref(), "phase.batch", 0);
             let (indices, batch): (Vec<usize>, Vec<Strategy>) = to_run.into_iter().unzip();
-            let ran = run_batch(&shared, batch, config.parallelism, &on_outcome);
+            let ran = run_batch(&shared, &ledger, batch, config.parallelism, &on_outcome);
             for (i, outcome) in indices.into_iter().zip(ran) {
                 round[i] = Some(outcome);
             }
@@ -1133,8 +1209,16 @@ impl Campaign {
                     .expect("class representatives are reused or ran in this batch");
                 let outcome = if rep_outcome.outcome_kind == OutcomeKind::Errored {
                     // A panicking representative proves nothing about its
-                    // class; run the member itself.
-                    evaluate_watched(&shared, s)
+                    // class; run the member itself. The fresh run is
+                    // admitted like any other (fingerprint marker, cache
+                    // insert, store append) — followers re-run in index
+                    // order, so admission stays deterministic.
+                    let mut o = evaluate_watched(&shared, s);
+                    ledger
+                        .lock()
+                        .unwrap_or_else(|e| e.into_inner())
+                        .admit(&mut o);
+                    o
                 } else {
                     materialize_class_member(rep_outcome, s)
                 };
@@ -1192,6 +1276,23 @@ impl Campaign {
             }
         }
 
+        let memo_store = {
+            let ledger = ledger.into_inner().unwrap_or_else(|e| e.into_inner());
+            let report = ledger.report();
+            if let Some(r) = &report {
+                let obs = config.observer.as_ref();
+                obs.counter_add("memostore.entries_loaded", r.entries_loaded as u64);
+                obs.counter_add("memostore.entries_valid", r.entries_valid as u64);
+                obs.counter_add("memostore.entries_skipped", r.entries_skipped as u64);
+                obs.counter_add("memostore.cross_run_hits", r.cross_run_hits as u64);
+                obs.counter_add("memostore.eligible_runs", r.eligible_runs as u64);
+                obs.counter_add("memostore.appended", r.appended as u64);
+                obs.counter_add("memostore.write_failures", r.write_failures as u64);
+                obs.counter_add("memostore.verdict_mismatches", r.verdict_mismatches as u64);
+            }
+            report
+        };
+
         Ok(CampaignResult {
             protocol: spec.protocol.protocol_name().to_owned(),
             implementation: spec.protocol.implementation_name().to_owned(),
@@ -1207,6 +1308,7 @@ impl Campaign {
             escalated: shared.escalated.load(Ordering::Relaxed),
             stalls: shared.stalls.load(Ordering::Relaxed),
             quarantined: shared.quarantined.load(Ordering::Relaxed),
+            memo_store,
         })
     }
 }
@@ -1262,43 +1364,158 @@ struct SharedCtx {
     stalls: AtomicUsize,
     /// Strategies quarantined after the stall retry budget.
     quarantined: AtomicUsize,
-    /// Wire-effect fingerprint → verdict cache. A fingerprint captures
-    /// every effect the proxy actually had on the wire (plus its RNG
-    /// draws), so equal fingerprints mean byte-identical runs and the
-    /// verdict can be shared. Only unflagged verdicts are cached: a
-    /// flagged outcome also depends on the different-seed re-test run,
-    /// which the main run's fingerprint says nothing about.
-    fp_cache: Mutex<FxHashMap<(u64, u64), Verdict>>,
 }
 
 type Shared = Arc<SharedCtx>;
 
-/// Re-seeds the wire-effect fingerprint cache from a journaled outcome on
-/// resume. Only outcomes that would have populated the cache in the
-/// original run qualify: completed, unflagged, and produced by an actual
-/// run (`memo` of `None`), a cache hit (`"fp"`), or a proxy halt
-/// (`"halt"`, whose substituted baseline metrics carry the baseline's
-/// fingerprint) — `"inert"` and `"class"` outcomes never touched the
-/// cache. With the cache restored, the strategies that still need a run
-/// reach the same verdict-sharing decisions as an uninterrupted campaign.
-fn seed_fp_cache(shared: &Shared, outcome: &StrategyOutcome) {
-    if !shared.memoize
-        || outcome.outcome_kind != OutcomeKind::Ok
-        || outcome.verdict.flagged()
-        || !matches!(outcome.memo.as_deref(), None | Some("fp") | Some("halt"))
-    {
-        return;
+/// The campaign's memoization bookkeeper, owned by `Campaign::run` and
+/// consulted only at *admission* — the single point where a finished
+/// outcome is assigned its fingerprint marker, inserted into the
+/// in-process cache and appended to the persistent store, strictly in
+/// strategy-index order (see [`run_batch`]'s release buffer). Workers
+/// never touch it while evaluating, which is what makes memo markers
+/// identical at every worker count: under the old design each worker
+/// consulted a shared fingerprint cache mid-flight, so which of two
+/// equal-fingerprint strategies got the `"fp"` marker depended on
+/// completion order.
+///
+/// The fingerprint cache maps wire-effect fingerprints to verdicts. A
+/// fingerprint captures every effect the proxy actually had on the wire
+/// (plus its RNG draws), so equal fingerprints mean byte-identical runs
+/// and the verdict can be shared. Only unflagged verdicts are cached: a
+/// flagged outcome also depends on the different-seed re-test run, which
+/// the main run's fingerprint says nothing about.
+struct MemoLedger {
+    /// Whether campaign-level memoization is live; when off, admission is
+    /// a no-op and every outcome keeps whatever marker evaluation gave it.
+    memoize: bool,
+    /// The in-process fingerprint → verdict cache (this campaign's own
+    /// completed runs plus resume-seeded journal entries).
+    fp_cache: FxHashMap<(u64, u64), Verdict>,
+    /// Fingerprints loaded from the persistent store for this campaign's
+    /// scope. Deliberately separate from `fp_cache`: store entries feed
+    /// the cross-run hit and mismatch counters but never markers or
+    /// verdicts, so a warm store cannot change any outcome bit.
+    store_seen: FxHashMap<(u64, u64), Verdict>,
+    /// The open store and this campaign's scope key, when configured.
+    store: Option<(MemoStore, StoreScope)>,
+    /// Loaded store entries matching this campaign's scope.
+    entries_valid: usize,
+    /// Fresh completed runs whose fingerprint the store already knew.
+    cross_run_hits: usize,
+    /// Fresh completed runs eligible for a cross-run hit.
+    eligible_runs: usize,
+    /// Store entries whose recorded verdict disagreed with the freshly
+    /// computed one (the computed verdict wins; see [`MemoStoreReport`]).
+    verdict_mismatches: usize,
+}
+
+impl MemoLedger {
+    fn new(memoize: bool, store: Option<MemoStore>, scope: StoreScope) -> MemoLedger {
+        let store_seen = store
+            .as_ref()
+            .map(|s| s.scope_entries(&scope))
+            .unwrap_or_default();
+        MemoLedger {
+            memoize,
+            fp_cache: FxHashMap::default(),
+            entries_valid: store_seen.len(),
+            store_seen,
+            store: store.map(|s| (s, scope)),
+            cross_run_hits: 0,
+            eligible_runs: 0,
+            verdict_mismatches: 0,
+        }
     }
-    let fp = (
-        outcome.metrics.proxy.effect_fp_a,
-        outcome.metrics.proxy.effect_fp_b,
-    );
-    shared
-        .fp_cache
-        .lock()
-        .unwrap_or_else(|e| e.into_inner())
-        .entry(fp)
-        .or_insert(outcome.verdict);
+
+    /// Admits one freshly evaluated outcome: counts it against the
+    /// persistent store, assigns the `"fp"` marker when its fingerprint
+    /// was already in the in-process cache (a `"halt"` marker from the
+    /// run itself takes precedence), and otherwise caches and persists
+    /// the verdict when it is unflagged. Only completed runs participate —
+    /// errored, truncated and stalled outcomes carry no meaningful
+    /// fingerprint, and inert/class outcomes never reach admission at all
+    /// (they never touched the cache under the old design either).
+    fn admit(&mut self, outcome: &mut StrategyOutcome) {
+        if !self.memoize || outcome.outcome_kind != OutcomeKind::Ok {
+            return;
+        }
+        let fp = (
+            outcome.metrics.proxy.effect_fp_a,
+            outcome.metrics.proxy.effect_fp_b,
+        );
+        self.eligible_runs += 1;
+        match self.store_seen.get(&fp) {
+            Some(v) if *v == outcome.verdict => self.cross_run_hits += 1,
+            Some(_) => self.verdict_mismatches += 1,
+            None => {}
+        }
+        match self.fp_cache.entry(fp) {
+            // Equal fingerprints mean byte-identical runs, so the freshly
+            // computed verdict necessarily equals the cached one — the
+            // marker is pure provenance, never a different answer.
+            Entry::Occupied(_) => {
+                if outcome.memo.is_none() {
+                    outcome.memo = Some("fp".to_owned());
+                }
+            }
+            Entry::Vacant(slot) => {
+                if !outcome.verdict.flagged() {
+                    slot.insert(outcome.verdict);
+                    if let Some((store, scope)) = &mut self.store {
+                        store.insert(scope, fp, outcome.verdict);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Re-seeds the fingerprint cache from a journaled outcome on resume.
+    /// Only outcomes that would have populated the cache in the original
+    /// run qualify: completed, unflagged, and produced by an actual run
+    /// (`memo` of `None`), a cache hit (`"fp"`), or a proxy halt
+    /// (`"halt"`, whose substituted baseline metrics carry the baseline's
+    /// fingerprint) — `"inert"` and `"class"` outcomes never touched the
+    /// cache. With the cache restored, the strategies that still need a
+    /// run reach the same verdict-sharing decisions as an uninterrupted
+    /// campaign. Seeded verdicts are persisted too, so a store shared with
+    /// an interrupted campaign still ends up complete. Resumed outcomes do
+    /// not count toward the cross-run hit rate — nothing ran.
+    fn seed_resumed(&mut self, outcome: &StrategyOutcome) {
+        if !self.memoize
+            || outcome.outcome_kind != OutcomeKind::Ok
+            || outcome.verdict.flagged()
+            || !matches!(outcome.memo.as_deref(), None | Some("fp") | Some("halt"))
+        {
+            return;
+        }
+        let fp = (
+            outcome.metrics.proxy.effect_fp_a,
+            outcome.metrics.proxy.effect_fp_b,
+        );
+        if let Entry::Vacant(slot) = self.fp_cache.entry(fp) {
+            slot.insert(outcome.verdict);
+            if let Some((store, scope)) = &mut self.store {
+                store.insert(scope, fp, outcome.verdict);
+            }
+        }
+    }
+
+    /// The store section of the campaign result (`None` when no store was
+    /// active this run).
+    fn report(&self) -> Option<MemoStoreReport> {
+        let (store, _) = self.store.as_ref()?;
+        Some(MemoStoreReport {
+            entries_loaded: store.entries_loaded(),
+            entries_valid: self.entries_valid,
+            entries_skipped: store.entries_skipped(),
+            cross_run_hits: self.cross_run_hits,
+            eligible_runs: self.eligible_runs,
+            appended: store.appended(),
+            write_failures: store.write_failures(),
+            verdict_mismatches: self.verdict_mismatches,
+        })
+    }
 }
 
 /// Answers a statically provable wire no-op with the baseline outcome —
@@ -1399,7 +1616,7 @@ fn evaluate(shared: &Shared, strategy: Strategy) -> StrategyOutcome {
     // the baseline outcome; the marker records that this outcome was
     // short-circuited, and takes precedence over a fingerprint-cache hit
     // on the same (baseline-equal) metrics.
-    let mut memo: Option<String> = info.halted.then(|| "halt".to_owned());
+    let memo: Option<String> = info.halted.then(|| "halt".to_owned());
     if metrics.truncated {
         // A budget-truncated run transferred less data because it ran for
         // less virtual time; comparing it against a full-length baseline
@@ -1417,40 +1634,16 @@ fn evaluate(shared: &Shared, strategy: Strategy) -> StrategyOutcome {
             memo,
         };
     }
-    // Wire-effect fingerprint cache: equal fingerprints mean the runs were
-    // byte-identical on the wire, so the verdict carries over. Cached
-    // verdicts are always unflagged, which also keeps the re-test and
-    // control logic below trivially consistent with a cache hit.
-    let fp = (metrics.proxy.effect_fp_a, metrics.proxy.effect_fp_b);
-    let verdict = if shared.memoize {
-        let cached = shared
-            .fp_cache
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .get(&fp)
-            .copied();
-        match cached {
-            Some(v) => {
-                if memo.is_none() {
-                    memo = Some("fp".to_owned());
-                }
-                v
-            }
-            None => {
-                let v = detect_enveloped(&shared.envelope, &metrics);
-                if !v.flagged() {
-                    shared
-                        .fp_cache
-                        .lock()
-                        .unwrap_or_else(|e| e.into_inner())
-                        .insert(fp, v);
-                }
-                v
-            }
-        }
-    } else {
-        detect_enveloped(&shared.envelope, &metrics)
-    };
+    // The verdict is always computed fresh here; the wire-effect
+    // fingerprint cache lives in the [`MemoLedger`] and is consulted only
+    // at admission, after evaluation. Equal fingerprints mean
+    // byte-identical runs, so a cache hit's verdict equals this freshly
+    // computed one by construction — moving the lookup out of the workers
+    // changes no outcome, it only makes the `"fp"` markers independent of
+    // worker completion order. Cached (and therefore persisted) verdicts
+    // are always unflagged, which keeps the re-test and control logic
+    // below trivially consistent with a later marker assignment.
+    let verdict = detect_enveloped(&shared.envelope, &metrics);
 
     // Flagged verdicts re-test as always; with an ensemble (reps > 1),
     // *borderline* results — within BORDERLINE_MARGIN of an envelope edge,
@@ -1680,13 +1873,29 @@ impl WorkerClock {
     }
 }
 
+/// Holds outcomes finished out of order until every lower-index outcome
+/// has been admitted, so admission (memo-marker assignment, cache insert,
+/// store append) and journaling happen strictly in strategy-index order at
+/// any worker count — exactly the sequence a single worker would produce.
+struct ReleaseState {
+    /// The next strategy index to admit.
+    next: usize,
+    /// Outcomes evaluated ahead of `next`, keyed by index.
+    pending: BTreeMap<usize, StrategyOutcome>,
+    /// Admitted outcomes, in index order.
+    done: Vec<StrategyOutcome>,
+}
+
 /// Runs a batch of strategies across `parallelism` worker threads — the
-/// paper's pool of executors with linear speedup (§V-D). Each completed
-/// outcome is handed to `on_outcome` immediately (journal append,
-/// progress), so a killed process loses at most the runs that were still
-/// in flight.
+/// paper's pool of executors with linear speedup (§V-D). Each outcome is
+/// admitted through the [`MemoLedger`] and handed to `on_outcome`
+/// (journal append, progress) as soon as every earlier-index outcome has
+/// been, so a killed process loses at most the runs that were still in
+/// flight or held back by one — and the journal is always an index-order
+/// prefix of the batch.
 fn run_batch(
     shared: &Shared,
+    ledger: &Mutex<MemoLedger>,
     strategies: Vec<Strategy>,
     parallelism: usize,
     on_outcome: &(dyn Fn(&StrategyOutcome) + Sync),
@@ -1703,7 +1912,11 @@ fn run_batch(
         let out = strategies
             .into_iter()
             .map(|s| {
-                let outcome = clock.time(|| evaluate_watched(shared, s));
+                let mut outcome = clock.time(|| evaluate_watched(shared, s));
+                ledger
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .admit(&mut outcome);
                 on_outcome(&outcome);
                 outcome
             })
@@ -1712,37 +1925,48 @@ fn run_batch(
         return out;
     }
     // Lock-free work distribution: workers claim the next strategy index
-    // with a relaxed fetch-add (no queue mutex on the hot path) and keep
-    // their finished outcomes in a private vec, so the only cross-thread
-    // contention left is the one atomic word and whatever `on_outcome`
-    // does.
+    // with a relaxed fetch-add (no queue mutex on the hot path). Finished
+    // outcomes flow through the release buffer, which admits and journals
+    // them in index order regardless of which worker finished first —
+    // evaluation itself (the expensive part) still runs fully in
+    // parallel; only the cheap admission step is serialized. Lock order
+    // is always release → ledger → journal.
     let jobs = &strategies[..];
     let next = AtomicUsize::new(0);
-    let mut results: Vec<(usize, StrategyOutcome)> = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..workers)
-            .map(|_| {
-                scope.spawn(|| {
-                    let mut mine = Vec::new();
-                    let mut clock = WorkerClock::start(enabled);
-                    loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        let Some(strategy) = jobs.get(i) else { break };
-                        let outcome = clock.time(|| evaluate_watched(shared, strategy.clone()));
-                        on_outcome(&outcome);
-                        mine.push((i, outcome));
-                    }
-                    clock.finish(observer);
-                    mine
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .flat_map(|h| h.join().expect("worker panics are caught inside"))
-            .collect()
+    let release = Mutex::new(ReleaseState {
+        next: 0,
+        pending: BTreeMap::new(),
+        done: Vec::with_capacity(n),
     });
-    results.sort_unstable_by_key(|(i, _)| *i);
-    results.into_iter().map(|(_, outcome)| outcome).collect()
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| {
+                let mut clock = WorkerClock::start(enabled);
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(strategy) = jobs.get(i) else { break };
+                    let outcome = clock.time(|| evaluate_watched(shared, strategy.clone()));
+                    let mut state = release.lock().unwrap_or_else(|e| e.into_inner());
+                    state.pending.insert(i, outcome);
+                    loop {
+                        let turn = state.next;
+                        let Some(mut outcome) = state.pending.remove(&turn) else {
+                            break;
+                        };
+                        ledger
+                            .lock()
+                            .unwrap_or_else(|e| e.into_inner())
+                            .admit(&mut outcome);
+                        on_outcome(&outcome);
+                        state.done.push(outcome);
+                        state.next += 1;
+                    }
+                }
+                clock.finish(observer);
+            });
+        }
+    });
+    release.into_inner().unwrap_or_else(|e| e.into_inner()).done
 }
 
 #[cfg(test)]
@@ -1828,6 +2052,7 @@ mod tests {
             escalated: 0,
             stalls: 0,
             quarantined: 0,
+            memo_store: None,
         };
         let tsv = result.export_outcomes_tsv();
         let lines: Vec<&str> = tsv.lines().collect();
@@ -1910,6 +2135,11 @@ mod tests {
             CampaignConfig::builder(spec()).feedback_rounds(0),
             CampaignConfig::builder(spec()).baseline_reps(0),
             CampaignConfig::builder(spec()).deadline(Duration::ZERO),
+            // The store is the fingerprint cache's disk layer; explicitly
+            // disabling memoization while asking for one is contradictory.
+            CampaignConfig::builder(spec())
+                .memo_store("/tmp/unused-store.jsonl")
+                .memoize(false),
         ] {
             match broken.build() {
                 Err(CampaignError::InvalidConfig { detail }) => {

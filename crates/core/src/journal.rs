@@ -192,7 +192,8 @@ impl FromJson for StrategyOutcome {
 }
 
 /// The journal's first line: which campaign the outcomes belong to. Resume
-/// refuses a journal whose header does not match the current config.
+/// refuses a journal whose header does not match the current config (see
+/// [`JournalHeader::mismatch_against`]).
 #[derive(Debug, Clone, PartialEq)]
 pub struct JournalHeader {
     /// Implementation under test.
@@ -201,16 +202,82 @@ pub struct JournalHeader {
     pub seed: u64,
     /// Detection threshold.
     pub threshold: f64,
+    /// Whether campaign-level memoization was live when the journal was
+    /// written. Memoized and unmemoized campaigns produce the same
+    /// verdicts but different provenance markers, so mixing them in one
+    /// journal would corrupt the memo accounting on resume. `None` in
+    /// journals written before this field existed (accepted as matching).
+    pub memoize: Option<bool>,
+    /// Bottleneck impairment spec (its round-trippable `Display` form,
+    /// `"none"` when unimpaired). An impaired and an unimpaired campaign
+    /// share implementation, seed and threshold yet produce incomparable
+    /// outcomes; recording the spec closes that resume hole. `None` in
+    /// journals written before this field existed (accepted as matching).
+    pub impairment: Option<String>,
+}
+
+impl JournalHeader {
+    /// Compares a header loaded from disk (`self`) against the header the
+    /// current campaign would write, returning a human-readable list of
+    /// the fields that differ — or `None` when resuming is safe. The
+    /// optional fields (`memoize`, `impairment`) only mismatch when the
+    /// loaded journal actually recorded them: a legacy journal predating
+    /// those fields is accepted, exactly as before they existed.
+    pub fn mismatch_against(&self, current: &JournalHeader) -> Option<String> {
+        let mut diffs: Vec<String> = Vec::new();
+        if self.implementation != current.implementation {
+            diffs.push(format!(
+                "implementation: journal has `{}`, campaign has `{}`",
+                self.implementation, current.implementation
+            ));
+        }
+        if self.seed != current.seed {
+            diffs.push(format!(
+                "seed: journal has {}, campaign has {}",
+                self.seed, current.seed
+            ));
+        }
+        if self.threshold != current.threshold {
+            diffs.push(format!(
+                "threshold: journal has {}, campaign has {}",
+                self.threshold, current.threshold
+            ));
+        }
+        if let (Some(a), Some(b)) = (self.memoize, current.memoize) {
+            if a != b {
+                diffs.push(format!(
+                    "memoization: journal was written with memoize={a}, campaign has memoize={b}"
+                ));
+            }
+        }
+        if let (Some(a), Some(b)) = (&self.impairment, &current.impairment) {
+            if a != b {
+                diffs.push(format!("impairment: journal has `{a}`, campaign has `{b}`"));
+            }
+        }
+        if diffs.is_empty() {
+            None
+        } else {
+            Some(diffs.join("; "))
+        }
+    }
 }
 
 impl ToJson for JournalHeader {
     fn to_json(&self) -> Value {
-        obj([
+        let mut pairs = vec![
             ("type", Value::Str("campaign".into())),
             ("implementation", Value::Str(self.implementation.clone())),
             ("seed", Value::U64(self.seed)),
             ("threshold", Value::F64(self.threshold)),
-        ])
+        ];
+        if let Some(memoize) = self.memoize {
+            pairs.push(("memoize", Value::Bool(memoize)));
+        }
+        if let Some(impairment) = &self.impairment {
+            pairs.push(("impairment", Value::Str(impairment.clone())));
+        }
+        obj(pairs)
     }
 }
 
@@ -220,14 +287,31 @@ impl FromJson for JournalHeader {
             implementation: value.req_str("implementation")?.to_owned(),
             seed: value.req_u64("seed")?,
             threshold: value.req_f64("threshold")?,
+            // Absent in journals written before config-drift detection;
+            // those headers match any setting, as they always did.
+            memoize: match value.get("memoize") {
+                None | Some(Value::Null) => None,
+                Some(Value::Bool(b)) => Some(*b),
+                Some(_) => return Err(JsonError::decode("field `memoize` must be a bool or null")),
+            },
+            impairment: match value.get("impairment") {
+                None | Some(Value::Null) => None,
+                Some(Value::Str(s)) => Some(s.clone()),
+                Some(_) => {
+                    return Err(JsonError::decode(
+                        "field `impairment` must be a string or null",
+                    ))
+                }
+            },
         })
     }
 }
 
 /// FNV-1a 64-bit hash of a line's JSON payload — the per-line checksum.
 /// Small, dependency-free, and plenty for detecting torn or bit-rotted
-/// lines (this guards against accidents, not adversaries).
-fn line_checksum(payload: &str) -> u64 {
+/// lines (this guards against accidents, not adversaries). Shared with the
+/// persistent memo store, which uses the same framing.
+pub(crate) fn line_checksum(payload: &str) -> u64 {
     let mut hash = 0xcbf2_9ce4_8422_2325u64;
     for byte in payload.as_bytes() {
         hash ^= u64::from(*byte);
@@ -240,7 +324,7 @@ fn line_checksum(payload: &str) -> u64 {
 /// lowercase hex digits. The tab can never appear inside the payload (the
 /// JSON writer escapes control characters), so the loader can split
 /// unambiguously from the right.
-fn checksummed_line(payload: &str) -> String {
+pub(crate) fn checksummed_line(payload: &str) -> String {
     debug_assert!(!payload.contains('\n'), "journal lines must be single-line");
     debug_assert!(
         !payload.contains('\t'),
@@ -253,7 +337,7 @@ fn checksummed_line(payload: &str) -> String {
 /// when one is present. Returns `None` for a checksum mismatch (the line
 /// is damaged); bare lines without a checksum pass through untouched for
 /// backward compatibility.
-fn verify_line(line: &str) -> Option<&str> {
+pub(crate) fn verify_line(line: &str) -> Option<&str> {
     match line.rsplit_once('\t') {
         Some((payload, suffix))
             if suffix.len() == 16 && suffix.bytes().all(|b| b.is_ascii_hexdigit()) =>
@@ -432,6 +516,16 @@ mod tests {
         p
     }
 
+    fn header(implementation: &str, seed: u64) -> JournalHeader {
+        JournalHeader {
+            implementation: implementation.into(),
+            seed,
+            threshold: 0.5,
+            memoize: Some(true),
+            impairment: Some("none".into()),
+        }
+    }
+
     #[test]
     fn outcomes_roundtrip_through_json() {
         let mut o = outcome(7);
@@ -446,11 +540,7 @@ mod tests {
     #[test]
     fn write_then_load_preserves_everything() {
         let path = temp_path("roundtrip");
-        let header = JournalHeader {
-            implementation: "Linux 3.13".into(),
-            seed: 42,
-            threshold: 0.5,
-        };
+        let header = header("Linux 3.13", 42);
         let mut w = JournalWriter::create(&path, &header).unwrap();
         w.record(&outcome(1)).unwrap();
         w.record(&outcome(2)).unwrap();
@@ -466,11 +556,7 @@ mod tests {
     #[test]
     fn partial_final_line_is_skipped_not_fatal() {
         let path = temp_path("partial");
-        let header = JournalHeader {
-            implementation: "x".into(),
-            seed: 1,
-            threshold: 0.5,
-        };
+        let header = header("x", 1);
         let mut w = JournalWriter::create(&path, &header).unwrap();
         w.record(&outcome(1)).unwrap();
         drop(w);
@@ -494,11 +580,7 @@ mod tests {
     #[test]
     fn stalled_outcomes_roundtrip_through_the_journal() {
         let path = temp_path("stalled");
-        let header = JournalHeader {
-            implementation: "x".into(),
-            seed: 1,
-            threshold: 0.5,
-        };
+        let header = header("x", 1);
         let mut o = outcome(9);
         o.outcome_kind = OutcomeKind::Stalled;
         o.error = Some("stalled: no outcome within 2s in any of 3 attempts; quarantined".into());
@@ -517,11 +599,7 @@ mod tests {
     #[test]
     fn corrupted_checksum_line_is_skipped_not_trusted() {
         let path = temp_path("corrupt");
-        let header = JournalHeader {
-            implementation: "x".into(),
-            seed: 1,
-            threshold: 0.5,
-        };
+        let header = header("x", 1);
         let mut w = JournalWriter::create(&path, &header).unwrap();
         w.record(&outcome(1)).unwrap();
         w.record(&outcome(2)).unwrap();
@@ -546,10 +624,13 @@ mod tests {
     #[test]
     fn legacy_journals_without_checksums_still_load() {
         let path = temp_path("legacy");
+        // A legacy header predates the memoize/impairment fields too.
         let header = JournalHeader {
             implementation: "x".into(),
             seed: 1,
             threshold: 0.5,
+            memoize: None,
+            impairment: None,
         };
         // A pre-checksum journal: bare JSON lines, no tab suffix.
         let mut text = header.to_json().to_string_compact();
@@ -565,13 +646,55 @@ mod tests {
     }
 
     #[test]
+    fn header_mismatch_reports_every_drifted_field() {
+        let ours = header("x", 1);
+        assert_eq!(ours.mismatch_against(&ours), None);
+
+        let mut other = header("x", 1);
+        other.seed = 2;
+        other.memoize = Some(false);
+        other.impairment = Some("loss=0.02".into());
+        let detail = other.mismatch_against(&ours).expect("must mismatch");
+        assert!(detail.contains("seed"), "{detail}");
+        assert!(detail.contains("memoize=false"), "{detail}");
+        assert!(detail.contains("loss=0.02"), "{detail}");
+
+        // A legacy header that never recorded memoize/impairment matches
+        // any current setting — resuming old journals must keep working.
+        let legacy = JournalHeader {
+            memoize: None,
+            impairment: None,
+            ..header("x", 1)
+        };
+        assert_eq!(legacy.mismatch_against(&ours), None);
+        let mut degraded = ours.clone();
+        degraded.memoize = Some(false);
+        assert!(legacy.mismatch_against(&degraded).is_none());
+    }
+
+    #[test]
+    fn header_roundtrips_with_and_without_optional_fields() {
+        let full = header("Linux 3.13", 9);
+        let back = JournalHeader::from_json(
+            &snake_json::parse(&full.to_json().to_string_compact()).unwrap(),
+        )
+        .unwrap();
+        assert_eq!(back, full);
+        let legacy = JournalHeader {
+            memoize: None,
+            impairment: None,
+            ..header("Linux 3.13", 9)
+        };
+        let text = legacy.to_json().to_string_compact();
+        assert!(!text.contains("memoize"), "absent fields are not written");
+        let back = JournalHeader::from_json(&snake_json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, legacy);
+    }
+
+    #[test]
     fn create_leaves_no_temporary_file_behind() {
         let path = temp_path("atomic");
-        let header = JournalHeader {
-            implementation: "x".into(),
-            seed: 1,
-            threshold: 0.5,
-        };
+        let header = header("x", 1);
         let mut w = JournalWriter::create(&path, &header).unwrap();
         w.record(&outcome(1)).unwrap();
         drop(w);

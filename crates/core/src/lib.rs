@@ -68,6 +68,7 @@ mod campaign;
 mod detect;
 pub mod journal;
 mod manifest;
+mod memostore;
 mod report;
 mod scenario;
 pub mod search;
@@ -80,6 +81,7 @@ pub use campaign::{
 };
 pub use detect::{baseline_valid, detect, detect_enveloped, Envelope, Verdict, DEFAULT_THRESHOLD};
 pub use manifest::build_run_manifest;
+pub use memostore::{scenario_digest, MemoStore, MemoStoreReport, StoreScope, MEMO_STORE_VERSION};
 pub use report::{render_table1, render_table2};
 pub use scenario::{
     Executor, ExecutorOptions, PlannedExecutor, ProtocolKind, RunInfo, ScenarioSpec, TestMetrics,

@@ -1,0 +1,452 @@
+//! Persistent cross-run memo store: an on-disk, append-only cache of
+//! wire-effect fingerprint → verdict entries that survives process exits,
+//! so repeated campaigns (CI sweeps, warm benchmark reps, resumed
+//! explorations) stop paying for verdicts they have already established.
+//!
+//! The file reuses the journal's torn-line-tolerant framing: one compact
+//! JSON payload per line with a trailing FNV-1a checksum
+//! (`<json>\t<16 hex digits>`), preceded by a version header that is
+//! written to a temporary sibling and renamed into place. Unlike the
+//! journal there is no legacy-format grace: a store line without a valid
+//! checksum is skipped, and a store whose header is missing, malformed or
+//! carries the wrong version is discarded wholesale and recreated — stale
+//! or damaged entries are never trusted (ROADMAP open item 2's
+//! "checksummed, versioned on-disk cache keyed by scenario digest").
+//!
+//! # Keying and invalidation
+//!
+//! Every entry is keyed by a [`StoreScope`] — the scenario digest (an
+//! FNV-1a hash over the full [`ScenarioSpec`] plus the detection threshold
+//! and baseline-ensemble size), the implementation name, the simulation
+//! seed, and the impairment spec — plus the run's two wire-effect
+//! fingerprint lanes. Equal fingerprints under an equal scope mean the
+//! runs were byte-identical on the wire, so the verdict is sound to share
+//! across campaigns; any configuration change lands in a different scope
+//! and can never match stale entries. Mirroring the in-process fingerprint
+//! cache, only unflagged verdicts from completed (`Ok`) runs are
+//! persisted — a flagged outcome also depends on the different-seed
+//! re-test run, which the main run's fingerprint says nothing about.
+//!
+//! # Sharing and concurrency
+//!
+//! The store is safe to share between sequential campaigns of *any*
+//! configuration (entries simply live in different scopes). Concurrent
+//! appenders are tolerated on a best-effort basis: the file is opened in
+//! append mode and each entry is a single short write, so whole-line
+//! interleavings from two processes both survive, and a torn interleave is
+//! caught by the checksum and skipped on the next load. Duplicate keys
+//! keep the first occurrence. Write failures never abort a campaign: one
+//! bounded retry, then writing is disabled for the rest of the run and the
+//! failures are counted in the [`MemoStoreReport`].
+
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, BufRead, BufReader, Write};
+use std::path::{Path, PathBuf};
+
+use snake_json::{obj, FromJson, ObjExt, ToJson, Value};
+use snake_netsim::FxHashMap;
+
+use crate::detect::Verdict;
+use crate::journal::{checksummed_line, verify_line};
+use crate::scenario::ScenarioSpec;
+
+/// On-disk format version. A header carrying any other version causes the
+/// whole store to be discarded and recreated — entries written by a
+/// different format are rejected, never reinterpreted.
+pub const MEMO_STORE_VERSION: u64 = 1;
+
+/// The configuration slice an entry is valid under. Two campaigns share
+/// entries exactly when their scopes are equal; everything that can change
+/// a verdict (scenario shape, threshold, ensemble size, seed, impairments,
+/// implementation) is folded into the scope, so a stale entry can never
+/// match a changed configuration.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct StoreScope {
+    /// FNV-1a digest over the scenario spec, threshold and baseline reps
+    /// (see [`scenario_digest`]).
+    pub scenario_digest: u64,
+    /// Implementation under test.
+    pub implementation: String,
+    /// Simulation seed.
+    pub seed: u64,
+    /// Bottleneck impairment spec (`Display` form, `"none"` when
+    /// unimpaired).
+    pub impairment: String,
+}
+
+/// What the persistent store did during one campaign — surfaced on
+/// [`CampaignResult::memo_store`](crate::CampaignResult::memo_store), in
+/// the run manifest's `memo_store` section and the observe summary.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemoStoreReport {
+    /// Well-formed entries loaded from disk, across all scopes.
+    pub entries_loaded: usize,
+    /// Loaded entries matching this campaign's scope.
+    pub entries_valid: usize,
+    /// Lines rejected on load: failed checksums, malformed payloads, or a
+    /// wholesale discard after a missing/wrong-version header.
+    pub entries_skipped: usize,
+    /// Completed fresh runs whose fingerprint (and verdict) the store
+    /// already knew from an earlier campaign.
+    pub cross_run_hits: usize,
+    /// Completed fresh runs eligible for a cross-run hit (everything that
+    /// actually executed, as opposed to inert-elided or class-shared
+    /// outcomes).
+    pub eligible_runs: usize,
+    /// New entries appended during this campaign.
+    pub appended: usize,
+    /// Append attempts that failed even after the bounded retry (writing
+    /// is disabled after the first such failure; the campaign continues).
+    pub write_failures: usize,
+    /// Store entries whose recorded verdict disagreed with the freshly
+    /// computed one. The computed verdict always wins; a nonzero count
+    /// means the store was damaged in a checksum-preserving way and should
+    /// be deleted.
+    pub verdict_mismatches: usize,
+}
+
+impl MemoStoreReport {
+    /// Fraction of eligible fresh runs whose verdict the store already
+    /// knew (0.0 when nothing was eligible).
+    pub fn hit_rate(&self) -> f64 {
+        if self.eligible_runs == 0 {
+            0.0
+        } else {
+            self.cross_run_hits as f64 / self.eligible_runs as f64
+        }
+    }
+}
+
+/// Stable FNV-1a digest of everything scenario-side that can influence a
+/// verdict: the full [`ScenarioSpec`] (topology, workload, budgets, seed,
+/// impairments), the detection threshold, and the baseline-ensemble size.
+/// Hashing the spec's `Debug` rendering deliberately over-approximates —
+/// any representational change (a new field, a reordered one) moves the
+/// digest and invalidates old entries in the safe direction.
+pub fn scenario_digest(spec: &ScenarioSpec, threshold: f64, baseline_reps: usize) -> u64 {
+    let text = format!("{spec:?}|threshold={threshold}|baseline_reps={baseline_reps}");
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for byte in text.as_bytes() {
+        hash ^= u64::from(*byte);
+        hash = hash.wrapping_mul(0x100_0000_01b3);
+    }
+    hash
+}
+
+/// The persistent store: loaded entries (all scopes) plus an append handle
+/// for new ones. Opened once per campaign by `Campaign::run`.
+#[derive(Debug)]
+pub struct MemoStore {
+    path: PathBuf,
+    /// `None` once appending has been disabled by a persistent write
+    /// failure — lookups keep working, the campaign keeps going.
+    file: Option<File>,
+    entries: FxHashMap<StoreScope, FxHashMap<(u64, u64), Verdict>>,
+    entries_loaded: usize,
+    entries_skipped: usize,
+    appended: usize,
+    write_failures: usize,
+}
+
+impl MemoStore {
+    /// Opens (or creates) the store at `path`: loads every well-formed
+    /// entry, skipping damaged lines, and discarding the whole file when
+    /// the version header is missing or wrong. Returns an error only for
+    /// real I/O failures (unreadable path, permission denied) — a damaged
+    /// or empty store is recoverable by construction.
+    pub fn open(path: &Path) -> io::Result<MemoStore> {
+        let mut entries: FxHashMap<StoreScope, FxHashMap<(u64, u64), Verdict>> =
+            FxHashMap::default();
+        let mut entries_loaded = 0usize;
+        let mut entries_skipped = 0usize;
+        let mut header_ok = false;
+        match File::open(path) {
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+            Err(e) => return Err(e),
+            Ok(file) => {
+                for (index, line) in BufReader::new(file).lines().enumerate() {
+                    let line = line?;
+                    if line.trim().is_empty() {
+                        continue;
+                    }
+                    // Unlike the journal there is no pre-checksum legacy:
+                    // a line without a valid checksum is damage, full stop.
+                    let payload = match verify_line(&line) {
+                        Some(p) if p.len() + 17 == line.len() => p,
+                        _ => {
+                            entries_skipped += 1;
+                            continue;
+                        }
+                    };
+                    let Ok(parsed) = snake_json::parse(payload) else {
+                        entries_skipped += 1;
+                        continue;
+                    };
+                    match parsed.req_str("type") {
+                        Ok("memostore") if index == 0 => {
+                            header_ok = parsed.get("version").and_then(Value::as_u64)
+                                == Some(MEMO_STORE_VERSION);
+                        }
+                        Ok("entry") => match parse_entry(&parsed) {
+                            Some((scope, fp, verdict)) => {
+                                entries_loaded += 1;
+                                entries
+                                    .entry(scope)
+                                    .or_default()
+                                    .entry(fp)
+                                    .or_insert(verdict);
+                            }
+                            None => entries_skipped += 1,
+                        },
+                        _ => entries_skipped += 1,
+                    }
+                }
+            }
+        }
+        if !header_ok {
+            // Missing file, torn header, or a different format version:
+            // whatever was there is rejected wholesale and the store is
+            // recreated fresh (header to a temp sibling, then rename — a
+            // crash here leaves the old file or a complete new header,
+            // never a torn one).
+            entries_skipped += entries_loaded;
+            entries_loaded = 0;
+            entries.clear();
+            let mut tmp = path.as_os_str().to_owned();
+            tmp.push(".tmp");
+            let tmp_path = PathBuf::from(tmp);
+            let mut file = File::create(&tmp_path)?;
+            let header = obj([
+                ("type", Value::Str("memostore".into())),
+                ("version", Value::U64(MEMO_STORE_VERSION)),
+            ]);
+            file.write_all(checksummed_line(&header.to_string_compact()).as_bytes())?;
+            file.flush()?;
+            file.sync_all()?;
+            fs::rename(&tmp_path, path)?;
+            return Ok(MemoStore {
+                path: path.to_owned(),
+                file: Some(file),
+                entries,
+                entries_loaded,
+                entries_skipped,
+                appended: 0,
+                write_failures: 0,
+            });
+        }
+        // Valid store: reopen for appending. A previous writer killed
+        // mid-line may have left no trailing newline; add one so the torn
+        // fragment cannot glue onto the next entry.
+        use std::io::{Read, Seek, SeekFrom};
+        let mut file = OpenOptions::new().read(true).append(true).open(path)?;
+        let len = file.metadata()?.len();
+        if len > 0 {
+            file.seek(SeekFrom::End(-1))?;
+            let mut last = [0u8; 1];
+            file.read_exact(&mut last)?;
+            if last[0] != b'\n' {
+                file.write_all(b"\n")?;
+                file.flush()?;
+            }
+        }
+        Ok(MemoStore {
+            path: path.to_owned(),
+            file: Some(file),
+            entries,
+            entries_loaded,
+            entries_skipped,
+            appended: 0,
+            write_failures: 0,
+        })
+    }
+
+    /// The entries recorded for `scope` (a clone; the campaign consults it
+    /// lock-free while the store itself stays behind the memo ledger).
+    pub fn scope_entries(&self, scope: &StoreScope) -> FxHashMap<(u64, u64), Verdict> {
+        self.entries.get(scope).cloned().unwrap_or_default()
+    }
+
+    /// Records one fingerprint → verdict entry, appending it to disk
+    /// unless the key is already present. Write failures are absorbed: one
+    /// bounded retry, then appending is disabled for the rest of the run
+    /// (counted in [`write_failures`](Self::write_failures)) — a broken
+    /// disk must not break the campaign.
+    pub fn insert(&mut self, scope: &StoreScope, fp: (u64, u64), verdict: Verdict) {
+        let slot = self.entries.entry(scope.clone()).or_default();
+        if slot.contains_key(&fp) {
+            return;
+        }
+        slot.insert(fp, verdict);
+        let Some(file) = &mut self.file else { return };
+        let line = checksummed_line(&entry_json(scope, fp, verdict).to_string_compact());
+        let write = |file: &mut File| -> io::Result<()> {
+            file.write_all(line.as_bytes())?;
+            file.flush()
+        };
+        if write(file).is_err() && write(file).is_err() {
+            self.write_failures += 1;
+            self.file = None;
+            return;
+        }
+        self.appended += 1;
+    }
+
+    /// The store's path (for diagnostics).
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Well-formed entries loaded from disk, across all scopes.
+    pub fn entries_loaded(&self) -> usize {
+        self.entries_loaded
+    }
+
+    /// Lines rejected on load (damaged, malformed, or wrong-version).
+    pub fn entries_skipped(&self) -> usize {
+        self.entries_skipped
+    }
+
+    /// New entries appended during this run.
+    pub fn appended(&self) -> usize {
+        self.appended
+    }
+
+    /// Append attempts that failed after the bounded retry.
+    pub fn write_failures(&self) -> usize {
+        self.write_failures
+    }
+}
+
+fn entry_json(scope: &StoreScope, fp: (u64, u64), verdict: Verdict) -> Value {
+    obj([
+        ("type", Value::Str("entry".into())),
+        ("scenario", Value::U64(scope.scenario_digest)),
+        ("impl", Value::Str(scope.implementation.clone())),
+        ("seed", Value::U64(scope.seed)),
+        ("impair", Value::Str(scope.impairment.clone())),
+        ("fp_a", Value::U64(fp.0)),
+        ("fp_b", Value::U64(fp.1)),
+        ("verdict", verdict.to_json()),
+    ])
+}
+
+fn parse_entry(value: &Value) -> Option<(StoreScope, (u64, u64), Verdict)> {
+    let scope = StoreScope {
+        scenario_digest: value.req_u64("scenario").ok()?,
+        implementation: value.req_str("impl").ok()?.to_owned(),
+        seed: value.req_u64("seed").ok()?,
+        impairment: value.req_str("impair").ok()?.to_owned(),
+    };
+    let fp = (value.req_u64("fp_a").ok()?, value.req_u64("fp_b").ok()?);
+    let verdict = Verdict::from_json(value.req("verdict").ok()?).ok()?;
+    // The fingerprint-cache rule carries over to disk: flagged verdicts
+    // are never persisted, so a flagged entry is damage (or tampering)
+    // regardless of its checksum.
+    if verdict.flagged() {
+        return None;
+    }
+    Some((scope, fp, verdict))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::ProtocolKind;
+    use snake_netsim::Impairment;
+    use snake_tcp::Profile;
+
+    fn temp_store(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!(
+            "snake-memostore-unit-{}-{name}.jsonl",
+            std::process::id()
+        ));
+        std::fs::remove_file(&p).ok();
+        p
+    }
+
+    fn scope(seed: u64) -> StoreScope {
+        StoreScope {
+            scenario_digest: 0xdead_beef,
+            implementation: "Linux 3.13".into(),
+            seed,
+            impairment: "none".into(),
+        }
+    }
+
+    #[test]
+    fn digest_moves_with_every_verdict_relevant_knob() {
+        let spec = ScenarioSpec::quick(ProtocolKind::Tcp(Profile::linux_3_13()));
+        let base = scenario_digest(&spec, 0.5, 1);
+        assert_eq!(base, scenario_digest(&spec.clone(), 0.5, 1), "stable");
+        assert_ne!(base, scenario_digest(&spec, 0.4, 1), "threshold");
+        assert_ne!(base, scenario_digest(&spec, 0.5, 3), "baseline reps");
+        let mut other = spec.clone();
+        other.seed += 1;
+        assert_ne!(base, scenario_digest(&other, 0.5, 1), "seed");
+        let impaired = spec
+            .clone()
+            .with_impairment(Impairment::preset("lossy").unwrap());
+        assert_ne!(base, scenario_digest(&impaired, 0.5, 1), "impairment");
+        let mut shorter = spec;
+        shorter.data_secs -= 1;
+        assert_ne!(base, scenario_digest(&shorter, 0.5, 1), "workload");
+    }
+
+    #[test]
+    fn entries_roundtrip_and_dedup() {
+        let path = temp_store("roundtrip");
+        let mut store = MemoStore::open(&path).unwrap();
+        let v = Verdict::default();
+        store.insert(&scope(1), (10, 20), v);
+        store.insert(&scope(1), (10, 20), v); // duplicate: not re-appended
+        store.insert(&scope(2), (10, 20), v); // same fp, different scope
+        assert_eq!(store.appended(), 2);
+        drop(store);
+
+        let store = MemoStore::open(&path).unwrap();
+        assert_eq!(store.entries_loaded(), 2);
+        assert_eq!(store.entries_skipped(), 0);
+        assert_eq!(store.scope_entries(&scope(1)).len(), 1);
+        assert_eq!(store.scope_entries(&scope(2)).len(), 1);
+        assert!(store.scope_entries(&scope(3)).is_empty());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn flagged_entries_are_never_trusted_from_disk() {
+        let path = temp_store("flagged");
+        let mut store = MemoStore::open(&path).unwrap();
+        // Forge a flagged entry through the writer (the campaign never
+        // inserts one; this simulates checksum-valid tampering).
+        let flagged = Verdict {
+            throughput_degradation: true,
+            ..Verdict::default()
+        };
+        store.insert(&scope(1), (1, 1), flagged);
+        drop(store);
+        let store = MemoStore::open(&path).unwrap();
+        assert_eq!(store.entries_loaded(), 0);
+        assert_eq!(store.entries_skipped(), 1);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn unversioned_store_is_discarded_and_recreated() {
+        let path = temp_store("unversioned");
+        // A file with entry lines but no header: everything is rejected.
+        let mut store = MemoStore::open(&path).unwrap();
+        store.insert(&scope(1), (1, 2), Verdict::default());
+        drop(store);
+        let text = std::fs::read_to_string(&path).unwrap();
+        let body: String = text.lines().skip(1).map(|l| format!("{l}\n")).collect();
+        std::fs::write(&path, body).unwrap();
+        let store = MemoStore::open(&path).unwrap();
+        assert_eq!(store.entries_loaded(), 0);
+        assert_eq!(store.entries_skipped(), 1, "the orphaned entry is rejected");
+        // The file was recreated with a fresh header and is usable again.
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"memostore\""));
+        std::fs::remove_file(&path).ok();
+    }
+}

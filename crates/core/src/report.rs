@@ -94,6 +94,7 @@ mod tests {
             escalated: 0,
             stalls: 0,
             quarantined: 0,
+            memo_store: None,
         }
     }
 

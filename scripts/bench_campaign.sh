@@ -20,6 +20,12 @@
 # record the cross-commit speedup alongside the same-binary one. If the
 # comparator commit is unreachable (shallow clone) the script degrades to
 # the same-binary comparison only.
+#
+# The bench additionally runs a warm-store rep: mode (1) twice against one
+# persistent memo store (--memo-store), cold then warm, asserting the warm
+# rerun is bit-identical and serves >= 50% of its eligible runs from disk;
+# the figures land in the JSON's `warm_store` block. The store file is
+# kept at $SNAKE_MEMO_STORE when set (CI archives it), else a temp file.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 

@@ -183,6 +183,72 @@ fn resume_refuses_a_journal_from_a_different_campaign() {
 }
 
 #[test]
+fn resume_refuses_a_journal_with_different_memoization() {
+    // Memo markers are part of each journaled outcome, so replaying a
+    // memoized journal into an unmemoized campaign (or vice versa) would
+    // silently change the resumed counters. The header records the
+    // setting and resume must reject the drift, naming it.
+    let path = temp_journal("memo-drift");
+    let config = |memoize: bool, resume: bool| {
+        CampaignConfig::builder(quick_tcp())
+            .cap(3)
+            .feedback_rounds(1)
+            .retest(false)
+            .memoize(memoize)
+            .journal(path.clone())
+            .resume(resume)
+            .build()
+            .expect("valid config")
+    };
+    Campaign::run(config(true, false)).unwrap();
+
+    match Campaign::run(config(false, true)) {
+        Err(CampaignError::JournalMismatch { detail, .. }) => {
+            assert!(detail.contains("memoization"), "{detail}");
+            assert!(
+                detail.contains("memoize=true") && detail.contains("memoize=false"),
+                "the detail must name both sides: {detail}"
+            );
+        }
+        other => panic!("expected JournalMismatch, got {other:?}"),
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn resume_refuses_a_journal_with_different_impairment() {
+    // The impairment spec changes every wire trace, so outcomes journaled
+    // under one link profile are not comparable to a campaign running
+    // another. The header records the spec and resume must reject drift.
+    let path = temp_journal("impair-drift");
+    let config = |spec: ScenarioSpec, resume: bool| {
+        CampaignConfig::builder(spec)
+            .cap(3)
+            .feedback_rounds(1)
+            .retest(false)
+            .journal(path.clone())
+            .resume(resume)
+            .build()
+            .expect("valid config")
+    };
+    Campaign::run(config(quick_tcp(), false)).unwrap();
+
+    let impaired = quick_tcp()
+        .with_impairment(snake_netsim::Impairment::preset("light").expect("built-in preset"));
+    match Campaign::run(config(impaired, true)) {
+        Err(CampaignError::JournalMismatch { detail, .. }) => {
+            assert!(detail.contains("impairment"), "{detail}");
+            assert!(
+                detail.contains("none"),
+                "the detail must name the journal's impairment: {detail}"
+            );
+        }
+        other => panic!("expected JournalMismatch, got {other:?}"),
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
 fn budget_truncation_is_deterministic_and_reported() {
     // A budget far below what the quick scenario needs: every strategy run
     // is cut short and reported, not silently misjudged.

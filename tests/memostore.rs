@@ -1,0 +1,287 @@
+//! Persistent memo store: the on-disk fingerprint→verdict cache must be
+//! invisible to campaign outcomes (store on/off and cold/warm runs are
+//! bit-identical, provenance markers included), deliver real cross-run
+//! hits on a warm rerun, and shrug off every kind of file damage — torn
+//! final records, bit flips, wrong-version headers, and interleaved
+//! concurrent writers — by skipping or discarding, never by trusting a
+//! damaged entry.
+
+use std::path::PathBuf;
+
+use snake_core::{
+    Campaign, CampaignConfig, CampaignResult, MemoStoreReport, ProtocolKind, ScenarioSpec,
+};
+use snake_dccp::DccpProfile;
+use snake_tcp::Profile;
+
+/// Every implementation profile the repo ships.
+fn all_protocols() -> Vec<ProtocolKind> {
+    let mut out: Vec<ProtocolKind> = Profile::all().into_iter().map(ProtocolKind::Tcp).collect();
+    out.push(ProtocolKind::Dccp(DccpProfile::linux_3_13()));
+    out.push(ProtocolKind::Dccp(DccpProfile::linux_3_13_seqcheck_fixed()));
+    out
+}
+
+fn temp_store(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!(
+        "snake-memostore-{}-{name}.jsonl",
+        std::process::id()
+    ));
+    std::fs::remove_file(&p).ok();
+    p
+}
+
+fn campaign(spec: ScenarioSpec, cap: usize, store: Option<PathBuf>) -> CampaignResult {
+    let mut builder = CampaignConfig::builder(spec)
+        .cap(cap)
+        .feedback_rounds(1)
+        .retest(false)
+        .parallelism(2)
+        .memoize(true);
+    if let Some(path) = store {
+        builder = builder.memo_store(path);
+    }
+    Campaign::run(builder.build().expect("valid config")).expect("valid baseline")
+}
+
+fn quick_tcp() -> ScenarioSpec {
+    ScenarioSpec::quick(ProtocolKind::Tcp(Profile::linux_3_13()))
+}
+
+fn report(result: &CampaignResult) -> MemoStoreReport {
+    result.memo_store.expect("store was configured and active")
+}
+
+/// The store file's line framing, hand-rolled: the framing helpers are
+/// crate-private on purpose, and forging lines independently is exactly
+/// what an adversarial test should do anyway.
+fn fnv1a(payload: &str) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for byte in payload.as_bytes() {
+        hash ^= u64::from(*byte);
+        hash = hash.wrapping_mul(0x100_0000_01b3);
+    }
+    hash
+}
+
+fn checksummed(payload: &str) -> String {
+    format!("{payload}\t{:016x}\n", fnv1a(payload))
+}
+
+#[test]
+fn store_is_invisible_to_outcomes_on_every_profile() {
+    // Three runs per profile: without a store, with a cold store, and with
+    // the now-warm store. All three must agree bit for bit — markers
+    // included — because store-loaded verdicts feed counters, never
+    // outcomes.
+    for protocol in all_protocols() {
+        let spec = ScenarioSpec::quick(protocol);
+        let name = spec.protocol.implementation_name().to_owned();
+        let path = temp_store(&format!(
+            "profiles-{}",
+            name.replace(|c: char| !c.is_ascii_alphanumeric(), "-")
+        ));
+        let bare = campaign(spec.clone(), 24, None);
+        let cold = campaign(spec.clone(), 24, Some(path.clone()));
+        let warm = campaign(spec, 24, Some(path.clone()));
+        assert_eq!(
+            bare.outcomes, cold.outcomes,
+            "{name}: the store changed outcomes against a store-less run"
+        );
+        assert_eq!(
+            cold.outcomes, warm.outcomes,
+            "{name}: a warm store changed outcomes against the cold run"
+        );
+        assert!(bare.memo_store.is_none(), "{name}: no store was configured");
+        assert_eq!(report(&cold).cross_run_hits, 0, "{name}: cold store");
+        assert!(
+            report(&warm).cross_run_hits > 0,
+            "{name}: the warm rerun must actually hit the store"
+        );
+        assert_eq!(report(&warm).verdict_mismatches, 0, "{name}");
+        std::fs::remove_file(&path).ok();
+    }
+}
+
+#[test]
+fn warm_rerun_hits_at_least_half_of_eligible_runs() {
+    let path = temp_store("warm-hit-rate");
+    let cold = campaign(quick_tcp(), 40, Some(path.clone()));
+    let cold_report = report(&cold);
+    assert!(cold_report.appended > 0, "cold run must populate the store");
+    assert_eq!(cold_report.cross_run_hits, 0);
+
+    let warm = campaign(quick_tcp(), 40, Some(path.clone()));
+    let warm_report = report(&warm);
+    assert_eq!(
+        warm.outcomes, cold.outcomes,
+        "warm rerun must be bit-identical to the cold run"
+    );
+    assert!(
+        warm_report.hit_rate() >= 0.5,
+        "warm rerun must serve at least half its eligible runs from the \
+         store: {warm_report:?}"
+    );
+    assert_eq!(
+        warm_report.appended, 0,
+        "an identical rerun has nothing new to append: {warm_report:?}"
+    );
+    assert_eq!(warm_report.verdict_mismatches, 0);
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn truncated_final_record_is_skipped_not_trusted() {
+    let path = temp_store("torn-tail");
+    let cold = campaign(quick_tcp(), 24, Some(path.clone()));
+    assert!(
+        report(&cold).appended > 0,
+        "cold run must populate the store"
+    );
+
+    // A writer killed mid-append leaves a torn final line. Cut the last
+    // record in half (no trailing newline either).
+    let text = std::fs::read_to_string(&path).unwrap();
+    let last = text.lines().last().unwrap();
+    let torn = &text[..text.len() - 1 - last.len() / 2];
+    assert!(!torn.ends_with('\n'));
+    std::fs::write(&path, torn).unwrap();
+
+    let warm = campaign(quick_tcp(), 24, Some(path.clone()));
+    let warm_report = report(&warm);
+    assert_eq!(warm.outcomes, cold.outcomes);
+    assert!(
+        warm_report.entries_skipped >= 1,
+        "the torn record must be rejected: {warm_report:?}"
+    );
+    assert_eq!(
+        warm_report.appended, 1,
+        "the lost entry is re-learned and re-appended: {warm_report:?}"
+    );
+    // The re-append must not have glued onto the torn fragment: a third
+    // run loads a fully healthy store.
+    let third = campaign(quick_tcp(), 24, Some(path.clone()));
+    let third_report = report(&third);
+    assert_eq!(third_report.entries_skipped, 1, "{third_report:?}");
+    assert_eq!(third_report.appended, 0, "{third_report:?}");
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn bit_flipped_record_fails_its_checksum_and_is_skipped() {
+    let path = temp_store("bit-flip");
+    let cold = campaign(quick_tcp(), 24, Some(path.clone()));
+
+    // Flip one payload byte of the second line (the first entry after the
+    // header), keeping the stored checksum. The length-preserving damage
+    // can only be caught by the checksum itself.
+    let text = std::fs::read_to_string(&path).unwrap();
+    let mut lines: Vec<String> = text.lines().map(str::to_owned).collect();
+    assert!(lines.len() >= 2, "cold run must have appended entries");
+    let mut damaged = lines[1].clone().into_bytes();
+    let flip = damaged.iter().position(|b| *b == b':').unwrap();
+    damaged[flip - 1] ^= 0x01; // an ASCII payload byte: still valid UTF-8
+    lines[1] = String::from_utf8(damaged).unwrap();
+    let rewritten: String = lines.iter().map(|l| format!("{l}\n")).collect();
+    std::fs::write(&path, rewritten).unwrap();
+
+    let warm = campaign(quick_tcp(), 24, Some(path.clone()));
+    let warm_report = report(&warm);
+    assert_eq!(warm.outcomes, cold.outcomes);
+    assert_eq!(
+        warm_report.entries_skipped, 1,
+        "the flipped record must fail verification: {warm_report:?}"
+    );
+    assert_eq!(
+        warm_report.entries_loaded + warm_report.entries_skipped,
+        report(&cold).appended,
+        "every cold-run entry is accounted for, loaded or skipped: {warm_report:?}"
+    );
+    assert_eq!(
+        warm_report.appended, 1,
+        "the damaged entry is re-learned and re-appended: {warm_report:?}"
+    );
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn wrong_version_header_discards_the_store_wholesale() {
+    let path = temp_store("wrong-version");
+    let cold = campaign(quick_tcp(), 24, Some(path.clone()));
+    let appended = report(&cold).appended;
+    assert!(appended > 0);
+
+    // Rewrite the header as a *correctly checksummed* future version: the
+    // loader must reject on the version field, not the framing.
+    let text = std::fs::read_to_string(&path).unwrap();
+    let mut lines: Vec<String> = text.lines().map(str::to_owned).collect();
+    lines[0] = checksummed("{\"type\":\"memostore\",\"version\":2}")
+        .trim_end()
+        .to_owned();
+    let rewritten: String = lines.iter().map(|l| format!("{l}\n")).collect();
+    std::fs::write(&path, rewritten).unwrap();
+
+    let warm = campaign(quick_tcp(), 24, Some(path.clone()));
+    let warm_report = report(&warm);
+    assert_eq!(warm.outcomes, cold.outcomes);
+    assert_eq!(
+        warm_report.entries_loaded, 0,
+        "no future-format entry may be reinterpreted: {warm_report:?}"
+    );
+    assert_eq!(
+        warm_report.entries_skipped, appended,
+        "every entry under the wrong-version header is rejected: {warm_report:?}"
+    );
+    assert_eq!(warm_report.cross_run_hits, 0, "{warm_report:?}");
+    assert_eq!(
+        warm_report.appended, appended,
+        "the recreated store is repopulated from scratch: {warm_report:?}"
+    );
+    // The recreated store carries the current version and works again.
+    let third = campaign(quick_tcp(), 24, Some(path.clone()));
+    assert!(report(&third).cross_run_hits > 0);
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn concurrent_writer_interleavings_are_tolerated() {
+    let path = temp_store("interleave");
+    let cold = campaign(quick_tcp(), 24, Some(path.clone()));
+    let appended = report(&cold).appended;
+
+    // Simulate a second campaign process appending concurrently: whole
+    // foreign-scope lines land between ours (both survive), and one torn
+    // interleave — a fragment of a record with no newline — ends the file
+    // (caught by the checksum, skipped).
+    let foreign = checksummed(
+        "{\"type\":\"entry\",\"scenario\":12345,\"impl\":\"Other 1.0\",\
+         \"seed\":7,\"impair\":\"none\",\"fp_a\":1,\"fp_b\":2,\
+         \"verdict\":{\"establishment_prevented\":false,\
+         \"throughput_degradation\":false,\"throughput_gain\":false,\
+         \"competing_degradation\":false,\"socket_leak\":false}}",
+    );
+    let text = std::fs::read_to_string(&path).unwrap();
+    let mut lines: Vec<String> = text.lines().map(|l| format!("{l}\n")).collect();
+    lines.insert(1, foreign.clone());
+    lines.push(foreign[..foreign.len() / 2].to_owned()); // torn, no newline
+    std::fs::write(&path, lines.concat()).unwrap();
+
+    let warm = campaign(quick_tcp(), 24, Some(path.clone()));
+    let warm_report = report(&warm);
+    assert_eq!(warm.outcomes, cold.outcomes);
+    assert_eq!(
+        warm_report.entries_loaded,
+        appended + 1,
+        "our entries and the whole foreign line all load: {warm_report:?}"
+    );
+    assert_eq!(
+        warm_report.entries_skipped, 1,
+        "the torn interleave is skipped: {warm_report:?}"
+    );
+    assert!(
+        warm_report.hit_rate() >= 0.5,
+        "foreign-scope entries must not dilute our hits: {warm_report:?}"
+    );
+    std::fs::remove_file(&path).ok();
+}

@@ -180,6 +180,11 @@ fn stalling_strategy_is_quarantined_and_survives_resume() {
             .feedback_rounds(1)
             .retest(false)
             .parallelism(2)
+            // The fault hook forces memoization off and the journal header
+            // records that; the resumed (hook-free) run must match it
+            // explicitly or resume-append would refuse the journal as
+            // memo-setting drift.
+            .memoize(false)
             .journal(path.clone())
             .resume(resume)
             // Comfortably above a healthy quick-scenario evaluation, far
