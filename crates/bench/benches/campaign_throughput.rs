@@ -59,6 +59,16 @@ fn config(
     observer: Option<Arc<Recorder>>,
     memo_store: Option<&Path>,
 ) -> CampaignConfig {
+    config_sharded(snapshot_fork, memoize, observer, memo_store, None)
+}
+
+fn config_sharded(
+    snapshot_fork: bool,
+    memoize: bool,
+    observer: Option<Arc<Recorder>>,
+    memo_store: Option<&Path>,
+    shards: Option<(usize, &Path)>,
+) -> CampaignConfig {
     let spec = ScenarioSpec::quick(ProtocolKind::Tcp(Profile::linux_3_13()));
     let mut builder = CampaignConfig::builder(spec)
         .cap(MAX_STRATEGIES)
@@ -84,7 +94,46 @@ fn config(
     if let Some(path) = memo_store {
         builder = builder.memo_store(path);
     }
+    if let Some((count, bin)) = shards {
+        builder = builder.shards(count).shard_worker_bin(bin);
+    }
     builder.build().expect("valid config")
+}
+
+/// Resolves the `snake` binary the sharded reps spawn as worker
+/// processes: `SNAKE_BIN` when set (CI and `scripts/bench_campaign.sh`
+/// export it after building), otherwise the binary sitting next to this
+/// bench under `target/release`. `None` — with a loud warning from the
+/// caller — when neither exists: `cargo bench` alone does not build
+/// workspace bins, and spawning cargo from inside a bench would deadlock
+/// on the build lock.
+fn snake_bin() -> Option<PathBuf> {
+    if let Some(path) = std::env::var_os("SNAKE_BIN") {
+        return Some(PathBuf::from(path));
+    }
+    let exe = std::env::current_exe().ok()?;
+    let name = format!("snake{}", std::env::consts::EXE_SUFFIX);
+    // Benches run from target/release/deps/; the bin lands one level up.
+    [exe.parent()?, exe.parent()?.parent()?]
+        .iter()
+        .map(|dir| dir.join(&name))
+        .find(|candidate| candidate.exists())
+}
+
+/// One timed from-scratch campaign sharded across `shards` worker
+/// processes. From-scratch (forking and memoization off) so every
+/// strategy costs one full simulation — the cleanest scaling surface.
+fn timed_sharded_once(shards: usize, bin: &Path) -> (CampaignResult, f64) {
+    let start = Instant::now();
+    let result = Campaign::run(config_sharded(
+        false,
+        false,
+        None,
+        None,
+        Some((shards, bin)),
+    ))
+    .expect("valid baseline");
+    (result, start.elapsed().as_secs_f64())
 }
 
 /// Simulator events the campaign accounts for: every outcome's run plus
@@ -249,8 +298,33 @@ fn main() {
         ),
     };
     std::fs::remove_file(&store_path).ok();
-    let (cold_store, cold_store_secs) = timed_store_once(&store_path);
-    let (warm_store, warm_store_secs) = timed_store_once(&store_path);
+    let (cold_store, mut cold_store_secs) = timed_store_once(&store_path);
+    let (warm_store, mut warm_store_secs) = timed_store_once(&store_path);
+    // Cold and warm do near-identical work (the store feeds counters,
+    // never verdicts — §12), so a single pair is decided by scheduler
+    // noise. Alternate two more cold/warm pairs — cold against throwaway
+    // stores, since a cold run needs an empty one — and keep each side's
+    // fastest wall-clock, mirroring timed_quad's min-of-K.
+    let cold_path = std::env::temp_dir().join(format!(
+        "snake-bench-store-cold-{}.jsonl",
+        std::process::id()
+    ));
+    for _ in 0..2 {
+        std::fs::remove_file(&cold_path).ok();
+        let (cold_rep, secs) = timed_store_once(&cold_path);
+        assert_eq!(
+            cold_rep.outcomes, cold_store.outcomes,
+            "cold reps must agree"
+        );
+        cold_store_secs = cold_store_secs.min(secs);
+        let (warm_rep, secs) = timed_store_once(&store_path);
+        assert_eq!(
+            warm_rep.outcomes, warm_store.outcomes,
+            "warm reps must agree"
+        );
+        warm_store_secs = warm_store_secs.min(secs);
+    }
+    std::fs::remove_file(&cold_path).ok();
     assert_eq!(
         cold_store.outcomes, memoized.outcomes,
         "a cold persistent store must not change campaign outcomes"
@@ -271,6 +345,63 @@ fn main() {
     if !keep_store {
         std::fs::remove_file(&store_path).ok();
     }
+
+    // Sharded rep: the from-scratch campaign at S ∈ {1, 2, 4} worker
+    // *processes*, asserting each shard count reproduces the in-process
+    // outcomes exactly. The ≥1.6x scaling gate only applies on machines
+    // with at least four cores — on smaller hosts the figures are still
+    // recorded honestly, they just cannot show parallel speedup.
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let sharded = match snake_bin() {
+        None => {
+            eprintln!(
+                "warning: snake binary not found (set SNAKE_BIN or build \
+                 --release -p snake-core --bin snake); skipping the sharded rep"
+            );
+            None
+        }
+        Some(bin) => {
+            let mut per_shards = Vec::new();
+            for shards in [1usize, 2, 4] {
+                let (result, secs) = timed_sharded_once(shards, &bin);
+                assert_eq!(
+                    result.outcomes, scratch.outcomes,
+                    "{shards}-shard campaign must reproduce the in-process \
+                     campaign exactly"
+                );
+                per_shards.push((shards, secs));
+            }
+            Some(per_shards)
+        }
+    };
+    let scaling_s4 = sharded.as_ref().map(|reps| {
+        let secs_at = |want: usize| {
+            reps.iter()
+                .find(|(s, _)| *s == want)
+                .map(|(_, secs)| *secs)
+                .expect("measured shard count")
+        };
+        secs_at(1) / secs_at(4)
+    });
+    if let Some(scaling) = scaling_s4 {
+        if cores >= 4 {
+            assert!(
+                scaling >= 1.6,
+                "4-shard from-scratch campaign must scale at least 1.6x over \
+                 1 shard on a {cores}-core machine (got {scaling:.2}x)"
+            );
+        }
+    }
+    // Store appends are buffered and flushed at admission checkpoints, so
+    // a warm run must not be meaningfully slower than a cold one. The
+    // structural difference is microseconds on a multi-second campaign;
+    // the 5% tolerance keeps shared-runner noise from flapping the bench
+    // while still catching a reintroduced per-entry write syscall.
+    assert!(
+        cold_store_secs / warm_store_secs >= 0.95,
+        "a warm persistent store must not be slower than a cold one \
+         (cold {cold_store_secs:.3}s vs warm {warm_store_secs:.3}s)"
+    );
 
     let same_binary_speedup = scratch_secs / memo_secs;
     let speedup_memo = forked_secs / memo_secs;
@@ -319,6 +450,20 @@ fn main() {
         ("speedup", Value::F64(speedup)),
         ("observer_overhead", Value::F64(observer_overhead)),
         ("warm_store_hit_rate", Value::F64(warm_report.hit_rate())),
+        (
+            "warm_store_speedup_vs_cold",
+            Value::F64(cold_store_secs / warm_store_secs),
+        ),
+        ("sharded_strategies_per_sec", {
+            match &sharded {
+                None => Value::Null,
+                Some(reps) => Value::Obj(
+                    reps.iter()
+                        .map(|(s, secs)| (format!("s{s}"), Value::F64(n / secs)))
+                        .collect(),
+                ),
+            }
+        }),
     ]));
     if history.len() > HISTORY_CAP {
         let excess = history.len() - HISTORY_CAP;
@@ -369,6 +514,26 @@ fn main() {
         ("speedup", Value::F64(speedup)),
         ("history", Value::Arr(history)),
     ]);
+    if let (Some(reps), Value::Obj(pairs)) = (&sharded, &mut report) {
+        let shard_blocks: Vec<(String, Value)> = reps
+            .iter()
+            .map(|(s, secs)| {
+                (
+                    format!("s{s}"),
+                    obj([
+                        ("wall_clock_secs", Value::F64(*secs)),
+                        ("strategies_per_sec", Value::F64(n / secs)),
+                    ]),
+                )
+            })
+            .collect();
+        let mut block = shard_blocks;
+        block.push(("worker_cores".to_owned(), Value::U64(cores as u64)));
+        if let Some(scaling) = scaling_s4 {
+            block.push(("scaling_s4_over_s1".to_owned(), Value::F64(scaling)));
+        }
+        pairs.push(("sharded".to_owned(), Value::Obj(block)));
+    }
     if let (Some((commit, secs)), Value::Obj(pairs)) = (&pre_pr, &mut report) {
         pairs.push((
             "pre_pr".to_owned(),
@@ -437,6 +602,17 @@ fn main() {
         warm_report.eligible_runs,
         warm_report.hit_rate() * 100.0
     );
+    if let Some(reps) = &sharded {
+        for (s, secs) in reps {
+            println!(
+                "  sharded S={s}:   {secs:.2}s  ({:.1} strategies/s, from scratch)",
+                n / secs
+            );
+        }
+        if let Some(scaling) = scaling_s4 {
+            println!("  shard scaling: {scaling:.2}x at S=4 over S=1 ({cores} core(s))");
+        }
+    }
     if let Some((commit, secs)) = &pre_pr {
         println!(
             "  pre-change from-scratch ({}): {secs:.2}s",

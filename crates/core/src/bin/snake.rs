@@ -5,6 +5,7 @@
 //! snake baseline --impl linux-3.13        run the no-attack scenario
 //! snake campaign --impl linux-3.0.0       full state-based search
 //!               [--cap N] [--quick] [--manifest FILE] [--observe-summary] …
+//! snake shard-worker --connect ADDR       executor process for --shards
 //! snake replay --attack close-wait        replay a named Table II attack
 //! snake search-space                      the §VI-C injection-model comparison
 //! ```
@@ -173,7 +174,26 @@ const COMMANDS: &[CommandSpec] = &[
             ),
             value("--manifest", "FILE", "write the observability run manifest"),
             switch("--observe-summary", "print the observability summary"),
+            value(
+                "--shards",
+                "N",
+                "run strategies across N worker processes (0 = in-process)",
+            ),
+            value(
+                "--shard-listen",
+                "ADDR",
+                "listen on ADDR for externally launched shard workers",
+            ),
         ],
+    },
+    CommandSpec {
+        name: "shard-worker",
+        summary: "connect to a campaign controller as a shard executor",
+        flags: &[value(
+            "--connect",
+            "ADDR",
+            "controller address printed by `snake campaign --shard-listen`",
+        )],
     },
     CommandSpec {
         name: "replay",
@@ -305,6 +325,7 @@ fn main() -> ExitCode {
                 "list" => cmd_list(),
                 "baseline" => cmd_baseline(spec, &flags),
                 "campaign" => cmd_campaign(spec, &flags),
+                "shard-worker" => cmd_shard_worker(&flags),
                 "replay" => cmd_replay(&flags),
                 "search-space" => cmd_search_space(),
                 other => unreachable!("command {other} declared but not dispatched"),
@@ -514,10 +535,24 @@ fn campaign_config(
         })?;
         builder = builder.chaos(plan);
     }
+    if let Some(shards) = flags.parsed(flag_spec(command, "--shards"))? {
+        builder = builder.shards(shards);
+    }
+    if let Some(addr) = flags.get("--shard-listen") {
+        builder = builder.shard_listen(addr);
+    }
     if let Some(recorder) = observer {
         builder = builder.observer(recorder);
     }
     builder.build().map_err(|e| e.to_string())
+}
+
+/// `snake shard-worker --connect ADDR` — the executor half of the
+/// controller/executor split. Normally spawned by the controller itself
+/// (`--shards N`); invoked by hand only against `--shard-listen`.
+fn cmd_shard_worker(flags: &ParsedFlags<'_>) -> Result<(), String> {
+    let addr = flags.get("--connect").ok_or("missing --connect <ADDR>")?;
+    snake_core::run_shard_worker(addr).map_err(|e| format!("shard worker: {e}"))
 }
 
 fn cmd_campaign(command: &CommandSpec, flags: &ParsedFlags<'_>) -> Result<(), String> {
@@ -686,6 +721,19 @@ fn print_observe_summary(
             "  workers: {} batch-worker lifetimes, mean busy {:.3}s",
             busy.count,
             busy.mean() as f64 / 1e9
+        );
+    }
+    if snapshot.counter("shard.workers") > 0 {
+        let busy = snapshot.histograms.get("shard.busy_nanos");
+        let idle = snapshot.histograms.get("shard.idle_nanos");
+        eprintln!(
+            "  shards: {} worker(s), {} range(s) dispatched ({} re-dispatched), \
+             mean busy {:.3}s / idle {:.3}s",
+            snapshot.counter("shard.workers"),
+            snapshot.counter("shard.ranges_dispatched"),
+            snapshot.counter("shard.ranges_redispatched"),
+            busy.map_or(0.0, |h| h.mean() as f64 / 1e9),
+            idle.map_or(0.0, |h| h.mean() as f64 / 1e9),
         );
     }
 }
@@ -931,5 +979,29 @@ mod tests {
         let flags = parse_flags(spec, &owned).unwrap();
         let err = campaign_config(spec, &flags, None).unwrap_err();
         assert!(err.contains("memo_store requires memoize"), "{err}");
+    }
+
+    #[test]
+    fn shard_flags_are_wired_and_validated() {
+        let spec = campaign_spec();
+        // --shard-listen without --shards is a config-build error.
+        let err = config_err(&["--shard-listen", "127.0.0.1:0"]);
+        assert!(err.contains("require shards > 0"), "{err}");
+        // Sharding cannot combine with fault injection.
+        let err = config_err(&["--shards", "2", "--chaos", "panics"]);
+        assert!(err.contains("fault injection"), "{err}");
+        // --shards 0 is the explicit in-process default; a positive count
+        // with a listen address builds cleanly.
+        for extra in [
+            &["--shards", "0"][..],
+            &["--shards", "4"][..],
+            &["--shards", "2", "--shard-listen", "127.0.0.1:0"][..],
+        ] {
+            let mut all = vec!["--impl", "linux-3.13", "--quick"];
+            all.extend_from_slice(extra);
+            let owned = args(&all);
+            let flags = parse_flags(spec, &owned).unwrap();
+            campaign_config(spec, &flags, None).expect("valid shard flags");
+        }
     }
 }

@@ -16,6 +16,7 @@ use crate::detect::{baseline_valid, detect_enveloped, Envelope, Verdict, DEFAULT
 use crate::journal::{self, JournalHeader, JournalWriter};
 use crate::memostore::{scenario_digest, MemoStore, MemoStoreReport, StoreScope};
 use crate::scenario::{Executor, ExecutorOptions, PlannedExecutor, ScenarioSpec, TestMetrics};
+use crate::shard::{intern_counter, ShardEvent, ShardPool};
 use crate::strategen::{generate_strategies, is_on_path, is_self_denial, GenerationParams};
 
 /// Configuration of one campaign: one implementation under test, searched
@@ -31,49 +32,56 @@ use crate::strategen::{generate_strategies, is_on_path, is_self_denial, Generati
 #[derive(Clone)]
 pub struct CampaignConfig {
     // The scenario every strategy is tested in.
-    scenario: ScenarioSpec,
+    pub(crate) scenario: ScenarioSpec,
     // Basic-attack parameter lists.
-    params: GenerationParams,
+    pub(crate) params: GenerationParams,
     // Detection threshold (the paper's 50 %).
-    threshold: f64,
+    pub(crate) threshold: f64,
     // Executor worker threads (the paper ran five executors).
-    parallelism: usize,
+    pub(crate) parallelism: usize,
     // Optional cap on the number of strategies to test (for quick runs).
-    max_strategies: Option<usize>,
+    pub(crate) max_strategies: Option<usize>,
     // Feedback rounds of strategy generation: round 0 uses the baseline's
     // observations, later rounds add strategies for states first exposed
     // by attack runs.
-    feedback_rounds: usize,
+    pub(crate) feedback_rounds: usize,
     // Re-test flagged strategies under a different seed (§V-A).
-    retest: bool,
+    pub(crate) retest: bool,
     // Streaming JSONL journal path.
-    journal: Option<PathBuf>,
+    pub(crate) journal: Option<PathBuf>,
     // Reuse journaled outcomes instead of re-running them.
-    resume: bool,
+    pub(crate) resume: bool,
     // Progress line to stderr every N completed strategies (0 = off).
-    progress_every: usize,
+    pub(crate) progress_every: usize,
     // Fork baseline snapshots instead of replaying the attack-free prefix.
-    snapshot_fork: bool,
+    pub(crate) snapshot_fork: bool,
     // Cross-strategy memoization (inert elision, class sharing,
     // fingerprint cache, no-op halt).
-    memoize: bool,
+    pub(crate) memoize: bool,
     // Persistent cross-run fingerprint→verdict store path.
-    memo_store: Option<PathBuf>,
+    pub(crate) memo_store: Option<PathBuf>,
     // Test-only fault injection inside the panic isolation boundary.
-    fault_hook: Option<FaultHook>,
+    pub(crate) fault_hook: Option<FaultHook>,
     // Deterministic chaos injection (panics, stalls, journal faults).
-    chaos: Option<ChaosPlan>,
+    pub(crate) chaos: Option<ChaosPlan>,
     // Ensemble size: how many seed-jittered no-attack baselines anchor
     // the detection envelope (1 = the legacy single baseline).
-    baseline_reps: usize,
+    pub(crate) baseline_reps: usize,
     // Per-evaluation wall-clock watchdog deadline (None = no watchdog).
-    deadline: Option<Duration>,
+    pub(crate) deadline: Option<Duration>,
     // How many times a stalled evaluation is retried before quarantine.
-    stall_retries: usize,
+    pub(crate) stall_retries: usize,
     // Initial backoff between stall retries (doubles each attempt).
-    stall_backoff: Duration,
+    pub(crate) stall_backoff: Duration,
     // Observability sink threaded through the executors and workers.
-    observer: Arc<dyn Observer>,
+    pub(crate) observer: Arc<dyn Observer>,
+    // Worker processes to shard strategy execution across (0 = in-process).
+    pub(crate) shards: usize,
+    // Listen address for externally launched shard workers (requires
+    // `shards > 0`; workers are not spawned, the controller waits).
+    pub(crate) shard_listen: Option<String>,
+    // Worker binary override (defaults to the current executable).
+    pub(crate) shard_worker_bin: Option<PathBuf>,
 }
 
 /// Fault-injection hook called before each strategy evaluation, inside the
@@ -201,6 +209,9 @@ impl fmt::Debug for CampaignConfig {
             .field("baseline_reps", &self.baseline_reps)
             .field("deadline", &self.deadline)
             .field("stall_retries", &self.stall_retries)
+            .field("shards", &self.shards)
+            .field("shard_listen", &self.shard_listen)
+            .field("shard_worker_bin", &self.shard_worker_bin)
             .field("observer_enabled", &self.observer.enabled())
             .finish()
     }
@@ -234,6 +245,9 @@ impl CampaignConfig {
             stall_retries: 2,
             stall_backoff: Duration::from_millis(50),
             observer: observe::noop(),
+            shards: 0,
+            shard_listen: None,
+            shard_worker_bin: None,
         }
     }
 
@@ -277,6 +291,9 @@ pub struct CampaignConfigBuilder {
     stall_retries: usize,
     stall_backoff: Duration,
     observer: Arc<dyn Observer>,
+    shards: usize,
+    shard_listen: Option<String>,
+    shard_worker_bin: Option<PathBuf>,
 }
 
 impl fmt::Debug for CampaignConfigBuilder {
@@ -450,6 +467,31 @@ impl CampaignConfigBuilder {
         self
     }
 
+    /// Shard strategy execution across `n` worker *processes* (0, the
+    /// default, keeps everything in this process). The controller still
+    /// owns generation, verdicts, journal, memo store and admission
+    /// order, so results are bit-identical at any shard count; if every
+    /// worker dies the campaign degrades to in-process execution.
+    pub fn shards(mut self, n: usize) -> Self {
+        self.shards = n;
+        self
+    }
+
+    /// Listen on `addr` for externally launched `snake shard-worker
+    /// --connect` processes instead of spawning children. Requires
+    /// [`shards`](Self::shards) to say how many to wait for.
+    pub fn shard_listen(mut self, addr: impl Into<String>) -> Self {
+        self.shard_listen = Some(addr.into());
+        self
+    }
+
+    /// Binary to spawn shard workers from (default: the current
+    /// executable). Lets test harnesses point at the real `snake` binary.
+    pub fn shard_worker_bin(mut self, path: impl Into<PathBuf>) -> Self {
+        self.shard_worker_bin = Some(path.into());
+        self
+    }
+
     /// Observability sink for the campaign: phase spans, executor and
     /// netsim counters, per-worker histograms. Pass an
     /// [`observe::Recorder`](snake_observe::Recorder) wrapped in an `Arc`
@@ -487,6 +529,17 @@ impl CampaignConfigBuilder {
         if self.deadline.is_some_and(|d| d.is_zero()) {
             return invalid("watchdog deadline must be longer than zero".to_owned());
         }
+        if self.shards > 0 && (self.fault_hook.is_some() || self.chaos.is_some()) {
+            return invalid(
+                "shards cannot combine with fault injection: hooks and chaos \
+                 plans are in-process closures that cannot cross a process \
+                 boundary"
+                    .to_owned(),
+            );
+        }
+        if self.shards == 0 && (self.shard_listen.is_some() || self.shard_worker_bin.is_some()) {
+            return invalid("shard_listen / shard_worker_bin require shards > 0".to_owned());
+        }
         if self.memo_store.is_some() && !self.memoize {
             return invalid(
                 "memo_store requires memoize: the persistent store is the \
@@ -515,6 +568,9 @@ impl CampaignConfigBuilder {
             stall_retries: self.stall_retries,
             stall_backoff: self.stall_backoff,
             observer: self.observer,
+            shards: self.shards,
+            shard_listen: self.shard_listen,
+            shard_worker_bin: self.shard_worker_bin,
         })
     }
 }
@@ -997,25 +1053,32 @@ impl Campaign {
                     source,
                 };
                 if resume {
-                    let loaded = journal::load(path).map_err(journal_err)?;
-                    journal_lines_skipped = loaded.malformed_lines;
-                    match &loaded.header {
-                        Some(h) => {
-                            if let Some(detail) = h.mismatch_against(&header) {
-                                return Err(CampaignError::JournalMismatch {
-                                    path: path.clone(),
-                                    detail,
-                                });
-                            }
-                            for o in loaded.outcomes {
-                                reusable.insert(o.strategy.id, o);
-                            }
-                            Some(JournalWriter::append(path).map_err(journal_err)?)
-                        }
-                        // Missing or empty journal: resuming from nothing is
-                        // just a fresh run.
-                        None => Some(JournalWriter::create(path, &header).map_err(journal_err)?),
+                    // Stream the journal line by line: a 1M-strategy
+                    // journal replays without ever holding the whole file
+                    // in memory (only the reusable outcomes themselves).
+                    let mut reader = journal::JournalReader::open(path).map_err(journal_err)?;
+                    if let Some(detail) = reader.header().and_then(|h| h.mismatch_against(&header))
+                    {
+                        return Err(CampaignError::JournalMismatch {
+                            path: path.clone(),
+                            detail,
+                        });
                     }
+                    let writer = if reader.header().is_some() {
+                        while let Some(o) = reader.next_outcome().map_err(journal_err)? {
+                            reusable.insert(o.strategy.id, o);
+                        }
+                        Some(JournalWriter::append(path).map_err(journal_err)?)
+                    } else {
+                        // Missing or headerless journal: resuming from
+                        // nothing is just a fresh run. Drain the reader
+                        // first so damaged-line accounting matches what a
+                        // whole-file load reported.
+                        while reader.next_outcome().map_err(journal_err)?.is_some() {}
+                        Some(JournalWriter::create(path, &header).map_err(journal_err)?)
+                    };
+                    journal_lines_skipped = reader.malformed_lines();
+                    writer
                 } else {
                     Some(JournalWriter::create(path, &header).map_err(journal_err)?)
                 }
@@ -1114,6 +1177,37 @@ impl Campaign {
             quarantined: AtomicUsize::new(0),
         });
 
+        // The controller/executor split (paper §V): shard strategy
+        // execution across worker processes. The pool is best-effort by
+        // construction — a launch failure, a lost handshake or a mid-run
+        // crash only shrinks it, and a pool with no live shards degrades
+        // to the in-process thread pool. Determinism is unaffected either
+        // way: generation, admission, journal and memo store never leave
+        // this process.
+        let mut pool = if config.shards > 0 {
+            let _span = observe::span(config.observer.as_ref(), "phase.shard_launch", 0);
+            match ShardPool::launch(&config, memoize) {
+                Ok(pool) => {
+                    if pool.live() == 0 {
+                        eprintln!(
+                            "snake: no shard worker survived the handshake; \
+                             falling back to in-process execution"
+                        );
+                    }
+                    Some(pool)
+                }
+                Err(err) => {
+                    eprintln!(
+                        "snake: shard pool launch failed ({err}); falling \
+                         back to in-process execution"
+                    );
+                    None
+                }
+            }
+        } else {
+            None
+        };
+
         for _round in 0..config.feedback_rounds {
             // The cap is re-checked at the top of every round: feedback
             // rounds keep generating strategies, so a cap satisfied in
@@ -1199,7 +1293,10 @@ impl Campaign {
             }
             let batch_span = observe::span(config.observer.as_ref(), "phase.batch", 0);
             let (indices, batch): (Vec<usize>, Vec<Strategy>) = to_run.into_iter().unzip();
-            let ran = run_batch(&shared, &ledger, batch, config.parallelism, &on_outcome);
+            let ran = match pool.as_mut().filter(|p| p.live() > 0) {
+                Some(pool) => run_batch_sharded(&shared, &ledger, batch, pool, &on_outcome),
+                None => run_batch(&shared, &ledger, batch, config.parallelism, &on_outcome),
+            };
             for (i, outcome) in indices.into_iter().zip(ran) {
                 round[i] = Some(outcome);
             }
@@ -1237,6 +1334,16 @@ impl Campaign {
                 }
                 outcomes.push(o);
             }
+            // Admission checkpoint: one buffered-store flush per round
+            // instead of one write syscall per admitted entry.
+            ledger
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .flush_store();
+        }
+
+        if let Some(mut pool) = pool.take() {
+            pool.finish(config.observer.as_ref());
         }
 
         if let Some(source) = journal_error
@@ -1277,7 +1384,8 @@ impl Campaign {
         }
 
         let memo_store = {
-            let ledger = ledger.into_inner().unwrap_or_else(|e| e.into_inner());
+            let mut ledger = ledger.into_inner().unwrap_or_else(|e| e.into_inner());
+            ledger.flush_store();
             let report = ledger.report();
             if let Some(r) = &report {
                 let obs = config.observer.as_ref();
@@ -1322,7 +1430,7 @@ fn ensemble_seed(seed: u64, k: usize) -> u64 {
 
 /// Builds the detection envelope: the campaign's own baseline plus
 /// `reps − 1` plain from-scratch no-attack runs at jittered seeds.
-fn build_envelope(
+pub(crate) fn build_envelope(
     spec: &ScenarioSpec,
     baseline: &TestMetrics,
     reps: usize,
@@ -1345,28 +1453,28 @@ fn build_envelope(
 
 /// Everything the executor workers share read-only: the planned (snapshot
 /// holding) executors for the main and re-test seeds, plus the config.
-struct SharedCtx {
-    exec: PlannedExecutor,
-    retest_exec: Option<PlannedExecutor>,
-    config: CampaignConfig,
+pub(crate) struct SharedCtx {
+    pub(crate) exec: PlannedExecutor,
+    pub(crate) retest_exec: Option<PlannedExecutor>,
+    pub(crate) config: CampaignConfig,
     /// Whether campaign-level memoization is live (config switch and no
     /// fault hook or chaos plan; each executor additionally requires its
     /// determinism guard to have passed).
-    memoize: bool,
+    pub(crate) memoize: bool,
     /// Detection envelope for the main seed (single-baseline degenerate
     /// when `baseline_reps == 1`).
-    envelope: Envelope,
+    pub(crate) envelope: Envelope,
     /// Envelope for the re-test seed, when re-testing is on.
-    retest_envelope: Option<Envelope>,
+    pub(crate) retest_envelope: Option<Envelope>,
     /// Borderline verdicts escalated to a confirmatory re-test.
-    escalated: AtomicUsize,
+    pub(crate) escalated: AtomicUsize,
     /// Watchdog deadline expiries (every attempt counts).
-    stalls: AtomicUsize,
+    pub(crate) stalls: AtomicUsize,
     /// Strategies quarantined after the stall retry budget.
-    quarantined: AtomicUsize,
+    pub(crate) quarantined: AtomicUsize,
 }
 
-type Shared = Arc<SharedCtx>;
+pub(crate) type Shared = Arc<SharedCtx>;
 
 /// The campaign's memoization bookkeeper, owned by `Campaign::run` and
 /// consulted only at *admission* — the single point where a finished
@@ -1515,6 +1623,16 @@ impl MemoLedger {
             write_failures: store.write_failures(),
             verdict_mismatches: self.verdict_mismatches,
         })
+    }
+
+    /// Pushes the persistent store's buffered appends to disk, if a store
+    /// is attached. Called at admission checkpoints (end of each feedback
+    /// round and before the final report) so the per-entry write syscall
+    /// the store used to pay is amortised across a whole round.
+    fn flush_store(&mut self) {
+        if let Some((store, _)) = &mut self.store {
+            store.flush();
+        }
     }
 }
 
@@ -1766,7 +1884,7 @@ fn evaluate_guarded(shared: &Shared, strategy: Strategy) -> StrategyOutcome {
 /// clones, their late results are dropped on a closed channel, and the
 /// journal append happens in the watchdog's caller, so a straggler can
 /// never write anything.
-fn evaluate_watched(shared: &Shared, strategy: Strategy) -> StrategyOutcome {
+pub(crate) fn evaluate_watched(shared: &Shared, strategy: Strategy) -> StrategyOutcome {
     let Some(deadline) = shared.config.deadline else {
         return evaluate_guarded(shared, strategy);
     };
@@ -1967,6 +2085,197 @@ fn run_batch(
         }
     });
     release.into_inner().unwrap_or_else(|e| e.into_inner()).done
+}
+
+/// Replays the counter deltas a shard worker reported for one outcome
+/// into the controller's observer, so manifest tallies match a
+/// single-process run. The `campaign.*` watchdog/escalation counters also
+/// feed the shared atomics [`CampaignResult`] reports from — in-process
+/// those are bumped inside `evaluate`, which sharded execution never
+/// calls on the controller. Names outside the intern table are dropped.
+fn fold_worker_counters(shared: &Shared, counters: &[(String, u64)]) {
+    let observer = shared.config.observer.as_ref();
+    for (name, delta) in counters {
+        let Some(interned) = intern_counter(name) else {
+            continue;
+        };
+        match interned {
+            "campaign.escalated" => {
+                shared
+                    .escalated
+                    .fetch_add(*delta as usize, Ordering::Relaxed);
+            }
+            "campaign.stalls" => {
+                shared.stalls.fetch_add(*delta as usize, Ordering::Relaxed);
+            }
+            "campaign.quarantined" => {
+                shared
+                    .quarantined
+                    .fetch_add(*delta as usize, Ordering::Relaxed);
+            }
+            _ => {}
+        }
+        observer.counter_add(interned, *delta);
+    }
+}
+
+/// Returns a dead shard's not-yet-received indices to the dispatch queue
+/// as contiguous ranges, front of the queue so the lowest indices (the
+/// ones holding back admission) go back out first. Returns how many
+/// ranges were re-created, for the re-dispatch tally.
+fn requeue_outstanding(
+    queue: &mut std::collections::VecDeque<(usize, usize)>,
+    outstanding: &mut std::collections::VecDeque<usize>,
+) -> u64 {
+    let mut ranges: Vec<(usize, usize)> = Vec::new();
+    for index in outstanding.drain(..) {
+        match ranges.last_mut() {
+            Some((start, len)) if *start + *len == index => *len += 1,
+            _ => ranges.push((index, 1)),
+        }
+    }
+    let count = ranges.len() as u64;
+    for range in ranges.into_iter().rev() {
+        queue.push_front(range);
+    }
+    count
+}
+
+/// Runs a batch across the shard worker pool — the multi-process analogue
+/// of [`run_batch`], with the identical admission contract: outcomes pass
+/// through the [`MemoLedger`] and `on_outcome` strictly in strategy-index
+/// order, so journal, memo markers and TSV are bit-identical to the
+/// in-process path no matter how many shards raced, died or got their
+/// ranges re-dispatched.
+///
+/// Dispatch is pull-ish: the batch is cut into contiguous ranges of about
+/// a quarter of a shard's fair share, and each shard holds at most two
+/// ranges' worth of outstanding work, so a slow shard strands little.
+/// A shard that disconnects, breaks the framing, or answers out of
+/// contract (wrong index order, an index it was never given, a strategy
+/// id that does not match) is killed and its unfinished indices are
+/// re-dispatched. If every shard dies mid-batch the controller finishes
+/// the remainder in-process — results identical, only slower.
+fn run_batch_sharded(
+    shared: &Shared,
+    ledger: &Mutex<MemoLedger>,
+    strategies: Vec<Strategy>,
+    pool: &mut ShardPool,
+    on_outcome: &(dyn Fn(&StrategyOutcome) + Sync),
+) -> Vec<StrategyOutcome> {
+    let n = strategies.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let chunk = n.div_ceil(pool.live().max(1) * 4).max(1);
+    let mut queue: std::collections::VecDeque<(usize, usize)> = (0..n)
+        .step_by(chunk)
+        .map(|start| (start, chunk.min(n - start)))
+        .collect();
+    let mut outstanding: Vec<std::collections::VecDeque<usize>> =
+        (0..pool.len()).map(|_| Default::default()).collect();
+    let mut received: Vec<Option<StrategyOutcome>> = (0..n).map(|_| None).collect();
+    let mut done: Vec<StrategyOutcome> = Vec::with_capacity(n);
+    let mut next_admit = 0usize;
+    let mut got = 0usize;
+
+    let admit = |outcome: &mut StrategyOutcome| {
+        ledger
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .admit(outcome);
+    };
+
+    while got < n {
+        if pool.live() == 0 {
+            break;
+        }
+        // Top-up: hand queued ranges to the least-loaded live shards.
+        loop {
+            let target = (0..pool.len())
+                .filter(|&s| pool.is_live(s) && outstanding[s].len() < 2 * chunk)
+                .min_by_key(|&s| outstanding[s].len());
+            let Some(shard) = target else { break };
+            let Some((start, len)) = queue.pop_front() else {
+                break;
+            };
+            if pool.send_range(shard, start, &strategies[start..start + len]) {
+                outstanding[shard].extend(start..start + len);
+            } else {
+                queue.push_front((start, len));
+            }
+        }
+        if pool.live() == 0 {
+            break;
+        }
+        match pool.next_event() {
+            None => {
+                // Every reader thread is gone; nothing further can arrive.
+                for shard in 0..pool.len() {
+                    pool.kill(shard);
+                }
+                break;
+            }
+            Some(ShardEvent::Dead { shard }) => {
+                pool.kill(shard);
+                pool.ranges_redispatched +=
+                    requeue_outstanding(&mut queue, &mut outstanding[shard]);
+            }
+            Some(ShardEvent::Outcome {
+                shard,
+                index,
+                busy_nanos,
+                counters,
+                outcome,
+            }) => {
+                if !pool.is_live(shard) {
+                    // Late traffic from a shard already declared dead; its
+                    // indices were re-queued, so this result is stale.
+                    continue;
+                }
+                let in_contract = outstanding[shard].front() == Some(&index)
+                    && index < n
+                    && index >= next_admit
+                    && received[index].is_none()
+                    && outcome.strategy.id == strategies[index].id;
+                if !in_contract {
+                    pool.kill(shard);
+                    pool.ranges_redispatched +=
+                        requeue_outstanding(&mut queue, &mut outstanding[shard]);
+                    continue;
+                }
+                outstanding[shard].pop_front();
+                pool.record_busy(shard, busy_nanos);
+                fold_worker_counters(shared, &counters);
+                received[index] = Some(*outcome);
+                got += 1;
+                // Admission drain: release the contiguous prefix.
+                while next_admit < n {
+                    let Some(mut outcome) = received[next_admit].take() else {
+                        break;
+                    };
+                    admit(&mut outcome);
+                    on_outcome(&outcome);
+                    done.push(outcome);
+                    next_admit += 1;
+                }
+            }
+        }
+    }
+
+    // In-process completion of whatever the pool did not deliver — the
+    // whole batch when the pool died at launch, the tail when it died
+    // mid-run. Already-received outcomes are reused, not re-run.
+    for index in next_admit..n {
+        let mut outcome = match received[index].take() {
+            Some(outcome) => outcome,
+            None => evaluate_watched(shared, strategies[index].clone()),
+        };
+        admit(&mut outcome);
+        on_outcome(&outcome);
+        done.push(outcome);
+    }
+    done
 }
 
 #[cfg(test)]

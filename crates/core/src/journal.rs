@@ -420,57 +420,168 @@ pub struct LoadedJournal {
     pub malformed_lines: usize,
 }
 
-/// Loads a journal, tolerating a missing file (empty journal) and
-/// malformed lines (skipped and counted, never fatal).
-pub fn load(path: &Path) -> io::Result<LoadedJournal> {
-    let file = match File::open(path) {
-        Ok(f) => f,
-        Err(e) if e.kind() == io::ErrorKind::NotFound => {
-            return Ok(LoadedJournal {
-                header: None,
-                outcomes: Vec::new(),
-                malformed_lines: 0,
-            })
+/// Streams a journal's outcome lines one at a time, so resuming a huge
+/// journal never holds the whole file in memory. The header line (raw
+/// line 0) is classified eagerly at [`open`](JournalReader::open), so
+/// [`header`](JournalReader::header) is meaningful before any outcome has
+/// been pulled. Tolerance matches [`load`]: a missing file is an empty
+/// journal, and a line that fails its checksum, fails to parse, or
+/// carries an unexpected type is skipped and counted in
+/// [`malformed_lines`](JournalReader::malformed_lines), never fatal.
+#[derive(Debug)]
+pub struct JournalReader {
+    /// `None` for a missing file or once the file is exhausted.
+    lines: Option<std::io::Lines<BufReader<File>>>,
+    /// Raw line index of the next line `lines` will yield (blank and
+    /// malformed lines count, exactly as [`load`]'s enumeration did).
+    line_index: usize,
+    header: Option<JournalHeader>,
+    /// An outcome sitting at raw line 0 (a headerless journal), decoded
+    /// during `open` and handed out by the first `next_outcome` call.
+    pending: Option<Box<StrategyOutcome>>,
+    malformed_lines: usize,
+}
+
+impl JournalReader {
+    /// Opens a journal for streaming, classifying its first line so the
+    /// header is available immediately. A missing file is an empty
+    /// journal, not an error.
+    pub fn open(path: &Path) -> io::Result<JournalReader> {
+        let file = match File::open(path) {
+            Ok(f) => f,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {
+                return Ok(JournalReader {
+                    lines: None,
+                    line_index: 0,
+                    header: None,
+                    pending: None,
+                    malformed_lines: 0,
+                })
+            }
+            Err(e) => return Err(e),
+        };
+        let mut reader = JournalReader {
+            lines: Some(BufReader::new(file).lines()),
+            line_index: 0,
+            header: None,
+            pending: None,
+            malformed_lines: 0,
+        };
+        // Classify raw line 0 eagerly: it is the only line a header may
+        // legitimately occupy, and callers decide resume-vs-fresh from
+        // `header()` before replaying anything.
+        if let Some(first) = reader.next_line()? {
+            match reader.classify(&first, 0) {
+                Classified::Header(header) => reader.header = Some(header),
+                Classified::Outcome(outcome) => reader.pending = Some(outcome),
+                Classified::Skipped => {}
+            }
         }
-        Err(e) => return Err(e),
-    };
-    let mut header = None;
-    let mut outcomes = Vec::new();
-    let mut malformed_lines = 0;
-    for (index, line) in BufReader::new(file).lines().enumerate() {
-        let line = line?;
+        Ok(reader)
+    }
+
+    /// The header line, when raw line 0 carried a well-formed one.
+    pub fn header(&self) -> Option<&JournalHeader> {
+        self.header.as_ref()
+    }
+
+    /// Malformed lines encountered *so far*. Equals [`load`]'s total once
+    /// [`next_outcome`](JournalReader::next_outcome) has returned `None`.
+    pub fn malformed_lines(&self) -> usize {
+        self.malformed_lines
+    }
+
+    /// Returns the next well-formed outcome, or `None` at end of file.
+    /// I/O errors abort; damaged lines are skipped and counted.
+    pub fn next_outcome(&mut self) -> io::Result<Option<StrategyOutcome>> {
+        if let Some(pending) = self.pending.take() {
+            return Ok(Some(*pending));
+        }
+        loop {
+            let index = self.line_index;
+            let Some(line) = self.next_line()? else {
+                return Ok(None);
+            };
+            match self.classify(&line, index) {
+                Classified::Outcome(outcome) => return Ok(Some(*outcome)),
+                Classified::Header(_) | Classified::Skipped => {}
+            }
+        }
+    }
+
+    fn next_line(&mut self) -> io::Result<Option<String>> {
+        let Some(lines) = &mut self.lines else {
+            return Ok(None);
+        };
+        match lines.next() {
+            Some(line) => {
+                self.line_index += 1;
+                Ok(Some(line?))
+            }
+            None => {
+                self.lines = None;
+                Ok(None)
+            }
+        }
+    }
+
+    fn classify(&mut self, line: &str, index: usize) -> Classified {
         if line.trim().is_empty() {
-            continue;
+            return Classified::Skipped;
         }
         // Checksum gate first: a damaged line must not be trusted even if
         // it still happens to parse as JSON.
-        let Some(payload) = verify_line(&line) else {
-            malformed_lines += 1;
-            continue;
+        let Some(payload) = verify_line(line) else {
+            self.malformed_lines += 1;
+            return Classified::Skipped;
         };
-        let parsed = match snake_json::parse(payload) {
-            Ok(v) => v,
-            Err(_) => {
-                malformed_lines += 1;
-                continue;
-            }
+        let Ok(parsed) = snake_json::parse(payload) else {
+            self.malformed_lines += 1;
+            return Classified::Skipped;
         };
         match parsed.req_str("type") {
             Ok("campaign") if index == 0 => match JournalHeader::from_json(&parsed) {
-                Ok(h) => header = Some(h),
-                Err(_) => malformed_lines += 1,
+                Ok(header) => Classified::Header(header),
+                Err(_) => {
+                    self.malformed_lines += 1;
+                    Classified::Skipped
+                }
             },
             Ok("outcome") => match StrategyOutcome::from_json(&parsed) {
-                Ok(o) => outcomes.push(o),
-                Err(_) => malformed_lines += 1,
+                Ok(outcome) => Classified::Outcome(Box::new(outcome)),
+                Err(_) => {
+                    self.malformed_lines += 1;
+                    Classified::Skipped
+                }
             },
-            _ => malformed_lines += 1,
+            _ => {
+                self.malformed_lines += 1;
+                Classified::Skipped
+            }
         }
     }
+}
+
+enum Classified {
+    Header(JournalHeader),
+    Outcome(Box<StrategyOutcome>),
+    Skipped,
+}
+
+/// Loads a whole journal into memory, tolerating a missing file (empty
+/// journal) and malformed lines (skipped and counted, never fatal).
+/// Implemented over the streaming [`JournalReader`]; prefer the reader
+/// directly when the journal may be large.
+pub fn load(path: &Path) -> io::Result<LoadedJournal> {
+    let mut reader = JournalReader::open(path)?;
+    let mut outcomes = Vec::new();
+    while let Some(outcome) = reader.next_outcome()? {
+        outcomes.push(outcome);
+    }
     Ok(LoadedJournal {
-        header,
+        header: reader.header.take(),
         outcomes,
-        malformed_lines,
+        malformed_lines: reader.malformed_lines,
     })
 }
 

@@ -72,6 +72,7 @@ mod memostore;
 mod report;
 mod scenario;
 pub mod search;
+mod shard;
 mod strategen;
 
 pub use attacks::{classify, cluster_attacks, AttackFinding, KnownAttack};
@@ -86,5 +87,6 @@ pub use report::{render_table1, render_table2};
 pub use scenario::{
     Executor, ExecutorOptions, PlannedExecutor, ProtocolKind, RunInfo, ScenarioSpec, TestMetrics,
 };
+pub use shard::run_shard_worker;
 pub use snake_observe::{NullObserver, Observer, Recorder, RecorderSnapshot, RunManifest};
 pub use strategen::{generate_strategies, is_on_path, is_self_denial, GenerationParams};

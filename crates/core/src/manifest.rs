@@ -2,11 +2,13 @@
 //! [`RecorderSnapshot`] into one structured JSON document per campaign
 //! run — the `snake campaign --manifest FILE` output.
 //!
-//! Determinism contract: every section except `timing` is derived from
-//! the campaign's deterministic outputs (outcomes, memo markers,
-//! simulator event counters), so two same-seed single-worker runs produce
-//! byte-identical manifests once `timing` is stripped. The `timing`
-//! section is wall-clock by definition and varies run to run.
+//! Determinism contract: every section except `timing` and `shards` is
+//! derived from the campaign's deterministic outputs (outcomes, memo
+//! markers, simulator event counters), so two same-seed single-worker runs
+//! produce byte-identical manifests once those sections are stripped. The
+//! `timing` section is wall-clock by definition; `shards` (present only on
+//! `--shards` runs) carries per-worker busy/idle time and dispatch counts,
+//! which depend on scheduling.
 
 use std::collections::BTreeMap;
 
@@ -37,8 +39,37 @@ pub fn build_run_manifest(
     manifest.set_section("netsim", netsim_section(snapshot));
     manifest.set_section("robustness", robustness_section(result, snapshot));
     manifest.set_section("proxy", proxy_section(result));
+    if snapshot.counter("shard.workers") > 0 {
+        manifest.set_section("shards", shards_section(snapshot));
+    }
     manifest.set_section("timing", timing_section(snapshot, wall_secs));
     manifest
+}
+
+/// Per-shard execution tallies, present only when the campaign ran with
+/// `--shards`. Like `timing`, this section is nondeterministic: busy/idle
+/// time and the dispatched/re-dispatched range split depend on process
+/// scheduling, so manifest-comparing consumers strip it alongside `timing`.
+fn shards_section(snapshot: &RecorderSnapshot) -> Value {
+    let histogram = |name: &str| {
+        snapshot
+            .histograms
+            .get(name)
+            .map_or(Value::Null, |h| h.to_json())
+    };
+    obj([
+        ("workers", Value::U64(snapshot.counter("shard.workers"))),
+        (
+            "ranges_dispatched",
+            Value::U64(snapshot.counter("shard.ranges_dispatched")),
+        ),
+        (
+            "ranges_redispatched",
+            Value::U64(snapshot.counter("shard.ranges_redispatched")),
+        ),
+        ("busy_nanos", histogram("shard.busy_nanos")),
+        ("idle_nanos", histogram("shard.idle_nanos")),
+    ])
 }
 
 /// Campaign identity and Table-I-style outcome tallies.

@@ -32,15 +32,23 @@
 //! The store is safe to share between sequential campaigns of *any*
 //! configuration (entries simply live in different scopes). Concurrent
 //! appenders are tolerated on a best-effort basis: the file is opened in
-//! append mode and each entry is a single short write, so whole-line
+//! append mode and every entry is exactly one line, so whole-line
 //! interleavings from two processes both survive, and a torn interleave is
 //! caught by the checksum and skipped on the next load. Duplicate keys
 //! keep the first occurrence. Write failures never abort a campaign: one
 //! bounded retry, then writing is disabled for the rest of the run and the
 //! failures are counted in the [`MemoStoreReport`].
+//!
+//! Appends are buffered through a [`BufWriter`] and pushed to disk at
+//! admission checkpoints ([`MemoStore::flush`], called by the campaign
+//! once per feedback round and on drop) rather than per entry — the
+//! per-entry write-and-flush syscall pair used to make warm runs slower
+//! than cold ones. Buffering keeps the one-line-per-write invariant for
+//! concurrent appenders: whole lines are handed to the writer, and a
+//! flush emits complete buffered lines.
 
 use std::fs::{self, File, OpenOptions};
-use std::io::{self, BufRead, BufReader, Write};
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
 use std::path::{Path, PathBuf};
 
 use snake_json::{obj, FromJson, ObjExt, ToJson, Value};
@@ -139,8 +147,9 @@ pub fn scenario_digest(spec: &ScenarioSpec, threshold: f64, baseline_reps: usize
 pub struct MemoStore {
     path: PathBuf,
     /// `None` once appending has been disabled by a persistent write
-    /// failure — lookups keep working, the campaign keeps going.
-    file: Option<File>,
+    /// failure — lookups keep working, the campaign keeps going. Appends
+    /// are buffered; see [`MemoStore::flush`].
+    file: Option<BufWriter<File>>,
     entries: FxHashMap<StoreScope, FxHashMap<(u64, u64), Verdict>>,
     entries_loaded: usize,
     entries_skipped: usize,
@@ -226,7 +235,7 @@ impl MemoStore {
             fs::rename(&tmp_path, path)?;
             return Ok(MemoStore {
                 path: path.to_owned(),
-                file: Some(file),
+                file: Some(BufWriter::new(file)),
                 entries,
                 entries_loaded,
                 entries_skipped,
@@ -251,7 +260,7 @@ impl MemoStore {
         }
         Ok(MemoStore {
             path: path.to_owned(),
-            file: Some(file),
+            file: Some(BufWriter::new(file)),
             entries,
             entries_loaded,
             entries_skipped,
@@ -266,11 +275,12 @@ impl MemoStore {
         self.entries.get(scope).cloned().unwrap_or_default()
     }
 
-    /// Records one fingerprint → verdict entry, appending it to disk
-    /// unless the key is already present. Write failures are absorbed: one
-    /// bounded retry, then appending is disabled for the rest of the run
-    /// (counted in [`write_failures`](Self::write_failures)) — a broken
-    /// disk must not break the campaign.
+    /// Records one fingerprint → verdict entry, buffering the line for
+    /// the next [`flush`](Self::flush) unless the key is already present.
+    /// Write failures are absorbed: one bounded retry, then appending is
+    /// disabled for the rest of the run (counted in
+    /// [`write_failures`](Self::write_failures)) — a broken disk must not
+    /// break the campaign.
     pub fn insert(&mut self, scope: &StoreScope, fp: (u64, u64), verdict: Verdict) {
         let slot = self.entries.entry(scope.clone()).or_default();
         if slot.contains_key(&fp) {
@@ -279,16 +289,26 @@ impl MemoStore {
         slot.insert(fp, verdict);
         let Some(file) = &mut self.file else { return };
         let line = checksummed_line(&entry_json(scope, fp, verdict).to_string_compact());
-        let write = |file: &mut File| -> io::Result<()> {
-            file.write_all(line.as_bytes())?;
-            file.flush()
-        };
+        let write = |file: &mut BufWriter<File>| file.write_all(line.as_bytes());
         if write(file).is_err() && write(file).is_err() {
             self.write_failures += 1;
             self.file = None;
             return;
         }
         self.appended += 1;
+    }
+
+    /// Pushes buffered appends to disk — the admission checkpoint. The
+    /// campaign calls this once per feedback round and before the final
+    /// report; [`Drop`] calls it too, so a store that merely goes out of
+    /// scope loses nothing. A flush that fails after one retry disables
+    /// appending, like a failed write.
+    pub fn flush(&mut self) {
+        let Some(file) = &mut self.file else { return };
+        if file.flush().is_err() && file.flush().is_err() {
+            self.write_failures += 1;
+            self.file = None;
+        }
     }
 
     /// The store's path (for diagnostics).
@@ -314,6 +334,12 @@ impl MemoStore {
     /// Append attempts that failed after the bounded retry.
     pub fn write_failures(&self) -> usize {
         self.write_failures
+    }
+}
+
+impl Drop for MemoStore {
+    fn drop(&mut self) {
+        self.flush();
     }
 }
 

@@ -1,0 +1,1173 @@
+//! Controller/executor split: sharded multi-process campaign execution.
+//!
+//! The paper's harness was a controller machine driving five executor
+//! machines over TCP (§V): the controller owns strategy enumeration and
+//! verdicts, the executors own simulation. This module reproduces that
+//! division inside one host: `snake shard-worker` processes connect to the
+//! controller over a loopback socket, receive the scenario (by value, plus
+//! a digest they must independently recompute) and contiguous
+//! strategy-index ranges, evaluate them through their own
+//! [`PlannedExecutor`](crate::scenario::PlannedExecutor) — snapshot-fork,
+//! memoized halt-arming and the stall watchdog all intact — and stream
+//! back one outcome message per strategy.
+//!
+//! # Wire format
+//!
+//! Every message is one line of compact JSON framed exactly like a journal
+//! line: `payload\tFNV64(payload)\n` (see `journal::checksummed_line`).
+//! Unlike the on-disk journal, where a corrupt line is skipped and
+//! counted, a checksum failure on the wire is a protocol error: the
+//! controller declares the shard dead and re-dispatches its outstanding
+//! range. A shard can therefore never contribute a damaged outcome.
+//!
+//! Controller → worker:
+//!
+//! * `hello` — protocol version, the worker's shard index, the scenario
+//!   spec and every evaluation-relevant knob, and the controller's
+//!   scenario digest. The worker re-derives the digest from the *decoded*
+//!   spec and echoes it in `ready`; any encode/decode drift surfaces as a
+//!   digest mismatch and the shard is dropped before it can run anything.
+//! * `range` — a starting strategy index plus the strategies themselves.
+//! * `shutdown` — the campaign is over; exit cleanly.
+//!
+//! Worker → controller:
+//!
+//! * `ready` — handshake acknowledgement carrying the recomputed digest.
+//! * `outcome` — one evaluated strategy: its global index, the worker's
+//!   wall-clock busy time, the counter deltas its observer accumulated
+//!   during the evaluation (so the controller's manifest tallies match a
+//!   single-process run), and the full
+//!   [`StrategyOutcome`](crate::campaign::StrategyOutcome) in journal
+//!   encoding.
+//!
+//! Determinism is owned entirely by the controller: workers never touch
+//! the journal, the memo store or the admission ledger. Outcomes are
+//! admitted strictly in strategy-index order through the same reorder
+//! buffer the in-process thread pool uses, so TSV, manifest and memo
+//! markers are bit-identical at any shard count — including zero, the
+//! in-process fallback the controller degrades to when every shard dies.
+
+use std::collections::BTreeMap;
+use std::env;
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::net::{Shutdown, TcpListener, TcpStream};
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::AtomicUsize;
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use snake_dccp::DccpProfile;
+use snake_json::{obj, FromJson, JsonError, ObjExt, ToJson, Value};
+use snake_netsim::{Aqm, DumbbellSpec, FlapSpec, Impairment, LinkSpec, SimDuration, SimTime};
+use snake_observe::Observer;
+use snake_proxy::Strategy;
+use snake_tcp::{AbortStyle, InvalidFlagPolicy, Profile};
+
+use crate::campaign::{
+    build_envelope, evaluate_watched, CampaignConfig, SharedCtx, StrategyOutcome,
+};
+use crate::detect::baseline_valid;
+use crate::journal::{checksummed_line, verify_line};
+use crate::memostore::scenario_digest;
+use crate::scenario::{ExecutorOptions, PlannedExecutor, ProtocolKind, ScenarioSpec};
+use crate::strategen::GenerationParams;
+
+/// Wire protocol version; bumped whenever a message shape changes. A
+/// worker refuses a `hello` carrying any other version.
+pub(crate) const WIRE_VERSION: u64 = 1;
+
+/// Exit code a worker uses when the `SNAKE_SHARD_EXIT_AFTER` test hook
+/// fires (distinguishable from a panic's 101 in test assertions).
+const EXIT_AFTER_CODE: i32 = 17;
+
+/// How long the controller waits for spawned workers to connect and for
+/// each handshake read before declaring the shard dead.
+const HANDSHAKE_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// How long `finish` waits for a worker process to exit after the
+/// shutdown message before killing it.
+const REAP_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// The counters a worker may legitimately report per outcome, interned so
+/// the controller can replay them into its own observer
+/// ([`Observer::counter_add`] takes `&'static str`). Everything outside
+/// this table is dropped: a worker cannot invent controller-side state.
+const WORKER_COUNTERS: &[&str] = &[
+    "exec.runs.from_scratch",
+    "exec.runs.forked",
+    "exec.runs.elided",
+    "exec.runs.halted",
+    "netsim.events",
+    "netsim.timers_cancelled",
+    "netsim.timers_purged",
+    "netsim.queue_compactions",
+    "netsim.snapshot_forks",
+    "netsim.snapshot_clone_bytes",
+    "netsim.forks",
+    "netsim.fork_clone_bytes",
+    "netsim.impair.lost",
+    "netsim.impair.duplicated",
+    "netsim.impair.corrupted",
+    "netsim.impair.reordered",
+    "netsim.impair.flap_dropped",
+    "campaign.escalated",
+    "campaign.stalls",
+    "campaign.stall_retries",
+    "campaign.quarantined",
+];
+
+/// Interns a wire counter name against [`WORKER_COUNTERS`].
+pub(crate) fn intern_counter(name: &str) -> Option<&'static str> {
+    WORKER_COUNTERS.iter().copied().find(|known| *known == name)
+}
+
+fn protocol_err(message: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, message.into())
+}
+
+fn decode_err(err: JsonError) -> io::Error {
+    protocol_err(format!("shard wire decode: {err}"))
+}
+
+/// Writes one checksummed message line and flushes it to the peer.
+fn write_line(writer: &mut impl Write, message: &Value) -> io::Result<()> {
+    let line = checksummed_line(&message.to_string_compact());
+    writer.write_all(line.as_bytes())?;
+    writer.flush()
+}
+
+/// Reads the next message line. `Ok(None)` means the peer closed the
+/// connection; a failed checksum or unparseable payload is an error — on
+/// the wire (unlike on disk) there is no tolerant skip.
+fn read_message(reader: &mut impl BufRead) -> io::Result<Option<Value>> {
+    let mut line = String::new();
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            return Ok(None);
+        }
+        let trimmed = line.trim_end_matches(['\n', '\r']);
+        if trimmed.is_empty() {
+            continue;
+        }
+        let payload = verify_line(trimmed)
+            .ok_or_else(|| protocol_err("shard wire line failed its checksum"))?;
+        let message = snake_json::parse(payload)
+            .map_err(|err| protocol_err(format!("shard wire line is not JSON: {err}")))?;
+        return Ok(Some(message));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Scenario encoding
+//
+// `ScenarioSpec` has no journal serialisation (the journal stores only the
+// scenario digest), so the wire carries a dedicated encoding. The digest
+// handshake makes this encoding self-verifying: the worker recomputes
+// `scenario_digest` from the decoded spec, so any field this code drops or
+// distorts shows up as a mismatch, not as silently different results.
+// ---------------------------------------------------------------------------
+
+fn encode_duration(duration: SimDuration) -> Value {
+    Value::U64(duration.as_nanos())
+}
+
+fn decode_duration(value: &Value, what: &str) -> Result<SimDuration, JsonError> {
+    value
+        .as_u64()
+        .map(SimDuration::from_nanos)
+        .ok_or_else(|| JsonError::decode(format!("{what}: expected nanoseconds")))
+}
+
+fn decode_usize(message: &Value, key: &str) -> Result<usize, JsonError> {
+    let raw = message.req_u64(key)?;
+    usize::try_from(raw).map_err(|_| JsonError::decode(format!("{key}: {raw} overflows usize")))
+}
+
+fn decode_u32(message: &Value, key: &str) -> Result<u32, JsonError> {
+    let raw = message.req_u64(key)?;
+    u32::try_from(raw).map_err(|_| JsonError::decode(format!("{key}: {raw} overflows u32")))
+}
+
+fn encode_impairment(impair: &Impairment) -> Value {
+    obj([
+        ("loss_ppm", Value::U64(u64::from(impair.loss_ppm))),
+        ("dup_ppm", Value::U64(u64::from(impair.dup_ppm))),
+        ("corrupt_ppm", Value::U64(u64::from(impair.corrupt_ppm))),
+        ("reorder_ppm", Value::U64(u64::from(impair.reorder_ppm))),
+        ("jitter", encode_duration(impair.jitter)),
+        (
+            "flap",
+            match impair.flap {
+                None => Value::Null,
+                Some(flap) => obj([
+                    ("first_down", Value::U64(flap.first_down.as_nanos())),
+                    ("down_for", encode_duration(flap.down_for)),
+                    ("period", encode_duration(flap.period)),
+                ]),
+            },
+        ),
+    ])
+}
+
+fn decode_impairment(value: &Value) -> Result<Impairment, JsonError> {
+    let flap = match value.req("flap")? {
+        Value::Null => None,
+        flap => Some(FlapSpec {
+            first_down: SimTime::from_nanos(flap.req_u64("first_down")?),
+            down_for: decode_duration(flap.req("down_for")?, "flap.down_for")?,
+            period: decode_duration(flap.req("period")?, "flap.period")?,
+        }),
+    };
+    Ok(Impairment {
+        loss_ppm: decode_u32(value, "loss_ppm")?,
+        dup_ppm: decode_u32(value, "dup_ppm")?,
+        corrupt_ppm: decode_u32(value, "corrupt_ppm")?,
+        reorder_ppm: decode_u32(value, "reorder_ppm")?,
+        jitter: decode_duration(value.req("jitter")?, "jitter")?,
+        flap,
+    })
+}
+
+fn encode_link(link: &LinkSpec) -> Value {
+    obj([
+        ("bandwidth_bps", Value::U64(link.bandwidth_bps)),
+        ("delay", encode_duration(link.delay)),
+        ("queue_packets", Value::U64(link.queue_packets as u64)),
+        (
+            "aqm",
+            Value::Str(
+                match link.aqm {
+                    Aqm::DropTail => "drop_tail",
+                    Aqm::Red => "red",
+                }
+                .to_owned(),
+            ),
+        ),
+        ("impair", encode_impairment(&link.impair)),
+    ])
+}
+
+fn decode_link(value: &Value) -> Result<LinkSpec, JsonError> {
+    let aqm = match value.req_str("aqm")? {
+        "drop_tail" => Aqm::DropTail,
+        "red" => Aqm::Red,
+        other => return Err(JsonError::decode(format!("unknown aqm `{other}`"))),
+    };
+    Ok(LinkSpec {
+        bandwidth_bps: value.req_u64("bandwidth_bps")?,
+        delay: decode_duration(value.req("delay")?, "link.delay")?,
+        queue_packets: decode_usize(value, "queue_packets")?,
+        aqm,
+        impair: decode_impairment(value.req("impair")?)?,
+    })
+}
+
+fn encode_tcp_profile(profile: &Profile) -> Value {
+    obj([
+        ("name", Value::Str(profile.name.clone())),
+        (
+            "initial_cwnd_segments",
+            Value::U64(u64::from(profile.initial_cwnd_segments)),
+        ),
+        (
+            "max_data_retries",
+            Value::U64(u64::from(profile.max_data_retries)),
+        ),
+        ("min_rto", encode_duration(profile.min_rto)),
+        ("max_rto", encode_duration(profile.max_rto)),
+        (
+            "naive_ack_counting",
+            Value::Bool(profile.naive_ack_counting),
+        ),
+        ("fast_retransmit", Value::Bool(profile.fast_retransmit)),
+        (
+            "harsh_dupack_response",
+            Value::Bool(profile.harsh_dupack_response),
+        ),
+        (
+            "invalid_flags",
+            Value::Str(
+                match profile.invalid_flags {
+                    InvalidFlagPolicy::BestEffort => "best_effort",
+                    InvalidFlagPolicy::Ignore => "ignore",
+                    InvalidFlagPolicy::RstAlwaysWins => "rst_always_wins",
+                }
+                .to_owned(),
+            ),
+        ),
+        (
+            "abort_style",
+            Value::Str(
+                match profile.abort_style {
+                    AbortStyle::FinThenRst => "fin_then_rst",
+                    AbortStyle::RstOnly => "rst_only",
+                }
+                .to_owned(),
+            ),
+        ),
+        ("dsack", Value::Bool(profile.dsack)),
+        (
+            "sack_loss_evidence",
+            Value::Bool(profile.sack_loss_evidence),
+        ),
+        ("sack_recovery", Value::Bool(profile.sack_recovery)),
+        ("syn_retries", Value::U64(u64::from(profile.syn_retries))),
+        ("time_wait", encode_duration(profile.time_wait)),
+        ("app_close_delay", encode_duration(profile.app_close_delay)),
+    ])
+}
+
+fn decode_tcp_profile(value: &Value) -> Result<Profile, JsonError> {
+    let invalid_flags = match value.req_str("invalid_flags")? {
+        "best_effort" => InvalidFlagPolicy::BestEffort,
+        "ignore" => InvalidFlagPolicy::Ignore,
+        "rst_always_wins" => InvalidFlagPolicy::RstAlwaysWins,
+        other => {
+            return Err(JsonError::decode(format!(
+                "unknown invalid_flags policy `{other}`"
+            )))
+        }
+    };
+    let abort_style = match value.req_str("abort_style")? {
+        "fin_then_rst" => AbortStyle::FinThenRst,
+        "rst_only" => AbortStyle::RstOnly,
+        other => return Err(JsonError::decode(format!("unknown abort_style `{other}`"))),
+    };
+    Ok(Profile {
+        name: value.req_str("name")?.to_owned(),
+        initial_cwnd_segments: decode_u32(value, "initial_cwnd_segments")?,
+        max_data_retries: decode_u32(value, "max_data_retries")?,
+        min_rto: decode_duration(value.req("min_rto")?, "min_rto")?,
+        max_rto: decode_duration(value.req("max_rto")?, "max_rto")?,
+        naive_ack_counting: value.req_bool("naive_ack_counting")?,
+        fast_retransmit: value.req_bool("fast_retransmit")?,
+        harsh_dupack_response: value.req_bool("harsh_dupack_response")?,
+        invalid_flags,
+        abort_style,
+        dsack: value.req_bool("dsack")?,
+        sack_loss_evidence: value.req_bool("sack_loss_evidence")?,
+        sack_recovery: value.req_bool("sack_recovery")?,
+        syn_retries: decode_u32(value, "syn_retries")?,
+        time_wait: decode_duration(value.req("time_wait")?, "time_wait")?,
+        app_close_delay: decode_duration(value.req("app_close_delay")?, "app_close_delay")?,
+    })
+}
+
+fn encode_dccp_profile(profile: &DccpProfile) -> Value {
+    obj([
+        ("name", Value::Str(profile.name.clone())),
+        (
+            "initial_cwnd_packets",
+            Value::U64(u64::from(profile.initial_cwnd_packets)),
+        ),
+        ("seq_window", Value::U64(profile.seq_window)),
+        ("ack_ratio", Value::U64(u64::from(profile.ack_ratio))),
+        ("tx_qlen", Value::U64(profile.tx_qlen as u64)),
+        ("min_rto", encode_duration(profile.min_rto)),
+        ("max_rto", encode_duration(profile.max_rto)),
+        (
+            "request_retries",
+            Value::U64(u64::from(profile.request_retries)),
+        ),
+        (
+            "close_retries",
+            Value::U64(u64::from(profile.close_retries)),
+        ),
+        (
+            "type_check_before_seq",
+            Value::Bool(profile.type_check_before_seq),
+        ),
+        ("time_wait", encode_duration(profile.time_wait)),
+    ])
+}
+
+fn decode_dccp_profile(value: &Value) -> Result<DccpProfile, JsonError> {
+    Ok(DccpProfile {
+        name: value.req_str("name")?.to_owned(),
+        initial_cwnd_packets: decode_u32(value, "initial_cwnd_packets")?,
+        seq_window: value.req_u64("seq_window")?,
+        ack_ratio: decode_u32(value, "ack_ratio")?,
+        tx_qlen: decode_usize(value, "tx_qlen")?,
+        min_rto: decode_duration(value.req("min_rto")?, "min_rto")?,
+        max_rto: decode_duration(value.req("max_rto")?, "max_rto")?,
+        request_retries: decode_u32(value, "request_retries")?,
+        close_retries: decode_u32(value, "close_retries")?,
+        type_check_before_seq: value.req_bool("type_check_before_seq")?,
+        time_wait: decode_duration(value.req("time_wait")?, "time_wait")?,
+    })
+}
+
+pub(crate) fn encode_scenario(spec: &ScenarioSpec) -> Value {
+    let (protocol, profile) = match &spec.protocol {
+        ProtocolKind::Tcp(profile) => ("tcp", encode_tcp_profile(profile)),
+        ProtocolKind::Dccp(profile) => ("dccp", encode_dccp_profile(profile)),
+    };
+    obj([
+        ("protocol", Value::Str(protocol.to_owned())),
+        ("profile", profile),
+        (
+            "dumbbell",
+            obj([
+                ("bottleneck", encode_link(&spec.dumbbell.bottleneck)),
+                ("access", encode_link(&spec.dumbbell.access)),
+            ]),
+        ),
+        ("data_secs", Value::U64(spec.data_secs)),
+        ("grace_secs", Value::U64(spec.grace_secs)),
+        ("seed", Value::U64(spec.seed)),
+        (
+            "target_connections",
+            Value::U64(spec.target_connections as u64),
+        ),
+        (
+            "event_budget",
+            match spec.event_budget {
+                None => Value::Null,
+                Some(budget) => Value::U64(budget),
+            },
+        ),
+    ])
+}
+
+pub(crate) fn decode_scenario(value: &Value) -> Result<ScenarioSpec, JsonError> {
+    let profile = value.req("profile")?;
+    let protocol = match value.req_str("protocol")? {
+        "tcp" => ProtocolKind::Tcp(decode_tcp_profile(profile)?),
+        "dccp" => ProtocolKind::Dccp(decode_dccp_profile(profile)?),
+        other => return Err(JsonError::decode(format!("unknown protocol `{other}`"))),
+    };
+    let dumbbell = value.req("dumbbell")?;
+    let event_budget = match value.req("event_budget")? {
+        Value::Null => None,
+        budget => Some(
+            budget
+                .as_u64()
+                .ok_or_else(|| JsonError::decode("event_budget: expected integer"))?,
+        ),
+    };
+    Ok(ScenarioSpec {
+        protocol,
+        dumbbell: DumbbellSpec {
+            bottleneck: decode_link(dumbbell.req("bottleneck")?)?,
+            access: decode_link(dumbbell.req("access")?)?,
+        },
+        data_secs: value.req_u64("data_secs")?,
+        grace_secs: value.req_u64("grace_secs")?,
+        seed: value.req_u64("seed")?,
+        target_connections: decode_usize(value, "target_connections")?,
+        event_budget,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Handshake
+// ---------------------------------------------------------------------------
+
+/// Everything a worker needs to stand up its executors, decoded from the
+/// controller's `hello`.
+struct WorkerJob {
+    shard: u64,
+    digest: u64,
+    spec: ScenarioSpec,
+    threshold: f64,
+    baseline_reps: usize,
+    retest: bool,
+    snapshot_fork: bool,
+    memoize: bool,
+    deadline: Option<Duration>,
+    stall_retries: usize,
+    stall_backoff: Duration,
+}
+
+fn encode_hello(shard: usize, digest: u64, config: &CampaignConfig, memoize: bool) -> Value {
+    obj([
+        ("type", Value::Str("hello".to_owned())),
+        ("version", Value::U64(WIRE_VERSION)),
+        ("shard", Value::U64(shard as u64)),
+        ("digest", Value::U64(digest)),
+        ("scenario", encode_scenario(&config.scenario)),
+        ("threshold", Value::F64(config.threshold)),
+        ("baseline_reps", Value::U64(config.baseline_reps as u64)),
+        ("retest", Value::Bool(config.retest)),
+        ("snapshot_fork", Value::Bool(config.snapshot_fork)),
+        ("memoize", Value::Bool(memoize)),
+        (
+            "deadline_nanos",
+            match config.deadline {
+                None => Value::Null,
+                Some(deadline) => Value::U64(deadline.as_nanos() as u64),
+            },
+        ),
+        ("stall_retries", Value::U64(config.stall_retries as u64)),
+        (
+            "stall_backoff_nanos",
+            Value::U64(config.stall_backoff.as_nanos() as u64),
+        ),
+    ])
+}
+
+fn decode_hello(message: &Value) -> Result<WorkerJob, JsonError> {
+    let version = message.req_u64("version")?;
+    if version != WIRE_VERSION {
+        return Err(JsonError::decode(format!(
+            "shard wire version mismatch: controller speaks {version}, worker speaks {WIRE_VERSION}"
+        )));
+    }
+    let deadline = match message.req("deadline_nanos")? {
+        Value::Null => None,
+        nanos => Some(Duration::from_nanos(nanos.as_u64().ok_or_else(|| {
+            JsonError::decode("deadline_nanos: expected integer")
+        })?)),
+    };
+    Ok(WorkerJob {
+        shard: message.req_u64("shard")?,
+        digest: message.req_u64("digest")?,
+        spec: decode_scenario(message.req("scenario")?)?,
+        threshold: message.req_f64("threshold")?,
+        baseline_reps: decode_usize(message, "baseline_reps")?,
+        retest: message.req_bool("retest")?,
+        snapshot_fork: message.req_bool("snapshot_fork")?,
+        memoize: message.req_bool("memoize")?,
+        deadline,
+        stall_retries: decode_usize(message, "stall_retries")?,
+        stall_backoff: Duration::from_nanos(message.req_u64("stall_backoff_nanos")?),
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Worker
+// ---------------------------------------------------------------------------
+
+/// An [`Observer`] that only accumulates counters, so a worker can ship
+/// per-evaluation counter deltas to the controller. Spans and histogram
+/// samples are deliberately dropped: in a single-process run they land
+/// only in the manifest's (timing) section, which determinism comparisons
+/// strip, so reproducing them buys nothing.
+#[derive(Debug, Default)]
+struct CounterAccumulator {
+    counters: Mutex<BTreeMap<&'static str, u64>>,
+}
+
+impl CounterAccumulator {
+    /// Takes and resets the accumulated counter deltas.
+    fn drain(&self) -> BTreeMap<&'static str, u64> {
+        std::mem::take(&mut *self.counters.lock().unwrap())
+    }
+}
+
+impl Observer for CounterAccumulator {
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn counter_add(&self, name: &'static str, delta: u64) {
+        *self.counters.lock().unwrap().entry(name).or_insert(0) += delta;
+    }
+}
+
+/// Parses the `SNAKE_SHARD_EXIT_AFTER="<shard>:<k>"` test hook: the
+/// matching worker calls `process::exit` after sending `k` outcomes
+/// (`k = 0` exits right after the `ready` handshake). Used by the
+/// shard-death determinism tests; ignored unless the shard index matches.
+fn exit_after_hook(shard: u64) -> Option<u64> {
+    let spec = env::var("SNAKE_SHARD_EXIT_AFTER").ok()?;
+    let (target, count) = spec.split_once(':')?;
+    if target.trim().parse::<u64>().ok()? == shard {
+        count.trim().parse().ok()
+    } else {
+        None
+    }
+}
+
+/// Runs the `snake shard-worker` loop: connect to the controller at
+/// `addr`, handshake, evaluate the strategy ranges it sends, and stream
+/// back one `outcome` message per strategy. Returns when the controller
+/// sends `shutdown` or closes the connection.
+///
+/// The worker is stateless between ranges and owns no campaign artifacts:
+/// no journal, no memo store, no verdict ledger. If it dies mid-range the
+/// controller re-dispatches the unfinished indices elsewhere, and
+/// already-admitted outcomes are never re-run.
+pub fn run_shard_worker(addr: &str) -> io::Result<()> {
+    let stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true).ok();
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+
+    let hello = read_message(&mut reader)?
+        .ok_or_else(|| protocol_err("controller closed the connection before hello"))?;
+    if hello.req_str("type").map_err(decode_err)? != "hello" {
+        return Err(protocol_err("expected hello as the first message"));
+    }
+    let job = decode_hello(&hello).map_err(decode_err)?;
+    let digest = scenario_digest(&job.spec, job.threshold, job.baseline_reps);
+    if digest != job.digest {
+        // Echo what we computed anyway: the controller reports the
+        // mismatch and degrades to in-process execution.
+        let ready = obj([
+            ("type", Value::Str("ready".to_owned())),
+            ("digest", Value::U64(digest)),
+        ]);
+        write_line(&mut writer, &ready)?;
+        return Err(protocol_err(format!(
+            "scenario digest mismatch: controller sent {:016x}, decoded spec hashes to {digest:016x}",
+            job.digest
+        )));
+    }
+    let exit_after = exit_after_hook(job.shard);
+
+    // Stand up the executors exactly as `Campaign::run` does, with a
+    // counter-accumulating observer so evaluation tallies can be shipped
+    // to the controller per outcome.
+    let accumulator = Arc::new(CounterAccumulator::default());
+    let observer: Arc<dyn Observer> = accumulator.clone();
+    let exec_options = ExecutorOptions {
+        snapshot_fork: job.snapshot_fork,
+        memoize: job.memoize,
+        halt_arming: true,
+        observer: observer.clone(),
+    };
+    let exec = PlannedExecutor::new(&job.spec, exec_options.clone());
+    let baseline = exec.baseline().clone();
+    if !baseline_valid(&baseline) {
+        return Err(protocol_err("worker baseline is invalid"));
+    }
+    let retest_spec = ScenarioSpec {
+        seed: job.spec.seed.wrapping_add(1),
+        ..job.spec.clone()
+    };
+    let retest_exec = if job.retest {
+        Some(PlannedExecutor::new(&retest_spec, exec_options))
+    } else {
+        None
+    };
+    let envelope = build_envelope(&job.spec, &baseline, job.baseline_reps, job.threshold);
+    let retest_envelope = retest_exec.as_ref().map(|retest| {
+        build_envelope(
+            &retest_spec,
+            retest.baseline(),
+            job.baseline_reps,
+            job.threshold,
+        )
+    });
+
+    let config = CampaignConfig {
+        scenario: job.spec,
+        params: GenerationParams::default(),
+        threshold: job.threshold,
+        parallelism: 1,
+        max_strategies: None,
+        feedback_rounds: 1,
+        retest: job.retest,
+        journal: None,
+        resume: false,
+        progress_every: 0,
+        snapshot_fork: job.snapshot_fork,
+        memoize: job.memoize,
+        memo_store: None,
+        fault_hook: None,
+        chaos: None,
+        baseline_reps: job.baseline_reps,
+        deadline: job.deadline,
+        stall_retries: job.stall_retries,
+        stall_backoff: job.stall_backoff,
+        observer,
+        shards: 0,
+        shard_listen: None,
+        shard_worker_bin: None,
+    };
+    let shared = Arc::new(SharedCtx {
+        exec,
+        retest_exec,
+        config,
+        memoize: job.memoize,
+        envelope,
+        retest_envelope,
+        escalated: AtomicUsize::new(0),
+        stalls: AtomicUsize::new(0),
+        quarantined: AtomicUsize::new(0),
+    });
+    // Setup cost (baseline, plan, envelopes) accrued counters of its own;
+    // the controller already counted its setup once, so discard ours
+    // rather than double-reporting.
+    accumulator.drain();
+
+    let ready = obj([
+        ("type", Value::Str("ready".to_owned())),
+        ("digest", Value::U64(digest)),
+    ]);
+    write_line(&mut writer, &ready)?;
+    let mut sent: u64 = 0;
+    if exit_after == Some(sent) {
+        std::process::exit(EXIT_AFTER_CODE);
+    }
+
+    while let Some(message) = read_message(&mut reader)? {
+        match message.req_str("type").map_err(decode_err)? {
+            "range" => {
+                let start = message.req_u64("start").map_err(decode_err)?;
+                let strategies = message
+                    .req("strategies")
+                    .map_err(decode_err)?
+                    .as_arr()
+                    .ok_or_else(|| protocol_err("range.strategies: expected array"))?;
+                for (offset, encoded) in strategies.iter().enumerate() {
+                    let strategy = Strategy::from_json(encoded).map_err(decode_err)?;
+                    let began = Instant::now();
+                    let outcome = evaluate_watched(&shared, strategy);
+                    let busy_nanos = began.elapsed().as_nanos() as u64;
+                    let counters = accumulator.drain();
+                    let counters_obj = Value::Obj(
+                        counters
+                            .into_iter()
+                            .map(|(name, delta)| (name.to_owned(), Value::U64(delta)))
+                            .collect(),
+                    );
+                    let reply = obj([
+                        ("type", Value::Str("outcome".to_owned())),
+                        ("index", Value::U64(start + offset as u64)),
+                        ("busy_nanos", Value::U64(busy_nanos)),
+                        ("counters", counters_obj),
+                        ("outcome", outcome.to_json()),
+                    ]);
+                    write_line(&mut writer, &reply)?;
+                    sent += 1;
+                    if exit_after == Some(sent) {
+                        std::process::exit(EXIT_AFTER_CODE);
+                    }
+                }
+            }
+            "shutdown" => break,
+            other => return Err(protocol_err(format!("unexpected message type `{other}`"))),
+        }
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Controller
+// ---------------------------------------------------------------------------
+
+/// One message from a shard's reader thread to the dispatcher.
+pub(crate) enum ShardEvent {
+    /// A worker finished one strategy.
+    Outcome {
+        /// Which shard produced it.
+        shard: usize,
+        /// Global strategy index within the batch.
+        index: usize,
+        /// Worker wall-clock spent evaluating, for busy/idle accounting.
+        busy_nanos: u64,
+        /// Counter deltas the worker's observer accumulated.
+        counters: Vec<(String, u64)>,
+        /// The evaluated outcome, in journal encoding.
+        outcome: Box<StrategyOutcome>,
+    },
+    /// The shard's connection closed or produced an undecodable message.
+    Dead {
+        /// Which shard died.
+        shard: usize,
+    },
+}
+
+fn decode_outcome_event(shard: usize, message: &Value) -> Result<ShardEvent, JsonError> {
+    if message.req_str("type")? != "outcome" {
+        return Err(JsonError::decode("expected an outcome message"));
+    }
+    let index = message.req_u64("index")?;
+    let index =
+        usize::try_from(index).map_err(|_| JsonError::decode("outcome index overflows usize"))?;
+    let counters = match message.req("counters")? {
+        Value::Obj(pairs) => pairs
+            .iter()
+            .map(|(name, delta)| {
+                delta
+                    .as_u64()
+                    .map(|delta| (name.clone(), delta))
+                    .ok_or_else(|| JsonError::decode(format!("counter {name}: expected integer")))
+            })
+            .collect::<Result<Vec<_>, _>>()?,
+        _ => return Err(JsonError::decode("outcome.counters: expected object")),
+    };
+    Ok(ShardEvent::Outcome {
+        shard,
+        index,
+        busy_nanos: message.req_u64("busy_nanos")?,
+        counters,
+        outcome: Box::new(StrategyOutcome::from_json(message.req("outcome")?)?),
+    })
+}
+
+fn shutdown_message() -> Value {
+    obj([("type", Value::Str("shutdown".to_owned()))])
+}
+
+/// Waits for `child` to exit, escalating to a kill after [`REAP_TIMEOUT`].
+fn reap(child: &mut Child) {
+    let deadline = Instant::now() + REAP_TIMEOUT;
+    loop {
+        match child.try_wait() {
+            Ok(Some(_)) | Err(_) => return,
+            Ok(None) => {}
+        }
+        if Instant::now() >= deadline {
+            child.kill().ok();
+            child.wait().ok();
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+/// One connected (or once-connected) worker process, controller side.
+struct ShardLink {
+    /// A clone of the connection, kept for `shutdown(2)` even after the
+    /// writer is dropped.
+    socket: TcpStream,
+    /// Send half; `None` once the shard is declared dead.
+    writer: Option<BufWriter<TcpStream>>,
+    /// The spawned worker process (absent for `--connect` workers).
+    child: Option<Child>,
+    /// The reader thread draining this shard's outcome stream.
+    reader: Option<JoinHandle<()>>,
+    /// Whether the handshake (ready + digest match) succeeded.
+    handshaked: bool,
+    /// Total worker-reported evaluation time.
+    busy_nanos: u64,
+    /// Outcomes received from this shard.
+    outcomes: u64,
+}
+
+/// The controller's set of worker processes for one campaign, plus the
+/// merged event stream their reader threads feed.
+pub(crate) struct ShardPool {
+    links: Vec<ShardLink>,
+    events: mpsc::Receiver<ShardEvent>,
+    started: Instant,
+    /// Shards that completed the handshake (the `shard.workers` counter).
+    workers: usize,
+    /// Ranges handed to workers, including re-dispatches.
+    pub(crate) ranges_dispatched: u64,
+    /// Ranges re-dispatched after a shard death or protocol violation.
+    pub(crate) ranges_redispatched: u64,
+}
+
+impl std::fmt::Debug for ShardPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardPool")
+            .field("links", &self.links.len())
+            .field("workers", &self.workers)
+            .field("ranges_dispatched", &self.ranges_dispatched)
+            .field("ranges_redispatched", &self.ranges_redispatched)
+            .finish()
+    }
+}
+
+fn spawn_reader(
+    shard: usize,
+    mut reader: BufReader<TcpStream>,
+    tx: mpsc::Sender<ShardEvent>,
+) -> JoinHandle<()> {
+    std::thread::Builder::new()
+        .name(format!("snake-shard-rx-{shard}"))
+        .spawn(move || loop {
+            let event = match read_message(&mut reader) {
+                Ok(Some(message)) => {
+                    decode_outcome_event(shard, &message).unwrap_or(ShardEvent::Dead { shard })
+                }
+                Ok(None) | Err(_) => ShardEvent::Dead { shard },
+            };
+            let dead = matches!(event, ShardEvent::Dead { .. });
+            if tx.send(event).is_err() || dead {
+                break;
+            }
+        })
+        .expect("spawning a shard reader thread cannot fail")
+}
+
+/// Accepts up to `want` connections from spawned children, polling so a
+/// child that died on startup does not hang the controller forever.
+fn accept_children(listener: &TcpListener, want: usize, children: &mut [Child]) -> Vec<TcpStream> {
+    listener
+        .set_nonblocking(true)
+        .expect("loopback listener supports nonblocking");
+    let deadline = Instant::now() + HANDSHAKE_TIMEOUT;
+    let mut accepted = Vec::new();
+    while accepted.len() < want && Instant::now() < deadline {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                stream
+                    .set_nonblocking(false)
+                    .expect("accepted stream supports blocking");
+                accepted.push(stream);
+            }
+            Err(err) if err.kind() == io::ErrorKind::WouldBlock => {
+                // A connected worker blocks on its socket, so an exited
+                // child is one that failed before connecting. Once every
+                // still-running child is accounted for by an accepted
+                // stream, no further connection can arrive.
+                let exited = children
+                    .iter_mut()
+                    .filter_map(|child| child.try_wait().ok().flatten())
+                    .count();
+                if children.len() - exited <= accepted.len() {
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            Err(_) => break,
+        }
+    }
+    accepted
+}
+
+impl ShardPool {
+    /// Spawns (or accepts) the configured worker processes, handshakes
+    /// each one, and starts their reader threads. Shards that fail to
+    /// connect, echo a wrong digest, or die during the handshake are
+    /// simply absent from the live set; the caller degrades to in-process
+    /// execution when `live()` comes back zero.
+    pub(crate) fn launch(config: &CampaignConfig, memoize: bool) -> io::Result<ShardPool> {
+        let digest = scenario_digest(&config.scenario, config.threshold, config.baseline_reps);
+        let (tx, rx) = mpsc::channel();
+        let mut streams: Vec<(TcpStream, Option<Child>)> = Vec::new();
+
+        if let Some(listen) = &config.shard_listen {
+            let listener = TcpListener::bind(listen.as_str())?;
+            let addr = listener.local_addr()?;
+            eprintln!(
+                "snake: shard controller listening on {addr} — start {} `snake shard-worker --connect {addr}` process(es)",
+                config.shards
+            );
+            for _ in 0..config.shards {
+                let (stream, _) = listener.accept()?;
+                streams.push((stream, None));
+            }
+        } else {
+            let listener = TcpListener::bind("127.0.0.1:0")?;
+            let addr = listener.local_addr()?;
+            let worker_bin = match &config.shard_worker_bin {
+                Some(path) => path.clone(),
+                None => env::current_exe()?,
+            };
+            let mut children = Vec::new();
+            for _ in 0..config.shards {
+                let spawned = Command::new(&worker_bin)
+                    .args(["shard-worker", "--connect", &addr.to_string()])
+                    .stdin(Stdio::null())
+                    .stdout(Stdio::null())
+                    .stderr(Stdio::inherit())
+                    .spawn();
+                match spawned {
+                    Ok(child) => children.push(child),
+                    Err(err) => {
+                        eprintln!("snake: failed to spawn shard worker {worker_bin:?}: {err}");
+                    }
+                }
+            }
+            let accepted = accept_children(&listener, children.len(), &mut children);
+            // Pair accepted streams with children positionally for
+            // reaping only — shard identity comes from the hello message,
+            // so the pairing does not need to match spawn order.
+            let mut children = children.into_iter();
+            for stream in accepted {
+                streams.push((stream, children.next()));
+            }
+            // Children beyond the accepted count never connected; reap
+            // them now rather than leaking processes.
+            for mut orphan in children {
+                orphan.kill().ok();
+                orphan.wait().ok();
+            }
+        }
+
+        let mut links = Vec::new();
+        let mut workers = 0;
+        for (shard, (stream, child)) in streams.into_iter().enumerate() {
+            stream.set_nodelay(true).ok();
+            let link = Self::handshake(shard, stream, child, digest, config, memoize, &tx);
+            workers += usize::from(link.handshaked);
+            links.push(link);
+        }
+        Ok(ShardPool {
+            links,
+            events: rx,
+            started: Instant::now(),
+            workers,
+            ranges_dispatched: 0,
+            ranges_redispatched: 0,
+        })
+    }
+
+    /// Runs the hello/ready handshake on one accepted stream. Any failure
+    /// produces a dead link (kept only so its child is reaped later).
+    fn handshake(
+        shard: usize,
+        stream: TcpStream,
+        child: Option<Child>,
+        digest: u64,
+        config: &CampaignConfig,
+        memoize: bool,
+        tx: &mpsc::Sender<ShardEvent>,
+    ) -> ShardLink {
+        let mut link = ShardLink {
+            socket: stream.try_clone().unwrap_or(stream),
+            writer: None,
+            child,
+            reader: None,
+            handshaked: false,
+            busy_nanos: 0,
+            outcomes: 0,
+        };
+        let attempt = (|| -> io::Result<(BufWriter<TcpStream>, BufReader<TcpStream>)> {
+            let mut writer = BufWriter::new(link.socket.try_clone()?);
+            write_line(&mut writer, &encode_hello(shard, digest, config, memoize))?;
+            let read_half = link.socket.try_clone()?;
+            read_half.set_read_timeout(Some(HANDSHAKE_TIMEOUT))?;
+            let mut reader = BufReader::new(read_half);
+            let ready = read_message(&mut reader)?
+                .ok_or_else(|| protocol_err("worker closed the connection before ready"))?;
+            if ready.req_str("type").map_err(decode_err)? != "ready" {
+                return Err(protocol_err("expected a ready message"));
+            }
+            let echoed = ready.req_u64("digest").map_err(decode_err)?;
+            if echoed != digest {
+                return Err(protocol_err(format!(
+                    "scenario digest mismatch: sent {digest:016x}, worker decoded {echoed:016x}"
+                )));
+            }
+            reader.get_ref().set_read_timeout(None)?;
+            Ok((writer, reader))
+        })();
+        match attempt {
+            Ok((writer, reader)) => {
+                link.writer = Some(writer);
+                link.reader = Some(spawn_reader(shard, reader, tx.clone()));
+                link.handshaked = true;
+            }
+            Err(err) => {
+                eprintln!("snake: shard {shard} failed its handshake and was dropped: {err}");
+                link.socket.shutdown(Shutdown::Both).ok();
+            }
+        }
+        link
+    }
+
+    /// Shards currently accepting work.
+    pub(crate) fn live(&self) -> usize {
+        self.links
+            .iter()
+            .filter(|link| link.writer.is_some())
+            .count()
+    }
+
+    /// Whether one specific shard is still accepting work.
+    pub(crate) fn is_live(&self, shard: usize) -> bool {
+        self.links
+            .get(shard)
+            .is_some_and(|link| link.writer.is_some())
+    }
+
+    /// Total link slots (dead ones included); shard indices range over this.
+    pub(crate) fn len(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Sends one contiguous range to a shard. Returns `false` — after
+    /// killing the link — when the write fails, so the caller re-queues.
+    pub(crate) fn send_range(
+        &mut self,
+        shard: usize,
+        start: usize,
+        strategies: &[Strategy],
+    ) -> bool {
+        let Some(writer) = self
+            .links
+            .get_mut(shard)
+            .and_then(|link| link.writer.as_mut())
+        else {
+            return false;
+        };
+        let message = obj([
+            ("type", Value::Str("range".to_owned())),
+            ("start", Value::U64(start as u64)),
+            (
+                "strategies",
+                Value::Arr(strategies.iter().map(ToJson::to_json).collect()),
+            ),
+        ]);
+        if write_line(writer, &message).is_err() {
+            self.kill(shard);
+            return false;
+        }
+        self.ranges_dispatched += 1;
+        true
+    }
+
+    /// Declares a shard dead: drops its writer and shuts the socket down
+    /// (which also unblocks its reader thread into an EOF).
+    pub(crate) fn kill(&mut self, shard: usize) {
+        if let Some(link) = self.links.get_mut(shard) {
+            link.writer = None;
+            link.socket.shutdown(Shutdown::Both).ok();
+        }
+    }
+
+    /// Credits one received outcome to a shard's busy-time tally.
+    pub(crate) fn record_busy(&mut self, shard: usize, busy_nanos: u64) {
+        if let Some(link) = self.links.get_mut(shard) {
+            link.busy_nanos += busy_nanos;
+            link.outcomes += 1;
+        }
+    }
+
+    /// Blocks for the next event from any shard. `None` means every
+    /// reader thread is gone — the pool is effectively dead.
+    pub(crate) fn next_event(&self) -> Option<ShardEvent> {
+        self.events.recv().ok()
+    }
+
+    /// Shuts every worker down, joins the reader threads, reaps spawned
+    /// children, and reports per-shard tallies to `observer`: the
+    /// `shard.workers` / `shard.ranges_dispatched` /
+    /// `shard.ranges_redispatched` counters and one `shard.busy_nanos` /
+    /// `shard.idle_nanos` histogram sample per handshaked shard.
+    pub(crate) fn finish(&mut self, observer: &dyn Observer) {
+        let lifetime = self.started.elapsed().as_nanos() as u64;
+        self.teardown();
+        observer.counter_add("shard.workers", self.workers as u64);
+        observer.counter_add("shard.ranges_dispatched", self.ranges_dispatched);
+        observer.counter_add("shard.ranges_redispatched", self.ranges_redispatched);
+        for link in &self.links {
+            if link.handshaked {
+                observer.record("shard.busy_nanos", link.busy_nanos);
+                observer.record("shard.idle_nanos", lifetime.saturating_sub(link.busy_nanos));
+            }
+        }
+    }
+
+    fn teardown(&mut self) {
+        for link in &mut self.links {
+            if let Some(mut writer) = link.writer.take() {
+                write_line(&mut writer, &shutdown_message()).ok();
+            }
+            link.socket.shutdown(Shutdown::Both).ok();
+        }
+        for link in &mut self.links {
+            if let Some(handle) = link.reader.take() {
+                handle.join().ok();
+            }
+            if let Some(mut child) = link.child.take() {
+                reap(&mut child);
+            }
+        }
+    }
+}
+
+impl Drop for ShardPool {
+    fn drop(&mut self) {
+        self.teardown();
+    }
+}

@@ -26,8 +26,20 @@
 # rerun is bit-identical and serves >= 50% of its eligible runs from disk;
 # the figures land in the JSON's `warm_store` block. The store file is
 # kept at $SNAKE_MEMO_STORE when set (CI archives it), else a temp file.
+#
+# Finally, a sharded rep runs the from-scratch campaign at S in {1,2,4}
+# worker *processes* (the `snake shard-worker` executors, spawned from the
+# binary built below), asserting outcome identity with the in-process run
+# and recording strategies/sec per shard count in the JSON's `sharded`
+# block. The >=1.6x S=4 scaling gate only arms on machines with >= 4 cores.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+# The sharded rep spawns worker processes from the release `snake` binary;
+# `cargo bench` alone does not build workspace bins, so build it here.
+cargo build --release -p snake-core --bin snake
+SNAKE_BIN="$(pwd)/target/release/snake"
+export SNAKE_BIN
 
 # The last commit before snapshot-fork execution landed: every strategy ran
 # from scratch and the event-loop hot path still cloned per hop.
