@@ -49,6 +49,15 @@ use snake_tcp::Profile;
 
 const MAX_STRATEGIES: usize = 200;
 const HISTORY_CAP: usize = 50;
+/// Committed memoized-mode events/sec baseline: the last bench emission
+/// before the timer-wheel scheduler overhaul (BENCH_campaign.json at that
+/// commit), measured on the reference binary-heap event queue.
+const HEAP_BASELINE_EVENTS_PER_SEC: f64 = 8_566_341.0;
+/// The scheduler overhaul's throughput gate: memoized events/sec must
+/// beat the heap-era baseline by at least this factor. Set
+/// `SNAKE_BENCH_SKIP_EVENTS_GATE` to record figures without enforcing it
+/// (e.g. when benchmarking on a host slower than the baseline machine).
+const EVENTS_PER_SEC_GATE: f64 = 1.3;
 /// Observability overhead budget: an attached recorder may cost at most
 /// this multiple of the unobserved (no-op observer) wall-clock.
 const OVERHEAD_LIMIT: f64 = 1.02;
@@ -439,8 +448,10 @@ fn main() {
 
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_campaign.json");
     let mut history = load_history(path);
+    let events_per_sec = events(&memoized) as f64 / memo_secs;
     history.push(obj([
         ("memoized_strategies_per_sec", Value::F64(n / memo_secs)),
+        ("events_per_sec", Value::F64(events_per_sec)),
         ("forked_strategies_per_sec", Value::F64(n / forked_secs)),
         (
             "from_scratch_strategies_per_sec",
@@ -563,6 +574,15 @@ fn main() {
     let manifest_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_manifest.json");
     let manifest_json = manifest.to_json().to_string_compact();
     std::fs::write(manifest_path, format!("{manifest_json}\n")).expect("write BENCH_manifest.json");
+
+    if std::env::var_os("SNAKE_BENCH_SKIP_EVENTS_GATE").is_none() {
+        assert!(
+            events_per_sec >= EVENTS_PER_SEC_GATE * HEAP_BASELINE_EVENTS_PER_SEC,
+            "event-loop throughput gate: memoized campaign must clear \
+             {EVENTS_PER_SEC_GATE}x the heap-scheduler baseline \
+             ({HEAP_BASELINE_EVENTS_PER_SEC:.0} events/s), got {events_per_sec:.0}"
+        );
+    }
 
     assert!(
         observer_overhead <= OVERHEAD_LIMIT,

@@ -684,6 +684,12 @@ fn print_observe_summary(
         snapshot.counter("netsim.queue_compactions"),
     );
     eprintln!(
+        "  netsim queue/arena: {} summed depth high-water, {} arena allocs, {} arena reuses",
+        snapshot.counter("netsim.queue.depth_hwm"),
+        snapshot.counter("netsim.arena.alloc"),
+        snapshot.counter("netsim.arena.reuse"),
+    );
+    eprintln!(
         "  forks: {} snapshot captures ({} bytes), {} run forks ({} bytes)",
         snapshot.counter("netsim.snapshot_forks"),
         snapshot.counter("netsim.snapshot_clone_bytes"),
@@ -728,10 +734,11 @@ fn print_observe_summary(
         let idle = snapshot.histograms.get("shard.idle_nanos");
         eprintln!(
             "  shards: {} worker(s), {} range(s) dispatched ({} re-dispatched), \
-             mean busy {:.3}s / idle {:.3}s",
+             {} outcome batch(es), mean busy {:.3}s / idle {:.3}s",
             snapshot.counter("shard.workers"),
             snapshot.counter("shard.ranges_dispatched"),
             snapshot.counter("shard.ranges_redispatched"),
+            snapshot.counter("shard.outcome_batches"),
             busy.map_or(0.0, |h| h.mean() as f64 / 1e9),
             idle.map_or(0.0, |h| h.mean() as f64 / 1e9),
         );

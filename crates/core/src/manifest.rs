@@ -67,6 +67,10 @@ fn shards_section(snapshot: &RecorderSnapshot) -> Value {
             "ranges_redispatched",
             Value::U64(snapshot.counter("shard.ranges_redispatched")),
         ),
+        (
+            "outcome_batches",
+            Value::U64(snapshot.counter("shard.outcome_batches")),
+        ),
         ("busy_nanos", histogram("shard.busy_nanos")),
         ("idle_nanos", histogram("shard.idle_nanos")),
     ])
@@ -180,6 +184,9 @@ fn netsim_section(snapshot: &RecorderSnapshot) -> Value {
         ("timers_cancelled", c("netsim.timers_cancelled")),
         ("timers_purged", c("netsim.timers_purged")),
         ("queue_compactions", c("netsim.queue_compactions")),
+        ("queue_depth_hwm", c("netsim.queue.depth_hwm")),
+        ("arena_alloc", c("netsim.arena.alloc")),
+        ("arena_reuse", c("netsim.arena.reuse")),
         ("snapshot_forks", c("netsim.snapshot_forks")),
         ("snapshot_clone_bytes", c("netsim.snapshot_clone_bytes")),
         ("forks", c("netsim.forks")),

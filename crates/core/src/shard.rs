@@ -102,6 +102,9 @@ const WORKER_COUNTERS: &[&str] = &[
     "netsim.timers_cancelled",
     "netsim.timers_purged",
     "netsim.queue_compactions",
+    "netsim.queue.depth_hwm",
+    "netsim.arena.alloc",
+    "netsim.arena.reuse",
     "netsim.snapshot_forks",
     "netsim.snapshot_clone_bytes",
     "netsim.forks",
@@ -111,6 +114,7 @@ const WORKER_COUNTERS: &[&str] = &[
     "netsim.impair.corrupted",
     "netsim.impair.reordered",
     "netsim.impair.flap_dropped",
+    "shard.outcome_batches",
     "campaign.escalated",
     "campaign.stalls",
     "campaign.stall_retries",
@@ -132,9 +136,18 @@ fn decode_err(err: JsonError) -> io::Error {
 
 /// Writes one checksummed message line and flushes it to the peer.
 fn write_line(writer: &mut impl Write, message: &Value) -> io::Result<()> {
-    let line = checksummed_line(&message.to_string_compact());
-    writer.write_all(line.as_bytes())?;
+    queue_line(writer, message)?;
     writer.flush()
+}
+
+/// Writes one checksummed message line into the writer's buffer without
+/// flushing. Workers batch the outcome frames of a dispatched range this
+/// way and flush once per range, so an N-strategy range costs one syscall
+/// burst instead of N (the controller admits outcomes by index, so frame
+/// arrival granularity is invisible to campaign state).
+fn queue_line(writer: &mut impl Write, message: &Value) -> io::Result<()> {
+    let line = checksummed_line(&message.to_string_compact());
+    writer.write_all(line.as_bytes())
 }
 
 /// Reads the next message line. `Ok(None)` means the peer closed the
@@ -707,6 +720,7 @@ pub fn run_shard_worker(addr: &str) -> io::Result<()> {
     while let Some(message) = read_message(&mut reader)? {
         match message.req_str("type").map_err(decode_err)? {
             "range" => {
+                accumulator.counter_add("shard.outcome_batches", 1);
                 let start = message.req_u64("start").map_err(decode_err)?;
                 let strategies = message
                     .req("strategies")
@@ -732,12 +746,17 @@ pub fn run_shard_worker(addr: &str) -> io::Result<()> {
                         ("counters", counters_obj),
                         ("outcome", outcome.to_json()),
                     ]);
-                    write_line(&mut writer, &reply)?;
+                    queue_line(&mut writer, &reply)?;
                     sent += 1;
                     if exit_after == Some(sent) {
+                        // The hook simulates a worker dying *after* this
+                        // outcome reached the wire, so drain the batch
+                        // buffer before exiting.
+                        writer.flush()?;
                         std::process::exit(EXIT_AFTER_CODE);
                     }
                 }
+                writer.flush()?;
             }
             "shutdown" => break,
             other => return Err(protocol_err(format!("unexpected message type `{other}`"))),

@@ -1,7 +1,5 @@
-use std::collections::HashMap;
-
 use rand::Rng;
-use snake_netsim::{Addr, Agent, Ctx, Packet, Protocol, SimTime};
+use snake_netsim::{Addr, Agent, Ctx, FxHashMap as HashMap, Packet, Protocol, SimTime};
 use snake_packet::dccp::{DccpBuilder, DccpView};
 
 use crate::conn::{DccpConnEvent, DccpConnection, DccpSeg, DccpState};
@@ -125,8 +123,8 @@ impl DccpHost {
         DccpHost {
             profile,
             conns: Vec::new(),
-            by_pair: HashMap::new(),
-            listeners: HashMap::new(),
+            by_pair: HashMap::default(),
+            listeners: HashMap::default(),
             plans: Vec::new(),
             next_ephemeral: 40_000,
             total_goodput: 0,

@@ -7,8 +7,10 @@ use crate::sim::{Command, NodeId};
 use crate::time::{SimDuration, SimTime};
 
 /// Handle for a pending timer, used to cancel it. Carries the timer's fire
-/// time so the simulator can purge cancellation records once the fire time
-/// has passed (a cancelled timer can never fire after its deadline).
+/// time: the timer wheel locates the pending entry by handle id alone, but
+/// the reference heap scheduler needs the fire time to purge cancellation
+/// records once the deadline passes (a cancelled timer can never fire
+/// after it).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct TimerHandle {
     pub(crate) id: u64,
@@ -93,6 +95,25 @@ impl Ctx<'_> {
         let handle = TimerHandle {
             id: *self.next_timer,
             at: self.now + after,
+        };
+        *self.next_timer += 1;
+        self.commands.push(Command::SetTimer {
+            node: self.node,
+            handle,
+            tag,
+        });
+        handle
+    }
+
+    /// Sets a one-shot timer at an absolute time (clamped to no earlier
+    /// than now); `tag` is returned to [`Agent::on_timer`]. Unlike
+    /// [`set_timer`](Ctx::set_timer), this cannot overflow near
+    /// [`SimTime::MAX`], so it is the right way to arm "never"-style
+    /// sentinel timers.
+    pub fn set_timer_at(&mut self, at: SimTime, tag: u64) -> TimerHandle {
+        let handle = TimerHandle {
+            id: *self.next_timer,
+            at: at.max(self.now),
         };
         *self.next_timer += 1;
         self.commands.push(Command::SetTimer {

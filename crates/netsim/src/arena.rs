@@ -1,0 +1,114 @@
+//! Slab-style recycling arena for in-flight [`Packet`] storage.
+//!
+//! Every packet travelling through the simulator — parked in a scheduled
+//! event, a channel queue, or a delivery FIFO — lives in one `PacketArena`
+//! slot and is referred to by a 4-byte [`PacketRef`](crate::sched::PacketRef)
+//! index. Taking a packet returns its slot to a free list, so steady-state
+//! traffic recycles a small working set of `Packet` (and, transitively,
+//! inline [`HeaderBuf`](crate::smallbuf::HeaderBuf)) storage instead of
+//! allocating per hop. Slots are handed out deterministically (LIFO free
+//! list, then append), so the arena's layout — and therefore a forked
+//! clone of it — is a pure function of the event history.
+
+use crate::packet::Packet;
+
+/// Recycling store for packets referenced by scheduled events and channel
+/// queues. Cloning clones the slots verbatim, which is exactly what the
+/// snapshot-fork path needs: outstanding `PacketRef`s in the cloned event
+/// queue resolve to identical packet bytes in the cloned arena.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct PacketArena {
+    slots: Vec<Packet>,
+    /// Indices of vacated slots, reused LIFO.
+    free: Vec<u32>,
+    /// Slots created because the free list was empty.
+    allocs: u64,
+    /// Slots recycled from the free list.
+    reuses: u64,
+}
+
+impl PacketArena {
+    /// Parks a packet, returning the slot index to embed in an event.
+    pub(crate) fn insert(&mut self, packet: Packet) -> u32 {
+        match self.free.pop() {
+            Some(idx) => {
+                self.reuses += 1;
+                self.slots[idx as usize] = packet;
+                idx
+            }
+            None => {
+                self.allocs += 1;
+                let idx = self.slots.len() as u32;
+                self.slots.push(packet);
+                idx
+            }
+        }
+    }
+
+    /// Removes and returns the packet at `idx`, vacating the slot. Each
+    /// ref is taken exactly once — events own their packet refs uniquely.
+    pub(crate) fn take(&mut self, idx: u32) -> Packet {
+        self.free.push(idx);
+        std::mem::replace(&mut self.slots[idx as usize], Packet::tombstone())
+    }
+
+    /// Slots ever created (the arena's high-water occupancy).
+    pub(crate) fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Total insertions that grew the arena.
+    pub(crate) fn allocs(&self) -> u64 {
+        self.allocs
+    }
+
+    /// Total insertions served from the free list.
+    pub(crate) fn reuses(&self) -> u64 {
+        self.reuses
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::{Addr, Protocol};
+    use crate::sim::NodeId;
+
+    fn pkt(payload_len: u32) -> Packet {
+        Packet::new(
+            Addr::new(NodeId::from_index(0), 1),
+            Addr::new(NodeId::from_index(1), 2),
+            Protocol::Other(9),
+            vec![0xAB; 8],
+            payload_len,
+        )
+    }
+
+    #[test]
+    fn free_list_recycles_lifo() {
+        let mut arena = PacketArena::default();
+        let a = arena.insert(pkt(1));
+        let b = arena.insert(pkt(2));
+        assert_eq!((a, b), (0, 1));
+        assert_eq!(arena.allocs(), 2);
+        assert_eq!(arena.take(a).payload_len, 1);
+        assert_eq!(arena.take(b).payload_len, 2);
+        // LIFO: last-freed slot (b's) is reused first.
+        assert_eq!(arena.insert(pkt(3)), 1);
+        assert_eq!(arena.insert(pkt(4)), 0);
+        assert_eq!(arena.reuses(), 2);
+        assert_eq!(arena.capacity(), 2);
+    }
+
+    #[test]
+    fn clone_preserves_slots_and_free_list() {
+        let mut arena = PacketArena::default();
+        let a = arena.insert(pkt(7));
+        let _b = arena.insert(pkt(8));
+        arena.take(a);
+        let mut fork = arena.clone();
+        // Both sides hand out the same slot next and resolve b equally.
+        assert_eq!(arena.insert(pkt(9)), fork.insert(pkt(9)));
+        assert_eq!(arena.take(1).payload_len, fork.take(1).payload_len);
+    }
+}

@@ -52,10 +52,12 @@
 #![warn(missing_docs, missing_debug_implementations)]
 
 mod agent;
+mod arena;
 mod fxhash;
 mod impair;
 mod link;
 mod packet;
+mod sched;
 mod sim;
 mod smallbuf;
 mod tap;

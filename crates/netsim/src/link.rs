@@ -300,6 +300,15 @@ impl Channel {
         self.spec.delay
     }
 
+    /// Whether this channel always delivers packets in transmission order:
+    /// true unless reorder jitter is configured. In-order channels are
+    /// eligible for the simulator's per-channel delivery batching — their
+    /// delivery times are monotone, so consecutive deliveries can drain
+    /// from a FIFO without consulting the global event queue per packet.
+    pub(crate) fn delivers_in_order(&self) -> bool {
+        self.spec.impair.reorder_ppm == 0
+    }
+
     /// Packets currently queued (not counting the one in flight).
     #[cfg(test)]
     pub(crate) fn queue_len(&self) -> usize {

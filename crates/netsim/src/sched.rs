@@ -1,0 +1,789 @@
+//! Event schedulers for the simulator's run loop.
+//!
+//! The production scheduler is a **two-tier hierarchical timer wheel**
+//! ([`Wheel`]): a near-horizon binary heap of imminent events fed by eight
+//! levels of 64 coarse far-horizon slots. Far events cost O(1) to insert
+//! and cancel; they cascade toward the near lane as simulated time reaches
+//! them, each event moving at most `LEVELS - 1` times over its lifetime.
+//! Dispatch order is total on `(at, seq)` — exactly the order the legacy
+//! binary-heap scheduler ([`HeapSched`], kept behind
+//! `#[cfg(any(test, feature = "heap-sched"))]` as the differential-test
+//! reference) produces, which the randomized oracle in this module and the
+//! whole-simulator differential tests in `sim.rs` assert.
+//!
+//! ## Why dispatch order is preserved
+//!
+//! The wheel partitions pending events by *tick* (`at >> TICK_SHIFT`):
+//! everything at a tick `<= elapsed_tick` lives in the near heap, ordered
+//! by `(at, seq)`; everything later lives in a wheel slot. Advancing the
+//! wheel always drains the earliest occupied slot of the lowest occupied
+//! level, and every event in level `l` is strictly later than every event
+//! in level `l-1` (they differ from `elapsed_tick` in a higher 6-bit tick
+//! group), so the near heap's minimum is always the global minimum.
+//! Cancelled timers leave a [`Ghost`](Popped::Ghost) key behind so the run
+//! loop observes the same pending-event horizon (deadline and event-budget
+//! checks) as the reference heap, which keeps truncation flags and clock
+//! advancement byte-identical.
+
+use std::cmp::{Ordering, Reverse};
+use std::collections::BinaryHeap;
+
+use crate::fxhash::FxHashMap;
+use crate::sim::NodeId;
+use crate::time::SimTime;
+
+/// Index of a packet parked in the simulator's
+/// [`PacketArena`](crate::arena::PacketArena). Events carry this 4-byte
+/// ref instead of a ~80-byte `Packet` so heap sifts and wheel cascades
+/// move small, `Copy` entries.
+pub(crate) type PacketRef = u32;
+
+/// What happens when a scheduled event's time arrives.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum EventKind {
+    /// Hand a packet to the agent on `node` (or forward it on).
+    Deliver { node: NodeId, packet: PacketRef },
+    /// Fire an agent timer.
+    TimerFire { node: NodeId, handle: u64, tag: u64 },
+    /// A channel's in-flight transmission completes.
+    ChanDequeue { chan: usize },
+    /// A delayed tap emission reaches its channel.
+    ChanEnqueue { chan: usize, packet: PacketRef },
+    /// Wheel-mode delivery marker: dispatch the head of channel `chan`'s
+    /// in-order delivery FIFO, then drain consecutive entries inline while
+    /// they remain globally next (see `Simulator::dispatch`).
+    ChanDeliver { chan: usize },
+    /// Fire a tap timer.
+    TapTimerFire { link: usize, tag: u64 },
+    /// Run a scheduled control action.
+    Control { key: u64 },
+}
+
+/// One pending event. Total order on `(at, seq)`; `seq` is the global
+/// push counter, so simultaneous events dispatch in push order.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Scheduled {
+    pub(crate) at: SimTime,
+    pub(crate) seq: u64,
+    pub(crate) kind: EventKind,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Scheduled {}
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so earliest (then lowest seq) pops
+        // first, giving deterministic FIFO ordering of simultaneous events.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Result of popping the scheduler.
+pub(crate) enum Popped {
+    /// The key of a cancelled timer: advances the clock, dispatches
+    /// nothing, and is not counted against the event budget — identical to
+    /// the reference heap popping a tombstoned `TimerFire`.
+    Ghost(SimTime),
+    /// A live event to dispatch.
+    Event(Scheduled),
+}
+
+/// Level-0 tick width: 2^16 ns ≈ 65.5 µs. Eight levels of 64 slots cover
+/// `64^8 = 2^48` ticks — the entire `u64` nanosecond range, so
+/// [`SimTime::MAX`] ("never") parks in level 7 without special cases.
+const TICK_SHIFT: u32 = 16;
+/// Number of wheel levels.
+const LEVELS: usize = 8;
+/// Slots per level (6 bits of tick per level).
+const SLOTS: usize = 64;
+
+#[inline]
+fn tick_of(at: SimTime) -> u64 {
+    at.tick(TICK_SHIFT)
+}
+
+/// Where a pending `TimerFire` currently lives, for O(1) cancellation.
+#[derive(Debug, Clone, Copy)]
+enum TimerLoc {
+    /// In the near heap (removal from a binary heap is not O(1); the entry
+    /// is tombstoned in `dead_near` and consumed when it pops).
+    Near,
+    /// In wheel slot `idx` (`level * SLOTS + slot`) at position `pos` of
+    /// the slot's vector — `swap_remove`-able in O(1).
+    Slot { idx: u16, pos: u32 },
+}
+
+/// The two-tier hierarchical timer wheel (see module docs).
+#[derive(Debug, Clone)]
+pub(crate) struct Wheel {
+    /// Imminent events (tick `<= elapsed_tick`), ordered by `(at, seq)`.
+    near: BinaryHeap<Scheduled>,
+    /// Far events, bucketed by tick: `slots[level * SLOTS + slot]`.
+    slots: Vec<Vec<Scheduled>>,
+    /// Per-level bitmap of non-empty slots (bit `s` = slot `s` occupied).
+    occupancy: [u64; LEVELS],
+    /// The wheel's current tick position. Everything in the wheel is at a
+    /// strictly later tick; the near heap holds the rest.
+    elapsed_tick: u64,
+    /// Total events resident in wheel slots.
+    far_len: usize,
+    /// `(at, seq)` keys of wheel-cancelled timers, min-first. They keep
+    /// the pending-event horizon identical to the reference heap's
+    /// tombstoned entries and self-purge as the clock passes them.
+    ghosts: BinaryHeap<Reverse<(SimTime, u64)>>,
+    /// Pending-timer locations by handle, for O(1) cancellation.
+    timer_locs: FxHashMap<u64, TimerLoc>,
+    /// Handles cancelled while near-resident; consumed when the entry pops.
+    dead_near: FxHashMap<u64, ()>,
+    /// Timer entries physically removed from wheel slots at cancel time.
+    timers_removed: u64,
+}
+
+impl Wheel {
+    fn new() -> Wheel {
+        Wheel {
+            near: BinaryHeap::new(),
+            slots: (0..LEVELS * SLOTS).map(|_| Vec::new()).collect(),
+            occupancy: [0; LEVELS],
+            elapsed_tick: 0,
+            far_len: 0,
+            ghosts: BinaryHeap::new(),
+            timer_locs: FxHashMap::default(),
+            dead_near: FxHashMap::default(),
+            timers_removed: 0,
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.near.len() + self.far_len + self.ghosts.len()
+    }
+
+    /// The wheel level and slot for a future tick, relative to
+    /// `elapsed_tick`: the level of the highest differing 6-bit tick
+    /// group, the slot that group's value.
+    #[inline]
+    fn bucket(&self, tick: u64) -> (usize, usize) {
+        let xor = tick ^ self.elapsed_tick;
+        debug_assert!(xor != 0, "bucket() called for the current tick");
+        let level = ((63 - xor.leading_zeros()) / 6) as usize;
+        debug_assert!(level < LEVELS, "tick beyond the wheel span");
+        let slot = ((tick >> (6 * level as u32)) & 63) as usize;
+        (level, slot)
+    }
+
+    fn push(&mut self, ev: Scheduled) {
+        let tick = tick_of(ev.at);
+        if tick <= self.elapsed_tick {
+            if let EventKind::TimerFire { handle, .. } = ev.kind {
+                self.timer_locs.insert(handle, TimerLoc::Near);
+            }
+            self.near.push(ev);
+        } else {
+            let (level, slot) = self.bucket(tick);
+            let idx = level * SLOTS + slot;
+            if let EventKind::TimerFire { handle, .. } = ev.kind {
+                self.timer_locs.insert(
+                    handle,
+                    TimerLoc::Slot {
+                        idx: idx as u16,
+                        pos: self.slots[idx].len() as u32,
+                    },
+                );
+            }
+            self.slots[idx].push(ev);
+            self.occupancy[level] |= 1u64 << slot;
+            self.far_len += 1;
+        }
+    }
+
+    /// Advances the wheel to the earliest occupied slot, cascading its
+    /// contents until the near heap is non-empty. Caller guarantees the
+    /// near heap is empty and the wheel is not.
+    fn advance(&mut self) {
+        debug_assert!(self.near.is_empty() && self.far_len > 0);
+        loop {
+            let level = (0..LEVELS)
+                .find(|&l| self.occupancy[l] != 0)
+                .expect("far_len > 0 but every level empty");
+            let slot = self.occupancy[level].trailing_zeros() as usize;
+            let idx = level * SLOTS + slot;
+            let entries = std::mem::take(&mut self.slots[idx]);
+            self.occupancy[level] &= !(1u64 << slot);
+            self.far_len -= entries.len();
+            if level == 0 {
+                // A level-0 slot holds exactly one tick; jump to it and
+                // promote everything into the near lane.
+                self.elapsed_tick = (self.elapsed_tick & !63) | slot as u64;
+                for ev in entries {
+                    if let EventKind::TimerFire { handle, .. } = ev.kind {
+                        self.timer_locs.insert(handle, TimerLoc::Near);
+                    }
+                    self.near.push(ev);
+                }
+                return;
+            }
+            // Jump to the start of the slot's tick range (everything
+            // between was unoccupied) and re-bucket its contents: each
+            // entry now lands at a strictly lower level, or in the near
+            // heap if it sits exactly on the new elapsed tick.
+            let width = 6 * level as u32;
+            let high = !0u64 << (width + 6);
+            self.elapsed_tick = (self.elapsed_tick & high) | ((slot as u64) << width);
+            for ev in entries {
+                self.push(ev);
+            }
+            // Entries landing exactly on the new elapsed tick went to the
+            // near lane; the rest cascaded to lower levels — keep going
+            // until the near lane has the next event.
+            if !self.near.is_empty() {
+                return;
+            }
+        }
+    }
+
+    fn peek_key(&mut self) -> Option<(SimTime, u64)> {
+        if self.near.is_empty() && self.far_len > 0 {
+            self.advance();
+        }
+        let near = self.near.peek().map(|ev| (ev.at, ev.seq));
+        let ghost = self.ghosts.peek().map(|Reverse(key)| *key);
+        match (near, ghost) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (near, ghost) => near.or(ghost),
+        }
+    }
+
+    fn pop(&mut self) -> Option<Popped> {
+        if self.near.is_empty() && self.far_len > 0 {
+            self.advance();
+        }
+        let ghost_first = match (self.ghosts.peek(), self.near.peek()) {
+            (Some(Reverse(g)), Some(n)) => *g < (n.at, n.seq),
+            (Some(_), None) => true,
+            _ => false,
+        };
+        if ghost_first {
+            let Reverse((at, _)) = self.ghosts.pop().expect("peeked");
+            return Some(Popped::Ghost(at));
+        }
+        let ev = self.near.pop()?;
+        if let EventKind::TimerFire { handle, .. } = ev.kind {
+            self.timer_locs.remove(&handle);
+            if self.dead_near.remove(&handle).is_some() {
+                return Some(Popped::Ghost(ev.at));
+            }
+        }
+        Some(Popped::Event(ev))
+    }
+
+    fn cancel_timer(&mut self, handle: u64) {
+        match self.timer_locs.remove(&handle) {
+            // Already fired (or never armed): nothing is pending, so —
+            // unlike the reference heap's tombstone map — no record
+            // lingers and nothing needs purging later.
+            None => {}
+            Some(TimerLoc::Near) => {
+                self.dead_near.insert(handle, ());
+            }
+            Some(TimerLoc::Slot { idx, pos }) => {
+                let vec = &mut self.slots[idx as usize];
+                let ev = vec.swap_remove(pos as usize);
+                debug_assert!(matches!(ev.kind, EventKind::TimerFire { .. }));
+                self.ghosts.push(Reverse((ev.at, ev.seq)));
+                if let Some(moved) = vec.get(pos as usize) {
+                    if let EventKind::TimerFire {
+                        handle: moved_h, ..
+                    } = moved.kind
+                    {
+                        self.timer_locs.insert(moved_h, TimerLoc::Slot { idx, pos });
+                    }
+                }
+                if vec.is_empty() {
+                    let level = idx as usize / SLOTS;
+                    let slot = idx as usize % SLOTS;
+                    self.occupancy[level] &= !(1u64 << slot);
+                }
+                self.far_len -= 1;
+                self.timers_removed += 1;
+            }
+        }
+    }
+}
+
+/// How many cancelled-timer records may accumulate before the reference
+/// heap compacts its event queue.
+#[cfg(any(test, feature = "heap-sched"))]
+const CANCELLED_COMPACT_THRESHOLD: usize = 256;
+
+/// The legacy scheduler: one binary heap over every pending event, with a
+/// cancelled-timer tombstone map consumed at pop time, compacted under
+/// pressure and purged once fire times pass. Kept verbatim as the
+/// dispatch-order reference for the differential oracle.
+#[cfg(any(test, feature = "heap-sched"))]
+#[derive(Debug, Clone)]
+pub(crate) struct HeapSched {
+    heap: BinaryHeap<Scheduled>,
+    /// Cancelled-but-not-yet-fired timers, by handle id, with the time the
+    /// timer would have fired.
+    cancelled: FxHashMap<u64, SimTime>,
+    timers_purged: u64,
+    compactions: u64,
+}
+
+#[cfg(any(test, feature = "heap-sched"))]
+impl HeapSched {
+    fn new() -> HeapSched {
+        HeapSched {
+            heap: BinaryHeap::new(),
+            cancelled: FxHashMap::default(),
+            timers_purged: 0,
+            compactions: 0,
+        }
+    }
+
+    /// Rebuilds the event queue without the `TimerFire` events of cancelled
+    /// timers, consuming their cancellation records. Event order is
+    /// unaffected: ordering is total on `(at, seq)`.
+    fn compact(&mut self) {
+        let mut events = std::mem::take(&mut self.heap).into_vec();
+        let before = events.len();
+        let cancelled = &mut self.cancelled;
+        events.retain(|ev| match ev.kind {
+            EventKind::TimerFire { handle, .. } => cancelled.remove(&handle).is_none(),
+            _ => true,
+        });
+        self.timers_purged += (before - events.len()) as u64;
+        self.compactions += 1;
+        self.heap = BinaryHeap::from(events);
+    }
+}
+
+/// The scheduler behind the simulator's event queue. Release builds carry
+/// only the wheel; test and `heap-sched` builds can select the reference
+/// heap per simulator (`SNAKE_NETSIM_SCHED=heap`).
+#[derive(Debug, Clone)]
+pub(crate) enum Queue {
+    Wheel(Wheel),
+    #[cfg(any(test, feature = "heap-sched"))]
+    Heap(HeapSched),
+}
+
+impl Queue {
+    pub(crate) fn new_wheel() -> Queue {
+        Queue::Wheel(Wheel::new())
+    }
+
+    #[cfg(any(test, feature = "heap-sched"))]
+    pub(crate) fn new_heap() -> Queue {
+        Queue::Heap(HeapSched::new())
+    }
+
+    /// Human name, for bench/manifest labelling and the differential CI
+    /// check.
+    pub(crate) fn name(&self) -> &'static str {
+        match self {
+            Queue::Wheel(_) => "wheel",
+            #[cfg(any(test, feature = "heap-sched"))]
+            Queue::Heap(_) => "heap",
+        }
+    }
+
+    /// Whether per-channel delivery batching applies (wheel only; the
+    /// reference heap must reproduce the legacy per-packet event stream).
+    pub(crate) fn batches_deliveries(&self) -> bool {
+        match self {
+            Queue::Wheel(_) => true,
+            #[cfg(any(test, feature = "heap-sched"))]
+            Queue::Heap(_) => false,
+        }
+    }
+
+    /// Pending entries (live events plus cancelled-timer ghosts).
+    pub(crate) fn len(&self) -> usize {
+        match self {
+            Queue::Wheel(w) => w.len(),
+            #[cfg(any(test, feature = "heap-sched"))]
+            Queue::Heap(h) => h.heap.len(),
+        }
+    }
+
+    /// Tracked bookkeeping entries (timer locations / tombstones), for the
+    /// deterministic fork-cost estimate.
+    pub(crate) fn map_len(&self) -> usize {
+        match self {
+            Queue::Wheel(w) => w.timer_locs.len() + w.dead_near.len(),
+            #[cfg(any(test, feature = "heap-sched"))]
+            Queue::Heap(h) => h.cancelled.len(),
+        }
+    }
+
+    pub(crate) fn push(&mut self, ev: Scheduled) {
+        match self {
+            Queue::Wheel(w) => w.push(ev),
+            #[cfg(any(test, feature = "heap-sched"))]
+            Queue::Heap(h) => h.heap.push(ev),
+        }
+    }
+
+    /// The `(at, seq)` key the next pop will observe, advancing the wheel
+    /// if its near lane ran dry.
+    pub(crate) fn peek_key(&mut self) -> Option<(SimTime, u64)> {
+        match self {
+            Queue::Wheel(w) => w.peek_key(),
+            #[cfg(any(test, feature = "heap-sched"))]
+            Queue::Heap(h) => h.heap.peek().map(|ev| (ev.at, ev.seq)),
+        }
+    }
+
+    pub(crate) fn pop(&mut self) -> Option<Popped> {
+        match self {
+            Queue::Wheel(w) => w.pop(),
+            #[cfg(any(test, feature = "heap-sched"))]
+            Queue::Heap(h) => {
+                let ev = h.heap.pop()?;
+                if let EventKind::TimerFire { handle, .. } = ev.kind {
+                    // A cancelled timer's event is dead: consume the
+                    // cancellation record and report a ghost.
+                    if h.cancelled.remove(&handle).is_some() {
+                        return Some(Popped::Ghost(ev.at));
+                    }
+                }
+                Some(Popped::Event(ev))
+            }
+        }
+    }
+
+    /// Cancels a pending timer. The wheel removes the entry natively (or
+    /// tombstones a near-resident one); the reference heap records the
+    /// handle and fire time for pop-time/purge-time consumption.
+    pub(crate) fn cancel_timer(&mut self, handle: u64, at: SimTime) {
+        match self {
+            Queue::Wheel(w) => w.cancel_timer(handle),
+            #[cfg(any(test, feature = "heap-sched"))]
+            Queue::Heap(h) => {
+                let _ = at;
+                h.cancelled.insert(handle, at);
+            }
+        }
+        #[cfg(not(any(test, feature = "heap-sched")))]
+        let _ = at;
+    }
+
+    /// Pre-run maintenance: the reference heap compacts dead timer events
+    /// out of the queue once enough cancellation records accumulate. The
+    /// wheel removed them at cancel time, so this is a no-op.
+    pub(crate) fn pre_run_maintenance(&mut self) {
+        match self {
+            Queue::Wheel(_) => {}
+            #[cfg(any(test, feature = "heap-sched"))]
+            Queue::Heap(h) => {
+                if h.cancelled.len() >= CANCELLED_COMPACT_THRESHOLD {
+                    h.compact();
+                }
+            }
+        }
+    }
+
+    /// Post-run maintenance: the reference heap purges cancellation
+    /// records whose fire time has passed. Wheel ghosts self-purge by
+    /// popping, so only stale ghosts beyond the deadline remain — and
+    /// those still represent genuinely pending (dead) keys, exactly like
+    /// the heap's un-popped tombstoned events.
+    pub(crate) fn post_run_purge(&mut self, now: SimTime) {
+        match self {
+            Queue::Wheel(_) => {}
+            #[cfg(any(test, feature = "heap-sched"))]
+            Queue::Heap(h) => {
+                let before = h.cancelled.len();
+                h.cancelled.retain(|_, at| *at > now);
+                h.timers_purged += (before - h.cancelled.len()) as u64;
+            }
+        }
+        #[cfg(not(any(test, feature = "heap-sched")))]
+        let _ = now;
+    }
+
+    /// Timer records discarded without their event dispatching: the
+    /// wheel's native slot removals, or the heap's purge/compaction drops.
+    pub(crate) fn timers_purged(&self) -> u64 {
+        match self {
+            Queue::Wheel(w) => w.timers_removed,
+            #[cfg(any(test, feature = "heap-sched"))]
+            Queue::Heap(h) => h.timers_purged,
+        }
+    }
+
+    /// Times the queue was compacted (always zero for the wheel).
+    pub(crate) fn queue_compactions(&self) -> u64 {
+        match self {
+            Queue::Wheel(_) => 0,
+            #[cfg(any(test, feature = "heap-sched"))]
+            Queue::Heap(h) => h.compactions,
+        }
+    }
+
+    /// The reference heap's live cancellation records (tests only).
+    #[cfg(test)]
+    pub(crate) fn heap_cancelled_len(&self) -> Option<usize> {
+        match self {
+            Queue::Wheel(_) => None,
+            Queue::Heap(h) => Some(h.cancelled.len()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn timer(at: u64, seq: u64, handle: u64) -> Scheduled {
+        Scheduled {
+            at: SimTime::from_nanos(at),
+            seq,
+            kind: EventKind::TimerFire {
+                node: NodeId::from_index(0),
+                handle,
+                tag: handle,
+            },
+        }
+    }
+
+    fn control(at: u64, seq: u64) -> Scheduled {
+        Scheduled {
+            at: SimTime::from_nanos(at),
+            seq,
+            kind: EventKind::Control { key: seq },
+        }
+    }
+
+    /// Drains a queue, recording `(at, seq, is_ghost)` per pop.
+    fn drain(queue: &mut Queue) -> Vec<(u64, u64, bool)> {
+        let mut log = Vec::new();
+        while let Some(key) = queue.peek_key() {
+            match queue.pop().expect("peeked") {
+                Popped::Ghost(at) => {
+                    assert_eq!(at, key.0, "ghost must pop at its peeked key");
+                    log.push((at.as_nanos(), key.1, true));
+                }
+                Popped::Event(ev) => {
+                    assert_eq!((ev.at, ev.seq), key, "pop must match peek");
+                    log.push((ev.at.as_nanos(), ev.seq, false));
+                }
+            }
+        }
+        log
+    }
+
+    #[test]
+    fn wheel_pops_in_total_order() {
+        let mut q = Queue::new_wheel();
+        // Same tick, far ticks, boundary ticks, MAX — pushed out of order.
+        let times = [
+            u64::MAX,
+            0,
+            1,
+            (1 << TICK_SHIFT) - 1,
+            1 << TICK_SHIFT,
+            (64 << TICK_SHIFT) + 3,
+            (64 * 64) << TICK_SHIFT,
+            u64::MAX - 1,
+            5,
+            (63 << TICK_SHIFT) + 7,
+        ];
+        for (seq, &at) in times.iter().enumerate() {
+            q.push(control(at, seq as u64));
+        }
+        let log = drain(&mut q);
+        let mut sorted = log.clone();
+        sorted.sort();
+        assert_eq!(log, sorted, "pops must follow (at, seq) order");
+        assert_eq!(log.len(), times.len());
+    }
+
+    #[test]
+    fn wheel_cancel_is_native_and_ghosts_preserve_keys() {
+        let mut q = Queue::new_wheel();
+        // Far-resident timer: physically removed, ghost key remains.
+        q.push(timer(5 << TICK_SHIFT, 0, 100));
+        q.push(control(6 << TICK_SHIFT, 1));
+        q.cancel_timer(100, SimTime::from_nanos(5 << TICK_SHIFT));
+        assert_eq!(q.timers_purged(), 1, "wheel removal counted");
+        let log = drain(&mut q);
+        assert_eq!(
+            log,
+            vec![(5 << TICK_SHIFT, 0, true), (6 << TICK_SHIFT, 1, false)],
+            "ghost pops at the cancelled timer's key, then the live event"
+        );
+    }
+
+    #[test]
+    fn wheel_cancel_of_near_resident_timer_tombstones() {
+        let mut q = Queue::new_wheel();
+        q.push(timer(10, 0, 7)); // tick 0 == elapsed → near lane
+        q.cancel_timer(7, SimTime::from_nanos(10));
+        assert_eq!(q.timers_purged(), 0, "near cancels are tombstoned");
+        let log = drain(&mut q);
+        assert_eq!(log, vec![(10, 0, true)]);
+    }
+
+    #[test]
+    fn wheel_cancel_after_fire_is_a_noop() {
+        let mut q = Queue::new_wheel();
+        q.push(timer(10, 0, 7));
+        let _ = drain(&mut q);
+        q.cancel_timer(7, SimTime::from_nanos(10));
+        assert_eq!(q.len(), 0, "no lingering record for a fired timer");
+        assert_eq!(q.map_len(), 0);
+    }
+
+    #[test]
+    fn wheel_swap_remove_fixes_displaced_timer_location() {
+        let mut q = Queue::new_wheel();
+        // Three timers in the same far slot; cancelling the first
+        // swap-moves the last into its position.
+        let at = 40 << TICK_SHIFT;
+        q.push(timer(at, 0, 1));
+        q.push(timer(at + 1, 1, 2));
+        q.push(timer(at + 2, 2, 3));
+        q.cancel_timer(1, SimTime::from_nanos(at));
+        // Cancelling the displaced timer must find its fixed-up location.
+        q.cancel_timer(3, SimTime::from_nanos(at + 2));
+        let log = drain(&mut q);
+        assert_eq!(
+            log,
+            vec![(at, 0, true), (at + 1, 1, false), (at + 2, 2, true)]
+        );
+    }
+
+    /// The randomized differential oracle: the wheel must reproduce the
+    /// reference heap's pop stream — keys, ghosts, everything — under
+    /// schedules mixing same-tick bursts, far-future pushes, cancellations
+    /// and interleaved pops.
+    #[test]
+    fn differential_heap_vs_wheel_random_schedules() {
+        for seed in 0..60u64 {
+            let mut rng = SmallRng::seed_from_u64(seed * 7919 + 1);
+            let mut wheel = Queue::new_wheel();
+            let mut heap = Queue::new_heap();
+            let mut now = 0u64;
+            let mut seq = 0u64;
+            let mut handle = 0u64;
+            let mut pending: Vec<(u64, SimTime)> = Vec::new();
+            let mut wheel_log = Vec::new();
+            let mut heap_log = Vec::new();
+            for _ in 0..400 {
+                match rng.gen_range(0..10) {
+                    // Push a burst of events at assorted horizons.
+                    0..=4 => {
+                        for _ in 0..rng.gen_range(1..4) {
+                            let offset = match rng.gen_range(0..6) {
+                                0 => 0,
+                                1 => rng.gen_range(0..1 << TICK_SHIFT), // same tick-ish
+                                2 => rng.gen_range(0..1 << 22),         // near levels
+                                3 => rng.gen_range(0..1 << 34),         // mid levels
+                                4 => rng.gen_range(0..1 << 50),         // far levels
+                                // MAX-adjacent (offset is added to `now`)
+                                _ => (u64::MAX - now).saturating_sub(rng.gen_range(0..4u64)),
+                            };
+                            let at = SimTime::from_nanos(now.saturating_add(offset));
+                            let ev = if rng.gen_bool(0.5) {
+                                handle += 1;
+                                pending.push((handle, at));
+                                timer(at.as_nanos(), seq, handle)
+                            } else {
+                                control(at.as_nanos(), seq)
+                            };
+                            seq += 1;
+                            wheel.push(ev);
+                            heap.push(ev);
+                        }
+                    }
+                    // Cancel a random still-known timer (possibly fired).
+                    5..=6 => {
+                        if !pending.is_empty() {
+                            let i = rng.gen_range(0..pending.len());
+                            let (h, at) = pending.swap_remove(i);
+                            wheel.cancel_timer(h, at);
+                            heap.cancel_timer(h, at);
+                        }
+                    }
+                    // Pop a few events, advancing the clock.
+                    _ => {
+                        for _ in 0..rng.gen_range(1..6) {
+                            let wk = wheel.peek_key();
+                            let hk = heap.peek_key();
+                            assert_eq!(wk, hk, "seed {seed}: peek keys diverged");
+                            let (Some(_), Some(_)) = (wk, hk) else { break };
+                            match wheel.pop().expect("peeked") {
+                                Popped::Ghost(at) => {
+                                    now = now.max(at.as_nanos());
+                                    wheel_log.push((at.as_nanos(), u64::MAX, true));
+                                }
+                                Popped::Event(ev) => {
+                                    now = now.max(ev.at.as_nanos());
+                                    wheel_log.push((ev.at.as_nanos(), ev.seq, false));
+                                }
+                            }
+                            match heap.pop().expect("peeked") {
+                                Popped::Ghost(at) => heap_log.push((at.as_nanos(), u64::MAX, true)),
+                                Popped::Event(ev) => {
+                                    heap_log.push((ev.at.as_nanos(), ev.seq, false))
+                                }
+                            }
+                        }
+                    }
+                }
+                assert_eq!(wheel.len(), heap.len(), "seed {seed}: queue lengths");
+            }
+            // Drain the remainder in lockstep.
+            loop {
+                assert_eq!(wheel.peek_key(), heap.peek_key(), "seed {seed}: tail peek");
+                let (w, h) = (wheel.pop(), heap.pop());
+                match (w, h) {
+                    (None, None) => break,
+                    (Some(Popped::Ghost(a)), Some(Popped::Ghost(b))) => {
+                        assert_eq!(a, b, "seed {seed}: ghost keys")
+                    }
+                    (Some(Popped::Event(a)), Some(Popped::Event(b))) => {
+                        assert_eq!((a.at, a.seq), (b.at, b.seq), "seed {seed}: event keys")
+                    }
+                    _ => panic!("seed {seed}: ghost/event divergence"),
+                }
+            }
+            assert_eq!(wheel_log, heap_log, "seed {seed}: pop streams diverged");
+        }
+    }
+
+    #[test]
+    fn cascade_boundaries_preserve_order() {
+        // Events straddling every level boundary, popped after partial
+        // drains so cascades interleave with fresh same-tick pushes.
+        let mut q = Queue::new_wheel();
+        let mut expect = Vec::new();
+        let mut seq = 0;
+        for level in 0..LEVELS as u32 {
+            let span = 1u64 << (TICK_SHIFT + 6 * level);
+            for delta in [span.saturating_sub(1), span, span + 1] {
+                q.push(control(delta, seq));
+                expect.push((delta, seq, false));
+                seq += 1;
+            }
+        }
+        expect.sort();
+        assert_eq!(drain(&mut q), expect);
+    }
+}

@@ -1,15 +1,16 @@
 use std::any::Any;
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::collections::VecDeque;
 use std::sync::Arc;
 
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
 use crate::agent::{Agent, Ctx, TimerHandle};
+use crate::arena::PacketArena;
 use crate::fxhash::FxHashMap;
 use crate::link::{Channel, ChannelStats, LinkId, LinkSpec};
 use crate::packet::Packet;
+use crate::sched::{EventKind, Popped, Queue, Scheduled};
 use crate::tap::{Tap, TapCtx};
 use crate::time::{SimDuration, SimTime};
 use crate::trace::Trace;
@@ -59,56 +60,36 @@ pub(crate) enum Command {
     Halt,
 }
 
-#[derive(Clone)]
-enum EventKind {
-    Deliver { node: NodeId, packet: Packet },
-    TimerFire { node: NodeId, handle: u64, tag: u64 },
-    ChanDequeue { chan: usize },
-    ChanEnqueue { chan: usize, packet: Packet },
-    TapTimerFire { link: usize, tag: u64 },
-    Control { key: u64 },
-}
-
-#[derive(Clone)]
-struct Scheduled {
-    at: SimTime,
-    seq: u64,
-    kind: EventKind,
-}
-
-impl PartialEq for Scheduled {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl Eq for Scheduled {}
-impl PartialOrd for Scheduled {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for Scheduled {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // BinaryHeap is a max-heap; invert so earliest (then lowest seq) pops
-        // first, giving deterministic FIFO ordering of simultaneous events.
-        other
-            .at
-            .cmp(&self.at)
-            .then_with(|| other.seq.cmp(&self.seq))
-    }
-}
-
 struct NodeSlot {
     name: String,
     agent: Option<Box<dyn Agent>>,
 }
 
-#[derive(Clone)]
+/// One pending delivery parked in a channel's in-order FIFO instead of the
+/// global event queue (see [`Simulator::push_delivery`]). `seq` is a real
+/// global sequence number — the entry consumed it at push time, exactly as
+/// a per-packet `Deliver` event would have, so the batched and reference
+/// schedulers allocate identical sequence streams.
+#[derive(Debug, Clone, Copy)]
+struct FifoEntry {
+    at: SimTime,
+    seq: u64,
+    packet: u32,
+}
+
+#[derive(Debug, Clone)]
 struct ChanSlot {
     chan: Channel,
     from: NodeId,
     to: NodeId,
     link: usize,
+    /// Wheel-mode delivery FIFO: consecutive deliveries of an in-order
+    /// channel drain inline from here without a global-queue round trip
+    /// per packet. Always key-sorted: entries are appended in
+    /// nondecreasing `(at, seq)` order because an in-order channel's
+    /// transmissions complete in time order and its delivery delay is
+    /// constant.
+    fifo: VecDeque<FifoEntry>,
 }
 
 struct LinkSlot {
@@ -124,30 +105,39 @@ struct LinkSlot {
 /// run invokes its own clone of the closure exactly once.
 type ControlFn = Arc<dyn Fn(&mut dyn Agent, &mut Ctx<'_>) + Send + Sync>;
 
-/// How many cancelled-timer records may accumulate before `run_until`
-/// compacts the event queue (dropping the dead `TimerFire` entries and
-/// their cancellation records in one pass).
-const CANCELLED_COMPACT_THRESHOLD: usize = 256;
-
 /// Event-loop counters exported by [`Simulator::stats`].
 ///
 /// These are plain totals kept on the simulator itself (not routed
 /// through an observer) so the hot loop stays free of virtual calls;
 /// callers that care read them once after a run. They are deliberately
-/// *not* part of any run-equality comparison: the split between
-/// consumed, purged and compacted timer records depends on how often
-/// `run_until` is re-entered, which differs between a paused replay and
-/// a straight run even when the simulated behaviour is identical.
+/// *not* part of any run-equality comparison: `timers_purged`,
+/// `queue_compactions` and `queue_depth_hwm` depend on which scheduler
+/// backend is driving the queue (the wheel removes cancelled timers
+/// natively and never compacts; the reference heap tombstones and purges),
+/// and the purge/compaction split additionally depends on how often
+/// `run_until` is re-entered. `events_processed`, `timers_cancelled` and
+/// the arena counters *are* identical across backends — that is what the
+/// differential tests prove — but equality comparisons should still go
+/// through run outcomes, not these internals.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SimStats {
     /// Events dispatched (dead timer fires excluded).
     pub events_processed: u64,
     /// `CancelTimer` commands issued.
     pub timers_cancelled: u64,
-    /// Cancellation records dropped by stale-purge or queue compaction.
+    /// Timer records discarded without their event dispatching: wheel-native
+    /// slot removals, or the reference heap's stale-purge and compaction
+    /// drops.
     pub timers_purged: u64,
-    /// Times the event queue was compacted.
+    /// Times the event queue was compacted (always zero under the wheel).
     pub queue_compactions: u64,
+    /// High-water mark of pending entries (global queue plus per-channel
+    /// delivery FIFOs) over the simulator's lifetime.
+    pub queue_depth_hwm: u64,
+    /// Packet-arena slots created because the free list was empty.
+    pub arena_alloc: u64,
+    /// Packet-arena slots recycled from the free list.
+    pub arena_reuse: u64,
 }
 
 /// The discrete-event network simulator.
@@ -165,17 +155,17 @@ pub struct Simulator {
     /// impairment lanes from `(seed, channel index, lane salt)` — so
     /// adding draws in one subsystem never reshuffles another's sequence.
     seed: u64,
-    queue: BinaryHeap<Scheduled>,
+    queue: Queue,
+    /// Recycling store for every packet parked in a scheduled event or a
+    /// delivery FIFO; events carry 4-byte arena indices instead of inline
+    /// packets. Used identically by both scheduler backends, so the
+    /// allocation stream never depends on the backend.
+    arena: PacketArena,
     nodes: Vec<NodeSlot>,
     chans: Vec<ChanSlot>,
     links: Vec<LinkSlot>,
     next_hop: Vec<Vec<Option<usize>>>,
     routes_dirty: bool,
-    /// Cancelled-but-not-yet-fired timers, by handle id, with the time the
-    /// timer would have fired. Entries are consumed when the dead
-    /// `TimerFire` event pops, purged once their fire time has passed, and
-    /// compacted out of the event queue when they accumulate.
-    cancelled_timers: FxHashMap<u64, SimTime>,
     next_timer: u64,
     next_packet_id: u64,
     controls: FxHashMap<u64, (NodeId, ControlFn)>,
@@ -187,12 +177,14 @@ pub struct Simulator {
     events_processed: u64,
     /// Total `CancelTimer` commands ever issued (see [`SimStats`]).
     timers_cancelled: u64,
-    /// Cancellation records discarded without their dead `TimerFire`
-    /// popping in the event loop: stale-record purges after the fire time
-    /// passed, plus queue-compaction removals.
-    timers_purged: u64,
-    /// Times `compact_queue` rebuilt the event heap.
-    queue_compactions: u64,
+    /// Total entries across every channel's delivery FIFO.
+    fifo_len: usize,
+    /// High-water mark of `queue.len() + fifo_len`, for observability.
+    queue_depth_hwm: u64,
+    /// The deadline of the `run_until` call in progress, consulted by the
+    /// inline FIFO drain so batched deliveries stop exactly where the run
+    /// loop would have stopped dispatching their per-packet events.
+    run_deadline: SimTime,
     event_budget: Option<u64>,
     budget_exhausted: bool,
     /// Set by [`Command::Halt`]: a tap concluded the remainder of the run
@@ -209,28 +201,56 @@ impl std::fmt::Debug for Simulator {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Simulator")
             .field("now", &self.now)
+            .field("scheduler", &self.queue.name())
             .field("nodes", &self.nodes.len())
             .field("links", &self.links.len())
-            .field("pending_events", &self.queue.len())
+            .field("pending_events", &(self.queue.len() + self.fifo_len))
             .field("events_processed", &self.events_processed)
             .finish()
     }
 }
 
 impl Simulator {
-    /// Creates an empty simulator with a deterministic RNG seed.
+    /// Creates an empty simulator with a deterministic RNG seed, driven by
+    /// the hierarchical timer-wheel scheduler. Builds carrying the
+    /// `heap-sched` feature (tests always do) honour
+    /// `SNAKE_NETSIM_SCHED=heap` to select the legacy binary-heap
+    /// scheduler instead — how the cross-crate equivalence suites replay
+    /// entire campaigns against the reference implementation.
     pub fn new(seed: u64) -> Simulator {
+        #[cfg(any(test, feature = "heap-sched"))]
+        if std::env::var_os("SNAKE_NETSIM_SCHED").is_some_and(|v| v == "heap") {
+            return Simulator::with_queue(seed, Queue::new_heap());
+        }
+        Simulator::with_queue(seed, Queue::new_wheel())
+    }
+
+    /// Creates a simulator driven by the legacy binary-heap scheduler, the
+    /// reference implementation the differential tests compare the wheel
+    /// against.
+    #[cfg(any(test, feature = "heap-sched"))]
+    pub fn new_with_heap_scheduler(seed: u64) -> Simulator {
+        Simulator::with_queue(seed, Queue::new_heap())
+    }
+
+    /// The name of the scheduler backend driving this simulator:
+    /// `"wheel"` (production) or `"heap"` (differential-test reference).
+    pub fn scheduler_name(&self) -> &'static str {
+        self.queue.name()
+    }
+
+    fn with_queue(seed: u64, queue: Queue) -> Simulator {
         Simulator {
             now: SimTime::ZERO,
             seq: 0,
             seed,
-            queue: BinaryHeap::new(),
+            queue,
+            arena: PacketArena::default(),
             nodes: Vec::new(),
             chans: Vec::new(),
             links: Vec::new(),
             next_hop: Vec::new(),
             routes_dirty: true,
-            cancelled_timers: FxHashMap::default(),
             next_timer: 0,
             next_packet_id: 1,
             controls: FxHashMap::default(),
@@ -239,8 +259,9 @@ impl Simulator {
             started: false,
             events_processed: 0,
             timers_cancelled: 0,
-            timers_purged: 0,
-            queue_compactions: 0,
+            fifo_len: 0,
+            queue_depth_hwm: 0,
+            run_deadline: SimTime::ZERO,
             event_budget: None,
             budget_exhausted: false,
             halted: false,
@@ -323,6 +344,7 @@ impl Simulator {
             from: a,
             to: b,
             link,
+            fifo: VecDeque::new(),
         });
         let c_ba = self.chans.len();
         self.chans.push(ChanSlot {
@@ -330,6 +352,7 @@ impl Simulator {
             from: b,
             to: a,
             link,
+            fifo: VecDeque::new(),
         });
         self.links.push(LinkSlot {
             a,
@@ -366,26 +389,33 @@ impl Simulator {
         SimStats {
             events_processed: self.events_processed,
             timers_cancelled: self.timers_cancelled,
-            timers_purged: self.timers_purged,
-            queue_compactions: self.queue_compactions,
+            timers_purged: self.queue.timers_purged(),
+            queue_compactions: self.queue.queue_compactions(),
+            queue_depth_hwm: self.queue_depth_hwm,
+            arena_alloc: self.arena.allocs(),
+            arena_reuse: self.arena.reuses(),
         }
     }
 
     /// Deterministic estimate of the heap bytes [`fork`](Simulator::fork)
-    /// copies right now: the event queue, per-channel packet occupancy and
-    /// bookkeeping maps. Agent/tap internals are opaque boxes, so this is
-    /// a lower bound — useful for comparing fork costs, not for accounting
-    /// exact allocations.
+    /// copies right now: the event queue and delivery FIFOs, the packet
+    /// arena, per-channel packet occupancy and bookkeeping maps. Agent/tap
+    /// internals are opaque boxes, so this is a lower bound — useful for
+    /// comparing fork costs, not for accounting exact allocations. The
+    /// estimate depends on the scheduler backend (the wheel tracks every
+    /// pending timer's location; the heap only tracks cancellations), so
+    /// equivalence comparisons must not include it.
     pub fn approx_clone_bytes(&self) -> u64 {
         let queue = self.queue.len() * std::mem::size_of::<Scheduled>();
+        let fifos = self.fifo_len * std::mem::size_of::<FifoEntry>();
+        let arena = self.arena.capacity() * std::mem::size_of::<Packet>();
         let packets: usize = self
             .chans
             .iter()
             .map(|c| c.chan.occupancy() * std::mem::size_of::<Packet>())
             .sum();
-        let maps = self.cancelled_timers.len() * (std::mem::size_of::<(u64, SimTime)>() + 8)
-            + self.controls.len() * 24;
-        (queue + packets + maps) as u64
+        let maps = self.queue.map_len() * 24 + self.controls.len() * 24;
+        (queue + fifos + arena + packets + maps) as u64
     }
 
     /// A node's name.
@@ -424,10 +454,13 @@ impl Simulator {
         any.downcast_mut()
     }
 
-    /// Deep-clones the whole simulator — event queue, channels, agents,
-    /// taps, RNG, pending controls — producing an independent run that
-    /// continues from this exact instant. Determinism makes the fork exact:
-    /// a fork left untouched replays byte-for-byte what its parent does.
+    /// Deep-clones the whole simulator — event queue, packet arena,
+    /// channels and their delivery FIFOs, agents, taps, RNG, pending
+    /// controls — producing an independent run that continues from this
+    /// exact instant. Determinism makes the fork exact: a fork left
+    /// untouched replays byte-for-byte what its parent does, even when the
+    /// fork lands mid-way through a timer-wheel cascade (the wheel's
+    /// position and slot contents clone verbatim).
     ///
     /// Returns `None` if any installed agent or tap does not implement
     /// [`Agent::boxed_clone`] / [`Tap::boxed_clone`]. Must not be called
@@ -463,12 +496,12 @@ impl Simulator {
             seq: self.seq,
             seed: self.seed,
             queue: self.queue.clone(),
+            arena: self.arena.clone(),
             nodes,
             chans: self.chans.clone(),
             links,
             next_hop: self.next_hop.clone(),
             routes_dirty: self.routes_dirty,
-            cancelled_timers: self.cancelled_timers.clone(),
             next_timer: self.next_timer,
             next_packet_id: self.next_packet_id,
             controls: self.controls.clone(),
@@ -477,8 +510,9 @@ impl Simulator {
             started: self.started,
             events_processed: self.events_processed,
             timers_cancelled: self.timers_cancelled,
-            timers_purged: self.timers_purged,
-            queue_compactions: self.queue_compactions,
+            fifo_len: self.fifo_len,
+            queue_depth_hwm: self.queue_depth_hwm,
+            run_deadline: self.run_deadline,
             event_budget: self.event_budget,
             budget_exhausted: self.budget_exhausted,
             halted: self.halted,
@@ -531,9 +565,8 @@ impl Simulator {
         if self.routes_dirty {
             self.compute_routes();
         }
-        if self.cancelled_timers.len() >= CANCELLED_COMPACT_THRESHOLD {
-            self.compact_queue();
-        }
+        self.queue.pre_run_maintenance();
+        self.run_deadline = deadline;
         if !self.started {
             self.started = true;
             for i in 0..self.nodes.len() {
@@ -543,11 +576,14 @@ impl Simulator {
                 self.with_tap(li, |tap, ctx| tap.on_start(ctx));
             }
         }
-        while let Some(top) = self.queue.peek() {
+        loop {
             if self.halted {
                 break;
             }
-            if top.at > deadline {
+            let Some((at, _seq)) = self.queue.peek_key() else {
+                break;
+            };
+            if at > deadline {
                 break;
             }
             if let Some(budget) = self.event_budget {
@@ -556,30 +592,27 @@ impl Simulator {
                     break;
                 }
             }
-            let ev = self.queue.pop().expect("peeked");
-            debug_assert!(ev.at >= self.now, "time went backwards");
-            self.now = ev.at;
-            // A cancelled timer's event is dead: consume the cancellation
-            // record and move on. Dead events are not dispatched and not
-            // counted, so whether compaction already removed one is
-            // unobservable (budget truncation stays deterministic).
-            if let EventKind::TimerFire { handle, .. } = ev.kind {
-                if self.cancelled_timers.remove(&handle).is_some() {
-                    continue;
+            match self.queue.pop().expect("peeked") {
+                // A cancelled timer's key: advance the clock and move on.
+                // Ghosts are not dispatched and not counted, exactly like
+                // the reference heap consuming a tombstoned event.
+                Popped::Ghost(at) => {
+                    debug_assert!(at >= self.now, "time went backwards");
+                    self.now = at;
+                }
+                Popped::Event(ev) => {
+                    debug_assert!(ev.at >= self.now, "time went backwards");
+                    self.now = ev.at;
+                    self.events_processed += 1;
+                    self.dispatch(ev.kind);
                 }
             }
-            self.events_processed += 1;
-            self.dispatch(ev.kind);
         }
         self.now = deadline;
-        // Purge cancellation records whose fire time has passed: their dead
-        // TimerFire event (if any) has already popped, so the record can
-        // never be consulted again. Long grace periods with heavy
-        // cancel-after-fire traffic no longer accumulate dead state.
-        let now = self.now;
-        let before = self.cancelled_timers.len();
-        self.cancelled_timers.retain(|_, at| *at > now);
-        self.timers_purged += (before - self.cancelled_timers.len()) as u64;
+        // Reference-heap mode purges cancellation records whose fire time
+        // has passed; the wheel removed its entries at cancel time, so
+        // this is a no-op there.
+        self.queue.post_run_purge(deadline);
         for li in 0..self.links.len() {
             if let Some(tap) = self.links[li].tap.as_deref_mut() {
                 tap.on_finish(deadline);
@@ -587,36 +620,14 @@ impl Simulator {
         }
     }
 
-    /// Rebuilds the event queue without the `TimerFire` events of cancelled
-    /// timers, consuming their cancellation records. The `Scheduled` heap's
-    /// backing allocation is reused across `run_until` calls (heap → vec →
-    /// filtered vec → heap, all in place), so compaction allocates nothing.
-    /// Event order is unaffected: ordering is total on `(at, seq)`.
-    fn compact_queue(&mut self) {
-        let mut events = std::mem::take(&mut self.queue).into_vec();
-        let before = events.len();
-        let cancelled = &mut self.cancelled_timers;
-        events.retain(|ev| match ev.kind {
-            EventKind::TimerFire { handle, .. } => cancelled.remove(&handle).is_none(),
-            _ => true,
-        });
-        self.timers_purged += (before - events.len()) as u64;
-        self.queue_compactions += 1;
-        self.queue = BinaryHeap::from(events);
-    }
-
     fn dispatch(&mut self, kind: EventKind) {
         match kind {
             EventKind::Deliver { node, packet } => {
-                if packet.dst.node == node {
-                    self.with_agent(node, |agent, ctx| agent.on_packet(ctx, packet));
-                } else {
-                    // Intermediate hop: forward along the route.
-                    self.route_send(node, packet);
-                }
+                let packet = self.arena.take(packet);
+                self.deliver(node, packet);
             }
             EventKind::TimerFire { node, tag, .. } => {
-                // Cancelled timers were filtered in the run loop.
+                // Cancelled timers were consumed as ghosts in the run loop.
                 self.with_agent(node, |agent, ctx| agent.on_timer(ctx, tag));
             }
             EventKind::ChanDequeue { chan } => {
@@ -631,10 +642,14 @@ impl Simulator {
                 if let Some(t) = next {
                     self.push(t, EventKind::ChanDequeue { chan });
                 }
-                self.push(now + delay, EventKind::Deliver { node: to, packet });
+                self.push_delivery(chan, to, now + delay, packet);
             }
             EventKind::ChanEnqueue { chan, packet } => {
+                let packet = self.arena.take(packet);
                 self.enqueue_on_chan(chan, packet);
+            }
+            EventKind::ChanDeliver { chan } => {
+                self.dispatch_chan_deliver(chan);
             }
             EventKind::TapTimerFire { link, tag } => {
                 self.with_tap(link, |tap, ctx| tap.on_timer(ctx, tag));
@@ -644,6 +659,105 @@ impl Simulator {
                     self.with_agent(node, |agent, ctx| f(agent, ctx));
                 }
             }
+        }
+    }
+
+    /// Hands an arrived packet to its destination agent, or forwards it
+    /// along the route from an intermediate hop.
+    fn deliver(&mut self, node: NodeId, packet: Packet) {
+        if packet.dst.node == node {
+            self.with_agent(node, |agent, ctx| agent.on_packet(ctx, packet));
+        } else {
+            self.route_send(node, packet);
+        }
+    }
+
+    /// Schedules delivery of a packet that finished transmitting on `chan`.
+    ///
+    /// Under the wheel scheduler, deliveries of an in-order channel park in
+    /// the channel's FIFO; only the FIFO head is represented in the global
+    /// queue, by a `ChanDeliver` marker carrying the head's exact
+    /// `(at, seq)` key. Every entry still consumes one global sequence
+    /// number at push time — the same one its per-packet `Deliver` event
+    /// would have consumed under the reference heap — so both schedulers
+    /// observe identical sequence streams and therefore identical total
+    /// event order. Reorder-jittered channels are not FIFO and take the
+    /// per-packet path unconditionally.
+    fn push_delivery(&mut self, chan: usize, to: NodeId, at: SimTime, packet: Packet) {
+        let packet = self.arena.insert(packet);
+        if !(self.queue.batches_deliveries() && self.chans[chan].chan.delivers_in_order()) {
+            self.push(at, EventKind::Deliver { node: to, packet });
+            return;
+        }
+        let seq = self.seq;
+        self.seq += 1;
+        let slot = &mut self.chans[chan];
+        debug_assert!(
+            slot.fifo.back().is_none_or(|b| (b.at, b.seq) < (at, seq)),
+            "in-order channel produced out-of-order delivery"
+        );
+        let was_empty = slot.fifo.is_empty();
+        slot.fifo.push_back(FifoEntry { at, seq, packet });
+        self.fifo_len += 1;
+        if was_empty {
+            // The marker reuses the head's key; it consumes no sequence
+            // number of its own.
+            self.queue.push(Scheduled {
+                at,
+                seq,
+                kind: EventKind::ChanDeliver { chan },
+            });
+        }
+        self.note_depth();
+    }
+
+    /// Dispatches a `ChanDeliver` marker: delivers the FIFO head (already
+    /// validated and counted by the run loop, since the marker carries the
+    /// head's key), then drains consecutive entries inline while each
+    /// remains the globally next event — re-applying the run loop's
+    /// halt/deadline/budget checks per delivery so truncation behaviour
+    /// matches the reference scheduler's per-packet events byte for byte.
+    fn dispatch_chan_deliver(&mut self, chan: usize) {
+        let entry = self.chans[chan]
+            .fifo
+            .pop_front()
+            .expect("ChanDeliver marker without a FIFO entry");
+        self.fifo_len -= 1;
+        debug_assert_eq!(entry.at, self.now, "marker key must match FIFO head");
+        let to = self.chans[chan].to;
+        let packet = self.arena.take(entry.packet);
+        self.deliver(to, packet);
+        loop {
+            let Some(front) = self.chans[chan].fifo.front() else {
+                // FIFO drained; the next delivery will re-arm a marker.
+                return;
+            };
+            let key = (front.at, front.seq);
+            let blocked = self.halted
+                || key.0 > self.run_deadline
+                || self
+                    .event_budget
+                    .is_some_and(|b| self.events_processed >= b)
+                || self.queue.peek_key().is_some_and(|qk| qk < key);
+            if blocked {
+                // Hand control back to the run loop: re-arm the marker at
+                // the new head's key so global ordering resumes there. The
+                // loop re-derives the right outcome (other event first,
+                // deadline break, budget flag, halt) from its own checks.
+                self.queue.push(Scheduled {
+                    at: key.0,
+                    seq: key.1,
+                    kind: EventKind::ChanDeliver { chan },
+                });
+                return;
+            }
+            let entry = self.chans[chan].fifo.pop_front().expect("peeked front");
+            self.fifo_len -= 1;
+            self.now = entry.at;
+            self.events_processed += 1;
+            let to = self.chans[chan].to;
+            let packet = self.arena.take(entry.packet);
+            self.deliver(to, packet);
         }
     }
 
@@ -715,11 +829,12 @@ impl Simulator {
                     );
                 }
                 Command::CancelTimer { handle } => {
-                    // A cancel for a timer that already fired would linger
-                    // forever; recording the fire time lets run_until purge
-                    // stale records.
+                    // The wheel removes the pending entry natively (O(1),
+                    // leaving a ghost key); the reference heap records a
+                    // tombstone consumed at pop time and purged once the
+                    // fire time passes.
                     self.timers_cancelled += 1;
-                    self.cancelled_timers.insert(handle.id, handle.at);
+                    self.queue.cancel_timer(handle.id, handle.at);
                 }
                 Command::TapEmit {
                     mut packet,
@@ -735,6 +850,7 @@ impl Simulator {
                     if delay == SimDuration::ZERO {
                         self.enqueue_on_chan(chan, packet);
                     } else {
+                        let packet = self.arena.insert(packet);
                         self.push(self.now + delay, EventKind::ChanEnqueue { chan, packet });
                     }
                 }
@@ -764,6 +880,7 @@ impl Simulator {
         }
         if packet.dst.node == from {
             // Loopback: deliver immediately.
+            let packet = self.arena.insert(packet);
             self.push(self.now, EventKind::Deliver { node: from, packet });
             return;
         }
@@ -785,6 +902,15 @@ impl Simulator {
         let seq = self.seq;
         self.seq += 1;
         self.queue.push(Scheduled { at, seq, kind });
+        self.note_depth();
+    }
+
+    #[inline]
+    fn note_depth(&mut self) {
+        let depth = (self.queue.len() + self.fifo_len) as u64;
+        if depth > self.queue_depth_hwm {
+            self.queue_depth_hwm = depth;
+        }
     }
 
     /// BFS shortest-path next-hop table over the undirected topology.
@@ -1312,31 +1438,371 @@ mod tests {
         assert_eq!(sim.now(), SimTime::from_secs(2), "clock still advances");
     }
 
-    #[test]
-    fn cancelled_timer_records_are_purged_after_fire_time() {
-        struct Canceller;
-        impl Agent for Canceller {
-            fn on_start(&mut self, ctx: &mut Ctx<'_>) {
-                for _ in 0..10 {
-                    let h = ctx.set_timer(SimDuration::from_millis(10), 0);
-                    ctx.cancel_timer(h);
-                }
+    struct Canceller;
+    impl Agent for Canceller {
+        fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+            for _ in 0..10 {
+                let h = ctx.set_timer(SimDuration::from_millis(10), 0);
+                ctx.cancel_timer(h);
             }
-            fn on_packet(&mut self, _ctx: &mut Ctx<'_>, _packet: Packet) {}
         }
-        let mut sim = Simulator::new(1);
+        fn on_packet(&mut self, _ctx: &mut Ctx<'_>, _packet: Packet) {}
+    }
+
+    #[test]
+    fn heap_sched_purges_cancelled_records_after_fire_time() {
+        let mut sim = Simulator::new_with_heap_scheduler(1);
         let n = sim.add_node("n");
         sim.set_agent(n, Canceller);
         sim.run_until(SimTime::from_millis(5));
         assert_eq!(
-            sim.cancelled_timers.len(),
-            10,
+            sim.queue.heap_cancelled_len(),
+            Some(10),
             "records live until fire time"
         );
         sim.run_until(SimTime::from_millis(50));
-        assert!(
-            sim.cancelled_timers.is_empty(),
-            "records whose fire time passed are purged"
-        );
+        // The dead TimerFire events popped during the second run and
+        // consumed their records (uncounted); anything left over would
+        // have been purged by fire time.
+        assert_eq!(sim.queue.heap_cancelled_len(), Some(0));
+    }
+
+    #[test]
+    fn wheel_removes_cancelled_timers_natively() {
+        let mut sim = Simulator::new(1);
+        let n = sim.add_node("n");
+        sim.set_agent(n, Canceller);
+        // The 10 ms timers are far-future at cancel time, so the wheel
+        // removes their slot entries immediately — before any run deadline
+        // passes — leaving only ghost keys.
+        sim.run_until(SimTime::from_millis(5));
+        assert_eq!(sim.scheduler_name(), "wheel");
+        assert_eq!(sim.stats().timers_purged, 10, "native removals counted");
+        assert_eq!(sim.stats().queue_compactions, 0, "the wheel never compacts");
+        sim.run_until(SimTime::from_millis(50));
+        assert_eq!(sim.stats().events_processed, 0, "no dead timer dispatched");
+    }
+
+    /// A deliberately chaotic agent exercising every scheduler-visible
+    /// behaviour at once: timer churn (immediate, near, far, MAX-adjacent,
+    /// cancel-then-rearm), packet bursts, and loopback traffic.
+    #[derive(Clone)]
+    struct Chaotic {
+        peer: NodeId,
+        armed: Vec<TimerHandle>,
+        fired: Vec<(u64, u64)>,
+        got: Vec<(u64, u64)>,
+        sends_left: u32,
+    }
+    impl Chaotic {
+        fn new(peer: NodeId) -> Chaotic {
+            Chaotic {
+                peer,
+                armed: Vec::new(),
+                fired: Vec::new(),
+                got: Vec::new(),
+                sends_left: 60,
+            }
+        }
+        fn churn(&mut self, ctx: &mut Ctx<'_>, salt: u64) {
+            // Arm a spread of horizons, cancel every other previously
+            // armed handle, and re-arm one at the same tag and time
+            // (cancel-then-rearm through fresh handles).
+            let near = ctx.set_timer(SimDuration::from_micros(50 + salt % 700), 10 + salt % 4);
+            let far = ctx.set_timer(SimDuration::from_millis(40 + salt % 25), 20 + salt % 4);
+            ctx.set_timer_at(SimTime::MAX, 99);
+            if salt.is_multiple_of(2) {
+                ctx.cancel_timer(near);
+                let _rearmed =
+                    ctx.set_timer(SimDuration::from_micros(50 + salt % 700), 10 + salt % 4);
+            }
+            if let Some(h) = self.armed.pop() {
+                ctx.cancel_timer(h);
+            }
+            self.armed.push(far);
+            if salt.is_multiple_of(3) {
+                ctx.set_timer(SimDuration::ZERO, 7);
+            }
+        }
+        fn blast(&mut self, ctx: &mut Ctx<'_>, n: u32) {
+            for i in 0..n.min(self.sends_left) {
+                let dst = if i % 5 == 4 { ctx.node() } else { self.peer };
+                let pkt = Packet::new(
+                    ctx.addr(1000),
+                    Addr::new(dst, 7),
+                    Protocol::Other(2),
+                    vec![i as u8; 12],
+                    200,
+                );
+                ctx.send(pkt);
+            }
+            self.sends_left = self.sends_left.saturating_sub(n);
+        }
+    }
+    impl Agent for Chaotic {
+        fn boxed_clone(&self) -> Option<Box<dyn Agent>> {
+            Some(Box::new(self.clone()))
+        }
+        fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+            self.blast(ctx, 8);
+            self.churn(ctx, 1);
+        }
+        fn on_packet(&mut self, ctx: &mut Ctx<'_>, packet: Packet) {
+            self.got.push((packet.id, ctx.now().as_nanos()));
+            let salt = packet.id;
+            if self.got.len().is_multiple_of(2) {
+                self.churn(ctx, salt);
+            }
+            if self.got.len().is_multiple_of(3) {
+                self.blast(ctx, 2);
+            }
+        }
+        fn on_timer(&mut self, ctx: &mut Ctx<'_>, tag: u64) {
+            self.fired.push((tag, ctx.now().as_nanos()));
+            if self.fired.len() % 2 == 1 {
+                self.blast(ctx, 1);
+            }
+            if self.fired.len() % 4 == 1 {
+                self.churn(ctx, tag + self.fired.len() as u64);
+            }
+        }
+    }
+
+    /// Everything observable about a finished chaotic run.
+    #[allow(clippy::type_complexity)]
+    fn chaos_observables(
+        sim: &Simulator,
+        a: NodeId,
+        b: NodeId,
+        link: LinkId,
+    ) -> (
+        u64,
+        bool,
+        u64,
+        Vec<(u64, u64)>,
+        Vec<(u64, u64)>,
+        Vec<(u64, u64)>,
+        Vec<(u64, u64)>,
+        ChannelStats,
+        ChannelStats,
+    ) {
+        let (ab, ba) = sim.link_stats(link);
+        let pa = sim.agent::<Chaotic>(a).unwrap();
+        let pb = sim.agent::<Chaotic>(b).unwrap();
+        (
+            sim.events_processed(),
+            sim.budget_exhausted(),
+            sim.stats().timers_cancelled,
+            pa.fired.clone(),
+            pa.got.clone(),
+            pb.fired.clone(),
+            pb.got.clone(),
+            ab,
+            ba,
+        )
+    }
+
+    fn chaos_sim(heap: bool, seed: u64, impaired: bool) -> (Simulator, NodeId, NodeId, LinkId) {
+        let mut sim = if heap {
+            Simulator::new_with_heap_scheduler(seed)
+        } else {
+            Simulator::new(seed)
+        };
+        let a = sim.add_node("a");
+        let b = sim.add_node("b");
+        sim.set_agent(a, Chaotic::new(b));
+        sim.set_agent(b, Chaotic::new(a));
+        let mut spec = LinkSpec::new(4_000_000, SimDuration::from_micros(700), 8);
+        if impaired {
+            spec = spec.with_impairment(crate::impair::Impairment {
+                loss_ppm: 60_000,
+                dup_ppm: 40_000,
+                reorder_ppm: 150_000,
+                jitter: SimDuration::from_micros(900),
+                ..crate::impair::Impairment::NONE
+            });
+        }
+        let link = sim.add_link(a, b, spec);
+        (sim, a, b, link)
+    }
+
+    /// The whole-simulator differential oracle: under chaotic timer and
+    /// traffic schedules — staged deadlines, mid-run forks, impaired and
+    /// clean links, tight budgets — the wheel-driven simulator must
+    /// reproduce the heap-driven reference observable for observable.
+    #[test]
+    fn differential_wheel_matches_heap_reference() {
+        for seed in 0..12u64 {
+            for &impaired in &[false, true] {
+                for &budget in &[None, Some(150u64)] {
+                    let run = |heap: bool| {
+                        let (mut sim, a, b, link) = chaos_sim(heap, seed, impaired);
+                        if let Some(x) = budget {
+                            sim.set_event_budget(x);
+                        }
+                        // Staged deadlines force scheduler maintenance
+                        // (purges, wheel advances) at identical points.
+                        sim.run_until(SimTime::from_micros(300));
+                        sim.run_until(SimTime::from_millis(7));
+                        let mut fork = sim.fork().expect("chaotic agents clone");
+                        sim.run_until(SimTime::from_millis(90));
+                        fork.run_until(SimTime::from_millis(90));
+                        let parent = chaos_observables(&sim, a, b, link);
+                        let forked = chaos_observables(&fork, a, b, link);
+                        assert_eq!(parent, forked, "fork must replay its parent");
+                        parent
+                    };
+                    let wheel = run(false);
+                    let heap = run(true);
+                    assert_eq!(
+                        wheel, heap,
+                        "seed {seed} impaired {impaired} budget {budget:?}: \
+                         wheel and heap runs diverged"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Arena alloc/reuse streams are also backend-independent: both
+    /// schedulers park and take packets at identical points.
+    #[test]
+    fn arena_counters_match_across_schedulers() {
+        let run = |heap: bool| {
+            let (mut sim, _a, _b, _link) = chaos_sim(heap, 3, false);
+            sim.run_until(SimTime::from_millis(60));
+            (sim.stats().arena_alloc, sim.stats().arena_reuse)
+        };
+        let wheel = run(false);
+        assert_eq!(wheel, run(true));
+        assert!(wheel.1 > 0, "steady traffic must recycle arena slots");
+    }
+
+    #[test]
+    fn timer_exactly_at_now_fires_within_the_run() {
+        struct AtNow {
+            fired_at: Option<u64>,
+        }
+        impl Agent for AtNow {
+            fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+                ctx.set_timer(SimDuration::ZERO, 1);
+            }
+            fn on_packet(&mut self, _ctx: &mut Ctx<'_>, _packet: Packet) {}
+            fn on_timer(&mut self, ctx: &mut Ctx<'_>, tag: u64) {
+                assert_eq!(tag, 1);
+                self.fired_at = Some(ctx.now().as_nanos());
+            }
+        }
+        let mut sim = Simulator::new(1);
+        let n = sim.add_node("n");
+        sim.set_agent(n, AtNow { fired_at: None });
+        sim.run_until(SimTime::ZERO);
+        assert_eq!(sim.agent::<AtNow>(n).unwrap().fired_at, Some(0));
+    }
+
+    #[test]
+    fn max_adjacent_timers_park_without_firing() {
+        struct Never {
+            fired: u32,
+        }
+        impl Agent for Never {
+            fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+                // "Never" sentinels at and next to the top of the time
+                // domain: they must park in the wheel's highest level and
+                // stay there, not overflow or fire early.
+                ctx.set_timer_at(SimTime::MAX, 1);
+                ctx.set_timer_at(SimTime::from_nanos(u64::MAX - 1), 2);
+                let dead = ctx.set_timer_at(SimTime::MAX, 3);
+                ctx.cancel_timer(dead);
+            }
+            fn on_packet(&mut self, _ctx: &mut Ctx<'_>, _packet: Packet) {}
+            fn on_timer(&mut self, _ctx: &mut Ctx<'_>, _tag: u64) {
+                self.fired += 1;
+            }
+        }
+        let mut sim = Simulator::new(1);
+        let n = sim.add_node("n");
+        sim.set_agent(n, Never { fired: 0 });
+        sim.run_until(SimTime::from_secs(3600));
+        assert_eq!(sim.agent::<Never>(n).unwrap().fired, 0);
+        // Running all the way to the end of time dispatches the two live
+        // sentinels (the cancelled one stays dead).
+        sim.run_until(SimTime::MAX);
+        assert_eq!(sim.agent::<Never>(n).unwrap().fired, 2);
+    }
+
+    #[test]
+    fn cancel_then_rearm_same_tag_and_time() {
+        struct Rearm {
+            fired: Vec<u64>,
+        }
+        impl Agent for Rearm {
+            fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+                let first = ctx.set_timer(SimDuration::from_millis(10), 5);
+                ctx.cancel_timer(first);
+                // Re-arm at the identical tag and fire time: exactly one
+                // fire must result, from the fresh handle.
+                ctx.set_timer(SimDuration::from_millis(10), 5);
+            }
+            fn on_packet(&mut self, _ctx: &mut Ctx<'_>, _packet: Packet) {}
+            fn on_timer(&mut self, _ctx: &mut Ctx<'_>, tag: u64) {
+                self.fired.push(tag);
+            }
+        }
+        let mut sim = Simulator::new(1);
+        let n = sim.add_node("n");
+        sim.set_agent(n, Rearm { fired: Vec::new() });
+        sim.run_until(SimTime::from_secs(1));
+        assert_eq!(sim.agent::<Rearm>(n).unwrap().fired, vec![5]);
+    }
+
+    #[test]
+    fn fork_mid_cascade_replays_parent() {
+        struct Spread;
+        impl Agent for Spread {
+            fn boxed_clone(&self) -> Option<Box<dyn Agent>> {
+                Some(Box::new(Spread))
+            }
+            fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+                // Timers across every wheel level: sub-tick to hours.
+                for i in 0..24u64 {
+                    ctx.set_timer(SimDuration::from_nanos(1u64 << (2 * i + 2)), i);
+                }
+            }
+            fn on_packet(&mut self, _ctx: &mut Ctx<'_>, _packet: Packet) {}
+            fn on_timer(&mut self, ctx: &mut Ctx<'_>, tag: u64) {
+                let pkt = Packet::new(
+                    ctx.addr(tag as u16),
+                    ctx.addr(7),
+                    Protocol::Other(1),
+                    Vec::new(),
+                    0,
+                );
+                ctx.send(pkt);
+            }
+        }
+        let mut sim = Simulator::new(9);
+        let n = sim.add_node("n");
+        sim.set_agent(n, Spread);
+        // Stop mid-way: the wheel has advanced through several cascades
+        // and still holds far-future levels.
+        sim.run_until(SimTime::from_millis(40));
+        let mut fork = sim.fork().expect("cloneable");
+        sim.run_until(SimTime::from_secs(200));
+        fork.run_until(SimTime::from_secs(200));
+        assert_eq!(sim.events_processed(), fork.events_processed());
+        // Timers with i <= 17 (delay 2^36 ns ~ 69 s) fire within 200 s,
+        // each followed by a loopback delivery; i >= 18 stays parked.
+        assert_eq!(sim.events_processed(), 18 * 2);
+    }
+
+    #[test]
+    fn depth_hwm_tracks_queue_and_fifo() {
+        let (mut sim, a, b, _) = two_node_sim(64);
+        sim.set_agent(a, Blaster::new(b, 20, 80));
+        assert_eq!(sim.stats().queue_depth_hwm, 0);
+        sim.run_until(SimTime::from_secs(1));
+        let hwm = sim.stats().queue_depth_hwm;
+        assert!(hwm >= 20, "burst of 20 must register, got {hwm}");
     }
 }

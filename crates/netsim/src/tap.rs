@@ -76,7 +76,9 @@ impl TapCtx<'_> {
     }
 
     /// Forwards a packet after an extra delay (the *delay* and *batch*
-    /// basic attacks).
+    /// basic attacks). Delayed emissions are parked in the simulator's
+    /// packet arena until their `ChanEnqueue` event fires; zero-delay
+    /// emissions reach the channel synchronously and never touch it.
     pub fn forward_delayed(&mut self, packet: Packet, toward_b: bool, delay: SimDuration) {
         self.commands.push(Command::TapEmit {
             packet,

@@ -54,6 +54,14 @@ impl SimTime {
     pub fn saturating_add(&self, d: SimDuration) -> SimTime {
         SimTime(self.0.saturating_add(d.0))
     }
+
+    /// The coarse scheduling tick this instant falls in: nanoseconds
+    /// divided by `2^shift`. The hierarchical timer wheel buckets
+    /// far-future events by tick; a shift of 16 gives ~65.5 µs ticks and a
+    /// 48-bit tick range, which spans the full `u64` nanosecond domain.
+    pub(crate) const fn tick(&self, shift: u32) -> u64 {
+        self.0 >> shift
+    }
 }
 
 impl Add<SimDuration> for SimTime {

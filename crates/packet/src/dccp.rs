@@ -9,6 +9,7 @@
 
 use std::sync::{Arc, OnceLock};
 
+use crate::spec::{read_bits, write_bits};
 use crate::{FieldRef, FormatSpec, Header, PacketError};
 
 /// The DCCP generic header (plus acknowledgment subheader) in the SNAKE
@@ -158,10 +159,10 @@ impl<'a> DccpView<'a> {
         Ok(DccpView { buf })
     }
 
+    /// Reads a field straight from the buffer — `new` validated the
+    /// length once (same rationale as `TcpView::get`).
     fn get(&self, field: FieldRef) -> u64 {
-        dccp_spec()
-            .get(self.buf, field)
-            .expect("length checked in new")
+        read_bits(self.buf, field.bit_offset, field.bits)
     }
 
     /// Source port.
@@ -280,25 +281,25 @@ impl DccpBuilder {
         self
     }
 
-    /// Builds the header bytes.
+    /// Builds the header bytes (same direct-write hot path as
+    /// `TcpBuilder::build`).
     pub fn build(self) -> Header {
         let spec = dccp_spec();
-        let mut h = spec.new_header();
+        let mut bytes = vec![0u8; spec.byte_len()];
         let r = dccp_refs();
-        h.set_ref(r.src_port, self.src_port as u64)
-            .expect("in range");
-        h.set_ref(r.dst_port, self.dst_port as u64)
-            .expect("in range");
-        h.set_ref(r.data_offset, (spec.byte_len() / 4) as u64)
-            .expect("in range");
-        h.set_ref(r.ptype, self.packet_type.code() as u64)
-            .expect("in range");
-        h.set_ref(r.x, 1).expect("in range");
-        h.set_ref(r.seq, self.seq).expect("in range");
-        h.set_ref(r.ack, self.ack).expect("in range");
-        h.set_ref(r.ack_reserved, self.ack_reserved as u64)
-            .expect("in range");
-        h
+        for (field, value) in [
+            (r.src_port, self.src_port as u64),
+            (r.dst_port, self.dst_port as u64),
+            (r.data_offset, (spec.byte_len() / 4) as u64),
+            (r.ptype, self.packet_type.code() as u64),
+            (r.x, 1),
+            (r.seq, self.seq),
+            (r.ack, self.ack),
+            (r.ack_reserved, self.ack_reserved as u64),
+        ] {
+            write_bits(&mut bytes, field.bit_offset, field.bits, value);
+        }
+        spec.parse(bytes).expect("built to spec length")
     }
 }
 

@@ -223,8 +223,7 @@ impl Header {
     /// [`PacketError::ValueOutOfRange`] if the value does not fit.
     pub fn set(&mut self, field: &str, value: u64) -> Result<(), PacketError> {
         let f = self.spec.field(field)?;
-        let spec = Arc::clone(&self.spec);
-        spec.set(&mut self.bytes, f, value)
+        self.spec.set(&mut self.bytes, f, value)
     }
 
     /// Reads a field by resolved reference (avoids the name lookup).
@@ -234,8 +233,7 @@ impl Header {
 
     /// Writes a field by resolved reference (avoids the name lookup).
     pub fn set_ref(&mut self, field: FieldRef, value: u64) -> Result<(), PacketError> {
-        let spec = Arc::clone(&self.spec);
-        spec.set(&mut self.bytes, field, value)
+        self.spec.set(&mut self.bytes, field, value)
     }
 }
 
@@ -265,7 +263,7 @@ impl Eq for Header {}
 /// Hot path: field reads happen for every header field of every packet an
 /// endpoint or the proxy handles, so this loads the byte window containing
 /// the field as one big-endian word instead of looping per bit.
-fn read_bits(buf: &[u8], bit_offset: u32, bits: u32) -> u64 {
+pub(crate) fn read_bits(buf: &[u8], bit_offset: u32, bits: u32) -> u64 {
     debug_assert!((1..=64).contains(&bits));
     let first = (bit_offset / 8) as usize;
     let last = ((bit_offset + bits - 1) / 8) as usize;
@@ -288,7 +286,7 @@ fn read_bits(buf: &[u8], bit_offset: u32, bits: u32) -> u64 {
 
 /// Writes `bits` bits of `value` starting `bit_offset` bits into `buf`,
 /// MSB first. Same word-window strategy as [`read_bits`].
-fn write_bits(buf: &mut [u8], bit_offset: u32, bits: u32, value: u64) {
+pub(crate) fn write_bits(buf: &mut [u8], bit_offset: u32, bits: u32, value: u64) {
     debug_assert!((1..=64).contains(&bits));
     let first = (bit_offset / 8) as usize;
     let last = ((bit_offset + bits - 1) / 8) as usize;

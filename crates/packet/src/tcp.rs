@@ -6,6 +6,7 @@
 
 use std::sync::{Arc, OnceLock};
 
+use crate::spec::{read_bits, write_bits};
 use crate::{FieldRef, FormatSpec, Header, PacketError};
 
 /// The TCP header in the SNAKE header description language.
@@ -69,7 +70,7 @@ pub(crate) fn tcp_refs() -> &'static TcpRefs {
     REFS.get_or_init(|| {
         let spec = tcp_spec();
         let f = |name| spec.field(name).expect("tcp spec field");
-        TcpRefs {
+        let refs = TcpRefs {
             src_port: f("src_port"),
             dst_port: f("dst_port"),
             seq: f("seq"),
@@ -84,7 +85,22 @@ pub(crate) fn tcp_refs() -> &'static TcpRefs {
             window: f("window"),
             checksum: f("checksum"),
             urgent_ptr: f("urgent_ptr"),
+        };
+        // The per-packet accessors below read and write the six flag bits
+        // as one contiguous window; the spec declares them back to back.
+        let flags = [
+            &refs.urg,
+            &refs.ack_flag,
+            &refs.psh,
+            &refs.rst,
+            &refs.syn,
+            &refs.fin,
+        ];
+        for (i, flag) in flags.into_iter().enumerate() {
+            debug_assert_eq!(flag.bit_offset(), refs.urg.bit_offset() + i as u32);
+            debug_assert_eq!(flag.bits(), 1);
         }
+        refs
     })
 }
 
@@ -330,10 +346,11 @@ impl<'a> TcpView<'a> {
         Ok(TcpView { buf })
     }
 
+    /// Reads a field straight from the buffer. `new` validated the length
+    /// once; going through the spec again would re-check it and bump the
+    /// shared spec's refcount on every field of every delivered packet.
     fn get(&self, field: FieldRef) -> u64 {
-        tcp_spec()
-            .get(self.buf, field)
-            .expect("length checked in new")
+        read_bits(self.buf, field.bit_offset, field.bits)
     }
 
     /// Source port.
@@ -377,16 +394,17 @@ impl<'a> TcpView<'a> {
         self.get(tcp_refs().urgent_ptr) as u16
     }
 
-    /// Control flags.
+    /// Control flags, read as one six-bit window (URG..FIN are declared
+    /// contiguously — asserted when the refs are resolved).
     pub fn flags(&self) -> TcpFlags {
-        let r = tcp_refs();
+        let word = read_bits(self.buf, tcp_refs().urg.bit_offset, 6);
         TcpFlags {
-            urg: self.get(r.urg) == 1,
-            ack: self.get(r.ack_flag) == 1,
-            psh: self.get(r.psh) == 1,
-            rst: self.get(r.rst) == 1,
-            syn: self.get(r.syn) == 1,
-            fin: self.get(r.fin) == 1,
+            urg: word & 0b10_0000 != 0,
+            ack: word & 0b01_0000 != 0,
+            psh: word & 0b00_1000 != 0,
+            rst: word & 0b00_0100 != 0,
+            syn: word & 0b00_0010 != 0,
+            fin: word & 0b00_0001 != 0,
         }
     }
 }
@@ -449,30 +467,35 @@ impl TcpBuilder {
     }
 
     /// Builds the header bytes.
+    ///
+    /// Hot path: the engine constructs a header for every segment it
+    /// sends, so fields are written straight into a local buffer (one
+    /// length check at the final `parse`, no per-field spec traffic) and
+    /// the six flag bits go in as a single window write.
     pub fn build(self) -> Header {
         let spec = tcp_spec();
-        let mut h = spec.new_header();
+        let mut bytes = vec![0u8; spec.byte_len()];
         let r = tcp_refs();
-        // Unwraps are fine: the refs are resolved from this spec and every
-        // value fits its field.
-        h.set_ref(r.src_port, self.src_port as u64)
-            .expect("in range");
-        h.set_ref(r.dst_port, self.dst_port as u64)
-            .expect("in range");
-        h.set_ref(r.seq, self.seq as u64).expect("in range");
-        h.set_ref(r.ack, self.ack as u64).expect("in range");
-        h.set_ref(r.data_offset, 5).expect("in range");
-        h.set_ref(r.window, self.window as u64).expect("in range");
-        h.set_ref(r.urgent_ptr, self.urgent_ptr as u64)
-            .expect("in range");
-        h.set_ref(r.urg, self.flags.urg as u64).expect("in range");
-        h.set_ref(r.ack_flag, self.flags.ack as u64)
-            .expect("in range");
-        h.set_ref(r.psh, self.flags.psh as u64).expect("in range");
-        h.set_ref(r.rst, self.flags.rst as u64).expect("in range");
-        h.set_ref(r.syn, self.flags.syn as u64).expect("in range");
-        h.set_ref(r.fin, self.flags.fin as u64).expect("in range");
-        h
+        let f = &self.flags;
+        let flag_word = ((f.urg as u64) << 5)
+            | ((f.ack as u64) << 4)
+            | ((f.psh as u64) << 3)
+            | ((f.rst as u64) << 2)
+            | ((f.syn as u64) << 1)
+            | (f.fin as u64);
+        for (field, value) in [
+            (r.src_port, self.src_port as u64),
+            (r.dst_port, self.dst_port as u64),
+            (r.seq, self.seq as u64),
+            (r.ack, self.ack as u64),
+            (r.data_offset, 5),
+            (r.window, self.window as u64),
+            (r.urgent_ptr, self.urgent_ptr as u64),
+        ] {
+            write_bits(&mut bytes, field.bit_offset, field.bits, value);
+        }
+        write_bits(&mut bytes, r.urg.bit_offset, 6, flag_word);
+        spec.parse(bytes).expect("built to spec length")
     }
 }
 

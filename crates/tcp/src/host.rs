@@ -1,7 +1,5 @@
-use std::collections::HashMap;
-
 use rand::Rng;
-use snake_netsim::{Addr, Agent, Ctx, Packet, Protocol, SimTime};
+use snake_netsim::{Addr, Agent, Ctx, FxHashMap as HashMap, Packet, Protocol, SimTime};
 use snake_packet::tcp::{TcpBuilder, TcpFlags, TcpView};
 
 use crate::conn::{ConnEvent, Connection, Seg, State};
@@ -137,8 +135,8 @@ impl TcpHost {
         TcpHost {
             profile,
             conns: Vec::new(),
-            by_pair: HashMap::new(),
-            listeners: HashMap::new(),
+            by_pair: HashMap::default(),
+            listeners: HashMap::default(),
             plans: Vec::new(),
             next_ephemeral: 40_000,
             total_delivered: 0,
