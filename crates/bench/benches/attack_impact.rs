@@ -129,8 +129,8 @@ fn regenerate_impacts() {
             "| {:<36} | {:<22} | {:>14.2} | {:>14.2} | {:>6.2}x |",
             row.name,
             row.paper,
-            mbps(baseline.target_bytes, spec.data_secs),
-            mbps(attacked.target_bytes, spec.data_secs),
+            mbps(baseline.target_bytes, spec.data_secs()),
+            mbps(attacked.target_bytes, spec.data_secs()),
             ratio
         );
     }

@@ -32,6 +32,11 @@
 //! (CI's bench-smoke job archives it); by default a temp file is used and
 //! removed.
 //!
+//! A sixth rep runs a capped campaign on a generated star topology
+//! carrying the four-role flow mix, twice, asserting run-to-run
+//! determinism at campaign scale on the multi-flow path; its throughput
+//! lands in the JSON's `multiflow` block.
+//!
 //! Each emission appends the run's headline figures to a `history` array
 //! carried over from the previous `BENCH_campaign.json`, so the committed
 //! file accumulates a trend line instead of overwriting it.
@@ -41,8 +46,9 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use snake_core::{
-    build_run_manifest, Campaign, CampaignConfig, CampaignResult, GenerationParams, ProtocolKind,
-    Recorder, RecorderSnapshot, ScenarioSpec, StrategyOutcome,
+    build_run_manifest, Campaign, CampaignConfig, CampaignResult, FlowGroup, FlowRole,
+    GenerationParams, ProtocolKind, Recorder, RecorderSnapshot, ScenarioSpec, StrategyOutcome,
+    TopologyKind,
 };
 use snake_json::{obj, Value};
 use snake_tcp::Profile;
@@ -189,6 +195,48 @@ fn timed_once(
 fn timed_store_once(path: &Path) -> (CampaignResult, f64) {
     let start = Instant::now();
     let result = Campaign::run(config(true, true, None, Some(path))).expect("valid baseline");
+    (result, start.elapsed().as_secs_f64())
+}
+
+/// The multi-flow rep's scenario label, kept in one place so the printed
+/// line and the JSON block cannot drift apart.
+const MULTIFLOW_SCENARIO: &str = "star:64 attacked=16,bulk=8,rr=8,syn=8 TCP Linux 3.13";
+
+/// One timed memoized campaign on a generated star topology carrying the
+/// four-role flow mix — the workload the topology/flow redesign added.
+fn timed_multiflow_once() -> (CampaignResult, f64) {
+    let spec = ScenarioSpec::builder(ProtocolKind::Tcp(Profile::linux_3_13()))
+        .data_secs(2)
+        .grace_secs(6)
+        .topology(TopologyKind::Star, 64)
+        .flows(vec![
+            FlowGroup {
+                role: FlowRole::Attacked,
+                count: 16,
+            },
+            FlowGroup {
+                role: FlowRole::Bulk,
+                count: 8,
+            },
+            FlowGroup {
+                role: FlowRole::RequestResponse,
+                count: 8,
+            },
+            FlowGroup {
+                role: FlowRole::SynPressure,
+                count: 8,
+            },
+        ])
+        .build()
+        .expect("valid multi-flow scenario");
+    let config = CampaignConfig::builder(spec)
+        .cap(60)
+        .feedback_rounds(1)
+        .retest(false)
+        .build()
+        .expect("valid config");
+    let start = Instant::now();
+    let result = Campaign::run(config).expect("valid baseline");
     (result, start.elapsed().as_secs_f64())
 }
 
@@ -412,6 +460,18 @@ fn main() {
          (cold {cold_store_secs:.3}s vs warm {warm_store_secs:.3}s)"
     );
 
+    // Multi-flow rep: the generated-topology campaign run twice, asserting
+    // run-to-run determinism at full campaign scale on the star/flow-mix
+    // path; the throughput lands in the JSON's `multiflow` block.
+    let (multiflow, multiflow_secs_a) = timed_multiflow_once();
+    let (multiflow_rerun, multiflow_secs_b) = timed_multiflow_once();
+    assert_eq!(
+        multiflow.outcomes, multiflow_rerun.outcomes,
+        "multi-flow campaign must reproduce its outcomes run to run"
+    );
+    let multiflow_secs = multiflow_secs_a.min(multiflow_secs_b);
+    let multiflow_n = multiflow.strategies_tried() as f64;
+
     let same_binary_speedup = scratch_secs / memo_secs;
     let speedup_memo = forked_secs / memo_secs;
     let observer_overhead = observed_secs / memo_secs;
@@ -523,6 +583,26 @@ fn main() {
         ("speedup_memo", Value::F64(speedup_memo)),
         ("speedup_same_binary", Value::F64(same_binary_speedup)),
         ("speedup", Value::F64(speedup)),
+        (
+            "multiflow",
+            obj([
+                ("scenario", Value::Str(MULTIFLOW_SCENARIO.to_owned())),
+                (
+                    "strategies_tried",
+                    Value::U64(multiflow.strategies_tried() as u64),
+                ),
+                ("wall_clock_secs", Value::F64(multiflow_secs)),
+                (
+                    "strategies_per_sec",
+                    Value::F64(multiflow_n / multiflow_secs),
+                ),
+                (
+                    "events_per_sec",
+                    Value::F64(events(&multiflow) as f64 / multiflow_secs),
+                ),
+                ("sim_events", Value::U64(events(&multiflow))),
+            ]),
+        ),
         ("history", Value::Arr(history)),
     ]);
     if let (Some(reps), Value::Obj(pairs)) = (&sharded, &mut report) {
@@ -614,6 +694,12 @@ fn main() {
          → {manifest_path}",
         (observer_overhead - 1.0) * 100.0,
         (OVERHEAD_LIMIT - 1.0) * 100.0
+    );
+    println!(
+        "  multi-flow:    {multiflow_secs:.2}s  ({:.1} strategies/s, {:.0} events/s; \
+         {MULTIFLOW_SCENARIO})",
+        multiflow_n / multiflow_secs,
+        events(&multiflow) as f64 / multiflow_secs
     );
     println!(
         "  warm store:    {warm_store_secs:.2}s  (cold {cold_store_secs:.2}s, \

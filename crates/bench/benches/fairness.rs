@@ -27,8 +27,8 @@ fn regenerate_fairness() {
         println!(
             "| {:<18} | {:>13.2} | {:>15.2} | {:>5.2}x | {:>11} |",
             name,
-            mbps(m.target_bytes, spec.data_secs),
-            mbps(m.competing_bytes, spec.data_secs),
+            mbps(m.target_bytes, spec.data_secs()),
+            mbps(m.competing_bytes, spec.data_secs()),
             ratio,
             if ratio < 2.0 { "yes" } else { "NO" }
         );

@@ -46,7 +46,7 @@ fn regenerate_comparison() {
         baseline.proxy.packets_seen,
         per_packet,
         strategies.len() as u64,
-        spec.data_secs,
+        spec.data_secs(),
     );
     println!(
         "Search-space comparison, measured parameters ({} packets observed, {} state-based strategies):",

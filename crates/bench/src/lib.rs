@@ -26,11 +26,11 @@ pub fn all_implementations() -> Vec<ProtocolKind> {
 /// The scenario the benches use: the evaluation dumbbell with a shortened
 /// data phase so a full bench run stays in minutes.
 pub fn bench_scenario(protocol: ProtocolKind) -> ScenarioSpec {
-    ScenarioSpec {
-        data_secs: 10,
-        grace_secs: 35,
-        ..ScenarioSpec::evaluation(protocol)
-    }
+    ScenarioSpec::builder(protocol)
+        .data_secs(10)
+        .grace_secs(35)
+        .build()
+        .expect("bench scenario is valid")
 }
 
 /// Megabits per second over the data phase.

@@ -23,7 +23,8 @@ use std::time::{Duration, Instant};
 use snake_core::search::SearchSpaceParams;
 use snake_core::{
     build_run_manifest, detect, render_table1, render_table2, Campaign, CampaignConfig, ChaosPlan,
-    Executor, ProtocolKind, Recorder, ScenarioSpec, DEFAULT_THRESHOLD,
+    Executor, FlowGroup, FlowRole, ProtocolKind, Recorder, ScenarioSpec, TopologyKind,
+    DEFAULT_THRESHOLD,
 };
 use snake_dccp::DccpProfile;
 use snake_netsim::{preset_names, Impairment, LinkSpec, SimDuration};
@@ -114,6 +115,16 @@ const BOTTLENECK_FLAG: FlagSpec = value(
     "SPEC",
     "bottleneck link as MBIT/DELAY_MS/QUEUE_PKTS[/red]",
 );
+const TOPOLOGY_FLAG: FlagSpec = value(
+    "--topology",
+    "KIND:HOSTS",
+    "generate a star/tree/multi-bottleneck topology with HOSTS end hosts",
+);
+const FLOWS_FLAG: FlagSpec = value(
+    "--flows",
+    "SPEC",
+    "flow mix as ROLE=N[,ROLE=N...] (attacked, bulk, rr, syn); needs --topology",
+);
 
 const COMMANDS: &[CommandSpec] = &[
     CommandSpec {
@@ -132,6 +143,8 @@ const COMMANDS: &[CommandSpec] = &[
             QUICK_FLAG,
             IMPAIR_FLAG,
             BOTTLENECK_FLAG,
+            TOPOLOGY_FLAG,
+            FLOWS_FLAG,
         ],
     },
     CommandSpec {
@@ -145,6 +158,8 @@ const COMMANDS: &[CommandSpec] = &[
             QUICK_FLAG,
             IMPAIR_FLAG,
             BOTTLENECK_FLAG,
+            TOPOLOGY_FLAG,
+            FLOWS_FLAG,
             value("--cap", "N", "test at most N strategies"),
             value("--budget", "EVENTS", "per-run simulator event budget"),
             value(
@@ -378,30 +393,58 @@ fn parse_impl(flags: &ParsedFlags<'_>) -> Result<ProtocolKind, String> {
 
 fn parse_scenario(command: &CommandSpec, flags: &ParsedFlags<'_>) -> Result<ScenarioSpec, String> {
     let protocol = parse_impl(flags)?;
-    let mut spec = if flags.has("--quick") {
-        ScenarioSpec::quick(protocol)
-    } else {
-        ScenarioSpec::evaluation(protocol)
-    };
+    let mut builder = ScenarioSpec::builder(protocol);
+    if flags.has("--quick") {
+        builder = builder.quick();
+    }
     if let Some(v) = flags.parsed(flag_spec(command, "--data-secs"))? {
-        spec.data_secs = v;
+        builder = builder.data_secs(v);
     }
     if let Some(v) = flags.parsed(flag_spec(command, "--grace-secs"))? {
-        spec.grace_secs = v;
+        builder = builder.grace_secs(v);
     }
     if let Some(v) = flags.parsed(flag_spec(command, "--seed"))? {
-        spec.seed = v;
+        builder = builder.seed(v);
     }
     if let Some(raw) = flags.get("--bottleneck") {
-        spec.dumbbell.bottleneck = parse_bottleneck(raw)?;
+        builder = builder.bottleneck(parse_bottleneck(raw)?);
+    }
+    if let Some(raw) = flags.get("--topology") {
+        let (kind, hosts) = parse_topology(raw)?;
+        builder = builder.topology(kind, hosts);
+    }
+    if let Some(raw) = flags.get("--flows") {
+        builder = builder.flows(parse_flows(raw)?);
     }
     // Impairments go on last so they survive a `--bottleneck` override.
     if let Some(raw) = flags.get("--impair") {
         let impair = Impairment::parse(raw)
             .map_err(|e| format!("--impair: {e} (presets: {})", preset_names().join(", ")))?;
-        spec = spec.with_impairment(impair);
+        builder = builder.impairment(impair);
     }
-    Ok(spec)
+    builder.build().map_err(|e| e.to_string())
+}
+
+/// Parses one component of a composite flag value (`--topology star:256`,
+/// `--bottleneck 10/20/64`), with the same message shape as
+/// [`ParsedFlags::parsed`].
+fn parse_field<T: std::str::FromStr>(flag: &str, what: &str, raw: &str) -> Result<T, String> {
+    raw.parse()
+        .map_err(|_| format!("{flag} expects {what} (got `{raw}`)"))
+}
+
+/// Like [`parse_field`] but additionally rejects zero, negatives, and NaN
+/// — the composite-value counterpart of [`ParsedFlags::parsed_positive`],
+/// sharing its message shape.
+fn parse_positive_field<T>(flag: &str, what: &str, raw: &str) -> Result<T, String>
+where
+    T: std::str::FromStr + PartialOrd + Default,
+{
+    let v: T = parse_field(flag, what, raw)?;
+    if v.partial_cmp(&T::default()) != Some(std::cmp::Ordering::Greater) {
+        return Err(format!("{flag} expects a positive {what} (got `{raw}`)"));
+    }
+    Ok(v)
 }
 
 /// Parses `--bottleneck MBIT/DELAY_MS/QUEUE_PKTS[/red]` through
@@ -418,28 +461,21 @@ fn parse_bottleneck(raw: &str) -> Result<LinkSpec, String> {
             ))
         }
     };
-    let mbit: f64 = dims[0]
-        .parse()
-        .map_err(|_| format!("--bottleneck bandwidth expects Mbit/s (got `{}`)", dims[0]))?;
-    if !mbit.is_finite() || mbit <= 0.0 {
+    let mbit: f64 = parse_positive_field("--bottleneck", "Mbit/s bandwidth", dims[0])?;
+    let delay_ms: f64 = parse_field("--bottleneck", "delay in milliseconds", dims[1])?;
+    if !mbit.is_finite() {
         return Err(format!(
-            "--bottleneck bandwidth must be positive (got {mbit})"
+            "--bottleneck expects a positive Mbit/s bandwidth (got `{}`)",
+            dims[0]
         ));
     }
-    let delay_ms: f64 = dims[1].parse().map_err(|_| {
-        format!(
-            "--bottleneck delay expects milliseconds (got `{}`)",
-            dims[1]
-        )
-    })?;
     if !delay_ms.is_finite() || delay_ms < 0.0 {
         return Err(format!(
-            "--bottleneck delay must be non-negative (got {delay_ms})"
+            "--bottleneck expects a non-negative delay in milliseconds (got `{}`)",
+            dims[1]
         ));
     }
-    let queue: usize = dims[2]
-        .parse()
-        .map_err(|_| format!("--bottleneck queue expects packets (got `{}`)", dims[2]))?;
+    let queue: usize = parse_positive_field("--bottleneck", "queue packet count", dims[2])?;
     let spec = LinkSpec::try_new(
         (mbit * 1e6) as u64,
         SimDuration::from_secs_f64(delay_ms / 1e3),
@@ -447,6 +483,37 @@ fn parse_bottleneck(raw: &str) -> Result<LinkSpec, String> {
     )
     .map_err(|e| format!("--bottleneck: {e}"))?;
     Ok(if red { spec.with_red() } else { spec })
+}
+
+/// Parses `--topology KIND:HOSTS` (e.g. `star:256`).
+fn parse_topology(raw: &str) -> Result<(TopologyKind, usize), String> {
+    let Some((kind_raw, hosts_raw)) = raw.split_once(':') else {
+        return Err(format!("--topology expects KIND:HOSTS (got `{raw}`)"));
+    };
+    let kind = TopologyKind::from_label(kind_raw).ok_or_else(|| {
+        format!("--topology expects a kind of star, tree, or multi-bottleneck (got `{kind_raw}`)")
+    })?;
+    let hosts = parse_positive_field("--topology", "HOSTS count", hosts_raw)?;
+    Ok((kind, hosts))
+}
+
+/// Parses `--flows ROLE=N[,ROLE=N...]` (e.g. `attacked=200,bulk=16,syn=32`).
+fn parse_flows(raw: &str) -> Result<Vec<FlowGroup>, String> {
+    raw.split(',')
+        .map(|part| {
+            let Some((role_raw, count_raw)) = part.split_once('=') else {
+                return Err(format!("--flows expects ROLE=N[,ROLE=N...] (got `{part}`)"));
+            };
+            let role = FlowRole::from_label(role_raw).ok_or_else(|| {
+                format!(
+                    "--flows expects a role of attacked, bulk, request-response, or syn-pressure \
+                     (got `{role_raw}`)"
+                )
+            })?;
+            let count = parse_positive_field("--flows", "flow count", count_raw)?;
+            Ok(FlowGroup { role, count })
+        })
+        .collect()
 }
 
 fn cmd_list() -> Result<(), String> {
@@ -464,20 +531,21 @@ fn cmd_list() -> Result<(), String> {
 fn cmd_baseline(command: &CommandSpec, flags: &ParsedFlags<'_>) -> Result<(), String> {
     let spec = parse_scenario(command, flags)?;
     let m = Executor::run(&spec, None);
-    println!("implementation : {}", spec.protocol.implementation_name());
+    println!("implementation : {}", spec.protocol().implementation_name());
     println!(
         "data phase     : {} s (+{} s observation)",
-        spec.data_secs, spec.grace_secs
+        spec.data_secs(),
+        spec.grace_secs()
     );
     println!(
         "target flow    : {} bytes ({:.2} Mbit/s)",
         m.target_bytes,
-        mbps(m.target_bytes, spec.data_secs)
+        mbps(m.target_bytes, spec.data_secs())
     );
     println!(
         "competing flow : {} bytes ({:.2} Mbit/s)",
         m.competing_bytes,
-        mbps(m.competing_bytes, spec.data_secs)
+        mbps(m.competing_bytes, spec.data_secs())
     );
     println!("leaked sockets : {}", m.leaked_sockets);
     println!("packets seen   : {}", m.proxy.packets_seen);
@@ -498,7 +566,7 @@ fn campaign_config(
 ) -> Result<CampaignConfig, String> {
     let mut spec = parse_scenario(command, flags)?;
     if let Some(budget) = flags.parsed_positive(flag_spec(command, "--budget"))? {
-        spec.event_budget = Some(budget);
+        spec = spec.with_event_budget(budget);
     }
     let mut builder = CampaignConfig::builder(spec).memoize(!flags.has("--no-memo"));
     if let Some(cap) = flags.parsed_positive(flag_spec(command, "--cap"))? {
@@ -754,11 +822,11 @@ fn cmd_replay(flags: &ParsedFlags<'_>) -> Result<(), String> {
     let verdict = detect(&baseline, &attacked, DEFAULT_THRESHOLD);
     println!("attack   : {name}");
     println!("strategy : {}", strategy.describe());
-    println!("impl     : {}", spec.protocol.implementation_name());
+    println!("impl     : {}", spec.protocol().implementation_name());
     println!(
         "baseline : {:.2} Mbit/s, attacked: {:.2} Mbit/s",
-        mbps(baseline.target_bytes, spec.data_secs),
-        mbps(attacked.target_bytes, spec.data_secs)
+        mbps(baseline.target_bytes, spec.data_secs()),
+        mbps(attacked.target_bytes, spec.data_secs())
     );
     println!(
         "sockets  : {} leaked (CLOSE_WAIT {}, queue-wedged {})",
@@ -970,6 +1038,94 @@ mod tests {
         let spec = campaign_spec();
         let flags = parse_flags(spec, &owned).unwrap();
         campaign_config(spec, &flags, None).expect("zero progress/seed are valid");
+    }
+
+    #[test]
+    fn topology_and_flows_rows_share_the_uniform_error_shape() {
+        // Malformed composite values fail through the same
+        // `parse_field`/`parse_positive_field` helpers as every other
+        // numeric flag, so the message shape is uniform.
+        for (flags, offender, fragment) in [
+            (&["--topology", "star"][..], "--topology", "KIND:HOSTS"),
+            (
+                &["--topology", "ring:64", "--flows", "attacked=1"][..],
+                "--topology",
+                "star, tree, or multi-bottleneck",
+            ),
+            (
+                &["--topology", "star:0", "--flows", "attacked=1"][..],
+                "--topology",
+                "expects a positive HOSTS count",
+            ),
+            (
+                &["--topology", "star:x", "--flows", "attacked=1"][..],
+                "--topology",
+                "HOSTS count (got `x`)",
+            ),
+            (
+                &["--topology", "star:64", "--flows", "attacked"][..],
+                "--flows",
+                "ROLE=N",
+            ),
+            (
+                &["--topology", "star:64", "--flows", "mystery=4"][..],
+                "--flows",
+                "attacked, bulk, request-response, or syn-pressure",
+            ),
+            (
+                &["--topology", "star:64", "--flows", "attacked=0"][..],
+                "--flows",
+                "expects a positive flow count",
+            ),
+        ] {
+            let err = config_err(flags);
+            assert!(
+                err.contains(offender) && err.contains(fragment),
+                "{flags:?}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn topology_and_flows_cross_requirements_surface_builder_errors() {
+        // Builder-level validation (not flag parsing) catches the
+        // half-specified combinations.
+        let err = config_err(&["--topology", "star:64"]);
+        assert!(err.contains("flow mix"), "{err}");
+        let err = config_err(&["--flows", "attacked=4"]);
+        assert!(err.contains("generated topology"), "{err}");
+        let err = config_err(&["--topology", "star:64", "--flows", "bulk=4"]);
+        assert!(err.contains("exactly one attacked group"), "{err}");
+        // A complete multi-flow invocation builds cleanly.
+        let owned = args(&[
+            "--impl",
+            "linux-3.13",
+            "--quick",
+            "--topology",
+            "star:64",
+            "--flows",
+            "attacked=8,bulk=4,rr=4,syn=4",
+        ]);
+        let spec = campaign_spec();
+        let flags = parse_flags(spec, &owned).unwrap();
+        campaign_config(spec, &flags, None).expect("valid multi-flow invocation");
+    }
+
+    #[test]
+    fn bottleneck_row_rejects_degenerates_through_shared_helpers() {
+        for (raw, fragment) in [
+            ("10/20", "MBIT/DELAY_MS/QUEUE_PKTS"),
+            ("0/20/64", "expects a positive Mbit/s bandwidth"),
+            ("inf/20/64", "expects a positive Mbit/s bandwidth"),
+            ("10/-1/64", "non-negative delay"),
+            ("10/20/0", "expects a positive queue packet count"),
+        ] {
+            let err = config_err(&["--bottleneck", raw]);
+            assert!(
+                err.contains("--bottleneck") && err.contains(fragment),
+                "{raw}: {err}"
+            );
+        }
     }
 
     #[test]

@@ -26,9 +26,9 @@ use crate::strategen::{generate_strategies, is_on_path, is_self_denial, Generati
 /// the whole configuration once at
 /// [`build`](CampaignConfigBuilder::build) time — so a `CampaignConfig`
 /// that exists is a `CampaignConfig` that can run. The fields are private
-/// on purpose: the old `CampaignConfig::new(spec)` + public-field-mutation
-/// pattern let callers assemble configurations no validation ever saw
-/// (zero feedback rounds, `resume` without a journal).
+/// on purpose: a public-field-mutation pattern would let callers assemble
+/// configurations no validation ever saw (zero feedback rounds, `resume`
+/// without a journal).
 #[derive(Clone)]
 pub struct CampaignConfig {
     // The scenario every strategy is tested in.
@@ -249,18 +249,6 @@ impl CampaignConfig {
             shard_listen: None,
             shard_worker_bin: None,
         }
-    }
-
-    /// Default configuration for `scenario`.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `CampaignConfig::builder(scenario)` and its setters; \
-                `build()` validates what field mutation never did"
-    )]
-    pub fn new(scenario: ScenarioSpec) -> CampaignConfig {
-        CampaignConfig::builder(scenario)
-            .build()
-            .expect("the default configuration is valid")
     }
 }
 
@@ -1034,7 +1022,7 @@ impl Campaign {
         // identity, so appending to a journal written under different
         // memo/impairment semantics is refused instead of silently mixing
         // provenance markers (or metrics) from two different worlds.
-        let impairment_label = spec.dumbbell.bottleneck.impair.to_string();
+        let impairment_label = spec.bottleneck().impair.to_string();
         let header = JournalHeader {
             implementation: spec.protocol.implementation_name().to_owned(),
             seed: spec.seed,
@@ -2457,10 +2445,6 @@ mod tests {
                 other => panic!("expected InvalidConfig, got {other:?}"),
             }
         }
-        // The deprecated shim still hands out a valid default config.
-        #[allow(deprecated)]
-        let legacy = CampaignConfig::new(spec());
-        assert!(legacy.memoize, "defaults must match the builder's");
     }
 
     #[test]

@@ -15,6 +15,20 @@ pub const BORDERLINE_MARGIN: f64 = 0.1;
 /// standard deviation for normally distributed noise.
 const MAD_SCALE: f64 = 1.4826;
 
+/// Absolute slack on the table-exhaustion edges: leak totals and occupancy
+/// readings must clear the baseline's worst observation by more than this
+/// many sockets before flagging, so connection-churn jitter of a handful of
+/// TIME_WAIT slots never looks like exhaustion.
+pub const TABLE_LEAK_MARGIN: usize = 8;
+
+/// The occupancy edge for table exhaustion: strictly above twice the worst
+/// baseline occupancy plus the absolute margin. Doubling mirrors the
+/// paper's factor-of-two throughput notion; the margin handles near-zero
+/// baselines where a ratio alone is meaningless.
+fn exhaustion_edge(observed_max: usize) -> usize {
+    2 * observed_max + TABLE_LEAK_MARGIN
+}
+
 /// What an attempted strategy did to the connection, relative to the
 /// baseline run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -33,6 +47,19 @@ pub struct Verdict {
     /// Server sockets were not released after the test — a resource
     /// exhaustion candidate.
     pub socket_leak: bool,
+    /// Jain's fairness index over the per-flow delivery vector collapsed
+    /// below the baseline band — bandwidth is being redistributed across
+    /// flows even if aggregate throughput looks healthy. Multi-flow
+    /// scenarios only (more than two flows).
+    pub fairness_collapse: bool,
+    /// More flows were starved of the shared bottleneck (delivered under
+    /// 10 % of their fair share) than in any baseline run. Multi-flow
+    /// scenarios only.
+    pub flow_starvation: bool,
+    /// Server socket tables held far more connections than any baseline
+    /// run — accept-queue/socket-table exhaustion, the state-holding attack
+    /// class. Multi-flow scenarios only.
+    pub table_exhaustion: bool,
 }
 
 impl Verdict {
@@ -43,6 +70,9 @@ impl Verdict {
             || self.throughput_gain
             || self.competing_degradation
             || self.socket_leak
+            || self.fairness_collapse
+            || self.flow_starvation
+            || self.table_exhaustion
     }
 
     /// Short labels for reports.
@@ -62,6 +92,15 @@ impl Verdict {
         }
         if self.socket_leak {
             v.push("socket-leak");
+        }
+        if self.fairness_collapse {
+            v.push("fairness-collapse");
+        }
+        if self.flow_starvation {
+            v.push("flow-starvation");
+        }
+        if self.table_exhaustion {
+            v.push("table-exhaustion");
         }
         v
     }
@@ -84,6 +123,13 @@ pub fn detect(baseline: &TestMetrics, attacked: &TestMetrics, threshold: f64) ->
     let base_c = baseline.competing_bytes as f64;
     let t = attacked.target_bytes as f64;
     let c = attacked.competing_bytes as f64;
+    // The cross-flow metrics engage only when both runs actually carried a
+    // multi-flow workload; classic two-flow scenarios keep their legacy
+    // verdicts bit for bit (fairness over two flows is already covered by
+    // the throughput/competing comparisons).
+    let multi = baseline.flow_bytes.len() > 2 && attacked.flow_bytes.len() > 2;
+    let base_jain = baseline.jain_index();
+    let jain_lo = (lo * base_jain).min(base_jain);
 
     Verdict {
         establishment_prevented: attacked.target_bytes == 0 && baseline.target_bytes > 0,
@@ -93,6 +139,11 @@ pub fn detect(baseline: &TestMetrics, attacked: &TestMetrics, threshold: f64) ->
         throughput_gain: baseline.target_bytes > 0 && t > base_t * hi,
         competing_degradation: baseline.competing_bytes > 0 && c < base_c * lo,
         socket_leak: attacked.leaked_sockets > baseline.leaked_sockets,
+        fairness_collapse: multi && base_jain > 0.0 && attacked.jain_index() < jain_lo,
+        flow_starvation: multi && attacked.starved_flows() > baseline.starved_flows(),
+        table_exhaustion: multi
+            && (attacked.leaked_total > baseline.leaked_total + TABLE_LEAK_MARGIN
+                || attacked.server_sockets > exhaustion_edge(baseline.server_sockets)),
     }
 }
 
@@ -140,6 +191,19 @@ pub struct Envelope {
     /// establishment-prevention detection (some member failed to connect
     /// on its own, so a zero-byte attacked run proves nothing).
     pub target_min: u64,
+    /// Whether every member carried a multi-flow workload (more than two
+    /// flows); the cross-flow detectors disengage otherwise.
+    pub cross_flow: bool,
+    /// Median Jain's index across the members.
+    pub jain_median: f64,
+    /// Fairness-collapse edge: flag only strictly below this index.
+    pub jain_lo: f64,
+    /// Largest starved-flow count any member showed.
+    pub starved_max: usize,
+    /// Largest socket-table occupancy any member showed.
+    pub sockets_max: usize,
+    /// Largest all-server leak total any member showed.
+    pub leaked_total_max: usize,
 }
 
 /// Median and median-absolute-deviation of a sample (empty ⇒ zeros).
@@ -177,6 +241,10 @@ impl Envelope {
         let t_min = targets.iter().cloned().fold(f64::INFINITY, f64::min);
         let t_max = targets.iter().cloned().fold(0.0f64, f64::max);
         let c_min = competing.iter().cloned().fold(f64::INFINITY, f64::min);
+        let jains: Vec<f64> = members.iter().map(|m| m.jain_index()).collect();
+        let (j_med, j_mad) = median_mad(&jains);
+        let j_noise = 3.0 * MAD_SCALE * j_mad;
+        let j_min = jains.iter().cloned().fold(f64::INFINITY, f64::min);
         Envelope {
             members: members.len(),
             target_median: t_med,
@@ -186,6 +254,14 @@ impl Envelope {
             competing_lo: ((1.0 - threshold) * c_med - c_noise).min(c_min),
             leaked_max: members.iter().map(|m| m.leaked_sockets).max().unwrap_or(0),
             target_min: members.iter().map(|m| m.target_bytes).min().unwrap_or(0),
+            cross_flow: members.iter().all(|m| m.flow_bytes.len() > 2),
+            jain_median: j_med,
+            // Like target_lo: the threshold band around the median, pushed
+            // out by observed noise, never excluding a member.
+            jain_lo: ((1.0 - threshold) * j_med - j_noise).min(j_min),
+            starved_max: members.iter().map(|m| m.starved_flows()).max().unwrap_or(0),
+            sockets_max: members.iter().map(|m| m.server_sockets).max().unwrap_or(0),
+            leaked_total_max: members.iter().map(|m| m.leaked_total).max().unwrap_or(0),
         }
     }
 
@@ -227,6 +303,7 @@ impl Envelope {
 pub fn detect_enveloped(envelope: &Envelope, attacked: &TestMetrics) -> Verdict {
     let t = attacked.target_bytes as f64;
     let c = attacked.competing_bytes as f64;
+    let multi = envelope.cross_flow && attacked.flow_bytes.len() > 2;
     Verdict {
         establishment_prevented: attacked.target_bytes == 0 && envelope.target_min > 0,
         throughput_degradation: envelope.target_median > 0.0
@@ -235,6 +312,13 @@ pub fn detect_enveloped(envelope: &Envelope, attacked: &TestMetrics) -> Verdict 
         throughput_gain: envelope.target_median > 0.0 && t > envelope.target_hi,
         competing_degradation: envelope.competing_median > 0.0 && c < envelope.competing_lo,
         socket_leak: attacked.leaked_sockets > envelope.leaked_max,
+        fairness_collapse: multi
+            && envelope.jain_median > 0.0
+            && attacked.jain_index() < envelope.jain_lo,
+        flow_starvation: multi && attacked.starved_flows() > envelope.starved_max,
+        table_exhaustion: multi
+            && (attacked.leaked_total > envelope.leaked_total_max + TABLE_LEAK_MARGIN
+                || attacked.server_sockets > exhaustion_edge(envelope.sockets_max)),
     }
 }
 
@@ -393,6 +477,135 @@ mod tests {
         // hi edge is 15e6.
         assert!(env.is_borderline(&metrics(14_000_000, 10_000_000, 0)));
         assert!(!env.is_borderline(&metrics(20_000_000, 10_000_000, 0)));
+    }
+
+    /// A multi-flow measurement: per-flow bytes plus table readings.
+    fn multiflow(flows: Vec<u64>, sockets: usize, leaked_total: usize) -> TestMetrics {
+        TestMetrics {
+            target_bytes: flows.first().copied().unwrap_or(0),
+            competing_bytes: flows.iter().skip(1).sum(),
+            server_sockets: sockets,
+            leaked_total,
+            flow_bytes: flows,
+            ..TestMetrics::empty()
+        }
+    }
+
+    #[test]
+    fn jain_index_and_starved_flows_behave() {
+        let fair = multiflow(vec![1_000_000; 8], 0, 0);
+        assert!((fair.jain_index() - 1.0).abs() < 1e-12);
+        assert_eq!(fair.starved_flows(), 0);
+        let skewed = multiflow(vec![8_000_000, 0, 0, 0, 0, 0, 0, 0], 0, 0);
+        assert!((skewed.jain_index() - 0.125).abs() < 1e-12);
+        assert_eq!(skewed.starved_flows(), 7);
+        // Degenerate vectors are trivially fair and starve no one.
+        assert_eq!(TestMetrics::empty().jain_index(), 1.0);
+        assert_eq!(multiflow(vec![0, 0, 0], 0, 0).starved_flows(), 0);
+    }
+
+    #[test]
+    fn fairness_collapse_detected() {
+        let base = multiflow(vec![1_000_000; 8], 0, 0);
+        // Aggregate bytes unchanged, but one background flow monopolizes.
+        let attacked = multiflow(vec![1_000_000, 7_000_000, 0, 0, 0, 0, 0, 0], 0, 0);
+        let v = detect(&base, &attacked, DEFAULT_THRESHOLD);
+        assert!(v.fairness_collapse, "{v:?}");
+        assert!(v.flow_starvation, "monopolized flows are also starved");
+        assert!(!v.throughput_degradation, "target kept its bytes");
+        assert!(v.labels().contains(&"fairness-collapse"));
+    }
+
+    #[test]
+    fn flow_starvation_detected_without_fairness_collapse() {
+        let base = multiflow(vec![1_000_000; 8], 0, 0);
+        // One flow starved; the rest stay fair, so Jain's barely moves.
+        let mut flows = vec![1_000_000; 8];
+        flows[7] = 50_000;
+        let attacked = multiflow(flows, 0, 0);
+        let v = detect(&base, &attacked, DEFAULT_THRESHOLD);
+        assert!(v.flow_starvation, "{v:?}");
+        assert!(!v.fairness_collapse, "{v:?}");
+    }
+
+    #[test]
+    fn table_exhaustion_detected_on_both_edges() {
+        let base = multiflow(vec![1_000_000; 8], 4, 0);
+        // Leak edge: strictly more than baseline + margin.
+        let leaky = multiflow(vec![1_000_000; 8], 4, TABLE_LEAK_MARGIN + 1);
+        assert!(detect(&base, &leaky, DEFAULT_THRESHOLD).table_exhaustion);
+        let within = multiflow(vec![1_000_000; 8], 4, TABLE_LEAK_MARGIN);
+        assert!(!detect(&base, &within, DEFAULT_THRESHOLD).table_exhaustion);
+        // Occupancy edge: strictly above 2×baseline + margin.
+        let crowded = multiflow(vec![1_000_000; 8], 2 * 4 + TABLE_LEAK_MARGIN + 1, 0);
+        let v = detect(&base, &crowded, DEFAULT_THRESHOLD);
+        assert!(v.table_exhaustion);
+        assert_eq!(v.labels(), vec!["table-exhaustion"]);
+        let tolerable = multiflow(vec![1_000_000; 8], 2 * 4 + TABLE_LEAK_MARGIN, 0);
+        assert!(!detect(&base, &tolerable, DEFAULT_THRESHOLD).table_exhaustion);
+    }
+
+    #[test]
+    fn cross_flow_metrics_disengage_on_classic_two_flow_runs() {
+        // Two-flow metrics (the classic dumbbell) never trip the new flags,
+        // however extreme the readings: legacy verdicts stay bit-identical.
+        let base = multiflow(vec![10_000_000, 10_000_000], 0, 0);
+        let attacked = multiflow(vec![10_000_000, 0], 500, 500);
+        let v = detect(&base, &attacked, DEFAULT_THRESHOLD);
+        assert!(!v.fairness_collapse);
+        assert!(!v.flow_starvation);
+        assert!(!v.table_exhaustion);
+        let env = Envelope::from_baseline(&base, DEFAULT_THRESHOLD);
+        let ve = detect_enveloped(&env, &attacked);
+        assert!(!ve.fairness_collapse && !ve.flow_starvation && !ve.table_exhaustion);
+    }
+
+    #[test]
+    fn single_member_envelope_degenerates_to_detect_for_multiflow() {
+        let base = multiflow(vec![1_000_000; 8], 4, 1);
+        let env = Envelope::from_baseline(&base, DEFAULT_THRESHOLD);
+        for attacked in [
+            multiflow(vec![1_000_000; 8], 4, 1),
+            multiflow(vec![1_000_000, 7_000_000, 0, 0, 0, 0, 0, 0], 4, 1),
+            multiflow(vec![1_000_000; 8], 40, 1),
+            multiflow(vec![1_000_000; 8], 4, 20),
+            multiflow(vec![500_000; 8], 16, 9),
+        ] {
+            assert_eq!(
+                detect_enveloped(&env, &attacked),
+                detect(&base, &attacked, DEFAULT_THRESHOLD),
+                "K=1 must reproduce the direct verdict for {attacked:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn multiflow_ensemble_members_never_flag_cross_flow() {
+        let members = [
+            multiflow(vec![1_000_000; 8], 4, 0),
+            multiflow(
+                vec![
+                    900_000, 1_100_000, 80_000, 1_000_000, 950_000, 1_050_000, 1_000_000, 1_000_000,
+                ],
+                9,
+                2,
+            ),
+            multiflow(
+                vec![
+                    1_200_000, 800_000, 1_000_000, 1_000_000, 0, 1_000_000, 1_000_000, 1_000_000,
+                ],
+                6,
+                1,
+            ),
+        ];
+        let env = Envelope::from_members(&members, DEFAULT_THRESHOLD);
+        assert!(env.cross_flow);
+        for m in &members {
+            assert!(
+                !detect_enveloped(&env, m).flagged(),
+                "member {m:?} flagged against its own envelope"
+            );
+        }
     }
 
     #[test]

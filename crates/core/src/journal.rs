@@ -53,18 +53,33 @@ impl ToJson for Verdict {
                 Value::Bool(self.competing_degradation),
             ),
             ("socket_leak", Value::Bool(self.socket_leak)),
+            ("fairness_collapse", Value::Bool(self.fairness_collapse)),
+            ("flow_starvation", Value::Bool(self.flow_starvation)),
+            ("table_exhaustion", Value::Bool(self.table_exhaustion)),
         ])
     }
 }
 
 impl FromJson for Verdict {
     fn from_json(value: &Value) -> Result<Verdict, JsonError> {
+        // The cross-flow flags postdate the journal format; journals
+        // written before them decode with the flags clear, which is also
+        // what their two-flow scenarios would have computed.
+        let opt_bool = |key: &str| -> Result<bool, JsonError> {
+            match value.get(key) {
+                Some(_) => value.req_bool(key),
+                None => Ok(false),
+            }
+        };
         Ok(Verdict {
             establishment_prevented: value.req_bool("establishment_prevented")?,
             throughput_degradation: value.req_bool("throughput_degradation")?,
             throughput_gain: value.req_bool("throughput_gain")?,
             competing_degradation: value.req_bool("competing_degradation")?,
             socket_leak: value.req_bool("socket_leak")?,
+            fairness_collapse: opt_bool("fairness_collapse")?,
+            flow_starvation: opt_bool("flow_starvation")?,
+            table_exhaustion: opt_bool("table_exhaustion")?,
         })
     }
 }
@@ -85,6 +100,12 @@ impl ToJson for TestMetrics {
             ),
             ("truncated", Value::Bool(self.truncated)),
             ("sim_events", Value::U64(self.sim_events)),
+            (
+                "flow_bytes",
+                Value::Arr(self.flow_bytes.iter().map(|&b| Value::U64(b)).collect()),
+            ),
+            ("server_sockets", Value::U64(self.server_sockets as u64)),
+            ("leaked_total", Value::U64(self.leaked_total as u64)),
             ("proxy", self.proxy.to_json()),
         ])
     }
@@ -96,10 +117,39 @@ impl FromJson for TestMetrics {
             usize::try_from(value.req_u64(key)?)
                 .map_err(|_| JsonError::decode(format!("field `{key}` out of range")))
         };
+        let target_bytes = value.req_u64("target_bytes")?;
+        let competing_bytes = value.req_u64("competing_bytes")?;
+        let leaked_sockets = count("leaked_sockets")?;
+        // The cross-flow fields postdate the journal format. An old line
+        // decodes to the values its classic two-flow run would have
+        // measured: the two known per-flow byte counts, no occupancy
+        // reading, and the attacked server's leaks as the total.
+        let flow_bytes = match value.get("flow_bytes") {
+            Some(v) => v
+                .as_arr()
+                .ok_or_else(|| JsonError::decode("field `flow_bytes` is not an array"))?
+                .iter()
+                .map(|b| {
+                    b.as_u64()
+                        .ok_or_else(|| JsonError::decode("flow_bytes entries must be u64"))
+                })
+                .collect::<Result<Vec<u64>, JsonError>>()?,
+            None => vec![target_bytes, competing_bytes],
+        };
+        let server_sockets = if value.get("server_sockets").is_some() {
+            count("server_sockets")?
+        } else {
+            0
+        };
+        let leaked_total = if value.get("leaked_total").is_some() {
+            count("leaked_total")?
+        } else {
+            leaked_sockets
+        };
         Ok(TestMetrics {
-            target_bytes: value.req_u64("target_bytes")?,
-            competing_bytes: value.req_u64("competing_bytes")?,
-            leaked_sockets: count("leaked_sockets")?,
+            target_bytes,
+            competing_bytes,
+            leaked_sockets,
             leaked_close_wait: count("leaked_close_wait")?,
             leaked_with_queue: count("leaked_with_queue")?,
             truncated: value.req_bool("truncated")?,
@@ -110,6 +160,9 @@ impl FromJson for TestMetrics {
             } else {
                 0
             },
+            flow_bytes,
+            server_sockets,
+            leaked_total,
             proxy: std::sync::Arc::new(ProxyReport::from_json(value.req("proxy")?)?),
         })
     }

@@ -80,13 +80,18 @@ pub use campaign::{
     Campaign, CampaignConfig, CampaignConfigBuilder, CampaignError, CampaignResult, ChaosPlan,
     Controller, FaultHook, OutcomeKind, StrategyOutcome,
 };
-pub use detect::{baseline_valid, detect, detect_enveloped, Envelope, Verdict, DEFAULT_THRESHOLD};
+pub use detect::{
+    baseline_valid, detect, detect_enveloped, Envelope, Verdict, DEFAULT_THRESHOLD,
+    TABLE_LEAK_MARGIN,
+};
 pub use manifest::build_run_manifest;
 pub use memostore::{scenario_digest, MemoStore, MemoStoreReport, StoreScope, MEMO_STORE_VERSION};
 pub use report::{render_table1, render_table2};
 pub use scenario::{
-    Executor, ExecutorOptions, PlannedExecutor, ProtocolKind, RunInfo, ScenarioSpec, TestMetrics,
+    Executor, ExecutorOptions, FlowGroup, FlowRole, PlannedExecutor, ProtocolKind, RunInfo,
+    ScenarioError, ScenarioSpec, ScenarioSpecBuilder, TestMetrics, TopologySpec,
 };
 pub use shard::run_shard_worker;
+pub use snake_netsim::{TopologyGenSpec, TopologyKind};
 pub use snake_observe::{NullObserver, Observer, Recorder, RecorderSnapshot, RunManifest};
 pub use strategen::{generate_strategies, is_on_path, is_self_denial, GenerationParams};

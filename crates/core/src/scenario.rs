@@ -3,7 +3,10 @@ use std::sync::Arc;
 
 use snake_dccp::{DccpHost, DccpProfile, DccpServerApp};
 use snake_json::ToJson;
-use snake_netsim::{Addr, Dumbbell, DumbbellSpec, Impairment, SimTime, Simulator};
+use snake_netsim::{
+    Addr, Dumbbell, DumbbellSpec, Impairment, LinkId, LinkSpec, NodeId, SimTime, Simulator,
+    TopologyGen, TopologyGenSpec, TopologyKind,
+};
 use snake_observe::{self as observe, NullObserver, Observer};
 use snake_packet::{FieldMutation, FormatSpec};
 use snake_proxy::{
@@ -47,44 +50,153 @@ impl ProtocolKind {
     }
 }
 
+/// The network a scenario runs on: the paper's Figure-3 dumbbell, or a
+/// generated star/tree/multi-bottleneck layout of up to thousands of hosts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TopologySpec {
+    /// The classic four-host dumbbell (the degenerate case).
+    Dumbbell(DumbbellSpec),
+    /// A seeded generated topology (see [`TopologyGen`]).
+    Generated(TopologyGenSpec),
+}
+
+impl TopologySpec {
+    /// The bottleneck-class link template of either variant.
+    pub fn bottleneck(&self) -> &LinkSpec {
+        match self {
+            TopologySpec::Dumbbell(d) => &d.bottleneck,
+            TopologySpec::Generated(g) => &g.bottleneck,
+        }
+    }
+
+    fn bottleneck_mut(&mut self) -> &mut LinkSpec {
+        match self {
+            TopologySpec::Dumbbell(d) => &mut d.bottleneck,
+            TopologySpec::Generated(g) => &mut g.bottleneck,
+        }
+    }
+}
+
+/// What a flow does in a multi-flow scenario.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlowRole {
+    /// The proxied flow(s) under attack: bulk downloads from the attacked
+    /// server, opened by the attacked client (staggered 100 ms apart, like
+    /// the classic target connections).
+    Attacked,
+    /// Long-lived background bulk downloads competing for the bottleneck.
+    Bulk,
+    /// Short-lived request/response exchanges: the server pushes a small
+    /// response and closes.
+    RequestResponse,
+    /// Connection-churn pressure on the server's socket table: the server
+    /// answers with a single byte and closes, leaving the accept path and
+    /// TIME_WAIT slots doing all the work.
+    SynPressure,
+}
+
+impl FlowRole {
+    /// Stable lowercase label (used by the CLI and the shard wire).
+    pub fn label(&self) -> &'static str {
+        match self {
+            FlowRole::Attacked => "attacked",
+            FlowRole::Bulk => "bulk",
+            FlowRole::RequestResponse => "request-response",
+            FlowRole::SynPressure => "syn-pressure",
+        }
+    }
+
+    /// Inverse of [`FlowRole::label`], with short CLI aliases.
+    pub fn from_label(label: &str) -> Option<FlowRole> {
+        match label {
+            "attacked" => Some(FlowRole::Attacked),
+            "bulk" => Some(FlowRole::Bulk),
+            "request-response" | "request_response" | "rr" => Some(FlowRole::RequestResponse),
+            "syn-pressure" | "syn_pressure" | "syn" => Some(FlowRole::SynPressure),
+            _ => None,
+        }
+    }
+}
+
+/// `count` concurrent flows of one role.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlowGroup {
+    /// The role every flow in the group plays.
+    pub role: FlowRole,
+    /// Number of flows; must be positive.
+    pub count: usize,
+}
+
+/// Errors from [`ScenarioSpecBuilder::build`] — the scenario-level analogue
+/// of the campaign builder's `InvalidConfig`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScenarioError {
+    /// A builder setting is degenerate or contradictory.
+    InvalidConfig {
+        /// Human-readable explanation of what was rejected.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScenarioError::InvalidConfig { detail } => write!(f, "invalid scenario: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for ScenarioError {}
+
 /// One test scenario: everything an executor needs to run a strategy (or
 /// the baseline) and measure the outcome.
+///
+/// Construct via [`ScenarioSpec::builder`] (validating) or the
+/// [`evaluation`](ScenarioSpec::evaluation) / [`quick`](ScenarioSpec::quick)
+/// presets; fields are read through accessors. Every spec this type can
+/// hold has passed the builder's validation.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ScenarioSpec {
-    /// Protocol and implementation under test (all four hosts run it).
-    pub protocol: ProtocolKind,
-    /// Network parameters.
-    pub dumbbell: DumbbellSpec,
+    /// Protocol and implementation under test (all hosts run it).
+    pub(crate) protocol: ProtocolKind,
+    /// The network the scenario runs on.
+    pub(crate) topology: TopologySpec,
+    /// The flow mix for generated topologies; `None` means the classic
+    /// "one attacked flow + one competitor" dumbbell workload.
+    pub(crate) flows: Option<Vec<FlowGroup>>,
     /// Length of the data-transfer phase.
-    pub data_secs: u64,
+    pub(crate) data_secs: u64,
     /// Observation window after the test ends (clients killed / servers
     /// stopped) before the socket census — the paper's post-test `netstat`.
-    pub grace_secs: u64,
+    pub(crate) grace_secs: u64,
     /// Simulation seed. Identical seeds give identical runs.
-    pub seed: u64,
+    pub(crate) seed: u64,
     /// Number of connections the target client opens (staggered 100 ms
     /// apart). The evaluation uses 1; the resource-exhaustion scaling
     /// experiment raises it to show leaked sockets accumulating per
     /// connection — the paper's "an attacker can easily initiate hundreds
     /// of thousands of such connections" (§VI-A.1), scaled to simulation.
-    pub target_connections: usize,
+    pub(crate) target_connections: usize,
     /// Optional cap on simulator events for the whole run. A livelocked or
     /// packet-storm strategy is deterministically truncated when the cap is
     /// hit (the run's metrics then carry [`TestMetrics::truncated`]) instead
     /// of hanging an executor. `None` means unbounded.
-    pub event_budget: Option<u64>,
+    pub(crate) event_budget: Option<u64>,
 }
 
 impl ScenarioSpec {
-    /// The configuration used for the evaluation: 20 simulated seconds of
-    /// data transfer and a 40-second post-test observation window on the
-    /// default dumbbell. The window is long enough for a Windows stack's
-    /// five-retry give-up (with exponential backoff, ≈30 s) to free its
-    /// sockets — only genuinely wedged connections count as leaks.
-    pub fn evaluation(protocol: ProtocolKind) -> ScenarioSpec {
-        ScenarioSpec {
+    /// A validating builder seeded with the evaluation defaults. The
+    /// [`topology`](ScenarioSpecBuilder::topology) and
+    /// [`flows`](ScenarioSpecBuilder::flows) knobs are the only way to
+    /// reach the generated multi-flow workload.
+    pub fn builder(protocol: ProtocolKind) -> ScenarioSpecBuilder {
+        ScenarioSpecBuilder {
             protocol,
-            dumbbell: DumbbellSpec::evaluation_default(),
+            generated: None,
+            bottleneck: DumbbellSpec::evaluation_default().bottleneck,
+            access: DumbbellSpec::evaluation_default().access,
+            flows: None,
+            impair: None,
             data_secs: 20,
             grace_secs: 40,
             seed: 7,
@@ -93,13 +205,77 @@ impl ScenarioSpec {
         }
     }
 
+    /// The configuration used for the evaluation: 20 simulated seconds of
+    /// data transfer and a 40-second post-test observation window on the
+    /// default dumbbell. The window is long enough for a Windows stack's
+    /// five-retry give-up (with exponential backoff, ≈30 s) to free its
+    /// sockets — only genuinely wedged connections count as leaks.
+    pub fn evaluation(protocol: ProtocolKind) -> ScenarioSpec {
+        ScenarioSpec::builder(protocol)
+            .build()
+            .expect("evaluation preset is valid")
+    }
+
     /// A reduced configuration for tests: 6 s of data, 35 s of grace.
     pub fn quick(protocol: ProtocolKind) -> ScenarioSpec {
-        ScenarioSpec {
-            data_secs: 6,
-            grace_secs: 35,
-            ..ScenarioSpec::evaluation(protocol)
-        }
+        ScenarioSpec::builder(protocol)
+            .quick()
+            .build()
+            .expect("quick preset is valid")
+    }
+
+    /// Protocol and implementation under test.
+    pub fn protocol(&self) -> &ProtocolKind {
+        &self.protocol
+    }
+
+    /// The network the scenario runs on.
+    pub fn topology(&self) -> &TopologySpec {
+        &self.topology
+    }
+
+    /// The flow mix for generated topologies (`None` = classic workload).
+    pub fn flows(&self) -> Option<&[FlowGroup]> {
+        self.flows.as_deref()
+    }
+
+    /// Length of the data-transfer phase in simulated seconds.
+    pub fn data_secs(&self) -> u64 {
+        self.data_secs
+    }
+
+    /// Post-test observation window in simulated seconds.
+    pub fn grace_secs(&self) -> u64 {
+        self.grace_secs
+    }
+
+    /// Simulation seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Connections the attacked client opens.
+    pub fn target_connections(&self) -> usize {
+        self.target_connections
+    }
+
+    /// Optional cap on simulator events for the whole run.
+    pub fn event_budget(&self) -> Option<u64> {
+        self.event_budget
+    }
+
+    /// The bottleneck link template of the scenario's topology.
+    pub fn bottleneck(&self) -> &LinkSpec {
+        self.topology.bottleneck()
+    }
+
+    /// Returns the spec with a different traffic seed. A generated
+    /// topology's layout seed is bound when the spec is built, so reseeding
+    /// varies the traffic draws without moving hosts — ensemble members
+    /// measure the same network.
+    pub fn with_seed(mut self, seed: u64) -> ScenarioSpec {
+        self.seed = seed;
+        self
     }
 
     /// Returns the spec with an event budget applied.
@@ -108,15 +284,199 @@ impl ScenarioSpec {
         self
     }
 
-    /// Returns the spec with `impair` applied to the dumbbell's bottleneck
-    /// link — the shared path both connections cross, so loss, jitter,
+    /// Returns the spec with any event budget removed.
+    pub fn without_event_budget(mut self) -> ScenarioSpec {
+        self.event_budget = None;
+        self
+    }
+
+    /// Returns the spec with `impair` applied to the topology's bottleneck
+    /// link(s) — the shared path competing flows cross, so loss, jitter,
     /// duplication, corruption and flap windows hit target and competing
     /// traffic alike (an adversarial *environment*, not an attack).
     /// Impairment draws come from per-link RNG lanes, so the rest of the
     /// simulation is bit-identical with and without this.
     pub fn with_impairment(mut self, impair: Impairment) -> ScenarioSpec {
-        self.dumbbell.bottleneck = self.dumbbell.bottleneck.with_impairment(impair);
+        let b = self.topology.bottleneck_mut();
+        *b = b.with_impairment(impair);
         self
+    }
+}
+
+/// Validating builder for [`ScenarioSpec`], mirroring
+/// `CampaignConfig::builder`. Defaults are the evaluation preset.
+#[derive(Debug, Clone)]
+pub struct ScenarioSpecBuilder {
+    protocol: ProtocolKind,
+    /// `Some((kind, hosts))` switches from the dumbbell to a generated
+    /// topology; its layout seed is bound to `seed` at build time.
+    generated: Option<(TopologyKind, usize)>,
+    bottleneck: LinkSpec,
+    access: LinkSpec,
+    flows: Option<Vec<FlowGroup>>,
+    impair: Option<Impairment>,
+    data_secs: u64,
+    grace_secs: u64,
+    seed: u64,
+    target_connections: usize,
+    event_budget: Option<u64>,
+}
+
+impl ScenarioSpecBuilder {
+    /// Switches to the reduced test preset: 6 s of data, 35 s of grace.
+    pub fn quick(mut self) -> ScenarioSpecBuilder {
+        self.data_secs = 6;
+        self.grace_secs = 35;
+        self
+    }
+
+    /// Generates a `kind` topology with `hosts` end hosts instead of the
+    /// dumbbell. Requires [`flows`](ScenarioSpecBuilder::flows).
+    pub fn topology(mut self, kind: TopologyKind, hosts: usize) -> ScenarioSpecBuilder {
+        self.generated = Some((kind, hosts));
+        self
+    }
+
+    /// The flow mix to run on a generated topology. Exactly one
+    /// [`FlowRole::Attacked`] group is required.
+    pub fn flows(mut self, flows: Vec<FlowGroup>) -> ScenarioSpecBuilder {
+        self.flows = Some(flows);
+        self
+    }
+
+    /// Overrides the bottleneck-class link template.
+    pub fn bottleneck(mut self, link: LinkSpec) -> ScenarioSpecBuilder {
+        self.bottleneck = link;
+        self
+    }
+
+    /// Overrides the access-link template.
+    pub fn access(mut self, link: LinkSpec) -> ScenarioSpecBuilder {
+        self.access = link;
+        self
+    }
+
+    /// Applies an impairment to the bottleneck link(s).
+    pub fn impairment(mut self, impair: Impairment) -> ScenarioSpecBuilder {
+        self.impair = Some(impair);
+        self
+    }
+
+    /// Length of the data-transfer phase in simulated seconds.
+    pub fn data_secs(mut self, secs: u64) -> ScenarioSpecBuilder {
+        self.data_secs = secs;
+        self
+    }
+
+    /// Post-test observation window in simulated seconds.
+    pub fn grace_secs(mut self, secs: u64) -> ScenarioSpecBuilder {
+        self.grace_secs = secs;
+        self
+    }
+
+    /// Simulation seed (also the generated topology's layout seed).
+    pub fn seed(mut self, seed: u64) -> ScenarioSpecBuilder {
+        self.seed = seed;
+        self
+    }
+
+    /// Connections the attacked client opens (classic workload).
+    pub fn target_connections(mut self, count: usize) -> ScenarioSpecBuilder {
+        self.target_connections = count;
+        self
+    }
+
+    /// Cap on simulator events for the whole run.
+    pub fn event_budget(mut self, budget: u64) -> ScenarioSpecBuilder {
+        self.event_budget = Some(budget);
+        self
+    }
+
+    /// Validates and builds the spec.
+    pub fn build(self) -> Result<ScenarioSpec, ScenarioError> {
+        fn invalid<T>(detail: String) -> Result<T, ScenarioError> {
+            Err(ScenarioError::InvalidConfig { detail })
+        }
+        if self.data_secs == 0 {
+            return invalid("data phase must be at least one second".into());
+        }
+        if self.target_connections == 0 {
+            return invalid("target connection count must be positive".into());
+        }
+        for (what, link) in [("bottleneck", &self.bottleneck), ("access", &self.access)] {
+            if link.bandwidth_bps == 0 {
+                return invalid(format!("{what} link bandwidth must be positive"));
+            }
+            if link.queue_packets == 0 {
+                return invalid(format!("{what} link queue must hold at least one packet"));
+            }
+        }
+        let mut target_connections = self.target_connections;
+        let topology = match self.generated {
+            None => {
+                if self.flows.is_some() {
+                    return invalid(
+                        "flow groups need a generated topology; call topology(...) too".into(),
+                    );
+                }
+                TopologySpec::Dumbbell(DumbbellSpec {
+                    bottleneck: self.bottleneck,
+                    access: self.access,
+                })
+            }
+            Some((kind, hosts)) => {
+                let Some(flows) = &self.flows else {
+                    return invalid(
+                        "a generated topology needs a flow mix; call flows(...) too".into(),
+                    );
+                };
+                if flows.is_empty() {
+                    return invalid("the flow mix must name at least one group".into());
+                }
+                if let Some(g) = flows.iter().find(|g| g.count == 0) {
+                    return invalid(format!("{} flow count must be positive", g.role.label()));
+                }
+                let attacked: Vec<_> = flows
+                    .iter()
+                    .filter(|g| g.role == FlowRole::Attacked)
+                    .collect();
+                match attacked.as_slice() {
+                    [one] => target_connections = one.count,
+                    [] => return invalid("the flow mix needs exactly one attacked group".into()),
+                    _ => {
+                        return invalid(
+                            "the flow mix must not contain more than one attacked group".into(),
+                        )
+                    }
+                }
+                let gen = TopologyGenSpec {
+                    kind,
+                    hosts,
+                    seed: self.seed,
+                    bottleneck: self.bottleneck,
+                    access: self.access,
+                };
+                // Generating is cheap and proves the layout is realizable.
+                if let Err(detail) = TopologyGen::generate(&gen) {
+                    return invalid(detail);
+                }
+                TopologySpec::Generated(gen)
+            }
+        };
+        let mut spec = ScenarioSpec {
+            protocol: self.protocol,
+            topology,
+            flows: self.flows,
+            data_secs: self.data_secs,
+            grace_secs: self.grace_secs,
+            seed: self.seed,
+            target_connections,
+            event_budget: self.event_budget,
+        };
+        if let Some(impair) = self.impair {
+            spec = spec.with_impairment(impair);
+        }
+        Ok(spec)
     }
 }
 
@@ -136,16 +496,34 @@ pub struct TestMetrics {
     pub leaked_close_wait: usize,
     /// Server-1 sockets stuck with data still queued (DCCP OPEN/CLOSING).
     pub leaked_with_queue: usize,
-    /// Whether the run hit [`ScenarioSpec::event_budget`] and was cut short;
+    /// Whether the run hit the scenario's event budget and was cut short;
     /// the remaining metrics describe the truncated run, not a full one.
     pub truncated: bool,
     /// Total simulator events the run processed (throughput accounting;
     /// identical between a snapshot-forked run and a from-scratch one).
     pub sim_events: u64,
+    /// Bytes delivered per client host at the end of the data phase,
+    /// attacked client first. On the classic dumbbell this is
+    /// `[target_bytes, competing_bytes]`; on generated topologies the flow
+    /// spread puts (at most) one background flow per client, so this is the
+    /// per-flow delivery vector the cross-flow detectors consume.
+    pub flow_bytes: Vec<u64>,
+    /// Server socket-table occupancy at the end of the data phase, summed
+    /// over all servers: connections in any live state plus TIME_WAIT —
+    /// the accept-queue/table pressure a SYN-pressure workload creates.
+    pub server_sockets: usize,
+    /// Post-grace leaked sockets summed over *all* servers (the classic
+    /// [`leaked_sockets`](TestMetrics::leaked_sockets) counts only the
+    /// attacked server).
+    pub leaked_total: usize,
     /// The attack proxy's observation report, shared rather than deep-copied
     /// — campaigns hold hundreds of these for generator feedback.
     pub proxy: Arc<ProxyReport>,
 }
+
+/// A flow counts as starved when it delivered less than this fraction of
+/// the fair share of the total.
+const STARVATION_FRACTION: f64 = 0.1;
 
 impl TestMetrics {
     /// An all-zero report used as the placeholder for runs that never
@@ -160,8 +538,52 @@ impl TestMetrics {
             leaked_with_queue: 0,
             truncated: false,
             sim_events: 0,
+            flow_bytes: Vec::new(),
+            server_sockets: 0,
+            leaked_total: 0,
             proxy: Arc::new(ProxyReport::default()),
         }
+    }
+
+    /// Jain's fairness index over [`flow_bytes`](TestMetrics::flow_bytes):
+    /// `(Σx)² / (n·Σx²)`, 1.0 when all flows deliver equally, → 1/n as one
+    /// flow monopolizes. Degenerate vectors (empty, or all-zero) are
+    /// trivially fair: fairness is about *division* of delivered bytes, and
+    /// a run that moved nothing is judged by the throughput detectors.
+    pub fn jain_index(&self) -> f64 {
+        let n = self.flow_bytes.len();
+        if n == 0 {
+            return 1.0;
+        }
+        let sum: f64 = self.flow_bytes.iter().map(|&b| b as f64).sum();
+        let sum_sq: f64 = self
+            .flow_bytes
+            .iter()
+            .map(|&b| (b as f64) * (b as f64))
+            .sum();
+        if sum_sq == 0.0 {
+            return 1.0;
+        }
+        (sum * sum) / (n as f64 * sum_sq)
+    }
+
+    /// Number of flows that delivered less than 10 % of the fair share
+    /// (total / n). Zero for degenerate vectors — a run that moved nothing
+    /// has no share to starve anyone of.
+    pub fn starved_flows(&self) -> usize {
+        let n = self.flow_bytes.len();
+        if n < 2 {
+            return 0;
+        }
+        let total: u64 = self.flow_bytes.iter().sum();
+        if total == 0 {
+            return 0;
+        }
+        let floor = STARVATION_FRACTION * total as f64 / n as f64;
+        self.flow_bytes
+            .iter()
+            .filter(|&&b| (b as f64) < floor)
+            .count()
     }
 }
 
@@ -231,25 +653,140 @@ fn record_sim_stats(observer: &dyn Observer, sim: &Simulator) {
     }
 }
 
-fn proxy_config(d: &Dumbbell, spec: &ScenarioSpec) -> ProxyConfig {
+/// Host/link handles a built scenario exposes to the measurement phases,
+/// independent of which topology produced them. `clients[0]`/`servers[0]`
+/// are the attacked pair; the proxy taps `proxy_link`.
+#[derive(Debug, Clone)]
+struct Wiring {
+    proxy_link: LinkId,
+    /// Whether the attacked client is endpoint `a` of `proxy_link`.
+    proxy_client_is_a: bool,
+    clients: Vec<NodeId>,
+    servers: Vec<NodeId>,
+}
+
+fn proxy_config(w: &Wiring, spec: &ScenarioSpec) -> ProxyConfig {
     ProxyConfig {
-        client_node: d.client1,
-        // Dumbbell::build adds the proxy link as (client1, router1).
-        client_is_a: true,
-        server: Addr::new(d.server1, spec.protocol.service_port()),
+        client_node: w.clients[0],
+        client_is_a: w.proxy_client_is_a,
+        server: Addr::new(w.servers[0], spec.protocol.service_port()),
         client_port_guess: 40_000,
         seed: spec.seed ^ 0x5A5A,
     }
 }
 
-/// One built simulation of a scenario: four hosts on the dumbbell with the
-/// attack proxy tapped into the target client's access link. Both the
+/// Port serving short request/response flows on generated topologies.
+const RR_PORT: u16 = 8_080;
+/// Bytes a request/response server pushes before closing.
+const RR_BYTES: u64 = 64 * 1024;
+/// Port serving SYN-pressure flows.
+const SYN_PORT: u16 = 9_090;
+/// Bytes a SYN-pressure server pushes before closing — the connection's
+/// cost is all handshake and teardown.
+const SYN_BYTES: u64 = 1;
+
+/// The fully expanded workload: which ports every server listens on (and
+/// how many bytes each app serves) and every client's connection plan.
+/// Pure data derived deterministically from the spec.
+struct FlowPlan {
+    /// `(port, app bytes)` installed on every server host; `u64::MAX`
+    /// means an unbounded bulk sender.
+    listens: Vec<(u16, u64)>,
+    /// Per client (same order as `Wiring::clients`): `(time, server index,
+    /// port)` connection plans.
+    connects: Vec<Vec<(SimTime, usize, u16)>>,
+}
+
+fn flow_plan(spec: &ScenarioSpec, n_clients: usize, n_servers: usize) -> FlowPlan {
+    let port = spec.protocol.service_port();
+    let mut connects = vec![Vec::new(); n_clients];
+    let Some(groups) = &spec.flows else {
+        // Classic workload: the attacked client's staggered bulk
+        // connections to server 0, one competitor to server 1. This arm
+        // reproduces the pre-multi-flow executor call-for-call.
+        for i in 0..spec.target_connections.max(1) {
+            connects[0].push((SimTime::from_millis(100 * i as u64), 0, port));
+        }
+        if n_clients > 1 {
+            connects[1].push((SimTime::ZERO, 1 % n_servers, port));
+        }
+        return FlowPlan {
+            listens: vec![(port, u64::MAX)],
+            connects,
+        };
+    };
+    // Attacked flows mirror the classic stagger on client 0 / server 0;
+    // background flows spread round-robin over the remaining clients and
+    // all servers, each role with its own start cadence.
+    let mut background = 0usize;
+    let mut per_role = [0usize; 3];
+    for group in groups {
+        for _ in 0..group.count {
+            let (client, server, at, to_port) = match group.role {
+                FlowRole::Attacked => {
+                    let i = connects[0].len() as u64;
+                    (0, 0, SimTime::from_millis(100 * i), port)
+                }
+                FlowRole::Bulk => {
+                    let i = per_role[0] as u64;
+                    per_role[0] += 1;
+                    (
+                        1 + background % (n_clients - 1),
+                        background % n_servers,
+                        SimTime::from_millis(10 * i),
+                        port,
+                    )
+                }
+                FlowRole::RequestResponse => {
+                    let i = per_role[1] as u64;
+                    per_role[1] += 1;
+                    (
+                        1 + background % (n_clients - 1),
+                        background % n_servers,
+                        SimTime::from_millis(50 * i),
+                        RR_PORT,
+                    )
+                }
+                FlowRole::SynPressure => {
+                    let i = per_role[2] as u64;
+                    per_role[2] += 1;
+                    (
+                        1 + background % (n_clients - 1),
+                        background % n_servers,
+                        SimTime::from_millis(5 * i),
+                        SYN_PORT,
+                    )
+                }
+            };
+            if group.role != FlowRole::Attacked {
+                background += 1;
+            }
+            connects[client].push((at, server, to_port));
+        }
+    }
+    FlowPlan {
+        listens: vec![(port, u64::MAX), (RR_PORT, RR_BYTES), (SYN_PORT, SYN_BYTES)],
+        connects,
+    }
+}
+
+/// The byte/occupancy measurement taken at the end of the data phase.
+#[derive(Debug, Clone, PartialEq)]
+struct Measured {
+    /// Bytes delivered per client host, attacked client first.
+    flow_bytes: Vec<u64>,
+    /// Socket-table occupancy summed over all servers.
+    server_sockets: usize,
+}
+
+/// One built simulation of a scenario: the topology's hosts with the
+/// attack proxy tapped into the attacked client's access link. Both the
 /// from-scratch executor and the snapshot-fork planner drive their runs
 /// through the same build / measure / schedule-finish / finish phases, so
 /// the two paths execute byte-identical event sequences.
 struct Session {
     sim: Simulator,
-    d: Dumbbell,
+    wiring: Wiring,
 }
 
 impl Session {
@@ -258,83 +795,125 @@ impl Session {
         if let Some(budget) = spec.event_budget {
             sim.set_event_budget(budget);
         }
-        let d = Dumbbell::build(&mut sim, spec.dumbbell);
-        let port = spec.protocol.service_port();
+        let wiring = match &spec.topology {
+            TopologySpec::Dumbbell(d_spec) => {
+                let d = Dumbbell::build(&mut sim, *d_spec);
+                Wiring {
+                    proxy_link: d.proxy_link,
+                    // Dumbbell::build adds the proxy link as (client1, router1).
+                    proxy_client_is_a: true,
+                    clients: vec![d.client1, d.client2],
+                    servers: vec![d.server1, d.server2],
+                }
+            }
+            TopologySpec::Generated(g) => {
+                let layout =
+                    TopologyGen::generate(g).expect("generated topology validated by the builder");
+                let built = layout.build(&mut sim);
+                Wiring {
+                    proxy_link: built.proxy_link,
+                    proxy_client_is_a: built.proxy_client_is_a,
+                    clients: built.clients,
+                    servers: built.servers,
+                }
+            }
+        };
+        let plan = flow_plan(spec, wiring.clients.len(), wiring.servers.len());
         match &spec.protocol {
             ProtocolKind::Tcp(profile) => {
-                for server in [d.server1, d.server2] {
+                for &server in &wiring.servers {
                     let mut host = TcpHost::new(profile.clone());
-                    host.listen(port, ServerApp::bulk_sender(u64::MAX));
+                    for &(p, bytes) in &plan.listens {
+                        host.listen(p, ServerApp::bulk_sender(bytes));
+                    }
                     sim.set_agent(server, host);
                 }
-                let mut host = TcpHost::new(profile.clone());
-                for i in 0..spec.target_connections.max(1) {
-                    host.connect_at(
-                        SimTime::from_millis(100 * i as u64),
-                        Addr::new(d.server1, port),
-                    );
+                for (ci, &client) in wiring.clients.iter().enumerate() {
+                    let mut host = TcpHost::new(profile.clone());
+                    for &(at, si, p) in &plan.connects[ci] {
+                        host.connect_at(at, Addr::new(wiring.servers[si], p));
+                    }
+                    sim.set_agent(client, host);
                 }
-                sim.set_agent(d.client1, host);
-                let mut competing = TcpHost::new(profile.clone());
-                competing.connect_at(SimTime::ZERO, Addr::new(d.server2, port));
-                sim.set_agent(d.client2, competing);
-                let mut proxy = AttackProxy::with_rules(TcpAdapter, proxy_config(&d, spec), rules);
+                let mut proxy =
+                    AttackProxy::with_rules(TcpAdapter, proxy_config(&wiring, spec), rules);
                 if record_timeline {
                     proxy.record_timeline();
                 }
-                sim.attach_tap(d.proxy_link, proxy);
+                sim.attach_tap(wiring.proxy_link, proxy);
             }
             ProtocolKind::Dccp(profile) => {
-                for server in [d.server1, d.server2] {
+                for &server in &wiring.servers {
                     let mut host = DccpHost::new(profile.clone());
-                    host.listen(port, DccpServerApp::bulk_sender(u64::MAX));
+                    for &(p, bytes) in &plan.listens {
+                        host.listen(p, DccpServerApp::bulk_sender(bytes));
+                    }
                     sim.set_agent(server, host);
                 }
-                let mut host = DccpHost::new(profile.clone());
-                for i in 0..spec.target_connections.max(1) {
-                    host.connect_at(
-                        SimTime::from_millis(100 * i as u64),
-                        Addr::new(d.server1, port),
-                    );
+                for (ci, &client) in wiring.clients.iter().enumerate() {
+                    let mut host = DccpHost::new(profile.clone());
+                    for &(at, si, p) in &plan.connects[ci] {
+                        host.connect_at(at, Addr::new(wiring.servers[si], p));
+                    }
+                    sim.set_agent(client, host);
                 }
-                sim.set_agent(d.client1, host);
-                let mut competing = DccpHost::new(profile.clone());
-                competing.connect_at(SimTime::ZERO, Addr::new(d.server2, port));
-                sim.set_agent(d.client2, competing);
-                let mut proxy = AttackProxy::with_rules(DccpAdapter, proxy_config(&d, spec), rules);
+                let mut proxy =
+                    AttackProxy::with_rules(DccpAdapter, proxy_config(&wiring, spec), rules);
                 if record_timeline {
                     proxy.record_timeline();
                 }
-                sim.attach_tap(d.proxy_link, proxy);
+                sim.attach_tap(wiring.proxy_link, proxy);
             }
         }
-        Session { sim, d }
+        Session { sim, wiring }
     }
 
-    /// Bytes the target and competing connections delivered so far — read
-    /// at `data_end`, the end of the data-transfer phase.
-    fn measure(&self, spec: &ScenarioSpec) -> (u64, u64) {
-        match &spec.protocol {
-            ProtocolKind::Tcp(_) => (
-                self.sim
-                    .agent::<TcpHost>(self.d.client1)
-                    .expect("host")
-                    .total_delivered(),
-                self.sim
-                    .agent::<TcpHost>(self.d.client2)
-                    .expect("host")
-                    .total_delivered(),
-            ),
-            ProtocolKind::Dccp(_) => (
-                self.sim
-                    .agent::<DccpHost>(self.d.client1)
-                    .expect("host")
-                    .total_goodput(),
-                self.sim
-                    .agent::<DccpHost>(self.d.client2)
-                    .expect("host")
-                    .total_goodput(),
-            ),
+    /// Per-client delivered bytes and server table occupancy — read at
+    /// `data_end`, the end of the data-transfer phase. Pure reads: taking
+    /// the measurement perturbs nothing.
+    fn measure(&self, spec: &ScenarioSpec) -> Measured {
+        let flow_bytes: Vec<u64> = match &spec.protocol {
+            ProtocolKind::Tcp(_) => self
+                .wiring
+                .clients
+                .iter()
+                .map(|&c| {
+                    self.sim
+                        .agent::<TcpHost>(c)
+                        .expect("host")
+                        .total_delivered()
+                })
+                .collect(),
+            ProtocolKind::Dccp(_) => self
+                .wiring
+                .clients
+                .iter()
+                .map(|&c| self.sim.agent::<DccpHost>(c).expect("host").total_goodput())
+                .collect(),
+        };
+        let server_sockets = match &spec.protocol {
+            ProtocolKind::Tcp(_) => self
+                .wiring
+                .servers
+                .iter()
+                .map(|&s| {
+                    let census = self.sim.agent::<TcpHost>(s).expect("host").census();
+                    census.leaked() + census.count("TIME_WAIT")
+                })
+                .sum(),
+            ProtocolKind::Dccp(_) => self
+                .wiring
+                .servers
+                .iter()
+                .map(|&s| {
+                    let census = self.sim.agent::<DccpHost>(s).expect("host").census();
+                    census.leaked() + census.count("TIMEWAIT")
+                })
+                .sum(),
+        };
+        Measured {
+            flow_bytes,
+            server_sockets,
         }
     }
 
@@ -343,7 +922,7 @@ impl Session {
     fn schedule_finish(&mut self, spec: &ScenarioSpec, data_end: SimTime) {
         match &spec.protocol {
             ProtocolKind::Tcp(_) => {
-                for client in [self.d.client1, self.d.client2] {
+                for &client in &self.wiring.clients {
                     self.sim.schedule_control(data_end, client, |agent, ctx| {
                         let any: &mut dyn std::any::Any = agent;
                         any.downcast_mut::<TcpHost>()
@@ -353,7 +932,7 @@ impl Session {
                 }
             }
             ProtocolKind::Dccp(_) => {
-                for server in [self.d.server1, self.d.server2] {
+                for &server in &self.wiring.servers {
                     self.sim.schedule_control(data_end, server, |agent, ctx| {
                         let any: &mut dyn std::any::Any = agent;
                         any.downcast_mut::<DccpHost>()
@@ -366,18 +945,19 @@ impl Session {
     }
 
     /// The post-grace socket census and final report assembly.
-    fn finish(&self, spec: &ScenarioSpec, bytes: (u64, u64)) -> TestMetrics {
+    fn finish(&self, spec: &ScenarioSpec, measured: Measured) -> TestMetrics {
+        let attacked_server = self.wiring.servers[0];
         let (leaked_sockets, leaked_close_wait, leaked_with_queue) = match &spec.protocol {
             ProtocolKind::Tcp(_) => {
                 let census = self
                     .sim
-                    .agent::<TcpHost>(self.d.server1)
+                    .agent::<TcpHost>(attacked_server)
                     .expect("host")
                     .census();
                 (census.leaked(), census.count("CLOSE_WAIT"), 0)
             }
             ProtocolKind::Dccp(_) => {
-                let server = self.sim.agent::<DccpHost>(self.d.server1).expect("host");
+                let server = self.sim.agent::<DccpHost>(attacked_server).expect("host");
                 let census = server.census();
                 let with_queue = server
                     .conn_metrics()
@@ -390,20 +970,49 @@ impl Session {
                 (census.leaked(), 0, with_queue)
             }
         };
+        let leaked_total: usize = match &spec.protocol {
+            ProtocolKind::Tcp(_) => self
+                .wiring
+                .servers
+                .iter()
+                .map(|&s| {
+                    self.sim
+                        .agent::<TcpHost>(s)
+                        .expect("host")
+                        .census()
+                        .leaked()
+                })
+                .sum(),
+            ProtocolKind::Dccp(_) => self
+                .wiring
+                .servers
+                .iter()
+                .map(|&s| {
+                    self.sim
+                        .agent::<DccpHost>(s)
+                        .expect("host")
+                        .census()
+                        .leaked()
+                })
+                .sum(),
+        };
         let proxy = self
             .sim
-            .tap::<AttackProxy>(self.d.proxy_link)
+            .tap::<AttackProxy>(self.wiring.proxy_link)
             .expect("proxy")
             .report()
             .clone();
         TestMetrics {
-            target_bytes: bytes.0,
-            competing_bytes: bytes.1,
+            target_bytes: measured.flow_bytes.first().copied().unwrap_or(0),
+            competing_bytes: measured.flow_bytes.iter().skip(1).sum(),
             leaked_sockets,
             leaked_close_wait,
             leaked_with_queue,
             truncated: self.sim.budget_exhausted(),
             sim_events: self.sim.events_processed(),
+            flow_bytes: measured.flow_bytes,
+            server_sockets: measured.server_sockets,
+            leaked_total,
             proxy: Arc::new(proxy),
         }
     }
@@ -434,15 +1043,15 @@ enum ForkDecision {
 struct Snapshot {
     /// Pause time (one nanosecond before a baseline trigger activation).
     at: SimTime,
-    /// The data-phase byte measurement, carried for snapshots taken at or
+    /// The data-phase measurement, carried for snapshots taken at or
     /// after `data_end` — a fork resumed past that point can no longer
     /// observe it.
-    bytes: Option<(u64, u64)>,
+    measured: Option<Measured>,
     sim: Simulator,
 }
 
 struct SnapshotPlan {
-    d: Dumbbell,
+    wiring: Wiring,
     timeline: StateTimeline,
     /// Ascending by `at`.
     snapshots: Vec<Snapshot>,
@@ -626,17 +1235,17 @@ impl PlannedExecutor {
         let baseline_span = observe::span(observer.as_ref(), "phase.baseline", end.as_nanos());
         let mut session = Session::build(spec, Vec::new(), true);
         session.sim.run_until(data_end);
-        let bytes = session.measure(spec);
+        let measured = session.measure(spec);
         session.schedule_finish(spec, data_end);
         session.sim.run_until(end);
         let timeline = session
             .sim
-            .tap::<AttackProxy>(session.d.proxy_link)
+            .tap::<AttackProxy>(session.wiring.proxy_link)
             .expect("proxy")
             .timeline()
             .cloned()
             .unwrap_or_default();
-        let baseline = session.finish(spec, bytes);
+        let baseline = session.finish(spec, measured);
         record_sim_stats(observer.as_ref(), &session.sim);
         drop(baseline_span);
         let plan = if snapshot_fork {
@@ -796,7 +1405,7 @@ impl PlannedExecutor {
         let mut session = Session::build(spec, rules, false);
         session
             .sim
-            .tap_mut::<AttackProxy>(session.d.proxy_link)
+            .tap_mut::<AttackProxy>(session.wiring.proxy_link)
             .expect("proxy")
             .arm_noop_halt();
         let data_end = SimTime::from_secs(spec.data_secs);
@@ -807,7 +1416,7 @@ impl PlannedExecutor {
             record_sim_stats(self.observer.as_ref(), &session.sim);
             return (self.baseline.clone(), true);
         }
-        let bytes = session.measure(spec);
+        let measured = session.measure(spec);
         session.schedule_finish(spec, data_end);
         session.sim.run_until(end);
         if session.sim.halted() {
@@ -815,7 +1424,7 @@ impl PlannedExecutor {
             record_sim_stats(self.observer.as_ref(), &session.sim);
             return (self.baseline.clone(), true);
         }
-        let metrics = session.finish(spec, bytes);
+        let metrics = session.finish(spec, measured);
         record_sim_stats(self.observer.as_ref(), &session.sim);
         (metrics, false)
     }
@@ -924,28 +1533,31 @@ impl PlannedExecutor {
         let spec = &self.spec;
         let data_end = SimTime::from_secs(spec.data_secs);
         let end = SimTime::from_secs(spec.data_secs + spec.grace_secs);
-        let mut session = Session { sim, d: plan.d };
+        let mut session = Session {
+            sim,
+            wiring: plan.wiring.clone(),
+        };
         session
             .sim
-            .tap_mut::<AttackProxy>(plan.d.proxy_link)
+            .tap_mut::<AttackProxy>(plan.wiring.proxy_link)
             .expect("proxy")
             .install_rules(rules);
-        let bytes = match snap.bytes {
+        let measured = match &snap.measured {
             // The fork point is past data_end, so the data phase was
             // attack-free and its measurement is the carried baseline one.
-            Some(b) => {
+            Some(m) => {
                 session.sim.run_until(end);
-                b
+                m.clone()
             }
             None => {
                 session.sim.run_until(data_end);
-                let b = session.measure(spec);
+                let m = session.measure(spec);
                 session.schedule_finish(spec, data_end);
                 session.sim.run_until(end);
-                b
+                m
             }
         };
-        let metrics = session.finish(spec, bytes);
+        let metrics = session.finish(spec, measured);
         record_sim_stats(self.observer.as_ref(), &session.sim);
         metrics
     }
@@ -981,11 +1593,11 @@ fn build_plan(
 
     let mut session = Session::build(spec, Vec::new(), false);
     let mut snapshots = Vec::with_capacity(times.len());
-    let mut bytes = None;
+    let mut measured: Option<Measured> = None;
     for t in times {
-        if bytes.is_none() && t >= data_end {
+        if measured.is_none() && t >= data_end {
             session.sim.run_until(data_end);
-            bytes = Some(session.measure(spec));
+            measured = Some(session.measure(spec));
             session.schedule_finish(spec, data_end);
         }
         session.sim.run_until(t);
@@ -997,21 +1609,25 @@ fn build_plan(
                 session.sim.approx_clone_bytes(),
             );
         }
-        snapshots.push(Snapshot { at: t, bytes, sim });
+        snapshots.push(Snapshot {
+            at: t,
+            measured: measured.clone(),
+            sim,
+        });
     }
-    if bytes.is_none() {
+    if measured.is_none() {
         session.sim.run_until(data_end);
-        bytes = Some(session.measure(spec));
+        measured = Some(session.measure(spec));
         session.schedule_finish(spec, data_end);
     }
     session.sim.run_until(end);
-    let replay = session.finish(spec, bytes.expect("measured above"));
+    let replay = session.finish(spec, measured.expect("measured above"));
     record_sim_stats(observer, &session.sim);
     if replay != *baseline {
         return None;
     }
     Some(SnapshotPlan {
-        d: session.d,
+        wiring: session.wiring,
         timeline,
         snapshots,
     })
@@ -1126,5 +1742,172 @@ mod tests {
             a.target_bytes,
             b.target_bytes
         );
+    }
+
+    #[test]
+    fn presets_are_thin_wrappers_over_the_builder() {
+        let p = || ProtocolKind::Tcp(Profile::linux_3_13());
+        assert_eq!(
+            ScenarioSpec::evaluation(p()),
+            ScenarioSpec::builder(p()).build().unwrap()
+        );
+        assert_eq!(
+            ScenarioSpec::quick(p()),
+            ScenarioSpec::builder(p()).quick().build().unwrap()
+        );
+    }
+
+    #[test]
+    fn builder_rejects_degenerate_settings() {
+        let b = || ScenarioSpec::builder(ProtocolKind::Tcp(Profile::linux_3_13())).quick();
+        let attacked = |count| FlowGroup {
+            role: FlowRole::Attacked,
+            count,
+        };
+        let detail = |r: Result<ScenarioSpec, ScenarioError>| match r {
+            Err(ScenarioError::InvalidConfig { detail }) => detail,
+            other => panic!("expected InvalidConfig, got {other:?}"),
+        };
+        assert!(detail(b().data_secs(0).build()).contains("data phase"));
+        assert!(detail(b().target_connections(0).build()).contains("target connection"));
+        let good = *ScenarioSpec::quick(ProtocolKind::Tcp(Profile::linux_3_13())).bottleneck();
+        let dead = LinkSpec {
+            bandwidth_bps: 0,
+            ..good
+        };
+        assert!(detail(b().bottleneck(dead).build()).contains("bandwidth"));
+        let clogged = LinkSpec {
+            queue_packets: 0,
+            ..good
+        };
+        assert!(detail(b().access(clogged).build()).contains("queue"));
+        // Topology/flow cross-requirements.
+        assert!(detail(b().flows(vec![attacked(1)]).build()).contains("generated topology"));
+        assert!(detail(b().topology(TopologyKind::Star, 64).build()).contains("flow mix"));
+        assert!(
+            detail(b().topology(TopologyKind::Star, 64).flows(vec![]).build())
+                .contains("at least one group")
+        );
+        assert!(detail(
+            b().topology(TopologyKind::Star, 64)
+                .flows(vec![attacked(0)])
+                .build()
+        )
+        .contains("must be positive"));
+        assert!(detail(
+            b().topology(TopologyKind::Star, 64)
+                .flows(vec![FlowGroup {
+                    role: FlowRole::Bulk,
+                    count: 1
+                }])
+                .build()
+        )
+        .contains("exactly one attacked"));
+        assert!(detail(
+            b().topology(TopologyKind::Star, 64)
+                .flows(vec![attacked(1), attacked(2)])
+                .build()
+        )
+        .contains("more than one attacked"));
+        // The realizability dry-run surfaces the generator's own errors.
+        assert!(detail(
+            b().topology(TopologyKind::Star, 2)
+                .flows(vec![attacked(1)])
+                .build()
+        )
+        .contains("at least 4 hosts"));
+        // Display carries the InvalidConfig shape.
+        let err = b().data_secs(0).build().unwrap_err();
+        assert!(err.to_string().starts_with("invalid scenario:"), "{err}");
+    }
+
+    #[test]
+    fn classic_dumbbell_is_bit_identical_through_the_builder() {
+        // The pre-redesign representation, constructed literally — the
+        // builder must reproduce it field for field, and the executor must
+        // produce bit-identical metrics from either.
+        let legacy = ScenarioSpec {
+            protocol: ProtocolKind::Tcp(Profile::linux_3_0_0()),
+            topology: TopologySpec::Dumbbell(DumbbellSpec::evaluation_default()),
+            flows: None,
+            data_secs: 6,
+            grace_secs: 35,
+            seed: 7,
+            target_connections: 1,
+            event_budget: None,
+        };
+        let built = ScenarioSpec::builder(ProtocolKind::Tcp(Profile::linux_3_0_0()))
+            .quick()
+            .build()
+            .unwrap();
+        assert_eq!(legacy, built);
+        assert_eq!(Executor::run(&legacy, None), Executor::run(&built, None));
+    }
+
+    #[test]
+    fn multiflow_run_is_deterministic_and_reports_per_flow_bytes() {
+        let spec = ScenarioSpec::builder(ProtocolKind::Tcp(Profile::linux_3_13()))
+            .data_secs(4)
+            .grace_secs(10)
+            .topology(TopologyKind::Star, 12)
+            .flows(vec![
+                FlowGroup {
+                    role: FlowRole::Attacked,
+                    count: 2,
+                },
+                FlowGroup {
+                    role: FlowRole::Bulk,
+                    count: 2,
+                },
+                FlowGroup {
+                    role: FlowRole::RequestResponse,
+                    count: 2,
+                },
+                FlowGroup {
+                    role: FlowRole::SynPressure,
+                    count: 2,
+                },
+            ])
+            .build()
+            .unwrap();
+        assert_eq!(
+            spec.target_connections(),
+            2,
+            "attacked group sets the count"
+        );
+        let a = Executor::run(&spec, None);
+        let b = Executor::run(&spec, None);
+        assert_eq!(a, b, "multi-flow executor must be deterministic");
+        // 12 hosts split 1 server / 11 clients; flow_bytes is per client.
+        assert_eq!(a.flow_bytes.len(), 11, "{:?}", a.flow_bytes);
+        assert!(a.flow_bytes[0] > 0, "attacked client moved no data");
+        let total: u64 = a.flow_bytes.iter().sum();
+        assert!(total > a.flow_bytes[0], "background flows moved no data");
+        assert!(a.jain_index() > 0.0 && a.jain_index() <= 1.0);
+        assert_eq!(a.leaked_total, 0, "clean run must not leak");
+    }
+
+    #[test]
+    fn reseeding_preserves_the_generated_layout() {
+        let build = |seed| {
+            ScenarioSpec::builder(ProtocolKind::Tcp(Profile::linux_3_13()))
+                .quick()
+                .seed(seed)
+                .topology(TopologyKind::Tree, 32)
+                .flows(vec![FlowGroup {
+                    role: FlowRole::Attacked,
+                    count: 1,
+                }])
+                .build()
+                .unwrap()
+        };
+        let spec = build(5);
+        let reseeded = spec.clone().with_seed(99);
+        // The layout seed was bound at build time: reseeding varies only
+        // traffic, so ensemble members all measure the same network.
+        assert_eq!(spec.topology(), reseeded.topology());
+        assert_eq!(reseeded.seed(), 99);
+        // A different build-time seed genuinely moves the hosts.
+        assert_ne!(spec.topology(), build(6).topology());
     }
 }

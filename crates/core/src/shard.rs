@@ -59,7 +59,10 @@ use std::time::{Duration, Instant};
 
 use snake_dccp::DccpProfile;
 use snake_json::{obj, FromJson, JsonError, ObjExt, ToJson, Value};
-use snake_netsim::{Aqm, DumbbellSpec, FlapSpec, Impairment, LinkSpec, SimDuration, SimTime};
+use snake_netsim::{
+    Aqm, DumbbellSpec, FlapSpec, Impairment, LinkSpec, SimDuration, SimTime, TopologyGenSpec,
+    TopologyKind,
+};
 use snake_observe::Observer;
 use snake_proxy::Strategy;
 use snake_tcp::{AbortStyle, InvalidFlagPolicy, Profile};
@@ -70,12 +73,14 @@ use crate::campaign::{
 use crate::detect::baseline_valid;
 use crate::journal::{checksummed_line, verify_line};
 use crate::memostore::scenario_digest;
-use crate::scenario::{ExecutorOptions, PlannedExecutor, ProtocolKind, ScenarioSpec};
+use crate::scenario::{
+    ExecutorOptions, FlowGroup, FlowRole, PlannedExecutor, ProtocolKind, ScenarioSpec, TopologySpec,
+};
 use crate::strategen::GenerationParams;
 
 /// Wire protocol version; bumped whenever a message shape changes. A
 /// worker refuses a `hello` carrying any other version.
-pub(crate) const WIRE_VERSION: u64 = 1;
+pub(crate) const WIRE_VERSION: u64 = 2;
 
 /// Exit code a worker uses when the `SNAKE_SHARD_EXIT_AFTER` test hook
 /// fires (distinguishable from a panic's 101 in test assertions).
@@ -412,6 +417,82 @@ fn decode_dccp_profile(value: &Value) -> Result<DccpProfile, JsonError> {
     })
 }
 
+fn encode_topology(topology: &TopologySpec) -> Value {
+    match topology {
+        TopologySpec::Dumbbell(d) => obj([
+            ("kind", Value::Str("dumbbell".to_owned())),
+            ("bottleneck", encode_link(&d.bottleneck)),
+            ("access", encode_link(&d.access)),
+        ]),
+        TopologySpec::Generated(g) => obj([
+            ("kind", Value::Str(g.kind.label().to_owned())),
+            ("hosts", Value::U64(g.hosts as u64)),
+            // The topology seed is carried explicitly: ensemble reseeding
+            // rewrites the scenario seed but must leave the generated
+            // network identical across members.
+            ("topo_seed", Value::U64(g.seed)),
+            ("bottleneck", encode_link(&g.bottleneck)),
+            ("access", encode_link(&g.access)),
+        ]),
+    }
+}
+
+fn decode_topology(value: &Value) -> Result<TopologySpec, JsonError> {
+    let bottleneck = decode_link(value.req("bottleneck")?)?;
+    let access = decode_link(value.req("access")?)?;
+    match value.req_str("kind")? {
+        "dumbbell" => Ok(TopologySpec::Dumbbell(DumbbellSpec { bottleneck, access })),
+        label => {
+            let kind = TopologyKind::from_label(label)
+                .ok_or_else(|| JsonError::decode(format!("unknown topology kind `{label}`")))?;
+            Ok(TopologySpec::Generated(TopologyGenSpec {
+                kind,
+                hosts: decode_usize(value, "hosts")?,
+                seed: value.req_u64("topo_seed")?,
+                bottleneck,
+                access,
+            }))
+        }
+    }
+}
+
+fn encode_flows(flows: &Option<Vec<FlowGroup>>) -> Value {
+    match flows {
+        None => Value::Null,
+        Some(groups) => Value::Arr(
+            groups
+                .iter()
+                .map(|g| {
+                    obj([
+                        ("role", Value::Str(g.role.label().to_owned())),
+                        ("count", Value::U64(g.count as u64)),
+                    ])
+                })
+                .collect(),
+        ),
+    }
+}
+
+fn decode_flows(value: &Value) -> Result<Option<Vec<FlowGroup>>, JsonError> {
+    match value {
+        Value::Null => Ok(None),
+        Value::Arr(entries) => {
+            let mut groups = Vec::with_capacity(entries.len());
+            for entry in entries {
+                let label = entry.req_str("role")?;
+                let role = FlowRole::from_label(label)
+                    .ok_or_else(|| JsonError::decode(format!("unknown flow role `{label}`")))?;
+                groups.push(FlowGroup {
+                    role,
+                    count: decode_usize(entry, "count")?,
+                });
+            }
+            Ok(Some(groups))
+        }
+        _ => Err(JsonError::decode("flows: expected null or array")),
+    }
+}
+
 pub(crate) fn encode_scenario(spec: &ScenarioSpec) -> Value {
     let (protocol, profile) = match &spec.protocol {
         ProtocolKind::Tcp(profile) => ("tcp", encode_tcp_profile(profile)),
@@ -420,13 +501,8 @@ pub(crate) fn encode_scenario(spec: &ScenarioSpec) -> Value {
     obj([
         ("protocol", Value::Str(protocol.to_owned())),
         ("profile", profile),
-        (
-            "dumbbell",
-            obj([
-                ("bottleneck", encode_link(&spec.dumbbell.bottleneck)),
-                ("access", encode_link(&spec.dumbbell.access)),
-            ]),
-        ),
+        ("topology", encode_topology(&spec.topology)),
+        ("flows", encode_flows(&spec.flows)),
         ("data_secs", Value::U64(spec.data_secs)),
         ("grace_secs", Value::U64(spec.grace_secs)),
         ("seed", Value::U64(spec.seed)),
@@ -451,7 +527,6 @@ pub(crate) fn decode_scenario(value: &Value) -> Result<ScenarioSpec, JsonError> 
         "dccp" => ProtocolKind::Dccp(decode_dccp_profile(profile)?),
         other => return Err(JsonError::decode(format!("unknown protocol `{other}`"))),
     };
-    let dumbbell = value.req("dumbbell")?;
     let event_budget = match value.req("event_budget")? {
         Value::Null => None,
         budget => Some(
@@ -462,10 +537,8 @@ pub(crate) fn decode_scenario(value: &Value) -> Result<ScenarioSpec, JsonError> 
     };
     Ok(ScenarioSpec {
         protocol,
-        dumbbell: DumbbellSpec {
-            bottleneck: decode_link(dumbbell.req("bottleneck")?)?,
-            access: decode_link(dumbbell.req("access")?)?,
-        },
+        topology: decode_topology(value.req("topology")?)?,
+        flows: decode_flows(value.req("flows")?)?,
         data_secs: value.req_u64("data_secs")?,
         grace_secs: value.req_u64("grace_secs")?,
         seed: value.req_u64("seed")?,

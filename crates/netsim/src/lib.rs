@@ -74,5 +74,8 @@ pub use sim::{NodeId, SimStats, Simulator};
 pub use smallbuf::HeaderBuf;
 pub use tap::{Tap, TapCtx};
 pub use time::{SimDuration, SimTime};
-pub use topology::{Dumbbell, DumbbellSpec};
+pub use topology::{
+    BuiltTopology, Dumbbell, DumbbellSpec, NodeRole, TopoLink, TopoNode, TopologyGen,
+    TopologyGenSpec, TopologyKind, TopologyLayout,
+};
 pub use trace::{Trace, TraceRecord};

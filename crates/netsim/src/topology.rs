@@ -1,4 +1,6 @@
-//! Canned topologies; currently the dumbbell from the paper's Figure 3.
+//! Canned topologies: the dumbbell from the paper's Figure 3, plus a seeded
+//! generator for star/tree/multi-bottleneck layouts of hundreds of hosts
+//! with geo-derived great-circle latencies.
 
 use crate::link::{LinkId, LinkSpec};
 use crate::sim::{NodeId, Simulator};
@@ -84,6 +86,396 @@ impl Dumbbell {
     }
 }
 
+/// Shape of a generated topology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TopologyKind {
+    /// One client-side hub and one server-side hub joined by the bottleneck;
+    /// every host hangs off its hub. The dumbbell is the 4-host degenerate
+    /// case of this shape.
+    Star,
+    /// Two-level client side: branch routers aggregate clients and feed a
+    /// root router over bottleneck-class uplinks, so contention appears at
+    /// two levels before the shared bottleneck.
+    Tree,
+    /// A parking-lot chain of routers joined by bottleneck links; clients
+    /// attach along the chain and servers sit past the last hop, so flows
+    /// cross a different number of bottlenecks depending on where they
+    /// enter.
+    MultiBottleneck,
+}
+
+impl TopologyKind {
+    /// Stable lowercase label (used by the CLI and the shard wire).
+    pub fn label(&self) -> &'static str {
+        match self {
+            TopologyKind::Star => "star",
+            TopologyKind::Tree => "tree",
+            TopologyKind::MultiBottleneck => "multi-bottleneck",
+        }
+    }
+
+    /// Inverse of [`TopologyKind::label`]. Accepts the underscore spelling
+    /// too so wire payloads and CLI input both round-trip.
+    pub fn from_label(label: &str) -> Option<TopologyKind> {
+        match label {
+            "star" => Some(TopologyKind::Star),
+            "tree" => Some(TopologyKind::Tree),
+            "multi-bottleneck" | "multi_bottleneck" => Some(TopologyKind::MultiBottleneck),
+            _ => None,
+        }
+    }
+}
+
+/// Parameters for the seeded topology generator.
+///
+/// `hosts` counts end hosts only (clients + servers); routers are added by
+/// the shape. Link *capacities* come from `bottleneck`/`access`; link
+/// *delays* are derived from great-circle distances between seeded host
+/// positions, so the same seed always reproduces the same latency map.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TopologyGenSpec {
+    /// Shape to generate.
+    pub kind: TopologyKind,
+    /// Number of end hosts (clients + servers). At least 4.
+    pub hosts: usize,
+    /// Seed for host placement (and therefore all geo latencies).
+    pub seed: u64,
+    /// Capacity/queue template for bottleneck-class links.
+    pub bottleneck: LinkSpec,
+    /// Capacity/queue template for host access links.
+    pub access: LinkSpec,
+}
+
+/// Role of a node in a generated layout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeRole {
+    /// End host that opens connections.
+    Client,
+    /// End host that accepts connections.
+    Server,
+    /// Interior forwarding node.
+    Router,
+}
+
+impl NodeRole {
+    fn label(&self) -> &'static str {
+        match self {
+            NodeRole::Client => "client",
+            NodeRole::Server => "server",
+            NodeRole::Router => "router",
+        }
+    }
+}
+
+/// One node of a generated layout, with its seeded geographic position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TopoNode {
+    /// Unique node name (e.g. `client3`, `branch1`).
+    pub name: String,
+    /// Role in the layout.
+    pub role: NodeRole,
+    /// Latitude in degrees, sampled in the populated band [-60, 72).
+    pub lat_deg: f64,
+    /// Longitude in degrees, in [-180, 180).
+    pub lon_deg: f64,
+}
+
+/// One link of a generated layout, by node index into
+/// [`TopologyLayout::nodes`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TopoLink {
+    /// Index of endpoint `a` (for host access links, always the host).
+    pub a: usize,
+    /// Index of endpoint `b`.
+    pub b: usize,
+    /// Full link spec with the geo-derived delay already applied.
+    pub spec: LinkSpec,
+}
+
+/// A fully materialized topology: nodes with positions, links with
+/// geo-derived delays, and the client/server index lists. Pure data —
+/// [`TopologyLayout::build`] instantiates it into a [`Simulator`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct TopologyLayout {
+    /// Shape this layout was generated from.
+    pub kind: TopologyKind,
+    /// All nodes, in creation order (routers first, then clients, servers).
+    pub nodes: Vec<TopoNode>,
+    /// All links, in creation order.
+    pub links: Vec<TopoLink>,
+    /// Node indices of the clients; `clients[0]` is the attacked client.
+    pub clients: Vec<usize>,
+    /// Node indices of the servers; `servers[0]` is the attacked server.
+    pub servers: Vec<usize>,
+    /// Index into `links` of the attacked client's access link (the attack
+    /// proxy taps here, mirroring the dumbbell's `proxy_link`).
+    pub proxy_link: usize,
+}
+
+/// Handles returned by [`TopologyLayout::build`].
+#[derive(Debug, Clone)]
+pub struct BuiltTopology {
+    /// Node handles for the clients, attacked client first.
+    pub clients: Vec<NodeId>,
+    /// Node handles for the servers, attacked server first.
+    pub servers: Vec<NodeId>,
+    /// The attacked client's access link — attach the attack proxy here.
+    pub proxy_link: LinkId,
+    /// Whether the attacked client is endpoint `a` of `proxy_link`.
+    pub proxy_client_is_a: bool,
+}
+
+/// Speed of light in fiber, ≈ 2/3 c, in kilometres per millisecond.
+const FIBER_KM_PER_MS: f64 = 200.0;
+/// Mean Earth radius in kilometres (haversine).
+const EARTH_RADIUS_KM: f64 = 6371.0;
+/// Floor on any geo-derived delay so colocated hosts still pay a hop.
+const MIN_GEO_DELAY_NS: u64 = 10_000;
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Uniform sample in [0, 1) with 53 bits of precision.
+fn unit(state: &mut u64) -> f64 {
+    (splitmix64(state) >> 11) as f64 / (1u64 << 53) as f64
+}
+
+fn great_circle_km(a: &TopoNode, b: &TopoNode) -> f64 {
+    let (lat1, lon1) = (a.lat_deg.to_radians(), a.lon_deg.to_radians());
+    let (lat2, lon2) = (b.lat_deg.to_radians(), b.lon_deg.to_radians());
+    let dlat = lat2 - lat1;
+    let dlon = lon2 - lon1;
+    let h = (dlat / 2.0).sin().powi(2) + lat1.cos() * lat2.cos() * (dlon / 2.0).sin().powi(2);
+    2.0 * EARTH_RADIUS_KM * h.sqrt().min(1.0).asin()
+}
+
+fn geo_delay(a: &TopoNode, b: &TopoNode) -> SimDuration {
+    let nanos = (great_circle_km(a, b) / FIBER_KM_PER_MS * 1_000_000.0).round() as u64;
+    SimDuration::from_nanos(nanos.max(MIN_GEO_DELAY_NS))
+}
+
+/// Seeded topology generator. Stateless: [`TopologyGen::generate`] is a pure
+/// function of its spec, so the same spec always yields a byte-identical
+/// [`TopologyLayout`] (node names, positions, link order, and delays).
+#[derive(Debug)]
+pub struct TopologyGen;
+
+impl TopologyGen {
+    /// Generates a layout, or an error string for degenerate specs.
+    pub fn generate(spec: &TopologyGenSpec) -> Result<TopologyLayout, String> {
+        if spec.hosts < 4 {
+            return Err(format!(
+                "generated topologies need at least 4 hosts (got {})",
+                spec.hosts
+            ));
+        }
+        if spec.hosts > 4096 {
+            return Err(format!(
+                "generated topologies are capped at 4096 hosts (got {})",
+                spec.hosts
+            ));
+        }
+        for (what, link) in [("bottleneck", &spec.bottleneck), ("access", &spec.access)] {
+            if link.bandwidth_bps == 0 {
+                return Err(format!("{what} link bandwidth must be positive"));
+            }
+            if link.queue_packets == 0 {
+                return Err(format!("{what} link queue must hold at least one packet"));
+            }
+        }
+
+        let servers = (spec.hosts / 8).max(1);
+        let clients = spec.hosts - servers;
+        let mut rng = spec.seed ^ 0x746F_706F_6C6F_6779; // "topology"
+        let mut gen = LayoutBuilder {
+            layout: TopologyLayout {
+                kind: spec.kind,
+                nodes: Vec::new(),
+                links: Vec::new(),
+                clients: Vec::new(),
+                servers: Vec::new(),
+                proxy_link: 0,
+            },
+            rng: &mut rng,
+        };
+
+        match spec.kind {
+            TopologyKind::Star => gen.star(clients, servers, spec),
+            TopologyKind::Tree => gen.tree(clients, servers, spec),
+            TopologyKind::MultiBottleneck => gen.chain(clients, servers, spec),
+        }
+        Ok(gen.layout)
+    }
+}
+
+struct LayoutBuilder<'a> {
+    layout: TopologyLayout,
+    rng: &'a mut u64,
+}
+
+impl LayoutBuilder<'_> {
+    /// Adds a node with a freshly sampled position; sampling order is the
+    /// creation order, which pins the whole latency map to the seed.
+    fn node(&mut self, name: String, role: NodeRole) -> usize {
+        let lat_deg = -60.0 + unit(self.rng) * 132.0;
+        let lon_deg = -180.0 + unit(self.rng) * 360.0;
+        self.layout.nodes.push(TopoNode {
+            name,
+            role,
+            lat_deg,
+            lon_deg,
+        });
+        self.layout.nodes.len() - 1
+    }
+
+    /// Adds a link whose delay is the great-circle propagation time between
+    /// the endpoints' positions, keeping `template`'s capacity and queue.
+    fn link(&mut self, a: usize, b: usize, template: LinkSpec) -> usize {
+        let spec = LinkSpec {
+            delay: geo_delay(&self.layout.nodes[a], &self.layout.nodes[b]),
+            ..template
+        };
+        self.layout.links.push(TopoLink { a, b, spec });
+        self.layout.links.len() - 1
+    }
+
+    /// Attaches `clients` client hosts to `router`; the first client added
+    /// overall becomes the attacked client and its access link the proxy
+    /// link. Returns nothing — indices accumulate in the layout.
+    fn attach_clients(&mut self, routers: &[usize], clients: usize, access: LinkSpec) {
+        for i in 0..clients {
+            let router = routers[i % routers.len()];
+            let idx = self.node(format!("client{i}"), NodeRole::Client);
+            let link = self.link(idx, router, access);
+            if self.layout.clients.is_empty() {
+                self.layout.proxy_link = link;
+            }
+            self.layout.clients.push(idx);
+        }
+    }
+
+    fn attach_servers(&mut self, routers: &[usize], servers: usize, access: LinkSpec) {
+        for i in 0..servers {
+            let router = routers[i % routers.len()];
+            let idx = self.node(format!("server{i}"), NodeRole::Server);
+            self.link(idx, router, access);
+            self.layout.servers.push(idx);
+        }
+    }
+
+    fn star(&mut self, clients: usize, servers: usize, spec: &TopologyGenSpec) {
+        let hub_c = self.node("hub-c".into(), NodeRole::Router);
+        let hub_s = self.node("hub-s".into(), NodeRole::Router);
+        self.link(hub_c, hub_s, spec.bottleneck);
+        self.attach_clients(&[hub_c], clients, spec.access);
+        self.attach_servers(&[hub_s], servers, spec.access);
+    }
+
+    fn tree(&mut self, clients: usize, servers: usize, spec: &TopologyGenSpec) {
+        let root_c = self.node("root-c".into(), NodeRole::Router);
+        let root_s = self.node("root-s".into(), NodeRole::Router);
+        self.link(root_c, root_s, spec.bottleneck);
+        // Branch fan-out ~ sqrt(clients) keeps the tree two levels deep
+        // with balanced aggregation at each branch.
+        let branches = ((clients as f64).sqrt().ceil() as usize).max(1);
+        let mut branch_idx = Vec::with_capacity(branches);
+        for b in 0..branches {
+            let idx = self.node(format!("branch{b}"), NodeRole::Router);
+            self.link(idx, root_c, spec.bottleneck);
+            branch_idx.push(idx);
+        }
+        self.attach_clients(&branch_idx, clients, spec.access);
+        self.attach_servers(&[root_s], servers, spec.access);
+    }
+
+    fn chain(&mut self, clients: usize, servers: usize, spec: &TopologyGenSpec) {
+        // Parking lot: r0 = r1 = r2 = r3, clients spread over r0..r2,
+        // servers past the final bottleneck on r3.
+        const ROUTERS: usize = 4;
+        let mut routers = Vec::with_capacity(ROUTERS);
+        for r in 0..ROUTERS {
+            routers.push(self.node(format!("router{r}"), NodeRole::Router));
+        }
+        for w in routers.windows(2) {
+            self.link(w[0], w[1], spec.bottleneck);
+        }
+        self.attach_clients(&routers[..ROUTERS - 1], clients, spec.access);
+        self.attach_servers(&[routers[ROUTERS - 1]], servers, spec.access);
+    }
+}
+
+impl TopologyLayout {
+    /// FNV-1a digest over the complete layout — node names, roles, position
+    /// bits, link endpoints, and full link specs (including the geo-derived
+    /// delays). Two layouts with equal digests are byte-identical.
+    pub fn digest(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x1_0000_01b3);
+            }
+        };
+        eat(self.kind.label().as_bytes());
+        for n in &self.nodes {
+            eat(n.name.as_bytes());
+            eat(n.role.label().as_bytes());
+            eat(&n.lat_deg.to_bits().to_le_bytes());
+            eat(&n.lon_deg.to_bits().to_le_bytes());
+        }
+        for l in &self.links {
+            eat(&(l.a as u64).to_le_bytes());
+            eat(&(l.b as u64).to_le_bytes());
+            eat(&l.spec.bandwidth_bps.to_le_bytes());
+            eat(&l.spec.delay.as_nanos().to_le_bytes());
+            eat(&(l.spec.queue_packets as u64).to_le_bytes());
+            eat(format!("{:?}|{}", l.spec.aqm, l.spec.impair).as_bytes());
+        }
+        for &c in &self.clients {
+            eat(&(c as u64).to_le_bytes());
+        }
+        for &s in &self.servers {
+            eat(&(s as u64).to_le_bytes());
+        }
+        eat(&(self.proxy_link as u64).to_le_bytes());
+        h
+    }
+
+    /// Total end-to-end propagation delay of the attacked client's path is
+    /// dominated by these links; exposed for tests and docs.
+    pub fn bottleneck_links(&self) -> impl Iterator<Item = &TopoLink> {
+        self.links.iter().filter(move |l| {
+            self.nodes[l.a].role == NodeRole::Router && self.nodes[l.b].role == NodeRole::Router
+        })
+    }
+
+    /// Instantiates the layout into `sim` (nodes then links, in layout
+    /// order) and returns the handles the executor needs. Host access links
+    /// are always added host-first, so the attacked client is endpoint `a`
+    /// of the proxy link.
+    pub fn build(&self, sim: &mut Simulator) -> BuiltTopology {
+        let ids: Vec<NodeId> = self.nodes.iter().map(|n| sim.add_node(&n.name)).collect();
+        let mut proxy_link = None;
+        for (i, l) in self.links.iter().enumerate() {
+            let id = sim.add_link(ids[l.a], ids[l.b], l.spec);
+            if i == self.proxy_link {
+                proxy_link = Some(id);
+            }
+        }
+        BuiltTopology {
+            clients: self.clients.iter().map(|&i| ids[i]).collect(),
+            servers: self.servers.iter().map(|&i| ids[i]).collect(),
+            proxy_link: proxy_link.expect("layout always has a proxy link"),
+            proxy_client_is_a: true,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -153,5 +545,108 @@ mod tests {
         // Base RTT across the dumbbell: 2 * (1 + 8 + 1) ms = 20 ms.
         let one_way = spec.access.delay.as_nanos() * 2 + spec.bottleneck.delay.as_nanos();
         assert_eq!(one_way * 2, SimDuration::from_millis(20).as_nanos());
+    }
+
+    fn gen_spec(kind: TopologyKind, hosts: usize, seed: u64) -> TopologyGenSpec {
+        let d = DumbbellSpec::evaluation_default();
+        TopologyGenSpec {
+            kind,
+            hosts,
+            seed,
+            bottleneck: d.bottleneck,
+            access: d.access,
+        }
+    }
+
+    #[test]
+    fn generator_is_deterministic_per_seed() {
+        for kind in [
+            TopologyKind::Star,
+            TopologyKind::Tree,
+            TopologyKind::MultiBottleneck,
+        ] {
+            let a = TopologyGen::generate(&gen_spec(kind, 256, 7)).unwrap();
+            let b = TopologyGen::generate(&gen_spec(kind, 256, 7)).unwrap();
+            assert_eq!(a, b, "{kind:?}: same seed must give identical layouts");
+            assert_eq!(a.digest(), b.digest());
+            let c = TopologyGen::generate(&gen_spec(kind, 256, 8)).unwrap();
+            assert_ne!(
+                a.digest(),
+                c.digest(),
+                "{kind:?}: a different seed must move the latency map"
+            );
+        }
+    }
+
+    #[test]
+    fn generator_rejects_degenerate_specs() {
+        assert!(TopologyGen::generate(&gen_spec(TopologyKind::Star, 3, 7)).is_err());
+        assert!(TopologyGen::generate(&gen_spec(TopologyKind::Star, 5000, 7)).is_err());
+        let mut zero_bw = gen_spec(TopologyKind::Star, 16, 7);
+        zero_bw.bottleneck.bandwidth_bps = 0;
+        assert!(TopologyGen::generate(&zero_bw).is_err());
+        let mut zero_q = gen_spec(TopologyKind::Tree, 16, 7);
+        zero_q.access.queue_packets = 0;
+        assert!(TopologyGen::generate(&zero_q).is_err());
+    }
+
+    #[test]
+    fn generated_layouts_have_sane_shape() {
+        for kind in [
+            TopologyKind::Star,
+            TopologyKind::Tree,
+            TopologyKind::MultiBottleneck,
+        ] {
+            let layout = TopologyGen::generate(&gen_spec(kind, 256, 7)).unwrap();
+            assert_eq!(layout.clients.len() + layout.servers.len(), 256);
+            assert!(!layout.servers.is_empty());
+            assert!(layout.clients.len() > layout.servers.len());
+            // The proxy link's `a` endpoint is the attacked client.
+            let proxy = layout.links[layout.proxy_link];
+            assert_eq!(proxy.a, layout.clients[0]);
+            assert_eq!(layout.nodes[proxy.a].role, NodeRole::Client);
+            // All geo delays respect the floor and stay on-planet
+            // (half circumference ≈ 20015 km ≈ 100 ms at 2/3 c).
+            for l in &layout.links {
+                assert!(l.spec.delay.as_nanos() >= MIN_GEO_DELAY_NS);
+                assert!(l.spec.delay.as_nanos() <= 101_000_000);
+            }
+            assert!(layout.bottleneck_links().count() >= 1);
+        }
+    }
+
+    #[test]
+    fn generated_topology_routes_end_to_end() {
+        let mut sim = Simulator::new(11);
+        let layout = TopologyGen::generate(&gen_spec(TopologyKind::Tree, 32, 11)).unwrap();
+        let built = layout.build(&mut sim);
+        let client = built.clients[0];
+        let server = built.servers[0];
+        sim.set_agent(
+            client,
+            Sender {
+                to: server,
+                sent: 5,
+            },
+        );
+        sim.set_agent(server, Counter { got: 0 });
+        sim.run_until(SimTime::from_secs(2));
+        assert_eq!(
+            sim.agent::<Counter>(server).unwrap().got,
+            5,
+            "packets must route across the generated tree"
+        );
+    }
+
+    #[test]
+    fn kind_labels_round_trip() {
+        for kind in [
+            TopologyKind::Star,
+            TopologyKind::Tree,
+            TopologyKind::MultiBottleneck,
+        ] {
+            assert_eq!(TopologyKind::from_label(kind.label()), Some(kind));
+        }
+        assert_eq!(TopologyKind::from_label("ring"), None);
     }
 }

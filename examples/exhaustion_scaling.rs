@@ -31,11 +31,11 @@ fn main() {
     println!("| Connections | Leaked sockets | In CLOSE_WAIT |");
     println!("|-------------|----------------|---------------|");
     for n in [1usize, 4, 16, 64] {
-        let spec = ScenarioSpec {
-            target_connections: n,
-            data_secs: 10,
-            ..ScenarioSpec::evaluation(ProtocolKind::Tcp(Profile::linux_3_0_0()))
-        };
+        let spec = ScenarioSpec::builder(ProtocolKind::Tcp(Profile::linux_3_0_0()))
+            .target_connections(n)
+            .data_secs(10)
+            .build()
+            .expect("scaling scenario is valid");
         let m = Executor::run(&spec, Some(drop_rsts.clone()));
         println!(
             "| {:>11} | {:>14} | {:>13} |",

@@ -18,14 +18,14 @@ fn main() {
 
     println!(
         "== SNAKE quickstart: {} ==",
-        spec.protocol.implementation_name()
+        spec.protocol().implementation_name()
     );
     println!("running baseline (no attack)...");
     let baseline = Executor::run(&spec, None);
     println!(
         "  target {:.2} Mbit/s, competing {:.2} Mbit/s, leaked sockets {}",
-        mbps(baseline.target_bytes, spec.data_secs),
-        mbps(baseline.competing_bytes, spec.data_secs),
+        mbps(baseline.target_bytes, spec.data_secs()),
+        mbps(baseline.competing_bytes, spec.data_secs()),
         baseline.leaked_sockets
     );
 
@@ -45,8 +45,8 @@ fn main() {
     let attacked = Executor::run(&spec, Some(strategy));
     println!(
         "  target {:.2} Mbit/s, competing {:.2} Mbit/s, leaked sockets {} (CLOSE_WAIT: {})",
-        mbps(attacked.target_bytes, spec.data_secs),
-        mbps(attacked.competing_bytes, spec.data_secs),
+        mbps(attacked.target_bytes, spec.data_secs()),
+        mbps(attacked.competing_bytes, spec.data_secs()),
         attacked.leaked_sockets,
         attacked.leaked_close_wait
     );

@@ -47,8 +47,8 @@ fn main() {
                 "| {:<14} | {:<9} | {:>15.2} | {:>15.2} | {:<7} |",
                 name,
                 attack_name,
-                mbps(baseline.target_bytes, spec.data_secs),
-                mbps(attacked.target_bytes, spec.data_secs),
+                mbps(baseline.target_bytes, spec.data_secs()),
+                mbps(attacked.target_bytes, spec.data_secs()),
                 if verdict.flagged() { "ATTACK" } else { "clean" }
             );
         }

@@ -158,7 +158,7 @@ fn kill_and_resume_reproduces_the_same_table() {
 #[test]
 fn resume_refuses_a_journal_from_a_different_campaign() {
     let path = temp_journal("mismatch");
-    let mut spec = quick_tcp();
+    let spec = quick_tcp();
     let config = |spec: ScenarioSpec, resume: bool| {
         CampaignConfig::builder(spec)
             .cap(3)
@@ -172,7 +172,7 @@ fn resume_refuses_a_journal_from_a_different_campaign() {
     Campaign::run(config(spec.clone(), false)).unwrap();
 
     // Same journal, different seed: the outcomes are not comparable.
-    spec.seed = spec.seed.wrapping_add(99);
+    let spec = spec.clone().with_seed(spec.seed().wrapping_add(99));
     match Campaign::run(config(spec, true)) {
         Err(CampaignError::JournalMismatch { detail, .. }) => {
             assert!(detail.contains("seed"), "{detail}");
@@ -252,8 +252,7 @@ fn resume_refuses_a_journal_with_different_impairment() {
 fn budget_truncation_is_deterministic_and_reported() {
     // A budget far below what the quick scenario needs: every strategy run
     // is cut short and reported, not silently misjudged.
-    let mut spec = quick_tcp();
-    spec.event_budget = Some(5_000);
+    let spec = quick_tcp().with_event_budget(5_000);
     let config = |spec: ScenarioSpec| {
         CampaignConfig::builder(spec)
             .cap(6)
@@ -286,11 +285,9 @@ fn budget_truncation_is_deterministic_and_reported() {
     assert_eq!(a.table_row(), b.table_row());
 
     // A generous budget changes nothing relative to no budget at all.
-    let mut unbudgeted_spec = quick_tcp();
-    unbudgeted_spec.event_budget = None;
+    let unbudgeted_spec = quick_tcp().without_event_budget();
     let unbudgeted = Campaign::run(config(unbudgeted_spec.clone())).unwrap();
-    unbudgeted_spec.event_budget = Some(u64::MAX);
-    let generous = Campaign::run(config(unbudgeted_spec)).unwrap();
+    let generous = Campaign::run(config(unbudgeted_spec.with_event_budget(u64::MAX))).unwrap();
     assert_eq!(generous.truncated(), 0);
     assert_eq!(generous.table_row(), unbudgeted.table_row());
 }

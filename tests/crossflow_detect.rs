@@ -1,0 +1,111 @@
+//! Cross-flow detection end to end: a seeded resource-exhaustion attack on
+//! a generated multi-flow topology must be flagged by the new cross-flow
+//! detector metrics, and the detection envelope built from seed-jittered
+//! baselines must never flag its own members (zero false positives by
+//! construction).
+
+use snake_core::{
+    detect_enveloped, Envelope, Executor, FlowGroup, FlowRole, ProtocolKind, ScenarioSpec,
+    TestMetrics, TopologyKind, DEFAULT_THRESHOLD,
+};
+use snake_proxy::{BasicAttack, Endpoint, Strategy, StrategyKind};
+use snake_tcp::Profile;
+
+/// The CLOSE_WAIT exhaustion trigger (paper §VI-A.1): drop the RSTs the
+/// aborting clients emit while the tracker still has them in FIN_WAIT_1,
+/// wedging one server socket in CLOSE_WAIT per attacked connection.
+fn close_wait_strategy() -> Strategy {
+    Strategy {
+        id: 1,
+        kind: StrategyKind::OnPacket {
+            endpoint: Endpoint::Client,
+            state: "FIN_WAIT_1".into(),
+            packet_type: "RST".into(),
+            attack: BasicAttack::Drop { percent: 100 },
+        },
+    }
+}
+
+/// A star topology with the full flow mix and enough attacked connections
+/// for the leak to clear the exhaustion margin decisively.
+fn exhaustion_spec() -> ScenarioSpec {
+    ScenarioSpec::builder(ProtocolKind::Tcp(Profile::linux_3_0_0()))
+        .quick()
+        .topology(TopologyKind::Star, 16)
+        .flows(vec![
+            FlowGroup {
+                role: FlowRole::Attacked,
+                count: 24,
+            },
+            FlowGroup {
+                role: FlowRole::Bulk,
+                count: 2,
+            },
+            FlowGroup {
+                role: FlowRole::SynPressure,
+                count: 4,
+            },
+        ])
+        .build()
+        .expect("valid exhaustion scenario")
+}
+
+fn ensemble(spec: &ScenarioSpec) -> Vec<TestMetrics> {
+    (0..3u64)
+        .map(|k| {
+            let seed = spec.seed() ^ k.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            Executor::run(&spec.clone().with_seed(seed), None)
+        })
+        .collect()
+}
+
+#[test]
+fn seeded_exhaustion_attack_is_flagged_with_zero_envelope_false_positives() {
+    let spec = exhaustion_spec();
+    let members = ensemble(&spec);
+    let envelope = Envelope::from_members(&members, DEFAULT_THRESHOLD);
+
+    // Zero false positives by construction: the envelope is widened to
+    // contain every member, so each member's own verdict is clean.
+    for (k, member) in members.iter().enumerate() {
+        let verdict = detect_enveloped(&envelope, member);
+        assert!(
+            !verdict.flagged(),
+            "member {k} flagged its own envelope: {:?}",
+            verdict.labels()
+        );
+    }
+
+    // The attack wedges one server socket per attacked connection; the
+    // socket-table exhaustion edge must catch it.
+    let attacked = Executor::run(&spec, Some(close_wait_strategy()));
+    assert!(
+        attacked.leaked_total > members[0].leaked_total,
+        "attack leaked nothing: {} vs baseline {}",
+        attacked.leaked_total,
+        members[0].leaked_total
+    );
+    let verdict = detect_enveloped(&envelope, &attacked);
+    assert!(
+        verdict.table_exhaustion,
+        "exhaustion attack not flagged: leaked_total={} labels={:?}",
+        attacked.leaked_total,
+        verdict.labels()
+    );
+    assert!(verdict.flagged());
+}
+
+#[test]
+fn clean_reruns_never_flag_cross_flow_metrics() {
+    // A fresh seed inside the jitter neighbourhood — not one of the
+    // envelope members — still must not trip any cross-flow edge.
+    let spec = exhaustion_spec();
+    let envelope = Envelope::from_members(&ensemble(&spec), DEFAULT_THRESHOLD);
+    let probe = Executor::run(&spec.clone().with_seed(spec.seed() ^ 0xABCD), None);
+    let verdict = detect_enveloped(&envelope, &probe);
+    assert!(
+        !verdict.fairness_collapse && !verdict.flow_starvation && !verdict.table_exhaustion,
+        "clean rerun tripped a cross-flow edge: {:?}",
+        verdict.labels()
+    );
+}

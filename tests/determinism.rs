@@ -11,10 +11,7 @@ use snake_proxy::{
 use snake_tcp::Profile;
 
 fn tcp_spec(seed: u64) -> ScenarioSpec {
-    ScenarioSpec {
-        seed,
-        ..ScenarioSpec::quick(ProtocolKind::Tcp(Profile::linux_3_0_0()))
-    }
+    ScenarioSpec::quick(ProtocolKind::Tcp(Profile::linux_3_0_0())).with_seed(seed)
 }
 
 #[test]

@@ -34,7 +34,7 @@ fn sample_strategies(
     let mut next_id = 0;
     let mut seen = std::collections::BTreeSet::new();
     let generated = generate_strategies(
-        &spec.protocol,
+        spec.protocol(),
         &[baseline_proxy],
         &GenerationParams::default(),
         &mut next_id,
@@ -69,7 +69,7 @@ fn sample_strategies(
 fn forked_runs_match_from_scratch_on_every_profile() {
     for protocol in all_protocols() {
         let spec = ScenarioSpec::quick(protocol);
-        let name = spec.protocol.implementation_name();
+        let name = spec.protocol().implementation_name();
         let exec = PlannedExecutor::new(&spec, ExecutorOptions::default());
         assert!(
             exec.snapshot_count() > 0,
@@ -105,7 +105,7 @@ fn forked_runs_match_from_scratch_under_impairments() {
             ProtocolKind::Dccp(DccpProfile::linux_3_13()),
         ] {
             let spec = ScenarioSpec::quick(protocol).with_impairment(impair);
-            let name = spec.protocol.implementation_name().to_owned();
+            let name = spec.protocol().implementation_name().to_owned();
             let exec = PlannedExecutor::new(&spec, ExecutorOptions::default());
             assert_eq!(
                 *exec.baseline(),
@@ -121,6 +121,65 @@ fn forked_runs_match_from_scratch_under_impairments() {
                     "{name}/{preset}: fork/scratch divergence for `{label}`"
                 );
             }
+        }
+    }
+}
+
+#[test]
+fn forked_runs_match_from_scratch_on_a_multiflow_profile() {
+    // The snapshot planner must hold on a generated topology carrying the
+    // full four-role flow mix: per-flow byte counts and the server-wide
+    // socket census are part of TestMetrics, so any fork/scratch
+    // divergence in any flow is caught bit for bit.
+    use snake_core::{FlowGroup, FlowRole, TopologyKind};
+    let flows = vec![
+        FlowGroup {
+            role: FlowRole::Attacked,
+            count: 2,
+        },
+        FlowGroup {
+            role: FlowRole::Bulk,
+            count: 2,
+        },
+        FlowGroup {
+            role: FlowRole::RequestResponse,
+            count: 2,
+        },
+        FlowGroup {
+            role: FlowRole::SynPressure,
+            count: 2,
+        },
+    ];
+    for protocol in [
+        ProtocolKind::Tcp(Profile::linux_3_13()),
+        ProtocolKind::Dccp(DccpProfile::linux_3_13()),
+    ] {
+        let spec = ScenarioSpec::builder(protocol)
+            .data_secs(4)
+            .grace_secs(10)
+            .topology(TopologyKind::Star, 16)
+            .flows(flows.clone())
+            .build()
+            .expect("valid multi-flow profile");
+        let name = spec.protocol().implementation_name().to_owned();
+        let exec = PlannedExecutor::new(&spec, ExecutorOptions::default());
+        assert_eq!(
+            *exec.baseline(),
+            Executor::run(&spec, None),
+            "{name}: planned multi-flow baseline differs from a plain run"
+        );
+        assert!(
+            exec.baseline().flow_bytes.len() > 2,
+            "{name}: multi-flow metrics missing"
+        );
+        for strategy in sample_strategies(&spec, &exec.baseline().proxy, 4) {
+            let label = strategy.describe();
+            let forked = exec.run(Some(strategy.clone()));
+            let scratch = Executor::run(&spec, Some(strategy));
+            assert_eq!(
+                forked, scratch,
+                "{name}: multi-flow fork/scratch divergence for `{label}`"
+            );
         }
     }
 }

@@ -55,7 +55,7 @@ fn campaign(spec: ScenarioSpec, cap: usize, memoize: bool) -> CampaignResult {
 fn memoized_campaigns_match_unmemoized_on_every_profile() {
     for protocol in all_protocols() {
         let spec = ScenarioSpec::quick(protocol);
-        let name = spec.protocol.implementation_name().to_owned();
+        let name = spec.protocol().implementation_name().to_owned();
         let with_memo = campaign(spec.clone(), 36, true);
         let without = campaign(spec, 36, false);
         assert_eq!(
@@ -82,7 +82,7 @@ fn memoized_campaigns_match_unmemoized_under_impairments() {
             ProtocolKind::Dccp(DccpProfile::linux_3_13()),
         ] {
             let spec = ScenarioSpec::quick(protocol).with_impairment(impair);
-            let name = spec.protocol.implementation_name().to_owned();
+            let name = spec.protocol().implementation_name().to_owned();
             let with_memo = campaign(spec.clone(), 24, true);
             let without = campaign(spec, 24, false);
             assert_eq!(
@@ -167,7 +167,7 @@ fn provably_inert_strategies_really_are_inert() {
         ProtocolKind::Dccp(DccpProfile::linux_3_13()),
     ] {
         let spec = ScenarioSpec::quick(protocol);
-        let name = spec.protocol.implementation_name().to_owned();
+        let name = spec.protocol().implementation_name().to_owned();
         let exec = PlannedExecutor::new(
             &spec,
             ExecutorOptions {
@@ -179,7 +179,7 @@ fn provably_inert_strategies_really_are_inert() {
         let mut next_id = 0;
         let mut seen = std::collections::BTreeSet::new();
         let generated = generate_strategies(
-            &spec.protocol,
+            spec.protocol(),
             &[&exec.baseline().proxy],
             &GenerationParams::default(),
             &mut next_id,

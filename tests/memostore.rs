@@ -77,7 +77,7 @@ fn store_is_invisible_to_outcomes_on_every_profile() {
     // outcomes.
     for protocol in all_protocols() {
         let spec = ScenarioSpec::quick(protocol);
-        let name = spec.protocol.implementation_name().to_owned();
+        let name = spec.protocol().implementation_name().to_owned();
         let path = temp_store(&format!(
             "profiles-{}",
             name.replace(|c: char| !c.is_ascii_alphanumeric(), "-")

@@ -52,7 +52,7 @@ fn impaired_campaigns_are_bit_identical_per_seed() {
     ] {
         let spec = ScenarioSpec::quick(protocol)
             .with_impairment(Impairment::preset("chaos").expect("built-in preset"));
-        let name = spec.protocol.implementation_name().to_owned();
+        let name = spec.protocol().implementation_name().to_owned();
         let config = |spec: ScenarioSpec| {
             CampaignConfig::builder(spec)
                 .cap(12)
@@ -84,12 +84,11 @@ fn ensemble_envelope_never_flags_unattacked_runs_under_any_preset() {
             ProtocolKind::Dccp(DccpProfile::linux_3_13()),
         ] {
             let base = ScenarioSpec::quick(protocol).with_impairment(impair);
-            let name = base.protocol.implementation_name().to_owned();
+            let name = base.protocol().implementation_name().to_owned();
             let members: Vec<TestMetrics> = (0..3u64)
                 .map(|k| {
-                    let mut spec = base.clone();
-                    spec.seed ^= k.wrapping_mul(0x9E37_79B9_7F4A_7C15);
-                    Executor::run(&spec, None)
+                    let seed = base.seed() ^ k.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                    Executor::run(&base.clone().with_seed(seed), None)
                 })
                 .collect();
             let envelope = Envelope::from_members(&members, DEFAULT_THRESHOLD);
@@ -116,7 +115,7 @@ fn ensembles_keep_the_false_positive_column_at_zero() {
             ProtocolKind::Dccp(DccpProfile::linux_3_13()),
         ] {
             let spec = ScenarioSpec::quick(protocol).with_impairment(impair);
-            let name = spec.protocol.implementation_name().to_owned();
+            let name = spec.protocol().implementation_name().to_owned();
             let config = CampaignConfig::builder(spec)
                 .cap(20)
                 .feedback_rounds(1)
@@ -148,7 +147,7 @@ fn full_matrix_keeps_the_false_positive_column_at_zero() {
         let impair = Impairment::preset(preset).expect("built-in preset");
         for protocol in &protocols {
             let spec = ScenarioSpec::quick(protocol.clone()).with_impairment(impair);
-            let name = spec.protocol.implementation_name().to_owned();
+            let name = spec.protocol().implementation_name().to_owned();
             let config = CampaignConfig::builder(spec)
                 .cap(40)
                 .feedback_rounds(1)

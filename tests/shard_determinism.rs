@@ -153,6 +153,50 @@ fn four_shards_match_single_process_on_every_profile() {
 }
 
 #[test]
+fn four_shards_match_single_process_on_a_generated_multiflow_profile() {
+    // The acceptance scenario of the topology/flow redesign: a generated
+    // 256-host star with 256 concurrent flows (200 of them attacked) must
+    // shard exactly like the dumbbell — byte-identical TSV and manifest
+    // (modulo `timing`/`shards`) between 1 and 4 worker processes, fresh
+    // and with the wire carrying the full topology + flow mix.
+    use snake_core::{FlowGroup, FlowRole, TopologyKind};
+    let _guard = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let spec = ScenarioSpec::builder(ProtocolKind::Tcp(Profile::linux_3_13()))
+        .data_secs(2)
+        .grace_secs(6)
+        .topology(TopologyKind::Star, 256)
+        .flows(vec![
+            FlowGroup {
+                role: FlowRole::Attacked,
+                count: 200,
+            },
+            FlowGroup {
+                role: FlowRole::Bulk,
+                count: 28,
+            },
+            FlowGroup {
+                role: FlowRole::RequestResponse,
+                count: 16,
+            },
+            FlowGroup {
+                role: FlowRole::SynPressure,
+                count: 12,
+            },
+        ])
+        .build()
+        .expect("valid 256-host profile");
+    let reference = run(spec.clone(), 0, 6);
+    let rerun = run(spec.clone(), 0, 6);
+    assert_eq!(
+        reference.0.export_outcomes_tsv(),
+        rerun.0.export_outcomes_tsv(),
+        "same seed must reproduce the multi-flow TSV byte for byte"
+    );
+    let sharded = run(spec, 4, 6);
+    assert_identical("star-256-multiflow", &reference, &sharded, 4);
+}
+
+#[test]
 fn a_shard_killed_mid_range_changes_nothing() {
     let _guard = LOCK.lock().unwrap_or_else(|e| e.into_inner());
     let spec = ScenarioSpec::quick(ProtocolKind::Tcp(Profile::linux_3_13()));
