@@ -199,6 +199,20 @@ const COMMANDS: &[CommandSpec] = &[
                 "ADDR",
                 "listen on ADDR for externally launched shard workers",
             ),
+            value(
+                "--shard-timeout",
+                "SECS",
+                "declare a shard dead after SECS of wire silence (default 10)",
+            ),
+            value(
+                "--heartbeat",
+                "SECS",
+                "worker keep-alive interval on the shard wire (default 2)",
+            ),
+            switch(
+                "--insecure-bind",
+                "allow --shard-listen on a non-loopback address",
+            ),
         ],
     },
     CommandSpec {
@@ -584,13 +598,7 @@ fn campaign_config(
     if let Some(reps) = flags.parsed_positive(flag_spec(command, "--baseline-reps"))? {
         builder = builder.baseline_reps(reps);
     }
-    if let Some(secs) = flags.parsed_positive::<f64>(flag_spec(command, "--deadline"))? {
-        if !secs.is_finite() {
-            return Err(format!(
-                "--deadline expects a positive SECS (got `{}`)",
-                flags.get("--deadline").unwrap_or_default()
-            ));
-        }
+    if let Some(secs) = parse_finite_secs(flags, flag_spec(command, "--deadline"))? {
         builder = builder.deadline(Duration::from_secs_f64(secs));
     }
     if let Some(path) = flags.get("--memo-store") {
@@ -609,10 +617,36 @@ fn campaign_config(
     if let Some(addr) = flags.get("--shard-listen") {
         builder = builder.shard_listen(addr);
     }
+    // The two wire deadlines share --deadline's float handling: positive,
+    // finite seconds, converted to a Duration at parse time.
+    if let Some(secs) = parse_finite_secs(flags, flag_spec(command, "--shard-timeout"))? {
+        builder = builder.shard_timeout(Duration::from_secs_f64(secs));
+    }
+    if let Some(secs) = parse_finite_secs(flags, flag_spec(command, "--heartbeat"))? {
+        builder = builder.heartbeat(Duration::from_secs_f64(secs));
+    }
+    if flags.has("--insecure-bind") {
+        builder = builder.insecure_bind(true);
+    }
     if let Some(recorder) = observer {
         builder = builder.observer(recorder);
     }
     builder.build().map_err(|e| e.to_string())
+}
+
+/// Parses a seconds-valued flag as a positive, *finite* float — the shared
+/// guard of `--deadline`, `--shard-timeout` and `--heartbeat`, keeping
+/// their message shape identical to [`ParsedFlags::parsed_positive`].
+fn parse_finite_secs(flags: &ParsedFlags<'_>, spec: &FlagSpec) -> Result<Option<f64>, String> {
+    match flags.parsed_positive::<f64>(spec)? {
+        Some(secs) if !secs.is_finite() => Err(format!(
+            "{} expects a positive {} (got `{}`)",
+            spec.name,
+            spec.arg.unwrap_or("SECS"),
+            flags.get(spec.name).unwrap_or_default()
+        )),
+        other => Ok(other),
+    }
 }
 
 /// `snake shard-worker --connect ADDR` — the executor half of the
@@ -809,6 +843,16 @@ fn print_observe_summary(
             snapshot.counter("shard.outcome_batches"),
             busy.map_or(0.0, |h| h.mean() as f64 / 1e9),
             idle.map_or(0.0, |h| h.mean() as f64 / 1e9),
+        );
+        eprintln!(
+            "  shard recovery: {} heartbeat(s) sent / {} missed, {} reconnect(s), \
+             segments {} written / {} merged / {} discarded",
+            snapshot.counter("shard.heartbeat.sent"),
+            snapshot.counter("shard.heartbeat.missed"),
+            snapshot.counter("shard.reconnects"),
+            snapshot.counter("shard.segments.written"),
+            snapshot.counter("shard.segments.merged"),
+            snapshot.counter("shard.segments.discarded"),
         );
     }
 }
@@ -1014,6 +1058,10 @@ mod tests {
             (&["--deadline", "-1"][..], "--deadline"),
             (&["--deadline", "NaN"][..], "--deadline"),
             (&["--deadline", "inf"][..], "--deadline"),
+            (&["--shard-timeout", "0"][..], "--shard-timeout"),
+            (&["--shard-timeout", "inf"][..], "--shard-timeout"),
+            (&["--heartbeat", "0"][..], "--heartbeat"),
+            (&["--heartbeat", "NaN"][..], "--heartbeat"),
         ] {
             let err = config_err(flags);
             assert!(
@@ -1150,15 +1198,47 @@ mod tests {
         // --shard-listen without --shards is a config-build error.
         let err = config_err(&["--shard-listen", "127.0.0.1:0"]);
         assert!(err.contains("require shards > 0"), "{err}");
-        // Sharding cannot combine with fault injection.
+        // Sharding cannot combine with *evaluation-side* fault injection…
         let err = config_err(&["--shards", "2", "--chaos", "panics"]);
         assert!(err.contains("fault injection"), "{err}");
+        // …while wire chaos exists only for sharded runs.
+        let err = config_err(&["--chaos", "wire-drop"]);
+        assert!(err.contains("shards"), "{err}");
+        // The wire deadlines and the insecure-bind acknowledgment are
+        // meaningless without their counterpart flags.
+        let err = config_err(&["--shard-timeout", "5"]);
+        assert!(err.contains("require shards > 0"), "{err}");
+        let err = config_err(&["--shards", "2", "--heartbeat", "30"]);
+        assert!(err.contains("heartbeat"), "{err}");
+        let err = config_err(&["--insecure-bind"]);
+        assert!(err.contains("insecure_bind"), "{err}");
+        // A non-loopback listen address needs the explicit acknowledgment.
+        let err = config_err(&["--shards", "2", "--shard-listen", "0.0.0.0:0"]);
+        assert!(err.contains("--insecure-bind"), "{err}");
         // --shards 0 is the explicit in-process default; a positive count
-        // with a listen address builds cleanly.
+        // with a listen address (loopback, or acknowledged non-loopback),
+        // wire chaos, or explicit deadlines builds cleanly.
         for extra in [
             &["--shards", "0"][..],
             &["--shards", "4"][..],
             &["--shards", "2", "--shard-listen", "127.0.0.1:0"][..],
+            &[
+                "--shards",
+                "2",
+                "--shard-listen",
+                "0.0.0.0:0",
+                "--insecure-bind",
+            ][..],
+            &["--shards", "2", "--chaos", "wire-drop"][..],
+            &["--shards", "2", "--chaos", "controller-kill"][..],
+            &[
+                "--shards",
+                "2",
+                "--shard-timeout",
+                "5",
+                "--heartbeat",
+                "0.5",
+            ][..],
         ] {
             let mut all = vec!["--impl", "linux-3.13", "--quick"];
             all.extend_from_slice(extra);
@@ -1166,5 +1246,31 @@ mod tests {
             let flags = parse_flags(spec, &owned).unwrap();
             campaign_config(spec, &flags, None).expect("valid shard flags");
         }
+    }
+
+    #[test]
+    fn worker_connect_to_a_dead_controller_fails_with_the_stable_shape() {
+        // The bounded-retry connect path surfaces one stable message —
+        // address, attempt count, elapsed time, underlying cause — so
+        // scripts driving `snake shard-worker --connect` can match on it.
+        // Port reserved via a bound-then-dropped listener, so nothing is
+        // listening there.
+        let addr = {
+            let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            listener.local_addr().unwrap().to_string()
+        };
+        let started = Instant::now();
+        let err = snake_core::connect_with_backoff(&addr, 2, Duration::from_millis(5))
+            .expect_err("nothing is listening");
+        assert!(
+            started.elapsed() >= Duration::from_millis(5),
+            "must back off"
+        );
+        let msg = err.to_string();
+        assert!(
+            msg.contains(&format!("could not connect to controller at {addr}")),
+            "{msg}"
+        );
+        assert!(msg.contains("2 attempt(s) over"), "{msg}");
     }
 }

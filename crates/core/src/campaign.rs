@@ -16,7 +16,10 @@ use crate::detect::{baseline_valid, detect_enveloped, Envelope, Verdict, DEFAULT
 use crate::journal::{self, JournalHeader, JournalWriter};
 use crate::memostore::{scenario_digest, MemoStore, MemoStoreReport, StoreScope};
 use crate::scenario::{Executor, ExecutorOptions, PlannedExecutor, ScenarioSpec, TestMetrics};
-use crate::shard::{intern_counter, ShardEvent, ShardPool};
+use crate::segment::{self, SegmentEntry};
+use crate::shard::{
+    intern_counter, PoolWait, ShardEvent, ShardPool, DEFAULT_HEARTBEAT, DEFAULT_SHARD_TIMEOUT,
+};
 use crate::strategen::{generate_strategies, is_on_path, is_self_denial, GenerationParams};
 
 /// Configuration of one campaign: one implementation under test, searched
@@ -82,6 +85,16 @@ pub struct CampaignConfig {
     pub(crate) shard_listen: Option<String>,
     // Worker binary override (defaults to the current executable).
     pub(crate) shard_worker_bin: Option<PathBuf>,
+    // Read deadline on the shard wire: a worker silent for longer than
+    // this (no outcome, no heartbeat) is declared dead — applies to the
+    // handshake and to mid-evaluation reads alike.
+    pub(crate) shard_timeout: Duration,
+    // Interval at which shard workers send keep-alive heartbeats.
+    pub(crate) heartbeat: Duration,
+    // Explicit acknowledgment required to bind `shard_listen` to a
+    // non-loopback address (the wire is digest-checked, not
+    // authenticated).
+    pub(crate) insecure_bind: bool,
 }
 
 /// Fault-injection hook called before each strategy evaluation, inside the
@@ -92,13 +105,22 @@ pub type FaultHook = Arc<dyn Fn(&Strategy) + Send + Sync>;
 /// [`FaultHook`]: worker panics, evaluation stalls, and journal write
 /// faults are injected by strategy id (and write ordinal), so the same
 /// plan perturbs the same runs every time. Like a fault hook, an active
-/// plan forces memoization off — an elided strategy would never meet its
-/// scheduled fault.
+/// *evaluation* fault forces memoization off — an elided strategy would
+/// never meet its scheduled fault.
+///
+/// The `wire_*`, `hang_worker_after` and `kill_controller_at` fields are
+/// the distributed-campaign fault lane: they perturb the shard wire (by
+/// outcome-frame ordinal, heartbeats excluded so timing noise cannot
+/// change which frame is hit), hang a worker mid-campaign, or kill the
+/// whole controller process at a chosen admission index. Wire faults
+/// require `shards > 0` and leave evaluation untouched, so memoization
+/// stays on and recovery must reproduce the unperturbed output exactly.
 ///
 /// Chaos plans exist to prove the campaign runtime survives its
-/// environment: panics must isolate, stalls must trip the watchdog, and
-/// journal faults must be retried — all without changing which strategies
-/// get tested.
+/// environment: panics must isolate, stalls must trip the watchdog,
+/// journal faults must be retried, broken wires must re-dispatch, and a
+/// killed controller must resume from worker segments — all without
+/// changing which strategies get tested or what they produce.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct ChaosPlan {
     /// Panic inside the evaluation of every strategy whose id is a
@@ -112,7 +134,45 @@ pub struct ChaosPlan {
     /// Fail every Nth journal write with a transient I/O error (the
     /// campaign's single bounded retry must absorb it).
     pub journal_fail_every: Option<u64>,
+    /// Drop every Nth outcome frame on the controller's read path. The
+    /// shard then answers out of contract and is killed; its range is
+    /// re-dispatched.
+    pub wire_drop_every: Option<u64>,
+    /// Truncate every Nth outcome frame (torn line: checksum missing).
+    pub wire_truncate_every: Option<u64>,
+    /// Corrupt every Nth outcome frame (payload flipped under an intact
+    /// length: checksum mismatch).
+    pub wire_corrupt_every: Option<u64>,
+    /// Delay every Nth outcome frame by [`wire_delay_ms`](Self::wire_delay_ms)
+    /// before delivering it (a slow-but-alive worker; nothing may die).
+    pub wire_delay_every: Option<u64>,
+    /// How long a delayed frame is held, in milliseconds.
+    pub wire_delay_ms: u64,
+    /// Make shard 0's initial worker go silent (heartbeats stopped, wire
+    /// open, process alive) after sending this many outcomes — the shape
+    /// of a livelocked worker; the controller's read deadline must fire.
+    pub hang_worker_after: Option<u64>,
+    /// Kill the whole controller process (exit code 23) immediately after
+    /// admitting and journaling this many outcomes. A subsequent resume
+    /// must rebuild the identical result from journal plus segments.
+    pub kill_controller_at: Option<u64>,
 }
+
+/// An all-`None` plan, the base the presets patch (struct-update syntax
+/// keeps each preset to the fields it actually sets).
+const NO_CHAOS: ChaosPlan = ChaosPlan {
+    panic_every: None,
+    stall_every: None,
+    stall_for_ms: 0,
+    journal_fail_every: None,
+    wire_drop_every: None,
+    wire_truncate_every: None,
+    wire_corrupt_every: None,
+    wire_delay_every: None,
+    wire_delay_ms: 0,
+    hang_worker_after: None,
+    kill_controller_at: None,
+};
 
 impl ChaosPlan {
     /// Built-in plans for the chaos test matrix.
@@ -122,27 +182,22 @@ impl ChaosPlan {
                 "panics",
                 ChaosPlan {
                     panic_every: Some(5),
-                    stall_every: None,
-                    stall_for_ms: 0,
-                    journal_fail_every: None,
+                    ..NO_CHAOS
                 },
             ),
             (
                 "stalls",
                 ChaosPlan {
-                    panic_every: None,
                     stall_every: Some(7),
                     stall_for_ms: 400,
-                    journal_fail_every: None,
+                    ..NO_CHAOS
                 },
             ),
             (
                 "journal",
                 ChaosPlan {
-                    panic_every: None,
-                    stall_every: None,
-                    stall_for_ms: 0,
                     journal_fail_every: Some(3),
+                    ..NO_CHAOS
                 },
             ),
             (
@@ -152,6 +207,50 @@ impl ChaosPlan {
                     stall_every: Some(13),
                     stall_for_ms: 400,
                     journal_fail_every: Some(5),
+                    ..NO_CHAOS
+                },
+            ),
+            (
+                "wire-drop",
+                ChaosPlan {
+                    wire_drop_every: Some(4),
+                    ..NO_CHAOS
+                },
+            ),
+            (
+                "wire-truncate",
+                ChaosPlan {
+                    wire_truncate_every: Some(5),
+                    ..NO_CHAOS
+                },
+            ),
+            (
+                "wire-corrupt",
+                ChaosPlan {
+                    wire_corrupt_every: Some(5),
+                    ..NO_CHAOS
+                },
+            ),
+            (
+                "wire-delay",
+                ChaosPlan {
+                    wire_delay_every: Some(3),
+                    wire_delay_ms: 50,
+                    ..NO_CHAOS
+                },
+            ),
+            (
+                "wire-hang",
+                ChaosPlan {
+                    hang_worker_after: Some(2),
+                    ..NO_CHAOS
+                },
+            ),
+            (
+                "controller-kill",
+                ChaosPlan {
+                    kill_controller_at: Some(6),
+                    ..NO_CHAOS
                 },
             ),
         ];
@@ -186,6 +285,28 @@ impl ChaosPlan {
     pub fn fails_journal_write(&self, n: u64) -> bool {
         ChaosPlan::hits(self.journal_fail_every, n)
     }
+
+    /// Whether this plan injects *evaluation-side* faults (panics, stalls,
+    /// journal write failures). Only these force memoization off and are
+    /// incompatible with shards — they are in-process closures that cannot
+    /// cross a process boundary.
+    pub fn has_eval_faults(&self) -> bool {
+        self.panic_every.is_some()
+            || self.stall_every.is_some()
+            || self.journal_fail_every.is_some()
+    }
+
+    /// Whether this plan injects shard-wire faults (frame drop / truncate
+    /// / corrupt / delay, worker hang). These need a wire to act on, so
+    /// they require `shards > 0`; the controller kill-switch is not
+    /// counted here because it works in-process too.
+    pub fn has_wire_faults(&self) -> bool {
+        self.wire_drop_every.is_some()
+            || self.wire_truncate_every.is_some()
+            || self.wire_corrupt_every.is_some()
+            || self.wire_delay_every.is_some()
+            || self.hang_worker_after.is_some()
+    }
 }
 
 impl fmt::Debug for CampaignConfig {
@@ -212,6 +333,9 @@ impl fmt::Debug for CampaignConfig {
             .field("shards", &self.shards)
             .field("shard_listen", &self.shard_listen)
             .field("shard_worker_bin", &self.shard_worker_bin)
+            .field("shard_timeout", &self.shard_timeout)
+            .field("heartbeat", &self.heartbeat)
+            .field("insecure_bind", &self.insecure_bind)
             .field("observer_enabled", &self.observer.enabled())
             .finish()
     }
@@ -248,6 +372,9 @@ impl CampaignConfig {
             shards: 0,
             shard_listen: None,
             shard_worker_bin: None,
+            shard_timeout: None,
+            heartbeat: None,
+            insecure_bind: false,
         }
     }
 }
@@ -282,6 +409,9 @@ pub struct CampaignConfigBuilder {
     shards: usize,
     shard_listen: Option<String>,
     shard_worker_bin: Option<PathBuf>,
+    shard_timeout: Option<Duration>,
+    heartbeat: Option<Duration>,
+    insecure_bind: bool,
 }
 
 impl fmt::Debug for CampaignConfigBuilder {
@@ -480,6 +610,33 @@ impl CampaignConfigBuilder {
         self
     }
 
+    /// Read deadline on the shard wire (default 10 s): handshake *and*
+    /// mid-evaluation silence longer than this declares the worker dead
+    /// (hung or partitioned — heartbeats keep a merely slow worker
+    /// alive). Requires `shards > 0`; must exceed
+    /// [`heartbeat`](Self::heartbeat).
+    pub fn shard_timeout(mut self, timeout: Duration) -> Self {
+        self.shard_timeout = Some(timeout);
+        self
+    }
+
+    /// Interval at which shard workers send keep-alive heartbeats
+    /// (default 2 s). Requires `shards > 0`; must be shorter than
+    /// [`shard_timeout`](Self::shard_timeout).
+    pub fn heartbeat(mut self, interval: Duration) -> Self {
+        self.heartbeat = Some(interval);
+        self
+    }
+
+    /// Acknowledges that [`shard_listen`](Self::shard_listen) may bind a
+    /// non-loopback address. The handshake is digest-checked (a worker
+    /// with a different scenario is refused) but not authenticated, so
+    /// exposing the controller beyond the host is an explicit opt-in.
+    pub fn insecure_bind(mut self, insecure: bool) -> Self {
+        self.insecure_bind = insecure;
+        self
+    }
+
     /// Observability sink for the campaign: phase spans, executor and
     /// netsim counters, per-worker histograms. Pass an
     /// [`observe::Recorder`](snake_observe::Recorder) wrapped in an `Arc`
@@ -517,16 +674,56 @@ impl CampaignConfigBuilder {
         if self.deadline.is_some_and(|d| d.is_zero()) {
             return invalid("watchdog deadline must be longer than zero".to_owned());
         }
-        if self.shards > 0 && (self.fault_hook.is_some() || self.chaos.is_some()) {
+        if self.shards > 0
+            && (self.fault_hook.is_some() || self.chaos.is_some_and(|c| c.has_eval_faults()))
+        {
             return invalid(
-                "shards cannot combine with fault injection: hooks and chaos \
-                 plans are in-process closures that cannot cross a process \
-                 boundary"
+                "shards cannot combine with fault injection: hooks and \
+                 evaluation-side chaos are in-process closures that cannot \
+                 cross a process boundary (wire chaos is fine)"
                     .to_owned(),
+            );
+        }
+        if self.shards == 0 && self.chaos.is_some_and(|c| c.has_wire_faults()) {
+            return invalid(
+                "wire chaos faults need a shard wire to act on: set shards > 0".to_owned(),
             );
         }
         if self.shards == 0 && (self.shard_listen.is_some() || self.shard_worker_bin.is_some()) {
             return invalid("shard_listen / shard_worker_bin require shards > 0".to_owned());
+        }
+        if self.shards == 0 && (self.shard_timeout.is_some() || self.heartbeat.is_some()) {
+            return invalid("shard_timeout / heartbeat require shards > 0".to_owned());
+        }
+        if self.shard_timeout.is_some_and(|t| t.is_zero())
+            || self.heartbeat.is_some_and(|t| t.is_zero())
+        {
+            return invalid("shard_timeout and heartbeat must be longer than zero".to_owned());
+        }
+        let shard_timeout = self.shard_timeout.unwrap_or(DEFAULT_SHARD_TIMEOUT);
+        let heartbeat = self.heartbeat.unwrap_or(DEFAULT_HEARTBEAT);
+        if self.shards > 0 && heartbeat >= shard_timeout {
+            return invalid(format!(
+                "heartbeat ({heartbeat:?}) must be shorter than shard_timeout \
+                 ({shard_timeout:?}), or every worker is declared dead between beats"
+            ));
+        }
+        match &self.shard_listen {
+            Some(addr) if !listen_is_loopback(addr) && !self.insecure_bind => {
+                return invalid(format!(
+                    "shard_listen address {addr} is not loopback; binding it \
+                     exposes an unauthenticated control wire — pass \
+                     insecure_bind (--insecure-bind) to acknowledge"
+                ));
+            }
+            _ => {}
+        }
+        if self.insecure_bind && self.shard_listen.is_none() {
+            return invalid(
+                "insecure_bind acknowledges a non-loopback shard_listen; \
+                 there is nothing to acknowledge without one"
+                    .to_owned(),
+            );
         }
         if self.memo_store.is_some() && !self.memoize {
             return invalid(
@@ -559,7 +756,22 @@ impl CampaignConfigBuilder {
             shards: self.shards,
             shard_listen: self.shard_listen,
             shard_worker_bin: self.shard_worker_bin,
+            shard_timeout,
+            heartbeat,
+            insecure_bind: self.insecure_bind,
         })
+    }
+}
+
+/// Whether a `shard_listen` address names the loopback interface. An
+/// unparseable address is treated as non-loopback: the caller must
+/// acknowledge anything we cannot prove local.
+fn listen_is_loopback(addr: &str) -> bool {
+    match addr.parse::<std::net::SocketAddr>() {
+        Ok(sa) => sa.ip().is_loopback(),
+        Err(_) => addr
+            .rsplit_once(':')
+            .is_some_and(|(host, _)| host == "localhost"),
     }
 }
 
@@ -952,10 +1164,15 @@ impl Campaign {
     /// baseline) and journal I/O.
     pub fn run(config: CampaignConfig) -> Result<CampaignResult, CampaignError> {
         let spec = config.scenario.clone();
-        // A fault hook (or chaos plan) must see every strategy, so
-        // memoization (which answers some strategies without ever
-        // evaluating them) is forced off under fault injection.
-        let memoize = config.memoize && config.fault_hook.is_none() && config.chaos.is_none();
+        // A fault hook (or evaluation-side chaos) must see every strategy,
+        // so memoization (which answers some strategies without ever
+        // evaluating them) is forced off under fault injection. Wire-side
+        // chaos never touches evaluation, so it leaves memoization alone —
+        // that is exactly what lets the wire-chaos tests demand output
+        // identical to an unperturbed run.
+        let memoize = config.memoize
+            && config.fault_hook.is_none()
+            && !config.chaos.is_some_and(|c| c.has_eval_faults());
         let exec_options = ExecutorOptions {
             snapshot_fork: config.snapshot_fork,
             memoize,
@@ -1030,7 +1247,7 @@ impl Campaign {
             memoize: Some(memoize),
             impairment: Some(impairment_label.clone()),
         };
-        let mut reusable: BTreeMap<u64, StrategyOutcome> = BTreeMap::new();
+        let mut reusable: BTreeMap<u64, journal::JournalEntry> = BTreeMap::new();
         let mut journal_lines_skipped = 0;
         let writer: Option<JournalWriter> = match (&config.journal, config.resume) {
             (None, true) => return Err(CampaignError::ResumeWithoutJournal),
@@ -1053,8 +1270,8 @@ impl Campaign {
                         });
                     }
                     let writer = if reader.header().is_some() {
-                        while let Some(o) = reader.next_outcome().map_err(journal_err)? {
-                            reusable.insert(o.strategy.id, o);
+                        while let Some(entry) = reader.next_entry().map_err(journal_err)? {
+                            reusable.insert(entry.outcome.strategy.id, entry);
                         }
                         Some(JournalWriter::append(path).map_err(journal_err)?)
                     } else {
@@ -1062,7 +1279,7 @@ impl Campaign {
                         // nothing is just a fresh run. Drain the reader
                         // first so damaged-line accounting matches what a
                         // whole-file load reported.
-                        while reader.next_outcome().map_err(journal_err)?.is_some() {}
+                        while reader.next_entry().map_err(journal_err)?.is_some() {}
                         Some(JournalWriter::create(path, &header).map_err(journal_err)?)
                     };
                     journal_lines_skipped = reader.malformed_lines();
@@ -1072,6 +1289,64 @@ impl Campaign {
                 }
             }
         };
+
+        let digest = scenario_digest(&spec, config.threshold, config.baseline_reps);
+
+        // Journal segments — the worker-side crash-tolerance layer. A
+        // resuming controller merges whatever the crashed run's workers
+        // wrote (journal wins on overlap) into a prefetch map, replayed
+        // through the ordinary admission path below so nothing a worker
+        // already evaluated runs again. The merged files stay on disk
+        // until this run completes: if the resume itself crashes before
+        // re-journaling a prefetched outcome, the next resume still finds
+        // it — the controller pid in segment filenames keeps this run's
+        // own workers from overwriting them. A fresh run instead clears
+        // stale segments so it cannot inherit another campaign's.
+        let mut seg_dir = config.journal.as_deref().map(segment::segment_dir);
+        let mut prefetch: BTreeMap<u64, SegmentEntry> = BTreeMap::new();
+        if let Some(dir) = &seg_dir {
+            if config.resume {
+                match segment::merge(dir, digest, memoize, |id| reusable.contains_key(&id)) {
+                    Ok(merge) => {
+                        config
+                            .observer
+                            .counter_add("shard.segments.merged", merge.merged);
+                        config
+                            .observer
+                            .counter_add("shard.segments.discarded", merge.discarded);
+                        prefetch = merge.entries;
+                    }
+                    Err(err) => {
+                        eprintln!(
+                            "snake: segment merge failed ({err}); resuming from the journal alone"
+                        );
+                    }
+                }
+            } else {
+                segment::clear_dir(dir);
+            }
+            if config.shards > 0 {
+                if let Err(err) = std::fs::create_dir_all(dir) {
+                    eprintln!(
+                        "snake: cannot create segment directory {} ({err}); \
+                         workers will not write segments",
+                        dir.display()
+                    );
+                    seg_dir = None;
+                }
+            }
+        }
+
+        // Controller kill-switch: exit the whole process (code 23) right
+        // after the Nth admission reaches the journal — the fault the
+        // segment layer exists to survive. Driven by the chaos plan or,
+        // for out-of-process harnesses (CI), an environment variable.
+        let kill_at: Option<u64> = config.chaos.and_then(|c| c.kill_controller_at).or_else(|| {
+            std::env::var("SNAKE_CONTROLLER_EXIT_AT")
+                .ok()
+                .and_then(|v| v.parse().ok())
+        });
+        let admissions = AtomicU64::new(0);
 
         // Persistent memo store: opened only while memoization is live (a
         // fault hook or chaos plan that forces memoization off silently
@@ -1092,7 +1367,7 @@ impl Campaign {
             _ => None,
         };
         let scope = StoreScope {
-            scenario_digest: scenario_digest(&spec, config.threshold, config.baseline_reps),
+            scenario_digest: digest,
             implementation: spec.protocol.implementation_name().to_owned(),
             seed: spec.seed,
             impairment: impairment_label,
@@ -1106,28 +1381,36 @@ impl Campaign {
         let progress_every = config.progress_every;
         let chaos = config.chaos;
         let observer_for_journal = config.observer.clone();
-        let on_outcome = |outcome: &StrategyOutcome| {
+        let on_outcome = |outcome: &StrategyOutcome, counters: Option<&[(String, u64)]>| {
             if let Some(cell) = &journal_cell {
                 let mut writer = cell.lock().unwrap_or_else(|e| e.into_inner());
                 let n = journal_writes.fetch_add(1, Ordering::Relaxed) + 1;
+                let counters = counters.unwrap_or(&[]);
                 let mut result = if chaos.is_some_and(|c| c.fails_journal_write(n)) {
                     observer_for_journal.counter_add("campaign.journal_faults", 1);
                     Err(io::Error::other("chaos: injected journal write failure"))
                 } else {
-                    writer.record(outcome)
+                    writer.record_with_counters(outcome, counters)
                 };
                 if result.is_err() {
                     // One bounded retry: a transient write failure (or an
                     // injected chaos fault) gets a second chance before
                     // the campaign aborts with a journal error.
                     observer_for_journal.counter_add("campaign.journal_retries", 1);
-                    result = writer.record(outcome);
+                    result = writer.record_with_counters(outcome, counters);
                 }
                 if let Err(e) = result {
                     let mut slot = journal_error.lock().unwrap_or_else(|e| e.into_inner());
                     if slot.is_none() {
                         *slot = Some(e);
                     }
+                }
+            }
+            if let Some(n) = kill_at {
+                // The admission is journaled; die exactly here, before any
+                // later-index outcome can be admitted.
+                if admissions.fetch_add(1, Ordering::Relaxed) + 1 == n {
+                    std::process::exit(23);
                 }
             }
             if progress_every > 0 {
@@ -1174,7 +1457,7 @@ impl Campaign {
         // this process.
         let mut pool = if config.shards > 0 {
             let _span = observe::span(config.observer.as_ref(), "phase.shard_launch", 0);
-            match ShardPool::launch(&config, memoize) {
+            match ShardPool::launch(&config, memoize, seg_dir.clone()) {
                 Ok(pool) => {
                     if pool.live() == 0 {
                         eprintln!(
@@ -1236,21 +1519,26 @@ impl Campaign {
             let mut class_reps: BTreeMap<String, usize> = BTreeMap::new();
             for (i, s) in fresh.into_iter().enumerate() {
                 match reusable.remove(&s.id) {
-                    Some(prev) if prev.strategy == s => {
+                    Some(prev) if prev.outcome.strategy == s => {
                         resumed += 1;
+                        // Worker counter deltas journaled with the outcome
+                        // are folded again, so a resumed sharded campaign
+                        // reports the same evaluation tallies as the
+                        // uninterrupted run it is reconstructing.
+                        fold_worker_counters(&shared, &prev.counters);
                         ledger
                             .lock()
                             .unwrap_or_else(|e| e.into_inner())
-                            .seed_resumed(&prev);
+                            .seed_resumed(&prev.outcome);
                         // An inert-marked outcome never reached the class
                         // grouping in the original run, so it must not
                         // become a representative now.
-                        if prev.memo.as_deref() != Some("inert") {
+                        if prev.outcome.memo.as_deref() != Some("inert") {
                             if let Some(key) = class_key(&shared, &s) {
                                 class_reps.entry(key).or_insert(i);
                             }
                         }
-                        round[i] = Some(prev);
+                        round[i] = Some(prev.outcome);
                     }
                     _ => pending.push((i, s)),
                 }
@@ -1264,7 +1552,7 @@ impl Campaign {
             let mut followers: Vec<(usize, Strategy, usize)> = Vec::new();
             for (i, s) in pending {
                 if let Some(outcome) = inert_outcome(&shared, &s) {
-                    on_outcome(&outcome);
+                    on_outcome(&outcome, None);
                     round[i] = Some(outcome);
                     continue;
                 }
@@ -1281,9 +1569,28 @@ impl Campaign {
             }
             let batch_span = observe::span(config.observer.as_ref(), "phase.batch", 0);
             let (indices, batch): (Vec<usize>, Vec<Strategy>) = to_run.into_iter().unzip();
+            // Segment prefetch: outcomes a crashed run's workers already
+            // evaluated replay through the batch machinery (admission,
+            // journal, counter fold) at their exact index position instead
+            // of running again — full-strategy identity is required, like
+            // journal reuse, so a stale segment entry re-runs.
+            let pre: Vec<Option<SegmentEntry>> = batch
+                .iter()
+                .map(|s| match prefetch.remove(&s.id) {
+                    Some(entry) if entry.outcome.strategy == *s => Some(entry),
+                    _ => None,
+                })
+                .collect();
             let ran = match pool.as_mut().filter(|p| p.live() > 0) {
-                Some(pool) => run_batch_sharded(&shared, &ledger, batch, pool, &on_outcome),
-                None => run_batch(&shared, &ledger, batch, config.parallelism, &on_outcome),
+                Some(pool) => run_batch_sharded(&shared, &ledger, batch, pre, pool, &on_outcome),
+                None => run_batch(
+                    &shared,
+                    &ledger,
+                    batch,
+                    pre,
+                    config.parallelism,
+                    &on_outcome,
+                ),
             };
             for (i, outcome) in indices.into_iter().zip(ran) {
                 round[i] = Some(outcome);
@@ -1307,7 +1614,7 @@ impl Campaign {
                 } else {
                     materialize_class_member(rep_outcome, s)
                 };
-                on_outcome(&outcome);
+                on_outcome(&outcome, None);
                 round[i] = Some(outcome);
             }
             drop(batch_span);
@@ -1345,6 +1652,12 @@ impl Campaign {
                     .expect("journal errors require a journal"),
                 source,
             });
+        }
+
+        // A completed campaign owes nothing to its segments: every
+        // outcome (prefetched ones included) is in the journal now.
+        if let Some(dir) = &seg_dir {
+            segment::clear_dir(dir);
         }
 
         // Classify and cluster the true attack strategies.
@@ -1983,13 +2296,56 @@ impl WorkerClock {
 /// has been admitted, so admission (memo-marker assignment, cache insert,
 /// store append) and journaling happen strictly in strategy-index order at
 /// any worker count — exactly the sequence a single worker would produce.
+/// Entries carry the worker counter deltas to fold at admission (`None`
+/// for outcomes evaluated in this process, whose counters reached the
+/// observer directly).
 struct ReleaseState {
     /// The next strategy index to admit.
     next: usize,
     /// Outcomes evaluated ahead of `next`, keyed by index.
-    pending: BTreeMap<usize, StrategyOutcome>,
+    pending: BTreeMap<usize, PendingOutcome>,
     /// Admitted outcomes, in index order.
     done: Vec<StrategyOutcome>,
+}
+
+/// An outcome paired with the worker counter deltas it arrived with
+/// (`None` for outcomes evaluated in this process, whose counters reached
+/// the observer directly).
+type PendingOutcome = (StrategyOutcome, Option<Vec<(String, u64)>>);
+
+/// Admission callback threaded through the batch runtimes: the admitted
+/// outcome plus its worker counter deltas, if any.
+type OnOutcome<'a> = &'a (dyn Fn(&StrategyOutcome, Option<&[(String, u64)]>) + Sync);
+
+/// An outcome a shard (or a segment prefetch) delivered, with the worker
+/// counter deltas that rode along with it.
+type DeliveredOutcome = (StrategyOutcome, Vec<(String, u64)>);
+
+/// Admits the contiguous ready prefix of the release buffer: fold the
+/// entry's counter deltas (segment-prefetched outcomes carry the crashed
+/// run's worker tallies), assign memo markers through the ledger, journal.
+fn drain_release(
+    state: &mut ReleaseState,
+    shared: &Shared,
+    ledger: &Mutex<MemoLedger>,
+    on_outcome: OnOutcome<'_>,
+) {
+    loop {
+        let turn = state.next;
+        let Some((mut outcome, counters)) = state.pending.remove(&turn) else {
+            break;
+        };
+        if let Some(counters) = &counters {
+            fold_worker_counters(shared, counters);
+        }
+        ledger
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .admit(&mut outcome);
+        on_outcome(&outcome, counters.as_deref());
+        state.done.push(outcome);
+        state.next += 1;
+    }
 }
 
 /// Runs a batch of strategies across `parallelism` worker threads — the
@@ -1999,12 +2355,17 @@ struct ReleaseState {
 /// been, so a killed process loses at most the runs that were still in
 /// flight or held back by one — and the journal is always an index-order
 /// prefix of the batch.
+///
+/// `pre` holds segment-prefetched outcomes (from a crashed sharded run)
+/// positionally: a `Some` index is never evaluated, its outcome replays
+/// through the identical admission sequence instead.
 fn run_batch(
     shared: &Shared,
     ledger: &Mutex<MemoLedger>,
     strategies: Vec<Strategy>,
+    pre: Vec<Option<SegmentEntry>>,
     parallelism: usize,
-    on_outcome: &(dyn Fn(&StrategyOutcome) + Sync),
+    on_outcome: OnOutcome<'_>,
 ) -> Vec<StrategyOutcome> {
     let n = strategies.len();
     if n == 0 {
@@ -2015,15 +2376,22 @@ fn run_batch(
     let workers = parallelism.clamp(1, n);
     if workers == 1 {
         let mut clock = WorkerClock::start(enabled);
+        let mut pre = pre.into_iter();
         let out = strategies
             .into_iter()
             .map(|s| {
-                let mut outcome = clock.time(|| evaluate_watched(shared, s));
+                let (mut outcome, counters) = match pre.next().flatten() {
+                    Some(entry) => (entry.outcome, Some(entry.counters)),
+                    None => (clock.time(|| evaluate_watched(shared, s)), None),
+                };
+                if let Some(counters) = &counters {
+                    fold_worker_counters(shared, counters);
+                }
                 ledger
                     .lock()
                     .unwrap_or_else(|e| e.into_inner())
                     .admit(&mut outcome);
-                on_outcome(&outcome);
+                on_outcome(&outcome, counters.as_deref());
                 outcome
             })
             .collect();
@@ -2038,12 +2406,27 @@ fn run_batch(
     // parallel; only the cheap admission step is serialized. Lock order
     // is always release → ledger → journal.
     let jobs = &strategies[..];
+    let prefetched: Vec<bool> = pre.iter().map(Option::is_some).collect();
+    let mut seeded: BTreeMap<usize, PendingOutcome> = BTreeMap::new();
+    for (i, entry) in pre.into_iter().enumerate() {
+        if let Some(entry) = entry {
+            seeded.insert(i, (entry.outcome, Some(entry.counters)));
+        }
+    }
     let next = AtomicUsize::new(0);
     let release = Mutex::new(ReleaseState {
         next: 0,
-        pending: BTreeMap::new(),
+        pending: seeded,
         done: Vec::with_capacity(n),
     });
+    // A fully prefetched prefix (or batch) must admit even if no worker
+    // ever inserts ahead of it.
+    drain_release(
+        &mut release.lock().unwrap_or_else(|e| e.into_inner()),
+        shared,
+        ledger,
+        on_outcome,
+    );
     std::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| {
@@ -2051,22 +2434,13 @@ fn run_batch(
                 loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     let Some(strategy) = jobs.get(i) else { break };
+                    if prefetched[i] {
+                        continue;
+                    }
                     let outcome = clock.time(|| evaluate_watched(shared, strategy.clone()));
                     let mut state = release.lock().unwrap_or_else(|e| e.into_inner());
-                    state.pending.insert(i, outcome);
-                    loop {
-                        let turn = state.next;
-                        let Some(mut outcome) = state.pending.remove(&turn) else {
-                            break;
-                        };
-                        ledger
-                            .lock()
-                            .unwrap_or_else(|e| e.into_inner())
-                            .admit(&mut outcome);
-                        on_outcome(&outcome);
-                        state.done.push(outcome);
-                        state.next += 1;
-                    }
+                    state.pending.insert(i, (outcome, None));
+                    drain_release(&mut state, shared, ledger, on_outcome);
                 }
                 clock.finish(observer);
             });
@@ -2144,28 +2518,54 @@ fn requeue_outstanding(
 /// id that does not match) is killed and its unfinished indices are
 /// re-dispatched. If every shard dies mid-batch the controller finishes
 /// the remainder in-process — results identical, only slower.
+///
+/// `pre` seeds `received` with segment-prefetched outcomes from a crashed
+/// run: those indices are never dispatched (the queue covers only the
+/// gaps), yet they admit at their exact position with the crashed run's
+/// worker counter deltas — so a resumed campaign re-evaluates nothing and
+/// still produces byte-identical output.
 fn run_batch_sharded(
     shared: &Shared,
     ledger: &Mutex<MemoLedger>,
     strategies: Vec<Strategy>,
+    pre: Vec<Option<SegmentEntry>>,
     pool: &mut ShardPool,
-    on_outcome: &(dyn Fn(&StrategyOutcome) + Sync),
+    on_outcome: OnOutcome<'_>,
 ) -> Vec<StrategyOutcome> {
     let n = strategies.len();
     if n == 0 {
         return Vec::new();
     }
-    let chunk = n.div_ceil(pool.live().max(1) * 4).max(1);
-    let mut queue: std::collections::VecDeque<(usize, usize)> = (0..n)
-        .step_by(chunk)
-        .map(|start| (start, chunk.min(n - start)))
+    let mut received: Vec<Option<DeliveredOutcome>> = pre
+        .into_iter()
+        .map(|entry| entry.map(|e| (e.outcome, e.counters)))
         .collect();
+    let mut got = received.iter().filter(|slot| slot.is_some()).count();
+    let chunk = n.div_ceil(pool.live().max(1) * 4).max(1);
+    // Queue only the gaps between prefetched outcomes, as contiguous
+    // ranges cut to chunk size (the `n` sentinel closes a trailing run).
+    let mut queue: std::collections::VecDeque<(usize, usize)> = Default::default();
+    let mut run_start: Option<usize> = None;
+    for i in 0..=n {
+        let needs_eval = received.get(i).is_some_and(Option::is_none);
+        match (run_start, needs_eval) {
+            (None, true) => run_start = Some(i),
+            (Some(start), false) => {
+                let mut cursor = start;
+                while cursor < i {
+                    let len = chunk.min(i - cursor);
+                    queue.push_back((cursor, len));
+                    cursor += len;
+                }
+                run_start = None;
+            }
+            _ => {}
+        }
+    }
     let mut outstanding: Vec<std::collections::VecDeque<usize>> =
         (0..pool.len()).map(|_| Default::default()).collect();
-    let mut received: Vec<Option<StrategyOutcome>> = (0..n).map(|_| None).collect();
     let mut done: Vec<StrategyOutcome> = Vec::with_capacity(n);
     let mut next_admit = 0usize;
-    let mut got = 0usize;
 
     let admit = |outcome: &mut StrategyOutcome| {
         ledger
@@ -2174,6 +2574,27 @@ fn run_batch_sharded(
             .admit(outcome);
     };
 
+    // Release any prefetched prefix before dispatching: its counters fold
+    // and its journal lines write exactly as an uninterrupted run's would.
+    while next_admit < n {
+        let Some((mut outcome, counters)) = received[next_admit].take() else {
+            break;
+        };
+        fold_worker_counters(shared, &counters);
+        admit(&mut outcome);
+        on_outcome(&outcome, Some(&counters));
+        done.push(outcome);
+        next_admit += 1;
+    }
+
+    // Per-shard progress deadline: heartbeats prove a worker *process* is
+    // alive (they feed the read deadline), but only outcomes prove it is
+    // *working*. A shard that holds outstanding work for a whole
+    // `shard_timeout` without delivering anything — a frame lost on the
+    // wire, an evaluation thread wedged behind a live heartbeat thread —
+    // is killed and its work re-dispatched.
+    let progress_window = shared.config.shard_timeout;
+    let mut progress: Vec<Instant> = vec![Instant::now(); pool.len()];
     while got < n {
         if pool.live() == 0 {
             break;
@@ -2189,6 +2610,7 @@ fn run_batch_sharded(
             };
             if pool.send_range(shard, start, &strategies[start..start + len]) {
                 outstanding[shard].extend(start..start + len);
+                progress[shard] = Instant::now();
             } else {
                 queue.push_front((start, len));
             }
@@ -2196,29 +2618,60 @@ fn run_batch_sharded(
         if pool.live() == 0 {
             break;
         }
-        match pool.next_event() {
-            None => {
+        match pool.next_event_timeout(progress_window) {
+            PoolWait::Idle => {
+                for shard in 0..pool.len() {
+                    if pool.is_live(shard)
+                        && !outstanding[shard].is_empty()
+                        && progress[shard].elapsed() >= progress_window
+                    {
+                        pool.kill(shard);
+                        pool.ranges_redispatched +=
+                            requeue_outstanding(&mut queue, &mut outstanding[shard]);
+                        pool.try_reconnect(shard, &shared.config);
+                    }
+                }
+            }
+            PoolWait::Closed => {
                 // Every reader thread is gone; nothing further can arrive.
                 for shard in 0..pool.len() {
                     pool.kill(shard);
                 }
                 break;
             }
-            Some(ShardEvent::Dead { shard }) => {
+            PoolWait::Event(ShardEvent::Dead {
+                shard,
+                generation,
+                timed_out,
+            }) => {
+                // Gate on generation alone, NOT liveness: a failed
+                // `send_range` kills the link without draining its
+                // outstanding indices (the Dead event owns that), so a
+                // Dead for the *current* generation must still requeue
+                // even when the slot was already killed. Only a retired
+                // generation's reader winding down is stale.
+                if generation != pool.generation(shard) {
+                    continue;
+                }
+                if timed_out {
+                    pool.heartbeats_missed += 1;
+                }
                 pool.kill(shard);
                 pool.ranges_redispatched +=
                     requeue_outstanding(&mut queue, &mut outstanding[shard]);
+                pool.try_reconnect(shard, &shared.config);
             }
-            Some(ShardEvent::Outcome {
+            PoolWait::Event(ShardEvent::Outcome {
                 shard,
+                generation,
                 index,
                 busy_nanos,
                 counters,
                 outcome,
             }) => {
-                if !pool.is_live(shard) {
-                    // Late traffic from a shard already declared dead; its
-                    // indices were re-queued, so this result is stale.
+                if generation != pool.generation(shard) || !pool.is_live(shard) {
+                    // Late traffic from a connection already declared dead;
+                    // its indices were re-queued, so this result is stale.
                     continue;
                 }
                 let in_contract = outstanding[shard].front() == Some(&index)
@@ -2230,20 +2683,24 @@ fn run_batch_sharded(
                     pool.kill(shard);
                     pool.ranges_redispatched +=
                         requeue_outstanding(&mut queue, &mut outstanding[shard]);
+                    pool.try_reconnect(shard, &shared.config);
                     continue;
                 }
                 outstanding[shard].pop_front();
+                progress[shard] = Instant::now();
                 pool.record_busy(shard, busy_nanos);
-                fold_worker_counters(shared, &counters);
-                received[index] = Some(*outcome);
+                received[index] = Some((*outcome, counters));
                 got += 1;
-                // Admission drain: release the contiguous prefix.
+                // Admission drain: release the contiguous prefix. Counters
+                // fold here, not at receipt, so a stale result that never
+                // admits never skews the observer either.
                 while next_admit < n {
-                    let Some(mut outcome) = received[next_admit].take() else {
+                    let Some((mut outcome, counters)) = received[next_admit].take() else {
                         break;
                     };
+                    fold_worker_counters(shared, &counters);
                     admit(&mut outcome);
-                    on_outcome(&outcome);
+                    on_outcome(&outcome, Some(&counters));
                     done.push(outcome);
                     next_admit += 1;
                 }
@@ -2255,12 +2712,15 @@ fn run_batch_sharded(
     // whole batch when the pool died at launch, the tail when it died
     // mid-run. Already-received outcomes are reused, not re-run.
     for index in next_admit..n {
-        let mut outcome = match received[index].take() {
-            Some(outcome) => outcome,
-            None => evaluate_watched(shared, strategies[index].clone()),
+        let (mut outcome, counters) = match received[index].take() {
+            Some((outcome, counters)) => (outcome, Some(counters)),
+            None => (evaluate_watched(shared, strategies[index].clone()), None),
         };
+        if let Some(counters) = &counters {
+            fold_worker_counters(shared, counters);
+        }
         admit(&mut outcome);
-        on_outcome(&outcome);
+        on_outcome(&outcome, counters.as_deref());
         done.push(outcome);
     }
     done

@@ -360,6 +360,32 @@ impl FromJson for JournalHeader {
     }
 }
 
+/// Encodes worker counter deltas as a JSON object (`name -> count`), the
+/// shape they travel in on the shard wire, in journal outcome lines, and
+/// in journal segments.
+pub(crate) fn counters_json(counters: &[(String, u64)]) -> Value {
+    Value::Obj(
+        counters
+            .iter()
+            .map(|(k, v)| (k.clone(), Value::U64(*v)))
+            .collect(),
+    )
+}
+
+/// Decodes a counters object back into pairs. Tolerant by design: a
+/// missing or malformed field is an empty delta (journals written before
+/// counters existed have no field at all), and non-numeric entries are
+/// dropped rather than poisoning the line.
+pub(crate) fn decode_counters(value: Option<&Value>) -> Vec<(String, u64)> {
+    match value {
+        Some(Value::Obj(pairs)) => pairs
+            .iter()
+            .filter_map(|(k, v)| v.as_u64().map(|n| (k.clone(), n)))
+            .collect(),
+        _ => Vec::new(),
+    }
+}
+
 /// FNV-1a 64-bit hash of a line's JSON payload — the per-line checksum.
 /// Small, dependency-free, and plenty for detecting torn or bit-rotted
 /// lines (this guards against accidents, not adversaries). Shared with the
@@ -455,10 +481,42 @@ impl JournalWriter {
 
     /// Appends one outcome as a single checksummed JSONL line and flushes.
     pub fn record(&mut self, outcome: &StrategyOutcome) -> io::Result<()> {
-        let line = checksummed_line(&outcome.to_json().to_string_compact());
+        self.record_with_counters(outcome, &[])
+    }
+
+    /// Like [`record`](JournalWriter::record), additionally embedding the
+    /// worker counter deltas the outcome's evaluation produced (sharded
+    /// campaigns receive them over the wire). On resume the deltas are
+    /// re-folded into the observer, so a resumed sharded run's manifest
+    /// counters match the uninterrupted run's exactly instead of missing
+    /// every reused outcome's contribution. An empty slice writes the
+    /// classic line with no `counters` field; readers that predate the
+    /// field ignore it ([`StrategyOutcome`]'s decoder skips unknown keys).
+    pub fn record_with_counters(
+        &mut self,
+        outcome: &StrategyOutcome,
+        counters: &[(String, u64)],
+    ) -> io::Result<()> {
+        let mut json = outcome.to_json();
+        if !counters.is_empty() {
+            if let Value::Obj(pairs) = &mut json {
+                pairs.push(("counters".to_owned(), counters_json(counters)));
+            }
+        }
+        let line = checksummed_line(&json.to_string_compact());
         self.file.write_all(line.as_bytes())?;
         self.file.flush()
     }
+}
+
+/// One journal outcome line read back with its embedded worker counter
+/// deltas (empty for lines written without any).
+#[derive(Debug)]
+pub struct JournalEntry {
+    /// The recorded outcome.
+    pub outcome: StrategyOutcome,
+    /// Worker counter deltas embedded alongside it, if any.
+    pub counters: Vec<(String, u64)>,
 }
 
 /// A journal read back from disk.
@@ -491,7 +549,7 @@ pub struct JournalReader {
     header: Option<JournalHeader>,
     /// An outcome sitting at raw line 0 (a headerless journal), decoded
     /// during `open` and handed out by the first `next_outcome` call.
-    pending: Option<Box<StrategyOutcome>>,
+    pending: Option<Box<JournalEntry>>,
     malformed_lines: usize,
 }
 
@@ -547,6 +605,13 @@ impl JournalReader {
     /// Returns the next well-formed outcome, or `None` at end of file.
     /// I/O errors abort; damaged lines are skipped and counted.
     pub fn next_outcome(&mut self) -> io::Result<Option<StrategyOutcome>> {
+        Ok(self.next_entry()?.map(|entry| entry.outcome))
+    }
+
+    /// Like [`next_outcome`](JournalReader::next_outcome), but keeps the
+    /// worker counter deltas embedded in the line (empty for lines
+    /// written without any), so resuming campaigns can re-fold them.
+    pub fn next_entry(&mut self) -> io::Result<Option<JournalEntry>> {
         if let Some(pending) = self.pending.take() {
             return Ok(Some(*pending));
         }
@@ -556,7 +621,7 @@ impl JournalReader {
                 return Ok(None);
             };
             match self.classify(&line, index) {
-                Classified::Outcome(outcome) => return Ok(Some(*outcome)),
+                Classified::Outcome(entry) => return Ok(Some(*entry)),
                 Classified::Header(_) | Classified::Skipped => {}
             }
         }
@@ -601,7 +666,10 @@ impl JournalReader {
                 }
             },
             Ok("outcome") => match StrategyOutcome::from_json(&parsed) {
-                Ok(outcome) => Classified::Outcome(Box::new(outcome)),
+                Ok(outcome) => Classified::Outcome(Box::new(JournalEntry {
+                    outcome,
+                    counters: decode_counters(parsed.get("counters")),
+                })),
                 Err(_) => {
                     self.malformed_lines += 1;
                     Classified::Skipped
@@ -617,7 +685,7 @@ impl JournalReader {
 
 enum Classified {
     Header(JournalHeader),
-    Outcome(Box<StrategyOutcome>),
+    Outcome(Box<JournalEntry>),
     Skipped,
 }
 
@@ -731,6 +799,30 @@ mod tests {
         let loaded = load(&path).unwrap();
         assert_eq!(loaded.outcomes.len(), 1);
         assert_eq!(loaded.malformed_lines, 1);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn counters_roundtrip_through_the_journal() {
+        let path = temp_path("counters");
+        let header = header("x", 1);
+        let mut w = JournalWriter::create(&path, &header).unwrap();
+        w.record_with_counters(&outcome(1), &[("exec.runs.from_scratch".into(), 3)])
+            .unwrap();
+        w.record(&outcome(2)).unwrap();
+        drop(w);
+        let mut r = JournalReader::open(&path).unwrap();
+        let first = r.next_entry().unwrap().expect("first entry");
+        assert_eq!(first.outcome, outcome(1));
+        assert_eq!(
+            first.counters,
+            vec![("exec.runs.from_scratch".to_owned(), 3)]
+        );
+        let second = r.next_entry().unwrap().expect("second entry");
+        assert_eq!(second.outcome, outcome(2));
+        assert!(second.counters.is_empty(), "no field decodes as no deltas");
+        assert!(r.next_entry().unwrap().is_none());
+        assert_eq!(r.malformed_lines(), 0);
         std::fs::remove_file(&path).ok();
     }
 

@@ -46,10 +46,12 @@ pub fn build_run_manifest(
     manifest
 }
 
-/// Per-shard execution tallies, present only when the campaign ran with
-/// `--shards`. Like `timing`, this section is nondeterministic: busy/idle
-/// time and the dispatched/re-dispatched range split depend on process
-/// scheduling, so manifest-comparing consumers strip it alongside `timing`.
+/// Per-shard execution and crash-recovery tallies, present only when the
+/// campaign ran with `--shards`. Like `timing`, this section is
+/// nondeterministic: busy/idle time, the dispatched/re-dispatched range
+/// split, heartbeat and reconnect counts, and segment activity all depend
+/// on process scheduling, so manifest-comparing consumers strip it
+/// alongside `timing`.
 fn shards_section(snapshot: &RecorderSnapshot) -> Value {
     let histogram = |name: &str| {
         snapshot
@@ -70,6 +72,30 @@ fn shards_section(snapshot: &RecorderSnapshot) -> Value {
         (
             "outcome_batches",
             Value::U64(snapshot.counter("shard.outcome_batches")),
+        ),
+        (
+            "heartbeats_sent",
+            Value::U64(snapshot.counter("shard.heartbeat.sent")),
+        ),
+        (
+            "heartbeats_missed",
+            Value::U64(snapshot.counter("shard.heartbeat.missed")),
+        ),
+        (
+            "reconnects",
+            Value::U64(snapshot.counter("shard.reconnects")),
+        ),
+        (
+            "segments_written",
+            Value::U64(snapshot.counter("shard.segments.written")),
+        ),
+        (
+            "segments_merged",
+            Value::U64(snapshot.counter("shard.segments.merged")),
+        ),
+        (
+            "segments_discarded",
+            Value::U64(snapshot.counter("shard.segments.discarded")),
         ),
         ("busy_nanos", histogram("shard.busy_nanos")),
         ("idle_nanos", histogram("shard.idle_nanos")),

@@ -46,6 +46,19 @@
 //! than cold ones. Buffering keeps the one-line-per-write invariant for
 //! concurrent appenders: whole lines are handed to the writer, and a
 //! flush emits complete buffered lines.
+//!
+//! # Crash tolerance
+//!
+//! A campaign killed mid-run (including the controller-kill chaos fault)
+//! can leave the store missing entries it would otherwise have appended —
+//! never wrong ones, thanks to the checksum framing. The resumed campaign
+//! replays every admitted outcome through the same admission path
+//! (journal reuse and worker journal segments, see the `segment` module),
+//! so missing entries are simply re-appended; entries the crashed run
+//! *did* persist dedupe through first-occurrence-wins on load. The
+//! [`StoreScope`]'s scenario digest is the same value the segment headers
+//! gate on, so a store and a segment directory can never disagree about
+//! which scenario produced them.
 
 use std::fs::{self, File, OpenOptions};
 use std::io::{self, BufRead, BufReader, BufWriter, Write};

@@ -46,13 +46,46 @@
 //! buffer the in-process thread pool uses, so TSV, manifest and memo
 //! markers are bit-identical at any shard count — including zero, the
 //! in-process fallback the controller degrades to when every shard dies.
+//!
+//! # Supervision and crash tolerance
+//!
+//! Three layers distinguish a slow worker from a dead one and keep a long
+//! campaign's results intact through the whole failure matrix:
+//!
+//! * **Heartbeats + read deadlines** — after the handshake each worker
+//!   runs a heartbeat thread that writes a `heartbeat` frame every
+//!   `--heartbeat` interval, even while its main thread is deep inside an
+//!   evaluation. The controller keeps a per-connection read deadline
+//!   (`--shard-timeout`) armed on every read, so a hung or partitioned
+//!   worker — one that stops producing *any* frames — is declared dead
+//!   within one deadline, while an arbitrarily slow evaluation stays alive
+//!   as long as heartbeats flow. A deadline death re-dispatches the
+//!   shard's outstanding indices exactly like a closed connection.
+//! * **Journal segments** — when the campaign has a journal, each worker
+//!   also appends every evaluated outcome to a private checksummed
+//!   segment file (see `segment.rs`). A *controller* crash therefore
+//!   resumes by merging segments instead of re-evaluating in-flight
+//!   ranges: the journal holds what was admitted, the segments hold what
+//!   was evaluated but still on the wire.
+//! * **Bounded reconnect** — a spawned worker that dies is replaced: the
+//!   controller re-spawns and re-handshakes the slot (fresh generation,
+//!   fresh segment file) with exponential backoff plus deterministic
+//!   jitter, a bounded number of times per slot. Events are
+//!   generation-tagged so a retired connection's stale traffic can never
+//!   reach admission.
+//!
+//! Wire-level chaos (dropped/truncated/corrupted/delayed outcome frames,
+//! worker hangs) is injected deterministically on the controller's read
+//! path under [`ChaosPlan`](crate::campaign::ChaosPlan) control, so the
+//! whole recovery matrix above is exercised by seeded tests.
 
 use std::collections::BTreeMap;
 use std::env;
 use std::io::{self, BufRead, BufReader, BufWriter, Write};
 use std::net::{Shutdown, TcpListener, TcpStream};
+use std::path::{Path, PathBuf};
 use std::process::{Child, Command, Stdio};
-use std::sync::atomic::AtomicUsize;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -68,27 +101,47 @@ use snake_proxy::Strategy;
 use snake_tcp::{AbortStyle, InvalidFlagPolicy, Profile};
 
 use crate::campaign::{
-    build_envelope, evaluate_watched, CampaignConfig, SharedCtx, StrategyOutcome,
+    build_envelope, evaluate_watched, CampaignConfig, ChaosPlan, SharedCtx, StrategyOutcome,
 };
 use crate::detect::baseline_valid;
-use crate::journal::{checksummed_line, verify_line};
+use crate::journal::{checksummed_line, counters_json, verify_line};
 use crate::memostore::scenario_digest;
 use crate::scenario::{
     ExecutorOptions, FlowGroup, FlowRole, PlannedExecutor, ProtocolKind, ScenarioSpec, TopologySpec,
 };
+use crate::segment::{segment_file, SegmentWriter};
 use crate::strategen::GenerationParams;
 
 /// Wire protocol version; bumped whenever a message shape changes. A
-/// worker refuses a `hello` carrying any other version.
-pub(crate) const WIRE_VERSION: u64 = 2;
+/// worker refuses a `hello` carrying any other version. Version 3 added
+/// heartbeats, journal-segment paths and the worker-hang chaos knob.
+pub(crate) const WIRE_VERSION: u64 = 3;
 
 /// Exit code a worker uses when the `SNAKE_SHARD_EXIT_AFTER` test hook
 /// fires (distinguishable from a panic's 101 in test assertions).
 const EXIT_AFTER_CODE: i32 = 17;
 
-/// How long the controller waits for spawned workers to connect and for
-/// each handshake read before declaring the shard dead.
-const HANDSHAKE_TIMEOUT: Duration = Duration::from_secs(10);
+/// Default `--shard-timeout`: the per-read deadline on every shard
+/// connection — worker connect/handshake *and* mid-evaluation reads. A
+/// healthy worker is never silent longer than its heartbeat interval, so
+/// this only fires for a hung, partitioned or dead peer.
+pub(crate) const DEFAULT_SHARD_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Default `--heartbeat`: how often a worker proves liveness while its
+/// main thread is busy evaluating.
+pub(crate) const DEFAULT_HEARTBEAT: Duration = Duration::from_secs(2);
+
+/// Worker-side connect retry budget against a controller that is not up
+/// yet (or briefly unreachable): attempts and the first backoff, doubled
+/// per retry.
+const CONNECT_ATTEMPTS: u32 = 5;
+const CONNECT_BACKOFF: Duration = Duration::from_millis(200);
+
+/// Controller-side replacement budget per shard slot: how many times a
+/// dead spawned worker is re-spawned and re-handshaked, and the first
+/// backoff (doubled per attempt, plus deterministic jitter).
+const RECONNECT_ATTEMPTS: u64 = 2;
+const RECONNECT_BACKOFF: Duration = Duration::from_millis(100);
 
 /// How long `finish` waits for a worker process to exit after the
 /// shutdown message before killing it.
@@ -120,6 +173,8 @@ const WORKER_COUNTERS: &[&str] = &[
     "netsim.impair.reordered",
     "netsim.impair.flap_dropped",
     "shard.outcome_batches",
+    "shard.heartbeat.sent",
+    "shard.segments.written",
     "campaign.escalated",
     "campaign.stalls",
     "campaign.stall_retries",
@@ -565,9 +620,24 @@ struct WorkerJob {
     deadline: Option<Duration>,
     stall_retries: usize,
     stall_backoff: Duration,
+    /// How often the worker's heartbeat thread proves liveness.
+    heartbeat: Duration,
+    /// Journal-segment file to append evaluated outcomes to, when the
+    /// campaign has a journal (crash-tolerant resume; see `segment.rs`).
+    segment: Option<PathBuf>,
+    /// Chaos: stop heartbeating and hang forever after this many
+    /// outcomes, so the controller's read deadline is exercised.
+    hang_after: Option<u64>,
 }
 
-fn encode_hello(shard: usize, digest: u64, config: &CampaignConfig, memoize: bool) -> Value {
+fn encode_hello(
+    shard: usize,
+    digest: u64,
+    config: &CampaignConfig,
+    memoize: bool,
+    segment: Option<&Path>,
+    hang_after: Option<u64>,
+) -> Value {
     obj([
         ("type", Value::Str("hello".to_owned())),
         ("version", Value::U64(WIRE_VERSION)),
@@ -591,6 +661,24 @@ fn encode_hello(shard: usize, digest: u64, config: &CampaignConfig, memoize: boo
             "stall_backoff_nanos",
             Value::U64(config.stall_backoff.as_nanos() as u64),
         ),
+        (
+            "heartbeat_nanos",
+            Value::U64(config.heartbeat.as_nanos() as u64),
+        ),
+        (
+            "segment",
+            match segment {
+                None => Value::Null,
+                Some(path) => Value::Str(path.to_string_lossy().into_owned()),
+            },
+        ),
+        (
+            "hang_after",
+            match hang_after {
+                None => Value::Null,
+                Some(count) => Value::U64(count),
+            },
+        ),
     ])
 }
 
@@ -607,6 +695,19 @@ fn decode_hello(message: &Value) -> Result<WorkerJob, JsonError> {
             JsonError::decode("deadline_nanos: expected integer")
         })?)),
     };
+    let segment = match message.req("segment")? {
+        Value::Null => None,
+        Value::Str(path) => Some(PathBuf::from(path)),
+        _ => return Err(JsonError::decode("segment: expected string or null")),
+    };
+    let hang_after = match message.req("hang_after")? {
+        Value::Null => None,
+        count => Some(
+            count
+                .as_u64()
+                .ok_or_else(|| JsonError::decode("hang_after: expected integer"))?,
+        ),
+    };
     Ok(WorkerJob {
         shard: message.req_u64("shard")?,
         digest: message.req_u64("digest")?,
@@ -619,6 +720,9 @@ fn decode_hello(message: &Value) -> Result<WorkerJob, JsonError> {
         deadline,
         stall_retries: decode_usize(message, "stall_retries")?,
         stall_backoff: Duration::from_nanos(message.req_u64("stall_backoff_nanos")?),
+        heartbeat: Duration::from_nanos(message.req_u64("heartbeat_nanos")?),
+        segment,
+        hang_after,
     })
 }
 
@@ -667,20 +771,60 @@ fn exit_after_hook(shard: u64) -> Option<u64> {
     }
 }
 
+/// Connects to a shard controller with bounded retries and exponential
+/// backoff, so a worker started moments before (or moments after a
+/// controller restart) does not fail instantly on a transient refusal.
+/// The final error message is stable — `could not connect to controller
+/// at <addr> after <n> attempt(s) over <t>ms: <cause>` — and carries the
+/// last underlying error's kind, so scripts and tests can match on it.
+pub fn connect_with_backoff(
+    addr: &str,
+    attempts: u32,
+    first_backoff: Duration,
+) -> io::Result<TcpStream> {
+    let started = Instant::now();
+    let mut backoff = first_backoff;
+    let mut last: Option<io::Error> = None;
+    for attempt in 0..attempts {
+        if attempt > 0 {
+            std::thread::sleep(backoff);
+            backoff = backoff.saturating_mul(2);
+        }
+        match TcpStream::connect(addr) {
+            Ok(stream) => return Ok(stream),
+            Err(err) => last = Some(err),
+        }
+    }
+    let kind = last
+        .as_ref()
+        .map_or(io::ErrorKind::NotConnected, io::Error::kind);
+    let detail = last.map_or_else(|| "no attempt was made".to_owned(), |err| err.to_string());
+    Err(io::Error::new(
+        kind,
+        format!(
+            "could not connect to controller at {addr} after {attempts} attempt(s) over {}ms: {detail}",
+            started.elapsed().as_millis()
+        ),
+    ))
+}
+
 /// Runs the `snake shard-worker` loop: connect to the controller at
-/// `addr`, handshake, evaluate the strategy ranges it sends, and stream
-/// back one `outcome` message per strategy. Returns when the controller
-/// sends `shutdown` or closes the connection.
+/// `addr` (with bounded retries), handshake, evaluate the strategy ranges
+/// it sends, and stream back one `outcome` message per strategy — while a
+/// heartbeat thread proves liveness and, when the campaign has a journal,
+/// every evaluated outcome is also appended to this worker's journal
+/// segment. Returns when the controller sends `shutdown` or closes the
+/// connection.
 ///
-/// The worker is stateless between ranges and owns no campaign artifacts:
-/// no journal, no memo store, no verdict ledger. If it dies mid-range the
-/// controller re-dispatches the unfinished indices elsewhere, and
-/// already-admitted outcomes are never re-run.
+/// The worker is stateless between ranges and owns no campaign artifacts
+/// beyond its segment file: no journal, no memo store, no verdict ledger.
+/// If it dies mid-range the controller re-dispatches the unfinished
+/// indices elsewhere, and already-admitted outcomes are never re-run.
 pub fn run_shard_worker(addr: &str) -> io::Result<()> {
-    let stream = TcpStream::connect(addr)?;
+    let stream = connect_with_backoff(addr, CONNECT_ATTEMPTS, CONNECT_BACKOFF)?;
     stream.set_nodelay(true).ok();
     let mut reader = BufReader::new(stream.try_clone()?);
-    let mut writer = BufWriter::new(stream);
+    let writer = Arc::new(Mutex::new(BufWriter::new(stream)));
 
     let hello = read_message(&mut reader)?
         .ok_or_else(|| protocol_err("controller closed the connection before hello"))?;
@@ -696,7 +840,7 @@ pub fn run_shard_worker(addr: &str) -> io::Result<()> {
             ("type", Value::Str("ready".to_owned())),
             ("digest", Value::U64(digest)),
         ]);
-        write_line(&mut writer, &ready)?;
+        write_line(&mut *writer.lock().unwrap(), &ready)?;
         return Err(protocol_err(format!(
             "scenario digest mismatch: controller sent {:016x}, decoded spec hashes to {digest:016x}",
             job.digest
@@ -763,6 +907,9 @@ pub fn run_shard_worker(addr: &str) -> io::Result<()> {
         shards: 0,
         shard_listen: None,
         shard_worker_bin: None,
+        shard_timeout: DEFAULT_SHARD_TIMEOUT,
+        heartbeat: job.heartbeat,
+        insecure_bind: false,
     };
     let shared = Arc::new(SharedCtx {
         exec,
@@ -780,74 +927,177 @@ pub fn run_shard_worker(addr: &str) -> io::Result<()> {
     // rather than double-reporting.
     accumulator.drain();
 
+    // Open this connection's journal segment (best effort: a worker that
+    // cannot write segments still evaluates correctly; only
+    // controller-crash recovery loses precision, never correctness).
+    let mut segment = job.segment.as_ref().and_then(|path| {
+        match SegmentWriter::create(path, job.shard, digest, job.memoize) {
+            Ok(writer) => Some(writer),
+            Err(err) => {
+                eprintln!(
+                    "snake: shard {} cannot write its journal segment {path:?}: {err}",
+                    job.shard
+                );
+                None
+            }
+        }
+    });
+
     let ready = obj([
         ("type", Value::Str("ready".to_owned())),
         ("digest", Value::U64(digest)),
     ]);
-    write_line(&mut writer, &ready)?;
+    write_line(&mut *writer.lock().unwrap(), &ready)?;
+
+    // Heartbeat thread: proves liveness to the controller's read deadline
+    // while the main thread is deep inside an evaluation. It shares the
+    // framed writer under the mutex, so a heartbeat can never tear an
+    // outcome frame.
+    let stop_heartbeats = Arc::new(AtomicBool::new(false));
+    {
+        let writer = Arc::clone(&writer);
+        let stop = Arc::clone(&stop_heartbeats);
+        let accumulator = Arc::clone(&accumulator);
+        let interval = job.heartbeat.max(Duration::from_millis(1));
+        std::thread::Builder::new()
+            .name(format!("snake-shard-hb-{}", job.shard))
+            .spawn(move || loop {
+                std::thread::sleep(interval);
+                if stop.load(Ordering::Relaxed) {
+                    break;
+                }
+                let beat = obj([("type", Value::Str("heartbeat".to_owned()))]);
+                if write_line(&mut *writer.lock().unwrap(), &beat).is_err() {
+                    break;
+                }
+                accumulator.counter_add("shard.heartbeat.sent", 1);
+            })
+            .expect("spawning the heartbeat thread cannot fail");
+    }
+
     let mut sent: u64 = 0;
     if exit_after == Some(sent) {
         std::process::exit(EXIT_AFTER_CODE);
     }
 
-    while let Some(message) = read_message(&mut reader)? {
-        match message.req_str("type").map_err(decode_err)? {
-            "range" => {
-                accumulator.counter_add("shard.outcome_batches", 1);
-                let start = message.req_u64("start").map_err(decode_err)?;
-                let strategies = message
-                    .req("strategies")
-                    .map_err(decode_err)?
-                    .as_arr()
-                    .ok_or_else(|| protocol_err("range.strategies: expected array"))?;
-                for (offset, encoded) in strategies.iter().enumerate() {
-                    let strategy = Strategy::from_json(encoded).map_err(decode_err)?;
-                    let began = Instant::now();
-                    let outcome = evaluate_watched(&shared, strategy);
-                    let busy_nanos = began.elapsed().as_nanos() as u64;
-                    let counters = accumulator.drain();
-                    let counters_obj = Value::Obj(
-                        counters
+    // When the controller dies mid-campaign, range messages it already
+    // sent are still readable from the socket buffer. Those strategies
+    // are exactly what segments exist to preserve, so a broken wire stops
+    // *sending* but not evaluating-and-segment-writing; the loop then
+    // runs to EOF. Without a segment there is nothing to preserve and
+    // wire death ends the worker immediately.
+    let mut wire_ok = true;
+    let result = (|| -> io::Result<()> {
+        while let Some(message) = read_message(&mut reader)? {
+            match message.req_str("type").map_err(decode_err)? {
+                "range" => {
+                    accumulator.counter_add("shard.outcome_batches", 1);
+                    let start = message.req_u64("start").map_err(decode_err)?;
+                    let strategies = message
+                        .req("strategies")
+                        .map_err(decode_err)?
+                        .as_arr()
+                        .ok_or_else(|| protocol_err("range.strategies: expected array"))?;
+                    for (offset, encoded) in strategies.iter().enumerate() {
+                        let strategy = Strategy::from_json(encoded).map_err(decode_err)?;
+                        let began = Instant::now();
+                        let outcome = evaluate_watched(&shared, strategy);
+                        let busy_nanos = began.elapsed().as_nanos() as u64;
+                        let index = start + offset as u64;
+                        let counters: Vec<(String, u64)> = accumulator
+                            .drain()
                             .into_iter()
-                            .map(|(name, delta)| (name.to_owned(), Value::U64(delta)))
-                            .collect(),
-                    );
-                    let reply = obj([
-                        ("type", Value::Str("outcome".to_owned())),
-                        ("index", Value::U64(start + offset as u64)),
-                        ("busy_nanos", Value::U64(busy_nanos)),
-                        ("counters", counters_obj),
-                        ("outcome", outcome.to_json()),
-                    ]);
-                    queue_line(&mut writer, &reply)?;
-                    sent += 1;
-                    if exit_after == Some(sent) {
-                        // The hook simulates a worker dying *after* this
-                        // outcome reached the wire, so drain the batch
-                        // buffer before exiting.
-                        writer.flush()?;
-                        std::process::exit(EXIT_AFTER_CODE);
+                            .map(|(name, delta)| (name.to_owned(), delta))
+                            .collect();
+                        // Segment first, wire second: an outcome that
+                        // reached the controller is always recoverable
+                        // from disk, never the other way around.
+                        match segment
+                            .as_mut()
+                            .map(|seg| seg.record(index, busy_nanos, &counters, &outcome))
+                        {
+                            Some(Ok(())) => {
+                                accumulator.counter_add("shard.segments.written", 1);
+                            }
+                            Some(Err(err)) => {
+                                eprintln!(
+                                    "snake: shard {} stopped writing its journal segment: {err}",
+                                    job.shard
+                                );
+                                segment = None;
+                            }
+                            None => {}
+                        }
+                        if wire_ok {
+                            let reply = obj([
+                                ("type", Value::Str("outcome".to_owned())),
+                                ("index", Value::U64(index)),
+                                ("busy_nanos", Value::U64(busy_nanos)),
+                                ("counters", counters_json(&counters)),
+                                ("outcome", outcome.to_json()),
+                            ]);
+                            if let Err(err) = queue_line(&mut *writer.lock().unwrap(), &reply) {
+                                if segment.is_none() {
+                                    return Err(err);
+                                }
+                                wire_ok = false;
+                            }
+                        }
+                        sent += 1;
+                        if exit_after == Some(sent) {
+                            // The hook simulates a worker dying *after*
+                            // this outcome reached the wire, so drain the
+                            // batch buffer before exiting.
+                            writer.lock().unwrap().flush()?;
+                            std::process::exit(EXIT_AFTER_CODE);
+                        }
+                        if job.hang_after == Some(sent) {
+                            // Chaos: go silent without closing anything.
+                            // Heartbeats stop, the current batch stays
+                            // buffered — exactly the shape of a
+                            // livelocked worker. The controller's read
+                            // deadline must declare this shard dead; the
+                            // process is killed from outside.
+                            stop_heartbeats.store(true, Ordering::Relaxed);
+                            loop {
+                                std::thread::sleep(Duration::from_secs(60));
+                            }
+                        }
+                    }
+                    if wire_ok {
+                        if let Err(err) = writer.lock().unwrap().flush() {
+                            if segment.is_none() {
+                                return Err(err);
+                            }
+                            wire_ok = false;
+                        }
                     }
                 }
-                writer.flush()?;
+                "shutdown" => break,
+                other => return Err(protocol_err(format!("unexpected message type `{other}`"))),
             }
-            "shutdown" => break,
-            other => return Err(protocol_err(format!("unexpected message type `{other}`"))),
         }
-    }
-    Ok(())
+        Ok(())
+    })();
+    stop_heartbeats.store(true, Ordering::Relaxed);
+    result
 }
 
 // ---------------------------------------------------------------------------
 // Controller
 // ---------------------------------------------------------------------------
 
-/// One message from a shard's reader thread to the dispatcher.
+/// One message from a shard's reader thread to the dispatcher. Every
+/// event carries the connection *generation* it came from: a reconnected
+/// slot bumps its generation, so traffic from a retired connection —
+/// including its terminal `Dead` — is recognisably stale and discarded.
 pub(crate) enum ShardEvent {
     /// A worker finished one strategy.
     Outcome {
         /// Which shard produced it.
         shard: usize,
+        /// The connection generation that produced it.
+        generation: u64,
         /// Global strategy index within the batch.
         index: usize,
         /// Worker wall-clock spent evaluating, for busy/idle accounting.
@@ -857,14 +1107,37 @@ pub(crate) enum ShardEvent {
         /// The evaluated outcome, in journal encoding.
         outcome: Box<StrategyOutcome>,
     },
-    /// The shard's connection closed or produced an undecodable message.
+    /// The shard's connection is unusable: closed, undecodable, or silent
+    /// past the read deadline.
     Dead {
         /// Which shard died.
         shard: usize,
+        /// The connection generation that died.
+        generation: u64,
+        /// Whether death was a read-deadline expiry (a hung or
+        /// partitioned worker) rather than a closed/corrupt connection.
+        timed_out: bool,
     },
 }
 
-fn decode_outcome_event(shard: usize, message: &Value) -> Result<ShardEvent, JsonError> {
+/// What a bounded wait on the pool's event stream produced.
+pub(crate) enum PoolWait {
+    /// An event arrived within the deadline.
+    Event(ShardEvent),
+    /// Nothing arrived: no shard made outcome progress for the whole
+    /// window (heartbeats never reach this channel). The dispatcher
+    /// checks its per-shard progress deadlines.
+    Idle,
+    /// Every sender is gone — all reader threads exited and the pool's
+    /// own clone was dropped; nothing further can arrive.
+    Closed,
+}
+
+fn decode_outcome_event(
+    shard: usize,
+    generation: u64,
+    message: &Value,
+) -> Result<ShardEvent, JsonError> {
     if message.req_str("type")? != "outcome" {
         return Err(JsonError::decode("expected an outcome message"));
     }
@@ -885,11 +1158,44 @@ fn decode_outcome_event(shard: usize, message: &Value) -> Result<ShardEvent, Jso
     };
     Ok(ShardEvent::Outcome {
         shard,
+        generation,
         index,
         busy_nanos: message.req_u64("busy_nanos")?,
         counters,
         outcome: Box::new(StrategyOutcome::from_json(message.req("outcome")?)?),
     })
+}
+
+/// The deterministic wire-fault lane of a [`ChaosPlan`], applied on the
+/// controller's read path by outcome-frame ordinal (heartbeats are not
+/// counted — their timing is wall-clock-dependent, and chaos must stay
+/// reproducible under seed control).
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct WireFaults {
+    drop_every: Option<u64>,
+    truncate_every: Option<u64>,
+    corrupt_every: Option<u64>,
+    delay_every: Option<u64>,
+    delay: Duration,
+}
+
+impl WireFaults {
+    fn from_chaos(chaos: Option<&ChaosPlan>) -> WireFaults {
+        match chaos {
+            None => WireFaults::default(),
+            Some(plan) => WireFaults {
+                drop_every: plan.wire_drop_every,
+                truncate_every: plan.wire_truncate_every,
+                corrupt_every: plan.wire_corrupt_every,
+                delay_every: plan.wire_delay_every,
+                delay: Duration::from_millis(plan.wire_delay_ms),
+            },
+        }
+    }
+}
+
+fn fault_hits(every: Option<u64>, ordinal: u64) -> bool {
+    every.is_some_and(|n| n > 0 && ordinal.is_multiple_of(n))
 }
 
 fn shutdown_message() -> Value {
@@ -930,20 +1236,49 @@ struct ShardLink {
     busy_nanos: u64,
     /// Outcomes received from this shard.
     outcomes: u64,
+    /// Connection generation for this slot; bumped per reconnect so
+    /// retired connections' events are recognisably stale.
+    generation: u64,
+    /// Replacement attempts consumed by this slot (bounded by
+    /// [`RECONNECT_ATTEMPTS`]).
+    reconnect_attempts: u64,
 }
 
 /// The controller's set of worker processes for one campaign, plus the
 /// merged event stream their reader threads feed.
 pub(crate) struct ShardPool {
     links: Vec<ShardLink>,
+    /// Links replaced by reconnects (or that failed a reconnect
+    /// handshake), kept so their reader threads are joined and their
+    /// children reaped at teardown, and their busy tallies reported.
+    retired: Vec<ShardLink>,
     events: mpsc::Receiver<ShardEvent>,
+    /// Sender handed to reader threads; kept so reconnected readers can
+    /// be spawned after launch.
+    tx: mpsc::Sender<ShardEvent>,
     started: Instant,
     /// Shards that completed the handshake (the `shard.workers` counter).
     workers: usize,
+    /// The campaign's scenario digest (reconnect handshakes re-use it).
+    digest: u64,
+    /// The effective memoize flag the workers were handshaked with.
+    memoize: bool,
+    /// Wire-fault lane applied on every reader.
+    wire: WireFaults,
+    /// Segment directory, when the campaign journals.
+    segments: Option<PathBuf>,
+    /// Respawn context for spawned-children mode: the retained listener
+    /// and the worker binary. `None` under `--shard-listen`, where
+    /// workers are started externally and cannot be respawned.
+    respawn: Option<(TcpListener, PathBuf)>,
     /// Ranges handed to workers, including re-dispatches.
     pub(crate) ranges_dispatched: u64,
     /// Ranges re-dispatched after a shard death or protocol violation.
     pub(crate) ranges_redispatched: u64,
+    /// Shards declared dead by read-deadline expiry (hung/partitioned).
+    pub(crate) heartbeats_missed: u64,
+    /// Successful slot replacements.
+    pub(crate) reconnects: u64,
 }
 
 impl std::fmt::Debug for ShardPool {
@@ -959,21 +1294,63 @@ impl std::fmt::Debug for ShardPool {
 
 fn spawn_reader(
     shard: usize,
+    generation: u64,
     mut reader: BufReader<TcpStream>,
     tx: mpsc::Sender<ShardEvent>,
+    wire: WireFaults,
 ) -> JoinHandle<()> {
     std::thread::Builder::new()
-        .name(format!("snake-shard-rx-{shard}"))
-        .spawn(move || loop {
-            let event = match read_message(&mut reader) {
-                Ok(Some(message)) => {
-                    decode_outcome_event(shard, &message).unwrap_or(ShardEvent::Dead { shard })
-                }
-                Ok(None) | Err(_) => ShardEvent::Dead { shard },
+        .name(format!("snake-shard-rx-{shard}-g{generation}"))
+        .spawn(move || {
+            let dead = |timed_out| ShardEvent::Dead {
+                shard,
+                generation,
+                timed_out,
             };
-            let dead = matches!(event, ShardEvent::Dead { .. });
-            if tx.send(event).is_err() || dead {
-                break;
+            let mut outcomes: u64 = 0;
+            loop {
+                let event = match read_message(&mut reader) {
+                    Ok(Some(message)) => {
+                        if message.get("type").and_then(Value::as_str) == Some("heartbeat") {
+                            // Liveness proven simply by arriving before
+                            // the read deadline; nothing to dispatch.
+                            continue;
+                        }
+                        match decode_outcome_event(shard, generation, &message) {
+                            Ok(event) => {
+                                outcomes += 1;
+                                // Wire chaos, by outcome ordinal: a
+                                // truncated or corrupted frame would have
+                                // failed its checksum, which on the wire
+                                // is a protocol death; a dropped frame
+                                // simply never happened; a delayed frame
+                                // arrives late but intact.
+                                if fault_hits(wire.truncate_every, outcomes)
+                                    || fault_hits(wire.corrupt_every, outcomes)
+                                {
+                                    dead(false)
+                                } else if fault_hits(wire.drop_every, outcomes) {
+                                    continue;
+                                } else {
+                                    if fault_hits(wire.delay_every, outcomes) {
+                                        std::thread::sleep(wire.delay);
+                                    }
+                                    event
+                                }
+                            }
+                            Err(_) => dead(false),
+                        }
+                    }
+                    Ok(None) => dead(false),
+                    Err(err) => dead(matches!(
+                        err.kind(),
+                        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                    )),
+                };
+                let is_dead = matches!(event, ShardEvent::Dead { .. });
+                if tx.send(event).is_err() || is_dead {
+                    break;
+                }
             }
         })
         .expect("spawning a shard reader thread cannot fail")
@@ -981,11 +1358,16 @@ fn spawn_reader(
 
 /// Accepts up to `want` connections from spawned children, polling so a
 /// child that died on startup does not hang the controller forever.
-fn accept_children(listener: &TcpListener, want: usize, children: &mut [Child]) -> Vec<TcpStream> {
+fn accept_children(
+    listener: &TcpListener,
+    want: usize,
+    children: &mut [Child],
+    timeout: Duration,
+) -> Vec<TcpStream> {
     listener
         .set_nonblocking(true)
-        .expect("loopback listener supports nonblocking");
-    let deadline = Instant::now() + HANDSHAKE_TIMEOUT;
+        .expect("listener supports nonblocking");
+    let deadline = Instant::now() + timeout;
     let mut accepted = Vec::new();
     while accepted.len() < want && Instant::now() < deadline {
         match listener.accept() {
@@ -1015,16 +1397,52 @@ fn accept_children(listener: &TcpListener, want: usize, children: &mut [Child]) 
     accepted
 }
 
+/// Spawns one `shard-worker --connect` child pointed at `addr`.
+fn spawn_worker(worker_bin: &Path, addr: &str) -> io::Result<Child> {
+    Command::new(worker_bin)
+        .args(["shard-worker", "--connect", addr])
+        .stdin(Stdio::null())
+        .stdout(Stdio::null())
+        .stderr(Stdio::inherit())
+        .spawn()
+}
+
+/// Deterministic sub-100ms reconnect jitter: a splitmix64 finalizer over
+/// the (digest, shard, attempt) triple, so two controllers racing to
+/// replace shards of the same campaign stagger identically run-to-run.
+fn reconnect_jitter(digest: u64, shard: usize, attempt: u64) -> Duration {
+    let mut z = digest ^ ((shard as u64) << 8) ^ attempt;
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    Duration::from_millis((z ^ (z >> 31)) % 100)
+}
+
 impl ShardPool {
     /// Spawns (or accepts) the configured worker processes, handshakes
     /// each one, and starts their reader threads. Shards that fail to
     /// connect, echo a wrong digest, or die during the handshake are
     /// simply absent from the live set; the caller degrades to in-process
     /// execution when `live()` comes back zero.
-    pub(crate) fn launch(config: &CampaignConfig, memoize: bool) -> io::Result<ShardPool> {
+    ///
+    /// `segments` is the journal-segment directory workers should write
+    /// their evaluated-outcome segments into (shared filesystem assumed
+    /// for spawned children; `--connect` workers on other machines simply
+    /// skip segment writing when the path is not creatable).
+    pub(crate) fn launch(
+        config: &CampaignConfig,
+        memoize: bool,
+        segments: Option<PathBuf>,
+    ) -> io::Result<ShardPool> {
         let digest = scenario_digest(&config.scenario, config.threshold, config.baseline_reps);
+        let wire = WireFaults::from_chaos(config.chaos.as_ref());
+        let hang_after = config
+            .chaos
+            .as_ref()
+            .and_then(|plan| plan.hang_worker_after);
         let (tx, rx) = mpsc::channel();
         let mut streams: Vec<(TcpStream, Option<Child>)> = Vec::new();
+        let mut respawn = None;
 
         if let Some(listen) = &config.shard_listen {
             let listener = TcpListener::bind(listen.as_str())?;
@@ -1046,20 +1464,19 @@ impl ShardPool {
             };
             let mut children = Vec::new();
             for _ in 0..config.shards {
-                let spawned = Command::new(&worker_bin)
-                    .args(["shard-worker", "--connect", &addr.to_string()])
-                    .stdin(Stdio::null())
-                    .stdout(Stdio::null())
-                    .stderr(Stdio::inherit())
-                    .spawn();
-                match spawned {
+                match spawn_worker(&worker_bin, &addr.to_string()) {
                     Ok(child) => children.push(child),
                     Err(err) => {
                         eprintln!("snake: failed to spawn shard worker {worker_bin:?}: {err}");
                     }
                 }
             }
-            let accepted = accept_children(&listener, children.len(), &mut children);
+            let accepted = accept_children(
+                &listener,
+                children.len(),
+                &mut children,
+                config.shard_timeout,
+            );
             // Pair accepted streams with children positionally for
             // reaping only — shard identity comes from the hello message,
             // so the pairing does not need to match spawn order.
@@ -1073,36 +1490,81 @@ impl ShardPool {
                 orphan.kill().ok();
                 orphan.wait().ok();
             }
+            // Keep the listener and binary path so a dead shard can be
+            // replaced by a fresh child mid-campaign.
+            respawn = Some((listener, worker_bin));
         }
 
-        let mut links = Vec::new();
-        let mut workers = 0;
-        for (shard, (stream, child)) in streams.into_iter().enumerate() {
-            stream.set_nodelay(true).ok();
-            let link = Self::handshake(shard, stream, child, digest, config, memoize, &tx);
-            workers += usize::from(link.handshaked);
-            links.push(link);
-        }
-        Ok(ShardPool {
-            links,
+        let mut pool = ShardPool {
+            links: Vec::new(),
+            retired: Vec::new(),
             events: rx,
+            tx,
             started: Instant::now(),
-            workers,
+            workers: 0,
+            digest,
+            memoize,
+            wire,
+            segments,
+            respawn,
             ranges_dispatched: 0,
             ranges_redispatched: 0,
-        })
+            heartbeats_missed: 0,
+            reconnects: 0,
+        };
+        for (shard, (stream, child)) in streams.into_iter().enumerate() {
+            stream.set_nodelay(true).ok();
+            // The hang knob targets shard 0's initial connection only, so
+            // a hang-chaos campaign still has live shards to finish on.
+            let hang = if shard == 0 { hang_after } else { None };
+            let segment = pool.segment_path(shard, 0);
+            let link = Self::handshake(
+                shard,
+                0,
+                stream,
+                child,
+                digest,
+                config,
+                memoize,
+                segment.as_deref(),
+                hang,
+                &pool.tx,
+                wire,
+            );
+            pool.workers += usize::from(link.handshaked);
+            pool.links.push(link);
+        }
+        Ok(pool)
+    }
+
+    /// The segment file a given `(shard, generation)` connection should
+    /// write, when the campaign journals.
+    fn segment_path(&self, shard: usize, generation: u64) -> Option<PathBuf> {
+        self.segments
+            .as_deref()
+            .map(|dir| segment_file(dir, shard, generation))
     }
 
     /// Runs the hello/ready handshake on one accepted stream. Any failure
     /// produces a dead link (kept only so its child is reaped later).
+    ///
+    /// The read deadline stays armed after the handshake: a worker that
+    /// goes silent for longer than `config.shard_timeout` mid-evaluation
+    /// (no outcome, no heartbeat) is declared dead by its reader thread
+    /// rather than hanging the controller forever.
+    #[allow(clippy::too_many_arguments)]
     fn handshake(
         shard: usize,
+        generation: u64,
         stream: TcpStream,
         child: Option<Child>,
         digest: u64,
         config: &CampaignConfig,
         memoize: bool,
+        segment: Option<&Path>,
+        hang_after: Option<u64>,
         tx: &mpsc::Sender<ShardEvent>,
+        wire: WireFaults,
     ) -> ShardLink {
         let mut link = ShardLink {
             socket: stream.try_clone().unwrap_or(stream),
@@ -1112,12 +1574,17 @@ impl ShardPool {
             handshaked: false,
             busy_nanos: 0,
             outcomes: 0,
+            generation,
+            reconnect_attempts: 0,
         };
         let attempt = (|| -> io::Result<(BufWriter<TcpStream>, BufReader<TcpStream>)> {
             let mut writer = BufWriter::new(link.socket.try_clone()?);
-            write_line(&mut writer, &encode_hello(shard, digest, config, memoize))?;
+            write_line(
+                &mut writer,
+                &encode_hello(shard, digest, config, memoize, segment, hang_after),
+            )?;
             let read_half = link.socket.try_clone()?;
-            read_half.set_read_timeout(Some(HANDSHAKE_TIMEOUT))?;
+            read_half.set_read_timeout(Some(config.shard_timeout))?;
             let mut reader = BufReader::new(read_half);
             let ready = read_message(&mut reader)?
                 .ok_or_else(|| protocol_err("worker closed the connection before ready"))?;
@@ -1130,13 +1597,12 @@ impl ShardPool {
                     "scenario digest mismatch: sent {digest:016x}, worker decoded {echoed:016x}"
                 )));
             }
-            reader.get_ref().set_read_timeout(None)?;
             Ok((writer, reader))
         })();
         match attempt {
             Ok((writer, reader)) => {
                 link.writer = Some(writer);
-                link.reader = Some(spawn_reader(shard, reader, tx.clone()));
+                link.reader = Some(spawn_reader(shard, generation, reader, tx.clone(), wire));
                 link.handshaked = true;
             }
             Err(err) => {
@@ -1145,6 +1611,87 @@ impl ShardPool {
             }
         }
         link
+    }
+
+    /// Attempts to replace a dead shard slot with a freshly spawned
+    /// worker. Only spawned-children mode can respawn (`--shard-listen`
+    /// workers are started externally); each slot gets at most
+    /// [`RECONNECT_ATTEMPTS`] replacements, with exponential backoff plus
+    /// deterministic jitter between tries. Returns `true` when the slot
+    /// is live again (at a bumped generation, writing a fresh segment
+    /// file so the dead connection's segment is never appended to).
+    pub(crate) fn try_reconnect(&mut self, shard: usize, config: &CampaignConfig) -> bool {
+        let Some(link) = self.links.get_mut(shard) else {
+            return false;
+        };
+        if link.writer.is_some() || link.reconnect_attempts >= RECONNECT_ATTEMPTS {
+            return false;
+        }
+        let Some((listener, worker_bin)) = self.respawn.as_ref() else {
+            return false;
+        };
+        let attempt = link.reconnect_attempts;
+        link.reconnect_attempts += 1;
+        let backoff = RECONNECT_BACKOFF * 2u32.saturating_pow(attempt as u32)
+            + reconnect_jitter(self.digest, shard, attempt);
+        std::thread::sleep(backoff);
+
+        let addr = match listener.local_addr() {
+            Ok(addr) => addr.to_string(),
+            Err(_) => return false,
+        };
+        let mut child = match spawn_worker(worker_bin, &addr) {
+            Ok(child) => child,
+            Err(err) => {
+                eprintln!("snake: shard {shard} respawn failed: {err}");
+                return false;
+            }
+        };
+        let accepted = accept_children(
+            listener,
+            1,
+            std::slice::from_mut(&mut child),
+            config.shard_timeout,
+        );
+        let Some(stream) = accepted.into_iter().next() else {
+            child.kill().ok();
+            child.wait().ok();
+            return false;
+        };
+        stream.set_nodelay(true).ok();
+
+        let generation = self.links[shard].generation + 1;
+        let segment = self.segment_path(shard, generation);
+        let mut fresh = Self::handshake(
+            shard,
+            generation,
+            stream,
+            Some(child),
+            self.digest,
+            config,
+            self.memoize,
+            segment.as_deref(),
+            None,
+            &self.tx,
+            self.wire,
+        );
+        fresh.reconnect_attempts = self.links[shard].reconnect_attempts;
+        let live = fresh.handshaked;
+        // Retire the old link whichever way the handshake went: its
+        // reader thread and child still need joining/reaping at teardown,
+        // and its busy tally still counts toward the shard histograms.
+        let old = std::mem::replace(&mut self.links[shard], fresh);
+        self.retired.push(old);
+        if live {
+            self.reconnects += 1;
+        }
+        live
+    }
+
+    /// The current connection generation for a shard slot; events tagged
+    /// with an older generation are stale traffic from a retired link.
+    pub(crate) fn generation(&self, shard: usize) -> u64 {
+        self.links.get(shard).map_or(0, |link| link.generation)
     }
 
     /// Shards currently accepting work.
@@ -1198,12 +1745,18 @@ impl ShardPool {
         true
     }
 
-    /// Declares a shard dead: drops its writer and shuts the socket down
-    /// (which also unblocks its reader thread into an EOF).
+    /// Declares a shard dead: drops its writer, shuts the socket down
+    /// (which also unblocks its reader thread into an EOF), and kills the
+    /// spawned child outright — a worker declared dead for missing its
+    /// read deadline may be hung in an evaluation and would otherwise
+    /// stall teardown until the reap timeout.
     pub(crate) fn kill(&mut self, shard: usize) {
         if let Some(link) = self.links.get_mut(shard) {
             link.writer = None;
             link.socket.shutdown(Shutdown::Both).ok();
+            if let Some(child) = link.child.as_mut() {
+                child.kill().ok();
+            }
         }
     }
 
@@ -1215,10 +1768,20 @@ impl ShardPool {
         }
     }
 
-    /// Blocks for the next event from any shard. `None` means every
-    /// reader thread is gone — the pool is effectively dead.
-    pub(crate) fn next_event(&self) -> Option<ShardEvent> {
-        self.events.recv().ok()
+    /// Waits up to `timeout` for the next event from any shard. Every
+    /// dead reader sends a `Dead` event before exiting and the armed read
+    /// deadlines bound how long a broken wire stays quiet, but neither
+    /// covers a worker whose heartbeats keep flowing while an outcome
+    /// never arrives (a frame lost to wire chaos, an evaluation thread
+    /// wedged behind a live heartbeat thread) — heartbeats are swallowed
+    /// by the readers, so [`PoolWait::Idle`] means no *outcome* progress
+    /// anywhere, and the caller applies its progress deadline.
+    pub(crate) fn next_event_timeout(&self, timeout: Duration) -> PoolWait {
+        match self.events.recv_timeout(timeout) {
+            Ok(event) => PoolWait::Event(event),
+            Err(mpsc::RecvTimeoutError::Timeout) => PoolWait::Idle,
+            Err(mpsc::RecvTimeoutError::Disconnected) => PoolWait::Closed,
+        }
     }
 
     /// Shuts every worker down, joins the reader threads, reaps spawned
@@ -1232,7 +1795,9 @@ impl ShardPool {
         observer.counter_add("shard.workers", self.workers as u64);
         observer.counter_add("shard.ranges_dispatched", self.ranges_dispatched);
         observer.counter_add("shard.ranges_redispatched", self.ranges_redispatched);
-        for link in &self.links {
+        observer.counter_add("shard.heartbeat.missed", self.heartbeats_missed);
+        observer.counter_add("shard.reconnects", self.reconnects);
+        for link in self.links.iter().chain(self.retired.iter()) {
             if link.handshaked {
                 observer.record("shard.busy_nanos", link.busy_nanos);
                 observer.record("shard.idle_nanos", lifetime.saturating_sub(link.busy_nanos));
@@ -1241,13 +1806,13 @@ impl ShardPool {
     }
 
     fn teardown(&mut self) {
-        for link in &mut self.links {
+        for link in self.links.iter_mut().chain(self.retired.iter_mut()) {
             if let Some(mut writer) = link.writer.take() {
                 write_line(&mut writer, &shutdown_message()).ok();
             }
             link.socket.shutdown(Shutdown::Both).ok();
         }
-        for link in &mut self.links {
+        for link in self.links.iter_mut().chain(self.retired.iter_mut()) {
             if let Some(handle) = link.reader.take() {
                 handle.join().ok();
             }

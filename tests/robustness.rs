@@ -269,9 +269,8 @@ fn chaos_plan_faults_are_absorbed_not_fatal() {
         .observer(recorder.clone())
         .chaos(ChaosPlan {
             panic_every: Some(5),
-            stall_every: None,
-            stall_for_ms: 0,
             journal_fail_every: Some(3),
+            ..ChaosPlan::default()
         })
         .build()
         .expect("valid config");

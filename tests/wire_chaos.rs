@@ -1,0 +1,209 @@
+//! Shard-wire fault injection: every wire-chaos preset must be *absorbed*
+//! by a distributed campaign — the run completes and its per-strategy
+//! TSV, manifest (modulo the wall-clock `timing` and scheduling-dependent
+//! `shards` sections) and memo provenance markers are byte-identical to
+//! an unperturbed single-process run. Recovery may change *who* evaluated
+//! a strategy (re-dispatch, reconnect, in-process fallback), never what
+//! was admitted.
+//!
+//! The faults land on the controller's read path by outcome-frame ordinal
+//! (heartbeats excluded), so the same preset perturbs the same frames
+//! every run:
+//!
+//! * `wire-truncate` / `wire-corrupt` — a checksum-failing frame is a
+//!   protocol death: the shard is killed, its outstanding work re-queued.
+//! * `wire-drop` — the frame silently never happened. Either the next
+//!   frame from that shard trips the in-contract check, or — if it was
+//!   the shard's *last* frame — the controller's progress deadline fires
+//!   (heartbeats keep the read deadline fed, so only the absence of
+//!   outcome progress can reveal the loss).
+//! * `wire-delay` — a slow-but-alive worker; nothing may die.
+//! * `wire-hang` — shard 0 goes silent (heartbeats stopped, wire open);
+//!   the read deadline must declare it dead and its work re-dispatch.
+//!
+//! Like `shard_determinism`, these tests spawn real `snake shard-worker`
+//! child processes and serialize on a global lock.
+
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use snake_core::{
+    build_run_manifest, Campaign, CampaignConfig, CampaignResult, ChaosPlan, ProtocolKind,
+    Recorder, RecorderSnapshot, ScenarioSpec,
+};
+use snake_json::Value;
+use snake_tcp::Profile;
+
+/// Serializes every test in this file: shard pools read the process
+/// environment at launch, so runs cannot overlap kill-switch state.
+static LOCK: Mutex<()> = Mutex::new(());
+
+/// The `snake` binary Cargo built alongside this test — the worker the
+/// controller spawns.
+fn worker_bin() -> PathBuf {
+    PathBuf::from(env!("CARGO_BIN_EXE_snake"))
+}
+
+fn spec() -> ScenarioSpec {
+    ScenarioSpec::quick(ProtocolKind::Tcp(Profile::linux_3_13()))
+}
+
+/// One observed campaign; `chaos` and `shards` vary, everything else is
+/// pinned. Chaos runs use a short supervision clock (heartbeat 100 ms,
+/// shard-timeout 1 s) so read-deadline and progress-deadline recoveries
+/// resolve in test time rather than the 10 s production default.
+fn run(shards: usize, chaos: Option<ChaosPlan>) -> (CampaignResult, RecorderSnapshot) {
+    let recorder = Arc::new(Recorder::new());
+    let mut builder = CampaignConfig::builder(spec())
+        .cap(10)
+        .feedback_rounds(1)
+        .retest(false)
+        .memoize(true)
+        .observer(recorder.clone());
+    if shards > 0 {
+        builder = builder
+            .shards(shards)
+            .shard_worker_bin(worker_bin())
+            .heartbeat(Duration::from_millis(100))
+            .shard_timeout(Duration::from_secs(1));
+    }
+    if let Some(plan) = chaos {
+        builder = builder.chaos(plan);
+    }
+    let config = builder.build().expect("valid config");
+    let result = Campaign::run(config).expect("valid baseline");
+    (result, recorder.snapshot())
+}
+
+/// The manifest with its nondeterministic sections (`timing`, and for
+/// sharded runs `shards`) removed — the bit-identity contract surface.
+fn stable_json(result: &CampaignResult, snapshot: &RecorderSnapshot) -> String {
+    let manifest = build_run_manifest(result, snapshot, 0.0);
+    match manifest.to_json() {
+        Value::Obj(pairs) => Value::Obj(
+            pairs
+                .into_iter()
+                .filter(|(k, _)| k != "timing" && k != "shards")
+                .collect(),
+        )
+        .to_string_compact(),
+        other => other.to_string_compact(),
+    }
+}
+
+/// Asserts the chaos run is indistinguishable from the unperturbed
+/// reference: TSV, stable manifest, and memo markers all byte-identical.
+fn assert_absorbed(
+    label: &str,
+    reference: &(CampaignResult, RecorderSnapshot),
+    chaotic: &(CampaignResult, RecorderSnapshot),
+) {
+    assert_eq!(
+        reference.0.export_outcomes_tsv(),
+        chaotic.0.export_outcomes_tsv(),
+        "{label}: per-strategy TSV must survive wire chaos byte for byte"
+    );
+    assert_eq!(
+        stable_json(&reference.0, &reference.1),
+        stable_json(&chaotic.0, &chaotic.1),
+        "{label}: manifests must agree outside `timing`/`shards`"
+    );
+    assert_eq!(
+        reference
+            .0
+            .outcomes
+            .iter()
+            .map(|o| &o.memo)
+            .collect::<Vec<_>>(),
+        chaotic
+            .0
+            .outcomes
+            .iter()
+            .map(|o| &o.memo)
+            .collect::<Vec<_>>(),
+        "{label}: memo provenance markers must survive wire chaos"
+    );
+}
+
+#[test]
+fn every_wire_fault_preset_is_absorbed_without_changing_output() {
+    let _guard = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let reference = run(0, None);
+    for preset in ["wire-drop", "wire-truncate", "wire-corrupt", "wire-delay"] {
+        let plan = ChaosPlan::preset(preset).expect("built-in preset");
+        let chaotic = run(2, Some(plan));
+        assert_absorbed(preset, &reference, &chaotic);
+        assert_eq!(
+            chaotic.1.counter("shard.workers"),
+            2,
+            "{preset}: both workers must have handshaked before the chaos"
+        );
+    }
+}
+
+#[test]
+fn a_hung_worker_trips_the_read_deadline_and_its_work_is_redone() {
+    let _guard = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let reference = run(0, None);
+    let plan = ChaosPlan::preset("wire-hang").expect("built-in preset");
+    let chaotic = run(2, Some(plan));
+    assert_absorbed("wire-hang", &reference, &chaotic);
+    assert!(
+        chaotic.1.counter("shard.heartbeat.missed") >= 1,
+        "the hung shard must be declared dead by read-deadline expiry"
+    );
+    assert!(
+        chaotic.1.counter("shard.ranges_redispatched") >= 1,
+        "the hung shard's outstanding work must be re-dispatched"
+    );
+}
+
+#[test]
+fn a_delayed_wire_kills_nothing() {
+    let _guard = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let plan = ChaosPlan::preset("wire-delay").expect("built-in preset");
+    let chaotic = run(2, Some(plan));
+    assert_eq!(
+        chaotic.1.counter("shard.heartbeat.missed"),
+        0,
+        "a slow-but-alive worker must never trip the read deadline"
+    );
+    assert_eq!(
+        chaotic.1.counter("shard.reconnects"),
+        0,
+        "a delayed frame is late, not lost: no slot may be replaced"
+    );
+}
+
+#[test]
+fn wire_faults_without_a_wire_are_rejected_at_build_time() {
+    for preset in [
+        "wire-drop",
+        "wire-truncate",
+        "wire-corrupt",
+        "wire-delay",
+        "wire-hang",
+    ] {
+        let plan = ChaosPlan::preset(preset).expect("built-in preset");
+        assert!(plan.has_wire_faults(), "{preset} is a wire-fault plan");
+        assert!(
+            !plan.has_eval_faults(),
+            "{preset} must leave evaluation untouched so memoization stays on"
+        );
+        let err = CampaignConfig::builder(spec())
+            .cap(4)
+            .chaos(plan)
+            .build()
+            .expect_err("wire chaos without shards must not build");
+        assert!(
+            err.to_string().contains("shards"),
+            "{preset}: the error must point at the missing shard wire, got: {err}"
+        );
+    }
+    // The controller kill-switch is not a wire fault: it acts on the
+    // admission path and works in-process too (covered end to end by the
+    // `controller_resume` suite).
+    let kill = ChaosPlan::preset("controller-kill").expect("built-in preset");
+    assert!(!kill.has_wire_faults() && !kill.has_eval_faults());
+}
